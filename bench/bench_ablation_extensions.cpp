@@ -1,0 +1,100 @@
+// Ablation of the Section 8 model extensions implemented beyond the paper's
+// base model:
+//  - randomized per-ISP thresholds (Section 8.2): how sensitive is the
+//    cascade to heterogeneity in deployment costs / projection error?
+//  - pricing models (Section 8.4): volume-linear vs concave (volume
+//    discounts) vs tiered-capacity billing;
+//  - AS-graph evolution (Section 8.4): growth with and without a customer
+//    preference for secure providers.
+#include "bench_common.h"
+#include "core/evolution.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv, /*default_nodes=*/1000);
+  bench::print_header("Ablation - Section 8 model extensions", opt);
+
+  auto net = bench::make_internet(opt);
+  const auto& g = net.graph;
+  const auto adopters = bench::case_study_adopters(net);
+  const double n_ases = static_cast<double>(g.num_nodes());
+
+  // ---- (1) randomized theta ----------------------------------------------
+  std::cout << "(1) per-ISP threshold randomization (mean theta = 5%)\n";
+  stats::Table t1({"theta spread", "ASes secure", "ISPs secure", "rounds"});
+  for (const double spread : {0.0, 0.25, 0.5, 0.9}) {
+    core::SimConfig cfg = bench::case_study_config(opt);
+    const auto thetas = core::randomized_thetas(g, 0.05, spread, opt.seed);
+    cfg.per_node_theta = &thetas;
+    core::DeploymentSimulator sim(g, cfg);
+    const auto r = sim.run(core::DeploymentState::initial(g, adopters));
+    t1.begin_row();
+    t1.add_percent(spread, 0);
+    t1.add_percent(static_cast<double>(r.final_state.num_secure()) / n_ases, 1);
+    t1.add_percent(static_cast<double>(r.final_state.num_secure_of_class(
+                       g, topo::AsClass::Isp)) /
+                       static_cast<double>(g.num_isps()),
+                   1);
+    t1.add(r.rounds_run());
+  }
+  t1.print(std::cout);
+  bench::print_paper_note(
+      "Section 8.2: projection inaccuracies can be rolled into theta; the "
+      "cascade should be robust to moderate heterogeneity.");
+
+  // ---- (2) pricing models --------------------------------------------------
+  std::cout << "\n(2) revenue curves (theta = 5%)\n";
+  stats::Table t2({"pricing model", "ASes secure", "ISPs secure", "rounds"});
+  for (const core::PricingModel p :
+       {core::PricingModel::LinearVolume, core::PricingModel::ConcaveVolume,
+        core::PricingModel::TieredCapacity}) {
+    core::SimConfig cfg = bench::case_study_config(opt);
+    cfg.pricing = p;
+    core::DeploymentSimulator sim(g, cfg);
+    const auto r = sim.run(core::DeploymentState::initial(g, adopters));
+    t2.begin_row();
+    t2.add(std::string(core::to_string(p)));
+    t2.add_percent(static_cast<double>(r.final_state.num_secure()) / n_ases, 1);
+    t2.add_percent(static_cast<double>(r.final_state.num_secure_of_class(
+                       g, topo::AsClass::Isp)) /
+                       static_cast<double>(g.num_isps()),
+                   1);
+    t2.add(r.rounds_run());
+  }
+  t2.print(std::cout);
+  bench::print_paper_note(
+      "Section 8.4: revenue need not be linear in volume; concave curves "
+      "compress relative gains and damp the cascade, tiered billing "
+      "quantises it.");
+
+  // ---- (3) graph evolution --------------------------------------------------
+  std::cout << "\n(3) AS-graph growth across " << 4 << " epochs ("
+            << opt.nodes / 20 << " new stubs/epoch)\n";
+  stats::Table t3({"secure-provider bias", "epoch", "graph size", "secure ASes",
+                   "new edges to secure", "to insecure"});
+  for (const double bias : {1.0, 3.0}) {
+    core::EvolutionConfig ecfg;
+    ecfg.epochs = 4;
+    ecfg.new_stubs_per_epoch = opt.nodes / 20;
+    ecfg.secure_provider_bias = bias;
+    ecfg.seed = opt.seed;
+    ecfg.sim = bench::case_study_config(opt);
+    const auto r = core::run_evolution(net, adopters, ecfg);
+    for (const auto& e : r.epochs) {
+      t3.begin_row();
+      t3.add(bias, 1);
+      t3.add(e.epoch);
+      t3.add(e.graph_size);
+      t3.add(e.secure_ases);
+      t3.add(e.new_edges_to_secure);
+      t3.add(e.new_edges_to_insecure);
+    }
+  }
+  t3.print(std::cout);
+  bench::print_paper_note(
+      "Section 8.4: if secure ASes sign up new customers preferentially, "
+      "growth itself becomes a deployment incentive (more revenue-bearing "
+      "edges land on secure ISPs).");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Theorem 8.2 / Appendix J ablation: per-link S*BGP deployment. On the
+// DILEMMA gadget we enumerate every subset of the deciding ISP's links and
+// show the incoming-utility landscape is non-monotone (hence the greedy
+// intuition fails and, per Thm 8.2, optimising it is NP-hard in general);
+// in the outgoing model the full set is always optimal (Theorem J.2).
+#include <iostream>
+
+#include "core/simulator.h"
+#include "gadgets/gadgets.h"
+#include "parallel/thread_pool.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace sbgp;
+  std::cout << "=== Per-link deployment (Thm 8.2 / Appendix J) ===\n\n";
+
+  const auto g = gadgets::make_per_link_dilemma(/*m=*/1000.0, /*w_s=*/2000.0);
+  core::SimConfig cfg;
+  g.configure(cfg);
+  par::ThreadPool pool(1);
+  const auto x = g.node("x");
+
+  // x's neighbours: enumerate all subsets of its links.
+  std::vector<topo::AsId> nbrs;
+  for (const auto c : g.graph.customers(x)) nbrs.push_back(c);
+  for (const auto p : g.graph.peers(x)) nbrs.push_back(p);
+  for (const auto p : g.graph.providers(x)) nbrs.push_back(p);
+
+  stats::Table t({"links enabled at x", "incoming u(x)", "outgoing u(x)"});
+  const auto base_mask = rt::full_link_mask(g.graph);
+  double best_in = -1.0, full_in = -1.0;
+  std::string best_set;
+  for (std::size_t bits = 0; bits < (1u << nbrs.size()); ++bits) {
+    auto mask = base_mask;
+    mask[x].clear();
+    std::string label;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (bits & (1u << k)) {
+        mask[x].push_back(nbrs[k]);
+        if (!label.empty()) label += ",";
+        label += std::to_string(g.graph.asn(nbrs[k]));
+      }
+    }
+    std::sort(mask[x].begin(), mask[x].end());
+    if (label.empty()) label = "(none)";
+    const auto u = core::compute_utilities(g.graph, g.initial.flags(), cfg, pool, &mask);
+    t.begin_row();
+    t.add(label);
+    t.add(u.incoming[x], 0);
+    t.add(u.outgoing[x], 0);
+    if (u.incoming[x] > best_in) {
+      best_in = u.incoming[x];
+      best_set = label;
+    }
+    if (bits + 1 == (1u << nbrs.size())) full_in = u.incoming[x];
+  }
+  t.print(std::cout);
+  std::cout << "\nbest incoming-utility link set: {" << best_set << "} ("
+            << best_in << "), full deployment gives " << full_in << " => "
+            << (best_in > full_in + 1e-9
+                    ? "PARTIAL deployment strictly beats full deployment"
+                    : "full deployment is optimal here")
+            << "\n";
+  std::cout << "paper: choosing the per-link deployment that maximises "
+               "incoming utility is NP-hard, even to approximate (Thm 8.2); "
+               "in the outgoing model enabling every link is optimal "
+               "(Thm J.2) — note the outgoing column is flat.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared infrastructure for the per-table / per-figure bench harnesses.
+// Every bench accepts:  --nodes N  --seed S  --threads T  --x F  --quiet
+// and prints the paper's corresponding rows/series plus a "paper:" line
+// quoting what the original reports, so shape can be compared at a glance.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/early_adopters.h"
+#include "core/simulator.h"
+#include "topology/topology_gen.h"
+
+namespace sbgp::bench {
+
+struct Options {
+  std::uint32_t nodes = 1500;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;  // hardware
+  double x = 0.10;          // CP traffic fraction
+  bool quiet = false;
+};
+
+inline Options parse_options(int argc, char** argv, std::uint32_t default_nodes = 1500) {
+  Options opt;
+  opt.nodes = default_nodes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--nodes") opt.nodes = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--threads") opt.threads = static_cast<std::size_t>(std::atoi(next()));
+    else if (arg == "--x") opt.x = std::atof(next());
+    else if (arg == "--quiet") opt.quiet = true;
+    else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--nodes N] [--seed S] [--threads T] [--x F]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Generates the synthetic Internet with the CP traffic model applied.
+inline topo::Internet make_internet(const Options& opt) {
+  topo::InternetConfig cfg;
+  cfg.total_ases = opt.nodes;
+  cfg.seed = opt.seed;
+  topo::Internet net = topo::generate_internet(cfg);
+  topo::apply_traffic_model(net.graph, net.cps, opt.x);
+  return net;
+}
+
+/// The Section 5 case-study early adopters: five CPs + five top-degree ISPs
+/// (the paper's Sprint/Verizon/AT&T/Level3/Cogent analogues).
+inline std::vector<topo::AsId> case_study_adopters(const topo::Internet& net) {
+  return core::select_adopters(net, core::AdopterStrategy::CpsPlusTopIsps, 5,
+                               /*seed=*/1);
+}
+
+/// Standard case-study simulator config (outgoing utility, theta = 5%).
+inline core::SimConfig case_study_config(const Options& opt) {
+  core::SimConfig cfg;
+  cfg.model = core::UtilityModel::Outgoing;
+  cfg.theta = 0.05;
+  cfg.threads = opt.threads;
+  return cfg;
+}
+
+inline void print_header(const std::string& what, const Options& opt) {
+  std::cout << "=== " << what << " ===\n"
+            << "synthetic Internet: " << opt.nodes << " ASes, seed " << opt.seed
+            << ", CPs originate " << opt.x * 100 << "% of traffic\n\n";
+}
+
+inline void print_paper_note(const std::string& note) {
+  std::cout << "paper: " << note << "\n";
+}
+
+}  // namespace sbgp::bench

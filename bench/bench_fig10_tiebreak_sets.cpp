@@ -1,0 +1,43 @@
+// Figure 10 / Section 6.6: the distribution of tiebreak-set sizes across all
+// (source, destination) pairs — the amount of competition available to the
+// SecP criterion. State-independent (Observation C.1).
+#include "bench_common.h"
+#include "core/analysis.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("Figure 10 - tiebreak-set size distribution", opt);
+
+  auto net = bench::make_internet(opt);
+  par::ThreadPool pool(opt.threads);
+  const auto dist = core::tiebreak_distribution(net.graph, pool);
+
+  stats::Table t({"tiebreak size", "all pairs", "ISP sources", "stub sources"});
+  for (const auto& [size, count] : dist.all.bins()) {
+    if (size > 12) break;  // long tail, log-log in the paper
+    t.begin_row();
+    t.add(static_cast<long long>(size));
+    t.add(static_cast<unsigned long long>(count));
+    t.add(static_cast<unsigned long long>(dist.isp.count(size)));
+    t.add(static_cast<unsigned long long>(dist.stub.count(size)));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nmean tiebreak-set size: all " << dist.all.mean() << ", ISPs "
+            << dist.isp.mean() << ", stubs " << dist.stub.mean() << "\n";
+  std::cout << "fraction of sets with >1 path: all "
+            << 100.0 * dist.all.fraction_greater(1) << "%, ISPs "
+            << 100.0 * dist.isp.fraction_greater(1) << "%, stubs "
+            << 100.0 * dist.stub.fraction_greater(1) << "%\n";
+  std::cout << "=> security need only affect ~"
+            << 100.0 * 0.15 * dist.isp.fraction_greater(1)
+            << "% of routing decisions (15% ISPs x contested ISP tiebreaks, "
+               "Section 6.7)\n";
+  bench::print_paper_note(
+      "tiebreak sets are tiny: mean 1.30 for ISPs, 1.16 for stubs, ~1.18 "
+      "overall; only 20% of sets have more than one path; security need "
+      "only affect ~3.5% of routing decisions.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 14 / Section 8.1: how accurate is the myopic projection? For each
+// early-adopter set (theta = 0), collect, over every ISP that deploys, the
+// ratio of its projected utility to the utility it actually realises in the
+// next round — the gap exists only because multiple ISPs flip simultaneously.
+#include "bench_common.h"
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv, /*default_nodes=*/1200);
+  bench::print_header("Figure 14 - projected vs realised utility (theta = 0)", opt);
+
+  auto net = bench::make_internet(opt);
+  const auto& g = net.graph;
+
+  struct Set {
+    std::string name;
+    std::vector<topo::AsId> adopters;
+  };
+  std::vector<Set> sets{
+      {"top-5 ISPs",
+       core::select_adopters(net, core::AdopterStrategy::TopDegreeIsps, 5, 1)},
+      {"5 CPs",
+       core::select_adopters(net, core::AdopterStrategy::ContentProviders, 0, 1)},
+      {"CPs + top-5",
+       core::select_adopters(net, core::AdopterStrategy::CpsPlusTopIsps, 5, 1)},
+  };
+
+  stats::Table t({"adopters", "flips observed", "median proj/actual",
+                  "p80", "p90", "overestimate by >2%"});
+  for (const auto& s : sets) {
+    core::SimConfig cfg = bench::case_study_config(opt);
+    cfg.theta = 0.0;
+    core::DeploymentSimulator sim(g, cfg);
+
+    // Track projections of this round's flippers; realised utility is read
+    // from the next round's observation.
+    std::vector<std::pair<topo::AsId, double>> pending;
+    stats::Summary ratios;
+    std::size_t overestimates = 0, total = 0;
+    (void)sim.run(core::DeploymentState::initial(g, s.adopters),
+            [&](const core::RoundObservation& obs) {
+              for (const auto& [n, projected] : pending) {
+                const double actual = (*obs.utility)[n];
+                if (actual > 0) {
+                  ratios.add(projected / actual);
+                  ++total;
+                  if (projected > actual * 1.02) ++overestimates;
+                }
+              }
+              pending.clear();
+              for (const auto n : *obs.flipping_on) {
+                pending.emplace_back(n, (*obs.projected_on)[n]);
+              }
+            });
+
+    t.begin_row();
+    t.add(s.name);
+    t.add(ratios.count());
+    t.add(ratios.median(), 4);
+    t.add(ratios.quantile(0.8), 4);
+    t.add(ratios.quantile(0.9), 4);
+    t.add_percent(total > 0 ? static_cast<double>(overestimates) /
+                                  static_cast<double>(total)
+                            : 0.0,
+                  1);
+  }
+  t.print(std::cout);
+  bench::print_paper_note(
+      "projections are excellent: 80% of ISPs overestimate by <2%, 90% by "
+      "<6.7%; most projected utilities are within a few percent of what the "
+      "ISP actually receives next round.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 3: the number of ASes (and ISPs) that deploy S*BGP in each round of
+// the Section 5 case study (early adopters = 5 CPs + 5 Tier-1s, theta = 5%,
+// x = 10%, stubs break ties).
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("Figure 3 - deployment per round (case study)", opt);
+
+  auto net = bench::make_internet(opt);
+  const auto adopters = bench::case_study_adopters(net);
+  core::DeploymentSimulator sim(net.graph, bench::case_study_config(opt));
+  const auto result =
+      sim.run(core::DeploymentState::initial(net.graph, adopters));
+
+  stats::Table t({"round", "new ISPs", "new ASes (incl. simplex stubs)",
+                  "cumulative secure ASes", "cumulative secure ISPs"});
+  for (const auto& r : result.rounds) {
+    t.begin_row();
+    t.add(r.round);
+    t.add(r.newly_secure_isps);
+    t.add(r.newly_secure_isps + r.newly_secure_stubs);
+    t.add(r.total_secure_ases);
+    t.add(r.total_secure_isps);
+  }
+  t.print(std::cout);
+
+  const double n = static_cast<double>(net.graph.num_nodes());
+  std::cout << "\noutcome: " << core::to_string(result.outcome) << " after "
+            << result.rounds_run() << " rounds; "
+            << 100.0 * static_cast<double>(result.final_state.num_secure()) / n
+            << "% of ASes secure, "
+            << 100.0 *
+                   static_cast<double>(result.final_state.num_secure_of_class(
+                       net.graph, topo::AsClass::Isp)) /
+                   static_cast<double>(net.graph.num_isps())
+            << "% of ISPs secure\n";
+  bench::print_paper_note(
+      "548 ISPs / >5K ASes secure in round 1; waves shrink until ~round 17; "
+      "85% of ASes and 80% of ISPs secure at termination (36K-AS graph).");
+  return 0;
+}

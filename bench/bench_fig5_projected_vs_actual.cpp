@@ -1,0 +1,61 @@
+// Figure 5: for each round i, the median utility and median *projected*
+// utility (normalized by starting utility) of the ISPs that become secure in
+// round i+1. Early rounds show deployment-to-steal (projection above
+// starting utility); later rounds show deployment-to-recover (current
+// utility below starting, projection near it).
+#include "bench_common.h"
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("Figure 5 - median utility vs projection of next-round flippers",
+                      opt);
+
+  auto net = bench::make_internet(opt);
+  const auto& g = net.graph;
+  core::DeploymentSimulator sim(g, bench::case_study_config(opt));
+
+  struct RoundSample {
+    stats::Summary current, projected;
+  };
+  std::vector<RoundSample> samples;
+  std::vector<double> start;  // filled after run
+
+  std::vector<std::vector<double>> cur_hist, proj_hist;
+  std::vector<std::vector<topo::AsId>> flips;
+  const auto result = sim.run(
+      core::DeploymentState::initial(g, bench::case_study_adopters(net)),
+      [&](const core::RoundObservation& obs) {
+        cur_hist.push_back(*obs.utility);
+        proj_hist.push_back(*obs.projected_on);
+        flips.push_back(*obs.flipping_on);
+      });
+  start = result.starting_utility;
+
+  samples.resize(cur_hist.size());
+  for (std::size_t r = 0; r < flips.size(); ++r) {
+    for (const auto n : flips[r]) {
+      if (start[n] <= 0) continue;
+      samples[r].current.add(cur_hist[r][n] / start[n]);
+      samples[r].projected.add(proj_hist[r][n] / start[n]);
+    }
+  }
+
+  stats::Table t({"round", "flippers", "median u/u0", "median projected u/u0"});
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    if (samples[r].current.count() == 0) continue;
+    t.begin_row();
+    t.add(r + 1);
+    t.add(samples[r].current.count());
+    t.add(samples[r].current.median(), 3);
+    t.add(samples[r].projected.median(), 3);
+  }
+  t.print(std::cout);
+  bench::print_paper_note(
+      "rounds 1-9: projected utility >= 1.05x starting utility (stealing); "
+      "rounds 10-20: current utility dips ~5% below starting while the "
+      "projection approaches 1.0 (recovering lost traffic).");
+  return 0;
+}

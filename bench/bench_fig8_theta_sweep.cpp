@@ -1,0 +1,75 @@
+// Figure 8: fraction of (a) ASes and (b) ISPs that are secure at termination
+// as the deployment threshold theta sweeps, for the paper's early-adopter
+// sets: none, top-k degree ISPs, the five CPs, CPs + top-5, and random ISPs.
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv, /*default_nodes=*/1200);
+  bench::print_header("Figure 8 - theta sweep x early-adopter sets", opt);
+
+  auto net = bench::make_internet(opt);
+  const auto& g = net.graph;
+  const double n_ases = static_cast<double>(g.num_nodes());
+  const double n_isps = static_cast<double>(g.num_isps());
+
+  struct Set {
+    std::string name;
+    std::vector<topo::AsId> adopters;
+  };
+  // The paper's 36K-AS graph uses sets of 5..200 ISPs; scale k to our size.
+  const std::size_t big_k = std::max<std::size_t>(10, g.num_isps() / 8);
+  std::vector<Set> sets;
+  sets.push_back({"none", core::select_adopters(net, core::AdopterStrategy::None, 0, 1)});
+  sets.push_back({"top-5 ISPs",
+                  core::select_adopters(net, core::AdopterStrategy::TopDegreeIsps, 5, 1)});
+  sets.push_back({"top-" + std::to_string(big_k) + " ISPs",
+                  core::select_adopters(net, core::AdopterStrategy::TopDegreeIsps, big_k, 1)});
+  sets.push_back({"5 CPs",
+                  core::select_adopters(net, core::AdopterStrategy::ContentProviders, 0, 1)});
+  sets.push_back({"CPs + top-5",
+                  core::select_adopters(net, core::AdopterStrategy::CpsPlusTopIsps, 5, 1)});
+  sets.push_back({"random-" + std::to_string(big_k),
+                  core::select_adopters(net, core::AdopterStrategy::RandomIsps, big_k, 7)});
+
+  const std::vector<double> thetas{0.0, 0.05, 0.10, 0.20, 0.35, 0.50, 1.00};
+
+  std::vector<std::string> headers{"theta"};
+  for (const auto& s : sets) headers.push_back(s.name);
+  stats::Table ases(headers), isps(headers);
+
+  for (const double theta : thetas) {
+    ases.begin_row();
+    isps.begin_row();
+    ases.add(theta, 2);
+    isps.add(theta, 2);
+    for (const auto& s : sets) {
+      core::SimConfig cfg = bench::case_study_config(opt);
+      cfg.theta = theta;
+      core::DeploymentSimulator sim(g, cfg);
+      const auto result =
+          sim.run(core::DeploymentState::initial(g, s.adopters));
+      ases.add_percent(
+          static_cast<double>(result.final_state.num_secure()) / n_ases, 1);
+      isps.add_percent(
+          static_cast<double>(result.final_state.num_secure_of_class(
+              g, topo::AsClass::Isp)) /
+              n_isps,
+          1);
+    }
+  }
+
+  std::cout << "(a) fraction of ASes secure at termination\n";
+  ases.print(std::cout);
+  bench::print_paper_note(
+      "for theta < 5% nearly every adopter set transitions ~85% of ASes; "
+      "theta >= 10% needs high-degree adopters; top-200 at theta=50% still "
+      "converts 53% of ASes.");
+  std::cout << "\n(b) fraction of ISPs secure at termination\n";
+  isps.print(std::cout);
+  bench::print_paper_note(
+      "at high theta very few ISPs deploy: most secure ASes are simplex "
+      "stubs upgraded by their providers (96% at theta=50%, top-200 set).");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 9: fraction of all N*(N-1) source-destination paths that are fully
+// secure at termination, vs theta, compared against the f^2 reference curve
+// (f = fraction of secure ASes; both endpoints must be secure, so f^2 bounds
+// the secure-path fraction from above).
+#include "bench_common.h"
+#include "core/analysis.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv, /*default_nodes=*/1200);
+  bench::print_header("Figure 9 - fraction of secure paths vs theta", opt);
+
+  auto net = bench::make_internet(opt);
+  const auto& g = net.graph;
+  par::ThreadPool pool(opt.threads);
+
+  stats::Table t({"theta", "f (secure ASes)", "secure paths", "f^2",
+                  "paths / f^2"});
+  for (const double theta : {0.0, 0.05, 0.10, 0.20, 0.35, 0.50}) {
+    core::SimConfig cfg = bench::case_study_config(opt);
+    cfg.theta = theta;
+    core::DeploymentSimulator sim(g, cfg);
+    const auto result = sim.run(
+        core::DeploymentState::initial(g, bench::case_study_adopters(net)));
+    const auto stats =
+        core::count_secure_paths(g, result.final_state.flags(), cfg, pool);
+    t.begin_row();
+    t.add(theta, 2);
+    t.add_percent(stats.f, 1);
+    t.add_percent(stats.fraction, 1);
+    t.add_percent(stats.f_squared, 1);
+    t.add(stats.f_squared > 0 ? stats.fraction / stats.f_squared : 0.0, 3);
+  }
+  t.print(std::cout);
+  bench::print_paper_note(
+      "case study secures 65% of all paths; the secure-path fraction sits "
+      "only ~4% below f^2 (most secure paths are short).");
+  return 0;
+}

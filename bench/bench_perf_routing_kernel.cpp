@@ -1,0 +1,101 @@
+// Appendix C performance: microbenchmarks of the simulation kernels. The
+// paper's optimized C# implementation computed one routing tree in ~2 ms at
+// |V| = 36K on cluster hardware; these google-benchmark timings report the
+// equivalent kernels here (per destination).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/simulator.h"
+#include "parallel/thread_pool.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "topology/topology_gen.h"
+
+namespace {
+
+using namespace sbgp;
+
+topo::Internet& internet(std::uint32_t nodes) {
+  static std::map<std::uint32_t, topo::Internet> cache;
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    topo::InternetConfig cfg;
+    cfg.total_ases = nodes;
+    cfg.seed = 42;
+    it = cache.emplace(nodes, topo::generate_internet(cfg)).first;
+    topo::apply_traffic_model(it->second.graph, it->second.cps, 0.10);
+  }
+  return it->second;
+}
+
+void BM_RibCompute(benchmark::State& state) {
+  const auto& net = internet(static_cast<std::uint32_t>(state.range(0)));
+  rt::RibComputer rc(net.graph);
+  rt::DestRib rib;
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<topo::AsId> pick(
+      0, static_cast<topo::AsId>(net.graph.num_nodes() - 1));
+  for (auto _ : state) {
+    rc.compute(pick(rng), rib);
+    benchmark::DoNotOptimize(rib.order.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RibCompute)->Arg(1000)->Arg(3000)->Arg(8000);
+
+void BM_FastRoutingTree(benchmark::State& state) {
+  const auto& net = internet(static_cast<std::uint32_t>(state.range(0)));
+  rt::RibComputer rc(net.graph);
+  rt::TreeComputer tc(net.graph);
+  rt::TieBreakPolicy tb;
+  rt::DestRib rib;
+  rt::RoutingTree tree;
+  std::vector<std::uint8_t> secure(net.graph.num_nodes(), 0);
+  for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) secure[n] = n % 3 == 0;
+  rt::SecurityView view;
+  view.graph = &net.graph;
+  view.base = secure.data();
+  rc.compute(0, rib);
+  for (auto _ : state) {
+    tc.compute(rib, view, tb, tree);
+    benchmark::DoNotOptimize(tree.subtree_weight[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastRoutingTree)->Arg(1000)->Arg(3000)->Arg(8000);
+
+void BM_UtilityAllDestinations(benchmark::State& state) {
+  const auto& net = internet(static_cast<std::uint32_t>(state.range(0)));
+  core::SimConfig cfg;
+  cfg.threads = 1;
+  par::ThreadPool pool(1);
+  std::vector<std::uint8_t> secure(net.graph.num_nodes(), 0);
+  for (auto _ : state) {
+    const auto u = core::compute_utilities(net.graph, secure, cfg, pool);
+    benchmark::DoNotOptimize(u.outgoing[0]);
+  }
+}
+BENCHMARK(BM_UtilityAllDestinations)->Arg(1000)->Arg(3000)->Unit(benchmark::kMillisecond);
+
+void BM_FullDeploymentRound(benchmark::State& state) {
+  auto& net = internet(static_cast<std::uint32_t>(state.range(0)));
+  core::SimConfig cfg;
+  cfg.theta = 0.05;
+  cfg.threads = 1;
+  cfg.max_rounds = 1;  // exactly one evaluated round per run()
+  std::vector<topo::AsId> adopters = topo::top_degree_isps(net.graph, 5);
+  for (const auto cp : net.cps) adopters.push_back(cp);
+  core::DeploymentSimulator sim(net.graph, cfg);
+  const auto initial = core::DeploymentState::initial(net.graph, adopters);
+  for (auto _ : state) {
+    const auto result = sim.run(initial);
+    benchmark::DoNotOptimize(result.rounds.size());
+  }
+  state.SetLabel("one full best-response round incl. projections");
+}
+BENCHMARK(BM_FullDeploymentRound)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Section 1.4 insight 5 / Section 6.4 extension: quantify attack resilience
+// during partial deployment with the [15]-style origin-hijack metric. The
+// paper defers this measurement to future work but quotes the insecure
+// baseline ("an arbitrary misbehaving AS can impact about half of the ASes
+// on average", Section 2.2.1) and warns that BGP and S*BGP will coexist —
+// this bench measures how hijack impact falls as the market-driven
+// deployment progresses, and how much residual attack surface remains even
+// at convergence.
+#include "bench_common.h"
+#include "core/resilience.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv, /*default_nodes=*/1000);
+  bench::print_header("Resilience - origin-hijack impact vs deployment", opt);
+
+  auto net = bench::make_internet(opt);
+  const auto& g = net.graph;
+  par::ThreadPool pool(opt.threads);
+  const std::size_t samples = 150;
+
+  stats::Table t({"deployment state", "secure ASes", "mean ASes hijacked",
+                  "mean traffic hijacked", "p90 hijacked"});
+  auto row = [&](const std::string& name, const std::vector<std::uint8_t>& secure) {
+    core::SimConfig cfg = bench::case_study_config(opt);
+    const auto r = core::measure_resilience(g, secure, cfg, samples, 1234, pool);
+    std::size_t num_secure = 0;
+    for (const auto s : secure) num_secure += s;
+    t.begin_row();
+    t.add(name);
+    t.add_percent(static_cast<double>(num_secure) /
+                      static_cast<double>(g.num_nodes()),
+                  1);
+    t.add_percent(r.fooled_fraction.mean(), 1);
+    t.add_percent(r.fooled_weight.mean(), 1);
+    t.add_percent(r.fooled_fraction.quantile(0.9), 1);
+  };
+
+  // Insecure status quo.
+  row("status quo (no S*BGP)", std::vector<std::uint8_t>(g.num_nodes(), 0));
+
+  // Partial deployment frontier: snapshot the case study every round.
+  core::SimConfig cfg = bench::case_study_config(opt);
+  core::DeploymentSimulator sim(g, cfg);
+  std::vector<std::vector<std::uint8_t>> snapshots;
+  const auto result = sim.run(
+      core::DeploymentState::initial(g, bench::case_study_adopters(net)),
+      [&](const core::RoundObservation& obs) { snapshots.push_back(*obs.secure); });
+  for (std::size_t r = 0; r < snapshots.size(); r += 2) {
+    row("case study, entering round " + std::to_string(r + 1), snapshots[r]);
+  }
+  row("case study, terminated", result.final_state.flags());
+
+  // Hypothetical universal deployment.
+  row("universal S*BGP", std::vector<std::uint8_t>(g.num_nodes(), 1));
+  t.print(std::cout);
+
+  bench::print_paper_note(
+      "status quo: an arbitrary attacker impacts ~half the Internet on "
+      "average [15]; S*BGP-as-tiebreak shrinks the hijack surface as "
+      "deployment spreads, but never to zero (LP and SP outrank SecP), "
+      "which is why the paper calls for careful engineering of the "
+      "BGP/S*BGP coexistence.");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 1: the number of DIAMONDs — stub destinations for which two ISPs
+// compete for an early adopter's traffic (Figure 2's shape) — per early
+// adopter in the case-study set.
+#include "bench_common.h"
+#include "core/analysis.h"
+#include "stats/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header("Table 1 - diamonds per early adopter", opt);
+
+  auto net = bench::make_internet(opt);
+  const auto& g = net.graph;
+  const auto adopters = bench::case_study_adopters(net);
+  par::ThreadPool pool(opt.threads);
+  const auto counts = core::count_diamonds(g, adopters, pool);
+
+  stats::Table t({"early adopter", "class", "degree", "contested stub dests",
+                  "strict diamonds (both competitors provide the stub)"});
+  for (const auto& c : counts) {
+    t.begin_row();
+    t.add("AS" + std::to_string(g.asn(c.adopter)));
+    t.add(std::string(topo::to_string(g.cls(c.adopter))));
+    t.add(g.degree(c.adopter));
+    t.add(static_cast<unsigned long long>(c.diamonds));
+    t.add(static_cast<unsigned long long>(c.strict_diamonds));
+  }
+  t.print(std::cout);
+  bench::print_paper_note(
+      "Table 1 counts diamonds involving two ISPs, a stub and one early "
+      "adopter; the DIAMOND scenario is 'quite common' in the 36K-AS graph.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 5 (Appendix K.5): the CHICKEN gadget bi-matrix. Incoming utilities
+// of players 10 and 20 in the four ON/OFF states, verifying the chicken-game
+// structure that powers the PSPACE-completeness construction.
+#include <iostream>
+
+#include "gadgets/gadgets.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace sbgp;
+  std::cout << "=== Table 5 - CHICKEN gadget bi-matrix (m = 10000, eps = 100) ===\n\n";
+
+  const auto g = gadgets::make_chicken(10000.0, 100.0);
+  const auto mat = gadgets::evaluate_chicken_matrix(g);
+
+  stats::Table t({"", "20 ON", "20 OFF"});
+  auto cell = [&](int i, int j) {
+    const auto& [u10, u20] = mat.u[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    return "(" + std::to_string(static_cast<long long>(u10)) + ", " +
+           std::to_string(static_cast<long long>(u20)) + ")";
+  };
+  t.begin_row();
+  t.add(std::string("10 ON"));
+  t.add(cell(1, 1));
+  t.add(cell(1, 0));
+  t.begin_row();
+  t.add(std::string("10 OFF"));
+  t.add(cell(0, 1));
+  t.add(cell(0, 0));
+  t.print(std::cout);
+
+  const bool chicken =
+      mat.u[0][1].first > mat.u[1][1].first &&    // 10 prefers OFF vs 20 ON
+      mat.u[1][0].second > mat.u[1][1].second &&  // 20 prefers OFF vs 10 ON
+      mat.u[1][0].first > mat.u[0][0].first &&    // 10 prefers ON vs 20 OFF
+      mat.u[0][1].second > mat.u[0][0].second;    // 20 prefers ON vs 10 OFF
+  std::cout << "\nchicken-game structure (two asymmetric pure Nash, "
+               "best-response cycle through the symmetric states): "
+            << (chicken ? "CONFIRMED" : "VIOLATED") << "\n";
+  std::cout << "paper: Table 5 is (m+eps, eps | 2m+eps, m // 2m, m+eps | 2m, m); "
+               "our all-pairs traffic adds parasitic copies of the same ties, "
+               "amplifying but never reversing the margins.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Protocol-level attack demo using the message-passing S*BGP engine:
+//  1. origin hijack against plain BGP vs S-BGP (RPKI origin validation +
+//     route attestations),
+//  2. the Appendix B partially-secure-path attack (Figure 15),
+//  3. the crypto-workload argument for simplex S*BGP (Section 2.2.1).
+#include <iostream>
+
+#include "proto/attack.h"
+#include "proto/engine.h"
+#include "stats/table.h"
+#include "topology/topology_gen.h"
+
+int main() {
+  using namespace sbgp;
+
+  std::cout << "== 1. Origin hijack: plain BGP vs S-BGP ==\n";
+  for (const auto& [vd, ad, label] :
+       {std::tuple<std::size_t, std::size_t, const char*>{3, 3, "equal-length lie"},
+        {4, 2, "shorter lie"}}) {
+    const auto r = proto::run_origin_hijack(vd, ad);
+    std::cout << "  " << label << " (true " << r.true_path_len << " hops, lie "
+              << r.false_path_len << "): plain BGP "
+              << (r.probe_fooled_bgp ? "HIJACKED" : "safe") << ", S-BGP "
+              << (r.probe_fooled_sbgp ? "HIJACKED" : "safe") << "\n";
+  }
+  std::cout << "  (SecP is only a tie-break: LP and path length still rank "
+               "first, so strictly shorter lies win by design.)\n\n";
+
+  std::cout << "== 2. Appendix B: never prefer partially-secure paths ==\n";
+  const auto r = proto::run_partial_preference_attack();
+  auto print_path = [](const char* label, const std::vector<std::uint32_t>& p) {
+    std::cout << "  " << label << ":";
+    for (const auto asn : p) std::cout << " AS" << asn;
+    std::cout << "\n";
+  };
+  print_path("paper's rule  - p routes", r.path_ignore_partial);
+  print_path("flawed rule   - p routes", r.path_prefer_partial);
+  std::cout << "  attack succeeds under the flawed rule: "
+            << (r.attack_succeeds_with_partial ? "yes" : "no")
+            << "; under the paper's rule: "
+            << (r.attack_succeeds_with_ignore ? "yes" : "no") << "\n\n";
+
+  std::cout << "== 3. Why simplex S*BGP is cheap for stubs ==\n";
+  topo::InternetConfig cfg;
+  cfg.total_ases = 300;
+  cfg.seed = 7;
+  const auto net = topo::generate_internet(cfg);
+  std::vector<proto::NodeSecurity> posture(net.graph.num_nodes());
+  for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    posture[n] = net.graph.is_stub(n) ? proto::NodeSecurity::Simplex
+                                      : proto::NodeSecurity::Full;
+  }
+  proto::EngineConfig ecfg;
+  ecfg.mode = proto::SecurityMode::SBgp;
+  proto::BgpEngine engine(net.graph, posture, ecfg);
+
+  std::uint64_t stub_sig = 0, stub_ver = 0, isp_sig = 0, isp_ver = 0;
+  for (topo::AsId d = 0; d < 40; ++d) {
+    engine.run(d);
+    const auto& s = engine.crypto_stats();
+    for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+      (net.graph.is_stub(n) ? stub_sig : isp_sig) += s.signatures[n];
+      (net.graph.is_stub(n) ? stub_ver : isp_ver) += s.verifications[n];
+    }
+  }
+  stats::Table t({"population", "signatures", "verifications"});
+  t.begin_row();
+  t.add(std::string("stubs (simplex, ") + std::to_string(net.graph.num_stubs()) +
+        " ASes)");
+  t.add(static_cast<unsigned long long>(stub_sig));
+  t.add(static_cast<unsigned long long>(stub_ver));
+  t.begin_row();
+  t.add(std::string("ISPs+CPs (full, ") +
+        std::to_string(net.graph.num_nodes() - net.graph.num_stubs()) + " ASes)");
+  t.add(static_cast<unsigned long long>(isp_sig));
+  t.add(static_cast<unsigned long long>(isp_ver));
+  t.print(std::cout);
+  std::cout << "  85% of ASes are stubs, yet simplex mode leaves them ~zero "
+               "crypto load: sign own prefix only, never validate.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Demonstrates the dark side of security-as-tie-break (Section 7): the
+// buyer's-remorse instance of Figure 13 and the CHICKEN-gadget oscillator,
+// both driven through the public simulator API with frozen scaffolding
+// nodes.
+#include <iostream>
+
+#include "core/simulator.h"
+#include "gadgets/gadgets.h"
+
+int main() {
+  using namespace sbgp;
+
+  std::cout << "== Buyer's remorse (Figure 13) ==\n";
+  const auto remorse = gadgets::make_buyers_remorse();
+  core::SimConfig cfg;
+  remorse.configure(cfg);
+  {
+    core::DeploymentSimulator sim(remorse.graph, cfg);
+    const auto result = sim.run(
+        remorse.initial, [&](const core::RoundObservation& obs) {
+          for (const auto n : *obs.flipping_off) {
+            std::cout << "  round " << obs.round << ": AS"
+                      << remorse.graph.asn(n)
+                      << " turns S*BGP OFF (utility "
+                      << (*obs.utility)[n] << " -> projected "
+                      << (*obs.projected_off)[n] << ")\n";
+          }
+        });
+    std::cout << "  outcome: " << core::to_string(result.outcome)
+              << "; the telecom ISP is "
+              << (result.final_state.is_secure(remorse.node("telecom"))
+                      ? "secure"
+                      : "insecure")
+              << " at the end.\n\n";
+  }
+
+  std::cout << "== Oscillation (Appendix F / CHICKEN gadget) ==\n";
+  const auto chicken = gadgets::make_chicken();
+  chicken.configure(cfg);
+  cfg.max_rounds = 10;
+  core::DeploymentSimulator sim(chicken.graph, cfg);
+  const auto p10 = chicken.node("10");
+  const auto p20 = chicken.node("20");
+  const auto result = sim.run(
+      chicken.initial, [&](const core::RoundObservation& obs) {
+        std::cout << "  round " << obs.round << ": (10 "
+                  << ((*obs.secure)[p10] != 0 ? "ON" : "off") << ", 20 "
+                  << ((*obs.secure)[p20] != 0 ? "ON" : "off") << ")";
+        if (!obs.flipping_on->empty() || !obs.flipping_off->empty()) {
+          std::cout << " -> " << obs.flipping_on->size() << " turn on, "
+                    << obs.flipping_off->size() << " turn off";
+        }
+        std::cout << "\n";
+      });
+  std::cout << "  outcome: " << core::to_string(result.outcome)
+            << " (the simulator detected a revisited state; Theorem 7.1 says "
+               "deciding this in general is PSPACE-complete)\n";
+  return 0;
+}

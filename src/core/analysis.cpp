@@ -1,0 +1,270 @@
+#include "core/analysis.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+
+namespace sbgp::core {
+
+SecurePathStats count_secure_paths(const AsGraph& graph,
+                                   const std::vector<std::uint8_t>& secure,
+                                   const SimConfig& cfg, par::ThreadPool& pool) {
+  const std::size_t n = graph.num_nodes();
+  std::atomic<std::uint64_t> secure_pairs{0};
+  par::parallel_for_chunked(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+    rt::RibComputer rc(graph);
+    rt::TreeComputer tc(graph);
+    rt::DestRib rib;
+    rt::RoutingTree tree;
+    rt::SecurityView view;
+    view.graph = &graph;
+    view.base = secure.data();
+    view.stub_breaks_ties = cfg.stub_breaks_ties;
+    std::uint64_t local = 0;
+    for (std::size_t d = lo; d < hi; ++d) {
+      if (secure[d] == 0) continue;  // no path to an insecure dest is secure
+      rc.compute(static_cast<AsId>(d), rib);
+      tc.compute(rib, view, cfg.tiebreak, tree);
+      for (const AsId i : rib.order) {
+        if (i != rib.dest && tree.path_secure[i] != 0) ++local;
+      }
+    }
+    secure_pairs.fetch_add(local, std::memory_order_relaxed);
+  });
+
+  SecurePathStats out;
+  out.total_pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  out.secure_pairs = secure_pairs.load();
+  out.fraction = out.total_pairs == 0
+                     ? 0.0
+                     : static_cast<double>(out.secure_pairs) /
+                           static_cast<double>(out.total_pairs);
+  std::size_t num_secure = 0;
+  for (const std::uint8_t s : secure) num_secure += s;
+  out.f = n == 0 ? 0.0 : static_cast<double>(num_secure) / static_cast<double>(n);
+  out.f_squared = out.f * out.f;
+  return out;
+}
+
+TiebreakDistribution tiebreak_distribution(const AsGraph& graph,
+                                           par::ThreadPool& pool) {
+  const std::size_t n = graph.num_nodes();
+  TiebreakDistribution total;
+  std::mutex merge_mutex;
+  par::parallel_for_chunked(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+    rt::RibComputer rc(graph);
+    rt::DestRib rib;
+    TiebreakDistribution local;
+    for (std::size_t d = lo; d < hi; ++d) {
+      rc.compute(static_cast<AsId>(d), rib);
+      for (const AsId i : rib.order) {
+        if (i == rib.dest) continue;
+        const auto size = static_cast<std::uint64_t>(rib.tiebreak(i).size());
+        local.all.add(size);
+        if (graph.is_isp(i)) local.isp.add(size);
+        else if (graph.is_stub(i)) local.stub.add(size);
+      }
+    }
+    std::scoped_lock lock(merge_mutex);
+    auto merge_hist = [](stats::IntHistogram& into, const stats::IntHistogram& from) {
+      for (const auto& [value, count] : from.bins()) into.add(value, count);
+    };
+    merge_hist(total.all, local.all);
+    merge_hist(total.isp, local.isp);
+    merge_hist(total.stub, local.stub);
+  });
+  return total;
+}
+
+std::vector<DiamondCount> count_diamonds(const AsGraph& graph,
+                                         std::span<const AsId> adopters,
+                                         par::ThreadPool& pool) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<DiamondCount> out(adopters.size());
+  for (std::size_t a = 0; a < adopters.size(); ++a) out[a].adopter = adopters[a];
+  std::mutex merge_mutex;
+
+  par::parallel_for_chunked(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+    rt::RibComputer rc(graph);
+    rt::DestRib rib;
+    std::vector<DiamondCount> local(out.begin(), out.end());
+    for (auto& l : local) {
+      l.diamonds = 0;
+      l.strict_diamonds = 0;
+    }
+    for (std::size_t d = lo; d < hi; ++d) {
+      const AsId dest = static_cast<AsId>(d);
+      if (!graph.is_stub(dest)) continue;
+      rc.compute(dest, rib);
+      for (std::size_t a = 0; a < adopters.size(); ++a) {
+        const AsId e = adopters[a];
+        if (e == dest || !rib.reachable(e)) continue;
+        const auto tb = rib.tiebreak(e);
+        if (tb.size() < 2) continue;
+        ++local[a].diamonds;
+        // Strict diamond: two competing next hops that are both direct
+        // providers of the stub (the Figure 2 shape).
+        std::size_t providers_of_stub = 0;
+        const auto provs = graph.providers(dest);
+        for (const AsId cand : tb) {
+          if (std::binary_search(provs.begin(), provs.end(), cand)) {
+            ++providers_of_stub;
+          }
+        }
+        if (providers_of_stub >= 2) ++local[a].strict_diamonds;
+      }
+    }
+    std::scoped_lock lock(merge_mutex);
+    for (std::size_t a = 0; a < out.size(); ++a) {
+      out[a].diamonds += local[a].diamonds;
+      out[a].strict_diamonds += local[a].strict_diamonds;
+    }
+  });
+  return out;
+}
+
+TurnOffScan scan_turn_off_incentives(const AsGraph& graph,
+                                     const std::vector<std::uint8_t>& secure,
+                                     const SimConfig& cfg, par::ThreadPool& pool) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::uint8_t> incentive(n, 0);
+  std::atomic<std::uint64_t> pair_count{0};
+  std::mutex best_mutex;
+  TurnOffScan out;
+
+  par::parallel_for_chunked(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+    rt::RibComputer rc(graph);
+    rt::TreeComputer tc(graph);
+    rt::DestRib rib;
+    rt::RoutingTree tree, flipped;
+    rt::SecurityView base_view;
+    base_view.graph = &graph;
+    base_view.base = secure.data();
+    base_view.stub_breaks_ties = cfg.stub_breaks_ties;
+    double local_best = 0.0;
+    AsId local_best_isp = topo::kNoAs;
+    std::uint64_t local_pairs = 0;
+    std::vector<std::uint8_t> local_incentive(n, 0);
+
+    for (std::size_t di = lo; di < hi; ++di) {
+      const AsId d = static_cast<AsId>(di);
+      if (secure[d] == 0) continue;  // no secure paths to an insecure dest
+      rc.compute(d, rib);
+      tc.compute(rib, base_view, cfg.tiebreak, tree);
+      for (const AsId i : rib.order) {
+        if (!graph.is_isp(i) || secure[i] == 0) continue;
+        if (tree.has_secure_candidate[i] == 0 && i != d) continue;
+        rt::SecurityView view = base_view;
+        view.flip_off = i;
+        tc.compute(rib, view, cfg.tiebreak, flipped);
+        const double before = rt::node_contribution(graph, rib, tree, i).incoming;
+        const double after = rt::node_contribution(graph, rib, flipped, i).incoming;
+        if (after > before + 1e-9) {
+          local_incentive[i] = 1;
+          ++local_pairs;
+          if (after - before > local_best) {
+            local_best = after - before;
+            local_best_isp = i;
+          }
+        }
+      }
+    }
+    pair_count.fetch_add(local_pairs, std::memory_order_relaxed);
+    std::scoped_lock lock(best_mutex);
+    for (std::size_t i = 0; i < n; ++i) incentive[i] |= local_incentive[i];
+    if (local_best > out.best_gain) {
+      out.best_gain = local_best;
+      out.best_isp = local_best_isp;
+    }
+  });
+
+  for (AsId i = 0; i < n; ++i) {
+    if (graph.is_isp(i) && secure[i] != 0) {
+      ++out.secure_isps;
+      if (incentive[i] != 0) ++out.isps_with_incentive;
+    }
+  }
+  out.isp_dest_pairs = pair_count.load();
+  return out;
+}
+
+PerDestTurnOffResult run_per_destination_turn_off(
+    const AsGraph& graph, const std::vector<std::uint8_t>& secure,
+    const SimConfig& cfg, par::ThreadPool& pool, std::size_t max_rounds) {
+  const std::size_t n = graph.num_nodes();
+  PerDestTurnOffResult result;
+  result.suppressed.assign(n, std::vector<std::uint8_t>(n, 0));
+
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    std::atomic<std::uint64_t> changes{0};
+    // Each destination's dynamics are independent given the suppression
+    // matrix of the previous round (suppression for d only affects trees
+    // toward d), so one pass per round suffices and parallelises cleanly.
+    par::parallel_for_chunked(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+      rt::RibComputer rc(graph);
+      rt::TreeComputer tc(graph);
+      rt::DestRib rib;
+      rt::RoutingTree tree, flipped;
+      std::uint64_t local_changes = 0;
+      for (std::size_t di = lo; di < hi; ++di) {
+        const AsId d = static_cast<AsId>(di);
+        if (secure[d] == 0) continue;  // no secure paths to flip against
+        auto& supp = result.suppressed[d];
+        rc.compute(d, rib);
+        rt::SecurityView view;
+        view.graph = &graph;
+        view.base = secure.data();
+        view.stub_breaks_ties = cfg.stub_breaks_ties;
+        view.suppressed = supp.data();
+        tc.compute(rib, view, cfg.tiebreak, tree);
+        for (const AsId i : rib.order) {
+          if (!graph.is_isp(i) || secure[i] == 0 || i == d) continue;
+          if (tree.has_secure_candidate[i] == 0) continue;
+          rt::SecurityView probe = view;
+          double now, other;
+          if (supp[i] == 0) {
+            probe.flip_off = i;  // what if i suppressed d?
+            tc.compute(rib, probe, cfg.tiebreak, flipped);
+            now = rt::node_contribution(graph, rib, tree, i).incoming;
+            other = rt::node_contribution(graph, rib, flipped, i).incoming;
+            if (other > now + 1e-9) {
+              supp[i] = 1;
+              ++local_changes;
+            }
+          } else {
+            probe.unsuppress = i;  // what if i re-enabled d?
+            tc.compute(rib, probe, cfg.tiebreak, flipped);
+            now = rt::node_contribution(graph, rib, tree, i).incoming;
+            other = rt::node_contribution(graph, rib, flipped, i).incoming;
+            if (other > now + 1e-9) {
+              supp[i] = 0;
+              ++local_changes;
+            }
+          }
+        }
+      }
+      changes.fetch_add(local_changes, std::memory_order_relaxed);
+    });
+    result.rounds = round;
+    if (changes.load() == 0) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  std::vector<std::uint8_t> any(n, 0);
+  for (AsId d = 0; d < n; ++d) {
+    for (AsId i = 0; i < n; ++i) {
+      if (result.suppressed[d][i] != 0) {
+        ++result.suppressed_pairs;
+        any[i] = 1;
+      }
+    }
+  }
+  for (AsId i = 0; i < n; ++i) result.isps_suppressing += any[i];
+  return result;
+}
+
+}  // namespace sbgp::core

@@ -1,0 +1,94 @@
+// Analysis passes over (graph, state) pairs used by the evaluation benches:
+// secure-path counting (Figure 9), tiebreak-set distributions (Figure 10,
+// Section 6.6), diamond counting (Table 1), and the per-destination
+// turn-off-incentive scan of Section 7.3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/simulator.h"
+#include "parallel/thread_pool.h"
+#include "stats/histogram.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::core {
+
+/// Figure 9: how many of the N*(N-1) ordered (source, destination) paths are
+/// fully secure under `secure`, and the f^2 reference (f = fraction of
+/// secure ASes).
+struct SecurePathStats {
+  std::uint64_t total_pairs = 0;
+  std::uint64_t secure_pairs = 0;
+  double fraction = 0.0;    ///< secure_pairs / total_pairs
+  double f = 0.0;           ///< fraction of ASes secure
+  double f_squared = 0.0;   ///< the upper-bound reference curve of Fig. 9
+};
+
+[[nodiscard]] SecurePathStats count_secure_paths(
+    const AsGraph& graph, const std::vector<std::uint8_t>& secure,
+    const SimConfig& cfg, par::ThreadPool& pool);
+
+/// Figure 10 / Section 6.6: the distribution of tiebreak-set sizes across
+/// all (source, destination) pairs, split by the source's class. This is
+/// state-independent (Observation C.1).
+struct TiebreakDistribution {
+  stats::IntHistogram all;
+  stats::IntHistogram isp;
+  stats::IntHistogram stub;
+};
+
+[[nodiscard]] TiebreakDistribution tiebreak_distribution(const AsGraph& graph,
+                                                         par::ThreadPool& pool);
+
+/// Table 1: DIAMOND counting. For early adopter `e` and stub destination
+/// `s`, a diamond exists when e's tiebreak set toward s contains >= 2
+/// candidates — two ISPs compete for e's traffic to s (Figure 2). `strict`
+/// additionally requires two of the competing next hops to be direct
+/// providers of the stub.
+struct DiamondCount {
+  AsId adopter = topo::kNoAs;
+  std::uint64_t diamonds = 0;         ///< stubs with a contested tiebreak at e
+  std::uint64_t strict_diamonds = 0;  ///< ... where competitors are the stub's providers
+};
+
+[[nodiscard]] std::vector<DiamondCount> count_diamonds(
+    const AsGraph& graph, std::span<const AsId> adopters, par::ThreadPool& pool);
+
+/// Section 7.3: for the given state, find every secure ISP that could raise
+/// its *incoming* utility by turning S*BGP off for at least one destination
+/// ("turning off a destination is likely").
+struct TurnOffScan {
+  std::size_t secure_isps = 0;            ///< secure ISPs examined
+  std::size_t isps_with_incentive = 0;    ///< ... with >= 1 profitable dest
+  std::size_t isp_dest_pairs = 0;         ///< total profitable (ISP, dest) pairs
+  double best_gain = 0.0;                 ///< largest single-destination gain
+  AsId best_isp = topo::kNoAs;
+};
+
+[[nodiscard]] TurnOffScan scan_turn_off_incentives(
+    const AsGraph& graph, const std::vector<std::uint8_t>& secure,
+    const SimConfig& cfg, par::ThreadPool& pool);
+
+/// Section 7.1, "turning off a destination": an ISP may refuse to propagate
+/// S*BGP announcements for specific destinations (sending plain BGP ones
+/// instead) while staying secure for everything else. This runs the
+/// per-destination myopic dynamics to a fixed point: in each round every
+/// secure ISP suppresses S*BGP for exactly the destinations where doing so
+/// raises its incoming utility, re-evaluated until no ISP changes any
+/// suppression.
+struct PerDestTurnOffResult {
+  std::size_t rounds = 0;
+  bool converged = false;
+  std::size_t suppressed_pairs = 0;     ///< final (ISP, destination) count
+  std::size_t isps_suppressing = 0;     ///< ISPs with >= 1 suppressed dest
+  /// suppressed[d] has a 1 for node n iff n runs plain BGP toward d.
+  std::vector<std::vector<std::uint8_t>> suppressed;
+};
+
+[[nodiscard]] PerDestTurnOffResult run_per_destination_turn_off(
+    const AsGraph& graph, const std::vector<std::uint8_t>& secure,
+    const SimConfig& cfg, par::ThreadPool& pool, std::size_t max_rounds = 20);
+
+}  // namespace sbgp::core

@@ -1,0 +1,48 @@
+#include "core/deployment_state.h"
+
+namespace sbgp::core {
+
+DeploymentState DeploymentState::initial(const AsGraph& graph,
+                                         std::span<const AsId> early_adopters) {
+  DeploymentState state(graph.num_nodes());
+  for (const AsId a : early_adopters) {
+    state.set_secure(a, true);
+  }
+  for (const AsId a : early_adopters) {
+    if (graph.is_isp(a)) state.secure_isp_with_stubs(graph, a);
+  }
+  return state;
+}
+
+void DeploymentState::secure_isp_with_stubs(const AsGraph& graph, AsId isp) {
+  set_secure(isp, true);
+  for (const AsId c : graph.customers(isp)) {
+    if (graph.is_stub(c)) set_secure(c, true);
+  }
+}
+
+std::size_t DeploymentState::num_secure() const {
+  std::size_t count = 0;
+  for (const std::uint8_t s : secure_) count += s;
+  return count;
+}
+
+std::size_t DeploymentState::num_secure_of_class(const AsGraph& graph,
+                                                 topo::AsClass cls) const {
+  std::size_t count = 0;
+  for (AsId n = 0; n < secure_.size(); ++n) {
+    if (secure_[n] != 0 && graph.cls(n) == cls) ++count;
+  }
+  return count;
+}
+
+std::uint64_t DeploymentState::hash() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t s : secure_) {
+    h ^= s;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace sbgp::core

@@ -1,0 +1,56 @@
+// Deployment state (Section 3.2): the set of ASes that have deployed S*BGP.
+// Stubs run simplex S*BGP and are secured by their providers; a stub's
+// deployment is sticky (signing keys / soBGP certificates are issued once,
+// offline), while ISPs may later turn S*BGP off in the incoming-utility
+// model (Section 7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/as_graph.h"
+
+namespace sbgp::core {
+
+using topo::AsGraph;
+using topo::AsId;
+
+class DeploymentState {
+ public:
+  explicit DeploymentState(std::size_t num_nodes) : secure_(num_nodes, 0) {}
+
+  /// Builds the paper's initial state: the early adopters are secure, and
+  /// every stub customer of an early-adopter ISP runs simplex S*BGP.
+  [[nodiscard]] static DeploymentState initial(const AsGraph& graph,
+                                               std::span<const AsId> early_adopters);
+
+  [[nodiscard]] bool is_secure(AsId n) const { return secure_[n] != 0; }
+  void set_secure(AsId n, bool value) { secure_[n] = value ? 1 : 0; }
+
+  /// Secures `isp` and simplex-secures all its stub customers (Section 2.3).
+  void secure_isp_with_stubs(const AsGraph& graph, AsId isp);
+
+  /// Raw flag vector (one byte per AS) — the representation consumed by
+  /// rt::SecurityView.
+  [[nodiscard]] const std::vector<std::uint8_t>& flags() const { return secure_; }
+  [[nodiscard]] std::vector<std::uint8_t>& flags() { return secure_; }
+
+  [[nodiscard]] std::size_t num_secure() const;
+  [[nodiscard]] std::size_t num_secure_of_class(const AsGraph& graph,
+                                                topo::AsClass cls) const;
+
+  /// FNV-1a hash of the state, used for oscillation detection (Theorem 7.1
+  /// says deciding termination is PSPACE-complete; we detect revisited
+  /// states instead).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] bool operator==(const DeploymentState& other) const {
+    return secure_ == other.secure_;
+  }
+
+ private:
+  std::vector<std::uint8_t> secure_;
+};
+
+}  // namespace sbgp::core

@@ -1,0 +1,109 @@
+#include "core/early_adopters.h"
+
+#include <algorithm>
+#include <random>
+
+namespace sbgp::core {
+
+const char* to_string(AdopterStrategy s) {
+  switch (s) {
+    case AdopterStrategy::None: return "none";
+    case AdopterStrategy::TopDegreeIsps: return "top-degree";
+    case AdopterStrategy::ContentProviders: return "5 CPs";
+    case AdopterStrategy::CpsPlusTopIsps: return "CPs+top";
+    case AdopterStrategy::RandomIsps: return "random";
+  }
+  return "?";
+}
+
+std::vector<AsId> select_adopters(const topo::Internet& net, AdopterStrategy strategy,
+                                  std::size_t k, std::uint64_t seed) {
+  switch (strategy) {
+    case AdopterStrategy::None:
+      return {};
+    case AdopterStrategy::TopDegreeIsps:
+      return topo::top_degree_isps(net.graph, k);
+    case AdopterStrategy::ContentProviders:
+      return net.cps;
+    case AdopterStrategy::CpsPlusTopIsps: {
+      std::vector<AsId> out = net.cps;
+      for (const AsId isp : topo::top_degree_isps(net.graph, k)) out.push_back(isp);
+      return out;
+    }
+    case AdopterStrategy::RandomIsps: {
+      std::vector<AsId> isps;
+      for (AsId n = 0; n < net.graph.num_nodes(); ++n) {
+        if (net.graph.is_isp(n)) isps.push_back(n);
+      }
+      std::mt19937_64 rng(seed);
+      std::shuffle(isps.begin(), isps.end(), rng);
+      if (isps.size() > k) isps.resize(k);
+      return isps;
+    }
+  }
+  return {};
+}
+
+std::size_t deployment_reach(const AsGraph& graph, std::span<const AsId> adopters,
+                             const SimConfig& cfg) {
+  DeploymentSimulator sim(graph, cfg);
+  const auto result = sim.run(DeploymentState::initial(graph, adopters));
+  return result.final_state.num_secure();
+}
+
+std::vector<AsId> greedy_adopters(const AsGraph& graph,
+                                  std::span<const AsId> candidates, std::size_t k,
+                                  const SimConfig& cfg) {
+  std::vector<AsId> chosen;
+  std::vector<AsId> remaining(candidates.begin(), candidates.end());
+  while (chosen.size() < k && !remaining.empty()) {
+    std::size_t best_reach = 0;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      std::vector<AsId> trial = chosen;
+      trial.push_back(remaining[i]);
+      const std::size_t reach = deployment_reach(graph, trial, cfg);
+      if (reach > best_reach) {
+        best_reach = reach;
+        best_idx = i;
+      }
+    }
+    chosen.push_back(remaining[best_idx]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  }
+  return chosen;
+}
+
+std::vector<AsId> optimal_adopters_bruteforce(const AsGraph& graph,
+                                              std::span<const AsId> candidates,
+                                              std::size_t k, const SimConfig& cfg) {
+  std::vector<AsId> best;
+  std::size_t best_reach = 0;
+  std::vector<std::size_t> idx(k, 0);
+  // Iterate all k-combinations of candidate indices.
+  std::vector<AsId> trial(k);
+  const std::size_t m = candidates.size();
+  if (k == 0) return {};
+  if (k > m) return {candidates.begin(), candidates.end()};
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    for (std::size_t i = 0; i < k; ++i) trial[i] = candidates[idx[i]];
+    const std::size_t reach = deployment_reach(graph, trial, cfg);
+    if (reach > best_reach) {
+      best_reach = reach;
+      best = trial;
+    }
+    // Next combination.
+    std::size_t i = k;
+    while (i-- > 0) {
+      if (idx[i] != i + m - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return best;
+    }
+  }
+}
+
+}  // namespace sbgp::core

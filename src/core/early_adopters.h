@@ -1,0 +1,56 @@
+// Early-adopter selection (Section 6). Choosing the optimal set is NP-hard
+// (Theorem 6.1), so the paper — and this library — evaluates heuristics:
+// top-degree ISPs ("Tier-1s"), content providers, random sets, and
+// combinations. For small graphs we also provide greedy and brute-force
+// optimal selection so the heuristics can be benchmarked against the true
+// optimum (the Thm 6.1 ablation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/simulator.h"
+#include "topology/as_graph.h"
+#include "topology/topology_gen.h"
+
+namespace sbgp::core {
+
+/// The early-adopter sets compared in Figure 8.
+enum class AdopterStrategy : std::uint8_t {
+  None,            ///< no early adopters
+  TopDegreeIsps,   ///< k highest-degree ISPs (k=5 approximates "the Tier-1s")
+  ContentProviders,///< the five CPs
+  CpsPlusTopIsps,  ///< five CPs + k top-degree ISPs
+  RandomIsps,      ///< k ISPs uniformly at random
+};
+
+[[nodiscard]] const char* to_string(AdopterStrategy s);
+
+/// Materialises an adopter set. `k` is ignored by None/ContentProviders;
+/// `seed` only matters for RandomIsps.
+[[nodiscard]] std::vector<AsId> select_adopters(const topo::Internet& net,
+                                                AdopterStrategy strategy,
+                                                std::size_t k, std::uint64_t seed);
+
+/// Number of ASes secure at termination when `adopters` seed the process —
+/// the objective of Theorem 6.1.
+[[nodiscard]] std::size_t deployment_reach(const AsGraph& graph,
+                                           std::span<const AsId> adopters,
+                                           const SimConfig& cfg);
+
+/// Greedy heuristic: repeatedly add the candidate that maximises
+/// deployment_reach. O(k * |candidates|) full simulations — small graphs
+/// only.
+[[nodiscard]] std::vector<AsId> greedy_adopters(const AsGraph& graph,
+                                                std::span<const AsId> candidates,
+                                                std::size_t k, const SimConfig& cfg);
+
+/// Exhaustive optimum over all size-k subsets of `candidates`. Exponential;
+/// intended for the ablation bench on toy graphs (Thm 6.1 says nothing
+/// polynomial can do this in general).
+[[nodiscard]] std::vector<AsId> optimal_adopters_bruteforce(
+    const AsGraph& graph, std::span<const AsId> candidates, std::size_t k,
+    const SimConfig& cfg);
+
+}  // namespace sbgp::core

@@ -1,0 +1,150 @@
+#include "core/evolution.h"
+
+#include <random>
+
+namespace sbgp::core {
+
+namespace {
+
+/// Mutable mirror of an AsGraph that can be re-materialised each epoch
+/// (AsGraph freezes its adjacency at finalize()).
+struct GraphDraft {
+  std::vector<std::uint32_t> asn;
+  std::vector<double> weight;
+  std::vector<bool> cp;
+  std::vector<std::pair<topo::AsId, topo::AsId>> cust_edges;  // provider, customer
+  std::vector<std::pair<topo::AsId, topo::AsId>> peer_edges;
+
+  static GraphDraft from(const topo::AsGraph& g) {
+    GraphDraft d;
+    for (topo::AsId n = 0; n < g.num_nodes(); ++n) {
+      d.asn.push_back(g.asn(n));
+      d.weight.push_back(g.weight(n));
+      d.cp.push_back(g.is_content_provider(n));
+      for (const topo::AsId c : g.customers(n)) d.cust_edges.emplace_back(n, c);
+      for (const topo::AsId p : g.peers(n)) {
+        if (n < p) d.peer_edges.emplace_back(n, p);
+      }
+    }
+    return d;
+  }
+
+  [[nodiscard]] topo::AsGraph materialise() const {
+    topo::AsGraph g;
+    for (std::size_t n = 0; n < asn.size(); ++n) {
+      const topo::AsId id = g.add_as(asn[n]);
+      g.set_weight(id, weight[n]);
+      if (cp[n]) g.mark_content_provider(id);
+    }
+    for (const auto& [p, c] : cust_edges) g.add_customer_provider(p, c);
+    for (const auto& [a, b] : peer_edges) g.add_peer(a, b);
+    g.finalize();
+    return g;
+  }
+};
+
+}  // namespace
+
+EvolutionResult run_evolution(const topo::Internet& start,
+                              std::span<const topo::AsId> adopters,
+                              const EvolutionConfig& cfg) {
+  GraphDraft draft = GraphDraft::from(start.graph);
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+
+  EvolutionResult result;
+  DeploymentState state(0);
+  bool first_epoch = true;
+  std::size_t pending_secure_edges = 0, pending_insecure_edges = 0;
+
+  for (std::size_t epoch = 1; epoch <= cfg.epochs; ++epoch) {
+    topo::AsGraph graph = draft.materialise();
+
+    if (first_epoch) {
+      state = DeploymentState::initial(graph, adopters);
+      first_epoch = false;
+    } else {
+      // Carry flags; new nodes (appended ids) default to insecure, except
+      // stubs attached to secure providers, handled during growth below.
+      auto flags = state.flags();
+      flags.resize(graph.num_nodes(), 0);
+      DeploymentState grown(graph.num_nodes());
+      for (topo::AsId n = 0; n < graph.num_nodes(); ++n) {
+        grown.set_secure(n, flags[n] != 0);
+      }
+      // Secure ISPs simplex-secure their (possibly new) stub customers.
+      for (topo::AsId n = 0; n < graph.num_nodes(); ++n) {
+        if (graph.is_isp(n) && grown.is_secure(n)) {
+          grown.secure_isp_with_stubs(graph, n);
+        }
+      }
+      state = grown;
+    }
+
+    DeploymentSimulator sim(graph, cfg.sim);
+    const auto run = sim.run(state);
+    state = run.final_state;
+
+    EpochStats es;
+    es.epoch = epoch;
+    es.graph_size = graph.num_nodes();
+    es.outcome = run.outcome;
+    es.rounds = run.rounds_run();
+    es.secure_ases = state.num_secure();
+    es.secure_isps = state.num_secure_of_class(graph, topo::AsClass::Isp);
+    es.new_edges_to_secure = pending_secure_edges;
+    es.new_edges_to_insecure = pending_insecure_edges;
+    result.epochs.push_back(es);
+    pending_secure_edges = pending_insecure_edges = 0;
+
+    if (epoch == cfg.epochs) {
+      result.final_graph = std::move(graph);
+      result.final_state = state;
+      break;
+    }
+
+    // ---- Growth: new stubs pick providers preferentially, biased toward
+    // secure ISPs. ----
+    std::vector<topo::AsId> isps;
+    std::vector<double> attach_weight;
+    for (topo::AsId n = 0; n < graph.num_nodes(); ++n) {
+      if (!graph.is_isp(n)) continue;
+      isps.push_back(n);
+      double w = 1.0 + static_cast<double>(graph.customers(n).size());
+      if (state.is_secure(n)) w *= cfg.secure_provider_bias;
+      attach_weight.push_back(w);
+    }
+    std::discrete_distribution<std::size_t> pick(attach_weight.begin(),
+                                                 attach_weight.end());
+    std::uint32_t next_asn = 0;
+    for (const std::uint32_t a : draft.asn) next_asn = std::max(next_asn, a + 1);
+
+    for (std::uint32_t s = 0; s < cfg.new_stubs_per_epoch; ++s) {
+      const auto stub = static_cast<topo::AsId>(draft.asn.size());
+      draft.asn.push_back(next_asn++);
+      draft.weight.push_back(1.0);
+      draft.cp.push_back(false);
+      const double r = u01(rng);
+      const std::size_t want =
+          r < cfg.three_provider_prob ? 3
+          : r < cfg.three_provider_prob + cfg.two_provider_prob ? 2 : 1;
+      std::size_t got = 0;
+      std::vector<topo::AsId> chosen;
+      for (std::size_t tries = 0; tries < want * 8 && got < want; ++tries) {
+        const topo::AsId prov = isps[pick(rng)];
+        if (std::find(chosen.begin(), chosen.end(), prov) != chosen.end()) continue;
+        chosen.push_back(prov);
+        draft.cust_edges.emplace_back(prov, stub);
+        if (state.is_secure(prov)) ++pending_secure_edges;
+        else ++pending_insecure_edges;
+        ++got;
+      }
+    }
+    // Extend the carried state for the new ids.
+    auto& flags = state.flags();
+    flags.resize(draft.asn.size(), 0);
+  }
+  return result;
+}
+
+}  // namespace sbgp::core

@@ -1,0 +1,59 @@
+// AS-graph evolution (the Section 8.4 extension): the deployment process
+// runs over years, during which the AS graph grows. New stubs join the
+// Internet each epoch and pick providers by preferential attachment, with a
+// configurable attractiveness bonus for *secure* providers ("possibly
+// incorporate the addition of new edges if secure ASes manage to sign up
+// new customers"). Each epoch interleaves one deployment run to stability
+// with one growth step; stub security is carried across epochs (sticky) and
+// new customers of secure ISPs are simplex-secured on arrival.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/deployment_state.h"
+#include "core/simulator.h"
+#include "topology/topology_gen.h"
+
+namespace sbgp::core {
+
+struct EvolutionConfig {
+  std::size_t epochs = 4;
+  std::uint32_t new_stubs_per_epoch = 50;
+  /// Attachment-weight multiplier applied to secure ISPs when new stubs
+  /// pick providers. 1.0 = security-blind growth; >1 models customers
+  /// preferring secure providers.
+  double secure_provider_bias = 2.0;
+  double two_provider_prob = 0.35;
+  double three_provider_prob = 0.10;
+  std::uint64_t seed = 7;
+  SimConfig sim{};
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;  ///< 1-based
+  std::size_t graph_size = 0;
+  Outcome outcome = Outcome::Stable;
+  std::size_t rounds = 0;
+  std::size_t secure_ases = 0;
+  std::size_t secure_isps = 0;
+  /// Of this epoch's newly attached customer edges, how many landed on
+  /// secure vs insecure providers (the revenue story for deploying early).
+  std::size_t new_edges_to_secure = 0;
+  std::size_t new_edges_to_insecure = 0;
+};
+
+struct EvolutionResult {
+  std::vector<EpochStats> epochs;
+  topo::AsGraph final_graph;
+  DeploymentState final_state{0};
+};
+
+/// Runs `cfg.epochs` interleaved (deploy-to-stability, grow) steps starting
+/// from `start` seeded with `adopters`. Node ids are stable across epochs
+/// (new stubs are appended), so states carry over directly.
+[[nodiscard]] EvolutionResult run_evolution(const topo::Internet& start,
+                                            std::span<const topo::AsId> adopters,
+                                            const EvolutionConfig& cfg);
+
+}  // namespace sbgp::core

@@ -1,0 +1,50 @@
+// Attack-resilience quantification under partial deployment — the follow-up
+// the paper flags in Section 6.4 ("quantifying this requires approaches
+// similar to [15, 8], an important direction for future work") and the
+// baseline quoted in Section 2.2.1 ("an arbitrary misbehaving AS can impact
+// about half of the ASes in the Internet on average").
+//
+// Attack model ([15]): the attacker originates the victim's prefix as its
+// own (one-hop origin hijack). Every AS then selects between routes to the
+// true origin and routes to the impostor under the usual LP > SP > SecP > TB
+// policies; the bogus origin can never anchor a *fully secure* path, so
+// secure sources with an equally-good legitimate secure route stay safe —
+// but LP and path length still rank above security (Section 2.2.2), so
+// strictly better bogus routes win even under full deployment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.h"
+#include "parallel/thread_pool.h"
+#include "stats/histogram.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::core {
+
+struct ResilienceResult {
+  std::size_t pairs = 0;             ///< sampled (attacker, victim) pairs
+  stats::Summary fooled_fraction;    ///< per pair: fraction of other ASes hijacked
+  stats::Summary fooled_weight;      ///< per pair: hijacked traffic-weight fraction
+  /// Mean fraction of ASes fooled across pairs.
+  [[nodiscard]] double mean_fooled() const { return fooled_fraction.mean(); }
+};
+
+/// Samples `samples` uniform (attacker, victim) pairs and measures, for the
+/// deployment state `secure`, the fraction of ASes whose chosen route for
+/// the victim's prefix leads to the attacker. Uses the tie-break and stub
+/// policies from `cfg`.
+[[nodiscard]] ResilienceResult measure_resilience(
+    const topo::AsGraph& graph, const std::vector<std::uint8_t>& secure,
+    const SimConfig& cfg, std::size_t samples, std::uint64_t seed,
+    par::ThreadPool& pool);
+
+/// Detailed single-pair probe: fraction of ASes fooled when `attacker`
+/// hijacks `victim`'s prefix.
+[[nodiscard]] double hijack_impact(const topo::AsGraph& graph,
+                                   const std::vector<std::uint8_t>& secure,
+                                   const SimConfig& cfg, topo::AsId attacker,
+                                   topo::AsId victim);
+
+}  // namespace sbgp::core

@@ -1,0 +1,394 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <unordered_map>
+
+#include "routing/rib.h"
+
+namespace sbgp::core {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+const char* to_string(PricingModel p) {
+  switch (p) {
+    case PricingModel::LinearVolume: return "linear";
+    case PricingModel::ConcaveVolume: return "concave";
+    case PricingModel::TieredCapacity: return "tiered";
+  }
+  return "?";
+}
+
+double apply_pricing(PricingModel pricing, double tier_size, double volume) {
+  switch (pricing) {
+    case PricingModel::LinearVolume:
+      return volume;
+    case PricingModel::ConcaveVolume:
+      return std::sqrt(std::max(0.0, volume));
+    case PricingModel::TieredCapacity:
+      return tier_size > 0 ? std::ceil(volume / tier_size) : volume;
+  }
+  return volume;
+}
+
+std::vector<double> randomized_thetas(const AsGraph& graph, double theta,
+                                      double spread, std::uint64_t seed) {
+  std::vector<double> out(graph.num_nodes(), theta);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(theta * (1.0 - spread),
+                                           theta * (1.0 + spread));
+  for (AsId n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.is_isp(n)) out[n] = u(rng);
+  }
+  return out;
+}
+
+const char* to_string(UtilityModel m) {
+  switch (m) {
+    case UtilityModel::Outgoing: return "outgoing";
+    case UtilityModel::Incoming: return "incoming";
+  }
+  return "?";
+}
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::Stable: return "stable";
+    case Outcome::Oscillating: return "oscillating";
+    case Outcome::RoundCapReached: return "round-cap";
+  }
+  return "?";
+}
+
+rt::UtilityAccumulator compute_utilities(
+    const AsGraph& graph, const std::vector<std::uint8_t>& secure,
+    const SimConfig& cfg, par::ThreadPool& pool,
+    const std::vector<std::vector<AsId>>* enabled_links) {
+  const std::size_t n = graph.num_nodes();
+  rt::UtilityAccumulator total(n);
+  std::mutex merge_mutex;
+  par::parallel_for_chunked(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+    rt::RibComputer rc(graph);
+    rt::TreeComputer tc(graph);
+    rt::DestRib rib;
+    rt::RoutingTree tree;
+    rt::UtilityAccumulator local(n);
+    rt::SecurityView view;
+    view.graph = &graph;
+    view.base = secure.data();
+    view.stub_breaks_ties = cfg.stub_breaks_ties;
+    view.enabled_links = enabled_links;
+    for (std::size_t d = lo; d < hi; ++d) {
+      rc.compute(static_cast<AsId>(d), rib);
+      tc.compute(rib, view, cfg.tiebreak, tree);
+      local.add_tree(graph, rib, tree);
+    }
+    std::scoped_lock lock(merge_mutex);
+    total.merge(local);
+  });
+  return total;
+}
+
+struct DeploymentSimulator::RoundOutput {
+  std::vector<double> util_out, util_in;
+  std::vector<double> delta_on_out, delta_on_in;
+  std::vector<double> delta_off_out, delta_off_in;
+  std::vector<std::uint8_t> eval_on, eval_off;
+
+  explicit RoundOutput(std::size_t n)
+      : util_out(n, 0.0), util_in(n, 0.0),
+        delta_on_out(n, 0.0), delta_on_in(n, 0.0),
+        delta_off_out(n, 0.0), delta_off_in(n, 0.0),
+        eval_on(n, 0), eval_off(n, 0) {}
+
+  void reset() {
+    auto zero = [](std::vector<double>& v) { std::fill(v.begin(), v.end(), 0.0); };
+    zero(util_out); zero(util_in);
+    zero(delta_on_out); zero(delta_on_in);
+    zero(delta_off_out); zero(delta_off_in);
+    std::fill(eval_on.begin(), eval_on.end(), 0);
+    std::fill(eval_off.begin(), eval_off.end(), 0);
+  }
+
+  void merge(const RoundOutput& o) {
+    auto addv = [](std::vector<double>& a, const std::vector<double>& b) {
+      for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    };
+    addv(util_out, o.util_out);
+    addv(util_in, o.util_in);
+    addv(delta_on_out, o.delta_on_out);
+    addv(delta_on_in, o.delta_on_in);
+    addv(delta_off_out, o.delta_off_out);
+    addv(delta_off_in, o.delta_off_in);
+    for (std::size_t i = 0; i < eval_on.size(); ++i) {
+      eval_on[i] |= o.eval_on[i];
+      eval_off[i] |= o.eval_off[i];
+    }
+  }
+};
+
+DeploymentSimulator::DeploymentSimulator(const AsGraph& graph, SimConfig cfg)
+    : graph_(graph), cfg_(cfg), pool_(cfg.threads) {
+  assert(graph.finalized());
+}
+
+void DeploymentSimulator::evaluate_round(const DeploymentState& state,
+                                         RoundOutput& out) {
+  const std::size_t n = graph_.num_nodes();
+  const bool incoming_off =
+      cfg_.model == UtilityModel::Incoming && cfg_.allow_turn_off;
+  std::mutex merge_mutex;
+  out.reset();
+
+  par::parallel_for_chunked(pool_, 0, n, [&](std::size_t lo, std::size_t hi) {
+    rt::RibComputer rc(graph_);
+    rt::TreeComputer tc(graph_);
+    rt::DestRib rib;
+    rt::RoutingTree tree, flipped;
+    RoundOutput local(n);
+    std::vector<AsId> affected_on, affected_off;
+    std::vector<std::uint32_t> mark_on(n, 0), mark_off(n, 0);
+    std::uint32_t epoch = 0;
+
+    rt::SecurityView base_view;
+    base_view.graph = &graph_;
+    base_view.base = state.flags().data();
+    base_view.stub_breaks_ties = cfg_.stub_breaks_ties;
+    base_view.frozen = cfg_.frozen != nullptr ? cfg_.frozen->data() : nullptr;
+
+    for (std::size_t di = lo; di < hi; ++di) {
+      const AsId d = static_cast<AsId>(di);
+      rc.compute(d, rib);
+      tc.compute(rib, base_view, cfg_.tiebreak, tree);
+
+      // Base utilities for every node, both models, in one pass.
+      for (const AsId i : rib.order) {
+        if (i == d) continue;
+        if (rib.cls[i] == rt::RouteClass::Customer) {
+          local.util_out[i] += tree.subtree_weight[i] - graph_.weight(i);
+        } else if (rib.cls[i] == rt::RouteClass::Provider) {
+          local.util_in[tree.next_hop[i]] += tree.subtree_weight[i];
+        }
+      }
+
+      // ---- Appendix C.4 pruning: which ISPs' flips can matter for d? ----
+      ++epoch;
+      affected_on.clear();
+      affected_off.clear();
+      const bool outgoing = cfg_.model == UtilityModel::Outgoing;
+      if (!cfg_.use_projection_pruning) {
+        // Exhaustive mode: project every ISP against every destination.
+        for (AsId x = 0; x < n; ++x) {
+          if (!graph_.is_isp(x)) continue;
+          if (state.is_secure(x)) {
+            if (incoming_off) affected_off.push_back(x);
+          } else {
+            affected_on.push_back(x);
+          }
+        }
+      }
+      auto add_on = [&](AsId x) {
+        // In the outgoing model an ISP only earns utility for destinations
+        // it reaches over a customer edge (Eq. 1), and the route class is
+        // state-independent (Obs. C.1) — every other (ISP, dest) pair has
+        // identically-zero contribution in both states and can be skipped.
+        if (outgoing && rib.cls[x] != rt::RouteClass::Customer) return;
+        if (mark_on[x] != epoch) {
+          mark_on[x] = epoch;
+          affected_on.push_back(x);
+        }
+      };
+      auto add_off = [&](AsId x) {
+        if (mark_off[x] != epoch) {
+          mark_off[x] = epoch;
+          affected_off.push_back(x);
+        }
+      };
+
+      // Rule 1: any node with a secure tiebreak candidate ("the set P").
+      // - an insecure ISP there can start offering a secure path;
+      // - a secure ISP there can stop doing so (incoming model);
+      // - an insecure stub there changes its route choice when a provider
+      //   simplex-secures it (if stubs break ties), moving traffic between
+      //   its providers.
+      if (cfg_.use_projection_pruning)
+      for (const AsId i : rib.order) {
+        if (tree.has_secure_candidate[i] == 0) continue;
+        if (state.is_secure(i)) {
+          if (incoming_off && graph_.is_isp(i)) add_off(i);
+        } else if (graph_.is_isp(i)) {
+          add_on(i);
+        } else if (graph_.is_stub(i) && cfg_.stub_breaks_ties) {
+          for (const AsId p : graph_.providers(i)) {
+            if (graph_.is_isp(p) && !state.is_secure(p)) add_on(p);
+          }
+        }
+      }
+      // Rule 2: flips that change the *destination's* security. A
+      // destination that is insecure in both states admits no secure path
+      // at all (optimisation 1 of C.4), so only these flips matter for an
+      // insecure d.
+      if (cfg_.use_projection_pruning) {
+      if (!state.is_secure(d)) {
+        if (graph_.is_stub(d)) {
+          for (const AsId p : graph_.providers(d)) {
+            if (graph_.is_isp(p) && !state.is_secure(p)) add_on(p);
+          }
+        } else if (graph_.is_isp(d)) {
+          add_on(d);
+        }
+      } else if (incoming_off && graph_.is_isp(d)) {
+        add_off(d);
+      }
+      }  // use_projection_pruning
+
+      // ---- Projections: recompute the tree under each candidate flip. ----
+      for (const AsId cand : affected_on) {
+        local.eval_on[cand] = 1;
+        rt::SecurityView view = base_view;
+        view.flip_on = cand;
+        tc.compute(rib, view, cfg_.tiebreak, flipped);
+        const auto before = rt::node_contribution(graph_, rib, tree, cand);
+        const auto after = rt::node_contribution(graph_, rib, flipped, cand);
+        local.delta_on_out[cand] += after.outgoing - before.outgoing;
+        local.delta_on_in[cand] += after.incoming - before.incoming;
+      }
+      for (const AsId cand : affected_off) {
+        local.eval_off[cand] = 1;
+        rt::SecurityView view = base_view;
+        view.flip_off = cand;
+        tc.compute(rib, view, cfg_.tiebreak, flipped);
+        const auto before = rt::node_contribution(graph_, rib, tree, cand);
+        const auto after = rt::node_contribution(graph_, rib, flipped, cand);
+        local.delta_off_out[cand] += after.outgoing - before.outgoing;
+        local.delta_off_in[cand] += after.incoming - before.incoming;
+      }
+    }
+
+    std::scoped_lock lock(merge_mutex);
+    out.merge(local);
+  });
+}
+
+SimResult DeploymentSimulator::run(const DeploymentState& initial,
+                                   const RoundObserver& observer) {
+  const std::size_t n = graph_.num_nodes();
+  SimResult result;
+  result.final_state = initial;
+
+  {
+    const std::vector<std::uint8_t> nobody(n, 0);
+    const auto start = compute_utilities(graph_, nobody, cfg_, pool_);
+    result.starting_utility =
+        cfg_.model == UtilityModel::Outgoing ? start.outgoing : start.incoming;
+  }
+
+  DeploymentState state = initial;
+  std::unordered_map<std::uint64_t, std::size_t> seen;  // state hash -> round
+  seen.emplace(state.hash(), 0);
+
+  RoundOutput round_out(n);
+  std::vector<double> utility(n), proj_on(n), proj_off(n);
+  std::vector<AsId> flip_on, flip_off;
+
+  result.outcome = Outcome::RoundCapReached;
+  for (std::size_t round = 1; round <= cfg_.max_rounds; ++round) {
+    evaluate_round(state, round_out);
+
+    const auto& util_model =
+        cfg_.model == UtilityModel::Outgoing ? round_out.util_out : round_out.util_in;
+    const auto& delta_on =
+        cfg_.model == UtilityModel::Outgoing ? round_out.delta_on_out
+                                             : round_out.delta_on_in;
+    const auto& delta_off =
+        cfg_.model == UtilityModel::Outgoing ? round_out.delta_off_out
+                                             : round_out.delta_off_in;
+
+    flip_on.clear();
+    flip_off.clear();
+    for (AsId i = 0; i < n; ++i) {
+      utility[i] = util_model[i];
+      proj_on[i] = round_out.eval_on[i] != 0 ? util_model[i] + delta_on[i] : kNaN;
+      proj_off[i] = round_out.eval_off[i] != 0 ? util_model[i] + delta_off[i] : kNaN;
+      if (!graph_.is_isp(i)) continue;
+      if (cfg_.frozen != nullptr && (*cfg_.frozen)[i] != 0) continue;
+      // Myopic best response (Eq. 3): flip when projected *revenue* exceeds
+      // (1+theta_i) times current revenue.
+      const double theta_i =
+          cfg_.per_node_theta != nullptr ? (*cfg_.per_node_theta)[i] : cfg_.theta;
+      const auto revenue = [this](double volume) {
+        return apply_pricing(cfg_.pricing, cfg_.pricing_tier_size, volume);
+      };
+      if (!state.is_secure(i)) {
+        if (round_out.eval_on[i] != 0 &&
+            revenue(proj_on[i]) > (1.0 + theta_i) * revenue(utility[i])) {
+          flip_on.push_back(i);
+        }
+      } else if (round_out.eval_off[i] != 0 &&
+                 revenue(proj_off[i]) > (1.0 + theta_i) * revenue(utility[i])) {
+        flip_off.push_back(i);
+      }
+    }
+
+    if (observer) {
+      RoundObservation obs;
+      obs.round = round;
+      obs.secure = &state.flags();
+      obs.utility = &utility;
+      obs.projected_on = &proj_on;
+      obs.projected_off = &proj_off;
+      obs.flipping_on = &flip_on;
+      obs.flipping_off = &flip_off;
+      observer(obs);
+    }
+
+    if (flip_on.empty() && flip_off.empty()) {
+      result.outcome = Outcome::Stable;
+      break;
+    }
+
+    RoundStats stats;
+    stats.round = round;
+    const std::size_t stubs_before =
+        state.num_secure_of_class(graph_, topo::AsClass::Stub);
+    for (const AsId i : flip_on) {
+      state.set_secure(i, true);
+      for (const AsId c : graph_.customers(i)) {
+        if (graph_.is_stub(c) &&
+            (cfg_.frozen == nullptr || (*cfg_.frozen)[c] == 0)) {
+          state.set_secure(c, true);
+        }
+      }
+    }
+    for (const AsId i : flip_off) state.set_secure(i, false);
+    stats.newly_secure_isps = flip_on.size();
+    stats.turned_off = flip_off.size();
+    stats.newly_secure_stubs =
+        state.num_secure_of_class(graph_, topo::AsClass::Stub) - stubs_before;
+    stats.total_secure_ases = state.num_secure();
+    stats.total_secure_isps = state.num_secure_of_class(graph_, topo::AsClass::Isp);
+    result.rounds.push_back(stats);
+
+    const auto [it, inserted] = seen.emplace(state.hash(), round);
+    if (!inserted) {
+      result.outcome = Outcome::Oscillating;
+      break;
+    }
+  }
+
+  result.final_state = state;
+  {
+    const auto fin = compute_utilities(graph_, state.flags(), cfg_, pool_);
+    result.final_utility =
+        cfg_.model == UtilityModel::Outgoing ? fin.outgoing : fin.incoming;
+  }
+  return result;
+}
+
+}  // namespace sbgp::core

@@ -1,0 +1,172 @@
+// The round-based S*BGP deployment simulator (Sections 3–4): in every round
+// each ISP computes its utility u_n(S) and its projected utility
+// u_n(~S_n, S_-n) under the myopic best-response rule (Eq. 3), all ISPs that
+// clear the threshold flip simultaneously, and newly secure ISPs simplex-
+// upgrade their stub customers. Implements the Appendix C optimisations:
+// state-independent per-destination RIBs (C.1), the fast routing tree (C.2),
+// parallelisation across destinations (C.3), and the projection-pruning
+// rules (C.4).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/deployment_state.h"
+#include "parallel/thread_pool.h"
+#include "routing/routing_tree.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::core {
+
+/// Which of the two ISP utility models of Section 3.3 drives decisions.
+enum class UtilityModel : std::uint8_t {
+  Outgoing,  ///< Eq. 1 — traffic forwarded toward customers; monotone (Thm 6.2)
+  Incoming,  ///< Eq. 2 — traffic received over customer edges; may oscillate
+};
+
+[[nodiscard]] const char* to_string(UtilityModel m);
+
+/// Why the simulation stopped.
+enum class Outcome : std::uint8_t {
+  Stable,           ///< no ISP wants to change its action
+  Oscillating,      ///< a previous state recurred (only possible in Incoming)
+  RoundCapReached,  ///< max_rounds elapsed without stabilising
+};
+
+[[nodiscard]] const char* to_string(Outcome o);
+
+/// How traffic volume maps to revenue (Section 8.4: "ISPs may use a variety
+/// of pricing policies"). The myopic rule (Eq. 3) compares *revenues*:
+/// flip when revenue(projected) > (1+theta) * revenue(current).
+enum class PricingModel : std::uint8_t {
+  LinearVolume,    ///< revenue proportional to traffic (the paper's default)
+  ConcaveVolume,   ///< sqrt(volume): volume discounts dampen large-ISP gains
+  TieredCapacity,  ///< flat rate per discrete capacity unit (95th-percentile
+                   ///< style billing): revenue = ceil(volume / tier_size)
+};
+
+[[nodiscard]] const char* to_string(PricingModel p);
+
+struct SimConfig {
+  UtilityModel model = UtilityModel::Outgoing;
+  /// Deployment threshold θ of Eq. 3 (e.g. 0.05 = deploy when projected
+  /// utility exceeds current utility by more than 5%).
+  double theta = 0.05;
+  /// Optional per-ISP thresholds (Section 8.2: "extensions might capture
+  /// inaccurate estimates of projected utility by randomizing theta").
+  /// When set (size num_nodes), overrides `theta` per node.
+  const std::vector<double>* per_node_theta = nullptr;
+  /// Revenue curve applied to utilities before the Eq. 3 comparison.
+  PricingModel pricing = PricingModel::LinearVolume;
+  /// Capacity-unit size for PricingModel::TieredCapacity.
+  double pricing_tier_size = 10.0;
+  /// Do simplex stubs break ties in favour of secure routes (Section 6.7)?
+  bool stub_breaks_ties = true;
+  /// May secure ISPs turn S*BGP off? Only meaningful in the Incoming model;
+  /// in the Outgoing model turning off is never beneficial (Thm 6.2) and is
+  /// skipped outright.
+  bool allow_turn_off = true;
+  /// Intradomain tie-break (TB step). The paper's simulations use the
+  /// pairwise hash; the gadget constructions use Rank mode.
+  rt::TieBreakPolicy tiebreak{};
+  /// Safety cap on rounds (the paper's runs stabilised within 2–40).
+  std::size_t max_rounds = 200;
+  /// Worker threads for the per-destination fan-out; 0 = hardware.
+  std::size_t threads = 0;
+  /// Use the Appendix C.4 projection-pruning rules (and, in the outgoing
+  /// model, the zero-contribution class rule). Disabling this evaluates a
+  /// flipped routing tree for EVERY (ISP, destination) pair — O(|V|^2)
+  /// trees per round, only feasible on small graphs. The results must be
+  /// identical; tests assert this equivalence.
+  bool use_projection_pruning = true;
+  /// Optional per-node freeze flags: frozen nodes never change action (the
+  /// "fixed nodes" of the gadget constructions, Appendix K.3 — the paper
+  /// pins them with auxiliary sub-gadgets "omitted to reduce clutter"; we
+  /// pin them directly). Frozen stubs are also exempt from simplex upgrades.
+  const std::vector<std::uint8_t>* frozen = nullptr;
+};
+
+/// Per-round aggregate statistics (Figure 3).
+struct RoundStats {
+  std::size_t round = 0;               ///< 1-based
+  std::size_t newly_secure_isps = 0;   ///< ISPs flipping on this round
+  std::size_t newly_secure_stubs = 0;  ///< stubs simplex-secured this round
+  std::size_t turned_off = 0;          ///< ISPs flipping off this round
+  std::size_t total_secure_ases = 0;   ///< after the round
+  std::size_t total_secure_isps = 0;   ///< after the round
+};
+
+/// Everything an observer can see about a round, *before* flips are applied.
+/// Projections are NaN for nodes that were not evaluated (their flip provably
+/// cannot change any routing tree; projected == current).
+struct RoundObservation {
+  std::size_t round = 0;  ///< 1-based
+  const std::vector<std::uint8_t>* secure = nullptr;   ///< state entering the round
+  const std::vector<double>* utility = nullptr;        ///< u_n(S), chosen model
+  const std::vector<double>* projected_on = nullptr;   ///< u_n(~S_n,S_-n) turning on
+  const std::vector<double>* projected_off = nullptr;  ///< turning off
+  const std::vector<AsId>* flipping_on = nullptr;      ///< decisions of this round
+  const std::vector<AsId>* flipping_off = nullptr;
+};
+
+using RoundObserver = std::function<void(const RoundObservation&)>;
+
+struct SimResult {
+  Outcome outcome = Outcome::Stable;
+  std::vector<RoundStats> rounds;
+  DeploymentState final_state{0};
+  /// Utility of every node in the final state (chosen model).
+  std::vector<double> final_utility;
+  /// Utility of every node in the all-insecure starting state ("starting
+  /// utility" in Figures 4, 5).
+  std::vector<double> starting_utility;
+
+  [[nodiscard]] std::size_t rounds_run() const { return rounds.size(); }
+};
+
+/// Applies a pricing model to a raw traffic volume (monotone in volume).
+[[nodiscard]] double apply_pricing(PricingModel pricing, double tier_size,
+                                   double volume);
+
+/// Draws per-ISP thresholds around `theta` (uniform in
+/// [theta*(1-spread), theta*(1+spread)]), the Section 8.2 randomization.
+/// Non-ISPs get `theta` unchanged.
+[[nodiscard]] std::vector<double> randomized_thetas(const AsGraph& graph,
+                                                    double theta, double spread,
+                                                    std::uint64_t seed);
+
+/// Computes u_n for every node under `secure` — both models at once.
+/// Standalone entry point shared by the simulator, the analysis helpers and
+/// the benches. `enabled_links` optionally restricts S*BGP to a per-link
+/// deployment (Theorem 8.2 / Appendix J); null means every link of every
+/// secure AS is active.
+[[nodiscard]] rt::UtilityAccumulator compute_utilities(
+    const AsGraph& graph, const std::vector<std::uint8_t>& secure,
+    const SimConfig& cfg, par::ThreadPool& pool,
+    const std::vector<std::vector<AsId>>* enabled_links = nullptr);
+
+/// The deployment simulator. Construct once per (graph, config); `run` may
+/// be called repeatedly with different initial states.
+class DeploymentSimulator {
+ public:
+  DeploymentSimulator(const AsGraph& graph, SimConfig cfg);
+
+  /// Runs the process from `initial` until stability, oscillation, or the
+  /// round cap. `observer` (optional) is invoked once per round.
+  [[nodiscard]] SimResult run(const DeploymentState& initial,
+                              const RoundObserver& observer = nullptr);
+
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+ private:
+  struct RoundOutput;
+  void evaluate_round(const DeploymentState& state, RoundOutput& out);
+
+  const AsGraph& graph_;
+  SimConfig cfg_;
+  par::ThreadPool pool_;
+};
+
+}  // namespace sbgp::core

@@ -1,0 +1,494 @@
+#include "gadgets/gadgets.h"
+
+#include <cassert>
+
+#include "parallel/thread_pool.h"
+
+namespace sbgp::gadgets {
+
+void Gadget::configure(core::SimConfig& cfg) const {
+  cfg.model = core::UtilityModel::Incoming;
+  cfg.theta = 0.0;
+  cfg.stub_breaks_ties = true;
+  cfg.allow_turn_off = true;
+  cfg.tiebreak.mode = rt::TieBreakPolicy::Mode::Rank;
+  cfg.tiebreak.rank = nullptr;  // lowest AS number wins (Appendix K.3)
+  cfg.threads = 1;
+  cfg.max_rounds = 50;
+  cfg.frozen = &frozen;
+}
+
+namespace {
+
+/// Small helper collecting nodes as they are added and freezing everything
+/// by default; players are thawed explicitly.
+struct Builder {
+  AsGraph g;
+  std::unordered_map<std::string, AsId> handle;
+  std::vector<std::string> order;
+
+  AsId add(const std::string& name, std::uint32_t asn, double weight = 1.0) {
+    const AsId id = g.add_as(asn);
+    g.set_weight(id, weight);
+    handle.emplace(name, id);
+    order.push_back(name);
+    return id;
+  }
+
+  Gadget finish(const std::vector<std::string>& players,
+                const std::vector<std::string>& initially_on) {
+    g.finalize();
+    Gadget out;
+    out.handle = handle;
+    out.frozen.assign(g.num_nodes(), 1);
+    out.initial = DeploymentState(g.num_nodes());
+    for (const auto& name : players) out.frozen[handle.at(name)] = 0;
+    for (const auto& name : initially_on) {
+      out.initial.set_secure(handle.at(name), true);
+    }
+    out.graph = std::move(g);
+    return out;
+  }
+};
+
+}  // namespace
+
+Gadget make_chicken(double m, double eps) {
+  assert(eps < m);
+  Builder b;
+  // Fixed plumbing nodes (AS numbers are the tie-break ranks).
+  const AsId n1 = b.add("1", 1);
+  const AsId n2 = b.add("2", 2);
+  const AsId n3 = b.add("3", 3);
+  const AsId n4 = b.add("4", 4);
+  const AsId n5 = b.add("5", 5);
+  const AsId n6 = b.add("6", 6);
+  const AsId p10 = b.add("10", 10);
+  const AsId p20 = b.add("20", 20);
+  const AsId n1000 = b.add("1000", 1000);
+  const AsId n1001 = b.add("1001", 1001);
+  const AsId d1 = b.add("d1", 2001);
+  const AsId d2 = b.add("d2", 2002);
+  const AsId local1 = b.add("local1", 2101, eps);
+  const AsId local2 = b.add("local2", 2102, eps);
+  const AsId cross1 = b.add("cross1", 2201, m);
+  const AsId cross2 = b.add("cross2", 2202, 2.0 * m);
+
+  AsGraph& g = b.g;
+  // The asymmetric player edge: 20 provides 10.
+  g.add_customer_provider(p20, p10);
+  // Local 1: two equal provider routes to d1, via 1000 (always secure) and
+  // via 10 (secure iff 10 is on; preferred on ties since 10 < 1000).
+  g.add_customer_provider(n1000, local1);
+  g.add_customer_provider(p10, local1);
+  g.add_customer_provider(n1000, d1);
+  g.add_customer_provider(p10, d1);
+  // Local 2 symmetric for player 20 via 1001.
+  g.add_customer_provider(n1001, local2);
+  g.add_customer_provider(p20, local2);
+  g.add_customer_provider(n1001, d2);
+  g.add_customer_provider(p20, d2);
+  // Cross 1 -> d2: (cross1,10,6,20,d2) vs (cross1,1,4,20,d2).
+  g.add_peer(n6, p10);
+  g.add_customer_provider(n6, p20);
+  g.add_customer_provider(p10, cross1);
+  g.add_customer_provider(n1, cross1);
+  g.add_customer_provider(n4, n1);
+  g.add_customer_provider(p20, n4);
+  // Cross 2 -> d1: (cross2,3,20,10,d1) vs (cross2,2,5,10,d1).
+  g.add_peer(n3, p20);
+  g.add_customer_provider(n3, cross2);
+  g.add_customer_provider(n2, cross2);
+  g.add_customer_provider(n5, n2);
+  g.add_customer_provider(p10, n5);
+
+  return b.finish(
+      /*players=*/{"10", "20"},
+      /*initially_on=*/{"3", "6", "1000", "1001", "d1", "d2", "local1", "local2",
+                        "cross1", "cross2"});
+}
+
+namespace {
+
+/// (tree node, its designated destination) — the unit of the Appendix K
+/// de-noising pass.
+struct TreeSpec {
+  AsId tree;
+  AsId designated_dest;
+};
+
+/// The paper's de-noising trick (Appendix K.6 proof: "connect the offending
+/// pair with a peer-to-peer edge"): every traffic tree gets a direct peer
+/// edge to every node that does NOT have a customer route to the tree's
+/// designated destination. Non-designated tree traffic then takes a
+/// constant peer route (LP: peer > provider) instead of wandering through
+/// the gadget, while the designated tie is untouched — a peer can only
+/// offer a route to d_t if d_t is in its customer cone, which is exactly
+/// the excluded set. In the incoming-utility model, flows arriving over the
+/// new peer edges contribute no utility to anyone.
+void apply_tree_denoising(Builder& b, const std::vector<TreeSpec>& trees) {
+  AsGraph& g = b.g;
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<bool>> cone(n, std::vector<bool>(n, false));
+  for (AsId root = 0; root < n; ++root) {
+    std::vector<AsId> stack{root};
+    cone[root][root] = true;
+    while (!stack.empty()) {
+      const AsId x = stack.back();
+      stack.pop_back();
+      for (AsId c : g.customers(x)) {
+        if (!cone[root][c]) {
+          cone[root][c] = true;
+          stack.push_back(c);
+        }
+      }
+    }
+  }
+  for (const auto& [tree, d_t] : trees) {
+    for (AsId z = 0; z < n; ++z) {
+      if (z == tree || cone[z][d_t]) continue;
+      g.add_peer(tree, z);  // duplicates/self rejected internally
+    }
+  }
+}
+
+/// Shared selector construction; fills players/dests/on and records the
+/// traffic trees for the caller's de-noising pass.
+void build_selector(Builder& b, std::size_t k, double m, double eps,
+                    std::vector<AsId>& player, std::vector<AsId>& dest,
+                    std::vector<std::string>& players,
+                    std::vector<std::string>& on, std::vector<TreeSpec>& trees) {
+  // Players p1..pk (ascending tie-break rank) and their per-player Local
+  // plumbing: traffic Local_i -> d_i over (Local_i, B_i, d_i) [always
+  // secure] vs (Local_i, p_i, d_i) [secure iff p_i on; wins ties].
+  player.resize(k);
+  dest.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    player[i] = b.add("p" + std::to_string(i + 1),
+                      static_cast<std::uint32_t>(1000 + i));
+    players.push_back("p" + std::to_string(i + 1));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const AsId backup = b.add("B" + std::to_string(i + 1),
+                              static_cast<std::uint32_t>(5000 + i));
+    dest[i] = b.add("d" + std::to_string(i + 1),
+                    static_cast<std::uint32_t>(8000 + i));
+    const AsId local = b.add("local" + std::to_string(i + 1),
+                             static_cast<std::uint32_t>(9000 + i), eps);
+    b.g.add_customer_provider(backup, local);
+    b.g.add_customer_provider(player[i], local);
+    b.g.add_customer_provider(backup, dest[i]);
+    b.g.add_customer_provider(player[i], dest[i]);
+    on.insert(on.end(), {"B" + std::to_string(i + 1), "d" + std::to_string(i + 1),
+                         "local" + std::to_string(i + 1)});
+  }
+  // Pairwise CHICKEN plumbing (Figure 22). Within pair (i, j), i < j, node
+  // p_i plays the "10" role and p_j (its provider) the "20" role.
+  std::uint32_t next_plumb = 10;  // plumbing ASNs stay below the players'
+  std::size_t pair_idx = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j, ++pair_idx) {
+      const std::string suffix =
+          "_" + std::to_string(i + 1) + std::to_string(j + 1);
+      const AsId n1 = b.add("1" + suffix, next_plumb++);
+      const AsId n2 = b.add("2" + suffix, next_plumb++);
+      const AsId n3 = b.add("3" + suffix, next_plumb++);
+      const AsId n4 = b.add("4" + suffix, next_plumb++);
+      const AsId n5 = b.add("5" + suffix, next_plumb++);
+      const AsId n6 = b.add("6" + suffix, next_plumb++);
+      const AsId cross1 = b.add("cross1" + suffix,
+                                static_cast<std::uint32_t>(20000 + pair_idx), m);
+      const AsId cross2 = b.add(
+          "cross2" + suffix, static_cast<std::uint32_t>(30000 + pair_idx), 2.0 * m);
+      AsGraph& g = b.g;
+      g.add_customer_provider(player[j], player[i]);
+      // Cross1 -> d_j: (cross1, p_i, 6, p_j, d_j) vs (cross1, 1, 4, p_j, d_j).
+      g.add_peer(n6, player[i]);
+      g.add_customer_provider(n6, player[j]);
+      // De-noising for k > 2: every *lower* player gets a direct provider
+      // edge from 6_ij, so its route toward 6_ij (and hence the m-weight
+      // subtrees hanging off it) is a unique length-1 route instead of a
+      // security-dependent tie between two higher players.
+      for (std::size_t z = 0; z < j; ++z) {
+        if (z != i) g.add_customer_provider(n6, player[z]);
+      }
+      g.add_customer_provider(player[i], cross1);
+      g.add_customer_provider(n1, cross1);
+      g.add_customer_provider(n4, n1);
+      g.add_customer_provider(player[j], n4);
+      // Cross2 -> d_i: (cross2, 3, p_j, p_i, d_i) vs (cross2, 2, 5, p_i, d_i).
+      g.add_peer(n3, player[j]);
+      g.add_customer_provider(n3, cross2);
+      g.add_customer_provider(n2, cross2);
+      g.add_customer_provider(n5, n2);
+      g.add_customer_provider(player[i], n5);
+      on.insert(on.end(), {"3" + suffix, "6" + suffix, "cross1" + suffix,
+                           "cross2" + suffix});
+    }
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    trees.push_back({b.handle.at("local" + std::to_string(i + 1)), dest[i]});
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const std::string suffix =
+          "_" + std::to_string(i + 1) + std::to_string(j + 1);
+      trees.push_back({b.handle.at("cross1" + suffix), dest[j]});
+      trees.push_back({b.handle.at("cross2" + suffix), dest[i]});
+    }
+  }
+}
+
+}  // namespace
+
+Gadget make_selector(std::size_t k, double m, double eps) {
+  assert(k >= 2 && eps < m);
+  Builder b;
+  std::vector<AsId> player, dest;
+  std::vector<std::string> players, on;
+  std::vector<TreeSpec> trees;
+  build_selector(b, k, m, eps, player, dest, players, on, trees);
+  apply_tree_denoising(b, trees);
+  return b.finish(players, on);
+}
+
+Gadget make_selector_with_transition(std::size_t k, std::size_t from,
+                                     std::size_t to, double m, double eps) {
+  assert(k >= 2 && from < k && to < k && from != to);
+  Builder b;
+  std::vector<AsId> player, dest;
+  std::vector<std::string> players, on;
+  std::vector<TreeSpec> trees;
+  build_selector(b, k, m, eps, player, dest, players, on, trees);
+
+  // Transition plumbing (Figure 23). Volumes follow the proof: And = 30mk,
+  // Hold = 20mk, Override = 10mk — Override must dominate anything the
+  // selector can offer player `to`, And must beat Hold at `t`, and Hold
+  // must beat Override alone.
+  const double mk = m * static_cast<double>(k);
+  const AsId t = b.add("t", 3000);        // t < c (And tie) and t > players (Override tie)
+  const AsId c = b.add("c", 3001);
+  const AsId e = b.add("e", 3002);
+  const AsId a = b.add("a", 4000);        // a < bb (Hold tie)
+  const AsId bb = b.add("bb", 4001);
+  const AsId d_and = b.add("d_and", 8100);
+  const AsId d_ov = b.add("d_ov", 8101);
+  const AsId and_tree = b.add("and", 9100, 30.0 * mk);
+  const AsId hold = b.add("hold", 9101, 20.0 * mk);
+  const AsId override_tree = b.add("override", 9102, 10.0 * mk);
+
+  AsGraph& g = b.g;
+  // And(i,j) -> d_and: (and, c, e, d_and) [always secure] vs
+  // (and, t, p_from, d_and) [secure iff t && p_from; wins the tie, t < c].
+  g.add_customer_provider(c, and_tree);
+  g.add_customer_provider(c, e);
+  g.add_customer_provider(e, d_and);
+  g.add_customer_provider(t, and_tree);
+  g.add_customer_provider(t, player[from]);
+  g.add_customer_provider(player[from], d_and);
+  // Override(i,j) -> d_ov: (override, p_to, d_ov) vs (override, t, d_ov);
+  // the route through t is used iff t is ON and p_to is OFF (p_to < t).
+  g.add_customer_provider(player[to], override_tree);
+  g.add_customer_provider(t, override_tree);
+  g.add_customer_provider(player[to], d_ov);
+  g.add_customer_provider(t, d_ov);
+  // Hold -> t itself: (hold, a, t) [customer edge at t, pays 20mk while t
+  // is OFF] vs (hold, bb, t) [peer edge at t, pays nothing; secure iff t is
+  // ON]. Using t as the designated destination keeps every other Hold flow
+  // de-noisable (nothing else has a customer route to t).
+  g.add_customer_provider(a, hold);
+  g.add_customer_provider(bb, hold);
+  g.add_customer_provider(t, a);
+  g.add_peer(bb, t);
+  // De-noising helper edge: p_from's subtree reaches d_ov over a unique
+  // direct route instead of a (t vs p_to) security-dependent tie.
+  g.add_customer_provider(player[from], d_ov);
+
+  trees.push_back({and_tree, d_and});
+  trees.push_back({hold, t});
+  trees.push_back({override_tree, d_ov});
+  apply_tree_denoising(b, trees);
+
+  players.push_back("t");
+  on.insert(on.end(), {"c", "e", "bb", "d_and", "d_ov", "and", "hold", "override"});
+  return b.finish(players, on);
+}
+
+ChickenMatrix evaluate_chicken_matrix(const Gadget& chicken, std::size_t threads) {
+  core::SimConfig cfg;
+  chicken.configure(cfg);
+  cfg.threads = threads;
+  par::ThreadPool pool(threads);
+  const AsId p10 = chicken.node("10");
+  const AsId p20 = chicken.node("20");
+
+  ChickenMatrix out;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      DeploymentState s = chicken.initial;
+      s.set_secure(p10, i == 1);
+      s.set_secure(p20, j == 1);
+      const auto u = core::compute_utilities(chicken.graph, s.flags(), cfg, pool);
+      out.u[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = {
+          u.incoming[p10], u.incoming[p20]};
+    }
+  }
+  return out;
+}
+
+Gadget make_and(std::array<bool, 3> inputs, double m) {
+  Builder b;
+  const AsId in1 = b.add("in1", 1);
+  const AsId in2 = b.add("in2", 2);
+  const AsId in3 = b.add("in3", 3);
+  const AsId n5 = b.add("5", 5);
+  const AsId n6 = b.add("6", 6);
+  const AsId amp = b.add("amp", 50);
+  const AsId n101 = b.add("101", 101);
+  const AsId n102 = b.add("102", 102);
+  const AsId d = b.add("d", 900);
+  // Hold volume: turning '&' on loses the Hold traffic toward destinations d
+  // AND '&' itself (both flows switch from customer 5 to peer 6), a 2*w_hold
+  // loss against a 2m gain per active input. w_hold = 2.5m puts the flip
+  // threshold strictly between two and three active inputs.
+  const AsId hold = b.add("hold", 901, 2.5 * m);
+  const AsId and1 = b.add("and1", 911, 2.0 * m);
+  const AsId and2 = b.add("and2", 912, 2.0 * m);
+  const AsId and3 = b.add("and3", 913, 2.0 * m);
+
+  AsGraph& g = b.g;
+  // Always-secure decoy path: And_i -> 101 -> 102 -> d.
+  g.add_customer_provider(n101, n102);
+  g.add_customer_provider(n102, d);
+  const std::array<AsId, 3> ins{in1, in2, in3};
+  const std::array<AsId, 3> ands{and1, and2, and3};
+  for (int i = 0; i < 3; ++i) {
+    g.add_customer_provider(n101, ands[static_cast<std::size_t>(i)]);
+    g.add_customer_provider(ins[static_cast<std::size_t>(i)],
+                            ands[static_cast<std::size_t>(i)]);
+    g.add_customer_provider(amp, ins[static_cast<std::size_t>(i)]);
+  }
+  g.add_customer_provider(amp, d);
+  // Hold traffic: (hold,5,amp,d) insecure-but-paying vs (hold,6,amp,d)
+  // secure-but-free (6 peers with amp).
+  g.add_customer_provider(n5, hold);
+  g.add_customer_provider(n6, hold);
+  g.add_customer_provider(amp, n5);
+  g.add_peer(n6, amp);
+  // De-noising (the paper's "get rid of non-designated traffic" trick,
+  // Appendix K.3): direct peer edges give the Hold tree constant routes to
+  // the input nodes so only its designated flows react to '&' flipping.
+  for (const AsId in : ins) g.add_peer(hold, in);
+
+  std::vector<std::string> on{"6", "101", "102", "d", "hold", "and1", "and2", "and3"};
+  if (inputs[0]) on.emplace_back("in1");
+  if (inputs[1]) on.emplace_back("in2");
+  if (inputs[2]) on.emplace_back("in3");
+  return b.finish(/*players=*/{"amp"}, on);
+}
+
+Gadget make_buyers_remorse(std::size_t num_stubs, double w_cp) {
+  Builder b;
+  const AsId reseller = b.add("reseller", 498);  // AS 9498; low rank wins ties
+  const AsId ntt = b.add("ntt", 2914);
+  const AsId telecom = b.add("telecom", 4755);
+  const AsId akamai = b.add("akamai", 20940, w_cp);
+  b.g.mark_content_provider(akamai);
+
+  AsGraph& g = b.g;
+  g.add_customer_provider(ntt, telecom);
+  g.add_customer_provider(telecom, reseller);
+  g.add_customer_provider(ntt, akamai);
+  g.add_customer_provider(reseller, akamai);
+
+  std::vector<std::string> on{"akamai", "ntt", "telecom"};
+  for (std::size_t k = 0; k < num_stubs; ++k) {
+    const std::string name = "stub" + std::to_string(k);
+    b.add(name, static_cast<std::uint32_t>(45210 + k));
+    g.add_customer_provider(telecom, b.handle.at(name));
+    on.push_back(name);  // simplex-secured by their provider (initial state)
+  }
+  return b.finish(/*players=*/{"telecom"}, on);
+}
+
+Gadget make_set_cover(const SetCoverInstance& instance) {
+  Builder b;
+  const AsId d = b.add("d", 1);
+  for (std::size_t i = 0; i < instance.sets.size(); ++i) {
+    b.add("s" + std::to_string(i) + "_1", static_cast<std::uint32_t>(100 + i));
+    b.add("s" + std::to_string(i) + "_2", static_cast<std::uint32_t>(200 + i));
+  }
+  for (std::size_t j = 0; j < instance.universe_size; ++j) {
+    b.add("alt" + std::to_string(j), static_cast<std::uint32_t>(10 + j));
+    b.add("altb" + std::to_string(j), static_cast<std::uint32_t>(500 + j));
+    b.add("u" + std::to_string(j), static_cast<std::uint32_t>(1000 + j), 10.0);
+  }
+
+  AsGraph& g = b.g;
+  std::vector<std::string> players{"d"};
+  for (std::size_t i = 0; i < instance.sets.size(); ++i) {
+    const AsId s1 = b.handle.at("s" + std::to_string(i) + "_1");
+    const AsId s2 = b.handle.at("s" + std::to_string(i) + "_2");
+    g.add_customer_provider(s1, d);   // d is a stub customer of every s_i1
+    g.add_customer_provider(s2, s1);  // s_i1 is a customer of s_i2
+    for (const std::size_t j : instance.sets[i]) {
+      g.add_customer_provider(s2, b.handle.at("u" + std::to_string(j)));
+    }
+    players.push_back("s" + std::to_string(i) + "_1");
+    players.push_back("s" + std::to_string(i) + "_2");
+  }
+  for (std::size_t j = 0; j < instance.universe_size; ++j) {
+    const AsId alt = b.handle.at("alt" + std::to_string(j));
+    const AsId altb = b.handle.at("altb" + std::to_string(j));
+    const AsId u = b.handle.at("u" + std::to_string(j));
+    // Element j's decoy route (u, alt_j, altb_j, d): same length as the
+    // route through any s_i2 and preferred by the lowest-AS tie-break
+    // unless the s-route is fully secure.
+    g.add_customer_provider(alt, u);
+    g.add_customer_provider(altb, alt);
+    g.add_customer_provider(altb, d);
+    players.push_back("u" + std::to_string(j));
+  }
+  // All structural nodes except the decoys participate; decoys stay frozen
+  // (the paper's "additional routes" are inert scaffolding).
+  return b.finish(players, /*initially_on=*/{});
+}
+
+Gadget make_per_link_dilemma(double m, double w_s) {
+  Builder b;
+  const AsId r = b.add("r", 1);    // insecure; low rank wins s's tie
+  const AsId y = b.add("y", 2);    // insecure; low rank wins c1's tie
+  const AsId x = b.add("x", 10);   // the deciding ISP
+  const AsId n2 = b.add("2", 20);  // x's secure provider (the decision link)
+  const AsId s = b.add("s", 100, w_s);
+  const AsId c1 = b.add("c1", 101, m);
+  const AsId c2 = b.add("c2", 102);
+  const AsId d1 = b.add("d1", 103);
+
+  AsGraph& g = b.g;
+  g.add_customer_provider(n2, x);   // 2 provides x
+  g.add_customer_provider(n2, y);   // ... and y
+  g.add_customer_provider(n2, d1);  // d1 hangs off 2
+  g.add_customer_provider(x, r);    // r is x's customer ...
+  g.add_customer_provider(r, s);    // ... and s's provider
+  g.add_customer_provider(n2, s);   // s is multi-homed to 2 and r
+  g.add_customer_provider(x, c1);   // c1 is multi-homed to x and y
+  g.add_customer_provider(y, c1);
+  g.add_customer_provider(x, c2);   // c2 is x's (simplex) stub
+
+  return b.finish(/*players=*/{},
+                  /*initially_on=*/{"x", "2", "s", "c1", "c2", "d1"});
+}
+
+std::vector<AsId> set_cover_candidates(const Gadget& g,
+                                       const SetCoverInstance& instance) {
+  std::vector<AsId> out;
+  out.reserve(instance.sets.size());
+  for (std::size_t i = 0; i < instance.sets.size(); ++i) {
+    out.push_back(g.node("s" + std::to_string(i) + "_1"));
+  }
+  return out;
+}
+
+}  // namespace sbgp::gadgets

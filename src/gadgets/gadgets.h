@@ -1,0 +1,136 @@
+// Concrete AS-graph constructions from the paper's proofs, buildable and
+// runnable against the deployment simulator:
+//
+//  - CHICKEN gadget (Appendix K.5, Figure 21 / Table 5): two ISPs playing
+//    chicken over Cross traffic. Its best-response structure has exactly two
+//    stable states, (ON,OFF) and (OFF,ON); under the simulator's synchronous
+//    myopic dynamics it oscillates forever from any symmetric start — the
+//    concrete witness for "oscillations exist" (Section 7.2 / Appendix F).
+//  - AND gadget (Appendix K.4, Figure 20): output ISP '&' turns on iff all
+//    three inputs are on.
+//  - Buyer's-remorse network (Section 7.1, Figure 13): the India-Telecom /
+//    Akamai / NTT instance in which a secure ISP raises its incoming
+//    utility by turning S*BGP off.
+//  - Set-cover network (Theorem 6.1 / Appendix E, Figure 16): the reduction
+//    graph in which picking early adopters is exactly MAX-k-COVER.
+//
+// The paper pins its "fixed nodes" with auxiliary sub-gadgets it omits "to
+// reduce clutter"; we pin them with SimConfig::frozen instead. Customer
+// trees / destination pyramids of aggregate size m are modelled as single
+// stubs of weight m (only the traffic volume matters).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/deployment_state.h"
+#include "core/simulator.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::gadgets {
+
+using core::DeploymentState;
+using topo::AsGraph;
+using topo::AsId;
+
+/// A built gadget: the graph, its initial deployment state, the freeze
+/// flags, and named handles to the interesting nodes.
+struct Gadget {
+  AsGraph graph;
+  DeploymentState initial{0};
+  std::vector<std::uint8_t> frozen;
+  std::unordered_map<std::string, AsId> handle;
+
+  [[nodiscard]] AsId node(const std::string& name) const { return handle.at(name); }
+
+  /// Wires a SimConfig for running this gadget: incoming-utility model,
+  /// theta = 0, lowest-AS-number tie-breaking (Appendix K.3), frozen nodes,
+  /// single thread (gadgets are tiny).
+  void configure(core::SimConfig& cfg) const;
+};
+
+/// Figure 21 CHICKEN gadget. Handles: "10", "20", "local1", "local2",
+/// "cross1", "cross2", "d1", "d2". Both players start OFF.
+/// `m` is the Cross-1 tree volume (Cross-2 carries 2m), `eps` the Local
+/// tree volume; the construction requires eps << m.
+[[nodiscard]] Gadget make_chicken(double m = 10000.0, double eps = 100.0);
+
+/// Appendix K.6 k-SELECTOR gadget: k player ISPs pairwise connected through
+/// CHICKEN gadgets (Figure 22), sharing one Local flow per player. Its
+/// stable states are exactly the k one-hot states (player i ON, everyone
+/// else OFF); with more than one player ON every ON player wants OFF, and
+/// from all-OFF every player wants ON (so synchronous dynamics oscillate).
+/// Handles: "p1".."pk" for the players, "d1".."dk" for their destinations.
+[[nodiscard]] Gadget make_selector(std::size_t k, double m = 10000.0,
+                                   double eps = 100.0);
+
+/// Appendix K.7 TRANSITION gadget attached to a k-SELECTOR: resets the
+/// selector from one-hot state `from` to one-hot state `to` (0-based player
+/// indices). A selector-transition node "t" fires when player `from` is ON
+/// (And traffic dominates its Hold traffic), steals player `to`'s Override
+/// traffic (forcing `to` ON), whereupon selector pressure turns `from` OFF
+/// and "t" retires to its Hold traffic — the Figure 23 five-phase
+/// progression, ending stably in one-hot(`to`).
+/// Handles: selector handles plus "t", "a", "bb", "c", "e", "and", "hold",
+/// "override", "d_and", "d_ov".
+[[nodiscard]] Gadget make_selector_with_transition(std::size_t k, std::size_t from,
+                                                   std::size_t to,
+                                                   double m = 10000.0,
+                                                   double eps = 100.0);
+
+/// Evaluates the Table 5 bi-matrix: incoming utilities of players 10 and 20
+/// in each of the four (ON/OFF) states of the chicken gadget.
+struct ChickenMatrix {
+  // [i][j]: i = player-10 ON?, j = player-20 ON?; .first = u(10), .second = u(20)
+  std::array<std::array<std::pair<double, double>, 2>, 2> u;
+};
+[[nodiscard]] ChickenMatrix evaluate_chicken_matrix(const Gadget& chicken,
+                                                    std::size_t threads = 1);
+
+/// Figure 20 AND gadget. Handles: "in1", "in2", "in3", "amp" (the output
+/// node '&'), "hold", "and1".."and3", "d". Inputs are frozen at the given
+/// values; the output starts OFF and is free.
+[[nodiscard]] Gadget make_and(std::array<bool, 3> inputs, double m = 1000.0);
+
+/// Figure 13 buyer's-remorse network. Handles: "akamai" (CP, weight w_cp),
+/// "ntt" (provider of "telecom"), "telecom" (the ISP with the turn-off
+/// incentive, AS 4755 in the paper), "reseller" (AS 9498), "stub<k>".
+/// Initial state: akamai, ntt, telecom secure; telecom's stubs simplex.
+/// Only "telecom" is free.
+[[nodiscard]] Gadget make_buyers_remorse(std::size_t num_stubs = 24,
+                                         double w_cp = 821.0);
+
+/// A SET-COVER instance: `sets[i]` lists the covered elements of a
+/// universe {0, ..., universe_size-1}.
+struct SetCoverInstance {
+  std::size_t universe_size = 0;
+  std::vector<std::vector<std::size_t>> sets;
+};
+
+/// Theorem 6.1 reduction network. Handles: "d", "s<i>_1", "s<i>_2" per set,
+/// "u<j>" per element, "alt<j>" / "altb<j>" for element j's decoy route.
+/// Early adopters should be chosen among the s<i>_1 nodes; the number of
+/// ASes secure at termination is (up to the fixed additive structure)
+/// the number of covered elements.
+[[nodiscard]] Gadget make_set_cover(const SetCoverInstance& instance);
+
+/// Per-link deployment dilemma (Theorem 8.2 / Appendix J): ISP "x" must
+/// decide whether to activate S*BGP on the link to its provider "2".
+/// Activating it attracts the secure stub "c1" (weight m, enters x over a
+/// customer edge) but repels the secure source "s" (weight w_s, whose
+/// traffic to x's stub "c2" then arrives over the provider edge from "2"
+/// instead of the customer edge from "r") — x cannot have both flows on
+/// customer edges simultaneously, the DILEMMA at the heart of the
+/// NP-hardness proof. Handles: "x", "2", "r", "y", "s", "c1", "c2", "d1".
+/// All nodes except r and y are secure; everything is frozen (this gadget
+/// is evaluated with per-link masks, not dynamics).
+[[nodiscard]] Gadget make_per_link_dilemma(double m = 1000.0, double w_s = 2000.0);
+
+/// Candidate early adopters of the set-cover network (the s<i>_1 nodes).
+[[nodiscard]] std::vector<AsId> set_cover_candidates(const Gadget& g,
+                                                     const SetCoverInstance& instance);
+
+}  // namespace sbgp::gadgets

@@ -1,0 +1,193 @@
+#include "gadgets/turing.h"
+
+#include <cassert>
+
+namespace sbgp::gadgets {
+
+bool TuringMachine::valid() const {
+  if (num_states == 0 || num_symbols == 0 || tape_cells == 0) return false;
+  if (delta.size() != num_states) return false;
+  for (const auto& row : delta) {
+    if (row.size() != num_symbols) return false;
+    for (const auto& a : row) {
+      if (a.next_state >= num_states || a.write_symbol >= num_symbols ||
+          a.move < -1 || a.move > 1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t TmConfig::hash() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(head);
+  mix(state);
+  for (const std::size_t s : tape) mix(s);
+  return h;
+}
+
+std::string TmConfig::to_string() const {
+  std::string out = "q" + std::to_string(state) + "@" + std::to_string(head) + " [";
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    if (i == head) out += "(";
+    out += std::to_string(tape[i]);
+    if (i == head) out += ")";
+  }
+  out += "]";
+  return out;
+}
+
+TmConfig step(const TuringMachine& tm, const TmConfig& config) {
+  assert(config.head < tm.tape_cells && config.state < tm.num_states);
+  const auto& action = tm.delta[config.state][config.tape[config.head]];
+  TmConfig next = config;
+  next.tape[config.head] = action.write_symbol;
+  next.state = action.next_state;
+  const auto moved = static_cast<std::ptrdiff_t>(config.head) + action.move;
+  // The head never leaves the tape (space bound): moves off either end are
+  // clamped.
+  if (moved >= 0 && moved < static_cast<std::ptrdiff_t>(tm.tape_cells)) {
+    next.head = static_cast<std::size_t>(moved);
+  }
+  return next;
+}
+
+bool is_static(const TuringMachine& tm, const TmConfig& config) {
+  return step(tm, config) == config;
+}
+
+TmRun run_static_mode(const TuringMachine& tm, const TmConfig& initial) {
+  assert(tm.valid());
+  std::unordered_map<std::uint64_t, std::vector<TmConfig>> seen;
+  TmConfig config = initial;
+  TmRun run;
+  for (;;) {
+    if (is_static(tm, config)) {
+      run.outcome = TmOutcome::ReachedStatic;
+      run.final_config = config;
+      return run;
+    }
+    auto& bucket = seen[config.hash()];
+    for (const auto& prev : bucket) {
+      if (prev == config) {
+        run.outcome = TmOutcome::Cycled;
+        run.final_config = config;
+        return run;
+      }
+    }
+    bucket.push_back(config);
+    config = step(tm, config);
+    ++run.steps;
+  }
+}
+
+TmConfig initial_config(const TuringMachine& tm,
+                        const std::vector<std::size_t>& input) {
+  TmConfig config;
+  config.tape.assign(tm.tape_cells, 0);
+  for (std::size_t i = 0; i < input.size() && i < tm.tape_cells; ++i) {
+    config.tape[i] = input[i];
+  }
+  return config;
+}
+
+std::vector<std::uint8_t> encode_clean_state(const TuringMachine& tm,
+                                             const TmConfig& config) {
+  std::vector<std::uint8_t> bits(clean_state_width(tm), 0);
+  bits[config.head] = 1;
+  bits[tm.tape_cells + config.state] = 1;
+  const std::size_t cells_base = tm.tape_cells + tm.num_states;
+  for (std::size_t c = 0; c < tm.tape_cells; ++c) {
+    bits[cells_base + c * tm.num_symbols + config.tape[c]] = 1;
+  }
+  return bits;
+}
+
+std::optional<TmConfig> decode_clean_state(const TuringMachine& tm,
+                                           const std::vector<std::uint8_t>& bits) {
+  if (bits.size() != clean_state_width(tm)) return std::nullopt;
+  const auto one_hot = [&bits](std::size_t begin, std::size_t count)
+      -> std::optional<std::size_t> {
+    std::optional<std::size_t> index;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (bits[begin + i] != 0) {
+        if (index.has_value()) return std::nullopt;  // two nodes ON
+        index = i;
+      }
+    }
+    return index;  // nullopt if none ON
+  };
+
+  TmConfig config;
+  const auto head = one_hot(0, tm.tape_cells);
+  const auto state = one_hot(tm.tape_cells, tm.num_states);
+  if (!head || !state) return std::nullopt;
+  config.head = *head;
+  config.state = *state;
+  config.tape.resize(tm.tape_cells);
+  const std::size_t cells_base = tm.tape_cells + tm.num_states;
+  for (std::size_t c = 0; c < tm.tape_cells; ++c) {
+    const auto symbol = one_hot(cells_base + c * tm.num_symbols, tm.num_symbols);
+    if (!symbol) return std::nullopt;
+    config.tape[c] = *symbol;
+  }
+  return config;
+}
+
+std::size_t clean_state_width(const TuringMachine& tm) {
+  return tm.tape_cells + tm.num_states + tm.tape_cells * tm.num_symbols;
+}
+
+std::size_t reduction_transition_count(const TuringMachine& tm) {
+  return tm.tape_cells * tm.num_states * tm.num_symbols;
+}
+
+TuringMachine make_right_sweeper(std::size_t tape_cells) {
+  TuringMachine tm;
+  tm.num_states = 1;
+  tm.num_symbols = 2;
+  tm.tape_cells = tape_cells;
+  tm.delta = {{/*sym 0*/ {0, 0, +1}, /*sym 1*/ {0, 0, +1}}};
+  return tm;
+}
+
+TuringMachine make_bouncer(std::size_t tape_cells) {
+  assert(tape_cells >= 3);
+  // Symbol 1 marks both tape ends; states: 0 = heading right, 1 = left.
+  TuringMachine tm;
+  tm.num_states = 2;
+  tm.num_symbols = 2;
+  tm.tape_cells = tape_cells;
+  tm.delta = {
+      {/*q0,sym0*/ {0, 0, +1}, /*q0,sym1 (right wall)*/ {1, 1, -1}},
+      {/*q1,sym0*/ {1, 0, -1}, /*q1,sym1 (left wall)*/ {0, 1, +1}},
+  };
+  return tm;
+}
+
+TuringMachine make_binary_counter(std::size_t bits) {
+  // Cell 0 carries a left-end marker (symbol 2); cells 1..bits hold the
+  // counter, LSB first. State 0 increments (carry walks right), state 1
+  // rewinds to the marker. The counter wraps on overflow, so the machine
+  // cycles after visiting ~2^bits configurations — a stress test for the
+  // STATIC-MODE cycle detector.
+  TuringMachine tm;
+  tm.num_states = 2;
+  tm.num_symbols = 3;
+  tm.tape_cells = bits + 1;
+  tm.delta = {
+      {/*q0,0: finish increment*/ {1, 1, -1},
+       /*q0,1: carry*/ {0, 0, +1},
+       /*q0,2: skip marker*/ {0, 2, +1}},
+      {/*q1,0: rewind*/ {1, 0, -1},
+       /*q1,1: rewind*/ {1, 1, -1},
+       /*q1,2: at marker, go increment*/ {0, 2, +1}},
+  };
+  return tm;
+}
+
+}  // namespace sbgp::gadgets

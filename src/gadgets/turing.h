@@ -1,0 +1,122 @@
+// STATIC-MODE and the space-bounded Turing machine of Appendix K.1 — the
+// PSPACE-complete problem the paper reduces to S*BGP ADOPTION (Theorem 7.1 /
+// K.1). This module implements the machine model, the STATIC-MODE decision
+// procedure (by exhaustive configuration search, legitimate because the
+// configuration space of a space-bounded TM is finite), and the
+// clean-state encoding of Appendix K.2 that maps TM configurations onto
+// one-hot SELECTOR-gadget assignments (head selector, machine-state
+// selector, one symbol selector per tape cell).
+//
+// Scope note (cf. DESIGN.md): the reduction's *components* — CHICKEN and
+// k-SELECTOR gadgets, and this machinery — are implemented and tested; the
+// end-to-end network (one TRIPLE-TRANSITION gadget per (head, state,
+// symbol) triple) is exponential scaffolding the paper itself only sketches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sbgp::gadgets {
+
+/// A deterministic, space-bounded Turing machine (tape cells 0..r-1; the
+/// head never leaves the tape — transitions that would are clamped).
+struct TuringMachine {
+  std::size_t num_states = 0;   ///< |Q|
+  std::size_t num_symbols = 0;  ///< |Gamma|
+  std::size_t tape_cells = 0;   ///< r
+
+  struct Action {
+    std::size_t next_state = 0;
+    std::size_t write_symbol = 0;
+    int move = 0;  ///< -1, 0, +1
+  };
+
+  /// delta[state][symbol]; every entry must be populated.
+  std::vector<std::vector<Action>> delta;
+
+  [[nodiscard]] bool valid() const;
+};
+
+/// A machine configuration: head position, machine state, tape contents.
+struct TmConfig {
+  std::size_t head = 0;
+  std::size_t state = 0;
+  std::vector<std::size_t> tape;
+
+  [[nodiscard]] bool operator==(const TmConfig& other) const {
+    return head == other.head && state == other.state && tape == other.tape;
+  }
+  [[nodiscard]] std::uint64_t hash() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Applies delta once. Head movement is clamped to the tape.
+[[nodiscard]] TmConfig step(const TuringMachine& tm, const TmConfig& config);
+
+/// Is `config` static, i.e. delta(config) == config (Appendix K.1's
+/// "static mode")?
+[[nodiscard]] bool is_static(const TuringMachine& tm, const TmConfig& config);
+
+/// Outcome of running a machine from an initial configuration.
+enum class TmOutcome : std::uint8_t {
+  ReachedStatic,  ///< entered a fixed configuration
+  Cycled,         ///< revisited a non-static configuration: runs forever
+};
+
+struct TmRun {
+  TmOutcome outcome = TmOutcome::Cycled;
+  std::size_t steps = 0;       ///< steps until static config / cycle closure
+  TmConfig final_config{};     ///< the static config, or the first repeated one
+};
+
+/// Decides STATIC-MODE by simulation with cycle detection. Terminates on
+/// every input: a space-bounded deterministic machine either reaches a
+/// static configuration or revisits one (finite configuration space).
+[[nodiscard]] TmRun run_static_mode(const TuringMachine& tm, const TmConfig& initial);
+
+/// Builds the initial configuration for input string `input` (symbol
+/// indices; padded with symbol 0 ("blank") to the tape length), head at
+/// cell 0, machine state 0.
+[[nodiscard]] TmConfig initial_config(const TuringMachine& tm,
+                                      const std::vector<std::size_t>& input);
+
+// ---- Appendix K.2: clean states <-> configurations -------------------------
+
+/// The one-hot selector encoding of a configuration: which node is ON in
+/// the head selector (r nodes), the machine-state selector (q nodes), and
+/// each cell's symbol selector (gamma nodes per cell). Flattened:
+/// [head one-hot | state one-hot | cell0 one-hot | cell1 one-hot | ...].
+[[nodiscard]] std::vector<std::uint8_t> encode_clean_state(const TuringMachine& tm,
+                                                           const TmConfig& config);
+
+/// Inverse of encode_clean_state. Returns nullopt if the vector is not a
+/// clean state (some selector not exactly one-hot).
+[[nodiscard]] std::optional<TmConfig> decode_clean_state(
+    const TuringMachine& tm, const std::vector<std::uint8_t>& bits);
+
+/// Total number of selector nodes in the encoding: r + q + r*gamma.
+[[nodiscard]] std::size_t clean_state_width(const TuringMachine& tm);
+
+/// Number of TRIPLE-TRANSITION gadgets the full Appendix K.10 reduction
+/// would instantiate: one per (head, state, symbol) triple.
+[[nodiscard]] std::size_t reduction_transition_count(const TuringMachine& tm);
+
+// ---- Example machines for tests and demos ---------------------------------
+
+/// A machine that walks right, replacing symbol 1 by 0, and parks (static)
+/// on the last cell: always reaches static mode.
+[[nodiscard]] TuringMachine make_right_sweeper(std::size_t tape_cells);
+
+/// A two-state machine that bounces between the two ends of the tape
+/// forever: never reaches static mode (Cycled).
+[[nodiscard]] TuringMachine make_bouncer(std::size_t tape_cells);
+
+/// An n-bit binary counter over the tape that increments until overflow
+/// and then parks: reaches static mode after ~2^n steps.
+[[nodiscard]] TuringMachine make_binary_counter(std::size_t bits);
+
+}  // namespace sbgp::gadgets

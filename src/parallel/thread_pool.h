@@ -1,0 +1,62 @@
+// Thread pool + parallel_for: the stand-in for the paper's 200-node
+// DryadLINQ cluster (Appendix C.3). The decomposition is identical — map
+// per-destination routing-tree computations across workers, reduce utilities.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sbgp::par {
+
+/// A fixed-size pool of worker threads executing queued tasks. Tasks must
+/// not throw; exceptions escaping a task terminate the program (simulation
+/// kernels are noexcept by construction).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means `hardware_concurrency()` (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task` for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs `body(i)` for every i in [begin, end) across the pool, blocking until
+/// all iterations finish. Iterations are distributed in contiguous chunks to
+/// preserve cache locality of per-destination arrays. `body` must be safe to
+/// invoke concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Chunked variant: `body(chunk_begin, chunk_end)` is invoked per chunk.
+/// Useful when the body keeps per-chunk scratch state.
+void parallel_for_chunked(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace sbgp::par

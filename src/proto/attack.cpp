@@ -1,0 +1,118 @@
+#include "proto/attack.h"
+
+#include <algorithm>
+
+#include "topology/as_graph.h"
+
+namespace sbgp::proto {
+
+namespace {
+
+[[nodiscard]] bool path_contains(const std::vector<std::uint32_t>& path,
+                                 std::uint32_t asn) {
+  return std::find(path.begin(), path.end(), asn) != path.end();
+}
+
+}  // namespace
+
+PartialPreferenceResult run_partial_preference_attack() {
+  // Figure 15. ASNs: p=1, q=2, r=3, s=4, v=5, m=6.
+  topo::AsGraph g;
+  const topo::AsId p = g.add_as(1);
+  const topo::AsId q = g.add_as(2);
+  const topo::AsId r = g.add_as(3);
+  const topo::AsId s = g.add_as(4);
+  const topo::AsId v = g.add_as(5);
+  const topo::AsId m = g.add_as(6);
+  g.add_customer_provider(p, q);  // p provides q
+  g.add_customer_provider(p, r);
+  g.add_customer_provider(q, m);
+  g.add_customer_provider(r, s);
+  g.add_customer_provider(s, v);
+  g.finalize();
+
+  std::vector<NodeSecurity> security(g.num_nodes(), NodeSecurity::Insecure);
+  security[p] = NodeSecurity::Full;
+  security[q] = NodeSecurity::Full;
+
+  // "p's tiebreak algorithm prefers paths through r over paths through q".
+  std::vector<std::uint64_t> rank(g.num_nodes());
+  for (topo::AsId i = 0; i < g.num_nodes(); ++i) rank[i] = g.asn(i);
+  rank[q] = 1000;
+
+  PartialPreferenceResult out;
+  for (const PartialPathPolicy policy :
+       {PartialPathPolicy::IgnorePartial, PartialPathPolicy::PreferPartial}) {
+    EngineConfig cfg;
+    cfg.mode = SecurityMode::SBgp;
+    cfg.partial = policy;
+    cfg.tiebreak.mode = rt::TieBreakPolicy::Mode::Rank;
+    cfg.tiebreak.rank = &rank;
+    BgpEngine engine(g, security, cfg);
+    engine.run(v);
+    engine.inject(m, {g.asn(m), g.asn(v)}, v);
+    const auto& route = engine.route(p);
+    if (policy == PartialPathPolicy::IgnorePartial) {
+      out.path_ignore_partial = route.path;
+      out.attack_succeeds_with_ignore = path_contains(route.path, g.asn(m));
+    } else {
+      out.path_prefer_partial = route.path;
+      out.attack_succeeds_with_partial = path_contains(route.path, g.asn(m));
+    }
+  }
+  return out;
+}
+
+HijackResult run_origin_hijack(std::size_t victim_distance,
+                               std::size_t attacker_distance) {
+  victim_distance = std::max<std::size_t>(1, victim_distance);
+  attacker_distance = std::max<std::size_t>(1, attacker_distance);
+
+  // Probe x at the top; two customer chains hang off it: one ends at the
+  // victim v (true origin), the other at the attacker m.
+  topo::AsGraph g;
+  const topo::AsId x = g.add_as(1);
+  std::vector<topo::AsId> chain_v{x}, chain_m{x};
+  for (std::size_t i = 0; i < victim_distance; ++i) {
+    const topo::AsId node = g.add_as(static_cast<std::uint32_t>(100 + i));
+    g.add_customer_provider(chain_v.back(), node);
+    chain_v.push_back(node);
+  }
+  for (std::size_t i = 0; i < attacker_distance; ++i) {
+    const topo::AsId node = g.add_as(static_cast<std::uint32_t>(200 + i));
+    g.add_customer_provider(chain_m.back(), node);
+    chain_m.push_back(node);
+  }
+  g.finalize();
+  const topo::AsId v = chain_v.back();
+  const topo::AsId m = chain_m.back();
+
+  // Adversarial tie-break: ties at the probe favour the attacker's side.
+  std::vector<std::uint64_t> rank(g.num_nodes());
+  for (topo::AsId i = 0; i < g.num_nodes(); ++i) rank[i] = g.asn(i) + 1000;
+  rank[chain_m[1]] = 1;
+
+  HijackResult out;
+  out.true_path_len = victim_distance;
+  out.false_path_len = attacker_distance;
+
+  for (const SecurityMode mode : {SecurityMode::BgpOnly, SecurityMode::SBgp}) {
+    EngineConfig cfg;
+    cfg.mode = mode;
+    cfg.tiebreak.mode = rt::TieBreakPolicy::Mode::Rank;
+    cfg.tiebreak.rank = &rank;
+    std::vector<NodeSecurity> security(
+        g.num_nodes(),
+        mode == SecurityMode::BgpOnly ? NodeSecurity::Insecure : NodeSecurity::Full);
+    BgpEngine engine(g, security, cfg);
+    engine.run(v);
+    // The attacker claims to *originate* the victim's prefix.
+    engine.inject(m, {g.asn(m)}, v);
+    const bool fooled = path_contains(engine.route(x).path, g.asn(m));
+    if (mode == SecurityMode::BgpOnly) out.probe_fooled_bgp = fooled;
+    else out.probe_fooled_sbgp = fooled;
+  }
+  return out;
+}
+
+}  // namespace sbgp::proto

@@ -1,0 +1,47 @@
+// Attack scenarios for the protocol engine.
+//
+// Appendix B (Figure 15): preferring *partially* secure paths over insecure
+// ones introduces an attack that does not exist even without S*BGP — a
+// malicious AS m falsely announces (m, v); the partially-attested false
+// path (p,q,m,v) then beats the fully-insecure true path (p,r,s,v) at the
+// secure AS p. Under the paper's rule (only fully-secure paths are
+// preferred) p keeps the true route. This is why Section 2.2.2 forbids
+// partial-path preference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/engine.h"
+
+namespace sbgp::proto {
+
+/// Outcome of one run of the Figure 15 scenario.
+struct PartialPreferenceResult {
+  std::vector<std::uint32_t> path_ignore_partial;  ///< p's path, paper's rule
+  std::vector<std::uint32_t> path_prefer_partial;  ///< p's path, flawed rule
+  bool attack_succeeds_with_partial = false;  ///< p routes into m under the flawed rule
+  bool attack_succeeds_with_ignore = false;   ///< ... under the paper's rule
+};
+
+/// Builds the 6-AS Figure 15 network, runs convergence for destination v,
+/// injects m's false announcement (m, v), and reports p's chosen route under
+/// both partial-path policies.
+[[nodiscard]] PartialPreferenceResult run_partial_preference_attack();
+
+/// Origin-hijack experiment on a configurable chain: victim v at one end,
+/// attacker m at distance `attacker_distance` from the probe AS, true path
+/// length `victim_distance`. Demonstrates that S*BGP-as-tiebreak stops
+/// equally-long bogus routes but — by design (LP and SP rank above SecP) —
+/// not strictly shorter ones.
+struct HijackResult {
+  bool probe_fooled_bgp = false;       ///< plain BGP: probe routes to attacker
+  bool probe_fooled_sbgp = false;      ///< S-BGP everywhere, tie-break rule
+  std::size_t true_path_len = 0;
+  std::size_t false_path_len = 0;
+};
+
+[[nodiscard]] HijackResult run_origin_hijack(std::size_t victim_distance,
+                                             std::size_t attacker_distance);
+
+}  // namespace sbgp::proto

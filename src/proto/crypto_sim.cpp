@@ -1,0 +1,42 @@
+#include "proto/crypto_sim.h"
+
+namespace sbgp::proto {
+
+namespace {
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Digest digest_words(std::initializer_list<std::uint64_t> words) {
+  DigestBuilder b;
+  for (const std::uint64_t w : words) b.add(w);
+  return b.finish();
+}
+
+DigestBuilder& DigestBuilder::add(std::uint64_t word) {
+  state_ = mix64(state_ ^ mix64(word));
+  return *this;
+}
+
+KeyPair derive_keypair(std::uint32_t asn, std::uint64_t master_seed) {
+  KeyPair kp;
+  kp.private_key = mix64(master_seed ^ (0xA5A5A5A5ULL << 32) ^ asn);
+  kp.public_key = mix64(kp.private_key ^ 0x5bd1e995ULL);
+  return kp;
+}
+
+Signature sign(std::uint64_t private_key, Digest digest) {
+  return mix64(private_key ^ mix64(digest));
+}
+
+bool verify_with_private(std::uint64_t private_key, Digest digest, Signature sig) {
+  return sign(private_key, digest) == sig;
+}
+
+}  // namespace sbgp::proto

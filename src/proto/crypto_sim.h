@@ -1,0 +1,55 @@
+// Simulation-grade cryptography for the S*BGP protocol engine.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): the paper's protocols rest on RSA
+// signatures over RPKI-certified keys. The deployment economics are
+// indifferent to cryptographic strength — what matters is *who can produce
+// and who can validate which attestations*. We therefore model signatures
+// as 64-bit keyed digests. Unforgeability holds by construction within the
+// simulation: producing a signature requires the private key, private keys
+// never leave the Rpki/KeyPair objects, and attack harnesses are written
+// against the same public API as honest nodes.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace sbgp::proto {
+
+/// A 64-bit message digest.
+using Digest = std::uint64_t;
+/// A 64-bit simulated signature.
+using Signature = std::uint64_t;
+
+/// splitmix64-based mixing of a sequence of words into a digest.
+[[nodiscard]] Digest digest_words(std::initializer_list<std::uint64_t> words);
+
+/// Incremental digest builder for variable-length data (AS paths).
+class DigestBuilder {
+ public:
+  DigestBuilder& add(std::uint64_t word);
+  [[nodiscard]] Digest finish() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x6a09e667f3bcc908ULL;
+};
+
+/// A simulated asymmetric key pair.
+struct KeyPair {
+  std::uint64_t public_key = 0;
+  std::uint64_t private_key = 0;
+};
+
+/// Deterministically derives the key pair of `asn` from the trust anchor's
+/// master seed (so independently constructed RPKI instances agree).
+[[nodiscard]] KeyPair derive_keypair(std::uint32_t asn, std::uint64_t master_seed);
+
+/// Signs `digest` with a private key.
+[[nodiscard]] Signature sign(std::uint64_t private_key, Digest digest);
+
+/// Verifies a signature given the *private* key (the Rpki verification
+/// service holds the key material; see rpki.h). Constant-time concerns do
+/// not apply to a simulation.
+[[nodiscard]] bool verify_with_private(std::uint64_t private_key, Digest digest,
+                                       Signature sig);
+
+}  // namespace sbgp::proto

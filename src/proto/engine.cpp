@@ -1,0 +1,317 @@
+#include "proto/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbgp::proto {
+
+const char* to_string(SecurityMode m) {
+  switch (m) {
+    case SecurityMode::BgpOnly: return "bgp";
+    case SecurityMode::SBgp: return "s-bgp";
+    case SecurityMode::SoBgp: return "so-bgp";
+  }
+  return "?";
+}
+
+BgpEngine::BgpEngine(const AsGraph& graph, std::vector<NodeSecurity> security,
+                     EngineConfig cfg)
+    : graph_(graph),
+      security_(std::move(security)),
+      cfg_(cfg),
+      rpki_(),
+      sobgp_(rpki_) {
+  assert(security_.size() == graph.num_nodes());
+  if (cfg_.max_events == 0) cfg_.max_events = 200 * graph.num_nodes();
+
+  for (AsId n = 0; n < graph_.num_nodes(); ++n) {
+    if (security_[n] != NodeSecurity::Insecure) {
+      rpki_.register_as(graph_.asn(n));
+      rpki_.add_roa(graph_.asn(n), Prefix::for_asn(graph_.asn(n)));
+    }
+  }
+  if (cfg_.mode == SecurityMode::SoBgp) {
+    // Mutual link certification: only links between two secure ASes can be
+    // certified, which is exactly why a path is secure iff every AS on it
+    // is secure (Section 2.2).
+    for (AsId n = 0; n < graph_.num_nodes(); ++n) {
+      if (security_[n] == NodeSecurity::Insecure) continue;
+      auto try_certify = [&](AsId other) {
+        if (n < other && security_[other] != NodeSecurity::Insecure) {
+          sobgp_.certify_link(graph_.asn(n), graph_.asn(other));
+        }
+      };
+      for (const AsId c : graph_.customers(n)) try_certify(c);
+      for (const AsId p : graph_.peers(n)) try_certify(p);
+      for (const AsId p : graph_.providers(n)) try_certify(p);
+    }
+  }
+
+  rib_in_.resize(graph_.num_nodes());
+  selected_.resize(graph_.num_nodes());
+  selected_atts_.resize(graph_.num_nodes());
+  in_queue_.assign(graph_.num_nodes(), 0);
+  frozen_.assign(graph_.num_nodes(), 0);
+  stats_.signatures.assign(graph_.num_nodes(), 0);
+  stats_.verifications.assign(graph_.num_nodes(), 0);
+}
+
+std::size_t BgpEngine::num_neighbors(AsId node) const {
+  return graph_.degree(node);
+}
+
+AsId BgpEngine::neighbor_at(AsId node, std::size_t slot) const {
+  const auto cust = graph_.customers(node);
+  if (slot < cust.size()) return cust[slot];
+  slot -= cust.size();
+  const auto peers = graph_.peers(node);
+  if (slot < peers.size()) return peers[slot];
+  slot -= peers.size();
+  return graph_.providers(node)[slot];
+}
+
+topo::Link BgpEngine::link_to(AsId node, std::size_t slot) const {
+  const auto cust = graph_.customers(node);
+  if (slot < cust.size()) return topo::Link::Customer;
+  if (slot < cust.size() + graph_.peers(node).size()) return topo::Link::Peer;
+  return topo::Link::Provider;
+}
+
+std::size_t BgpEngine::neighbor_slot(AsId node, AsId neighbor) const {
+  const auto cust = graph_.customers(node);
+  const auto peers = graph_.peers(node);
+  const auto provs = graph_.providers(node);
+  auto find_in = [&](std::span<const AsId> v) -> std::ptrdiff_t {
+    const auto it = std::lower_bound(v.begin(), v.end(), neighbor);
+    return (it != v.end() && *it == neighbor) ? it - v.begin() : -1;
+  };
+  std::ptrdiff_t i = find_in(cust);
+  if (i >= 0) return static_cast<std::size_t>(i);
+  i = find_in(peers);
+  if (i >= 0) return cust.size() + static_cast<std::size_t>(i);
+  i = find_in(provs);
+  assert(i >= 0);
+  return cust.size() + peers.size() + static_cast<std::size_t>(i);
+}
+
+bool BgpEngine::applies_secp(AsId n) const {
+  switch (security_[n]) {
+    case NodeSecurity::Full: return true;
+    case NodeSecurity::Simplex: return cfg_.stub_breaks_ties;
+    case NodeSecurity::Insecure: return false;
+  }
+  return false;
+}
+
+std::uint8_t BgpEngine::score_path(AsId receiver,
+                                   const std::vector<std::uint32_t>& path,
+                                   const std::vector<Attestation>& atts) {
+  if (cfg_.mode == SecurityMode::BgpOnly || path.empty()) return 0;
+  // Only validating receivers score paths: a Full AS validates itself; a
+  // simplex stub that breaks ties on security trusts its provider's
+  // validation (Section 6.7) — same machinery, same verdict.
+  if (!applies_secp(receiver)) return 0;
+
+  std::uint8_t score = 0;
+  if (cfg_.mode == SecurityMode::SBgp) {
+    const PathValidation v =
+        validate_path(rpki_, dest_prefix_, path, graph_.asn(receiver), atts);
+    if (security_[receiver] == NodeSecurity::Full) {
+      stats_.verifications[receiver] += path.size();
+    }
+    score = v.fully_valid ? 2 : (v.valid_hops > 0 ? 1 : 0);
+  } else {  // SoBgp
+    if (security_[receiver] == NodeSecurity::Full) {
+      stats_.verifications[receiver] += path.size();
+    }
+    const bool plausible = sobgp_.path_plausible(path);
+    const bool origin_ok =
+        rpki_.validate_origin(path.back(), dest_prefix_) == RoaValidity::Valid;
+    if (plausible && origin_ok) {
+      score = 2;
+    } else {
+      // Partial credit: some prefix of the links is certified.
+      bool any = path.size() >= 2 && sobgp_.link_certified(path[0], path[1]);
+      score = any ? 1 : 0;
+    }
+  }
+  if (cfg_.partial == PartialPathPolicy::IgnorePartial && score == 1) score = 0;
+  return score;
+}
+
+void BgpEngine::reset(AsId dest) {
+  dest_ = dest;
+  dest_prefix_ = Prefix::for_asn(graph_.asn(dest));
+  for (AsId n = 0; n < graph_.num_nodes(); ++n) {
+    rib_in_[n].assign(num_neighbors(n), Candidate{});
+    selected_[n] = NodeRoute{};
+    selected_atts_[n].clear();
+  }
+  export_queue_.clear();
+  std::fill(in_queue_.begin(), in_queue_.end(), 0);
+  std::fill(frozen_.begin(), frozen_.end(), 0);
+  stats_.messages = 0;
+  std::fill(stats_.signatures.begin(), stats_.signatures.end(), 0);
+  std::fill(stats_.verifications.begin(), stats_.verifications.end(), 0);
+}
+
+void BgpEngine::originate(AsId dest) {
+  selected_[dest].next_hop = kNoAs;
+  selected_[dest].path.clear();
+  selected_[dest].cls = rt::RouteClass::Self;
+  selected_[dest].security_score = 2;
+  enqueue_export(dest);
+}
+
+bool BgpEngine::run(AsId dest) {
+  reset(dest);
+  originate(dest);
+  return process_queue();
+}
+
+bool BgpEngine::inject(AsId attacker, const std::vector<std::uint32_t>& claimed_path,
+                       AsId dest) {
+  assert(dest == dest_ && "run(dest) must precede inject");
+  (void)dest;
+  assert(!claimed_path.empty() && claimed_path.front() == graph_.asn(attacker));
+  frozen_[attacker] = 1;
+  for (std::size_t slot = 0; slot < num_neighbors(attacker); ++slot) {
+    const AsId victim = neighbor_at(attacker, slot);
+    std::vector<Attestation> atts;
+    // The attacker holds only its own keys: it can attest its own hop (if
+    // it is secure at all), nothing else.
+    Attestation own;
+    if (security_[attacker] != NodeSecurity::Insecure &&
+        attest(rpki_, dest_prefix_, claimed_path, graph_.asn(victim), own)) {
+      ++stats_.signatures[attacker];
+      atts.push_back(own);
+    }
+    Candidate cand;
+    cand.path = claimed_path;
+    cand.attestations = std::move(atts);
+    cand.present = true;
+    deliver(victim, neighbor_slot(victim, attacker), std::move(cand));
+  }
+  return process_queue();
+}
+
+bool BgpEngine::process_queue() {
+  std::size_t events = 0;
+  while (!export_queue_.empty()) {
+    if (++events > cfg_.max_events) return false;
+    const AsId node = export_queue_.front();
+    export_queue_.pop_front();
+    in_queue_[node] = 0;
+    do_export(node);
+  }
+  return true;
+}
+
+void BgpEngine::enqueue_export(AsId node) {
+  if (in_queue_[node] == 0) {
+    in_queue_[node] = 1;
+    export_queue_.push_back(node);
+  }
+}
+
+void BgpEngine::do_export(AsId node) {
+  if (frozen_[node] != 0) return;
+  const NodeRoute& route = selected_[node];
+  if (route.cls == rt::RouteClass::None) return;
+  // GR2: own-prefix and customer-learned routes go to everyone; peer- and
+  // provider-learned routes go to customers only.
+  const bool to_all =
+      route.cls == rt::RouteClass::Self || route.cls == rt::RouteClass::Customer;
+  const std::size_t n_cust = graph_.customers(node).size();
+  for (std::size_t slot = 0; slot < num_neighbors(node); ++slot) {
+    if (!to_all && slot >= n_cust) break;  // slots are customers-first
+    send(node, neighbor_at(node, slot), route, selected_atts_[node]);
+  }
+}
+
+void BgpEngine::send(AsId from, AsId to, const NodeRoute& route,
+                     const std::vector<Attestation>& attestations) {
+  Candidate cand;
+  cand.path.reserve(route.path.size() + 1);
+  cand.path.push_back(graph_.asn(from));
+  cand.path.insert(cand.path.end(), route.path.begin(), route.path.end());
+  cand.attestations = attestations;
+
+  const bool signs =
+      security_[from] == NodeSecurity::Full ||
+      (security_[from] == NodeSecurity::Simplex && route.cls == rt::RouteClass::Self);
+  if (cfg_.mode == SecurityMode::SBgp && signs) {
+    Attestation att;
+    if (attest(rpki_, dest_prefix_, cand.path, graph_.asn(to), att)) {
+      ++stats_.signatures[from];
+      cand.attestations.push_back(att);
+    }
+  }
+  cand.present = true;
+  deliver(to, neighbor_slot(to, from), std::move(cand));
+}
+
+void BgpEngine::deliver(AsId receiver, std::size_t sender_slot, Candidate cand) {
+  ++stats_.messages;
+  if (receiver == dest_) return;  // the origin ignores routes to itself
+  // Loop prevention: discard paths containing the receiver.
+  const std::uint32_t self_asn = graph_.asn(receiver);
+  if (std::find(cand.path.begin(), cand.path.end(), self_asn) != cand.path.end()) {
+    return;
+  }
+  cand.security_score = score_path(receiver, cand.path, cand.attestations);
+  rib_in_[receiver][sender_slot] = std::move(cand);
+  if (reselect(receiver)) enqueue_export(receiver);
+}
+
+bool BgpEngine::reselect(AsId receiver) {
+  const NodeRoute before = selected_[receiver];
+  NodeRoute best;
+  std::size_t best_slot = 0;
+  std::uint64_t best_tb = 0;
+  const bool secp = applies_secp(receiver);
+
+  for (std::size_t slot = 0; slot < rib_in_[receiver].size(); ++slot) {
+    const Candidate& cand = rib_in_[receiver][slot];
+    if (!cand.present) continue;
+    rt::RouteClass cls = rt::RouteClass::Provider;
+    switch (link_to(receiver, slot)) {
+      case topo::Link::Customer: cls = rt::RouteClass::Customer; break;
+      case topo::Link::Peer: cls = rt::RouteClass::Peer; break;
+      case topo::Link::Provider: cls = rt::RouteClass::Provider; break;
+    }
+    const AsId sender = neighbor_at(receiver, slot);
+    const std::uint64_t tb = cfg_.tiebreak.key(receiver, sender, graph_);
+    const std::uint8_t sec = secp ? cand.security_score : 0;
+
+    bool better = false;
+    if (best.cls == rt::RouteClass::None) {
+      better = true;
+    } else if (cls != best.cls) {
+      better = cls < best.cls;
+    } else if (cand.path.size() != best.path.size()) {
+      better = cand.path.size() < best.path.size();
+    } else if (sec != best.security_score) {
+      better = sec > best.security_score;
+    } else {
+      better = tb < best_tb;
+    }
+    if (better) {
+      best.cls = cls;
+      best.path = cand.path;
+      best.security_score = sec;
+      best.next_hop = sender;
+      best_slot = slot;
+      best_tb = tb;
+    }
+  }
+
+  if (best.cls == rt::RouteClass::None) return false;
+  const bool changed = best.cls != before.cls || best.path != before.path ||
+                       best.security_score != before.security_score;
+  selected_[receiver] = best;
+  selected_atts_[receiver] = rib_in_[receiver][best_slot].attestations;
+  return changed;
+}
+
+}  // namespace sbgp::proto

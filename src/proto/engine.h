@@ -1,0 +1,159 @@
+// Event-driven message-level BGP / S*BGP propagation engine. Where the
+// routing library (src/routing) *derives* the converged routing tree in
+// closed form, this engine actually exchanges announcements hop by hop:
+// origination, GR2 export filtering, per-receiver validation (S-BGP route
+// attestations or soBGP topology checks), the LP > SP > SecP > TB selection
+// of Appendix A, and convergence detection (guaranteed by Lemma G.1).
+//
+// It exists for three reasons:
+//  1. protocol-level fidelity: simplex vs full S*BGP differ in *which
+//     cryptographic operations run where* — the engine counts them,
+//     substantiating the paper's claim that simplex S*BGP removes nearly all
+//     load from stubs (Section 2.2.1);
+//  2. attack experiments (Appendix B) need an attacker that injects bogus
+//     messages, which has no closed-form counterpart;
+//  3. it cross-checks the closed-form routing library: on attack-free runs
+//     both must select identical next hops (an integration test).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "proto/rpki.h"
+#include "proto/sbgp.h"
+#include "proto/sobgp.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::proto {
+
+using topo::AsGraph;
+using topo::AsId;
+using topo::kNoAs;
+
+/// Which protocol the secure ASes speak.
+enum class SecurityMode : std::uint8_t { BgpOnly, SBgp, SoBgp };
+
+[[nodiscard]] const char* to_string(SecurityMode m);
+
+/// How route selection treats partially-attested paths. The paper mandates
+/// IgnorePartial (Section 2.2.2); PreferPartial reproduces the Appendix B
+/// attack that motivates the mandate.
+enum class PartialPathPolicy : std::uint8_t { IgnorePartial, PreferPartial };
+
+/// Per-AS security posture.
+enum class NodeSecurity : std::uint8_t {
+  Insecure,  ///< plain BGP: no signing, no validation
+  Simplex,   ///< signs own-prefix announcements only; never validates
+  Full,      ///< signs everything it sends and validates everything received
+};
+
+struct EngineConfig {
+  SecurityMode mode = SecurityMode::SBgp;
+  PartialPathPolicy partial = PartialPathPolicy::IgnorePartial;
+  /// Do simplex stubs break ties on security (Section 6.7)? They cannot
+  /// validate themselves; the model has them trust their providers'
+  /// validation, which the engine implements with the same validation
+  /// machinery (its verdict equals ground truth).
+  bool stub_breaks_ties = true;
+  rt::TieBreakPolicy tiebreak{};
+  /// Safety cap on processed export events.
+  std::size_t max_events = 0;  ///< 0 = 64 * |V|
+};
+
+/// A route installed at a node after convergence.
+struct NodeRoute {
+  AsId next_hop = kNoAs;
+  std::vector<std::uint32_t> path;  ///< ASNs, path.front()=next hop, back()=origin
+  rt::RouteClass cls = rt::RouteClass::None;
+  std::uint8_t security_score = 0;  ///< 2 fully secure, 1 partial, 0 none
+  [[nodiscard]] bool fully_secure() const { return security_score == 2; }
+};
+
+/// Cryptographic workload counters — the evidence for "simplex S*BGP
+/// significantly decreases the computational load on the stub".
+struct CryptoStats {
+  std::vector<std::uint64_t> signatures;     ///< produced, per AS
+  std::vector<std::uint64_t> verifications;  ///< performed, per AS
+  std::uint64_t messages = 0;                ///< announcements delivered
+};
+
+class BgpEngine {
+ public:
+  /// `security[n]` gives each AS's posture. The engine registers every
+  /// Simplex/Full AS in its Rpki, issues ROAs for their own prefixes, and
+  /// (in SoBgp mode) certifies every link whose two endpoints are secure.
+  BgpEngine(const AsGraph& graph, std::vector<NodeSecurity> security,
+            EngineConfig cfg);
+
+  /// Runs origination of `dest`'s prefix and processes messages to
+  /// convergence. Returns false if max_events was hit (should not happen:
+  /// Lemma G.1 guarantees convergence under these policies).
+  bool run(AsId dest);
+
+  /// Injects a bogus announcement from `attacker` claiming `claimed_path`
+  /// (ASNs; front() must be the attacker) for `dest`'s prefix, sent to all
+  /// of the attacker's neighbours, then re-runs to convergence. Call after
+  /// run(dest). The attacker can attach only its own attestation — it holds
+  /// no other AS's keys.
+  bool inject(AsId attacker, const std::vector<std::uint32_t>& claimed_path,
+              AsId dest);
+
+  /// Converged route of `n` toward the current destination (empty path =
+  /// no route).
+  [[nodiscard]] const NodeRoute& route(AsId n) const { return selected_[n]; }
+
+  [[nodiscard]] const CryptoStats& crypto_stats() const { return stats_; }
+  [[nodiscard]] const Rpki& rpki() const { return rpki_; }
+  [[nodiscard]] AsId current_dest() const { return dest_; }
+
+ private:
+  struct Candidate {
+    std::vector<std::uint32_t> path;  ///< ASNs, front()=sender
+    std::vector<Attestation> attestations;
+    std::uint8_t security_score = 0;  ///< receiver's verdict
+    bool present = false;
+  };
+
+  void reset(AsId dest);
+  void originate(AsId dest);
+  bool process_queue();
+  void deliver(AsId receiver, std::size_t sender_slot, Candidate cand);
+  /// Recomputes `receiver`'s selection; returns true when it changed.
+  bool reselect(AsId receiver);
+  void enqueue_export(AsId node);
+  void do_export(AsId node);
+  void send(AsId from, AsId to, const NodeRoute& route,
+            const std::vector<Attestation>& attestations);
+  [[nodiscard]] std::uint8_t score_path(AsId receiver,
+                                        const std::vector<std::uint32_t>& path,
+                                        const std::vector<Attestation>& atts);
+  [[nodiscard]] bool applies_secp(AsId n) const;
+  [[nodiscard]] std::size_t neighbor_slot(AsId node, AsId neighbor) const;
+  [[nodiscard]] topo::Link link_to(AsId node, std::size_t slot) const;
+  [[nodiscard]] AsId neighbor_at(AsId node, std::size_t slot) const;
+  [[nodiscard]] std::size_t num_neighbors(AsId node) const;
+
+  const AsGraph& graph_;
+  std::vector<NodeSecurity> security_;
+  EngineConfig cfg_;
+  Rpki rpki_;
+  SoBgpDatabase sobgp_;
+  AsId dest_ = kNoAs;
+  Prefix dest_prefix_{};
+
+  // Per node: adjacency layout is customers | peers | providers, and
+  // rib_in_[n][slot] is the latest candidate from that neighbour.
+  std::vector<std::vector<Candidate>> rib_in_;
+  std::vector<NodeRoute> selected_;
+  std::vector<std::vector<Attestation>> selected_atts_;
+  std::deque<AsId> export_queue_;
+  std::vector<std::uint8_t> in_queue_;
+  std::vector<std::uint8_t> frozen_;  ///< injected attackers stop honest exports
+  CryptoStats stats_;
+};
+
+}  // namespace sbgp::proto

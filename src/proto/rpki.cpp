@@ -1,0 +1,78 @@
+#include "proto/rpki.h"
+
+#include <algorithm>
+
+namespace sbgp::proto {
+
+std::string Prefix::to_string() const {
+  return std::to_string((addr >> 24) & 0xff) + "." + std::to_string((addr >> 16) & 0xff) +
+         "." + std::to_string((addr >> 8) & 0xff) + "." + std::to_string(addr & 0xff) +
+         "/" + std::to_string(len);
+}
+
+const char* to_string(RoaValidity v) {
+  switch (v) {
+    case RoaValidity::Valid: return "valid";
+    case RoaValidity::Invalid: return "invalid";
+    case RoaValidity::NotFound: return "not-found";
+  }
+  return "?";
+}
+
+Rpki::Rpki(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+void Rpki::register_as(std::uint32_t asn) {
+  keys_.try_emplace(asn, derive_keypair(asn, master_seed_));
+}
+
+bool Rpki::is_registered(std::uint32_t asn) const { return keys_.count(asn) != 0; }
+
+std::optional<std::uint64_t> Rpki::public_key(std::uint32_t asn) const {
+  const auto it = keys_.find(asn);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second.public_key;
+}
+
+void Rpki::add_roa(std::uint32_t asn, Prefix prefix) {
+  auto& origins = roas_[prefix.key()];
+  if (std::find(origins.begin(), origins.end(), asn) == origins.end()) {
+    origins.push_back(asn);
+  }
+}
+
+RoaValidity Rpki::validate_origin(std::uint32_t origin, Prefix prefix) const {
+  // A covering ROA exists and authorises `origin` -> Valid; a covering ROA
+  // exists but none authorises `origin` -> Invalid; no covering ROA ->
+  // NotFound. We only index exact prefixes plus their shorter covers.
+  bool any_cover = false;
+  for (const auto& [key, origins] : roas_) {
+    const Prefix roa{static_cast<std::uint32_t>(key >> 8),
+                     static_cast<std::uint8_t>(key & 0xff)};
+    if (!roa.covers(prefix)) continue;
+    any_cover = true;
+    if (std::find(origins.begin(), origins.end(), origin) != origins.end()) {
+      return RoaValidity::Valid;
+    }
+  }
+  return any_cover ? RoaValidity::Invalid : RoaValidity::NotFound;
+}
+
+std::optional<Signature> Rpki::sign_as(std::uint32_t asn, Digest digest) const {
+  const auto it = keys_.find(asn);
+  if (it == keys_.end()) return std::nullopt;
+  return sign(it->second.private_key, digest);
+}
+
+bool Rpki::verify(std::uint32_t asn, Digest digest, Signature sig) const {
+  const auto it = keys_.find(asn);
+  if (it == keys_.end()) return false;
+  return verify_with_private(it->second.private_key, digest, sig);
+}
+
+std::size_t Rpki::num_roas() const {
+  std::size_t count = 0;
+  for (const auto& [key, origins] : roas_) count += origins.size();
+  return count;
+}
+
+}  // namespace sbgp::proto

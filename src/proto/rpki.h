@@ -1,0 +1,89 @@
+// The Resource Public Key Infrastructure (RPKI [18]): the cryptographic
+// root of trust that authoritatively maps ASes to their IP prefixes and
+// public keys — the prerequisite the paper's introduction says is finally
+// "on the horizon". Provides key registration, Route Origin Authorizations
+// (ROAs), origin validation, and a signing/verification service that keeps
+// private keys inside the trust anchor (simulation boundary; see
+// crypto_sim.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/crypto_sim.h"
+
+namespace sbgp::proto {
+
+/// An IPv4 prefix (address/len). Simulation networks typically assign one
+/// synthetic /24 per AS.
+struct Prefix {
+  std::uint32_t addr = 0;
+  std::uint8_t len = 0;
+
+  [[nodiscard]] std::uint32_t mask() const {
+    return len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+  }
+  /// Does this prefix cover `other` (equal or less specific)?
+  [[nodiscard]] bool covers(const Prefix& other) const {
+    return len <= other.len && ((addr ^ other.addr) & mask()) == 0;
+  }
+  [[nodiscard]] bool operator==(const Prefix& other) const {
+    return addr == other.addr && len == other.len;
+  }
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(addr) << 8) | len;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  /// The synthetic /24 conventionally assigned to `asn` in simulations.
+  [[nodiscard]] static Prefix for_asn(std::uint32_t asn) {
+    return Prefix{(10u << 24) | (asn << 8), 24};
+  }
+};
+
+/// RFC 6811 origin-validation outcomes.
+enum class RoaValidity : std::uint8_t { Valid, Invalid, NotFound };
+
+[[nodiscard]] const char* to_string(RoaValidity v);
+
+/// The simulated trust anchor. One instance per internetwork.
+class Rpki {
+ public:
+  explicit Rpki(std::uint64_t master_seed = 0x5eedULL);
+
+  /// Registers `asn`, deriving its key pair. Idempotent.
+  void register_as(std::uint32_t asn);
+  [[nodiscard]] bool is_registered(std::uint32_t asn) const;
+  [[nodiscard]] std::optional<std::uint64_t> public_key(std::uint32_t asn) const;
+
+  /// Issues a ROA authorising `asn` to originate `prefix`.
+  void add_roa(std::uint32_t asn, Prefix prefix);
+
+  /// RFC 6811 origin validation of an (origin, prefix) announcement.
+  [[nodiscard]] RoaValidity validate_origin(std::uint32_t origin, Prefix prefix) const;
+
+  /// Signing service: produces `asn`'s signature over `digest`. In a real
+  /// deployment the AS signs with its own private key; the simulation keeps
+  /// all private keys inside this object, and honest/attack code alike must
+  /// name the AS it is acting as — the engine only ever calls this for the
+  /// AS actually emitting the message, which is the unforgeability boundary.
+  [[nodiscard]] std::optional<Signature> sign_as(std::uint32_t asn, Digest digest) const;
+
+  /// Verifies `sig` as `asn`'s signature over `digest`. Unregistered ASes
+  /// verify nothing.
+  [[nodiscard]] bool verify(std::uint32_t asn, Digest digest, Signature sig) const;
+
+  [[nodiscard]] std::size_t num_registered() const { return keys_.size(); }
+  [[nodiscard]] std::size_t num_roas() const;
+
+ private:
+  std::uint64_t master_seed_;
+  std::unordered_map<std::uint32_t, KeyPair> keys_;
+  // prefix key -> authorised origins (multi-origin is legal).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> roas_;
+};
+
+}  // namespace sbgp::proto

@@ -1,0 +1,62 @@
+#include "proto/sbgp.h"
+
+namespace sbgp::proto {
+
+Digest attestation_digest(const Prefix& prefix,
+                          const std::vector<std::uint32_t>& path_suffix,
+                          std::uint32_t recipient) {
+  DigestBuilder b;
+  b.add(prefix.key());
+  for (const std::uint32_t asn : path_suffix) b.add(asn);
+  b.add(0xFEEDULL << 32 | recipient);
+  return b.finish();
+}
+
+bool attest(const Rpki& rpki, const Prefix& prefix,
+            const std::vector<std::uint32_t>& path_suffix, std::uint32_t recipient,
+            Attestation& out) {
+  if (path_suffix.empty()) return false;
+  const std::uint32_t signer = path_suffix.front();
+  const auto sig = rpki.sign_as(signer, attestation_digest(prefix, path_suffix, recipient));
+  if (!sig.has_value()) return false;
+  out.signer = signer;
+  out.recipient = recipient;
+  out.sig = *sig;
+  return true;
+}
+
+PathValidation validate_path(const Rpki& rpki, const Prefix& prefix,
+                             const std::vector<std::uint32_t>& path,
+                             std::uint32_t receiver,
+                             const std::vector<Attestation>& attestations) {
+  PathValidation result;
+  result.total_hops = path.size();
+  if (path.empty()) return result;
+  result.origin = rpki.validate_origin(path.back(), prefix);
+
+  // Hop j (path[j]) must have attested forwarding path[j..] to path[j-1]
+  // (or to `receiver` for j == 0).
+  std::size_t valid = 0;
+  for (std::size_t j = 0; j < path.size(); ++j) {
+    const std::uint32_t expected_signer = path[j];
+    const std::uint32_t expected_recipient = j == 0 ? receiver : path[j - 1];
+    const std::vector<std::uint32_t> suffix(path.begin() + static_cast<std::ptrdiff_t>(j),
+                                            path.end());
+    const Digest digest = attestation_digest(prefix, suffix, expected_recipient);
+    bool hop_valid = false;
+    for (const Attestation& att : attestations) {
+      if (att.signer == expected_signer && att.recipient == expected_recipient &&
+          rpki.verify(expected_signer, digest, att.sig)) {
+        hop_valid = true;
+        break;
+      }
+    }
+    if (hop_valid) ++valid;
+  }
+  result.valid_hops = valid;
+  result.fully_valid =
+      valid == path.size() && result.origin == RoaValidity::Valid;
+  return result;
+}
+
+}  // namespace sbgp::proto

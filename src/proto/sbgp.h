@@ -1,0 +1,57 @@
+// Secure BGP (S-BGP [24]) route attestations: path validation. An AS a_1
+// receiving announcement a_1 a_2 ... a_k validates that every AS a_j on the
+// path actually sent it. Each secure hop signs (prefix, the path suffix it
+// forwarded, the neighbour it forwarded to); a path is *fully* valid only if
+// every hop carries a valid attestation — which is why the paper defines a
+// path as secure iff every AS on it is secure (Section 2.2.2).
+//
+// Simplex S-BGP (Section 2.2.1): a stub only signs outgoing announcements
+// for its own prefixes and never validates — modelled by the engine calling
+// attest() at the stub's origination but never validate_path() at the stub.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/rpki.h"
+
+namespace sbgp::proto {
+
+/// One hop's route attestation: `signer` attests that it forwarded the path
+/// suffix starting at itself, for `prefix`, to `recipient`.
+struct Attestation {
+  std::uint32_t signer = 0;
+  std::uint32_t recipient = 0;
+  Signature sig = 0;
+};
+
+/// The digest `signer` signs when forwarding `path_suffix` (path_suffix[0]
+/// == signer, path_suffix.back() == origin) for `prefix` to `recipient`.
+[[nodiscard]] Digest attestation_digest(const Prefix& prefix,
+                                        const std::vector<std::uint32_t>& path_suffix,
+                                        std::uint32_t recipient);
+
+/// Produces `signer`'s attestation for forwarding `path_suffix` to
+/// `recipient`. Returns false when the signer holds no RPKI key (an
+/// insecure AS cannot attest).
+[[nodiscard]] bool attest(const Rpki& rpki, const Prefix& prefix,
+                          const std::vector<std::uint32_t>& path_suffix,
+                          std::uint32_t recipient, Attestation& out);
+
+/// Validation result for a received path.
+struct PathValidation {
+  bool fully_valid = false;      ///< every hop attested and verified
+  std::size_t valid_hops = 0;    ///< hops with a verifying attestation
+  std::size_t total_hops = 0;    ///< hops that were required to attest
+  RoaValidity origin = RoaValidity::NotFound;
+};
+
+/// Validates an announcement for `prefix` carrying `path` (path[0] = the
+/// neighbour that sent it to the validator, path.back() = origin) with the
+/// attestations collected along the way. `receiver` is the validating AS.
+[[nodiscard]] PathValidation validate_path(const Rpki& rpki, const Prefix& prefix,
+                                           const std::vector<std::uint32_t>& path,
+                                           std::uint32_t receiver,
+                                           const std::vector<Attestation>& attestations);
+
+}  // namespace sbgp::proto

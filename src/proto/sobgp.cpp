@@ -1,0 +1,31 @@
+#include "proto/sobgp.h"
+
+namespace sbgp::proto {
+
+bool SoBgpDatabase::certify_link(std::uint32_t a, std::uint32_t b) {
+  // Mutual authentication: both endpoints must sign the link certificate.
+  const Digest digest = digest_words({0x11A7ULL, link_key(a, b)});
+  const auto sig_a = rpki_->sign_as(a, digest);
+  const auto sig_b = rpki_->sign_as(b, digest);
+  if (!sig_a.has_value() || !sig_b.has_value()) return false;
+  if (!rpki_->verify(a, digest, *sig_a) || !rpki_->verify(b, digest, *sig_b)) {
+    return false;
+  }
+  links_.insert(link_key(a, b));
+  return true;
+}
+
+bool SoBgpDatabase::link_certified(std::uint32_t a, std::uint32_t b) const {
+  return links_.count(link_key(a, b)) != 0;
+}
+
+bool SoBgpDatabase::path_plausible(const std::vector<std::uint32_t>& path) const {
+  if (path.empty()) return false;
+  if (path.size() == 1) return rpki_->is_registered(path.front());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!link_certified(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace sbgp::proto

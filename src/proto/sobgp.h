@@ -1,0 +1,47 @@
+// Secure Origin BGP (soBGP [43]): topology validation. Neighbouring ASes
+// mutually authenticate a certificate for the existence of the link between
+// them; a receiver validates that an announced path physically exists by
+// checking every consecutive link against the certificate database. Simplex
+// soBGP (Section 2.2.1) is entirely offline: a stub certifies its links
+// once and never validates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/rpki.h"
+
+namespace sbgp::proto {
+
+/// The shared soBGP certificate database. Link certificates require
+/// signatures from *both* endpoints (mutual authentication), so only links
+/// between two RPKI-registered ("secure") ASes can be certified.
+class SoBgpDatabase {
+ public:
+  explicit SoBgpDatabase(const Rpki& rpki) : rpki_(&rpki) {}
+
+  /// Attempts to install a mutually-signed certificate for link (a, b).
+  /// Returns false when either endpoint lacks RPKI keys.
+  bool certify_link(std::uint32_t a, std::uint32_t b);
+
+  [[nodiscard]] bool link_certified(std::uint32_t a, std::uint32_t b) const;
+
+  /// Topology validation: every consecutive link of `path` is certified.
+  /// A single-AS path (the origin itself) is trivially plausible if the
+  /// origin is registered.
+  [[nodiscard]] bool path_plausible(const std::vector<std::uint32_t>& path) const;
+
+  [[nodiscard]] std::size_t num_certificates() const { return links_.size(); }
+
+ private:
+  static std::uint64_t link_key(std::uint32_t a, std::uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  const Rpki* rpki_;
+  std::unordered_set<std::uint64_t> links_;
+};
+
+}  // namespace sbgp::proto

@@ -1,0 +1,234 @@
+#include "routing/rib.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <random>
+
+namespace sbgp::rt {
+
+namespace {
+constexpr std::uint16_t kInf = std::numeric_limits<std::uint16_t>::max();
+}  // namespace
+
+const char* to_string(RouteClass c) {
+  switch (c) {
+    case RouteClass::Self: return "self";
+    case RouteClass::Customer: return "customer";
+    case RouteClass::Peer: return "peer";
+    case RouteClass::Provider: return "provider";
+    case RouteClass::None: return "none";
+  }
+  return "?";
+}
+
+RibComputer::RibComputer(const AsGraph& graph)
+    : graph_(graph),
+      cust_len_(graph.num_nodes(), kInf),
+      chosen_len_(graph.num_nodes(), kInf),
+      cls_(graph.num_nodes(), RouteClass::None) {
+  queue_.reserve(graph.num_nodes());
+}
+
+void RibComputer::compute(AsId dest, DestRib& out, AsId impostor) {
+  const std::size_t n = graph_.num_nodes();
+  assert(dest < n);
+  assert(impostor == kNoAs || (impostor < n && impostor != dest));
+  std::fill(cust_len_.begin(), cust_len_.end(), kInf);
+  std::fill(chosen_len_.begin(), chosen_len_.end(), kInf);
+  std::fill(cls_.begin(), cls_.end(), RouteClass::None);
+
+  // Phase 1 — customer routes: BFS from `dest` along customer->provider
+  // edges. cust_len[i] is the length of i's shortest all-customer route,
+  // i.e. the shortest chain i -> c1 -> ... -> dest descending the hierarchy.
+  // In hijack mode the impostor co-originates the prefix (a second BFS
+  // source).
+  cust_len_[dest] = 0;
+  queue_.clear();
+  queue_.push_back(dest);
+  if (impostor != kNoAs) {
+    cust_len_[impostor] = 0;
+    queue_.push_back(impostor);
+  }
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const AsId x = queue_[head];
+    const std::uint16_t next_len = static_cast<std::uint16_t>(cust_len_[x] + 1);
+    for (AsId p : graph_.providers(x)) {
+      if (cust_len_[p] == kInf) {
+        cust_len_[p] = next_len;
+        queue_.push_back(p);
+      }
+    }
+  }
+
+  // Phase 2 — LP resolution for customer and peer routes. A peer route is
+  // one peer edge on top of the peer's customer route (GR2: peers only
+  // export customer routes to each other).
+  cls_[dest] = RouteClass::Self;
+  chosen_len_[dest] = 0;
+  if (impostor != kNoAs) {
+    cls_[impostor] = RouteClass::Self;
+    chosen_len_[impostor] = 0;
+  }
+  for (AsId i = 0; i < n; ++i) {
+    if (i == dest || i == impostor) continue;
+    if (cust_len_[i] != kInf) {
+      cls_[i] = RouteClass::Customer;
+      chosen_len_[i] = cust_len_[i];
+      continue;
+    }
+    std::uint16_t best = kInf;
+    for (AsId p : graph_.peers(i)) {
+      if (cust_len_[p] != kInf) best = std::min<std::uint16_t>(best, cust_len_[p] + 1);
+    }
+    if (best != kInf) {
+      cls_[i] = RouteClass::Peer;
+      chosen_len_[i] = best;
+    }
+  }
+
+  // Phase 3 — provider routes: a provider exports its chosen route to every
+  // customer (GR2), so prov_len[c] = 1 + min over providers j of
+  // chosen_len[j]. Multi-source Dijkstra with unit weights (Dial buckets):
+  // sources are all customer/peer-class nodes plus the destination.
+  std::size_t max_len = 0;
+  for (AsId i = 0; i < n; ++i) {
+    if (cls_[i] != RouteClass::None) max_len = std::max<std::size_t>(max_len, chosen_len_[i]);
+  }
+  if (buckets_.size() < max_len + n + 2) buckets_.resize(max_len + n + 2);
+  for (auto& b : buckets_) b.clear();
+  for (AsId i = 0; i < n; ++i) {
+    if (cls_[i] != RouteClass::None) buckets_[chosen_len_[i]].push_back(i);
+  }
+  for (std::size_t length = 0; length < buckets_.size(); ++length) {
+    for (std::size_t idx = 0; idx < buckets_[length].size(); ++idx) {
+      const AsId j = buckets_[length][idx];
+      if (chosen_len_[j] != length) continue;  // stale entry
+      const auto next_len = static_cast<std::uint16_t>(length + 1);
+      for (AsId c : graph_.customers(j)) {
+        // Customer/peer-class nodes are settled; only None/Provider-class
+        // nodes can improve via a provider route.
+        if (cls_[c] == RouteClass::Customer || cls_[c] == RouteClass::Peer ||
+            cls_[c] == RouteClass::Self) {
+          continue;
+        }
+        if (next_len < chosen_len_[c]) {
+          chosen_len_[c] = next_len;
+          cls_[c] = RouteClass::Provider;
+          buckets_[next_len].push_back(c);
+        }
+      }
+    }
+  }
+
+  // Assemble the output RIB: classes, lengths, tiebreak sets, and the
+  // ascending-length processing order.
+  out.dest = dest;
+  out.impostor = impostor;
+  out.cls.assign(cls_.begin(), cls_.end());
+  out.len.assign(chosen_len_.begin(), chosen_len_.end());
+
+  out.tb_begin.assign(n + 1, 0);
+  out.tb.clear();
+  for (AsId i = 0; i < n; ++i) {
+    out.tb_begin[i] = static_cast<std::uint32_t>(out.tb.size());
+    if (i == dest || i == impostor || cls_[i] == RouteClass::None) continue;
+    const std::uint16_t want = static_cast<std::uint16_t>(chosen_len_[i] - 1);
+    switch (cls_[i]) {
+      case RouteClass::Customer:
+        for (AsId c : graph_.customers(i)) {
+          if (cust_len_[c] == want) out.tb.push_back(c);
+        }
+        break;
+      case RouteClass::Peer:
+        for (AsId p : graph_.peers(i)) {
+          if (cust_len_[p] == want) out.tb.push_back(p);
+        }
+        break;
+      case RouteClass::Provider:
+        for (AsId j : graph_.providers(i)) {
+          if (cls_[j] != RouteClass::None && chosen_len_[j] == want) out.tb.push_back(j);
+        }
+        break;
+      case RouteClass::Self:
+      case RouteClass::None:
+        break;
+    }
+    assert(out.tb.size() > out.tb_begin[i] && "reachable node must have a candidate");
+  }
+  out.tb_begin[n] = static_cast<std::uint32_t>(out.tb.size());
+
+  // Counting sort of routed nodes by chosen length (order[0] == dest).
+  out.order.clear();
+  out.order.reserve(n);
+  {
+    std::vector<std::uint32_t> count;
+    std::uint16_t longest = 0;
+    for (AsId i = 0; i < n; ++i) {
+      if (cls_[i] != RouteClass::None) longest = std::max(longest, chosen_len_[i]);
+    }
+    count.assign(longest + 2, 0);
+    for (AsId i = 0; i < n; ++i) {
+      if (cls_[i] != RouteClass::None) ++count[chosen_len_[i]];
+    }
+    std::uint32_t acc = 0;
+    for (auto& c : count) {
+      const std::uint32_t here = c;
+      c = acc;
+      acc += here;
+    }
+    out.order.assign(acc, kNoAs);
+    for (AsId i = 0; i < n; ++i) {
+      if (cls_[i] != RouteClass::None) out.order[count[chosen_len_[i]]++] = i;
+    }
+  }
+}
+
+DestRib RibComputer::compute(AsId dest, AsId impostor) {
+  DestRib out;
+  compute(dest, out, impostor);
+  return out;
+}
+
+PathLengthStats sample_path_lengths(const AsGraph& graph,
+                                    std::size_t sample_destinations,
+                                    std::uint64_t seed) {
+  PathLengthStats out;
+  RibComputer rc(graph);
+  DestRib rib;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<AsId> pick(
+      0, static_cast<AsId>(graph.num_nodes() - 1));
+  for (std::size_t k = 0; k < sample_destinations; ++k) {
+    const AsId d = pick(rng);
+    rc.compute(d, rib);
+    std::size_t reachable = 0;
+    for (const AsId i : rib.order) {
+      if (i == d) continue;
+      out.histogram.add(rib.len[i]);
+      ++reachable;
+    }
+    out.unreachable_pairs += graph.num_nodes() - 1 - reachable;
+  }
+  out.mean = out.histogram.mean();
+  out.p90 = out.histogram.quantile(0.9);
+  return out;
+}
+
+double average_path_length_from(const AsGraph& graph, AsId src) {
+  RibComputer rc(graph);
+  DestRib rib;
+  double sum = 0.0;
+  std::size_t reachable = 0;
+  for (AsId d = 0; d < graph.num_nodes(); ++d) {
+    if (d == src) continue;
+    rc.compute(d, rib);
+    if (rib.reachable(src)) {
+      sum += rib.len[src];
+      ++reachable;
+    }
+  }
+  return reachable == 0 ? 0.0 : sum / static_cast<double>(reachable);
+}
+
+}  // namespace sbgp::rt

@@ -1,0 +1,102 @@
+// Per-destination static routing information (Observation C.1): under the
+// Gao–Rexford policies of Appendix A (LP: customer > peer > provider; SP:
+// shortest; then SecP/TB), the *class* and *length* of every AS's best route
+// to a destination — and hence the tiebreak set of candidate next hops — are
+// independent of the deployment state S. This module computes that static
+// RIB with a three-phase BFS in O(|V|+|E|) per destination.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::rt {
+
+using topo::AsGraph;
+using topo::AsId;
+using topo::kNoAs;
+
+/// Local-preference class of a chosen route (Appendix A). Order matters:
+/// smaller enum value = more preferred.
+enum class RouteClass : std::uint8_t {
+  Self = 0,      ///< the destination itself
+  Customer = 1,  ///< next hop is a customer
+  Peer = 2,      ///< next hop is a peer
+  Provider = 3,  ///< next hop is a provider
+  None = 4,      ///< no route (destination unreachable under GR2)
+};
+
+[[nodiscard]] const char* to_string(RouteClass c);
+
+/// The static per-destination RIB: for every AS, the chosen route class,
+/// length, and the tiebreak set (all equally-good next hops, i.e. the set
+/// over which the SecP criterion of Section 2.2.2 operates).
+///
+/// Two-origin (hijack) mode: when `impostor != kNoAs` the RIB models an
+/// attacker announcing the destination's prefix as its own — both `dest`
+/// and `impostor` originate, and every AS's chosen route leads to whichever
+/// origin its policies prefer (the [15] attack model used to quantify
+/// resilience under partial deployment).
+struct DestRib {
+  AsId dest = kNoAs;
+  AsId impostor = kNoAs;
+  std::vector<RouteClass> cls;       ///< per node
+  std::vector<std::uint16_t> len;    ///< chosen route length (0 for dest)
+  std::vector<std::uint32_t> tb_begin;  ///< per node offset into `tb` (size N+1)
+  std::vector<AsId> tb;              ///< flattened tiebreak sets
+
+  /// Tiebreak set of node `n` (empty when unreachable or n == dest).
+  [[nodiscard]] std::span<const AsId> tiebreak(AsId n) const {
+    return std::span<const AsId>(tb).subspan(tb_begin[n], tb_begin[n + 1] - tb_begin[n]);
+  }
+
+  /// Nodes with a route, ascending by chosen length; order[0] == dest.
+  /// This is the processing order of the fast routing tree algorithm.
+  std::vector<AsId> order;
+
+  [[nodiscard]] bool reachable(AsId n) const { return cls[n] != RouteClass::None; }
+};
+
+/// Reusable RIB computer; keeps O(|V|) scratch buffers so repeated calls
+/// allocate nothing. One instance per thread.
+class RibComputer {
+ public:
+  explicit RibComputer(const AsGraph& graph);
+
+  /// Computes the static RIB for destination `dest` into `out` (reused).
+  /// When `impostor != kNoAs`, computes the two-origin hijack RIB.
+  void compute(AsId dest, DestRib& out, AsId impostor = kNoAs);
+
+  /// Convenience allocation-per-call variant.
+  [[nodiscard]] DestRib compute(AsId dest, AsId impostor = kNoAs);
+
+ private:
+  const AsGraph& graph_;
+  std::vector<std::uint16_t> cust_len_;
+  std::vector<std::uint16_t> chosen_len_;
+  std::vector<RouteClass> cls_;
+  std::vector<AsId> queue_;
+  std::vector<std::vector<AsId>> buckets_;
+};
+
+/// Average AS-path length from `src` to every reachable destination, using
+/// each destination's chosen-route length (used for Table 3). O(N * (V+E)).
+[[nodiscard]] double average_path_length_from(const AsGraph& graph, AsId src);
+
+/// AS-path-length profile under the Appendix A policies: route lengths from
+/// every source toward `sample_destinations` uniformly sampled destinations.
+struct PathLengthStats {
+  stats::IntHistogram histogram;
+  double mean = 0.0;
+  std::uint64_t p90 = 0;
+  std::uint64_t unreachable_pairs = 0;
+};
+
+[[nodiscard]] PathLengthStats sample_path_lengths(const AsGraph& graph,
+                                                  std::size_t sample_destinations,
+                                                  std::uint64_t seed);
+
+}  // namespace sbgp::rt

@@ -1,0 +1,176 @@
+#include "routing/routing_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sbgp::rt {
+
+namespace {
+
+/// splitmix64 finalizer — the pairwise intradomain tie-break hash H(a,b).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t TieBreakPolicy::key(AsId i, AsId j, const AsGraph& graph) const {
+  switch (mode) {
+    case Mode::PairwiseHash:
+      return mix64((static_cast<std::uint64_t>(i) << 32) | j);
+    case Mode::Rank:
+      return rank != nullptr ? (*rank)[j] : graph.asn(j);
+  }
+  return 0;
+}
+
+TreeComputer::TreeComputer(const AsGraph& graph) : graph_(graph) {}
+
+void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
+                           const TieBreakPolicy& tb, RoutingTree& out) const {
+  const std::size_t n = graph_.num_nodes();
+  out.dest = rib.dest;
+  // Hot path: arrays are only resized, never cleared. Every cell belonging
+  // to a node in rib.order is freshly written below (parents before
+  // children, so the subtree fold sees initialised parents). Cells of
+  // unreachable nodes are stale; all consumers iterate rib.order or check
+  // rib.reachable() first.
+  if (out.next_hop.size() != n) {
+    out.next_hop.assign(n, kNoAs);
+    out.path_secure.assign(n, 0);
+    out.subtree_weight.assign(n, 0.0);
+    out.has_secure_candidate.assign(n, 0);
+  }
+  const bool hijack = rib.impostor != kNoAs;
+  if (hijack) {
+    if (out.origin.size() != n) out.origin.assign(n, kNoAs);
+  } else if (!out.origin.empty()) {
+    out.origin.clear();
+  }
+
+  for (const AsId i : rib.order) {
+    if (i == rib.dest || i == rib.impostor) {
+      out.next_hop[i] = kNoAs;
+      // A bogus origin can never offer a fully secure route: the RPKI ROA
+      // names the true destination, so path validation fails at the origin
+      // (cf. proto::validate_path).
+      out.path_secure[i] = (i == rib.dest && view.is_secure(i)) ? 1 : 0;
+      out.subtree_weight[i] = graph_.weight(i);
+      out.has_secure_candidate[i] = 0;
+      if (hijack) out.origin[i] = i;
+      continue;
+    }
+    const auto candidates = rib.tiebreak(i);
+    assert(!candidates.empty());
+    // A candidate offers a fully secure route iff the neighbour's own route
+    // is fully secure AND the hop to it is cryptographically active (always
+    // true unless per-link deployment is in play).
+    const auto cand_secure = [&](AsId j) {
+      return out.path_secure[j] != 0 && view.hop_secure(j, i);
+    };
+    bool any_secure = false;
+    for (const AsId j : candidates) {
+      if (cand_secure(j)) {
+        any_secure = true;
+        break;
+      }
+    }
+    out.has_secure_candidate[i] = any_secure ? 1 : 0;
+    const bool restrict_secure = any_secure && view.applies_secp(i);
+
+    AsId best = kNoAs;
+    std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
+    for (const AsId j : candidates) {
+      if (restrict_secure && !cand_secure(j)) continue;
+      const std::uint64_t k = tb.key(i, j, graph_);
+      if (k < best_key) {
+        best_key = k;
+        best = j;
+      }
+    }
+    assert(best != kNoAs);
+    out.next_hop[i] = best;
+    out.path_secure[i] = (cand_secure(best) && view.is_secure(i)) ? 1 : 0;
+    out.subtree_weight[i] = graph_.weight(i);
+    if (hijack) out.origin[i] = out.origin[best];
+  }
+
+  // Fold subtree weights toward the origins (descending length order).
+  for (std::size_t k = rib.order.size(); k-- > 0;) {
+    const AsId i = rib.order[k];
+    if (i == rib.dest || i == rib.impostor) continue;
+    out.subtree_weight[out.next_hop[i]] += out.subtree_weight[i];
+  }
+}
+
+std::vector<AsId> TreeComputer::extract_path(const RoutingTree& tree, AsId src) {
+  std::vector<AsId> path;
+  if (src == tree.dest) return {src};
+  if (src >= tree.next_hop.size() || tree.next_hop[src] == kNoAs) return {};
+  AsId cur = src;
+  while (cur != kNoAs) {
+    path.push_back(cur);
+    if (cur == tree.dest) return path;
+    if (path.size() > tree.next_hop.size()) break;  // defensive: no cycles expected
+    cur = tree.next_hop[cur];
+  }
+  return {};
+}
+
+std::vector<std::vector<AsId>> full_link_mask(const AsGraph& graph) {
+  std::vector<std::vector<AsId>> mask(graph.num_nodes());
+  for (AsId n = 0; n < graph.num_nodes(); ++n) {
+    auto& v = mask[n];
+    v.insert(v.end(), graph.customers(n).begin(), graph.customers(n).end());
+    v.insert(v.end(), graph.peers(n).begin(), graph.peers(n).end());
+    v.insert(v.end(), graph.providers(n).begin(), graph.providers(n).end());
+    std::sort(v.begin(), v.end());
+  }
+  return mask;
+}
+
+void UtilityAccumulator::reset() {
+  std::fill(outgoing.begin(), outgoing.end(), 0.0);
+  std::fill(incoming.begin(), incoming.end(), 0.0);
+}
+
+void UtilityAccumulator::add_tree(const AsGraph& graph, const DestRib& rib,
+                                  const RoutingTree& t) {
+  for (const AsId i : rib.order) {
+    if (i == rib.dest) continue;
+    if (rib.cls[i] == RouteClass::Customer) {
+      outgoing[i] += t.subtree_weight[i] - graph.weight(i);
+    } else if (rib.cls[i] == RouteClass::Provider) {
+      // i reaches its parent over i's provider edge, so from the parent's
+      // perspective this branch arrives over a customer edge.
+      incoming[t.next_hop[i]] += t.subtree_weight[i];
+    }
+  }
+}
+
+void UtilityAccumulator::merge(const UtilityAccumulator& other) {
+  for (std::size_t i = 0; i < outgoing.size(); ++i) {
+    outgoing[i] += other.outgoing[i];
+    incoming[i] += other.incoming[i];
+  }
+}
+
+NodeContribution node_contribution(const AsGraph& graph, const DestRib& rib,
+                                   const RoutingTree& tree, AsId n) {
+  NodeContribution out;
+  if (rib.cls[n] == RouteClass::Customer) {
+    out.outgoing = tree.subtree_weight[n] - graph.weight(n);
+  }
+  for (const AsId c : graph.customers(n)) {
+    if (rib.cls[c] != RouteClass::None && tree.next_hop[c] == n) {
+      out.incoming += tree.subtree_weight[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace sbgp::rt

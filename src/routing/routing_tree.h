@@ -1,0 +1,179 @@
+// The fast routing tree algorithm of Appendix C.2: given a destination's
+// static RIB and a deployment state S, resolve the SecP + TB steps of route
+// selection for every AS, producing the routing tree rooted at the
+// destination, per-node "fully secure path" flags, and subtree traffic
+// weights — the inputs to both utility models (Section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/rib.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::rt {
+
+/// A view of the security state used during route selection. Supports the
+/// two hypothetical flips the simulator projects (Eq. 3) without copying
+/// the state vector:
+///  - `flip_on`:  an insecure ISP turning S*BGP on, which simultaneously
+///    simplex-secures all its insecure stub customers (Section 2.3);
+///  - `flip_off`: a secure AS turning S*BGP off (its stubs stay simplex-
+///    secure: signing/certification is an offline, sticky act).
+struct SecurityView {
+  const AsGraph* graph = nullptr;
+  const std::uint8_t* base = nullptr;  ///< base secure flags, size num_nodes
+  AsId flip_on = kNoAs;
+  AsId flip_off = kNoAs;
+  /// Do simplex stubs apply the SecP tie-break (Section 6.7)?
+  bool stub_breaks_ties = true;
+  /// Optional freeze flags (see SimConfig::frozen): frozen stubs are not
+  /// simplex-secured by a hypothetical flip_on.
+  const std::uint8_t* frozen = nullptr;
+  /// Optional per-destination suppression (Section 7.1, "turning off a
+  /// destination"): nodes flagged here behave as insecure *for the current
+  /// destination only* (they propagate plain BGP announcements for it).
+  const std::uint8_t* suppressed = nullptr;
+  /// Evaluates the view as if this one node were NOT suppressed (the
+  /// projection counterpart of flip_off for per-destination dynamics).
+  AsId unsuppress = kNoAs;
+  /// Optional per-link deployment (Section 8.3 / Theorem 8.2): when set
+  /// (size num_nodes), node n signs/validates only on links to the listed
+  /// neighbours (each list sorted ascending). A hop contributes to a fully
+  /// secure path only if BOTH endpoints enabled it ("deployment entails
+  /// both signing and verification", Appendix J). Null = all links enabled.
+  const std::vector<std::vector<AsId>>* enabled_links = nullptr;
+
+  /// Is the hop between adjacent ASes `a` and `b` cryptographically active?
+  [[nodiscard]] bool hop_secure(AsId a, AsId b) const {
+    if (enabled_links == nullptr) return true;
+    const auto contains = [this](AsId from, AsId to) {
+      const auto& v = (*enabled_links)[from];
+      auto lo = v.begin();
+      auto hi = v.end();
+      while (lo < hi) {
+        auto mid = lo + (hi - lo) / 2;
+        if (*mid < to) lo = mid + 1;
+        else if (to < *mid) hi = mid;
+        else return true;
+      }
+      return false;
+    };
+    return contains(a, b) && contains(b, a);
+  }
+
+  /// Is `x` secure under this view?
+  [[nodiscard]] bool is_secure(AsId x) const {
+    if (x == flip_off) return false;
+    if (suppressed != nullptr && x != unsuppress && suppressed[x] != 0) {
+      return false;
+    }
+    if (base[x] != 0) return true;
+    if (flip_on == kNoAs) return false;
+    if (x == flip_on) return true;
+    if (frozen != nullptr && frozen[x] != 0) return false;
+    if (graph->is_stub(x)) {
+      const auto provs = graph->providers(x);
+      // providers() is sorted after finalize(); see AsGraph::finalize.
+      auto lo = provs.begin();
+      auto hi = provs.end();
+      while (lo < hi) {
+        auto mid = lo + (hi - lo) / 2;
+        if (*mid < flip_on) lo = mid + 1;
+        else if (flip_on < *mid) hi = mid;
+        else return true;
+      }
+    }
+    return false;
+  }
+
+  /// Does `x` apply the SecP criterion when selecting among its tiebreak set?
+  [[nodiscard]] bool applies_secp(AsId x) const {
+    if (!is_secure(x)) return false;
+    return stub_breaks_ties || !graph->is_stub(x);
+  }
+};
+
+/// Intradomain tie-break policy (the TB step of Appendix A). The paper uses
+/// a pairwise hash H(a,b); the hardness-gadget constructions (Appendices
+/// E–K) instead assume "lowest AS number wins", optionally with per-node
+/// rank overrides ("never break ties in favour of routes through x").
+struct TieBreakPolicy {
+  enum class Mode : std::uint8_t { PairwiseHash, Rank };
+  Mode mode = Mode::PairwiseHash;
+  /// Rank mode: candidate with the smallest rank wins; defaults to the AS
+  /// number when `rank` is null.
+  const std::vector<std::uint64_t>* rank = nullptr;
+
+  /// Key of candidate next-hop `j` as evaluated by node `i`; lowest wins.
+  [[nodiscard]] std::uint64_t key(AsId i, AsId j, const AsGraph& graph) const;
+};
+
+/// Output of one routing-tree computation. Reused across calls.
+struct RoutingTree {
+  AsId dest = kNoAs;
+  std::vector<AsId> next_hop;           ///< parent pointer; kNoAs for dest/unreachable
+  std::vector<std::uint8_t> path_secure;  ///< chosen route is fully secure
+  std::vector<double> subtree_weight;   ///< weight of the subtree rooted at n, incl. w_n
+  /// Marks nodes that have at least one tiebreak candidate with a fully
+  /// secure path — the set "P" used by the Appendix C.4 pruning (an ISP's
+  /// flip can only matter for destinations where it, or one of its stubs,
+  /// is in this set).
+  std::vector<std::uint8_t> has_secure_candidate;
+  /// Hijack mode only (rib.impostor != kNoAs): the origin each node's
+  /// chosen route actually leads to — rib.dest (legitimate) or
+  /// rib.impostor (hijacked). Empty in normal mode.
+  std::vector<AsId> origin;
+};
+
+/// Reusable tree computer. One instance per thread.
+class TreeComputer {
+ public:
+  explicit TreeComputer(const AsGraph& graph);
+
+  /// Runs the fast routing tree algorithm (O(t*|V|)) for `rib` under `view`.
+  void compute(const DestRib& rib, const SecurityView& view,
+               const TieBreakPolicy& tb, RoutingTree& out) const;
+
+  /// Extracts the chosen AS path (src, ..., dest) from a computed tree;
+  /// empty when unreachable.
+  [[nodiscard]] static std::vector<AsId> extract_path(const RoutingTree& tree, AsId src);
+
+ private:
+  const AsGraph& graph_;
+};
+
+/// Builds the trivial per-link mask in which every AS enables S*BGP on all
+/// of its links (the SecurityView::enabled_links identity element).
+[[nodiscard]] std::vector<std::vector<AsId>> full_link_mask(const AsGraph& graph);
+
+/// Per-destination utility contributions (Eqs. 1 and 2 of Section 3.3),
+/// derived from a routing tree in one pass:
+///  - outgoing: if n's chosen route goes via a customer edge (cls ==
+///    Customer), n transits subtree_weight[n] - w_n of traffic toward d;
+///  - incoming: sum of subtree weights of n's tree children that reach n via
+///    one of their provider edges (i.e. they are n's customers).
+struct UtilityAccumulator {
+  std::vector<double> outgoing;
+  std::vector<double> incoming;
+
+  explicit UtilityAccumulator(std::size_t n) : outgoing(n, 0.0), incoming(n, 0.0) {}
+  void reset();
+  /// Adds the contributions of tree `t` (for destination t.dest) for all
+  /// nodes at once.
+  void add_tree(const AsGraph& graph, const DestRib& rib, const RoutingTree& t);
+  /// Merges another accumulator (parallel reduction).
+  void merge(const UtilityAccumulator& other);
+};
+
+/// Contribution of a single node `n` for one destination tree — used when
+/// projecting a flip, where only the flipping ISP's utility is needed.
+struct NodeContribution {
+  double outgoing = 0.0;
+  double incoming = 0.0;
+};
+[[nodiscard]] NodeContribution node_contribution(const AsGraph& graph,
+                                                 const DestRib& rib,
+                                                 const RoutingTree& tree, AsId n);
+
+}  // namespace sbgp::rt

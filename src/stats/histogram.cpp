@@ -1,0 +1,141 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sbgp::stats {
+
+void IntHistogram::add(std::uint64_t value) { add(value, 1); }
+
+void IntHistogram::add(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  counts_[value] += count;
+  total_ += count;
+  weighted_sum_ += value * count;
+}
+
+std::uint64_t IntHistogram::count(std::uint64_t value) const {
+  return value < counts_.size() ? counts_[value] : 0;
+}
+
+std::uint64_t IntHistogram::max_value() const {
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] != 0) return i;
+  }
+  return 0;
+}
+
+double IntHistogram::mean() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(weighted_sum_) / static_cast<double>(total_);
+}
+
+double IntHistogram::fraction_greater(std::uint64_t value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = 0;
+  for (std::size_t i = value + 1; i < counts_.size(); ++i) above += counts_[i];
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+double IntHistogram::ccdf(std::uint64_t value) const {
+  if (total_ == 0) return 0.0;
+  if (value == 0) return 1.0;
+  return fraction_greater(value - 1);
+}
+
+std::uint64_t IntHistogram::quantile(double p) const {
+  if (total_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return i;
+  }
+  return max_value();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> IntHistogram::bins() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) out.emplace_back(i, counts_[i]);
+  }
+  return out;
+}
+
+BucketedCounter::BucketedCounter(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      members_(bounds_.size(), 0),
+      hits_(bounds_.size(), 0) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  assert(!bounds_.empty());
+}
+
+std::size_t BucketedCounter::bucket_of(std::uint64_t key) const {
+  for (std::size_t b = 0; b < bounds_.size(); ++b) {
+    if (key <= bounds_[b]) return b;
+  }
+  return bounds_.size() - 1;
+}
+
+std::string BucketedCounter::label(std::size_t b) const {
+  const std::uint64_t lo = b == 0 ? 0 : bounds_[b - 1] + 1;
+  const std::uint64_t hi = bounds_[b];
+  if (hi == std::numeric_limits<std::uint64_t>::max()) {
+    return ">" + std::to_string(lo - 1);
+  }
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+void BucketedCounter::add_member(std::uint64_t key) { ++members_[bucket_of(key)]; }
+void BucketedCounter::add_hit(std::uint64_t key) { ++hits_[bucket_of(key)]; }
+
+double BucketedCounter::fraction(std::size_t b) const {
+  return members_[b] == 0
+             ? 0.0
+             : static_cast<double>(hits_[b]) / static_cast<double>(members_[b]);
+}
+
+void Summary::add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Summary::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Summary::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Summary::median() const { return quantile(0.5); }
+
+double Summary::quantile(double p) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  const auto idx =
+      static_cast<std::size_t>(p * static_cast<double>(values_.size() - 1));
+  return values_[idx];
+}
+
+}  // namespace sbgp::stats

@@ -1,0 +1,94 @@
+// Integer histogram / CDF helpers used for the paper's distribution figures
+// (tiebreak-set sizes, Fig. 10; adoption by degree bucket, Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbgp::stats {
+
+/// Histogram over non-negative integer values with unit-width bins.
+/// Values larger than any previously seen grow the bin vector.
+class IntHistogram {
+ public:
+  /// Records one observation of `value`.
+  void add(std::uint64_t value);
+  /// Records `count` observations of `value`.
+  void add(std::uint64_t value, std::uint64_t count);
+
+  /// Total number of observations.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Count in bin `value` (0 if never observed).
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const;
+  /// Largest observed value (0 if empty).
+  [[nodiscard]] std::uint64_t max_value() const;
+  /// Arithmetic mean of the observations (0 if empty).
+  [[nodiscard]] double mean() const;
+  /// Fraction of observations strictly greater than `value`.
+  [[nodiscard]] double fraction_greater(std::uint64_t value) const;
+  /// Empirical CCDF at `value`: P[X >= value].
+  [[nodiscard]] double ccdf(std::uint64_t value) const;
+  /// p-quantile (p in [0,1]) of the observations, 0 if empty.
+  [[nodiscard]] std::uint64_t quantile(double p) const;
+
+  /// All (value, count) pairs with non-zero count, ascending by value.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> bins() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t weighted_sum_ = 0;
+};
+
+/// Cumulative bucketing of samples by a key (e.g. ISP degree) used for
+/// per-bucket adoption curves. Buckets are defined by inclusive upper bounds,
+/// e.g. {10, 100, SIZE_MAX} buckets keys into [0,10], [11,100], [101,inf).
+class BucketedCounter {
+ public:
+  explicit BucketedCounter(std::vector<std::uint64_t> upper_bounds);
+
+  /// Returns the bucket index for `key`.
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t key) const;
+  /// Number of buckets.
+  [[nodiscard]] std::size_t buckets() const { return bounds_.size(); }
+  /// Human-readable label for bucket `b`, e.g. "11-100".
+  [[nodiscard]] std::string label(std::size_t b) const;
+
+  /// Increments the denominator of `key`'s bucket.
+  void add_member(std::uint64_t key);
+  /// Increments the numerator of `key`'s bucket.
+  void add_hit(std::uint64_t key);
+
+  /// hits/members for bucket `b` (0 when empty).
+  [[nodiscard]] double fraction(std::size_t b) const;
+  [[nodiscard]] std::uint64_t members(std::size_t b) const { return members_[b]; }
+  [[nodiscard]] std::uint64_t hits(std::size_t b) const { return hits_[b]; }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> members_;
+  std::vector<std::uint64_t> hits_;
+};
+
+/// Streaming summary of double-valued samples: count/mean/min/max and exact
+/// median & quantiles (samples are retained; fine at simulation scales).
+class Summary {
+ public:
+  void add(double v);
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double median() const;
+  /// p in [0,1]; nearest-rank quantile.
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+}  // namespace sbgp::stats

@@ -1,0 +1,96 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace sbgp::stats {
+
+namespace {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Right) {
+  if (!aligns_.empty()) aligns_[0] = Align::Left;
+}
+
+void Table::set_align(std::size_t col, Align align) {
+  assert(col < aligns_.size());
+  aligns_[col] = align;
+}
+
+void Table::begin_row() {
+  if (in_row_) {
+    rows_.push_back(std::move(current_));
+    current_.clear();
+  }
+  in_row_ = true;
+}
+
+void Table::add(std::string cell) { current_.push_back(std::move(cell)); }
+void Table::add(long long value) { add(std::to_string(value)); }
+void Table::add(unsigned long long value) { add(std::to_string(value)); }
+void Table::add(int value) { add(std::to_string(value)); }
+void Table::add(std::size_t value) { add(std::to_string(value)); }
+void Table::add(double value, int precision) {
+  add(format_double(value, precision));
+}
+void Table::add_percent(double fraction, int precision) {
+  add(format_double(fraction * 100.0, precision) + "%");
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> all;
+  all.push_back(headers_);
+  for (const auto& r : rows_) all.push_back(r);
+  if (in_row_ && !current_.empty()) all.push_back(current_);
+
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (const auto& row : all) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = widths[c] - cell.size();
+      if (c != 0) os << "  ";
+      if (aligns_[c] == Align::Right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (std::size_t i = 1; i < all.size(); ++i) emit(all[i]);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  if (in_row_ && !current_.empty()) emit(current_);
+}
+
+}  // namespace sbgp::stats

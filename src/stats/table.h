@@ -1,0 +1,61 @@
+// Fixed-width console table printer used by every bench harness to emit the
+// rows/series the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sbgp::stats {
+
+/// Alignment of a single table column.
+enum class Align { Left, Right };
+
+/// A simple fixed-width text table. Columns are declared up front; cells are
+/// added row by row and may be strings or numbers. `print` right-pads every
+/// column to the widest cell and emits a header rule, producing output that
+/// is stable under diffing (used by EXPERIMENTS.md snippets).
+class Table {
+ public:
+  /// Creates a table with the given column headers, all right-aligned except
+  /// the first column which is left-aligned (the common layout for the
+  /// paper's tables: a label column followed by numeric columns).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Overrides the alignment of column `col`.
+  void set_align(std::size_t col, Align align);
+
+  /// Starts a new row. Cells are appended with `add`.
+  void begin_row();
+
+  /// Appends a preformatted cell to the current row.
+  void add(std::string cell);
+  /// Appends an integral cell.
+  void add(long long value);
+  void add(unsigned long long value);
+  void add(int value);
+  void add(std::size_t value);
+  /// Appends a floating-point cell with `precision` digits after the point.
+  void add(double value, int precision = 3);
+  /// Appends a percentage cell rendered as e.g. "12.3%".
+  void add_percent(double fraction, int precision = 1);
+
+  /// Number of complete rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders the table as CSV (no padding) to `os`.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+  bool in_row_ = false;
+};
+
+}  // namespace sbgp::stats

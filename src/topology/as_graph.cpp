@@ -1,0 +1,218 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sbgp::topo {
+
+const char* to_string(AsClass c) {
+  switch (c) {
+    case AsClass::Stub: return "stub";
+    case AsClass::Isp: return "isp";
+    case AsClass::ContentProvider: return "cp";
+  }
+  return "?";
+}
+
+const char* to_string(Link l) {
+  switch (l) {
+    case Link::Customer: return "customer";
+    case Link::Peer: return "peer";
+    case Link::Provider: return "provider";
+  }
+  return "?";
+}
+
+AsId AsGraph::add_as(std::uint32_t asn) {
+  if (finalized_) throw std::logic_error("AsGraph: add_as after finalize");
+  const AsId id = static_cast<AsId>(asn_.size());
+  asn_.push_back(asn);
+  customers_.emplace_back();
+  peers_.emplace_back();
+  providers_.emplace_back();
+  weight_.push_back(1.0);
+  cp_mark_.push_back(false);
+  return id;
+}
+
+AsId AsGraph::add_many(std::uint32_t count) {
+  // Synthetic AS numbers continue from the current max label.
+  std::uint32_t next = 1;
+  for (std::uint32_t a : asn_) next = std::max(next, a + 1);
+  AsId first = kNoAs;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const AsId id = add_as(next++);
+    if (first == kNoAs) first = id;
+  }
+  return first;
+}
+
+bool AsGraph::add_edge_checked(AsId a, AsId b) {
+  if (finalized_) throw std::logic_error("AsGraph: edge insertion after finalize");
+  if (a == b || a >= asn_.size() || b >= asn_.size()) return false;
+  Link unused;
+  if (link_between(a, b, unused)) return false;  // duplicate edge
+  return true;
+}
+
+bool AsGraph::add_customer_provider(AsId provider, AsId customer) {
+  if (!add_edge_checked(provider, customer)) return false;
+  customers_[provider].push_back(customer);
+  providers_[customer].push_back(provider);
+  ++cp_edges_;
+  return true;
+}
+
+bool AsGraph::add_peer(AsId a, AsId b) {
+  if (!add_edge_checked(a, b)) return false;
+  peers_[a].push_back(b);
+  peers_[b].push_back(a);
+  ++peer_edges_;
+  return true;
+}
+
+void AsGraph::mark_content_provider(AsId as_id) {
+  assert(as_id < asn_.size());
+  cp_mark_[as_id] = true;
+}
+
+void AsGraph::finalize() {
+  if (finalized_) throw std::logic_error("AsGraph: finalize called twice");
+  class_.resize(asn_.size());
+  n_stubs_ = n_isps_ = n_cps_ = 0;
+  for (AsId n = 0; n < asn_.size(); ++n) {
+    if (cp_mark_[n]) {
+      class_[n] = AsClass::ContentProvider;
+      ++n_cps_;
+    } else if (customers_[n].empty()) {
+      class_[n] = AsClass::Stub;
+      ++n_stubs_;
+    } else {
+      class_[n] = AsClass::Isp;
+      ++n_isps_;
+    }
+  }
+  asn_index_.reserve(asn_.size());
+  for (AsId n = 0; n < asn_.size(); ++n) asn_index_.emplace_back(asn_[n], n);
+  std::sort(asn_index_.begin(), asn_index_.end());
+  // Deterministic adjacency order (insertion order may depend on generator
+  // internals); sorted neighbours make runs reproducible across platforms.
+  for (AsId n = 0; n < asn_.size(); ++n) {
+    std::sort(customers_[n].begin(), customers_[n].end());
+    std::sort(peers_[n].begin(), peers_[n].end());
+    std::sort(providers_[n].begin(), providers_[n].end());
+  }
+  finalized_ = true;
+}
+
+AsId AsGraph::find_asn(std::uint32_t asn) const {
+  auto it = std::lower_bound(asn_index_.begin(), asn_index_.end(),
+                             std::make_pair(asn, AsId{0}));
+  if (it != asn_index_.end() && it->first == asn) return it->second;
+  return kNoAs;
+}
+
+bool AsGraph::link_between(AsId a, AsId b, Link& out) const {
+  auto contains = [](const std::vector<AsId>& v, AsId x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  if (contains(customers_[a], b)) { out = Link::Customer; return true; }
+  if (contains(peers_[a], b)) { out = Link::Peer; return true; }
+  if (contains(providers_[a], b)) { out = Link::Provider; return true; }
+  return false;
+}
+
+double AsGraph::total_weight() const {
+  double sum = 0.0;
+  for (double w : weight_) sum += w;
+  return sum;
+}
+
+std::vector<std::string> AsGraph::validate(bool allow_isolated) const {
+  std::vector<std::string> problems;
+  if (!finalized_) {
+    problems.emplace_back("graph not finalized");
+    return problems;
+  }
+  // GR1: the customer->provider relation must be acyclic. Kahn's algorithm
+  // over provider->customer edges.
+  std::vector<std::uint32_t> in_deg(num_nodes(), 0);  // number of providers
+  for (AsId n = 0; n < num_nodes(); ++n) {
+    in_deg[n] = static_cast<std::uint32_t>(providers_[n].size());
+  }
+  std::vector<AsId> queue;
+  for (AsId n = 0; n < num_nodes(); ++n) {
+    if (in_deg[n] == 0) queue.push_back(n);
+  }
+  std::size_t visited = 0;
+  while (!queue.empty()) {
+    const AsId n = queue.back();
+    queue.pop_back();
+    ++visited;
+    for (AsId c : customers_[n]) {
+      if (--in_deg[c] == 0) queue.push_back(c);
+    }
+  }
+  if (visited != num_nodes()) {
+    problems.emplace_back("GR1 violated: customer-provider hierarchy has a cycle");
+  }
+  // Symmetry of adjacency.
+  for (AsId n = 0; n < num_nodes(); ++n) {
+    for (AsId c : customers_[n]) {
+      if (!std::binary_search(providers_[c].begin(), providers_[c].end(), n)) {
+        problems.emplace_back("asymmetric customer-provider edge at AS " +
+                              std::to_string(asn_[n]));
+      }
+    }
+    for (AsId p : peers_[n]) {
+      if (!std::binary_search(peers_[p].begin(), peers_[p].end(), n)) {
+        problems.emplace_back("asymmetric peer edge at AS " + std::to_string(asn_[n]));
+      }
+    }
+    if (!allow_isolated && degree(n) == 0) {
+      problems.emplace_back("isolated AS " + std::to_string(asn_[n]));
+    }
+  }
+  return problems;
+}
+
+std::vector<AsId> AsGraph::tier_ones() const {
+  std::vector<AsId> out;
+  for (AsId n = 0; n < num_nodes(); ++n) {
+    if (providers_[n].empty() && !customers_[n].empty()) out.push_back(n);
+  }
+  return out;
+}
+
+std::size_t AsGraph::customer_cone_size(AsId n) const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<AsId> stack{n};
+  seen[n] = true;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const AsId x = stack.back();
+    stack.pop_back();
+    ++count;
+    for (AsId c : customers_[x]) {
+      if (!seen[c]) {
+        seen[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  return count;
+}
+
+double apply_traffic_model(AsGraph& graph, std::span<const AsId> cps, double x) {
+  if (x < 0.0 || x >= 1.0) throw std::invalid_argument("traffic fraction x must be in [0,1)");
+  const auto n = static_cast<double>(graph.num_nodes());
+  const auto k = static_cast<double>(cps.size());
+  for (AsId i = 0; i < graph.num_nodes(); ++i) graph.set_weight(i, 1.0);
+  if (cps.empty() || x == 0.0) return 1.0;
+  const double w_cp = x * (n - k) / (k * (1.0 - x));
+  for (AsId cp : cps) graph.set_weight(cp, w_cp);
+  return w_cp;
+}
+
+}  // namespace sbgp::topo

@@ -1,0 +1,158 @@
+// The labelled AS graph of Section 3.1: nodes are ASes, edges carry the
+// standard Gao–Rexford business relationships (customer-provider or
+// peer-to-peer), nodes carry traffic weights and a class (stub / ISP /
+// content provider).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sbgp::topo {
+
+/// Dense internal AS identifier, 0..num_nodes()-1.
+using AsId = std::uint32_t;
+
+/// Sentinel for "no AS".
+inline constexpr AsId kNoAs = std::numeric_limits<AsId>::max();
+
+/// The relationship of a neighbour *to this node*:
+///  - Customer: the neighbour pays this node for transit.
+///  - Peer:     settlement-free peering.
+///  - Provider: this node pays the neighbour for transit.
+enum class Link : std::uint8_t { Customer = 0, Peer = 1, Provider = 2 };
+
+/// Returns the relationship as seen from the other endpoint.
+[[nodiscard]] constexpr Link reverse(Link link) {
+  switch (link) {
+    case Link::Customer: return Link::Provider;
+    case Link::Provider: return Link::Customer;
+    case Link::Peer: return Link::Peer;
+  }
+  return Link::Peer;
+}
+
+/// AS classification per Section 3.1. Stubs have no customers and are not
+/// content providers; ISPs are the remaining transit-providing ASes; content
+/// providers are designated explicitly (Google/Facebook/... in the paper).
+enum class AsClass : std::uint8_t { Stub = 0, Isp = 1, ContentProvider = 2 };
+
+[[nodiscard]] const char* to_string(AsClass c);
+[[nodiscard]] const char* to_string(Link l);
+
+/// Mutable AS-level topology. Construction: `add_as` for every node, then
+/// `add_customer_provider` / `add_peer` edges, then `finalize()` (which
+/// classifies nodes and freezes adjacency order). Accessors require a
+/// finalized graph.
+class AsGraph {
+ public:
+  AsGraph() = default;
+
+  /// Adds an AS with external AS number `asn` (display-only label; may be
+  /// any value but must be unique) and returns its dense id.
+  AsId add_as(std::uint32_t asn);
+
+  /// Adds `count` ASes with consecutive synthetic AS numbers; returns the
+  /// id of the first.
+  AsId add_many(std::uint32_t count);
+
+  /// Declares `provider` to be a provider of `customer` (a customer-provider
+  /// edge). Fails (returns false) on self-loops or duplicate edges.
+  bool add_customer_provider(AsId provider, AsId customer);
+
+  /// Declares a settlement-free peering edge between `a` and `b`.
+  bool add_peer(AsId a, AsId b);
+
+  /// Marks `as_id` as a content provider (affects classification).
+  void mark_content_provider(AsId as_id);
+
+  /// Classifies every AS and freezes the graph. Must be called exactly once
+  /// after construction; edge insertion afterwards is rejected.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] std::size_t num_nodes() const { return asn_.size(); }
+
+  /// Total number of undirected edges, by relationship type.
+  [[nodiscard]] std::size_t num_customer_provider_edges() const { return cp_edges_; }
+  [[nodiscard]] std::size_t num_peer_edges() const { return peer_edges_; }
+
+  /// External AS number label of `n`.
+  [[nodiscard]] std::uint32_t asn(AsId n) const { return asn_[n]; }
+  /// Dense id for an external AS number, or kNoAs if unknown. O(log n).
+  [[nodiscard]] AsId find_asn(std::uint32_t asn) const;
+
+  /// Adjacency by relationship, from n's point of view.
+  [[nodiscard]] std::span<const AsId> customers(AsId n) const { return customers_[n]; }
+  [[nodiscard]] std::span<const AsId> peers(AsId n) const { return peers_[n]; }
+  [[nodiscard]] std::span<const AsId> providers(AsId n) const { return providers_[n]; }
+
+  /// Total degree (customers + peers + providers).
+  [[nodiscard]] std::size_t degree(AsId n) const {
+    return customers_[n].size() + peers_[n].size() + providers_[n].size();
+  }
+
+  /// Relationship of `b` to `a`, or nothing if not adjacent.
+  /// Returns true and sets `out` when an edge exists.
+  [[nodiscard]] bool link_between(AsId a, AsId b, Link& out) const;
+
+  /// Classification (requires finalize()).
+  [[nodiscard]] AsClass cls(AsId n) const { return class_[n]; }
+  [[nodiscard]] bool is_stub(AsId n) const { return class_[n] == AsClass::Stub; }
+  [[nodiscard]] bool is_isp(AsId n) const { return class_[n] == AsClass::Isp; }
+  [[nodiscard]] bool is_content_provider(AsId n) const {
+    return class_[n] == AsClass::ContentProvider;
+  }
+
+  /// Per-class node counts (requires finalize()).
+  [[nodiscard]] std::size_t num_stubs() const { return n_stubs_; }
+  [[nodiscard]] std::size_t num_isps() const { return n_isps_; }
+  [[nodiscard]] std::size_t num_content_providers() const { return n_cps_; }
+
+  /// Traffic weight w_n of Section 3.1 (default 1.0).
+  [[nodiscard]] double weight(AsId n) const { return weight_[n]; }
+  void set_weight(AsId n, double w) { weight_[n] = w; }
+  /// Sum of all weights.
+  [[nodiscard]] double total_weight() const;
+
+  /// Structural validation: GR1 (no cycle in the customer-provider
+  /// hierarchy), symmetric adjacency, no isolated finalized nodes allowed
+  /// unless `allow_isolated`. Returns human-readable problems (empty = ok).
+  [[nodiscard]] std::vector<std::string> validate(bool allow_isolated = false) const;
+
+  /// ASes with no providers and at least one customer — the Tier-1 layer.
+  [[nodiscard]] std::vector<AsId> tier_ones() const;
+
+  /// Size of n's customer cone (transitive customers, including n).
+  [[nodiscard]] std::size_t customer_cone_size(AsId n) const;
+
+ private:
+  bool add_edge_checked(AsId a, AsId b);
+
+  std::vector<std::uint32_t> asn_;
+  std::vector<std::vector<AsId>> customers_;
+  std::vector<std::vector<AsId>> peers_;
+  std::vector<std::vector<AsId>> providers_;
+  std::vector<AsClass> class_;
+  std::vector<double> weight_;
+  std::vector<bool> cp_mark_;
+  // Sorted (asn, id) index built at finalize() for find_asn.
+  std::vector<std::pair<std::uint32_t, AsId>> asn_index_;
+  std::size_t cp_edges_ = 0;
+  std::size_t peer_edges_ = 0;
+  std::size_t n_stubs_ = 0;
+  std::size_t n_isps_ = 0;
+  std::size_t n_cps_ = 0;
+  bool finalized_ = false;
+};
+
+/// Applies the paper's traffic model (Section 3.1): every AS has unit
+/// weight except the content providers in `cps`, which each get
+///   w_CP = x * (N - |cps|) / (|cps| * (1 - x))
+/// so that they jointly originate an `x` fraction of all traffic.
+/// Returns w_CP. Requires 0 <= x < 1 and a finalized graph.
+double apply_traffic_model(AsGraph& graph, std::span<const AsId> cps, double x);
+
+}  // namespace sbgp::topo

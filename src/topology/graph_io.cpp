@@ -1,0 +1,113 @@
+#include "topology/graph_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sbgp::topo {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("as-rel parse error at line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+std::uint32_t parse_u32(std::string_view token, std::size_t line_no) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    parse_error(line_no, "bad AS number '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+AsGraph read_as_rel(std::istream& in) {
+  AsGraph graph;
+  std::unordered_map<std::uint32_t, AsId> ids;
+  auto intern = [&](std::uint32_t asn) {
+    auto [it, inserted] = ids.try_emplace(asn, AsId{0});
+    if (inserted) it->second = graph.add_as(asn);
+    return it->second;
+  };
+
+  std::vector<std::uint32_t> cps;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      constexpr std::string_view kCpPrefix = "# cp: ";
+      if (line.rfind(kCpPrefix, 0) == 0) {
+        cps.push_back(parse_u32(std::string_view(line).substr(kCpPrefix.size()), line_no));
+      }
+      continue;
+    }
+    std::string_view sv(line);
+    const auto p1 = sv.find('|');
+    const auto p2 = p1 == std::string_view::npos ? p1 : sv.find('|', p1 + 1);
+    if (p2 == std::string_view::npos) parse_error(line_no, "expected a|b|rel");
+    const std::uint32_t a = parse_u32(sv.substr(0, p1), line_no);
+    const std::uint32_t b = parse_u32(sv.substr(p1 + 1, p2 - p1 - 1), line_no);
+    const std::string_view rel = sv.substr(p2 + 1);
+    const AsId ia = intern(a);
+    const AsId ib = intern(b);
+    bool ok = false;
+    if (rel == "-1") {
+      ok = graph.add_customer_provider(ia, ib);
+    } else if (rel == "0") {
+      ok = graph.add_peer(ia, ib);
+    } else {
+      parse_error(line_no, "unknown relationship '" + std::string(rel) + "'");
+    }
+    if (!ok) parse_error(line_no, "duplicate edge or self-loop");
+  }
+  for (std::uint32_t asn : cps) {
+    auto it = ids.find(asn);
+    if (it == ids.end()) {
+      throw std::runtime_error("cp designation for unknown AS " + std::to_string(asn));
+    }
+    graph.mark_content_provider(it->second);
+  }
+  graph.finalize();
+  return graph;
+}
+
+AsGraph read_as_rel_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_as_rel(in);
+}
+
+void write_as_rel(const AsGraph& graph, std::ostream& out) {
+  out << "# sbgpsim as-rel export: " << graph.num_nodes() << " ASes, "
+      << graph.num_customer_provider_edges() << " customer-provider edges, "
+      << graph.num_peer_edges() << " peer edges\n";
+  for (AsId n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.is_content_provider(n)) out << "# cp: " << graph.asn(n) << '\n';
+  }
+  for (AsId n = 0; n < graph.num_nodes(); ++n) {
+    for (AsId c : graph.customers(n)) {
+      out << graph.asn(n) << '|' << graph.asn(c) << "|-1\n";
+    }
+    for (AsId p : graph.peers(n)) {
+      if (n < p) out << graph.asn(n) << '|' << graph.asn(p) << "|0\n";
+    }
+  }
+}
+
+void write_as_rel_file(const AsGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_as_rel(graph, out);
+}
+
+}  // namespace sbgp::topo

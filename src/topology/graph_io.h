@@ -1,0 +1,30 @@
+// Serialization of AS graphs in the CAIDA "as-rel" text format used by the
+// empirical datasets the paper ran on (Cyclops [9] exports the same shape):
+//   <provider-asn>|<customer-asn>|-1
+//   <peer-asn>|<peer-asn>|0
+// plus '#'-prefixed comments. Content-provider designations are persisted as
+//   # cp: <asn>
+// comment lines so a round-trip preserves classification.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/as_graph.h"
+
+namespace sbgp::topo {
+
+/// Parses an as-rel stream into a finalized graph. Throws std::runtime_error
+/// with a line number on malformed input.
+[[nodiscard]] AsGraph read_as_rel(std::istream& in);
+
+/// Convenience overload reading from a file path.
+[[nodiscard]] AsGraph read_as_rel_file(const std::string& path);
+
+/// Writes `graph` (finalized) in as-rel format.
+void write_as_rel(const AsGraph& graph, std::ostream& out);
+
+/// Convenience overload writing to a file path (overwrites).
+void write_as_rel_file(const AsGraph& graph, const std::string& path);
+
+}  // namespace sbgp::topo

@@ -1,0 +1,74 @@
+#include "topology/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbgp::topo {
+
+DegreeStats degree_stats(const AsGraph& graph, std::size_t d_min) {
+  DegreeStats out;
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::size_t> degrees(n);
+  double sum = 0.0;
+  for (AsId i = 0; i < n; ++i) {
+    degrees[i] = graph.degree(i);
+    out.histogram.add(degrees[i]);
+    sum += static_cast<double>(degrees[i]);
+    out.max = std::max(out.max, degrees[i]);
+  }
+  out.mean = n == 0 ? 0.0 : sum / static_cast<double>(n);
+  out.median = out.histogram.quantile(0.5);
+
+  std::vector<std::size_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, n / 100);
+  double top_sum = 0.0;
+  for (std::size_t i = 0; i < top && i < sorted.size(); ++i) {
+    top_sum += static_cast<double>(sorted[i]);
+  }
+  out.top1pct_endpoint_share = sum > 0 ? top_sum / sum : 0.0;
+
+  // Continuous MLE: alpha = 1 + m / sum(ln(d_i / (d_min - 0.5))).
+  double log_sum = 0.0;
+  std::size_t m = 0;
+  for (const std::size_t d : degrees) {
+    if (d >= d_min) {
+      log_sum += std::log(static_cast<double>(d) /
+                          (static_cast<double>(d_min) - 0.5));
+      ++m;
+    }
+  }
+  out.powerlaw_alpha = (m > 0 && log_sum > 0)
+                           ? 1.0 + static_cast<double>(m) / log_sum
+                           : 0.0;
+  return out;
+}
+
+std::vector<std::size_t> customer_cone_sizes(const AsGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::size_t> out(n, 0);
+  std::vector<std::uint32_t> mark(n, 0);
+  std::uint32_t epoch = 0;
+  std::vector<AsId> stack;
+  for (AsId root = 0; root < n; ++root) {
+    ++epoch;
+    stack.assign(1, root);
+    mark[root] = epoch;
+    std::size_t count = 0;
+    while (!stack.empty()) {
+      const AsId x = stack.back();
+      stack.pop_back();
+      ++count;
+      for (const AsId c : graph.customers(x)) {
+        if (mark[c] != epoch) {
+          mark[c] = epoch;
+          stack.push_back(c);
+        }
+      }
+    }
+    out[root] = count;
+  }
+  return out;
+}
+
+}  // namespace sbgp::topo

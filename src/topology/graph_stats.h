@@ -1,0 +1,36 @@
+// Structural statistics of AS graphs: degree distributions (the "extreme
+// skew in AS connectivity" the deployment strategy is designed to exploit,
+// Section 4), customer-cone sizes, and AS-path-length profiles. Used by the
+// topology test-suite to assert that the synthetic generator reproduces the
+// empirical shape the paper's dynamics depend on, and by the Table 2–4
+// benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::topo {
+
+struct DegreeStats {
+  stats::IntHistogram histogram;
+  double mean = 0.0;
+  std::size_t max = 0;
+  std::size_t median = 0;
+  /// Fraction of all edge endpoints incident to the top 1% of nodes —
+  /// a direct skew measure.
+  double top1pct_endpoint_share = 0.0;
+  /// Continuous MLE power-law exponent alpha fitted to degrees >= d_min
+  /// (Clauset-Shalizi-Newman estimator with fixed d_min).
+  double powerlaw_alpha = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const AsGraph& graph, std::size_t d_min = 2);
+
+/// Customer-cone size (transitive customers + self) of every AS. The cone
+/// of a Tier-1 covers most of the graph; stubs have cone 1.
+[[nodiscard]] std::vector<std::size_t> customer_cone_sizes(const AsGraph& graph);
+
+}  // namespace sbgp::topo

@@ -1,0 +1,266 @@
+#include "topology/topology_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sbgp::topo {
+
+namespace {
+
+/// Preferential-attachment pool: every eligible provider appears once per
+/// "attachment credit" (1 + number of customers gained so far), so sampling
+/// uniformly from the pool is rich-get-richer sampling.
+class AttachmentPool {
+ public:
+  void add(AsId id) { entries_.push_back(id); }
+
+  /// Samples an entry accepted by `eligible`; falls back to a linear scan if
+  /// rejection sampling fails repeatedly. Returns kNoAs if nothing eligible.
+  template <typename Rng, typename Pred>
+  AsId sample(Rng& rng, Pred eligible) const {
+    if (entries_.empty()) return kNoAs;
+    std::uniform_int_distribution<std::size_t> dist(0, entries_.size() - 1);
+    for (int tries = 0; tries < 200; ++tries) {
+      const AsId cand = entries_[dist(rng)];
+      if (eligible(cand)) return cand;
+    }
+    for (AsId cand : entries_) {
+      if (eligible(cand)) return cand;
+    }
+    return kNoAs;
+  }
+
+ private:
+  std::vector<AsId> entries_;
+};
+
+/// Draws the number of providers from the (1,2,3) distribution given by the
+/// two- and three-provider probabilities.
+template <typename Rng>
+std::uint32_t draw_provider_count(Rng& rng, double p2, double p3) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const double r = u(rng);
+  if (r < p3) return 3;
+  if (r < p3 + p2) return 2;
+  return 1;
+}
+
+}  // namespace
+
+Internet generate_internet(const InternetConfig& cfg) {
+  const auto total_isps =
+      static_cast<std::uint32_t>(static_cast<double>(cfg.total_ases) * cfg.isp_fraction);
+  if (cfg.num_tier1 == 0 || total_isps <= cfg.num_tier1) {
+    throw std::invalid_argument("InternetConfig: need more ISPs than Tier-1s");
+  }
+  if (cfg.total_ases < total_isps + cfg.num_content_providers + 1) {
+    throw std::invalid_argument("InternetConfig: total_ases too small");
+  }
+  const std::uint32_t num_mid_isps = total_isps - cfg.num_tier1;
+  const std::uint32_t num_stubs =
+      cfg.total_ases - total_isps - cfg.num_content_providers;
+
+  std::mt19937_64 rng(cfg.seed);
+  Internet net;
+  AsGraph& g = net.graph;
+
+  // --- Tier-1 clique (level 0) -------------------------------------------
+  std::vector<std::uint32_t> level;  // per ISP id; tier1 = 0
+  for (std::uint32_t i = 0; i < cfg.num_tier1; ++i) {
+    const AsId id = g.add_as(i + 1);
+    net.tier1.push_back(id);
+    level.push_back(0);
+  }
+  for (std::size_t i = 0; i < net.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < net.tier1.size(); ++j) {
+      g.add_peer(net.tier1[i], net.tier1[j]);
+    }
+  }
+
+  AttachmentPool pool;
+  // Seed Tier-1s with extra attachment credits so the hierarchy hangs off
+  // them strongly (they are by far the best-connected ASes empirically).
+  for (AsId t : net.tier1) {
+    for (int credit = 0; credit < 4; ++credit) pool.add(t);
+  }
+
+  // --- Mid-tier ISPs (levels 1..isp_levels) ------------------------------
+  std::vector<std::vector<AsId>> by_level(cfg.isp_levels + 1);
+  by_level[0] = net.tier1;
+  std::vector<AsId> all_isps = net.tier1;
+  std::uniform_int_distribution<std::uint32_t> level_dist(1, cfg.isp_levels);
+  for (std::uint32_t i = 0; i < num_mid_isps; ++i) {
+    const AsId id = g.add_as(static_cast<std::uint32_t>(g.num_nodes()) + 1);
+    // Deeper levels are more populous (the hierarchy broadens downward).
+    std::uint32_t lvl = level_dist(rng);
+    lvl = std::max(level_dist(rng), lvl);
+    level.push_back(lvl);
+    const std::uint32_t want = draw_provider_count(rng, cfg.isp_two_provider_prob,
+                                                   cfg.isp_three_provider_prob);
+    std::uint32_t got = 0;
+    for (std::uint32_t k = 0; k < want * 6 && got < want; ++k) {
+      const AsId prov = pool.sample(rng, [&](AsId cand) {
+        if (cand == id || level[cand] >= lvl) return false;
+        Link unused;
+        return !g.link_between(id, cand, unused);
+      });
+      if (prov == kNoAs) break;
+      if (g.add_customer_provider(prov, id)) {
+        pool.add(prov);  // provider gains an attachment credit
+        ++got;
+      }
+    }
+    by_level[lvl].push_back(id);
+    all_isps.push_back(id);
+    pool.add(id);  // the new ISP itself becomes attachable
+  }
+
+  // --- ISP-to-ISP peering --------------------------------------------------
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  for (std::uint32_t lvl = 1; lvl <= cfg.isp_levels; ++lvl) {
+    for (AsId isp : by_level[lvl]) {
+      double budget = cfg.isp_peer_attempts;
+      while (budget > 0.0) {
+        if (budget < 1.0 && u01(rng) > budget) break;
+        budget -= 1.0;
+        const auto& candidates = by_level[lvl];
+        if (candidates.size() < 2) break;
+        std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+        const AsId other = candidates[pick(rng)];
+        if (other == isp) continue;
+        g.add_peer(isp, other);  // duplicate edges are rejected internally
+      }
+    }
+  }
+
+  // --- Content providers ---------------------------------------------------
+  for (std::uint32_t i = 0; i < cfg.num_content_providers; ++i) {
+    const AsId cp = g.add_as(static_cast<std::uint32_t>(g.num_nodes()) + 1);
+    g.mark_content_provider(cp);
+    net.cps.push_back(cp);
+    // CPs buy transit from a couple of Tier-1s...
+    std::uniform_int_distribution<std::size_t> pick_t1(0, net.tier1.size() - 1);
+    std::size_t got = 0;
+    while (got < 2) {
+      const AsId t1 = net.tier1[pick_t1(rng)];
+      if (g.add_customer_provider(t1, cp)) ++got;
+    }
+    // ... and peer with a sizable set of ISPs even in the base graph.
+    const int cp_peers = std::max(
+        6, static_cast<int>(cfg.cp_peer_fraction * static_cast<double>(all_isps.size())));
+    for (int k = 0; k < cp_peers; ++k) {
+      const AsId isp = pool.sample(rng, [&](AsId cand) {
+        if (cand == cp) return false;
+        Link unused;
+        return !g.link_between(cp, cand, unused);
+      });
+      if (isp != kNoAs) g.add_peer(cp, isp);
+    }
+  }
+
+  // --- Stubs ----------------------------------------------------------------
+  for (std::uint32_t i = 0; i < num_stubs; ++i) {
+    const AsId stub = g.add_as(static_cast<std::uint32_t>(g.num_nodes()) + 1);
+    const std::uint32_t want = draw_provider_count(rng, cfg.stub_two_provider_prob,
+                                                   cfg.stub_three_provider_prob);
+    std::uint32_t got = 0;
+    for (std::uint32_t k = 0; k < want * 6 && got < want; ++k) {
+      const AsId prov = pool.sample(rng, [&](AsId cand) {
+        Link unused;
+        return !g.link_between(stub, cand, unused);
+      });
+      if (prov == kNoAs) break;
+      if (g.add_customer_provider(prov, stub)) {
+        pool.add(prov);
+        ++got;
+      }
+    }
+    assert(got >= 1);
+  }
+
+  // --- IXP membership & peering augmentation --------------------------------
+  for (AsId isp : all_isps) {
+    if (u01(rng) < cfg.ixp_member_fraction) net.ixp_members.push_back(isp);
+  }
+  std::vector<bool> transit_or_cp(g.num_nodes(), false);
+  for (AsId isp : all_isps) transit_or_cp[isp] = true;
+  for (AsId cp : net.cps) transit_or_cp[cp] = true;
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    // A thin tail of stubs shows up at IXPs too.
+    if (!transit_or_cp[n] && u01(rng) < cfg.ixp_member_fraction * 0.15) {
+      net.ixp_members.push_back(n);
+    }
+  }
+  const auto extra =
+      static_cast<std::size_t>(cfg.ixp_extra_peer_fraction * cfg.total_ases);
+  if (net.ixp_members.size() >= 2) {
+    std::uniform_int_distribution<std::size_t> pick(0, net.ixp_members.size() - 1);
+    std::size_t added = 0;
+    for (std::size_t attempts = 0; attempts < extra * 10 && added < extra; ++attempts) {
+      const AsId a = net.ixp_members[pick(rng)];
+      const AsId b = net.ixp_members[pick(rng)];
+      if (a == b) continue;
+      if (g.add_peer(a, b)) ++added;
+    }
+  }
+
+  g.finalize();
+  std::sort(net.tier1.begin(), net.tier1.end(), [&](AsId a, AsId b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  return net;
+}
+
+Internet augment_cp_peering(const Internet& base, double fraction, std::uint64_t seed,
+                            std::size_t* added_out) {
+  const AsGraph& src = base.graph;
+  AsGraph g;
+  for (AsId n = 0; n < src.num_nodes(); ++n) {
+    const AsId id = g.add_as(src.asn(n));
+    assert(id == n);
+    (void)id;
+    g.set_weight(n, src.weight(n));
+  }
+  for (AsId n = 0; n < src.num_nodes(); ++n) {
+    if (src.is_content_provider(n)) g.mark_content_provider(n);
+    for (AsId c : src.customers(n)) g.add_customer_provider(n, c);
+    for (AsId p : src.peers(n)) {
+      if (n < p) g.add_peer(n, p);
+    }
+  }
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::size_t added = 0;
+  for (AsId cp : base.cps) {
+    for (AsId member : base.ixp_members) {
+      if (member == cp) continue;
+      if (u01(rng) < fraction && g.add_peer(cp, member)) ++added;
+    }
+  }
+  if (added_out != nullptr) *added_out = added;
+
+  g.finalize();
+  Internet out;
+  out.graph = std::move(g);
+  out.tier1 = base.tier1;
+  out.cps = base.cps;
+  out.ixp_members = base.ixp_members;
+  return out;
+}
+
+std::vector<AsId> top_degree_isps(const AsGraph& graph, std::size_t k) {
+  std::vector<AsId> isps;
+  for (AsId n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.is_isp(n)) isps.push_back(n);
+  }
+  std::sort(isps.begin(), isps.end(), [&](AsId a, AsId b) {
+    return graph.degree(a) != graph.degree(b) ? graph.degree(a) > graph.degree(b)
+                                              : a < b;
+  });
+  if (isps.size() > k) isps.resize(k);
+  return isps;
+}
+
+}  // namespace sbgp::topo

@@ -1,0 +1,87 @@
+// Synthetic Internet-like AS topology generator: the drop-in substitute for
+// the Cyclops Dec-2010 AS graph + IXP edges the paper simulates on
+// (Section 4, Appendix D). It reproduces the structural properties the
+// deployment dynamics depend on:
+//   - a Tier-1 clique with no providers,
+//   - a tiered ISP hierarchy with preferential (rich-get-richer) provider
+//     attachment, yielding a heavily skewed degree distribution,
+//   - ~85% stubs, a configurable fraction of which are multi-homed (the
+//     source of the tiebreak-set competition of Section 6.6),
+//   - five designated content providers,
+//   - IXP peering augmentation (the +16K peering edges of [3]) and the
+//     CP-peering "augmented graph" of Appendix D.
+// Everything is deterministic given `seed`.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "topology/as_graph.h"
+
+namespace sbgp::topo {
+
+/// Generator parameters. Defaults produce a graph whose class mix matches
+/// the paper's empirical numbers (85% stubs, ~15% ISPs, 5 CPs).
+struct InternetConfig {
+  /// Total number of ASes (including stubs, ISPs, Tier-1s and CPs).
+  std::uint32_t total_ases = 5000;
+  /// Number of Tier-1 ASes (fully peered clique, no providers).
+  std::uint32_t num_tier1 = 10;
+  /// Number of designated content providers.
+  std::uint32_t num_content_providers = 5;
+  /// Fraction of ASes that are transit ISPs (including Tier-1s).
+  double isp_fraction = 0.15;
+  /// Number of mid-tier ISP levels below the Tier-1 layer.
+  std::uint32_t isp_levels = 3;
+  /// Probability that a stub has 2 (respectively 3) providers. The paper's
+  /// dynamics hinge on multi-homed stubs: they create the DIAMOND
+  /// competition of Section 5.1.
+  double stub_two_provider_prob = 0.35;
+  double stub_three_provider_prob = 0.10;
+  /// Probability that a mid-tier ISP has 2 (resp. 3) providers.
+  double isp_two_provider_prob = 0.45;
+  double isp_three_provider_prob = 0.20;
+  /// Expected number of peering attempts per mid-tier ISP.
+  double isp_peer_attempts = 1.5;
+  /// Base-graph peering of each content provider, as a fraction of the ISP
+  /// population (real CPs peer widely even before the Appendix D
+  /// augmentation: Google/Akamai have degrees in the hundreds in Cyclops).
+  double cp_peer_fraction = 0.08;
+  /// Fraction of ISPs that are IXP members (candidates for peering
+  /// augmentation per [3]).
+  double ixp_member_fraction = 0.30;
+  /// Extra random peer edges added among IXP members, as a fraction of
+  /// total_ases (the paper added 16K edges to a 36K graph ~ 0.43).
+  double ixp_extra_peer_fraction = 0.43;
+  /// PRNG seed; same seed + same config => identical graph.
+  std::uint64_t seed = 42;
+};
+
+/// A generated topology plus the designated special-node sets.
+struct Internet {
+  AsGraph graph;
+  std::vector<AsId> tier1;        ///< Tier-1 clique, descending degree.
+  std::vector<AsId> cps;          ///< content providers.
+  std::vector<AsId> ixp_members;  ///< ASes present at IXPs.
+};
+
+/// Generates a finalized Internet-like topology. Throws on infeasible
+/// configs (e.g. more Tier-1s than ISPs).
+[[nodiscard]] Internet generate_internet(const InternetConfig& config);
+
+/// Appendix D "augmented graph": connects every content provider by peer
+/// edges to `fraction` of the IXP members (the paper used 80%, bringing CP
+/// degree up to Tier-1 levels and average CP path length down to ~2).
+/// Must be applied before `graph.finalize()` is NOT possible — instead this
+/// rebuilds the graph with the extra edges and returns the augmented copy.
+/// Returns the number of peer edges added via `added_out` when non-null.
+[[nodiscard]] Internet augment_cp_peering(const Internet& base, double fraction,
+                                          std::uint64_t seed,
+                                          std::size_t* added_out = nullptr);
+
+/// Returns the `k` highest-degree ISPs (used for "top-k degree" early
+/// adopter sets, cf. Figure 8).
+[[nodiscard]] std::vector<AsId> top_degree_isps(const AsGraph& graph, std::size_t k);
+
+}  // namespace sbgp::topo

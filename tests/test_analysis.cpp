@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "gadgets/gadgets.h"
+#include "test_util.h"
+
+namespace sbgp::core {
+namespace {
+
+using test::make_diamond;
+using test::small_internet;
+
+TEST(SecurePaths, NobodySecureMeansNoSecurePaths) {
+  const auto net = small_internet(200, 3);
+  SimConfig cfg;
+  par::ThreadPool pool(1);
+  std::vector<std::uint8_t> nobody(net.graph.num_nodes(), 0);
+  const auto stats = count_secure_paths(net.graph, nobody, cfg, pool);
+  EXPECT_EQ(stats.secure_pairs, 0u);
+  EXPECT_DOUBLE_EQ(stats.f, 0.0);
+}
+
+TEST(SecurePaths, EveryoneSecureMeansAllReachablePathsSecure) {
+  const auto net = small_internet(200, 3);
+  SimConfig cfg;
+  par::ThreadPool pool(1);
+  std::vector<std::uint8_t> all(net.graph.num_nodes(), 1);
+  const auto stats = count_secure_paths(net.graph, all, cfg, pool);
+  EXPECT_DOUBLE_EQ(stats.f, 1.0);
+  // The generator guarantees global reachability, so every ordered pair is
+  // secure.
+  EXPECT_EQ(stats.secure_pairs, stats.total_pairs);
+}
+
+TEST(SecurePaths, FractionTracksFSquaredFromBelow) {
+  // Figure 9: the secure-path fraction is slightly below f^2.
+  const auto net = small_internet(400, 7);
+  const auto state = test::random_state(net.graph, 0.6, 11);
+  SimConfig cfg;
+  par::ThreadPool pool(1);
+  const auto stats = count_secure_paths(net.graph, state.flags(), cfg, pool);
+  EXPECT_GT(stats.f, 0.3);
+  EXPECT_LE(stats.fraction, stats.f_squared + 1e-9);
+  EXPECT_GT(stats.fraction, stats.f_squared * 0.5)
+      << "measured " << stats.fraction << " vs f^2 " << stats.f_squared;
+}
+
+TEST(TiebreakDistribution, MatchesPaperShape) {
+  // Figure 10: tiebreak sets are small; ISPs have slightly larger sets than
+  // stubs; only a minority of sets have >1 path.
+  const auto net = small_internet(500, 13);
+  par::ThreadPool pool(1);
+  const auto dist = tiebreak_distribution(net.graph, pool);
+  ASSERT_GT(dist.all.total(), 0u);
+  EXPECT_GE(dist.all.mean(), 1.0);
+  EXPECT_LT(dist.all.mean(), 2.5);
+  EXPECT_GT(dist.all.fraction_greater(1), 0.01);
+  EXPECT_LT(dist.all.fraction_greater(1), 0.6);
+  EXPECT_GT(dist.isp.mean(), dist.stub.mean() * 0.9)
+      << "ISPs should not have markedly smaller tiebreak sets than stubs";
+}
+
+TEST(Diamonds, CountsContestedStubs) {
+  const auto d = make_diamond();
+  par::ThreadPool pool(1);
+  const std::vector<topo::AsId> adopters{d.e};
+  const auto counts = count_diamonds(d.g, adopters, pool);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].adopter, d.e);
+  EXPECT_EQ(counts[0].diamonds, 1u) << "stub s is contested at e";
+  EXPECT_EQ(counts[0].strict_diamonds, 1u) << "both competitors provide s";
+}
+
+TEST(Diamonds, NoCompetitionNoDiamonds) {
+  const auto c = test::make_chain();
+  par::ThreadPool pool(1);
+  const std::vector<topo::AsId> adopters{c.t};
+  const auto counts = count_diamonds(c.g, adopters, pool);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].diamonds, 0u);
+}
+
+TEST(TurnOffScan, FindsTheBuyersRemorseIncentive) {
+  // Section 7.1 / Figure 13: the telecom ISP has a per-destination
+  // incentive to turn off in the incoming model.
+  const auto g = gadgets::make_buyers_remorse(8, 100.0);
+  SimConfig cfg;
+  g.configure(cfg);
+  par::ThreadPool pool(1);
+  const auto scan =
+      scan_turn_off_incentives(g.graph, g.initial.flags(), cfg, pool);
+  EXPECT_GE(scan.secure_isps, 1u);
+  EXPECT_GE(scan.isps_with_incentive, 1u);
+  EXPECT_EQ(scan.best_isp, g.node("telecom"));
+  EXPECT_GT(scan.best_gain, 0.0);
+  EXPECT_GE(scan.isp_dest_pairs, 8u) << "every stub destination is profitable";
+}
+
+TEST(PerDestTurnOff, TelecomSuppressesExactlyItsStubDestinations) {
+  // Section 7.1: "AS 4755 could just as well turn off S*BGP on a per
+  // destination basis, by refusing to propagate S*BGP announcements for the
+  // twenty-four stubs". The per-destination dynamics converge with exactly
+  // those 24 suppressions.
+  const std::size_t stubs = 24;
+  const auto g = gadgets::make_buyers_remorse(stubs, 821.0);
+  SimConfig cfg;
+  g.configure(cfg);
+  par::ThreadPool pool(1);
+  const auto r =
+      run_per_destination_turn_off(g.graph, g.initial.flags(), cfg, pool);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.isps_suppressing, 1u);
+  EXPECT_EQ(r.suppressed_pairs, stubs);
+  const auto telecom = g.node("telecom");
+  for (std::size_t k = 0; k < stubs; ++k) {
+    EXPECT_EQ(r.suppressed[g.node("stub" + std::to_string(k))][telecom], 1);
+  }
+  EXPECT_EQ(r.suppressed[g.node("akamai")][telecom], 0);
+}
+
+TEST(PerDestTurnOff, NoIncentivesNoSuppression) {
+  const auto c = test::make_chain();
+  std::vector<std::uint8_t> all(c.g.num_nodes(), 1);
+  SimConfig cfg;
+  cfg.threads = 1;
+  par::ThreadPool pool(1);
+  const auto r = run_per_destination_turn_off(c.g, all, cfg, pool);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_EQ(r.suppressed_pairs, 0u);
+}
+
+TEST(TurnOffScan, OutgoingStyleStatesWithoutRemorseComeUpEmptyOnChains) {
+  const auto c = test::make_chain();
+  std::vector<std::uint8_t> all(c.g.num_nodes(), 1);
+  SimConfig cfg;
+  cfg.threads = 1;
+  par::ThreadPool pool(1);
+  const auto scan = scan_turn_off_incentives(c.g, all, cfg, pool);
+  EXPECT_EQ(scan.isps_with_incentive, 0u);
+}
+
+}  // namespace
+}  // namespace sbgp::core

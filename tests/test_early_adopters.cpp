@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/early_adopters.h"
+#include "test_util.h"
+
+namespace sbgp::core {
+namespace {
+
+TEST(Adopters, StrategiesProduceExpectedSets) {
+  const auto net = test::small_internet(300, 5);
+
+  EXPECT_TRUE(select_adopters(net, AdopterStrategy::None, 5, 1).empty());
+
+  const auto top = select_adopters(net, AdopterStrategy::TopDegreeIsps, 5, 1);
+  ASSERT_EQ(top.size(), 5u);
+  for (const auto a : top) EXPECT_TRUE(net.graph.is_isp(a));
+
+  const auto cps = select_adopters(net, AdopterStrategy::ContentProviders, 0, 1);
+  EXPECT_EQ(cps, net.cps);
+
+  const auto combo = select_adopters(net, AdopterStrategy::CpsPlusTopIsps, 5, 1);
+  EXPECT_EQ(combo.size(), net.cps.size() + 5);
+
+  const auto r1 = select_adopters(net, AdopterStrategy::RandomIsps, 10, 1);
+  const auto r2 = select_adopters(net, AdopterStrategy::RandomIsps, 10, 2);
+  ASSERT_EQ(r1.size(), 10u);
+  EXPECT_NE(r1, r2) << "different seeds should give different random sets";
+  const auto r1_again = select_adopters(net, AdopterStrategy::RandomIsps, 10, 1);
+  EXPECT_EQ(r1, r1_again) << "same seed must reproduce the set";
+}
+
+TEST(Adopters, DeploymentReachIsMonotoneInAdopterSetHere) {
+  const auto net = test::small_internet(250, 8);
+  SimConfig cfg;
+  cfg.theta = 0.05;
+  cfg.threads = 1;
+  const auto top5 = select_adopters(net, AdopterStrategy::TopDegreeIsps, 5, 1);
+  const auto top1 = std::vector<topo::AsId>(top5.begin(), top5.begin() + 1);
+  const auto reach1 = deployment_reach(net.graph, top1, cfg);
+  const auto reach5 = deployment_reach(net.graph, top5, cfg);
+  EXPECT_GE(reach5, reach1);
+  EXPECT_GE(reach1, 1u);
+}
+
+TEST(Adopters, GreedyNeverWorseThanSingleBest) {
+  const auto net = test::small_internet(150, 21);
+  SimConfig cfg;
+  cfg.theta = 0.05;
+  cfg.threads = 1;
+  const auto candidates = topo::top_degree_isps(net.graph, 6);
+  const auto greedy = greedy_adopters(net.graph, candidates, 2, cfg);
+  ASSERT_EQ(greedy.size(), 2u);
+  std::size_t best_single = 0;
+  for (const auto c : candidates) {
+    best_single = std::max(
+        best_single, deployment_reach(net.graph, std::vector<topo::AsId>{c}, cfg));
+  }
+  EXPECT_GE(deployment_reach(net.graph, greedy, cfg), best_single);
+}
+
+TEST(Adopters, BruteForceEnumeratesAllCombinations) {
+  const auto net = test::small_internet(120, 33);
+  SimConfig cfg;
+  cfg.theta = 0.05;
+  cfg.threads = 1;
+  const auto candidates = topo::top_degree_isps(net.graph, 5);
+  const auto best = optimal_adopters_bruteforce(net.graph, candidates, 2, cfg);
+  ASSERT_EQ(best.size(), 2u);
+  const auto best_reach = deployment_reach(net.graph, best, cfg);
+  // No pair can beat the brute-force optimum.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      EXPECT_GE(best_reach,
+                deployment_reach(
+                    net.graph, std::vector<topo::AsId>{candidates[i], candidates[j]},
+                    cfg));
+    }
+  }
+  EXPECT_TRUE(optimal_adopters_bruteforce(net.graph, candidates, 0, cfg).empty());
+}
+
+}  // namespace
+}  // namespace sbgp::core

@@ -1,0 +1,168 @@
+// Boundary behaviour: degenerate graphs, caps, and formatting corners.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/analysis.h"
+#include "core/resilience.h"
+#include "core/simulator.h"
+#include "proto/rpki.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "gadgets/gadgets.h"
+#include "stats/table.h"
+#include "test_util.h"
+#include "topology/graph_io.h"
+
+namespace sbgp {
+namespace {
+
+TEST(EdgeCases, SingleEdgeGraphRoutes) {
+  topo::AsGraph g;
+  const auto p = g.add_as(1);
+  const auto c = g.add_as(2);
+  g.add_customer_provider(p, c);
+  g.finalize();
+  rt::RibComputer rc(g);
+  const auto rib = rc.compute(c);
+  EXPECT_EQ(rib.cls[p], rt::RouteClass::Customer);
+  EXPECT_EQ(rib.len[p], 1);
+  const auto rib2 = rc.compute(p);
+  EXPECT_EQ(rib2.cls[c], rt::RouteClass::Provider);
+}
+
+TEST(EdgeCases, DisconnectedComponentIsUnreachable) {
+  topo::AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  const auto c = g.add_as(3);
+  const auto d = g.add_as(4);
+  g.add_customer_provider(a, b);
+  g.add_customer_provider(c, d);
+  g.finalize();
+  rt::RibComputer rc(g);
+  const auto rib = rc.compute(b);
+  EXPECT_TRUE(rib.reachable(a));
+  EXPECT_FALSE(rib.reachable(c));
+  EXPECT_FALSE(rib.reachable(d));
+  EXPECT_EQ(rib.order.size(), 2u);
+}
+
+TEST(EdgeCases, SimulatorOnGraphWithoutIsps) {
+  // Two stubs under one provider... actually: a graph of only peers — no
+  // ISP ever decides, the process is trivially stable immediately.
+  topo::AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  g.add_peer(a, b);
+  g.finalize();
+  core::SimConfig cfg;
+  cfg.threads = 1;
+  core::DeploymentSimulator sim(g, cfg);
+  const auto result = sim.run(core::DeploymentState(g.num_nodes()));
+  EXPECT_EQ(result.outcome, core::Outcome::Stable);
+  EXPECT_TRUE(result.rounds.empty());
+}
+
+TEST(EdgeCases, RoundCapReported) {
+  // A chicken gadget with max_rounds = 1 cannot finish flipping.
+  const auto g = gadgets::make_chicken();
+  core::SimConfig cfg;
+  g.configure(cfg);
+  cfg.max_rounds = 1;
+  core::DeploymentSimulator sim(g.graph, cfg);
+  const auto result = sim.run(g.initial);
+  EXPECT_EQ(result.outcome, core::Outcome::RoundCapReached);
+  EXPECT_EQ(result.rounds_run(), 1u);
+}
+
+TEST(EdgeCases, EmptyAdopterSpanIsFine) {
+  const auto net = test::small_internet(120, 2);
+  const auto s =
+      core::DeploymentState::initial(net.graph, std::vector<topo::AsId>{});
+  EXPECT_EQ(s.num_secure(), 0u);
+}
+
+TEST(EdgeCases, SelfLoopAndDuplicateRoasAreIdempotent) {
+  proto::Rpki rpki;
+  rpki.register_as(5);
+  rpki.register_as(5);
+  EXPECT_EQ(rpki.num_registered(), 1u);
+  const auto p = proto::Prefix::for_asn(5);
+  rpki.add_roa(5, p);
+  rpki.add_roa(5, p);
+  EXPECT_EQ(rpki.num_roas(), 1u);
+}
+
+TEST(EdgeCases, TableWithNoRows) {
+  stats::Table t({"a", "b"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("a  b"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,b\n");
+}
+
+TEST(EdgeCases, TableAlignmentOverride) {
+  stats::Table t({"x", "y"});
+  t.set_align(1, stats::Align::Left);
+  t.begin_row();
+  t.add(std::string("aa"));
+  t.add(std::string("b"));
+  t.begin_row();
+  t.add(std::string("c"));
+  t.add(std::string("dddd"));
+  std::ostringstream os;
+  t.print(os);
+  // Left-aligned short cell: "b" followed by padding, not preceded by it.
+  EXPECT_NE(os.str().find("aa  b"), std::string::npos);
+}
+
+TEST(EdgeCases, GraphIoEmptyInput) {
+  std::istringstream is("# just a comment\n\n");
+  const auto g = topo::read_as_rel(is);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_TRUE(g.finalized());
+}
+
+TEST(EdgeCases, GraphIoUnknownCpThrows) {
+  std::istringstream is("# cp: 99\n1|2|-1\n");
+  EXPECT_THROW(topo::read_as_rel(is), std::runtime_error);
+}
+
+TEST(EdgeCases, HijackWithAdjacentAttackerAndVictim) {
+  // Attacker directly adjacent to the victim still splits the graph sanely.
+  const auto c = test::make_chain();  // t -> m -> s
+  core::SimConfig cfg;
+  cfg.threads = 1;
+  std::vector<std::uint8_t> nobody(c.g.num_nodes(), 0);
+  const double impact = core::hijack_impact(c.g, nobody, cfg, c.m, c.s);
+  // Third parties: only t. t's route to s: via m... but m now originates
+  // the prefix itself: t reaches "s's prefix" via customer m at length 1
+  // (m's own announcement) vs length 2 through m to s. Shorter wins: fooled.
+  EXPECT_DOUBLE_EQ(impact, 1.0);
+}
+
+TEST(EdgeCases, ZeroWeightNodesContributeNothing) {
+  auto c = test::make_chain();
+  c.g.set_weight(c.t, 0.0);
+  core::SimConfig cfg;
+  par::ThreadPool pool(1);
+  std::vector<std::uint8_t> nobody(c.g.num_nodes(), 0);
+  const auto u = core::compute_utilities(c.g, nobody, cfg, pool);
+  EXPECT_DOUBLE_EQ(u.outgoing[c.m], 0.0) << "t's zero weight transits nothing";
+}
+
+TEST(EdgeCases, ApplyTrafficModelWithZeroFractionResetsWeights) {
+  auto net = test::small_internet(100, 1);
+  topo::apply_traffic_model(net.graph, net.cps, 0.5);
+  EXPECT_GT(net.graph.weight(net.cps.front()), 1.0);
+  topo::apply_traffic_model(net.graph, net.cps, 0.0);
+  EXPECT_DOUBLE_EQ(net.graph.weight(net.cps.front()), 1.0);
+  EXPECT_DOUBLE_EQ(net.graph.total_weight(),
+                   static_cast<double>(net.graph.num_nodes()));
+}
+
+}  // namespace
+}  // namespace sbgp

@@ -1,0 +1,153 @@
+// Integration test: the message-level protocol engine and the closed-form
+// routing library are independent implementations of the same routing
+// semantics (Appendix A policies + SecP). On attack-free runs they must
+// select identical next hops for every AS, for both S-BGP and soBGP, for
+// full and simplex deployments — and the engine must converge (Lemma G.1).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "proto/engine.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "test_util.h"
+
+namespace sbgp::proto {
+namespace {
+
+struct CrossParam {
+  std::uint64_t seed;
+  double secure_fraction;
+  SecurityMode mode;
+  bool stub_ties;
+};
+
+class EngineCrossCheck : public ::testing::TestWithParam<CrossParam> {};
+
+TEST_P(EngineCrossCheck, EngineMatchesClosedFormRouting) {
+  const auto param = GetParam();
+  const auto net = test::small_internet(220, param.seed);
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, param.secure_fraction, param.seed + 77);
+
+  // Engine-side security postures: secure stubs run simplex, other secure
+  // ASes run full S*BGP.
+  std::vector<NodeSecurity> posture(g.num_nodes(), NodeSecurity::Insecure);
+  for (topo::AsId n = 0; n < g.num_nodes(); ++n) {
+    if (!state.is_secure(n)) continue;
+    posture[n] = g.is_stub(n) ? NodeSecurity::Simplex : NodeSecurity::Full;
+  }
+
+  EngineConfig ecfg;
+  ecfg.mode = param.mode;
+  ecfg.stub_breaks_ties = param.stub_ties;
+  BgpEngine engine(g, posture, ecfg);
+
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::TieBreakPolicy tb;
+  rt::SecurityView view;
+  view.graph = &g;
+  // Plain BGP carries no attestations at all: its closed-form equivalent is
+  // the all-insecure state regardless of who holds RPKI keys.
+  const std::vector<std::uint8_t> nobody(g.num_nodes(), 0);
+  view.base = param.mode == SecurityMode::BgpOnly ? nobody.data()
+                                                  : state.flags().data();
+  view.stub_breaks_ties = param.stub_ties;
+  rt::DestRib rib;
+  rt::RoutingTree tree;
+
+  std::mt19937_64 rng(param.seed);
+  std::uniform_int_distribution<topo::AsId> pick(
+      0, static_cast<topo::AsId>(g.num_nodes() - 1));
+  for (int trial = 0; trial < 12; ++trial) {
+    const topo::AsId dest = pick(rng);
+    ASSERT_TRUE(engine.run(dest)) << "engine failed to converge (Lemma G.1!)";
+    rc.compute(dest, rib);
+    tc.compute(rib, view, tb, tree);
+
+    for (const topo::AsId n : rib.order) {
+      if (n == dest) continue;
+      const NodeRoute& er = engine.route(n);
+      ASSERT_EQ(er.cls, rib.cls[n])
+          << "class mismatch at AS " << g.asn(n) << " dest " << g.asn(dest);
+      ASSERT_EQ(er.path.size(), rib.len[n]) << "length mismatch at AS " << g.asn(n);
+      EXPECT_EQ(er.next_hop, tree.next_hop[n])
+          << "next-hop mismatch at AS " << g.asn(n) << " dest " << g.asn(dest);
+      // Security verdicts agree: the engine's fully-secure flag for n's
+      // chosen route equals path_secure && n's own security (the closed
+      // form includes the source; the engine scores the received path).
+      const bool engine_secure =
+          er.fully_secure() && state.is_secure(n);
+      const bool closed_secure = tree.path_secure[n] != 0;
+      if (view.applies_secp(n)) {
+        EXPECT_EQ(engine_secure, closed_secure)
+            << "security verdict mismatch at AS " << g.asn(n);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineCrossCheck,
+    ::testing::Values(CrossParam{1, 0.0, SecurityMode::SBgp, true},
+                      CrossParam{2, 0.3, SecurityMode::SBgp, true},
+                      CrossParam{3, 0.7, SecurityMode::SBgp, true},
+                      CrossParam{4, 1.0, SecurityMode::SBgp, true},
+                      CrossParam{5, 0.5, SecurityMode::SBgp, false},
+                      CrossParam{6, 0.3, SecurityMode::SoBgp, true},
+                      CrossParam{7, 0.7, SecurityMode::SoBgp, true},
+                      CrossParam{8, 0.5, SecurityMode::BgpOnly, true}));
+
+TEST(EngineCryptoLoad, SimplexRemovesStubWorkload) {
+  // Section 2.2.1: simplex S*BGP means a stub signs only its own-prefix
+  // announcements and never validates.
+  const auto net = test::small_internet(200, 42);
+  const auto& g = net.graph;
+  std::vector<NodeSecurity> posture(g.num_nodes(), NodeSecurity::Insecure);
+  for (topo::AsId n = 0; n < g.num_nodes(); ++n) {
+    posture[n] = g.is_stub(n) ? NodeSecurity::Simplex : NodeSecurity::Full;
+  }
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::SBgp;
+  BgpEngine engine(g, posture, cfg);
+
+  std::uint64_t stub_sig = 0, stub_ver = 0, isp_sig = 0, isp_ver = 0;
+  std::size_t stub_dests = 0;
+  for (topo::AsId dest = 0; dest < 25; ++dest) {
+    ASSERT_TRUE(engine.run(dest));
+    const auto& stats = engine.crypto_stats();
+    if (g.is_stub(dest)) ++stub_dests;
+    for (topo::AsId n = 0; n < g.num_nodes(); ++n) {
+      if (g.is_stub(n)) {
+        stub_sig += stats.signatures[n];
+        stub_ver += stats.verifications[n];
+      } else {
+        isp_sig += stats.signatures[n];
+        isp_ver += stats.verifications[n];
+      }
+    }
+  }
+  EXPECT_EQ(stub_ver, 0u) << "simplex stubs never validate";
+  EXPECT_GT(isp_ver, 0u);
+  EXPECT_GT(isp_sig, 0u);
+  ASSERT_GT(stub_dests, 0u);
+  EXPECT_GT(stub_sig, 0u) << "stubs do sign their own prefixes";
+  EXPECT_LT(stub_sig, isp_sig / 10)
+      << "stub signing load is a tiny fraction of ISP load";
+}
+
+TEST(Engine, OwnPrefixRouteIsSelf) {
+  const auto net = test::small_internet(100, 9);
+  std::vector<NodeSecurity> posture(net.graph.num_nodes(), NodeSecurity::Insecure);
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::BgpOnly;
+  BgpEngine engine(net.graph, posture, cfg);
+  ASSERT_TRUE(engine.run(0));
+  EXPECT_EQ(engine.route(0).cls, rt::RouteClass::Self);
+  EXPECT_TRUE(engine.route(0).path.empty());
+  EXPECT_GT(engine.crypto_stats().messages, net.graph.num_nodes());
+}
+
+}  // namespace
+}  // namespace sbgp::proto

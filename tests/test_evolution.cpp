@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/evolution.h"
+#include "test_util.h"
+
+namespace sbgp::core {
+namespace {
+
+EvolutionConfig base_config() {
+  EvolutionConfig cfg;
+  cfg.epochs = 3;
+  cfg.new_stubs_per_epoch = 30;
+  cfg.sim.theta = 0.05;
+  cfg.sim.threads = 1;
+  return cfg;
+}
+
+TEST(Evolution, GraphGrowsAndStaysValid) {
+  const auto net = test::small_internet(250, 5);
+  auto cfg = base_config();
+  const auto adopters = topo::top_degree_isps(net.graph, 4);
+  const auto result = run_evolution(net, adopters, cfg);
+
+  ASSERT_EQ(result.epochs.size(), cfg.epochs);
+  EXPECT_EQ(result.epochs.front().graph_size, net.graph.num_nodes());
+  for (std::size_t e = 1; e < result.epochs.size(); ++e) {
+    EXPECT_EQ(result.epochs[e].graph_size,
+              result.epochs[e - 1].graph_size + cfg.new_stubs_per_epoch);
+  }
+  EXPECT_TRUE(result.final_graph.validate().empty());
+  EXPECT_EQ(result.final_graph.num_nodes(),
+            net.graph.num_nodes() + (cfg.epochs - 1) * cfg.new_stubs_per_epoch);
+}
+
+TEST(Evolution, SecurityIsStickyAcrossEpochs) {
+  const auto net = test::small_internet(250, 9);
+  auto cfg = base_config();
+  const auto adopters = topo::top_degree_isps(net.graph, 4);
+  const auto result = run_evolution(net, adopters, cfg);
+  for (std::size_t e = 1; e < result.epochs.size(); ++e) {
+    EXPECT_GE(result.epochs[e].secure_ases, result.epochs[e - 1].secure_ases);
+  }
+  for (const auto a : adopters) {
+    EXPECT_TRUE(result.final_state.is_secure(a));
+  }
+}
+
+TEST(Evolution, SecureBiasSteersNewCustomersToSecureProviders) {
+  const auto net = test::small_internet(300, 13);
+  const auto adopters = topo::top_degree_isps(net.graph, 5);
+
+  auto biased = base_config();
+  biased.secure_provider_bias = 5.0;
+  auto blind = base_config();
+  blind.secure_provider_bias = 1.0;
+
+  const auto rb = run_evolution(net, adopters, biased);
+  const auto rn = run_evolution(net, adopters, blind);
+
+  auto secure_share = [](const EvolutionResult& r) {
+    double sec = 0, insec = 0;
+    for (const auto& e : r.epochs) {
+      sec += static_cast<double>(e.new_edges_to_secure);
+      insec += static_cast<double>(e.new_edges_to_insecure);
+    }
+    return sec / std::max(1.0, sec + insec);
+  };
+  EXPECT_GT(secure_share(rb), secure_share(rn));
+}
+
+TEST(Evolution, NewStubsOfSecureProvidersAreSimplexSecured) {
+  const auto net = test::small_internet(250, 21);
+  auto cfg = base_config();
+  cfg.secure_provider_bias = 100.0;  // virtually all growth lands on secure ISPs
+  const auto adopters = topo::top_degree_isps(net.graph, 5);
+  const auto result = run_evolution(net, adopters, cfg);
+
+  // Count new-id stubs that are secure at the end.
+  std::size_t new_secure = 0, new_total = 0;
+  for (topo::AsId n = static_cast<topo::AsId>(net.graph.num_nodes());
+       n < result.final_graph.num_nodes(); ++n) {
+    ++new_total;
+    if (result.final_state.is_secure(n)) ++new_secure;
+  }
+  ASSERT_GT(new_total, 0u);
+  EXPECT_GT(static_cast<double>(new_secure) / static_cast<double>(new_total), 0.5);
+}
+
+}  // namespace
+}  // namespace sbgp::core

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "core/early_adopters.h"
+#include "core/simulator.h"
+#include "gadgets/gadgets.h"
+
+namespace sbgp::gadgets {
+namespace {
+
+TEST(Chicken, BiMatrixHasTable5Structure) {
+  const auto g = make_chicken(/*m=*/10000.0, /*eps=*/100.0);
+  ASSERT_TRUE(g.graph.validate().empty());
+  const auto mat = evaluate_chicken_matrix(g);
+
+  const auto& on_on = mat.u[1][1];
+  const auto& on_off = mat.u[1][0];
+  const auto& off_on = mat.u[0][1];
+  const auto& off_off = mat.u[0][0];
+
+  // Table 5 (utilities of 10 and 20 up to gadget-noise constants):
+  //   (ON , ON ) = (m + eps, eps)
+  //   (ON , OFF) = (2m + eps, m)
+  //   (OFF, ON ) = (2m, m + eps)
+  //   (OFF, OFF) = (2m, m)
+  // Check the best-response structure rather than absolute values:
+  // from (ON, ON) both prefer to turn OFF...
+  EXPECT_GT(off_on.first, on_on.first);    // 10: OFF better when 20 is ON
+  EXPECT_GT(on_off.second, on_on.second);  // 20: OFF better when 10 is ON
+  // ... from (OFF, OFF) both prefer to turn ON ...
+  EXPECT_GT(on_off.first, off_off.first);    // 10: ON better when 20 is OFF
+  EXPECT_GT(off_on.second, off_off.second);  // 20: ON better when 10 is OFF
+  // ... and the two asymmetric states are stable (pure Nash equilibria).
+  EXPECT_GE(on_off.first, off_off.first);
+  EXPECT_GE(on_off.second, on_on.second);
+  EXPECT_GE(off_on.second, off_off.second);
+  EXPECT_GE(off_on.first, on_on.first);
+
+  // The preference margins are on the order of m (the paper's designated
+  // flows contribute exactly m; our all-pairs traffic adds parasitic copies
+  // of the same ties, amplifying but never reversing the margins).
+  const double m = 10000.0;
+  EXPECT_GT(on_off.first - on_on.first, 0.9 * m);
+  EXPECT_GT(off_off.second - on_on.second, 0.9 * m);
+  EXPECT_LT(std::abs(off_on.first - off_off.first), 0.2 * m);  // only eps-flows differ
+}
+
+TEST(Chicken, SynchronousDynamicsOscillate) {
+  // Section 7.2: the deployment process need not reach a stable state. Both
+  // players start OFF; under simultaneous myopic best response they flip ON
+  // together, then OFF together, forever.
+  const auto g = make_chicken();
+  core::SimConfig cfg;
+  g.configure(cfg);
+  cfg.max_rounds = 40;
+  core::DeploymentSimulator sim(g.graph, cfg);
+  const auto result = sim.run(g.initial);
+  EXPECT_EQ(result.outcome, core::Outcome::Oscillating);
+}
+
+TEST(Chicken, AsymmetricStartIsStable) {
+  const auto g = make_chicken();
+  core::SimConfig cfg;
+  g.configure(cfg);
+  core::DeploymentSimulator sim(g.graph, cfg);
+  auto s = g.initial;
+  s.set_secure(g.node("10"), true);  // (ON, OFF): a pure Nash equilibrium
+  const auto result = sim.run(s);
+  EXPECT_EQ(result.outcome, core::Outcome::Stable);
+  EXPECT_TRUE(result.final_state.is_secure(g.node("10")));
+  EXPECT_FALSE(result.final_state.is_secure(g.node("20")));
+}
+
+class AndGadget : public ::testing::TestWithParam<std::array<bool, 3>> {};
+
+TEST_P(AndGadget, OutputIsConjunctionOfInputs) {
+  const auto inputs = GetParam();
+  const auto g = make_and(inputs);
+  ASSERT_TRUE(g.graph.validate().empty());
+  core::SimConfig cfg;
+  g.configure(cfg);
+  core::DeploymentSimulator sim(g.graph, cfg);
+  const auto result = sim.run(g.initial);
+  EXPECT_EQ(result.outcome, core::Outcome::Stable);
+  const bool expect_on = inputs[0] && inputs[1] && inputs[2];
+  EXPECT_EQ(result.final_state.is_secure(g.node("amp")), expect_on)
+      << "inputs " << inputs[0] << inputs[1] << inputs[2];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TruthTable, AndGadget,
+    ::testing::Values(std::array<bool, 3>{false, false, false},
+                      std::array<bool, 3>{true, false, false},
+                      std::array<bool, 3>{false, true, false},
+                      std::array<bool, 3>{false, false, true},
+                      std::array<bool, 3>{true, true, false},
+                      std::array<bool, 3>{true, false, true},
+                      std::array<bool, 3>{false, true, true},
+                      std::array<bool, 3>{true, true, true}));
+
+class SelectorGadget : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SelectorGadget, OneHotStatesAreStable) {
+  // Lemma K.5 (1): each state with exactly one player ON is stable.
+  const std::size_t k = GetParam();
+  const auto g = make_selector(k);
+  ASSERT_TRUE(g.graph.validate().empty());
+  core::SimConfig cfg;
+  g.configure(cfg);
+  for (std::size_t winner = 0; winner < k; ++winner) {
+    auto s = g.initial;
+    s.set_secure(g.node("p" + std::to_string(winner + 1)), true);
+    core::DeploymentSimulator sim(g.graph, cfg);
+    const auto result = sim.run(s);
+    EXPECT_EQ(result.outcome, core::Outcome::Stable) << "winner " << winner;
+    EXPECT_EQ(result.rounds_run(), 0u) << "winner " << winner;
+  }
+}
+
+TEST_P(SelectorGadget, TwoOnStatesCollapse) {
+  // Lemma K.5 (2): with more than one player ON, ON players turn OFF.
+  const std::size_t k = GetParam();
+  const auto g = make_selector(k);
+  core::SimConfig cfg;
+  g.configure(cfg);
+  auto s = g.initial;
+  s.set_secure(g.node("p1"), true);
+  s.set_secure(g.node("p2"), true);
+  core::DeploymentSimulator sim(g.graph, cfg);
+  std::vector<topo::AsId> first_round_off;
+  (void)sim.run(s, [&](const core::RoundObservation& obs) {
+    if (obs.round == 1) first_round_off = *obs.flipping_off;
+  });
+  EXPECT_GE(first_round_off.size(), 2u)
+      << "both contested players should want OFF";
+}
+
+TEST_P(SelectorGadget, AllOffOscillatesSynchronously) {
+  const std::size_t k = GetParam();
+  const auto g = make_selector(k);
+  core::SimConfig cfg;
+  g.configure(cfg);
+  cfg.max_rounds = 30;
+  core::DeploymentSimulator sim(g.graph, cfg);
+  const auto result = sim.run(g.initial);
+  EXPECT_EQ(result.outcome, core::Outcome::Oscillating);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, SelectorGadget, ::testing::Values(2, 3, 4));
+
+struct TransitionParam {
+  std::size_t k, from, to;
+};
+
+class TransitionGadget : public ::testing::TestWithParam<TransitionParam> {};
+
+TEST_P(TransitionGadget, ResetsSelectorFromToInFivePhases) {
+  // Appendix K.7 / Figure 23: starting at one-hot(from), the transition
+  // node fires, forces `to` ON, selector pressure turns `from` OFF, the
+  // transition node retires, and the system stabilises at one-hot(to).
+  const auto [k, from, to] = GetParam();
+  const auto g = make_selector_with_transition(k, from, to);
+  ASSERT_TRUE(g.graph.validate().empty());
+  core::SimConfig cfg;
+  g.configure(cfg);
+  auto s = g.initial;
+  s.set_secure(g.node("p" + std::to_string(from + 1)), true);
+  core::DeploymentSimulator sim(g.graph, cfg);
+  const auto result = sim.run(s);
+  EXPECT_EQ(result.outcome, core::Outcome::Stable);
+  EXPECT_EQ(result.rounds_run(), 4u) << "the Figure 23 phase count";
+  for (std::size_t w = 0; w < k; ++w) {
+    EXPECT_EQ(result.final_state.is_secure(g.node("p" + std::to_string(w + 1))),
+              w == to)
+        << "player " << w + 1;
+  }
+  EXPECT_FALSE(result.final_state.is_secure(g.node("t")))
+      << "the transition node retires to its Hold traffic";
+}
+
+TEST_P(TransitionGadget, DoesNotFireFromOtherStates) {
+  // Proposition K.7: t turns ON iff `from` is ON. From one-hot states of
+  // other players the gadget must stay put.
+  const auto [k, from, to] = GetParam();
+  const auto g = make_selector_with_transition(k, from, to);
+  core::SimConfig cfg;
+  g.configure(cfg);
+  for (std::size_t w = 0; w < k; ++w) {
+    if (w == from) continue;
+    auto s = g.initial;
+    s.set_secure(g.node("p" + std::to_string(w + 1)), true);
+    core::DeploymentSimulator sim(g.graph, cfg);
+    const auto result = sim.run(s);
+    EXPECT_EQ(result.outcome, core::Outcome::Stable) << "winner " << w;
+    EXPECT_EQ(result.rounds_run(), 0u) << "winner " << w;
+    EXPECT_FALSE(result.final_state.is_secure(g.node("t")));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, TransitionGadget,
+                         ::testing::Values(TransitionParam{2, 0, 1},
+                                           TransitionParam{3, 0, 1},
+                                           TransitionParam{3, 1, 2},
+                                           TransitionParam{3, 2, 0},
+                                           TransitionParam{4, 3, 0}));
+
+TEST(BuyersRemorse, TelecomTurnsOffAndStaysOff) {
+  // Figure 13: in the incoming model the telecom ISP's myopic best response
+  // from the given state is to disable S*BGP — and the resulting state is
+  // stable (it does not flip back).
+  const auto g = make_buyers_remorse();
+  ASSERT_TRUE(g.graph.validate().empty());
+  core::SimConfig cfg;
+  g.configure(cfg);
+  core::DeploymentSimulator sim(g.graph, cfg);
+  const auto result = sim.run(g.initial);
+  EXPECT_EQ(result.outcome, core::Outcome::Stable);
+  EXPECT_FALSE(result.final_state.is_secure(g.node("telecom")));
+  ASSERT_FALSE(result.rounds.empty());
+  EXPECT_EQ(result.rounds.front().turned_off, 1u);
+  // The stubs remain simplex-secure throughout (deployment is sticky).
+  EXPECT_TRUE(result.final_state.is_secure(g.node("stub0")));
+}
+
+TEST(BuyersRemorse, NoIncentiveInOutgoingModel) {
+  // Theorem 6.2: the same instance has no turn-off incentive under the
+  // outgoing model.
+  const auto g = make_buyers_remorse();
+  core::SimConfig cfg;
+  g.configure(cfg);
+  cfg.model = core::UtilityModel::Outgoing;
+  core::DeploymentSimulator sim(g.graph, cfg);
+  const auto result = sim.run(g.initial);
+  EXPECT_EQ(result.outcome, core::Outcome::Stable);
+  EXPECT_TRUE(result.final_state.is_secure(g.node("telecom")));
+}
+
+TEST(SetCover, AdoptersSecureExactlyTheirCoveredElements) {
+  // Theorem 6.1's reduction: seeding s_i1 secures d, pulls s_i2 in, which
+  // simplex-secures exactly the elements of S_i.
+  SetCoverInstance inst;
+  inst.universe_size = 5;
+  inst.sets = {{0, 1, 2}, {2, 3}, {3, 4}};
+  const auto g = make_set_cover(inst);
+  ASSERT_TRUE(g.graph.validate().empty());
+
+  core::SimConfig cfg;
+  g.configure(cfg);
+  cfg.model = core::UtilityModel::Outgoing;
+
+  core::DeploymentSimulator sim(g.graph, cfg);
+  const std::vector<topo::AsId> adopters{g.node("s0_1")};
+  const auto result =
+      sim.run(core::DeploymentState::initial(g.graph, adopters));
+  EXPECT_EQ(result.outcome, core::Outcome::Stable);
+  EXPECT_TRUE(result.final_state.is_secure(g.node("d")));
+  EXPECT_TRUE(result.final_state.is_secure(g.node("s0_2")));
+  EXPECT_TRUE(result.final_state.is_secure(g.node("u0")));
+  EXPECT_TRUE(result.final_state.is_secure(g.node("u1")));
+  EXPECT_TRUE(result.final_state.is_secure(g.node("u2")));
+  EXPECT_FALSE(result.final_state.is_secure(g.node("u3")));
+  EXPECT_FALSE(result.final_state.is_secure(g.node("u4")));
+  EXPECT_FALSE(result.final_state.is_secure(g.node("s1_2")));
+}
+
+TEST(SetCover, GreedyAndBruteForceFindTheCover) {
+  // {0,1,2} + {3,4} covers everything with k=2; {2,3} is a decoy.
+  SetCoverInstance inst;
+  inst.universe_size = 5;
+  inst.sets = {{0, 1, 2}, {2, 3}, {3, 4}};
+  const auto g = make_set_cover(inst);
+  core::SimConfig cfg;
+  g.configure(cfg);
+  cfg.model = core::UtilityModel::Outgoing;
+
+  const auto candidates = set_cover_candidates(g, inst);
+  const auto greedy = core::greedy_adopters(g.graph, candidates, 2, cfg);
+  const auto optimal = core::optimal_adopters_bruteforce(g.graph, candidates, 2, cfg);
+
+  const auto is_cover = [&](const std::vector<topo::AsId>& sel) {
+    return (std::find(sel.begin(), sel.end(), g.node("s0_1")) != sel.end()) &&
+           (std::find(sel.begin(), sel.end(), g.node("s2_1")) != sel.end());
+  };
+  EXPECT_TRUE(is_cover(greedy));
+  EXPECT_TRUE(is_cover(optimal));
+  EXPECT_EQ(core::deployment_reach(g.graph, optimal, cfg),
+            core::deployment_reach(g.graph, greedy, cfg));
+}
+
+}  // namespace
+}  // namespace sbgp::gadgets

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "routing/rib.h"
+#include "test_util.h"
+#include "topology/graph_stats.h"
+
+namespace sbgp::topo {
+namespace {
+
+TEST(DegreeStats, HandGraph) {
+  const auto d = test::make_diamond();  // e:{a,b,x}=3, a:{e,s}=2, b=2, s=2, x=1
+  const auto s = degree_stats(d.g, /*d_min=*/1);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_EQ(s.median, 2u);
+  EXPECT_EQ(s.histogram.total(), 5u);
+  // "top 1%" of 5 nodes = the single highest-degree node (e).
+  EXPECT_DOUBLE_EQ(s.top1pct_endpoint_share, 3.0 / 10.0);
+}
+
+// The deployment strategy is "specifically designed to leverage the extreme
+// skew in AS connectivity" (Section 4) — assert the generator delivers it.
+class GeneratorSkew : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSkew, DegreeDistributionIsHeavyTailed) {
+  const auto net = test::small_internet(800, GetParam());
+  const auto s = degree_stats(net.graph);
+  EXPECT_GT(s.max, 20 * s.median) << "Tier-1 degree must dwarf the median";
+  EXPECT_GT(s.top1pct_endpoint_share, 0.15)
+      << "top 1% of ASes should hold a large share of adjacencies";
+  EXPECT_GT(s.powerlaw_alpha, 1.3);
+  EXPECT_LT(s.powerlaw_alpha, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSkew, ::testing::Values(1, 2, 3));
+
+TEST(CustomerCones, HandGraph) {
+  const auto d = test::make_diamond();
+  const auto cones = customer_cone_sizes(d.g);
+  EXPECT_EQ(cones[d.e], 5u);  // everything
+  EXPECT_EQ(cones[d.a], 2u);  // a + s
+  EXPECT_EQ(cones[d.s], 1u);  // itself
+  EXPECT_EQ(cones[d.x], 1u);
+}
+
+TEST(CustomerCones, TierOnesCoverMostOfTheGraph) {
+  const auto net = test::small_internet(500, 7);
+  const auto cones = customer_cone_sizes(net.graph);
+  std::size_t best = 0;
+  for (const auto c : cones) best = std::max(best, c);
+  EXPECT_GT(best, net.graph.num_nodes() / 3);
+  // Consistency with the single-node implementation in AsGraph.
+  EXPECT_EQ(cones[net.tier1.front()],
+            net.graph.customer_cone_size(net.tier1.front()));
+  // Stubs have cone exactly 1.
+  for (AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    if (net.graph.is_stub(n)) { EXPECT_EQ(cones[n], 1u); }
+  }
+}
+
+TEST(PathLengths, InternetLikeProfile) {
+  const auto net = test::small_internet(600, 11);
+  const auto s = rt::sample_path_lengths(net.graph, 50, 3);
+  EXPECT_GT(s.mean, 1.5);
+  EXPECT_LT(s.mean, 5.5) << "AS paths should be short (valley-free hierarchy)";
+  EXPECT_LE(s.p90, 8u);
+  EXPECT_EQ(s.unreachable_pairs, 0u) << "the generator guarantees reachability";
+}
+
+TEST(PathLengths, DeterministicGivenSeed) {
+  const auto net = test::small_internet(300, 3);
+  const auto a = rt::sample_path_lengths(net.graph, 20, 9);
+  const auto b = rt::sample_path_lengths(net.graph, 20, 9);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.histogram.total(), b.histogram.total());
+}
+
+}  // namespace
+}  // namespace sbgp::topo

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/thread_pool.h"
+
+namespace sbgp::par {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  int count = 0;
+  parallel_for(pool, 5, 5, [&count](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(pool, 5, 6, [&count](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelForChunked, ChunksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunked(pool, 10, 250, [&](std::size_t lo, std::size_t hi) {
+    std::scoped_lock lock(m);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 10u);
+  EXPECT_EQ(chunks.back().second, 250u);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].second, chunks[i + 1].first) << "gap or overlap";
+  }
+}
+
+TEST(ParallelFor, SingleThreadPoolStillCorrect) {
+  ThreadPool pool(1);
+  std::vector<int> v(100, 0);
+  parallel_for(pool, 0, v.size(), [&v](std::size_t i) { v[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], static_cast<int>(i));
+}
+
+}  // namespace
+}  // namespace sbgp::par

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/simulator.h"
+#include "gadgets/gadgets.h"
+#include "test_util.h"
+
+namespace sbgp::core {
+namespace {
+
+std::vector<std::vector<topo::AsId>> mask_without(
+    const topo::AsGraph& g, topo::AsId node, topo::AsId neighbor) {
+  auto mask = rt::full_link_mask(g);
+  auto& v = mask[node];
+  v.erase(std::remove(v.begin(), v.end(), neighbor), v.end());
+  return mask;
+}
+
+TEST(PerLink, HopSecureRequiresBothEndpoints) {
+  const auto d = test::make_diamond();
+  const auto full = rt::full_link_mask(d.g);
+  rt::SecurityView view;
+  view.enabled_links = &full;
+  EXPECT_TRUE(view.hop_secure(d.e, d.a));
+  const auto one_sided = mask_without(d.g, d.e, d.a);
+  view.enabled_links = &one_sided;
+  EXPECT_FALSE(view.hop_secure(d.e, d.a));
+  EXPECT_FALSE(view.hop_secure(d.a, d.e)) << "mutual requirement";
+  EXPECT_TRUE(view.hop_secure(d.e, d.b));
+  view.enabled_links = nullptr;
+  EXPECT_TRUE(view.hop_secure(d.e, d.a)) << "null mask = everything enabled";
+}
+
+TEST(PerLink, FullMaskMatchesNodeLevelSemantics) {
+  // Enabling every link must reproduce the plain node-level model exactly.
+  const auto net = test::small_internet(200, 5);
+  const auto state = test::random_state(net.graph, 0.4, 9);
+  SimConfig cfg;
+  cfg.threads = 1;
+  par::ThreadPool pool(1);
+  const auto plain = compute_utilities(net.graph, state.flags(), cfg, pool);
+  const auto full = rt::full_link_mask(net.graph);
+  const auto masked = compute_utilities(net.graph, state.flags(), cfg, pool, &full);
+  for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(plain.outgoing[n], masked.outgoing[n]);
+    EXPECT_DOUBLE_EQ(plain.incoming[n], masked.incoming[n]);
+  }
+}
+
+TEST(PerLink, DilemmaTradesOneFlowForTheOther) {
+  // Theorem 8.2's tension: enabling the x-2 link gains c1 (+m over a
+  // customer edge) but loses s (w_s moves to the provider edge).
+  const double m = 1000.0, ws = 2000.0;
+  const auto g = gadgets::make_per_link_dilemma(m, ws);
+  ASSERT_TRUE(g.graph.validate().empty());
+  SimConfig cfg;
+  g.configure(cfg);
+  par::ThreadPool pool(1);
+
+  const auto x = g.node("x");
+  const auto full = rt::full_link_mask(g.graph);
+  const auto disabled = mask_without(g.graph, x, g.node("2"));
+
+  const auto u_on = compute_utilities(g.graph, g.initial.flags(), cfg, pool, &full);
+  const auto u_off =
+      compute_utilities(g.graph, g.initial.flags(), cfg, pool, &disabled);
+
+  // Designated per-destination contributions are exact. Dest c2: s's flow
+  // (w_s) arrives over the customer edge from r only while the link is off.
+  rt::RibComputer rc(g.graph);
+  rt::TreeComputer tc(g.graph);
+  rt::TieBreakPolicy tb = cfg.tiebreak;
+  rt::RoutingTree tree;
+  rt::SecurityView view;
+  view.graph = &g.graph;
+  view.base = g.initial.flags().data();
+  auto contribution = [&](topo::AsId dest,
+                          const std::vector<std::vector<topo::AsId>>& mask) {
+    view.enabled_links = &mask;
+    const auto rib = rc.compute(dest);
+    tc.compute(rib, view, tb, tree);
+    return rt::node_contribution(g.graph, rib, tree, x).incoming;
+  };
+  const auto c2 = g.node("c2");
+  const auto d1 = g.node("d1");
+  EXPECT_NEAR(contribution(c2, disabled) - contribution(c2, full), ws, 1e-9)
+      << "enabling the link repels s's flow from the customer edge";
+  EXPECT_NEAR(contribution(d1, full) - contribution(d1, disabled), m, 1e-9)
+      << "enabling the link attracts c1's flow onto the customer edge";
+
+  // Aggregate: with w_s > m (plus same-sign parasitic copies of the s-side
+  // ties), enabling the link is a net incoming-utility loss...
+  EXPECT_LT(u_on.incoming[x], u_off.incoming[x]);
+  // ... while outgoing utility is unaffected up to unit-weight noise
+  // (Theorem J.2's monotonicity holds with near-equality here).
+  EXPECT_NEAR(u_on.outgoing[x], u_off.outgoing[x], 5.0);
+}
+
+TEST(PerLink, DilemmaDirectionFollowsTheWeights) {
+  // Flip the weights: now enabling the link is profitable.
+  const auto g = gadgets::make_per_link_dilemma(/*m=*/2000.0, /*w_s=*/500.0);
+  SimConfig cfg;
+  g.configure(cfg);
+  par::ThreadPool pool(1);
+  const auto x = g.node("x");
+  const auto full = rt::full_link_mask(g.graph);
+  const auto disabled = mask_without(g.graph, x, g.node("2"));
+  const auto u_on = compute_utilities(g.graph, g.initial.flags(), cfg, pool, &full);
+  const auto u_off =
+      compute_utilities(g.graph, g.initial.flags(), cfg, pool, &disabled);
+  EXPECT_GT(u_on.incoming[x], u_off.incoming[x]);
+}
+
+// Theorem J.2 (property form): in the outgoing model, enabling every link
+// maximises utility — no random submask ever beats the full mask.
+class PerLinkOutgoingMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PerLinkOutgoingMonotone, FullMaskIsOptimal) {
+  const auto net = test::small_internet(150, GetParam());
+  const auto state = test::random_state(net.graph, 0.5, GetParam() + 7);
+  SimConfig cfg;
+  cfg.threads = 1;
+  par::ThreadPool pool(1);
+  const auto full = rt::full_link_mask(net.graph);
+  const auto best = compute_utilities(net.graph, state.flags(), cfg, pool, &full);
+
+  std::mt19937_64 rng(GetParam() * 13 + 1);
+  // Pick a few secure ISPs and drop random subsets of their links.
+  std::size_t checked = 0;
+  for (topo::AsId n = 0; n < net.graph.num_nodes() && checked < 5; ++n) {
+    if (!net.graph.is_isp(n) || !state.is_secure(n)) continue;
+    ++checked;
+    auto mask = full;
+    auto& v = mask[n];
+    std::shuffle(v.begin(), v.end(), rng);
+    v.resize(v.size() / 2);
+    std::sort(v.begin(), v.end());
+    const auto sub = compute_utilities(net.graph, state.flags(), cfg, pool, &mask);
+    EXPECT_LE(sub.outgoing[n], best.outgoing[n] + 1e-9)
+        << "AS " << net.graph.asn(n) << " gained by disabling links";
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PerLinkOutgoingMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace sbgp::core

@@ -1,0 +1,226 @@
+// Cross-module property tests swept over seeds: the structural invariants
+// the whole reproduction rests on, checked on freshly generated graphs and
+// random deployment states rather than hand-picked instances.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/analysis.h"
+#include "core/simulator.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "test_util.h"
+
+namespace sbgp {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Every reachable node has a consistent (class, length, tiebreak) triple:
+// candidates really are one hop closer and of the class GR2 permits.
+TEST_P(SeedSweep, RibInternalConsistency) {
+  const auto net = test::small_internet(250, GetParam());
+  const auto& g = net.graph;
+  rt::RibComputer rc(g);
+  rt::DestRib rib;
+  for (topo::AsId d = 0; d < 25; ++d) {
+    rc.compute(d, rib);
+    for (const topo::AsId i : rib.order) {
+      if (i == d) continue;
+      const auto tb = rib.tiebreak(i);
+      ASSERT_FALSE(tb.empty()) << "reachable node without candidates";
+      for (const topo::AsId j : tb) {
+        ASSERT_TRUE(rib.reachable(j));
+        EXPECT_EQ(rib.len[j] + 1, rib.len[i])
+            << "candidate not one hop closer (AS " << g.asn(i) << ")";
+        topo::Link link;
+        ASSERT_TRUE(g.link_between(i, j, link));
+        // Candidate relationship must match the route class.
+        switch (rib.cls[i]) {
+          case rt::RouteClass::Customer:
+            EXPECT_EQ(link, topo::Link::Customer);
+            break;
+          case rt::RouteClass::Peer:
+            EXPECT_EQ(link, topo::Link::Peer);
+            // GR2: a peer only exports customer routes.
+            EXPECT_TRUE(rib.cls[j] == rt::RouteClass::Customer ||
+                        rib.cls[j] == rt::RouteClass::Self);
+            break;
+          case rt::RouteClass::Provider:
+            EXPECT_EQ(link, topo::Link::Provider);
+            break;
+          default:
+            FAIL();
+        }
+      }
+    }
+  }
+}
+
+// Total conservation: for each destination, the subtree weights at the
+// destination equal the total weight of all routed nodes.
+TEST_P(SeedSweep, SubtreeWeightsConserveTraffic) {
+  const auto net = test::small_internet(250, GetParam());
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, 0.3, GetParam() + 5);
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::TieBreakPolicy tb;
+  rt::DestRib rib;
+  rt::RoutingTree tree;
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = state.flags().data();
+  for (topo::AsId d = 0; d < 15; ++d) {
+    rc.compute(d, rib);
+    tc.compute(rib, view, tb, tree);
+    double total = 0.0;
+    for (const topo::AsId i : rib.order) total += g.weight(i);
+    EXPECT_NEAR(tree.subtree_weight[d], total, 1e-6);
+  }
+}
+
+// path_secure is exactly "every AS on the realised path is secure".
+TEST_P(SeedSweep, PathSecureMatchesPathMembership) {
+  const auto net = test::small_internet(220, GetParam());
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, 0.5, GetParam() + 11);
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::TieBreakPolicy tb;
+  rt::DestRib rib;
+  rt::RoutingTree tree;
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = state.flags().data();
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<topo::AsId> pick(
+      0, static_cast<topo::AsId>(g.num_nodes() - 1));
+  for (int t = 0; t < 10; ++t) {
+    const topo::AsId d = pick(rng);
+    rc.compute(d, rib);
+    tc.compute(rib, view, tb, tree);
+    for (int st = 0; st < 40; ++st) {
+      const topo::AsId src = pick(rng);
+      if (src == d || !rib.reachable(src)) continue;
+      const auto path = rt::TreeComputer::extract_path(tree, src);
+      bool all_secure = true;
+      for (const topo::AsId hop : path) {
+        if (!state.is_secure(hop)) all_secure = false;
+      }
+      EXPECT_EQ(tree.path_secure[src] != 0, all_secure)
+          << "src AS " << g.asn(src) << " dest AS " << g.asn(d);
+    }
+  }
+}
+
+// Securing more ASes never shrinks the secure-path count (monotonicity of
+// the Fig. 9 metric in the state).
+TEST_P(SeedSweep, SecurePathCountMonotoneInState) {
+  const auto net = test::small_internet(200, GetParam());
+  core::SimConfig cfg;
+  cfg.threads = 1;
+  par::ThreadPool pool(1);
+  auto small = test::random_state(net.graph, 0.3, GetParam() + 3);
+  auto big = small;
+  for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    if (net.graph.is_isp(n) && !big.is_secure(n) && n % 3 == 0) {
+      big.secure_isp_with_stubs(net.graph, n);
+    }
+  }
+  const auto a = core::count_secure_paths(net.graph, small.flags(), cfg, pool);
+  const auto b = core::count_secure_paths(net.graph, big.flags(), cfg, pool);
+  EXPECT_GE(b.secure_pairs, a.secure_pairs);
+}
+
+// The deployment process is deterministic: same graph, same adopters, same
+// config => identical round-by-round trajectory.
+TEST_P(SeedSweep, SimulationIsDeterministic) {
+  const auto net = test::small_internet(220, GetParam());
+  core::SimConfig cfg;
+  cfg.theta = 0.05;
+  cfg.threads = 1;
+  const auto adopters = topo::top_degree_isps(net.graph, 4);
+  core::DeploymentSimulator sim1(net.graph, cfg);
+  core::DeploymentSimulator sim2(net.graph, cfg);
+  const auto r1 = sim1.run(core::DeploymentState::initial(net.graph, adopters));
+  const auto r2 = sim2.run(core::DeploymentState::initial(net.graph, adopters));
+  EXPECT_TRUE(r1.final_state == r2.final_state);
+  ASSERT_EQ(r1.rounds.size(), r2.rounds.size());
+  for (std::size_t i = 0; i < r1.rounds.size(); ++i) {
+    EXPECT_EQ(r1.rounds[i].newly_secure_isps, r2.rounds[i].newly_secure_isps);
+    EXPECT_EQ(r1.rounds[i].total_secure_ases, r2.rounds[i].total_secure_ases);
+  }
+}
+
+// Thread count must not change results (the parallel reduction is exact).
+TEST_P(SeedSweep, ThreadCountInvariance) {
+  const auto net = test::small_internet(200, GetParam());
+  const auto state = test::random_state(net.graph, 0.4, GetParam() + 1);
+  core::SimConfig cfg;
+  par::ThreadPool one(1), four(4);
+  const auto a = core::compute_utilities(net.graph, state.flags(), cfg, one);
+  const auto b = core::compute_utilities(net.graph, state.flags(), cfg, four);
+  for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(a.outgoing[n], b.outgoing[n]);
+    EXPECT_DOUBLE_EQ(a.incoming[n], b.incoming[n]);
+  }
+}
+
+// Stubs never transit: no routing tree ever has a stub as an interior node.
+TEST_P(SeedSweep, StubsNeverTransit) {
+  const auto net = test::small_internet(220, GetParam());
+  const auto& g = net.graph;
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::TieBreakPolicy tb;
+  rt::DestRib rib;
+  rt::RoutingTree tree;
+  const auto state = test::random_state(g, 0.5, GetParam());
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = state.flags().data();
+  for (topo::AsId d = 0; d < 20; ++d) {
+    rc.compute(d, rib);
+    tc.compute(rib, view, tb, tree);
+    for (const topo::AsId i : rib.order) {
+      if (i == d) continue;
+      const topo::AsId parent = tree.next_hop[i];
+      if (parent != d) {
+        EXPECT_FALSE(g.is_stub(parent))
+            << "stub AS " << g.asn(parent) << " transits traffic";
+      }
+    }
+  }
+}
+
+// Eq. 1 / Eq. 2 sanity: total outgoing utility across ISPs equals the
+// total customer-edge traffic, which is bounded by total * diameter.
+TEST_P(SeedSweep, UtilityTotalsAreFinite) {
+  const auto net = test::small_internet(200, GetParam());
+  core::SimConfig cfg;
+  par::ThreadPool pool(1);
+  std::vector<std::uint8_t> nobody(net.graph.num_nodes(), 0);
+  const auto u = core::compute_utilities(net.graph, nobody, cfg, pool);
+  double total_out = 0.0, total_in = 0.0;
+  for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    EXPECT_GE(u.outgoing[n], 0.0);
+    EXPECT_GE(u.incoming[n], 0.0);
+    total_out += u.outgoing[n];
+    total_in += u.incoming[n];
+    if (net.graph.is_stub(n)) {
+      EXPECT_DOUBLE_EQ(u.outgoing[n], 0.0) << "stubs transit nothing";
+    }
+  }
+  const double bound =
+      net.graph.total_weight() * static_cast<double>(net.graph.num_nodes()) * 12.0;
+  EXPECT_LT(total_out, bound);
+  EXPECT_LT(total_in, bound);
+  EXPECT_GT(total_in, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace sbgp

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "proto/attack.h"
+#include "proto/crypto_sim.h"
+#include "proto/engine.h"
+#include "proto/rpki.h"
+#include "proto/sbgp.h"
+#include "proto/sobgp.h"
+
+namespace sbgp::proto {
+namespace {
+
+TEST(CryptoSim, SignaturesVerifyAndBindToDigest) {
+  const KeyPair kp = derive_keypair(65000, 0x1234);
+  const Digest d1 = digest_words({1, 2, 3});
+  const Digest d2 = digest_words({1, 2, 4});
+  EXPECT_NE(d1, d2);
+  const Signature sig = sign(kp.private_key, d1);
+  EXPECT_TRUE(verify_with_private(kp.private_key, d1, sig));
+  EXPECT_FALSE(verify_with_private(kp.private_key, d2, sig));
+  const KeyPair other = derive_keypair(65001, 0x1234);
+  EXPECT_FALSE(verify_with_private(other.private_key, d1, sig));
+}
+
+TEST(CryptoSim, KeyDerivationIsDeterministicPerSeed) {
+  EXPECT_EQ(derive_keypair(7, 1).public_key, derive_keypair(7, 1).public_key);
+  EXPECT_NE(derive_keypair(7, 1).public_key, derive_keypair(7, 2).public_key);
+  EXPECT_NE(derive_keypair(7, 1).public_key, derive_keypair(8, 1).public_key);
+}
+
+TEST(Prefix, CoversAndFormat) {
+  const Prefix p24 = Prefix::for_asn(42);
+  EXPECT_EQ(p24.len, 24);
+  const Prefix p16{p24.addr & 0xFFFF0000u, 16};
+  EXPECT_TRUE(p16.covers(p24));
+  EXPECT_FALSE(p24.covers(p16));
+  EXPECT_TRUE(p24.covers(p24));
+  EXPECT_NE(Prefix::for_asn(1).key(), Prefix::for_asn(2).key());
+  EXPECT_EQ(Prefix({0x0A000100u, 24}).to_string(), "10.0.1.0/24");
+}
+
+TEST(Rpki, OriginValidationStates) {
+  Rpki rpki;
+  rpki.register_as(100);
+  const Prefix p = Prefix::for_asn(100);
+  EXPECT_EQ(rpki.validate_origin(100, p), RoaValidity::NotFound);
+  rpki.add_roa(100, p);
+  EXPECT_EQ(rpki.validate_origin(100, p), RoaValidity::Valid);
+  EXPECT_EQ(rpki.validate_origin(200, p), RoaValidity::Invalid);
+  EXPECT_EQ(rpki.validate_origin(100, Prefix::for_asn(5)), RoaValidity::NotFound);
+}
+
+TEST(Rpki, SigningServiceRefusesUnregistered) {
+  Rpki rpki;
+  rpki.register_as(1);
+  EXPECT_TRUE(rpki.sign_as(1, 42).has_value());
+  EXPECT_FALSE(rpki.sign_as(2, 42).has_value());
+  EXPECT_FALSE(rpki.verify(2, 42, 0));
+  const Signature sig = *rpki.sign_as(1, 42);
+  EXPECT_TRUE(rpki.verify(1, 42, sig));
+  EXPECT_FALSE(rpki.verify(1, 43, sig));
+}
+
+TEST(SBgp, FullySignedPathValidates) {
+  Rpki rpki;
+  for (const std::uint32_t asn : {1u, 2u, 3u}) rpki.register_as(asn);
+  const Prefix prefix = Prefix::for_asn(3);
+  rpki.add_roa(3, prefix);
+
+  // Origin 3 announces to 2; 2 forwards to 1; 1 forwards to receiver 99.
+  std::vector<Attestation> atts;
+  Attestation a;
+  ASSERT_TRUE(attest(rpki, prefix, {3}, 2, a));
+  atts.push_back(a);
+  ASSERT_TRUE(attest(rpki, prefix, {2, 3}, 1, a));
+  atts.push_back(a);
+  ASSERT_TRUE(attest(rpki, prefix, {1, 2, 3}, 99, a));
+  atts.push_back(a);
+
+  const auto v = validate_path(rpki, prefix, {1, 2, 3}, 99, atts);
+  EXPECT_TRUE(v.fully_valid);
+  EXPECT_EQ(v.valid_hops, 3u);
+  EXPECT_EQ(v.origin, RoaValidity::Valid);
+}
+
+TEST(SBgp, MissingHopMakesPathPartial) {
+  Rpki rpki;
+  rpki.register_as(1);
+  rpki.register_as(3);
+  const Prefix prefix = Prefix::for_asn(3);
+  rpki.add_roa(3, prefix);
+
+  std::vector<Attestation> atts;
+  Attestation a;
+  ASSERT_TRUE(attest(rpki, prefix, {3}, 2, a));
+  atts.push_back(a);
+  // AS 2 is insecure: no attestation for hop 2.
+  ASSERT_TRUE(attest(rpki, prefix, {1, 2, 3}, 99, a));
+  atts.push_back(a);
+
+  const auto v = validate_path(rpki, prefix, {1, 2, 3}, 99, atts);
+  EXPECT_FALSE(v.fully_valid);
+  EXPECT_EQ(v.valid_hops, 2u);
+}
+
+TEST(SBgp, PathShorteningIsDetected) {
+  // A forwarder cannot splice ASes out: attestations bind the full suffix.
+  Rpki rpki;
+  for (const std::uint32_t asn : {1u, 2u, 3u}) rpki.register_as(asn);
+  const Prefix prefix = Prefix::for_asn(3);
+  rpki.add_roa(3, prefix);
+  std::vector<Attestation> atts;
+  Attestation a;
+  ASSERT_TRUE(attest(rpki, prefix, {3}, 2, a));
+  atts.push_back(a);
+  ASSERT_TRUE(attest(rpki, prefix, {2, 3}, 1, a));
+  atts.push_back(a);
+  ASSERT_TRUE(attest(rpki, prefix, {1, 2, 3}, 99, a));
+  atts.push_back(a);
+  // The receiver is fed a shortened path (1, 3) with the same attestations.
+  const auto v = validate_path(rpki, prefix, {1, 3}, 99, atts);
+  EXPECT_FALSE(v.fully_valid);
+}
+
+TEST(SoBgp, LinkCertificationRequiresBothEndpoints) {
+  Rpki rpki;
+  rpki.register_as(1);
+  rpki.register_as(2);
+  SoBgpDatabase db(rpki);
+  EXPECT_TRUE(db.certify_link(1, 2));
+  EXPECT_FALSE(db.certify_link(1, 3)) << "AS 3 holds no keys";
+  EXPECT_TRUE(db.link_certified(1, 2));
+  EXPECT_TRUE(db.link_certified(2, 1)) << "links are undirected";
+  EXPECT_FALSE(db.link_certified(1, 3));
+}
+
+TEST(SoBgp, PathPlausibility) {
+  Rpki rpki;
+  for (const std::uint32_t asn : {1u, 2u, 3u}) rpki.register_as(asn);
+  SoBgpDatabase db(rpki);
+  db.certify_link(1, 2);
+  db.certify_link(2, 3);
+  EXPECT_TRUE(db.path_plausible({1, 2, 3}));
+  EXPECT_FALSE(db.path_plausible({1, 3}));  // no such certified link
+  EXPECT_TRUE(db.path_plausible({3}));
+  EXPECT_FALSE(db.path_plausible({9}));
+  EXPECT_FALSE(db.path_plausible({}));
+}
+
+TEST(Attack, PartialPreferenceEnablesFigure15Attack) {
+  const auto result = run_partial_preference_attack();
+  EXPECT_FALSE(result.attack_succeeds_with_ignore)
+      << "under the paper's rule p keeps the true route";
+  EXPECT_TRUE(result.attack_succeeds_with_partial)
+      << "preferring partially-secure paths lets m hijack p";
+  // Under the paper's rule p routes via r (the true path).
+  ASSERT_FALSE(result.path_ignore_partial.empty());
+  EXPECT_EQ(result.path_ignore_partial.front(), 3u);  // r's ASN
+}
+
+TEST(Attack, OriginHijackTieIsStoppedBySbgpOnly) {
+  const auto tie = run_origin_hijack(3, 3);
+  EXPECT_TRUE(tie.probe_fooled_bgp);
+  EXPECT_FALSE(tie.probe_fooled_sbgp);
+}
+
+TEST(Attack, ShorterLieBeatsSecPByDesign) {
+  // LP and SP rank above SecP (Section 2.2.2): a strictly shorter bogus
+  // route wins even with S*BGP everywhere — an honest limitation.
+  const auto shorter = run_origin_hijack(4, 2);
+  EXPECT_TRUE(shorter.probe_fooled_bgp);
+  EXPECT_TRUE(shorter.probe_fooled_sbgp);
+}
+
+}  // namespace
+}  // namespace sbgp::proto

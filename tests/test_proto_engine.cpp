@@ -1,0 +1,196 @@
+// Deeper protocol-engine behaviour tests: GR2 export compliance at the
+// message level, LP/SP/SecP selection order, attestation propagation
+// through insecure hops, soBGP parity, and convergence accounting.
+#include <gtest/gtest.h>
+
+#include "proto/engine.h"
+#include "test_util.h"
+
+namespace sbgp::proto {
+namespace {
+
+using test::make_chain;
+using test::make_diamond;
+
+std::vector<NodeSecurity> all(const topo::AsGraph& g, NodeSecurity v) {
+  return std::vector<NodeSecurity>(g.num_nodes(), v);
+}
+
+TEST(Engine, Gr2PeerRoutesAreNotTransited) {
+  // a -- b -- c peers in a line, d customer of c: a must have NO route to d.
+  topo::AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  const auto c = g.add_as(3);
+  const auto d = g.add_as(4);
+  g.add_peer(a, b);
+  g.add_peer(b, c);
+  g.add_customer_provider(c, d);
+  g.finalize();
+
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::BgpOnly;
+  BgpEngine engine(g, all(g, NodeSecurity::Insecure), cfg);
+  ASSERT_TRUE(engine.run(d));
+  EXPECT_EQ(engine.route(b).cls, rt::RouteClass::Peer);
+  EXPECT_EQ(engine.route(a).cls, rt::RouteClass::None)
+      << "b must not export a peer-learned route to its peer a";
+}
+
+TEST(Engine, LocalPreferenceBeatsLength) {
+  // x has a long customer route and a short provider route; LP wins.
+  topo::AsGraph g;
+  const auto x = g.add_as(1);
+  const auto c1 = g.add_as(2);
+  const auto c2 = g.add_as(3);
+  const auto d = g.add_as(4);
+  g.add_customer_provider(x, c1);
+  g.add_customer_provider(c1, c2);
+  g.add_customer_provider(c2, d);
+  g.add_customer_provider(d, x);
+  g.finalize();
+
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::BgpOnly;
+  BgpEngine engine(g, all(g, NodeSecurity::Insecure), cfg);
+  ASSERT_TRUE(engine.run(d));
+  EXPECT_EQ(engine.route(x).cls, rt::RouteClass::Customer);
+  EXPECT_EQ(engine.route(x).path.size(), 3u);
+}
+
+TEST(Engine, SecPSteersTieOnlyForValidatingReceivers) {
+  const auto dg = make_diamond();
+  // Secure everything except competitor "a"; e must route via b (fully
+  // attested) regardless of the hash.
+  std::vector<NodeSecurity> posture(dg.g.num_nodes(), NodeSecurity::Full);
+  posture[dg.a] = NodeSecurity::Insecure;
+  posture[dg.s] = NodeSecurity::Simplex;
+  posture[dg.x] = NodeSecurity::Simplex;
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::SBgp;
+  BgpEngine engine(dg.g, posture, cfg);
+  ASSERT_TRUE(engine.run(dg.s));
+  EXPECT_EQ(engine.route(dg.e).next_hop, dg.b);
+  EXPECT_TRUE(engine.route(dg.e).fully_secure());
+
+  // An insecure e cannot validate: it must fall back to the hash whichever
+  // branch is attested.
+  posture[dg.e] = NodeSecurity::Insecure;
+  BgpEngine engine2(dg.g, posture, cfg);
+  ASSERT_TRUE(engine2.run(dg.s));
+  EXPECT_EQ(engine2.route(dg.e).security_score, 0)
+      << "non-validating receivers score every path 0";
+}
+
+TEST(Engine, AttestationsSurviveInsecureTransit) {
+  // chain t -> m -> s with t, s secure but m insecure: t's received path
+  // carries s's attestation but not m's => partial, not fully valid.
+  const auto c = make_chain();
+  std::vector<NodeSecurity> posture(c.g.num_nodes(), NodeSecurity::Insecure);
+  posture[c.t] = NodeSecurity::Full;
+  posture[c.s] = NodeSecurity::Full;
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::SBgp;
+  cfg.partial = PartialPathPolicy::PreferPartial;  // make partials visible
+  BgpEngine engine(c.g, posture, cfg);
+  ASSERT_TRUE(engine.run(c.s));
+  EXPECT_EQ(engine.route(c.t).security_score, 1)
+      << "one of two hops attested -> partial";
+}
+
+TEST(Engine, SoBgpMatchesSBgpVerdictsOnFullDeployment) {
+  const auto net = test::small_internet(150, 31);
+  std::vector<NodeSecurity> posture(net.graph.num_nodes(), NodeSecurity::Full);
+  for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    if (net.graph.is_stub(n)) posture[n] = NodeSecurity::Simplex;
+  }
+  EngineConfig scfg;
+  scfg.mode = SecurityMode::SBgp;
+  EngineConfig ocfg;
+  ocfg.mode = SecurityMode::SoBgp;
+  BgpEngine sbgp(net.graph, posture, scfg);
+  BgpEngine sobgp(net.graph, posture, ocfg);
+  for (topo::AsId d = 0; d < 10; ++d) {
+    ASSERT_TRUE(sbgp.run(d));
+    ASSERT_TRUE(sobgp.run(d));
+    for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+      EXPECT_EQ(sbgp.route(n).next_hop, sobgp.route(n).next_hop)
+          << "AS " << net.graph.asn(n) << " dest " << net.graph.asn(d);
+      EXPECT_EQ(sbgp.route(n).fully_secure(), sobgp.route(n).fully_secure());
+    }
+  }
+}
+
+TEST(Engine, MessageCountsScaleWithEdges) {
+  const auto net = test::small_internet(200, 17);
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::BgpOnly;
+  BgpEngine engine(net.graph, all(net.graph, NodeSecurity::Insecure), cfg);
+  ASSERT_TRUE(engine.run(0));
+  const auto edges =
+      net.graph.num_customer_provider_edges() + net.graph.num_peer_edges();
+  EXPECT_GE(engine.crypto_stats().messages, edges / 2)
+      << "announcements must reach a good share of adjacencies";
+  EXPECT_LE(engine.crypto_stats().messages, 50 * edges)
+      << "convergence should not thrash";
+}
+
+TEST(Engine, RerunResetsState) {
+  const auto c = make_chain();
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::BgpOnly;
+  BgpEngine engine(c.g, all(c.g, NodeSecurity::Insecure), cfg);
+  ASSERT_TRUE(engine.run(c.s));
+  EXPECT_EQ(engine.route(c.t).path.size(), 2u);
+  ASSERT_TRUE(engine.run(c.t));  // different destination
+  EXPECT_EQ(engine.current_dest(), c.t);
+  EXPECT_EQ(engine.route(c.s).path.size(), 2u);
+  EXPECT_EQ(engine.route(c.t).cls, rt::RouteClass::Self);
+}
+
+TEST(Engine, LongerLiesFoolFewerButLocalPreferenceStillBites) {
+  // A longer lie attracts weakly fewer ASes than a short one — but never
+  // zero here: the attacker's *providers* receive the lie over a customer
+  // edge, and LP ranks customer routes above everything regardless of
+  // length (the [15] traffic-attraction result, and the reason path
+  // length-padding alone is not a defence).
+  const auto net = test::small_internet(100, 3);
+  EngineConfig cfg;
+  cfg.mode = SecurityMode::BgpOnly;
+  const topo::AsId dest = 0;
+
+  // Attacker: any stub with providers, far from the dest.
+  topo::AsId attacker = topo::kNoAs;
+  for (topo::AsId n = 1; n < net.graph.num_nodes(); ++n) {
+    if (net.graph.is_stub(n) && !net.graph.providers(n).empty()) attacker = n;
+  }
+  ASSERT_NE(attacker, topo::kNoAs);
+
+  auto fooled_with_padding = [&](std::uint32_t pad) {
+    BgpEngine engine(net.graph, all(net.graph, NodeSecurity::Insecure), cfg);
+    if (!engine.run(dest)) return std::size_t{0};
+    std::vector<std::uint32_t> lie{net.graph.asn(attacker)};
+    for (std::uint32_t i = 0; i < pad; ++i) lie.push_back(90000 + i);
+    lie.push_back(net.graph.asn(dest));
+    if (!engine.inject(attacker, lie, dest)) return std::size_t{0};
+    std::size_t fooled = 0;
+    for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+      const auto& path = engine.route(n).path;
+      if (std::find(path.begin(), path.end(), net.graph.asn(attacker)) !=
+          path.end()) {
+        ++fooled;
+      }
+    }
+    return fooled;
+  };
+
+  const std::size_t short_lie = fooled_with_padding(0);
+  const std::size_t long_lie = fooled_with_padding(12);
+  EXPECT_GE(short_lie, long_lie) << "padding can only shrink the blast radius";
+  EXPECT_GT(short_lie, 0u);
+  EXPECT_GT(long_lie, 0u)
+      << "the attacker's providers still prefer the customer-learned lie";
+}
+
+}  // namespace
+}  // namespace sbgp::proto

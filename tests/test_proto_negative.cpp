@@ -1,0 +1,122 @@
+// Negative-path cryptographic tests: tampered, replayed, mis-bound and
+// stripped attestations must all fail validation — the guarantees S-BGP's
+// path validation actually rests on.
+#include <gtest/gtest.h>
+
+#include "proto/sbgp.h"
+#include "proto/sobgp.h"
+
+namespace sbgp::proto {
+namespace {
+
+struct Fixture {
+  Rpki rpki;
+  Prefix prefix = Prefix::for_asn(3);
+  std::vector<Attestation> atts;  // valid chain 1 <- 2 <- 3 for receiver 99
+
+  Fixture() {
+    for (const std::uint32_t asn : {1u, 2u, 3u}) rpki.register_as(asn);
+    rpki.add_roa(3, prefix);
+    Attestation a;
+    EXPECT_TRUE(attest(rpki, prefix, {3}, 2, a));
+    atts.push_back(a);
+    EXPECT_TRUE(attest(rpki, prefix, {2, 3}, 1, a));
+    atts.push_back(a);
+    EXPECT_TRUE(attest(rpki, prefix, {1, 2, 3}, 99, a));
+    atts.push_back(a);
+  }
+};
+
+TEST(SBgpNegative, BaselineChainIsValid) {
+  Fixture f;
+  EXPECT_TRUE(validate_path(f.rpki, f.prefix, {1, 2, 3}, 99, f.atts).fully_valid);
+}
+
+TEST(SBgpNegative, BitFlippedSignatureFails) {
+  Fixture f;
+  f.atts[1].sig ^= 1;
+  const auto v = validate_path(f.rpki, f.prefix, {1, 2, 3}, 99, f.atts);
+  EXPECT_FALSE(v.fully_valid);
+  EXPECT_EQ(v.valid_hops, 2u);
+}
+
+TEST(SBgpNegative, AttestationBoundToRecipient) {
+  // Replaying AS1's attestation (made out to 99) toward receiver 77 fails:
+  // the recipient is part of the signed digest, which is what stops an AS
+  // from forwarding an announcement it received to neighbours the sender
+  // never addressed.
+  Fixture f;
+  const auto v = validate_path(f.rpki, f.prefix, {1, 2, 3}, 77, f.atts);
+  EXPECT_FALSE(v.fully_valid);
+  EXPECT_EQ(v.valid_hops, 2u) << "only the final hop binding breaks";
+}
+
+TEST(SBgpNegative, AttestationBoundToPrefix) {
+  Fixture f;
+  const Prefix other = Prefix::for_asn(4);
+  f.rpki.add_roa(3, other);
+  const auto v = validate_path(f.rpki, other, {1, 2, 3}, 99, f.atts);
+  EXPECT_FALSE(v.fully_valid);
+  EXPECT_EQ(v.valid_hops, 0u) << "every digest covers the prefix";
+}
+
+TEST(SBgpNegative, InsertedHopFails) {
+  // Splicing an extra AS into the path invalidates every suffix binding.
+  Fixture f;
+  const auto v = validate_path(f.rpki, f.prefix, {1, 5, 2, 3}, 99, f.atts);
+  EXPECT_FALSE(v.fully_valid);
+  EXPECT_EQ(v.valid_hops, 1u) << "only the origin's (3) binding survives";
+}
+
+TEST(SBgpNegative, StrippedAttestationIsJustMissing) {
+  Fixture f;
+  f.atts.erase(f.atts.begin());  // drop the origin's attestation
+  const auto v = validate_path(f.rpki, f.prefix, {1, 2, 3}, 99, f.atts);
+  EXPECT_FALSE(v.fully_valid);
+  EXPECT_EQ(v.valid_hops, 2u);
+}
+
+TEST(SBgpNegative, WrongOriginIsCaughtByRoa) {
+  // A fully signed chain whose origin is not ROA-authorised still fails
+  // (RPKI origin validation is part of fully_valid).
+  Rpki rpki;
+  for (const std::uint32_t asn : {7u, 8u}) rpki.register_as(asn);
+  const Prefix victim = Prefix::for_asn(42);
+  rpki.add_roa(42, victim);  // 42 holds the ROA but is not on the path
+  rpki.register_as(42);
+  std::vector<Attestation> atts;
+  Attestation a;
+  ASSERT_TRUE(attest(rpki, victim, {8}, 7, a));  // 8 originates 42's prefix!
+  atts.push_back(a);
+  ASSERT_TRUE(attest(rpki, victim, {7, 8}, 99, a));
+  atts.push_back(a);
+  const auto v = validate_path(rpki, victim, {7, 8}, 99, atts);
+  EXPECT_EQ(v.valid_hops, 2u) << "signatures themselves verify";
+  EXPECT_EQ(v.origin, RoaValidity::Invalid);
+  EXPECT_FALSE(v.fully_valid) << "... but origin validation rejects the hijack";
+}
+
+TEST(SoBgpNegative, UncertifiedMiddleLinkBreaksPlausibility) {
+  Rpki rpki;
+  for (const std::uint32_t asn : {1u, 2u, 3u, 4u}) rpki.register_as(asn);
+  SoBgpDatabase db(rpki);
+  ASSERT_TRUE(db.certify_link(1, 2));
+  ASSERT_TRUE(db.certify_link(3, 4));
+  EXPECT_FALSE(db.path_plausible({1, 2, 3, 4})) << "2-3 never certified";
+  ASSERT_TRUE(db.certify_link(2, 3));
+  EXPECT_TRUE(db.path_plausible({1, 2, 3, 4}));
+  EXPECT_EQ(db.num_certificates(), 3u);
+}
+
+TEST(SoBgpNegative, CertificationIsIdempotent) {
+  Rpki rpki;
+  rpki.register_as(1);
+  rpki.register_as(2);
+  SoBgpDatabase db(rpki);
+  EXPECT_TRUE(db.certify_link(1, 2));
+  EXPECT_TRUE(db.certify_link(2, 1));  // same undirected link
+  EXPECT_EQ(db.num_certificates(), 1u);
+}
+
+}  // namespace
+}  // namespace sbgp::proto

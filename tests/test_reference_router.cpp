@@ -1,0 +1,126 @@
+// A third, independent implementation of the Appendix A routing semantics:
+// a naive fixed-point relaxation that iterates "who would export what to
+// whom" until nothing changes, with none of the three-phase BFS structure
+// of rt::RibComputer (and none of the message machinery of proto::BgpEngine).
+// On random graphs all three implementations must agree on every AS's route
+// class and length.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "routing/rib.h"
+#include "test_util.h"
+
+namespace sbgp::rt {
+namespace {
+
+struct RefRoute {
+  RouteClass cls = RouteClass::None;
+  std::uint32_t len = 0xFFFFFFFF;
+};
+
+/// Naive reference: repeat full rounds of "every node re-selects from what
+/// its neighbours would export to it" until a fixed point.
+std::vector<RefRoute> reference_routes(const topo::AsGraph& g, topo::AsId dest) {
+  const std::size_t n = g.num_nodes();
+  std::vector<RefRoute> route(n);
+  route[dest] = {RouteClass::Self, 0};
+
+  auto exported_to = [&](topo::AsId from, topo::Link link_from_receiver) {
+    // What `from` offers a neighbour, given the receiver reaches `from`
+    // over `link_from_receiver` (Customer => from is the receiver's
+    // customer, Provider => from is the receiver's provider). GR2: own
+    // prefix and customer routes go to everyone; peer/provider routes go
+    // only to from's customers — i.e. only when from is the receiver's
+    // provider.
+    const RefRoute& r = route[from];
+    if (r.cls == RouteClass::None) return RefRoute{};
+    const bool to_everyone =
+        r.cls == RouteClass::Self || r.cls == RouteClass::Customer;
+    if (to_everyone || link_from_receiver == topo::Link::Provider) return r;
+    return RefRoute{};
+  };
+
+  bool changed = true;
+  std::size_t guard = 0;
+  while (changed && ++guard < 4 * n) {
+    changed = false;
+    for (topo::AsId i = 0; i < n; ++i) {
+      if (i == dest) continue;
+      RefRoute best;  // LP then SP
+      auto consider = [&](topo::AsId nb, topo::Link link, RouteClass as_class) {
+        const RefRoute offer = exported_to(nb, link);
+        if (offer.cls == RouteClass::None) return;
+        const RefRoute cand{as_class, offer.len + 1};
+        if (best.cls == RouteClass::None || cand.cls < best.cls ||
+            (cand.cls == best.cls && cand.len < best.len)) {
+          best = cand;
+        }
+      };
+      for (const auto c : g.customers(i)) {
+        consider(c, topo::Link::Customer, RouteClass::Customer);
+      }
+      for (const auto p : g.peers(i)) consider(p, topo::Link::Peer, RouteClass::Peer);
+      for (const auto p : g.providers(i)) {
+        consider(p, topo::Link::Provider, RouteClass::Provider);
+      }
+      if (best.cls != route[i].cls || best.len != route[i].len) {
+        route[i] = best;
+        changed = true;
+      }
+    }
+  }
+  EXPECT_LT(guard, 4 * n) << "reference router failed to converge";
+  return route;
+}
+
+class ReferenceRouter : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReferenceRouter, AgreesWithThreePhaseRib) {
+  const auto net = test::small_internet(180, GetParam());
+  const auto& g = net.graph;
+  RibComputer rc(g);
+  DestRib rib;
+  for (topo::AsId d = 0; d < 30; ++d) {
+    rc.compute(d, rib);
+    const auto ref = reference_routes(g, d);
+    for (topo::AsId i = 0; i < g.num_nodes(); ++i) {
+      ASSERT_EQ(rib.cls[i], ref[i].cls)
+          << "class mismatch at AS " << g.asn(i) << " dest " << g.asn(d);
+      if (rib.reachable(i) && i != d) {
+        ASSERT_EQ(rib.len[i], ref[i].len)
+            << "length mismatch at AS " << g.asn(i) << " dest " << g.asn(d);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceRouter,
+                         ::testing::Values(3, 7, 13, 29, 31));
+
+TEST(ReferenceRouter, HandGraphWithPeersAndValleys) {
+  // The graph from Rib.PeerRouteOnlyOverCustomerRoutes plus a decoy that
+  // would be used if valleys were allowed.
+  topo::AsGraph g;
+  const auto p1 = g.add_as(1);
+  const auto p2 = g.add_as(2);
+  const auto d = g.add_as(3);
+  const auto x = g.add_as(4);
+  const auto y = g.add_as(5);
+  g.add_peer(p1, p2);
+  g.add_customer_provider(p2, d);
+  g.add_customer_provider(p1, x);
+  g.add_peer(x, y);  // y could only reach d through a forbidden valley
+  g.finalize();
+  const auto ref = reference_routes(g, d);
+  EXPECT_EQ(ref[p1].cls, rt::RouteClass::Peer);
+  EXPECT_EQ(ref[x].cls, rt::RouteClass::Provider);
+  EXPECT_EQ(ref[y].cls, rt::RouteClass::None)
+      << "x must not export its provider route to peer y";
+  rt::RibComputer rc(g);
+  const auto rib = rc.compute(d);
+  EXPECT_EQ(rib.cls[y], rt::RouteClass::None);
+}
+
+}  // namespace
+}  // namespace sbgp::rt

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/resilience.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "test_util.h"
+
+namespace sbgp::core {
+namespace {
+
+// A symmetric tug-of-war: probe x at the top, two equal-length customer
+// chains down to victim v and attacker m (same graph as the proto attack
+// harness, but exercised through the closed-form hijack RIB).
+struct Tug {
+  topo::AsGraph g;
+  topo::AsId x, v, m, mid_v, mid_m;
+};
+
+Tug make_tug() {
+  Tug t;
+  t.x = t.g.add_as(1);
+  t.mid_v = t.g.add_as(10);
+  t.v = t.g.add_as(11);
+  t.mid_m = t.g.add_as(20);
+  t.m = t.g.add_as(21);
+  t.g.add_customer_provider(t.x, t.mid_v);
+  t.g.add_customer_provider(t.mid_v, t.v);
+  t.g.add_customer_provider(t.x, t.mid_m);
+  t.g.add_customer_provider(t.mid_m, t.m);
+  t.g.finalize();
+  return t;
+}
+
+TEST(HijackRib, TwoOriginRoutingSplitsTheGraph) {
+  const auto t = make_tug();
+  rt::RibComputer rc(t.g);
+  const auto rib = rc.compute(t.v, t.m);
+  EXPECT_EQ(rib.cls[t.v], rt::RouteClass::Self);
+  EXPECT_EQ(rib.cls[t.m], rt::RouteClass::Self);
+  // Each mid node has a length-1 customer route to its own origin.
+  EXPECT_EQ(rib.len[t.mid_v], 1);
+  EXPECT_EQ(rib.len[t.mid_m], 1);
+  // The probe ties between the two branches.
+  EXPECT_EQ(rib.tiebreak(t.x).size(), 2u);
+}
+
+TEST(HijackImpact, InsecureWorldFollowsTieBreak) {
+  const auto t = make_tug();
+  SimConfig cfg;
+  cfg.threads = 1;
+  std::vector<std::uint8_t> nobody(t.g.num_nodes(), 0);
+  const double impact = hijack_impact(t.g, nobody, cfg, t.m, t.v);
+  // mid_m is always fooled (1 hop to m vs 3 to v); mid_v never; the probe
+  // goes by hash. So impact is 1/3 or 2/3.
+  EXPECT_TRUE(std::abs(impact - 1.0 / 3.0) < 1e-9 ||
+              std::abs(impact - 2.0 / 3.0) < 1e-9)
+      << impact;
+}
+
+TEST(HijackImpact, FullDeploymentProtectsEqualLengthTies) {
+  const auto t = make_tug();
+  SimConfig cfg;
+  cfg.threads = 1;
+  std::vector<std::uint8_t> all(t.g.num_nodes(), 1);
+  const double impact = hijack_impact(t.g, all, cfg, t.m, t.v);
+  // The probe now prefers the fully secure true branch; only mid_m (with a
+  // strictly shorter bogus route) is still fooled.
+  EXPECT_NEAR(impact, 1.0 / 3.0, 1e-9);
+}
+
+TEST(HijackImpact, ShorterLiesBeatSecurityByDesign) {
+  // Attacker adjacent to the probe: even full deployment cannot save the
+  // probe (LP/SP rank above SecP, Section 2.2.2).
+  topo::AsGraph g;
+  const auto x = g.add_as(1);
+  const auto mid = g.add_as(2);
+  const auto v = g.add_as(3);
+  const auto m = g.add_as(4);
+  g.add_customer_provider(x, mid);
+  g.add_customer_provider(mid, v);
+  g.add_customer_provider(x, m);
+  g.finalize();
+  SimConfig cfg;
+  cfg.threads = 1;
+  std::vector<std::uint8_t> all(g.num_nodes(), 1);
+  const double impact = hijack_impact(g, all, cfg, m, v);
+  // x: bogus route length 1 vs true route length 2 -> fooled. mid: true
+  // route length 1 -> safe. So exactly half the third parties are fooled.
+  EXPECT_NEAR(impact, 0.5, 1e-9);
+}
+
+TEST(Resilience, DeploymentReducesMeanImpact) {
+  const auto net = test::small_internet(300, 17);
+  SimConfig cfg;
+  cfg.threads = 1;
+  par::ThreadPool pool(1);
+  std::vector<std::uint8_t> nobody(net.graph.num_nodes(), 0);
+  std::vector<std::uint8_t> everyone(net.graph.num_nodes(), 1);
+  const auto before =
+      measure_resilience(net.graph, nobody, cfg, 60, 99, pool);
+  const auto after =
+      measure_resilience(net.graph, everyone, cfg, 60, 99, pool);
+  ASSERT_EQ(before.pairs, 60u);
+  // The paper's baseline: an arbitrary attacker impacts a large fraction of
+  // ASes on average in the insecure status quo.
+  EXPECT_GT(before.mean_fooled(), 0.15);
+  // Full deployment helps substantially...
+  EXPECT_LT(after.mean_fooled(), before.mean_fooled() * 0.8);
+  // ... but does NOT eliminate hijacks: shorter lies still win, which is
+  // exactly the paper's "S*BGP and BGP will coexist / careful engineering
+  // required" warning (Section 1.4, insight 5).
+  EXPECT_GT(after.mean_fooled(), 0.0);
+}
+
+TEST(Resilience, SameSeedIsDeterministic) {
+  const auto net = test::small_internet(200, 5);
+  SimConfig cfg;
+  cfg.threads = 1;
+  par::ThreadPool pool(2);
+  std::vector<std::uint8_t> nobody(net.graph.num_nodes(), 0);
+  const auto a = measure_resilience(net.graph, nobody, cfg, 25, 7, pool);
+  const auto b = measure_resilience(net.graph, nobody, cfg, 25, 7, pool);
+  EXPECT_DOUBLE_EQ(a.mean_fooled(), b.mean_fooled());
+}
+
+TEST(HijackRib, NormalModeHasNoOriginArray) {
+  const auto t = make_tug();
+  rt::RibComputer rc(t.g);
+  rt::TreeComputer tc(t.g);
+  rt::TieBreakPolicy tb;
+  rt::RoutingTree tree;
+  std::vector<std::uint8_t> nobody(t.g.num_nodes(), 0);
+  rt::SecurityView view;
+  view.graph = &t.g;
+  view.base = nobody.data();
+  // Hijack mode fills origin[]; normal mode clears it again.
+  const auto rib_h = rc.compute(t.v, t.m);
+  tc.compute(rib_h, view, tb, tree);
+  EXPECT_FALSE(tree.origin.empty());
+  const auto rib_n = rc.compute(t.v);
+  tc.compute(rib_n, view, tb, tree);
+  EXPECT_TRUE(tree.origin.empty());
+}
+
+}  // namespace
+}  // namespace sbgp::core

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "test_util.h"
+
+namespace sbgp::rt {
+namespace {
+
+using test::make_chain;
+using test::make_diamond;
+using test::small_internet;
+
+SecurityView make_view(const topo::AsGraph& g, const std::vector<std::uint8_t>& flags,
+                       bool stub_ties = true) {
+  SecurityView v;
+  v.graph = &g;
+  v.base = flags.data();
+  v.stub_breaks_ties = stub_ties;
+  return v;
+}
+
+TEST(Rib, ChainClassesAndLengths) {
+  const auto c = make_chain();  // t -> m -> s
+  RibComputer rc(c.g);
+
+  // Destination s: m has a customer route of length 1, t of length 2.
+  const DestRib rib_s = rc.compute(c.s);
+  EXPECT_EQ(rib_s.cls[c.s], RouteClass::Self);
+  EXPECT_EQ(rib_s.cls[c.m], RouteClass::Customer);
+  EXPECT_EQ(rib_s.len[c.m], 1);
+  EXPECT_EQ(rib_s.cls[c.t], RouteClass::Customer);
+  EXPECT_EQ(rib_s.len[c.t], 2);
+
+  // Destination t: m and s climb provider edges.
+  const DestRib rib_t = rc.compute(c.t);
+  EXPECT_EQ(rib_t.cls[c.m], RouteClass::Provider);
+  EXPECT_EQ(rib_t.len[c.m], 1);
+  EXPECT_EQ(rib_t.cls[c.s], RouteClass::Provider);
+  EXPECT_EQ(rib_t.len[c.s], 2);
+
+  // Tiebreak sets are singletons on a chain.
+  EXPECT_EQ(rib_s.tiebreak(c.t).size(), 1u);
+  EXPECT_EQ(rib_t.tiebreak(c.s).size(), 1u);
+  // order[] is ascending by length, destination first.
+  ASSERT_FALSE(rib_s.order.empty());
+  EXPECT_EQ(rib_s.order.front(), c.s);
+}
+
+TEST(Rib, PeerRouteOnlyOverCustomerRoutes) {
+  // p1 -- p2 peers; d is p2's customer; x is p1's customer.
+  // x reaches d via (x, p1, p2, d): provider, then one peer hop, then down.
+  topo::AsGraph g;
+  const auto p1 = g.add_as(1);
+  const auto p2 = g.add_as(2);
+  const auto d = g.add_as(3);
+  const auto x = g.add_as(4);
+  g.add_peer(p1, p2);
+  g.add_customer_provider(p2, d);
+  g.add_customer_provider(p1, x);
+  g.finalize();
+
+  RibComputer rc(g);
+  const DestRib rib = rc.compute(d);
+  EXPECT_EQ(rib.cls[p2], RouteClass::Customer);
+  EXPECT_EQ(rib.cls[p1], RouteClass::Peer);
+  EXPECT_EQ(rib.len[p1], 2);
+  EXPECT_EQ(rib.cls[x], RouteClass::Provider);
+  EXPECT_EQ(rib.len[x], 3);
+
+  // GR2: d's own prefix via p2's *customer* route may cross one peer edge,
+  // but x's provider route through p1 must not be re-exported to p1's peers
+  // — verified structurally: p2 never gains a route through p1 to x?
+  const DestRib rib_x = rc.compute(x);
+  // p2's only way to x would be peer p1 -> customer x, but p1's route to x
+  // is a customer route, so it IS exportable to the peer.
+  EXPECT_EQ(rib_x.cls[p2], RouteClass::Peer);
+  // d's route to x: d's provider p2 has a peer route, exportable to
+  // customers: valley-free up-peer-down.
+  EXPECT_EQ(rib_x.cls[d], RouteClass::Provider);
+  EXPECT_EQ(rib_x.len[d], 3);
+}
+
+TEST(Rib, NoTransitThroughPeersForPeerRoutes) {
+  // a -- b peers, b -- c peers, d customer of c. a must NOT reach d via
+  // two consecutive peer hops (GR2 forbids it).
+  topo::AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  const auto c = g.add_as(3);
+  const auto d = g.add_as(4);
+  g.add_peer(a, b);
+  g.add_peer(b, c);
+  g.add_customer_provider(c, d);
+  g.finalize();
+
+  RibComputer rc(g);
+  const DestRib rib = rc.compute(d);
+  EXPECT_EQ(rib.cls[c], RouteClass::Customer);
+  EXPECT_EQ(rib.cls[b], RouteClass::Peer);
+  EXPECT_EQ(rib.cls[a], RouteClass::None) << "two peer hops must be forbidden";
+}
+
+TEST(Rib, LocalPreferenceBeatsPathLength) {
+  // x has a 3-hop customer route and a 1-hop provider route to d: LP wins.
+  topo::AsGraph g;
+  const auto x = g.add_as(1);
+  const auto c1 = g.add_as(2);
+  const auto c2 = g.add_as(3);
+  const auto d = g.add_as(4);
+  g.add_customer_provider(x, c1);
+  g.add_customer_provider(c1, c2);
+  g.add_customer_provider(c2, d);
+  g.add_customer_provider(d, x);  // d also provides x directly (1 hop up)
+  g.finalize();
+
+  RibComputer rc(g);
+  const DestRib rib = rc.compute(d);
+  EXPECT_EQ(rib.cls[x], RouteClass::Customer);
+  EXPECT_EQ(rib.len[x], 3);
+}
+
+TEST(Rib, DiamondTiebreakSet) {
+  const auto dg = make_diamond();
+  RibComputer rc(dg.g);
+  const DestRib rib = rc.compute(dg.s);
+  const auto tb = rib.tiebreak(dg.e);
+  ASSERT_EQ(tb.size(), 2u);
+  EXPECT_TRUE((tb[0] == dg.a && tb[1] == dg.b) || (tb[0] == dg.b && tb[1] == dg.a));
+}
+
+// Observation C.1: class and length are independent of the security state.
+TEST(Rib, StateIndependenceOfClassAndLength) {
+  const auto net = small_internet(300, 17);
+  RibComputer rc(net.graph);
+  TreeComputer tc(net.graph);
+  TieBreakPolicy tb;
+  DestRib rib;
+  RoutingTree tree;
+
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto state = test::random_state(net.graph, 0.4, seed);
+    const auto view = make_view(net.graph, state.flags());
+    for (topo::AsId d = 0; d < 40; ++d) {
+      rc.compute(d, rib);
+      tc.compute(rib, view, tb, tree);
+      for (const topo::AsId i : rib.order) {
+        if (i == d) continue;
+        const auto path = TreeComputer::extract_path(tree, i);
+        ASSERT_FALSE(path.empty());
+        // The realised path length always equals the static RIB length,
+        // whatever the state: SecP only picks within the tiebreak set.
+        EXPECT_EQ(path.size() - 1, rib.len[i]);
+      }
+    }
+  }
+}
+
+TEST(RoutingTree, SecurityTiebreakSteersWithinTiebreakSet) {
+  const auto dg = make_diamond();
+  RibComputer rc(dg.g);
+  TreeComputer tc(dg.g);
+  TieBreakPolicy tb;
+  const DestRib rib = rc.compute(dg.s);
+  RoutingTree tree;
+
+  // Nobody secure: e picks by hash; record the choice.
+  std::vector<std::uint8_t> flags(dg.g.num_nodes(), 0);
+  tc.compute(rib, make_view(dg.g, flags), tb, tree);
+  const topo::AsId hash_choice = tree.next_hop[dg.e];
+  ASSERT_TRUE(hash_choice == dg.a || hash_choice == dg.b);
+  EXPECT_EQ(tree.path_secure[dg.e], 0);
+
+  // Secure e + the *other* ISP + s: the secure path must win the tie.
+  const topo::AsId other = hash_choice == dg.a ? dg.b : dg.a;
+  flags[dg.e] = flags[other] = flags[dg.s] = 1;
+  tc.compute(rib, make_view(dg.g, flags), tb, tree);
+  EXPECT_EQ(tree.next_hop[dg.e], other);
+  EXPECT_EQ(tree.path_secure[dg.e], 1);
+  EXPECT_EQ(tree.has_secure_candidate[dg.e], 1);
+
+  // An insecure e ignores security and sticks with the hash choice.
+  flags[dg.e] = 0;
+  tc.compute(rib, make_view(dg.g, flags), tb, tree);
+  EXPECT_EQ(tree.next_hop[dg.e], hash_choice);
+  EXPECT_EQ(tree.path_secure[dg.e], 0);
+}
+
+TEST(RoutingTree, PartiallySecurePathsAreNotPreferred) {
+  // Section 2.2.2: e must not prefer a partially-secure path. Make the
+  // hash-choice branch partially secure (a secure, s insecure): no effect.
+  const auto dg = make_diamond();
+  RibComputer rc(dg.g);
+  TreeComputer tc(dg.g);
+  TieBreakPolicy tb;
+  const DestRib rib = rc.compute(dg.s);
+  RoutingTree tree;
+
+  std::vector<std::uint8_t> flags(dg.g.num_nodes(), 0);
+  tc.compute(rib, make_view(dg.g, flags), tb, tree);
+  const topo::AsId hash_choice = tree.next_hop[dg.e];
+  const topo::AsId other = hash_choice == dg.a ? dg.b : dg.a;
+
+  flags[dg.e] = 1;
+  flags[other] = 1;  // other branch partially secure (s itself insecure)
+  tc.compute(rib, make_view(dg.g, flags), tb, tree);
+  EXPECT_EQ(tree.next_hop[dg.e], hash_choice)
+      << "a partially-secure path must not win the tie";
+}
+
+TEST(RoutingTree, SubtreeWeightsFoldCorrectly) {
+  auto c = make_chain();
+  c.g.set_weight(c.t, 5.0);
+  RibComputer rc(c.g);
+  TreeComputer tc(c.g);
+  TieBreakPolicy tb;
+  const DestRib rib = rc.compute(c.s);
+  RoutingTree tree;
+  std::vector<std::uint8_t> flags(c.g.num_nodes(), 0);
+  tc.compute(rib, make_view(c.g, flags), tb, tree);
+  EXPECT_DOUBLE_EQ(tree.subtree_weight[c.t], 5.0);
+  EXPECT_DOUBLE_EQ(tree.subtree_weight[c.m], 6.0);
+  EXPECT_DOUBLE_EQ(tree.subtree_weight[c.s], 7.0);
+}
+
+TEST(RoutingTree, FlipOnViewSecuresIspAndItsStubs) {
+  const auto dg = make_diamond();
+  std::vector<std::uint8_t> flags(dg.g.num_nodes(), 0);
+  SecurityView view = make_view(dg.g, flags);
+  view.flip_on = dg.a;
+  EXPECT_TRUE(view.is_secure(dg.a));
+  EXPECT_TRUE(view.is_secure(dg.s)) << "a's stub customer is simplex-secured";
+  EXPECT_FALSE(view.is_secure(dg.b));
+  EXPECT_FALSE(view.is_secure(dg.e));
+
+  // flip_off overrides the base state; stubs stay secure (sticky).
+  flags[dg.a] = flags[dg.s] = 1;
+  SecurityView off = make_view(dg.g, flags);
+  off.flip_off = dg.a;
+  EXPECT_FALSE(off.is_secure(dg.a));
+  EXPECT_TRUE(off.is_secure(dg.s));
+}
+
+TEST(RoutingTree, FrozenStubsAreNotSecuredByFlip) {
+  const auto dg = make_diamond();
+  std::vector<std::uint8_t> flags(dg.g.num_nodes(), 0);
+  std::vector<std::uint8_t> frozen(dg.g.num_nodes(), 0);
+  frozen[dg.s] = 1;
+  SecurityView view = make_view(dg.g, flags);
+  view.frozen = frozen.data();
+  view.flip_on = dg.a;
+  EXPECT_TRUE(view.is_secure(dg.a));
+  EXPECT_FALSE(view.is_secure(dg.s));
+}
+
+// Valley-free property over random graphs: extracted paths never go
+// customer->provider after having gone provider->customer or peer->peer.
+TEST(RoutingTree, PathsAreValleyFreeAndSimple) {
+  const auto net = small_internet(400, 23);
+  RibComputer rc(net.graph);
+  TreeComputer tc(net.graph);
+  TieBreakPolicy tb;
+  DestRib rib;
+  RoutingTree tree;
+  const auto state = test::random_state(net.graph, 0.3, 5);
+  const auto view = make_view(net.graph, state.flags());
+
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<topo::AsId> pick(
+      0, static_cast<topo::AsId>(net.graph.num_nodes() - 1));
+  for (int trial = 0; trial < 30; ++trial) {
+    const topo::AsId d = pick(rng);
+    rc.compute(d, rib);
+    tc.compute(rib, view, tb, tree);
+    for (int s_trial = 0; s_trial < 20; ++s_trial) {
+      const topo::AsId src = pick(rng);
+      if (src == d || !rib.reachable(src)) continue;
+      const auto path = TreeComputer::extract_path(tree, src);
+      ASSERT_GE(path.size(), 2u);
+      // Simple path.
+      auto sorted = path;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+      // Valley-free: phase may only go up (0) -> peer (1) -> down (2).
+      int phase = 0;
+      int peer_hops = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        topo::Link link;
+        ASSERT_TRUE(net.graph.link_between(path[i], path[i + 1], link));
+        if (link == topo::Link::Provider) {
+          EXPECT_EQ(phase, 0) << "climb after descent/peering";
+        } else if (link == topo::Link::Peer) {
+          EXPECT_LE(phase, 1);
+          phase = 1;
+          ++peer_hops;
+        } else {
+          phase = 2;
+        }
+      }
+      EXPECT_LE(peer_hops, 1) << "at most one peer edge per path";
+    }
+  }
+}
+
+TEST(TieBreakPolicy, RankModeUsesAsnByDefault) {
+  const auto dg = make_diamond();
+  TieBreakPolicy tb;
+  tb.mode = TieBreakPolicy::Mode::Rank;
+  EXPECT_EQ(tb.key(dg.e, dg.a, dg.g), dg.g.asn(dg.a));
+  std::vector<std::uint64_t> rank(dg.g.num_nodes(), 7);
+  rank[dg.a] = 1;
+  tb.rank = &rank;
+  EXPECT_EQ(tb.key(dg.e, dg.a, dg.g), 1u);
+}
+
+TEST(TieBreakPolicy, PairwiseHashIsDeterministicAndSourceDependent) {
+  const auto dg = make_diamond();
+  TieBreakPolicy tb;
+  const auto k1 = tb.key(dg.e, dg.a, dg.g);
+  EXPECT_EQ(k1, tb.key(dg.e, dg.a, dg.g));
+  EXPECT_NE(k1, tb.key(dg.a, dg.e, dg.g));
+}
+
+TEST(Rib, AveragePathLengthFromTierOneIsShort) {
+  const auto net = small_internet(400, 31);
+  const double t1 = average_path_length_from(net.graph, net.tier1.front());
+  EXPECT_GT(t1, 0.5);
+  EXPECT_LT(t1, 4.0);
+}
+
+}  // namespace
+}  // namespace sbgp::rt

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+namespace sbgp::stats {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.begin_row();
+  t.add(std::string("alpha"));
+  t.add(42);
+  t.begin_row();
+  t.add(std::string("b"));
+  t.add(7);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);  // last row still open until begin_row/print
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.add(1);
+  t.add(2.5, 1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, PercentFormatting) {
+  Table t({"x"});
+  t.begin_row();
+  t.add_percent(0.856, 1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("85.6%"), std::string::npos);
+}
+
+TEST(IntHistogram, BasicCountsAndMean) {
+  IntHistogram h;
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.max_value(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0 / 3.0);
+}
+
+TEST(IntHistogram, FractionGreaterMatchesPaperStyleStat) {
+  // "only 20% of tiebreak sets contain more than a single path"
+  IntHistogram h;
+  h.add(1, 80);
+  h.add(2, 15);
+  h.add(5, 5);
+  EXPECT_DOUBLE_EQ(h.fraction_greater(1), 0.20);
+  EXPECT_DOUBLE_EQ(h.ccdf(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.ccdf(2), 0.20);
+}
+
+TEST(IntHistogram, Quantiles) {
+  IntHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+  const std::uint64_t med = h.quantile(0.5);
+  EXPECT_GE(med, 49u);
+  EXPECT_LE(med, 52u);
+}
+
+TEST(IntHistogram, BinsSkipEmpty) {
+  IntHistogram h;
+  h.add(0);
+  h.add(9);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].first, 0u);
+  EXPECT_EQ(bins[1].first, 9u);
+}
+
+TEST(BucketedCounter, BucketsAndLabels) {
+  BucketedCounter b({10, 100, std::numeric_limits<std::uint64_t>::max()});
+  EXPECT_EQ(b.bucket_of(0), 0u);
+  EXPECT_EQ(b.bucket_of(10), 0u);
+  EXPECT_EQ(b.bucket_of(11), 1u);
+  EXPECT_EQ(b.bucket_of(1000), 2u);
+  EXPECT_EQ(b.label(0), "0-10");
+  EXPECT_EQ(b.label(1), "11-100");
+  EXPECT_EQ(b.label(2), ">100");
+  b.add_member(5);
+  b.add_member(5);
+  b.add_hit(7);
+  EXPECT_DOUBLE_EQ(b.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(b.fraction(1), 0.0);
+}
+
+TEST(Summary, MedianAndQuantiles) {
+  Summary s;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+}
+
+}  // namespace
+}  // namespace sbgp::stats

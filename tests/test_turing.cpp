@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "gadgets/turing.h"
+
+namespace sbgp::gadgets {
+namespace {
+
+TEST(TuringMachine, ValidityChecks) {
+  auto tm = make_right_sweeper(4);
+  EXPECT_TRUE(tm.valid());
+  tm.delta[0][0].next_state = 7;
+  EXPECT_FALSE(tm.valid());
+  TuringMachine empty;
+  EXPECT_FALSE(empty.valid());
+}
+
+TEST(TuringMachine, StepAndClamping) {
+  const auto tm = make_right_sweeper(3);
+  TmConfig c = initial_config(tm, {1, 1, 1});
+  EXPECT_EQ(c.head, 0u);
+  EXPECT_EQ(c.state, 0u);
+  c = step(tm, c);
+  EXPECT_EQ(c.head, 1u);
+  EXPECT_EQ(c.tape[0], 0u) << "sweeper zeroes as it walks";
+  c = step(tm, c);
+  c = step(tm, c);  // at the right end, the move clamps
+  EXPECT_EQ(c.head, 2u);
+}
+
+TEST(TuringMachine, SweeperReachesStaticMode) {
+  const auto tm = make_right_sweeper(6);
+  const auto run = run_static_mode(tm, initial_config(tm, {1, 0, 1, 0, 1}));
+  EXPECT_EQ(run.outcome, TmOutcome::ReachedStatic);
+  EXPECT_TRUE(is_static(tm, run.final_config));
+  EXPECT_EQ(run.final_config.head, 5u) << "parks on the last cell";
+  for (const auto s : run.final_config.tape) EXPECT_EQ(s, 0u);
+}
+
+TEST(TuringMachine, BouncerCyclesForever) {
+  const auto tm = make_bouncer(5);
+  TmConfig init = initial_config(tm, {1, 0, 0, 0, 1});
+  init.head = 1;
+  const auto run = run_static_mode(tm, init);
+  EXPECT_EQ(run.outcome, TmOutcome::Cycled);
+  // The cycle closes within 2 * interior-width steps.
+  EXPECT_LE(run.steps, 12u);
+}
+
+TEST(TuringMachine, BinaryCounterVisitsExponentiallyManyConfigs) {
+  for (const std::size_t bits : {3u, 6u, 9u}) {
+    const auto tm = make_binary_counter(bits);
+    TmConfig init = initial_config(tm, {2});  // marker at cell 0
+    init.head = 1;
+    const auto run = run_static_mode(tm, init);
+    EXPECT_EQ(run.outcome, TmOutcome::Cycled);
+    // Each increment costs >= 2 steps; 2^bits increments before wrapping.
+    EXPECT_GT(run.steps, (1u << bits)) << bits << " bits";
+  }
+}
+
+TEST(CleanState, EncodeDecodeRoundTrip) {
+  const auto tm = make_binary_counter(4);
+  TmConfig c = initial_config(tm, {2, 1, 0, 1});
+  c.head = 2;
+  c.state = 1;
+  const auto bits = encode_clean_state(tm, c);
+  EXPECT_EQ(bits.size(), clean_state_width(tm));
+  const auto back = decode_clean_state(tm, bits);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, c);
+}
+
+TEST(CleanState, ExactlyOneNodeOnPerSelector) {
+  const auto tm = make_bouncer(4);
+  const auto bits = encode_clean_state(tm, initial_config(tm, {1, 0, 0, 1}));
+  // Width = r (head) + q (state) + r*gamma (cells).
+  ASSERT_EQ(bits.size(), 4u + 2u + 4u * 2u);
+  std::size_t on = 0;
+  for (const auto b : bits) on += b;
+  EXPECT_EQ(on, 1u /*head*/ + 1u /*state*/ + 4u /*cells*/);
+}
+
+TEST(CleanState, RejectsDirtyStates) {
+  const auto tm = make_bouncer(4);
+  auto bits = encode_clean_state(tm, initial_config(tm, {1, 0, 0, 1}));
+  bits[0] = bits[1] = 1;  // two head nodes ON
+  EXPECT_FALSE(decode_clean_state(tm, bits).has_value());
+  std::fill(bits.begin(), bits.end(), 0);  // nothing ON
+  EXPECT_FALSE(decode_clean_state(tm, bits).has_value());
+  bits.push_back(0);  // wrong width
+  EXPECT_FALSE(decode_clean_state(tm, bits).has_value());
+}
+
+TEST(CleanState, SimulationCommutesWithEncoding) {
+  // encode(step(c)) == the clean state the reduction's transition gadgets
+  // would drive the selectors to (Observation K.15's invariant).
+  const auto tm = make_binary_counter(3);
+  TmConfig c = initial_config(tm, {2, 1, 1});
+  c.head = 1;
+  for (int i = 0; i < 20; ++i) {
+    const auto bits = encode_clean_state(tm, c);
+    const auto decoded = decode_clean_state(tm, bits);
+    ASSERT_TRUE(decoded.has_value());
+    c = step(tm, *decoded);
+  }
+  SUCCEED();
+}
+
+TEST(Reduction, SizeAccounting) {
+  const auto tm = make_binary_counter(4);  // r=5, q=2, gamma=3
+  EXPECT_EQ(clean_state_width(tm), 5u + 2u + 5u * 3u);
+  EXPECT_EQ(reduction_transition_count(tm), 5u * 2u * 3u);
+}
+
+}  // namespace
+}  // namespace sbgp::gadgets

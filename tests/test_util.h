@@ -1,0 +1,85 @@
+// Shared helpers for the test suite: canonical hand-built graphs and random
+// instance generators.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "core/deployment_state.h"
+#include "topology/as_graph.h"
+#include "topology/topology_gen.h"
+
+namespace sbgp::test {
+
+using topo::AsGraph;
+using topo::AsId;
+
+/// A three-node provider chain  t -> m -> s  (t provides m, m provides s).
+/// Hand-checkable utilities; see test_simulator.cpp.
+struct Chain {
+  AsGraph g;
+  AsId t, m, s;
+};
+
+inline Chain make_chain() {
+  Chain c;
+  c.t = c.g.add_as(1);
+  c.m = c.g.add_as(2);
+  c.s = c.g.add_as(3);
+  c.g.add_customer_provider(c.t, c.m);
+  c.g.add_customer_provider(c.m, c.s);
+  c.g.finalize();
+  return c;
+}
+
+/// The canonical DIAMOND of Section 5.1 (Figure 2): early adopter e provides
+/// competing ISPs a and b, which both provide stub s; x is e's own stub
+/// (a traffic source secured simplex at round 0).
+struct Diamond {
+  AsGraph g;
+  AsId e, a, b, s, x;
+};
+
+inline Diamond make_diamond() {
+  Diamond d;
+  d.e = d.g.add_as(10);
+  d.a = d.g.add_as(20);
+  d.b = d.g.add_as(30);
+  d.s = d.g.add_as(40);
+  d.x = d.g.add_as(50);
+  d.g.add_customer_provider(d.e, d.a);
+  d.g.add_customer_provider(d.e, d.b);
+  d.g.add_customer_provider(d.a, d.s);
+  d.g.add_customer_provider(d.b, d.s);
+  d.g.add_customer_provider(d.e, d.x);
+  d.g.finalize();
+  return d;
+}
+
+/// A deterministic small synthetic Internet for integration tests.
+inline topo::Internet small_internet(std::uint32_t ases = 300, std::uint64_t seed = 7) {
+  topo::InternetConfig cfg;
+  cfg.total_ases = ases;
+  cfg.num_tier1 = 4;
+  cfg.seed = seed;
+  return topo::generate_internet(cfg);
+}
+
+/// A uniformly random deployment state: each ISP/CP secure with probability
+/// p; secure ISPs simplex-secure their stubs (consistent with how states
+/// arise in the deployment process).
+inline core::DeploymentState random_state(const AsGraph& g, double p,
+                                          std::uint64_t seed) {
+  core::DeploymentState s(g.num_nodes());
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    if (!g.is_stub(n) && u(rng) < p) s.set_secure(n, true);
+  }
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    if (g.is_isp(n) && s.is_secure(n)) s.secure_isp_with_stubs(g, n);
+  }
+  return s;
+}
+
+}  // namespace sbgp::test

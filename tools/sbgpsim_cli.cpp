@@ -1,0 +1,280 @@
+// sbgpsim — command-line driver for the library.
+//
+//   sbgpsim generate --nodes 5000 --seed 1 --out graph.txt [--augment]
+//   sbgpsim simulate [--graph g.txt | --nodes N] [--adopters SPEC]
+//                    [--theta F] [--model outgoing|incoming] [--x F]
+//                    [--stub-ties 0|1] [--csv]
+//   sbgpsim sweep    [--graph g.txt | --nodes N] [--adopters SPEC]
+//                    [--thetas 0,0.05,0.1] [--csv]
+//   sbgpsim analyze  [--graph g.txt | --nodes N]
+//                    (tiebreaks | diamonds | resilience | pathlens)
+//
+// Adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/analysis.h"
+#include "routing/rib.h"
+#include "core/early_adopters.h"
+#include "core/resilience.h"
+#include "core/simulator.h"
+#include "stats/table.h"
+#include "topology/graph_io.h"
+#include "topology/topology_gen.h"
+
+namespace {
+
+using namespace sbgp;
+
+struct CliOptions {
+  std::string command;
+  std::string graph_file;
+  std::string out_file;
+  std::string adopters = "cps+top:5";
+  std::string thetas = "0,0.05,0.1,0.2,0.35,0.5";
+  std::string analysis = "tiebreaks";
+  std::uint32_t nodes = 2000;
+  std::uint64_t seed = 42;
+  double theta = 0.05;
+  double x = 0.10;
+  bool augment = false;
+  bool csv = false;
+  bool stub_ties = true;
+  core::UtilityModel model = core::UtilityModel::Outgoing;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cerr <<
+      "usage: sbgpsim <generate|simulate|sweep|analyze> [options]\n"
+      "  common: --nodes N --seed S --x F --graph FILE\n"
+      "  generate: --out FILE [--augment]\n"
+      "  simulate: --adopters SPEC --theta F --model outgoing|incoming\n"
+      "            --stub-ties 0|1 [--csv]\n"
+      "  sweep:    --adopters SPEC --thetas 0,0.05,... [--csv]\n"
+      "  analyze:  tiebreaks | diamonds | resilience | pathlens\n"
+      "  adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3\n";
+  std::exit(code);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  if (argc < 2) usage(2);
+  o.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (a == "--nodes") o.nodes = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (a == "--seed") o.seed = std::stoull(next());
+    else if (a == "--graph") o.graph_file = next();
+    else if (a == "--out") o.out_file = next();
+    else if (a == "--adopters") o.adopters = next();
+    else if (a == "--theta") o.theta = std::stod(next());
+    else if (a == "--thetas") o.thetas = next();
+    else if (a == "--x") o.x = std::stod(next());
+    else if (a == "--augment") o.augment = true;
+    else if (a == "--csv") o.csv = true;
+    else if (a == "--stub-ties") o.stub_ties = next() != "0";
+    else if (a == "--model") {
+      o.model = next() == "incoming" ? core::UtilityModel::Incoming
+                                     : core::UtilityModel::Outgoing;
+    } else if (a == "--help" || a == "-h") usage(0);
+    else if (a[0] != '-') o.analysis = a;
+    else usage(2);
+  }
+  return o;
+}
+
+topo::Internet load_internet(const CliOptions& o) {
+  topo::Internet net;
+  if (!o.graph_file.empty()) {
+    net.graph = topo::read_as_rel_file(o.graph_file);
+    for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
+      if (net.graph.is_content_provider(n)) net.cps.push_back(n);
+    }
+    net.tier1 = net.graph.tier_ones();
+  } else {
+    topo::InternetConfig cfg;
+    cfg.total_ases = o.nodes;
+    cfg.seed = o.seed;
+    net = topo::generate_internet(cfg);
+  }
+  topo::apply_traffic_model(net.graph, net.cps, o.x);
+  return net;
+}
+
+std::vector<topo::AsId> resolve_adopters(const topo::Internet& net,
+                                         const std::string& spec,
+                                         std::uint64_t seed) {
+  auto after_colon = [&](std::size_t pos) {
+    return static_cast<std::size_t>(std::stoul(spec.substr(pos)));
+  };
+  if (spec == "none") return {};
+  if (spec == "cps") return net.cps;
+  if (spec.rfind("top:", 0) == 0) {
+    return topo::top_degree_isps(net.graph, after_colon(4));
+  }
+  if (spec.rfind("cps+top:", 0) == 0) {
+    auto out = net.cps;
+    for (const auto isp : topo::top_degree_isps(net.graph, after_colon(8))) {
+      out.push_back(isp);
+    }
+    return out;
+  }
+  if (spec.rfind("random:", 0) == 0) {
+    return core::select_adopters(net, core::AdopterStrategy::RandomIsps,
+                                 after_colon(7), seed);
+  }
+  if (spec.rfind("asn:", 0) == 0) {
+    std::vector<topo::AsId> out;
+    std::stringstream ss(spec.substr(4));
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      const topo::AsId id =
+          net.graph.find_asn(static_cast<std::uint32_t>(std::stoul(token)));
+      if (id == topo::kNoAs) {
+        std::cerr << "unknown ASN " << token << "\n";
+        std::exit(1);
+      }
+      out.push_back(id);
+    }
+    return out;
+  }
+  std::cerr << "bad adopter spec '" << spec << "'\n";
+  std::exit(2);
+}
+
+int cmd_generate(const CliOptions& o) {
+  topo::InternetConfig cfg;
+  cfg.total_ases = o.nodes;
+  cfg.seed = o.seed;
+  auto net = topo::generate_internet(cfg);
+  if (o.augment) {
+    std::size_t added = 0;
+    net = topo::augment_cp_peering(net, 0.8, o.seed + 1, &added);
+    std::cerr << "augmented: +" << added << " CP peering edges\n";
+  }
+  if (o.out_file.empty()) {
+    topo::write_as_rel(net.graph, std::cout);
+  } else {
+    topo::write_as_rel_file(net.graph, o.out_file);
+    std::cerr << "wrote " << o.out_file << ": " << net.graph.num_nodes()
+              << " ASes, " << net.graph.num_customer_provider_edges() << " c2p, "
+              << net.graph.num_peer_edges() << " p2p\n";
+  }
+  return 0;
+}
+
+core::SimConfig sim_config(const CliOptions& o) {
+  core::SimConfig cfg;
+  cfg.model = o.model;
+  cfg.theta = o.theta;
+  cfg.stub_breaks_ties = o.stub_ties;
+  return cfg;
+}
+
+int cmd_simulate(const CliOptions& o) {
+  const auto net = load_internet(o);
+  const auto adopters = resolve_adopters(net, o.adopters, o.seed);
+  core::DeploymentSimulator sim(net.graph, sim_config(o));
+  const auto result =
+      sim.run(core::DeploymentState::initial(net.graph, adopters));
+
+  stats::Table t({"round", "new_isps", "new_stubs", "turned_off", "secure_ases",
+                  "secure_isps"});
+  for (const auto& r : result.rounds) {
+    t.begin_row();
+    t.add(r.round);
+    t.add(r.newly_secure_isps);
+    t.add(r.newly_secure_stubs);
+    t.add(r.turned_off);
+    t.add(r.total_secure_ases);
+    t.add(r.total_secure_isps);
+  }
+  if (o.csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  std::cerr << "outcome: " << core::to_string(result.outcome) << "; secure "
+            << result.final_state.num_secure() << "/" << net.graph.num_nodes()
+            << " ASes\n";
+  return 0;
+}
+
+int cmd_sweep(const CliOptions& o) {
+  const auto net = load_internet(o);
+  const auto adopters = resolve_adopters(net, o.adopters, o.seed);
+  stats::Table t({"theta", "outcome", "rounds", "secure_ases", "secure_isps",
+                  "frac_ases", "frac_isps"});
+  std::stringstream ss(o.thetas);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    CliOptions run = o;
+    run.theta = std::stod(token);
+    core::DeploymentSimulator sim(net.graph, sim_config(run));
+    const auto result =
+        sim.run(core::DeploymentState::initial(net.graph, adopters));
+    t.begin_row();
+    t.add(run.theta, 3);
+    t.add(std::string(core::to_string(result.outcome)));
+    t.add(result.rounds_run());
+    t.add(result.final_state.num_secure());
+    t.add(result.final_state.num_secure_of_class(net.graph, topo::AsClass::Isp));
+    t.add(static_cast<double>(result.final_state.num_secure()) /
+              static_cast<double>(net.graph.num_nodes()),
+          4);
+    t.add(static_cast<double>(result.final_state.num_secure_of_class(
+              net.graph, topo::AsClass::Isp)) /
+              static_cast<double>(net.graph.num_isps()),
+          4);
+  }
+  if (o.csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  return 0;
+}
+
+int cmd_analyze(const CliOptions& o) {
+  const auto net = load_internet(o);
+  par::ThreadPool pool(0);
+  const auto cfg = sim_config(o);
+  if (o.analysis == "tiebreaks") {
+    const auto dist = core::tiebreak_distribution(net.graph, pool);
+    std::cout << "mean tiebreak size: all " << dist.all.mean() << " isp "
+              << dist.isp.mean() << " stub " << dist.stub.mean()
+              << "; frac >1: " << dist.all.fraction_greater(1) << "\n";
+  } else if (o.analysis == "diamonds") {
+    const auto adopters = resolve_adopters(net, o.adopters, o.seed);
+    for (const auto& d : core::count_diamonds(net.graph, adopters, pool)) {
+      std::cout << "AS" << net.graph.asn(d.adopter) << ": " << d.diamonds
+                << " contested stubs, " << d.strict_diamonds << " strict\n";
+    }
+  } else if (o.analysis == "resilience") {
+    std::vector<std::uint8_t> nobody(net.graph.num_nodes(), 0);
+    const auto r = core::measure_resilience(net.graph, nobody, cfg, 100, o.seed, pool);
+    std::cout << "status quo hijack impact: mean " << r.mean_fooled() << ", p90 "
+              << r.fooled_fraction.quantile(0.9) << " (over " << r.pairs
+              << " pairs)\n";
+  } else if (o.analysis == "pathlens") {
+    for (const auto cp : net.cps) {
+      std::cout << "AS" << net.graph.asn(cp) << ": avg path length "
+                << rt::average_path_length_from(net.graph, cp) << "\n";
+    }
+  } else {
+    usage(2);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions o = parse(argc, argv);
+  if (o.command == "generate") return cmd_generate(o);
+  if (o.command == "simulate") return cmd_simulate(o);
+  if (o.command == "sweep") return cmd_sweep(o);
+  if (o.command == "analyze") return cmd_analyze(o);
+  usage(2);
+}
