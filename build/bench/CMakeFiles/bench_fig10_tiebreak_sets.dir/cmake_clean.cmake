@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tiebreak_sets.dir/bench_fig10_tiebreak_sets.cpp.o"
+  "CMakeFiles/bench_fig10_tiebreak_sets.dir/bench_fig10_tiebreak_sets.cpp.o.d"
+  "bench_fig10_tiebreak_sets"
+  "bench_fig10_tiebreak_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tiebreak_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

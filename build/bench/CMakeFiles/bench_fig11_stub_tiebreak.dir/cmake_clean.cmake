@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_stub_tiebreak.dir/bench_fig11_stub_tiebreak.cpp.o"
+  "CMakeFiles/bench_fig11_stub_tiebreak.dir/bench_fig11_stub_tiebreak.cpp.o.d"
+  "bench_fig11_stub_tiebreak"
+  "bench_fig11_stub_tiebreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_stub_tiebreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cp_vs_tier1.dir/bench_fig12_cp_vs_tier1.cpp.o"
+  "CMakeFiles/bench_fig12_cp_vs_tier1.dir/bench_fig12_cp_vs_tier1.cpp.o.d"
+  "bench_fig12_cp_vs_tier1"
+  "bench_fig12_cp_vs_tier1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cp_vs_tier1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_buyers_remorse.dir/bench_fig13_buyers_remorse.cpp.o"
+  "CMakeFiles/bench_fig13_buyers_remorse.dir/bench_fig13_buyers_remorse.cpp.o.d"
+  "bench_fig13_buyers_remorse"
+  "bench_fig13_buyers_remorse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_buyers_remorse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

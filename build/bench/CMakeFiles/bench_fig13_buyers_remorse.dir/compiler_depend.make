@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_buyers_remorse.
+# This may be replaced when dependencies are built.

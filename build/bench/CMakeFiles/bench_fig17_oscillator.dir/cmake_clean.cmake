@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_oscillator.dir/bench_fig17_oscillator.cpp.o"
+  "CMakeFiles/bench_fig17_oscillator.dir/bench_fig17_oscillator.cpp.o.d"
+  "bench_fig17_oscillator"
+  "bench_fig17_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

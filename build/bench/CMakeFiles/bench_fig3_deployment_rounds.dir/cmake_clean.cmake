@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_deployment_rounds.dir/bench_fig3_deployment_rounds.cpp.o"
+  "CMakeFiles/bench_fig3_deployment_rounds.dir/bench_fig3_deployment_rounds.cpp.o.d"
+  "bench_fig3_deployment_rounds"
+  "bench_fig3_deployment_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_deployment_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_secure_path_growth.dir/bench_fig7_secure_path_growth.cpp.o"
+  "CMakeFiles/bench_fig7_secure_path_growth.dir/bench_fig7_secure_path_growth.cpp.o.d"
+  "bench_fig7_secure_path_growth"
+  "bench_fig7_secure_path_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_secure_path_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_resilience_attacks.cpp" "bench/CMakeFiles/bench_resilience_attacks.dir/bench_resilience_attacks.cpp.o" "gcc" "bench/CMakeFiles/bench_resilience_attacks.dir/bench_resilience_attacks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sbgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gadgets/CMakeFiles/sbgp_gadgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sbgp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sbgp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/sbgp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sbgp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sbgp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resilience_attacks.dir/bench_resilience_attacks.cpp.o"
+  "CMakeFiles/bench_resilience_attacks.dir/bench_resilience_attacks.cpp.o.d"
+  "bench_resilience_attacks"
+  "bench_resilience_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resilience_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_diamonds.dir/bench_table1_diamonds.cpp.o"
+  "CMakeFiles/bench_table1_diamonds.dir/bench_table1_diamonds.cpp.o.d"
+  "bench_table1_diamonds"
+  "bench_table1_diamonds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_diamonds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cp_degrees.dir/bench_table4_cp_degrees.cpp.o"
+  "CMakeFiles/bench_table4_cp_degrees.dir/bench_table4_cp_degrees.cpp.o.d"
+  "bench_table4_cp_degrees"
+  "bench_table4_cp_degrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cp_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adopter_search.dir/adopter_search.cpp.o"
+  "CMakeFiles/adopter_search.dir/adopter_search.cpp.o.d"
+  "adopter_search"
+  "adopter_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adopter_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscillator_demo.dir/oscillator_demo.cpp.o"
+  "CMakeFiles/oscillator_demo.dir/oscillator_demo.cpp.o.d"
+  "oscillator_demo"
+  "oscillator_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscillator_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/sbgp_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/sbgp_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/deployment_state.cpp" "src/core/CMakeFiles/sbgp_core.dir/deployment_state.cpp.o" "gcc" "src/core/CMakeFiles/sbgp_core.dir/deployment_state.cpp.o.d"
+  "/root/repo/src/core/early_adopters.cpp" "src/core/CMakeFiles/sbgp_core.dir/early_adopters.cpp.o" "gcc" "src/core/CMakeFiles/sbgp_core.dir/early_adopters.cpp.o.d"
+  "/root/repo/src/core/evolution.cpp" "src/core/CMakeFiles/sbgp_core.dir/evolution.cpp.o" "gcc" "src/core/CMakeFiles/sbgp_core.dir/evolution.cpp.o.d"
+  "/root/repo/src/core/resilience.cpp" "src/core/CMakeFiles/sbgp_core.dir/resilience.cpp.o" "gcc" "src/core/CMakeFiles/sbgp_core.dir/resilience.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/sbgp_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/sbgp_core.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/sbgp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/sbgp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sbgp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sbgp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

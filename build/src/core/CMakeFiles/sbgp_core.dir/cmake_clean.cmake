@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbgp_core.dir/analysis.cpp.o"
+  "CMakeFiles/sbgp_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/sbgp_core.dir/deployment_state.cpp.o"
+  "CMakeFiles/sbgp_core.dir/deployment_state.cpp.o.d"
+  "CMakeFiles/sbgp_core.dir/early_adopters.cpp.o"
+  "CMakeFiles/sbgp_core.dir/early_adopters.cpp.o.d"
+  "CMakeFiles/sbgp_core.dir/evolution.cpp.o"
+  "CMakeFiles/sbgp_core.dir/evolution.cpp.o.d"
+  "CMakeFiles/sbgp_core.dir/resilience.cpp.o"
+  "CMakeFiles/sbgp_core.dir/resilience.cpp.o.d"
+  "CMakeFiles/sbgp_core.dir/simulator.cpp.o"
+  "CMakeFiles/sbgp_core.dir/simulator.cpp.o.d"
+  "libsbgp_core.a"
+  "libsbgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbgp_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbgp_gadgets.dir/gadgets.cpp.o"
+  "CMakeFiles/sbgp_gadgets.dir/gadgets.cpp.o.d"
+  "CMakeFiles/sbgp_gadgets.dir/turing.cpp.o"
+  "CMakeFiles/sbgp_gadgets.dir/turing.cpp.o.d"
+  "libsbgp_gadgets.a"
+  "libsbgp_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbgp_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

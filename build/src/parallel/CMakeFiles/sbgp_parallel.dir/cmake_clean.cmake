@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbgp_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/sbgp_parallel.dir/thread_pool.cpp.o.d"
+  "libsbgp_parallel.a"
+  "libsbgp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbgp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

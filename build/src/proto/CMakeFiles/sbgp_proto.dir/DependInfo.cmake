@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/attack.cpp" "src/proto/CMakeFiles/sbgp_proto.dir/attack.cpp.o" "gcc" "src/proto/CMakeFiles/sbgp_proto.dir/attack.cpp.o.d"
+  "/root/repo/src/proto/crypto_sim.cpp" "src/proto/CMakeFiles/sbgp_proto.dir/crypto_sim.cpp.o" "gcc" "src/proto/CMakeFiles/sbgp_proto.dir/crypto_sim.cpp.o.d"
+  "/root/repo/src/proto/engine.cpp" "src/proto/CMakeFiles/sbgp_proto.dir/engine.cpp.o" "gcc" "src/proto/CMakeFiles/sbgp_proto.dir/engine.cpp.o.d"
+  "/root/repo/src/proto/rpki.cpp" "src/proto/CMakeFiles/sbgp_proto.dir/rpki.cpp.o" "gcc" "src/proto/CMakeFiles/sbgp_proto.dir/rpki.cpp.o.d"
+  "/root/repo/src/proto/sbgp.cpp" "src/proto/CMakeFiles/sbgp_proto.dir/sbgp.cpp.o" "gcc" "src/proto/CMakeFiles/sbgp_proto.dir/sbgp.cpp.o.d"
+  "/root/repo/src/proto/sobgp.cpp" "src/proto/CMakeFiles/sbgp_proto.dir/sobgp.cpp.o" "gcc" "src/proto/CMakeFiles/sbgp_proto.dir/sobgp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/sbgp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/sbgp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sbgp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

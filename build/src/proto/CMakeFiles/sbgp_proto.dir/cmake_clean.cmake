@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbgp_proto.dir/attack.cpp.o"
+  "CMakeFiles/sbgp_proto.dir/attack.cpp.o.d"
+  "CMakeFiles/sbgp_proto.dir/crypto_sim.cpp.o"
+  "CMakeFiles/sbgp_proto.dir/crypto_sim.cpp.o.d"
+  "CMakeFiles/sbgp_proto.dir/engine.cpp.o"
+  "CMakeFiles/sbgp_proto.dir/engine.cpp.o.d"
+  "CMakeFiles/sbgp_proto.dir/rpki.cpp.o"
+  "CMakeFiles/sbgp_proto.dir/rpki.cpp.o.d"
+  "CMakeFiles/sbgp_proto.dir/sbgp.cpp.o"
+  "CMakeFiles/sbgp_proto.dir/sbgp.cpp.o.d"
+  "CMakeFiles/sbgp_proto.dir/sobgp.cpp.o"
+  "CMakeFiles/sbgp_proto.dir/sobgp.cpp.o.d"
+  "libsbgp_proto.a"
+  "libsbgp_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbgp_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/rib.cpp" "src/routing/CMakeFiles/sbgp_routing.dir/rib.cpp.o" "gcc" "src/routing/CMakeFiles/sbgp_routing.dir/rib.cpp.o.d"
+  "/root/repo/src/routing/routing_tree.cpp" "src/routing/CMakeFiles/sbgp_routing.dir/routing_tree.cpp.o" "gcc" "src/routing/CMakeFiles/sbgp_routing.dir/routing_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/sbgp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sbgp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

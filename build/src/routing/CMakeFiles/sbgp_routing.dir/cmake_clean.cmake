@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbgp_routing.dir/rib.cpp.o"
+  "CMakeFiles/sbgp_routing.dir/rib.cpp.o.d"
+  "CMakeFiles/sbgp_routing.dir/routing_tree.cpp.o"
+  "CMakeFiles/sbgp_routing.dir/routing_tree.cpp.o.d"
+  "libsbgp_routing.a"
+  "libsbgp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbgp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

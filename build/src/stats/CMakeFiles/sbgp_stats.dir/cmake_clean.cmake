@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbgp_stats.dir/histogram.cpp.o"
+  "CMakeFiles/sbgp_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/sbgp_stats.dir/table.cpp.o"
+  "CMakeFiles/sbgp_stats.dir/table.cpp.o.d"
+  "libsbgp_stats.a"
+  "libsbgp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbgp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

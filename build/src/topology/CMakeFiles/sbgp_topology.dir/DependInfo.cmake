@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/as_graph.cpp" "src/topology/CMakeFiles/sbgp_topology.dir/as_graph.cpp.o" "gcc" "src/topology/CMakeFiles/sbgp_topology.dir/as_graph.cpp.o.d"
+  "/root/repo/src/topology/graph_io.cpp" "src/topology/CMakeFiles/sbgp_topology.dir/graph_io.cpp.o" "gcc" "src/topology/CMakeFiles/sbgp_topology.dir/graph_io.cpp.o.d"
+  "/root/repo/src/topology/graph_stats.cpp" "src/topology/CMakeFiles/sbgp_topology.dir/graph_stats.cpp.o" "gcc" "src/topology/CMakeFiles/sbgp_topology.dir/graph_stats.cpp.o.d"
+  "/root/repo/src/topology/topology_gen.cpp" "src/topology/CMakeFiles/sbgp_topology.dir/topology_gen.cpp.o" "gcc" "src/topology/CMakeFiles/sbgp_topology.dir/topology_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sbgp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbgp_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/sbgp_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/sbgp_topology.dir/graph_io.cpp.o"
+  "CMakeFiles/sbgp_topology.dir/graph_io.cpp.o.d"
+  "CMakeFiles/sbgp_topology.dir/graph_stats.cpp.o"
+  "CMakeFiles/sbgp_topology.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/sbgp_topology.dir/topology_gen.cpp.o"
+  "CMakeFiles/sbgp_topology.dir/topology_gen.cpp.o.d"
+  "libsbgp_topology.a"
+  "libsbgp_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbgp_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_early_adopters.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_early_adopters.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_early_adopters.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_engine_crosscheck.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_engine_crosscheck.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_engine_crosscheck.cpp.o.d"
+  "/root/repo/tests/test_evolution.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_evolution.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_evolution.cpp.o.d"
+  "/root/repo/tests/test_gadgets.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_gadgets.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_gadgets.cpp.o.d"
+  "/root/repo/tests/test_graph_stats.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_graph_stats.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_graph_stats.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_per_link.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_per_link.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_per_link.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_proto.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_proto.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_proto.cpp.o.d"
+  "/root/repo/tests/test_proto_engine.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_proto_engine.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_proto_engine.cpp.o.d"
+  "/root/repo/tests/test_proto_negative.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_proto_negative.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_proto_negative.cpp.o.d"
+  "/root/repo/tests/test_reference_router.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_reference_router.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_reference_router.cpp.o.d"
+  "/root/repo/tests/test_resilience.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_resilience.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_turing.cpp" "tests/CMakeFiles/sbgp_tests.dir/test_turing.cpp.o" "gcc" "tests/CMakeFiles/sbgp_tests.dir/test_turing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sbgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gadgets/CMakeFiles/sbgp_gadgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sbgp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sbgp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/sbgp_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/sbgp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sbgp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbgpsim.dir/sbgpsim_cli.cpp.o"
+  "CMakeFiles/sbgpsim.dir/sbgpsim_cli.cpp.o.d"
+  "sbgpsim"
+  "sbgpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbgpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
