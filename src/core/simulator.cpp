@@ -62,6 +62,7 @@ const char* to_string(Outcome o) {
     case Outcome::Stable: return "stable";
     case Outcome::Oscillating: return "oscillating";
     case Outcome::RoundCapReached: return "round-cap";
+    case Outcome::Aborted: return "aborted";
   }
   return "?";
 }
@@ -299,6 +300,10 @@ SimResult DeploymentSimulator::run(const DeploymentState& initial,
 
   result.outcome = Outcome::RoundCapReached;
   for (std::size_t round = 1; round <= cfg_.max_rounds; ++round) {
+    if (cfg_.stop_requested && cfg_.stop_requested()) {
+      result.outcome = Outcome::Aborted;
+      break;
+    }
     evaluate_round(state, round_out);
 
     const auto& util_model =

@@ -33,6 +33,7 @@ enum class Outcome : std::uint8_t {
   Stable,           ///< no ISP wants to change its action
   Oscillating,      ///< a previous state recurred (only possible in Incoming)
   RoundCapReached,  ///< max_rounds elapsed without stabilising
+  Aborted,          ///< stop_requested fired (cooperative deadline/cancel)
 };
 
 [[nodiscard]] const char* to_string(Outcome o);
@@ -86,6 +87,11 @@ struct SimConfig {
   /// pins them with auxiliary sub-gadgets "omitted to reduce clutter"; we
   /// pin them directly). Frozen stubs are also exempt from simplex upgrades.
   const std::vector<std::uint8_t>* frozen = nullptr;
+  /// Cooperative cancellation, polled once per round: when it returns true
+  /// the run stops with Outcome::Aborted and the state reached so far. Used
+  /// by the exp:: sweep scheduler to enforce per-job deadlines without
+  /// tearing down threads mid-round. Must be cheap and thread-compatible.
+  std::function<bool()> stop_requested;
 };
 
 /// Per-round aggregate statistics (Figure 3).

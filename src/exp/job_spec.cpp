@@ -1,0 +1,281 @@
+#include "exp/job_spec.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace sbgp::exp {
+
+namespace {
+
+void check_one_of(const std::string& v, std::initializer_list<const char*> allowed,
+                  const char* what) {
+  for (const char* a : allowed) {
+    if (v == a) return;
+  }
+  throw JsonError(std::string("bad ") + what + " '" + v + "'");
+}
+
+void check_known_keys(const Json& obj, std::initializer_list<const char*> known,
+                      const char* what) {
+  for (const auto& [k, v] : obj.members()) {
+    (void)v;
+    bool ok = false;
+    for (const char* a : known) {
+      if (k == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) throw JsonError(std::string("unknown ") + what + " key '" + k + "'");
+  }
+}
+
+GraphSpec graph_from_json(const Json& j) {
+  GraphSpec g;
+  check_known_keys(j, {"file", "nodes", "seed", "augment", "x"}, "graph");
+  if (const Json* v = j.find("file")) g.file = v->as_string();
+  if (const Json* v = j.find("nodes")) {
+    g.nodes = static_cast<std::uint32_t>(v->as_u64());
+    if (g.nodes == 0) throw JsonError("graph nodes must be > 0");
+  }
+  if (const Json* v = j.find("seed")) g.seed = v->as_u64();
+  if (const Json* v = j.find("augment")) g.augment = v->as_bool();
+  if (const Json* v = j.find("x")) {
+    g.x = v->as_double();
+    if (g.x < 0.0 || g.x > 1.0) throw JsonError("graph x must be in [0,1]");
+  }
+  return g;
+}
+
+Json graph_to_json(const GraphSpec& g) {
+  Json j = Json::object();
+  if (!g.file.empty()) j.set("file", Json::string(g.file));
+  j.set("nodes", Json::number(static_cast<std::uint64_t>(g.nodes)));
+  j.set("seed", Json::number(g.seed));
+  j.set("augment", Json::boolean(g.augment));
+  j.set("x", Json::number(g.x));
+  return j;
+}
+
+}  // namespace
+
+std::string GraphSpec::key() const {
+  std::ostringstream os;
+  if (!file.empty()) {
+    os << "file:" << file << ":x" << format_double(x);
+  } else {
+    os << "synth:n" << nodes << ":s" << seed << (augment ? ":aug" : "")
+       << ":x" << format_double(x);
+  }
+  return os.str();
+}
+
+std::string Job::key() const {
+  std::ostringstream os;
+  os << "g=" << graph.key() << ";adopters=" << adopters << ";model=" << model
+     << ";pricing=" << pricing << ";stubties=" << (stub_ties ? 1 : 0)
+     << ";seed=" << seed << ";theta=" << format_double(theta);
+  return os.str();
+}
+
+std::size_t JobSpec::num_jobs() const {
+  return graphs.size() * adopters.size() * models.size() * pricing.size() *
+         stub_ties.size() * seeds.size() * thetas.size();
+}
+
+std::vector<Job> JobSpec::expand() const {
+  std::vector<Job> jobs;
+  jobs.reserve(num_jobs());
+  for (const GraphSpec& g : graphs) {
+    for (const std::string& a : adopters) {
+      for (const std::string& m : models) {
+        for (const std::string& p : pricing) {
+          for (const int st : stub_ties) {
+            for (const std::uint64_t s : seeds) {
+              for (const double t : thetas) {
+                Job job;
+                job.id = jobs.size();
+                job.graph = g;
+                job.adopters = a;
+                job.model = m;
+                job.pricing = p;
+                job.stub_ties = st != 0;
+                job.seed = s;
+                job.theta = t;
+                job.pricing_tier_size = pricing_tier_size;
+                job.max_rounds = max_rounds;
+                job.threads = threads;
+                jobs.push_back(std::move(job));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+std::uint64_t JobSpec::hash() const { return fnv1a64(to_json().dump()); }
+
+Json JobSpec::to_json() const {
+  Json j = Json::object();
+  j.set("name", Json::string(name));
+  Json gs = Json::array();
+  for (const GraphSpec& g : graphs) gs.push(graph_to_json(g));
+  j.set("graphs", std::move(gs));
+  auto strings = [](const std::vector<std::string>& v) {
+    Json a = Json::array();
+    for (const std::string& s : v) a.push(Json::string(s));
+    return a;
+  };
+  j.set("adopters", strings(adopters));
+  j.set("models", strings(models));
+  j.set("pricing", strings(pricing));
+  Json st = Json::array();
+  for (const int b : stub_ties) st.push(Json::boolean(b != 0));
+  j.set("stub_ties", std::move(st));
+  Json sd = Json::array();
+  for (const std::uint64_t s : seeds) sd.push(Json::number(s));
+  j.set("seeds", std::move(sd));
+  Json th = Json::array();
+  for (const double t : thetas) th.push(Json::number(t));
+  j.set("thetas", std::move(th));
+  j.set("pricing_tier_size", Json::number(pricing_tier_size));
+  j.set("max_rounds", Json::number(static_cast<std::uint64_t>(max_rounds)));
+  j.set("threads", Json::number(static_cast<std::uint64_t>(threads)));
+  return j;
+}
+
+JobSpec JobSpec::from_json(const Json& j) {
+  JobSpec spec;
+  check_known_keys(j,
+                   {"name", "graphs", "adopters", "models", "pricing",
+                    "stub_ties", "seeds", "thetas", "pricing_tier_size",
+                    "max_rounds", "threads"},
+                   "spec");
+  if (const Json* v = j.find("name")) spec.name = v->as_string();
+  if (const Json* v = j.find("graphs")) {
+    spec.graphs.clear();
+    for (const Json& g : v->items()) spec.graphs.push_back(graph_from_json(g));
+  }
+  if (const Json* v = j.find("adopters")) {
+    spec.adopters.clear();
+    for (const Json& a : v->items()) spec.adopters.push_back(a.as_string());
+  }
+  if (const Json* v = j.find("models")) {
+    spec.models.clear();
+    for (const Json& m : v->items()) {
+      spec.models.push_back(m.as_string());
+      check_one_of(spec.models.back(), {"outgoing", "incoming"}, "model");
+    }
+  }
+  if (const Json* v = j.find("pricing")) {
+    spec.pricing.clear();
+    for (const Json& p : v->items()) {
+      spec.pricing.push_back(p.as_string());
+      check_one_of(spec.pricing.back(), {"linear", "concave", "tiered"},
+                   "pricing model");
+    }
+  }
+  if (const Json* v = j.find("stub_ties")) {
+    spec.stub_ties.clear();
+    for (const Json& b : v->items()) spec.stub_ties.push_back(b.as_bool() ? 1 : 0);
+  }
+  if (const Json* v = j.find("seeds")) {
+    spec.seeds.clear();
+    for (const Json& s : v->items()) spec.seeds.push_back(s.as_u64());
+  }
+  if (const Json* v = j.find("thetas")) {
+    spec.thetas.clear();
+    for (const Json& t : v->items()) {
+      const double theta = t.as_double();
+      if (theta < 0.0) throw JsonError("theta must be >= 0");
+      spec.thetas.push_back(theta);
+    }
+  }
+  if (const Json* v = j.find("pricing_tier_size")) {
+    spec.pricing_tier_size = v->as_double();
+    if (spec.pricing_tier_size <= 0) throw JsonError("pricing_tier_size must be > 0");
+  }
+  if (const Json* v = j.find("max_rounds")) {
+    spec.max_rounds = static_cast<std::size_t>(v->as_u64());
+    if (spec.max_rounds == 0) throw JsonError("max_rounds must be > 0");
+  }
+  if (const Json* v = j.find("threads")) {
+    spec.threads = static_cast<std::size_t>(v->as_u64());
+  }
+  if (spec.graphs.empty() || spec.adopters.empty() || spec.models.empty() ||
+      spec.pricing.empty() || spec.stub_ties.empty() || spec.seeds.empty() ||
+      spec.thetas.empty()) {
+    throw JsonError("every spec axis must be non-empty");
+  }
+  return spec;
+}
+
+JobSpec JobSpec::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw JsonError("cannot open spec file '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return from_json(Json::parse(buf.str()));
+}
+
+namespace {
+
+template <typename T, typename ParseFn>
+std::vector<T> parse_list(const std::string& csv, const char* what,
+                          ParseFn parse_one) {
+  std::vector<T> out;
+  std::size_t start = 0;
+  if (csv.empty()) throw JsonError(std::string("empty ") + what + " list");
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    const std::string token = csv.substr(start, end - start);
+    if (token.empty()) {
+      throw JsonError(std::string("empty entry in ") + what + " list '" + csv +
+                      "'");
+    }
+    out.push_back(parse_one(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+    if (start == csv.size()) {
+      throw JsonError(std::string("trailing comma in ") + what + " list '" +
+                      csv + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> parse_double_list(const std::string& csv, const char* what) {
+  return parse_list<double>(csv, what, [&](const std::string& token) {
+    double v = 0;
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    const auto res = std::from_chars(first, last, v);
+    if (res.ec != std::errc{} || res.ptr != last) {
+      throw JsonError(std::string("bad ") + what + " entry '" + token + "'");
+    }
+    return v;
+  });
+}
+
+std::vector<std::uint64_t> parse_u64_list(const std::string& csv,
+                                          const char* what) {
+  return parse_list<std::uint64_t>(csv, what, [&](const std::string& token) {
+    std::uint64_t v = 0;
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    const auto res = std::from_chars(first, last, v);
+    if (res.ec != std::errc{} || res.ptr != last) {
+      throw JsonError(std::string("bad ") + what + " entry '" + token + "'");
+    }
+    return v;
+  });
+}
+
+}  // namespace sbgp::exp

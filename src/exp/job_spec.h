@@ -1,0 +1,108 @@
+// Declarative parameter grids ("job specs") and their deterministic expansion
+// into concrete simulation jobs — the repo's stand-in for the parameter
+// sweeps the paper ran on its 200-node DryadLINQ cluster (θ × utility model ×
+// early-adopter set × seed × graph). A spec is a small JSON document:
+//
+//   {
+//     "name": "theta-grid",
+//     "graphs": [{"nodes": 1500, "seed": 42}, {"file": "cyclops.txt"}],
+//     "thetas": [0, 0.05, 0.1, 0.2],
+//     "models": ["outgoing"],
+//     "pricing": ["linear"],
+//     "adopters": ["cps+top:5", "top:10", "random:18"],
+//     "seeds": [1, 2, 3],
+//     "stub_ties": [true]
+//   }
+//
+// `expand()` materialises the cross product in a fixed nested-loop order, so
+// the same spec always yields the same job list with the same job ids; the
+// spec hash (over the canonical JSON serialisation) plus the job id is what
+// the result store keys checkpoint/resume on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+
+namespace sbgp::exp {
+
+/// Where a job's AS graph comes from: an as-rel file, or the synthetic
+/// generator (`nodes`/`seed`, optionally Appendix-D CP-peering augmented).
+/// `x` is the CP traffic fraction of the paper's traffic model.
+struct GraphSpec {
+  std::string file;            ///< non-empty => load as-rel file, ignore nodes/seed
+  std::uint32_t nodes = 1500;
+  std::uint64_t seed = 42;
+  bool augment = false;
+  double x = 0.10;
+
+  /// Canonical cache/display key, e.g. "synth:n1500:s42:x0.1".
+  [[nodiscard]] std::string key() const;
+};
+
+/// One fully-instantiated simulation: a single point of the grid.
+struct Job {
+  std::size_t id = 0;  ///< index in the expansion order; stable per spec
+  GraphSpec graph;
+  std::string adopters = "cps+top:5";  ///< CLI adopter SPEC syntax
+  std::string model = "outgoing";      ///< UtilityModel
+  std::string pricing = "linear";      ///< PricingModel
+  bool stub_ties = true;
+  std::uint64_t seed = 42;  ///< adopter-selection / tie-break seed
+  double theta = 0.05;
+  double pricing_tier_size = 10.0;
+  std::size_t max_rounds = 200;
+  std::size_t threads = 1;  ///< inner threads; 0 = scheduler auto-budget
+
+  /// Canonical human-readable key identifying the grid point (excludes id).
+  [[nodiscard]] std::string key() const;
+};
+
+/// The declarative grid. Every axis must be non-empty; single-element axes
+/// are how you pin a dimension.
+struct JobSpec {
+  std::string name = "sweep";
+  std::vector<GraphSpec> graphs = {GraphSpec{}};
+  std::vector<std::string> adopters = {"cps+top:5"};
+  std::vector<std::string> models = {"outgoing"};
+  std::vector<std::string> pricing = {"linear"};
+  std::vector<int> stub_ties = {1};  ///< 0/1 (int, not bool, for iteration)
+  std::vector<std::uint64_t> seeds = {42};
+  std::vector<double> thetas = {0.05};
+  double pricing_tier_size = 10.0;
+  std::size_t max_rounds = 200;
+  /// Inner simulator threads per job. 1 (default) keeps results bit-exact
+  /// regardless of outer parallelism; 0 lets the scheduler budget
+  /// hardware/workers threads per job.
+  std::size_t threads = 1;
+
+  /// Number of grid points (product of axis sizes).
+  [[nodiscard]] std::size_t num_jobs() const;
+
+  /// Deterministic expansion: graphs » adopters » models » pricing »
+  /// stub_ties » seeds » thetas (thetas innermost). Same spec, same list.
+  [[nodiscard]] std::vector<Job> expand() const;
+
+  /// FNV-1a hash of the canonical JSON serialisation. Two specs share a
+  /// hash iff they expand to the same job list under the same name.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] Json to_json() const;
+
+  /// Parses and validates a spec; throws JsonError on unknown keys, empty
+  /// axes, or out-of-domain values (bad model/pricing names, θ < 0, …).
+  static JobSpec from_json(const Json& j);
+  static JobSpec from_file(const std::string& path);
+};
+
+/// Strict comma-separated list parsers (the `--thetas 0,0.05,0.1` fix):
+/// reject empty lists, empty entries, trailing separators and non-numeric
+/// tokens with a JsonError naming `what`.
+[[nodiscard]] std::vector<double> parse_double_list(const std::string& csv,
+                                                    const char* what);
+[[nodiscard]] std::vector<std::uint64_t> parse_u64_list(const std::string& csv,
+                                                        const char* what);
+
+}  // namespace sbgp::exp

@@ -1,0 +1,81 @@
+// Minimal JSON value model + parser/serialiser for the exp:: subsystem
+// (declarative job specs and the JSONL result store). Deliberately tiny and
+// dependency-free; two properties matter here and are guaranteed:
+//   1. canonical output — objects preserve insertion order and numbers are
+//      rendered shortest-round-trip, so identical values serialise to
+//      identical bytes (the spec hash and resume logic depend on this);
+//   2. robust input — `Json::parse` throws JsonError on any malformed text,
+//      which the result-store loader uses to skip a half-written trailing
+//      line after a killed sweep.
+// Integers are exact up to 2^53 (numbers are stored as doubles).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sbgp::exp {
+
+/// Thrown by `Json::parse` (and the typed accessors) on malformed input.
+struct JsonError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;  ///< null
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json number(std::uint64_t v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+
+  /// Typed accessors; throw JsonError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_u64() const;  ///< rejects negatives/fractions
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array access.
+  void push(Json v);
+  [[nodiscard]] const std::vector<Json>& items() const;
+
+  /// Object access. `set` appends (insertion order is preserved in output);
+  /// `find` returns nullptr when the key is absent.
+  void set(std::string key, Json v);
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serialises to compact canonical JSON (no whitespace).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses `text`; throws JsonError unless the whole input is one value
+  /// (surrounding whitespace allowed).
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Shortest round-trip decimal rendering of `v` (also used for canonical job
+/// keys: "0.05" stays "0.05", never "0.050000000000000003").
+[[nodiscard]] std::string format_double(double v);
+
+/// FNV-1a 64-bit hash; stable across platforms, used for spec hashes.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace sbgp::exp

@@ -1,0 +1,128 @@
+#include "exp/result_store.h"
+
+#include <sstream>
+
+namespace sbgp::exp {
+
+Json JobRecord::to_json() const {
+  Json j = Json::object();
+  j.set("spec_hash", Json::string(std::to_string(spec_hash)));
+  j.set("job_id", Json::number(static_cast<std::uint64_t>(job_id)));
+  j.set("job_key", Json::string(job_key));
+  j.set("status", Json::string(status));
+  if (!error.empty()) j.set("error", Json::string(error));
+  j.set("attempts", Json::number(static_cast<std::uint64_t>(attempts)));
+  j.set("wall_ms", Json::number(wall_ms));
+  j.set("outcome", Json::string(outcome));
+  j.set("rounds", Json::number(static_cast<std::uint64_t>(rounds)));
+  j.set("secure_ases", Json::number(static_cast<std::uint64_t>(secure_ases)));
+  j.set("secure_isps", Json::number(static_cast<std::uint64_t>(secure_isps)));
+  j.set("num_ases", Json::number(static_cast<std::uint64_t>(num_ases)));
+  j.set("num_isps", Json::number(static_cast<std::uint64_t>(num_isps)));
+  j.set("frac_ases", Json::number(frac_ases));
+  j.set("frac_isps", Json::number(frac_isps));
+  return j;
+}
+
+JobRecord JobRecord::from_json(const Json& j) {
+  JobRecord r;
+  // spec_hash is serialised as a decimal string: 64-bit hashes exceed the
+  // 2^53 exact-integer range of JSON numbers.
+  const Json* hash = j.find("spec_hash");
+  if (hash == nullptr) throw JsonError("record missing spec_hash");
+  r.spec_hash = std::stoull(hash->as_string());
+  const Json* id = j.find("job_id");
+  if (id == nullptr) throw JsonError("record missing job_id");
+  r.job_id = static_cast<std::size_t>(id->as_u64());
+  const Json* status = j.find("status");
+  if (status == nullptr) throw JsonError("record missing status");
+  r.status = status->as_string();
+  if (const Json* v = j.find("job_key")) r.job_key = v->as_string();
+  if (const Json* v = j.find("error")) r.error = v->as_string();
+  if (const Json* v = j.find("attempts")) r.attempts = static_cast<int>(v->as_u64());
+  if (const Json* v = j.find("wall_ms")) r.wall_ms = v->as_double();
+  if (const Json* v = j.find("outcome")) r.outcome = v->as_string();
+  if (const Json* v = j.find("rounds")) r.rounds = static_cast<std::size_t>(v->as_u64());
+  if (const Json* v = j.find("secure_ases")) r.secure_ases = static_cast<std::size_t>(v->as_u64());
+  if (const Json* v = j.find("secure_isps")) r.secure_isps = static_cast<std::size_t>(v->as_u64());
+  if (const Json* v = j.find("num_ases")) r.num_ases = static_cast<std::size_t>(v->as_u64());
+  if (const Json* v = j.find("num_isps")) r.num_isps = static_cast<std::size_t>(v->as_u64());
+  if (const Json* v = j.find("frac_ases")) r.frac_ases = v->as_double();
+  if (const Json* v = j.find("frac_isps")) r.frac_isps = v->as_double();
+  return r;
+}
+
+std::string JobRecord::canonical_row() const {
+  std::ostringstream os;
+  os << job_id << ',' << job_key << ',' << status << ',' << outcome << ','
+     << rounds << ',' << secure_ases << ',' << secure_isps << ',' << num_ases
+     << ',' << num_isps << ',' << format_double(frac_ases) << ','
+     << format_double(frac_isps);
+  return os.str();
+}
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+  // If a previous sweep was killed mid-write the file can end without a
+  // newline; appending straight after would corrupt the first new record.
+  // Start on a fresh line in that case (the loader already skips the
+  // truncated one).
+  bool needs_newline = false;
+  {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    if (in && in.tellg() > 0) {
+      in.seekg(-1, std::ios::end);
+      char last = '\n';
+      in.get(last);
+      needs_newline = last != '\n';
+    }
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) throw JsonError("cannot open result store '" + path_ + "'");
+  if (needs_newline) out_ << '\n';
+}
+
+void ResultStore::append(const JobRecord& r) {
+  const std::string line = r.to_json().dump();
+  std::scoped_lock lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+std::vector<JobRecord> ResultStore::load(const std::string& path,
+                                         std::size_t* skipped_lines) {
+  std::vector<JobRecord> records;
+  if (skipped_lines != nullptr) *skipped_lines = 0;
+  std::ifstream in(path);
+  if (!in) return records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      records.push_back(JobRecord::from_json(Json::parse(line)));
+    } catch (const JsonError&) {
+      if (skipped_lines != nullptr) ++*skipped_lines;
+    }
+  }
+  return records;
+}
+
+std::unordered_map<std::size_t, JobRecord> ResultStore::latest_by_job(
+    const std::vector<JobRecord>& records, std::uint64_t spec_hash) {
+  std::unordered_map<std::size_t, JobRecord> latest;
+  for (const JobRecord& r : records) {
+    if (r.spec_hash != spec_hash) continue;
+    latest[r.job_id] = r;  // file order: later records win
+  }
+  return latest;
+}
+
+std::unordered_set<std::size_t> ResultStore::completed_ok(
+    const std::vector<JobRecord>& records, std::uint64_t spec_hash) {
+  std::unordered_set<std::size_t> done;
+  for (const auto& [id, r] : latest_by_job(records, spec_hash)) {
+    if (r.status == "ok") done.insert(id);
+  }
+  return done;
+}
+
+}  // namespace sbgp::exp

@@ -1,0 +1,82 @@
+// Structured result store for sweeps: one JSON object per line (JSONL),
+// appended as jobs complete and fsync-free but flushed per record, so a
+// killed sweep loses at most the record being written. Checkpoint/resume
+// works by keying every record on (spec hash, job id): reloading the store
+// tells the scheduler which jobs of a spec already have an "ok" record and
+// can be skipped. The loader tolerates a truncated trailing line (the
+// kill-mid-write case) by skipping anything that fails to parse.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exp/json.h"
+
+namespace sbgp::exp {
+
+/// One job's outcome. The *deterministic* payload (outcome through
+/// frac_isps) depends only on the job parameters; wall_ms and attempts are
+/// timing metadata and are excluded from `canonical_row`, which is what the
+/// serial-vs-parallel and resume equivalence guarantees are stated over.
+struct JobRecord {
+  std::uint64_t spec_hash = 0;
+  std::size_t job_id = 0;
+  std::string job_key;
+  std::string status;  ///< "ok" | "failed" | "timeout"
+  std::string error;   ///< non-empty for failed/timeout
+  int attempts = 1;
+  double wall_ms = 0.0;
+
+  // Deterministic result payload (meaningful when status == "ok").
+  std::string outcome;
+  std::size_t rounds = 0;
+  std::size_t secure_ases = 0;
+  std::size_t secure_isps = 0;
+  std::size_t num_ases = 0;
+  std::size_t num_isps = 0;
+  double frac_ases = 0.0;
+  double frac_isps = 0.0;
+
+  [[nodiscard]] Json to_json() const;
+  static JobRecord from_json(const Json& j);
+
+  /// Canonical comma-separated row of the deterministic fields only.
+  [[nodiscard]] std::string canonical_row() const;
+};
+
+/// Append-only JSONL writer; thread-safe. Opening never truncates.
+class ResultStore {
+ public:
+  explicit ResultStore(std::string path);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Serialises `r` as one line and flushes. Thread-safe.
+  void append(const JobRecord& r);
+
+  /// Loads every parseable record; malformed/truncated lines are skipped
+  /// (with a count via `skipped_lines` when non-null). Missing file => {}.
+  static std::vector<JobRecord> load(const std::string& path,
+                                     std::size_t* skipped_lines = nullptr);
+
+  /// Latest record per job id, restricted to `spec_hash`. "Latest" = last
+  /// in file order, so a re-run's record supersedes an earlier failure.
+  static std::unordered_map<std::size_t, JobRecord> latest_by_job(
+      const std::vector<JobRecord>& records, std::uint64_t spec_hash);
+
+  /// Job ids of `spec_hash` whose latest record is "ok" — the resume set.
+  static std::unordered_set<std::size_t> completed_ok(
+      const std::vector<JobRecord>& records, std::uint64_t spec_hash);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace sbgp::exp

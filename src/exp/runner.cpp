@@ -1,0 +1,132 @@
+#include "exp/runner.h"
+
+#include <stdexcept>
+
+#include "core/early_adopters.h"
+#include "core/simulator.h"
+#include "topology/graph_io.h"
+
+namespace sbgp::exp {
+
+const topo::Internet& GraphCache::get(const GraphSpec& spec) {
+  const std::string key = spec.key();
+  std::scoped_lock lock(mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+
+  auto net = std::make_unique<topo::Internet>();
+  if (!spec.file.empty()) {
+    net->graph = topo::read_as_rel_file(spec.file);
+    for (topo::AsId n = 0; n < net->graph.num_nodes(); ++n) {
+      if (net->graph.is_content_provider(n)) net->cps.push_back(n);
+    }
+    net->tier1 = net->graph.tier_ones();
+  } else {
+    topo::InternetConfig cfg;
+    cfg.total_ases = spec.nodes;
+    cfg.seed = spec.seed;
+    *net = topo::generate_internet(cfg);
+    if (spec.augment) *net = topo::augment_cp_peering(*net, 0.8, spec.seed + 1);
+  }
+  topo::apply_traffic_model(net->graph, net->cps, spec.x);
+  it = cache_.emplace(key, std::move(net)).first;
+  return *it->second;
+}
+
+std::size_t GraphCache::size() const {
+  std::scoped_lock lock(mutex_);
+  return cache_.size();
+}
+
+std::vector<topo::AsId> resolve_adopter_spec(const topo::Internet& net,
+                                             const std::string& spec,
+                                             std::uint64_t seed) {
+  auto count_after = [&](std::size_t pos) -> std::size_t {
+    const std::string digits = spec.substr(pos);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("bad adopter spec '" + spec + "'");
+    }
+    return static_cast<std::size_t>(std::stoul(digits));
+  };
+  if (spec == "none") return {};
+  if (spec == "cps") return net.cps;
+  if (spec.rfind("top:", 0) == 0) {
+    return topo::top_degree_isps(net.graph, count_after(4));
+  }
+  if (spec.rfind("cps+top:", 0) == 0) {
+    auto out = net.cps;
+    for (const auto isp : topo::top_degree_isps(net.graph, count_after(8))) {
+      out.push_back(isp);
+    }
+    return out;
+  }
+  if (spec.rfind("random:", 0) == 0) {
+    return core::select_adopters(net, core::AdopterStrategy::RandomIsps,
+                                 count_after(7), seed);
+  }
+  if (spec.rfind("asn:", 0) == 0) {
+    std::vector<std::uint64_t> asns;
+    try {
+      asns = parse_u64_list(spec.substr(4), "asn");
+    } catch (const JsonError& e) {
+      throw std::invalid_argument(e.what());
+    }
+    std::vector<topo::AsId> out;
+    for (const std::uint64_t asn : asns) {
+      const topo::AsId id = net.graph.find_asn(static_cast<std::uint32_t>(asn));
+      if (id == topo::kNoAs) {
+        throw std::invalid_argument("unknown ASN " + std::to_string(asn) +
+                                    " in adopter spec '" + spec + "'");
+      }
+      out.push_back(id);
+    }
+    return out;
+  }
+  throw std::invalid_argument("bad adopter spec '" + spec + "'");
+}
+
+JobRecord run_job(const Job& job, GraphCache& cache, std::size_t inner_threads,
+                  const std::function<bool()>& stop) {
+  const topo::Internet& net = cache.get(job.graph);
+  const auto adopters = resolve_adopter_spec(net, job.adopters, job.seed);
+
+  core::SimConfig cfg;
+  cfg.model = job.model == "incoming" ? core::UtilityModel::Incoming
+                                      : core::UtilityModel::Outgoing;
+  if (job.pricing == "concave") cfg.pricing = core::PricingModel::ConcaveVolume;
+  else if (job.pricing == "tiered") cfg.pricing = core::PricingModel::TieredCapacity;
+  else cfg.pricing = core::PricingModel::LinearVolume;
+  cfg.pricing_tier_size = job.pricing_tier_size;
+  cfg.theta = job.theta;
+  cfg.stub_breaks_ties = job.stub_ties;
+  cfg.max_rounds = job.max_rounds;
+  cfg.threads = inner_threads;
+  cfg.stop_requested = stop;
+
+  core::DeploymentSimulator sim(net.graph, cfg);
+  const auto result =
+      sim.run(core::DeploymentState::initial(net.graph, adopters));
+
+  JobRecord r;
+  r.job_id = job.id;
+  r.job_key = job.key();
+  r.status = result.outcome == core::Outcome::Aborted ? "timeout" : "ok";
+  if (result.outcome == core::Outcome::Aborted) r.error = "deadline exceeded";
+  r.outcome = core::to_string(result.outcome);
+  r.rounds = result.rounds_run();
+  r.secure_ases = result.final_state.num_secure();
+  r.secure_isps =
+      result.final_state.num_secure_of_class(net.graph, topo::AsClass::Isp);
+  r.num_ases = net.graph.num_nodes();
+  r.num_isps = net.graph.num_isps();
+  r.frac_ases = static_cast<double>(r.secure_ases) /
+                static_cast<double>(net.graph.num_nodes());
+  r.frac_isps = net.graph.num_isps() > 0
+                    ? static_cast<double>(r.secure_isps) /
+                          static_cast<double>(net.graph.num_isps())
+                    : 0.0;
+  return r;
+}
+
+}  // namespace sbgp::exp

@@ -1,0 +1,55 @@
+// Executes one Job end-to-end: materialise the graph (cached — many grid
+// points share a topology), resolve the early-adopter spec, run the
+// deployment simulator, and fold the result into a JobRecord. Everything
+// here is deterministic given the Job; timing metadata is filled in by the
+// scheduler.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exp/job_spec.h"
+#include "exp/result_store.h"
+#include "topology/topology_gen.h"
+
+namespace sbgp::exp {
+
+/// Thread-safe cache of materialised topologies keyed by GraphSpec::key().
+/// The traffic model (CP fraction x) is applied once at build time, so a
+/// cached Internet is ready to simulate on. Entries live for the cache's
+/// lifetime; returned references are stable (values are heap-allocated).
+class GraphCache {
+ public:
+  /// Returns the (possibly freshly built) topology for `spec`. Building
+  /// happens under the cache lock, which serialises concurrent first
+  /// requests for distinct graphs — deliberate: graph generation itself is
+  /// memory-hungry, and jobs overwhelmingly reuse a small set of graphs.
+  const topo::Internet& get(const GraphSpec& spec);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<topo::Internet>> cache_;
+};
+
+/// Materialises a CLI-style adopter SPEC ("none", "top:K", "cps",
+/// "cps+top:K", "random:K", "asn:1,2,3") against `net`. Throws
+/// std::invalid_argument on malformed specs or unknown ASNs — shared by the
+/// CLI and the job runner so both reject the same inputs.
+[[nodiscard]] std::vector<topo::AsId> resolve_adopter_spec(
+    const topo::Internet& net, const std::string& spec, std::uint64_t seed);
+
+/// Runs `job` with `inner_threads` simulator threads. `stop` (nullable) is
+/// polled once per simulation round; when it fires the record comes back
+/// with status "timeout". Throws on invalid job parameters (unreadable
+/// graph file, bad adopter spec, …) — the scheduler maps that to "failed".
+[[nodiscard]] JobRecord run_job(const Job& job, GraphCache& cache,
+                                std::size_t inner_threads,
+                                const std::function<bool()>& stop);
+
+}  // namespace sbgp::exp

@@ -1,0 +1,211 @@
+#include "exp/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "exp/runner.h"
+#include "parallel/thread_pool.h"
+
+namespace sbgp::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+SweepScheduler::SweepScheduler(SweepOptions options) : options_(options) {
+  if (options_.workers == 0) {
+    options_.workers =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+SweepReport SweepScheduler::run(const JobSpec& spec, ResultStore* store,
+                                const JobRunner& runner) {
+  const auto sweep_start = Clock::now();
+  const std::uint64_t spec_hash = spec.hash();
+  const std::vector<Job> jobs = spec.expand();
+
+  SweepReport report;
+  report.spec_hash = spec_hash;
+  report.total_jobs = jobs.size();
+
+  // Resume: collect previously-completed jobs from the store.
+  std::unordered_map<std::size_t, JobRecord> prior;
+  if (store != nullptr && options_.resume) {
+    prior = ResultStore::latest_by_job(ResultStore::load(store->path()), spec_hash);
+  }
+  std::vector<const Job*> pending;
+  pending.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    const auto it = prior.find(job.id);
+    if (it != prior.end() && it->second.status == "ok") {
+      ++report.skipped;
+    } else {
+      pending.push_back(&job);
+    }
+  }
+
+  // Inner-thread budget for spec.threads == 0 ("auto"): divide the machine
+  // between the outer workers.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t auto_inner = std::max<std::size_t>(1, hw / options_.workers);
+
+  GraphCache cache;
+  JobRunner exec = runner;
+  if (!exec) {
+    exec = [&cache, auto_inner](const Job& job,
+                                const std::function<bool()>& stop) {
+      const std::size_t inner = job.threads != 0 ? job.threads : auto_inner;
+      return run_job(job, cache, inner, stop);
+    };
+  }
+
+  std::mutex state_mutex;  // guards report counters + completed records
+  std::vector<JobRecord> completed;
+  completed.reserve(pending.size());
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failures{0};
+
+  // Progress reporter: a side thread woken every interval and at shutdown.
+  std::mutex progress_mutex;
+  std::condition_variable progress_cv;
+  bool finished = false;
+  std::thread reporter;
+  if (options_.progress != nullptr && options_.progress_interval_s > 0) {
+    reporter = std::thread([&] {
+      std::unique_lock lock(progress_mutex);
+      const auto interval = std::chrono::duration<double>(
+          options_.progress_interval_s);
+      while (!progress_cv.wait_for(lock, interval, [&] { return finished; })) {
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - sweep_start).count();
+        const std::size_t d = done.load();
+        *options_.progress << "[exp] " << d << "/" << pending.size()
+                           << " jobs done (" << failures.load() << " failed, "
+                           << report.skipped << " skipped) | "
+                           << (elapsed > 0 ? static_cast<double>(d) / elapsed
+                                           : 0.0)
+                           << " jobs/s | " << elapsed << "s elapsed\n";
+        options_.progress->flush();
+      }
+    });
+  }
+
+  const auto run_one = [&](std::size_t idx) {
+    const Job& job = *pending[idx];
+    const auto job_start = Clock::now();
+    JobRecord record;
+    int attempt = 0;
+    for (;;) {
+      ++attempt;
+      std::function<bool()> stop;
+      if (options_.timeout_s > 0) {
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(options_.timeout_s));
+        stop = [deadline] { return Clock::now() >= deadline; };
+      } else {
+        stop = [] { return false; };
+      }
+      try {
+        record = exec(job, stop);
+      } catch (const std::exception& e) {
+        record = JobRecord{};
+        record.job_id = job.id;
+        record.job_key = job.key();
+        record.status = "failed";
+        record.error = e.what();
+      } catch (...) {
+        record = JobRecord{};
+        record.job_id = job.id;
+        record.job_key = job.key();
+        record.status = "failed";
+        record.error = "unknown exception";
+      }
+      // Timeouts are deterministic under a fixed budget — retrying would
+      // burn the same wall time again; only genuine failures are retried.
+      if (record.status == "failed" && attempt <= options_.retries) {
+        std::scoped_lock lock(state_mutex);
+        ++report.retried;
+        continue;
+      }
+      break;
+    }
+    record.spec_hash = spec_hash;
+    record.attempts = attempt;
+    record.wall_ms = ms_since(job_start);
+    if (record.status != "ok") failures.fetch_add(1);
+    if (store != nullptr) store->append(record);
+    {
+      std::scoped_lock lock(state_mutex);
+      ++report.executed;
+      if (record.status == "ok") ++report.ok;
+      else if (record.status == "timeout") ++report.timed_out;
+      else ++report.failed;
+      report.job_wall_ms.add(record.wall_ms);
+      completed.push_back(std::move(record));
+    }
+    done.fetch_add(1);
+  };
+
+  if (options_.workers == 1 || pending.size() <= 1) {
+    for (std::size_t i = 0; i < pending.size(); ++i) run_one(i);
+  } else {
+    par::ThreadPool pool(std::min(options_.workers, pending.size()));
+    par::parallel_for_dynamic(pool, 0, pending.size(), run_one);
+  }
+
+  if (reporter.joinable()) {
+    {
+      std::scoped_lock lock(progress_mutex);
+      finished = true;
+    }
+    progress_cv.notify_all();
+    reporter.join();
+  }
+
+  report.wall_s =
+      std::chrono::duration<double>(Clock::now() - sweep_start).count();
+  report.jobs_per_s = report.wall_s > 0
+                          ? static_cast<double>(report.executed) / report.wall_s
+                          : 0.0;
+
+  // Merge: latest record per job id — prior (resumed) records overlaid with
+  // what this invocation produced — in ascending job-id order.
+  for (JobRecord& r : completed) prior[r.job_id] = std::move(r);
+  report.records.reserve(prior.size());
+  for (const Job& job : jobs) {
+    const auto it = prior.find(job.id);
+    if (it != prior.end()) report.records.push_back(it->second);
+  }
+
+  if (options_.progress != nullptr) print_summary(report, *options_.progress);
+  return report;
+}
+
+void SweepScheduler::print_summary(const SweepReport& report, std::ostream& os) {
+  os << "[exp] sweep finished: " << report.total_jobs << " jobs ("
+     << report.executed << " executed, " << report.skipped << " resumed, "
+     << report.ok << " ok, " << report.failed << " failed, "
+     << report.timed_out << " timeout, " << report.retried << " retries) in "
+     << report.wall_s << "s (" << report.jobs_per_s << " jobs/s";
+  if (report.job_wall_ms.count() > 0) {
+    os << "; per-job ms mean " << report.job_wall_ms.mean() << " p90 "
+       << report.job_wall_ms.quantile(0.9);
+  }
+  os << ")\n";
+}
+
+}  // namespace sbgp::exp

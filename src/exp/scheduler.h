@@ -1,0 +1,89 @@
+// The sweep scheduler: coarse-grained outer parallelism over whole
+// simulation jobs (the repo-local analogue of the paper's 200-node
+// DryadLINQ fan-out). Jobs are pulled dynamically off a shared counter so
+// one long job never stalls a worker's queue; each job gets a cooperative
+// deadline, bounded retries, and full failure isolation — an exception or
+// timeout is recorded as a failed/timeout JobRecord and the sweep carries
+// on. Completed jobs are appended to a ResultStore as they finish, and a
+// rerun of the same spec skips everything already recorded "ok"
+// (checkpoint/resume).
+//
+// Two-level thread budgeting: with W outer workers and a spec that asks for
+// `threads = 0` (auto), each job's simulator gets max(1, hardware/W) inner
+// threads, so outer x inner never oversubscribes the machine. A spec with
+// `threads = 1` (the default) keeps every job single-threaded inside, which
+// additionally makes results bit-exact no matter how the sweep is sharded.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "exp/job_spec.h"
+#include "exp/result_store.h"
+#include "stats/histogram.h"
+
+namespace sbgp::exp {
+
+struct SweepOptions {
+  /// Outer workers (concurrent jobs); 0 = hardware_concurrency.
+  std::size_t workers = 1;
+  /// Per-job deadline in seconds; 0 = none. Enforced cooperatively at round
+  /// granularity via SimConfig::stop_requested.
+  double timeout_s = 0.0;
+  /// Extra attempts after a failed job (timeouts are not retried — they are
+  /// deterministic). 0 = fail on first error.
+  int retries = 0;
+  /// Skip jobs whose latest store record is "ok" (checkpoint/resume).
+  bool resume = true;
+  /// Emit a progress line to `progress` every this-many seconds; 0 = only
+  /// the final summary. Lines go to the stream below (nullptr = silent).
+  double progress_interval_s = 5.0;
+  std::ostream* progress = nullptr;
+};
+
+/// What the sweep did, plus the merged per-job records (latest record for
+/// every job of the spec, ordered by job id — previously-completed jobs
+/// included, so callers can render full grids after a resumed run).
+struct SweepReport {
+  std::uint64_t spec_hash = 0;
+  std::size_t total_jobs = 0;
+  std::size_t executed = 0;  ///< run in this invocation (any status)
+  std::size_t skipped = 0;   ///< resumed from the store
+  std::size_t ok = 0;        ///< executed with status "ok"
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t retried = 0;  ///< extra attempts consumed
+  double wall_s = 0.0;
+  double jobs_per_s = 0.0;          ///< executed / wall
+  stats::Summary job_wall_ms;       ///< per-executed-job wall time
+  std::vector<JobRecord> records;   ///< merged, ascending job id
+};
+
+/// Pluggable job executor, mainly for tests (failure/timeout injection).
+/// Receives the job and a stop predicate (never null); returns the record
+/// (timing fields are overwritten by the scheduler). May throw — that is
+/// recorded as a failure.
+using JobRunner =
+    std::function<JobRecord(const Job&, const std::function<bool()>& stop)>;
+
+class SweepScheduler {
+ public:
+  explicit SweepScheduler(SweepOptions options);
+
+  /// Runs `spec`, appending records to `store` (nullptr = in-memory only,
+  /// no checkpointing). `runner` defaults to the real simulator runner with
+  /// a process-wide graph cache per call.
+  SweepReport run(const JobSpec& spec, ResultStore* store,
+                  const JobRunner& runner = nullptr);
+
+  /// Writes a human-readable summary of `report` to `os`.
+  static void print_summary(const SweepReport& report, std::ostream& os);
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace sbgp::exp

@@ -66,6 +66,23 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                        });
 }
 
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t feeders = std::min(end - begin, pool.size());
+  for (std::size_t f = 0; f < feeders; ++f) {
+    pool.submit([&body, next, end] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) return;
+        body(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
 void parallel_for_chunked(
     ThreadPool& pool, std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body) {

@@ -59,4 +59,12 @@ void parallel_for_chunked(
     ThreadPool& pool, std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body);
 
+/// Dynamic variant: workers pull one index at a time from a shared atomic
+/// counter instead of being handed precomputed chunks. Higher per-index
+/// overhead, but no straggler effect when per-index cost varies by orders of
+/// magnitude — used by the exp:: sweep scheduler, where one index is an
+/// entire simulation job.
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body);
+
 }  // namespace sbgp::par

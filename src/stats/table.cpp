@@ -49,6 +49,15 @@ void Table::add_percent(double fraction, int precision) {
   add(format_double(fraction * 100.0, precision) + "%");
 }
 
+void Table::sort_rows() {
+  if (in_row_ && !current_.empty()) {
+    rows_.push_back(std::move(current_));
+    current_.clear();
+    in_row_ = false;
+  }
+  std::sort(rows_.begin(), rows_.end());
+}
+
 void Table::print(std::ostream& os) const {
   std::vector<std::vector<std::string>> all;
   all.push_back(headers_);

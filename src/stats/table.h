@@ -44,6 +44,12 @@ class Table {
   /// Number of complete rows added so far.
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  /// Sorts completed rows lexicographically (first column, then second, …).
+  /// Used to emit canonical order-independent output when rows were produced
+  /// by concurrent workers in completion order (e.g. when comparing the
+  /// result sets of sharded vs serial sweeps).
+  void sort_rows();
+
   /// Renders the table to `os`.
   void print(std::ostream& os) const;
 

@@ -1,0 +1,395 @@
+// Tests for the exp:: experiment-orchestration subsystem: JSON round-trips,
+// deterministic spec expansion, serial == sharded equivalence, checkpoint/
+// resume after an interrupted sweep, and failure/timeout isolation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "exp/job_spec.h"
+#include "exp/result_store.h"
+#include "exp/runner.h"
+#include "exp/scheduler.h"
+
+namespace sbgp::exp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// A small but non-trivial grid: 2 adopter sets x 2 seeds x 3 thetas = 12
+// jobs on a 200-AS synthetic graph.
+JobSpec small_spec() {
+  JobSpec spec;
+  spec.name = "test-grid";
+  GraphSpec g;
+  g.nodes = 200;
+  g.seed = 7;
+  g.x = 0.10;
+  spec.graphs = {g};
+  spec.adopters = {"top:3", "cps"};
+  spec.seeds = {1, 2};
+  spec.thetas = {0.0, 0.05, 0.1};
+  return spec;
+}
+
+std::vector<std::string> canonical_rows(const std::vector<JobRecord>& records) {
+  std::vector<std::string> rows;
+  rows.reserve(records.size());
+  for (const auto& r : records) rows.push_back(r.canonical_row());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(Json, RoundTripsValues) {
+  const char* text =
+      R"({"name":"x","n":3,"f":0.05,"neg":-2.5,"t":true,"nil":null,)"
+      R"("arr":[1,2,3],"obj":{"k":"v \"quoted\"\n"}})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.find("name")->as_string(), "x");
+  EXPECT_EQ(j.find("n")->as_u64(), 3u);
+  EXPECT_DOUBLE_EQ(j.find("f")->as_double(), 0.05);
+  EXPECT_DOUBLE_EQ(j.find("neg")->as_double(), -2.5);
+  EXPECT_TRUE(j.find("t")->as_bool());
+  EXPECT_TRUE(j.find("nil")->is_null());
+  EXPECT_EQ(j.find("arr")->items().size(), 3u);
+  EXPECT_EQ(j.find("obj")->find("k")->as_string(), "v \"quoted\"\n");
+  // dump -> parse -> dump is a fixed point (canonical serialisation).
+  const std::string once = j.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::parse("[1,2,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("1.2.3"), JsonError);
+}
+
+TEST(JobSpec, ExpansionIsDeterministicAndComplete) {
+  const JobSpec spec = small_spec();
+  EXPECT_EQ(spec.num_jobs(), 12u);
+  const auto a = spec.expand();
+  const auto b = spec.expand();
+  ASSERT_EQ(a.size(), 12u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].key(), b[i].key());
+  }
+  // All grid points distinct.
+  std::vector<std::string> keys;
+  for (const auto& j : a) keys.push_back(j.key());
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+  // Thetas are the innermost axis: first three jobs differ only in theta.
+  EXPECT_EQ(a[0].theta, 0.0);
+  EXPECT_EQ(a[1].theta, 0.05);
+  EXPECT_EQ(a[2].theta, 0.1);
+  EXPECT_EQ(a[0].adopters, a[2].adopters);
+}
+
+TEST(JobSpec, HashIsStableAndSensitive) {
+  const JobSpec spec = small_spec();
+  EXPECT_EQ(spec.hash(), small_spec().hash());
+  JobSpec other = small_spec();
+  other.thetas.push_back(0.2);
+  EXPECT_NE(spec.hash(), other.hash());
+  JobSpec renamed = small_spec();
+  renamed.name = "something-else";
+  EXPECT_NE(spec.hash(), renamed.hash());
+}
+
+TEST(JobSpec, JsonRoundTrip) {
+  const JobSpec spec = small_spec();
+  const JobSpec back = JobSpec::from_json(Json::parse(spec.to_json().dump()));
+  EXPECT_EQ(spec.hash(), back.hash());
+  EXPECT_EQ(back.num_jobs(), 12u);
+  EXPECT_EQ(back.adopters, spec.adopters);
+  EXPECT_EQ(back.thetas, spec.thetas);
+}
+
+TEST(JobSpec, ValidatesFields) {
+  EXPECT_THROW(JobSpec::from_json(Json::parse(R"({"modles":["outgoing"]})")),
+               JsonError);  // typo'd key
+  EXPECT_THROW(JobSpec::from_json(Json::parse(R"({"models":["sideways"]})")),
+               JsonError);
+  EXPECT_THROW(JobSpec::from_json(Json::parse(R"({"pricing":["free"]})")),
+               JsonError);
+  EXPECT_THROW(JobSpec::from_json(Json::parse(R"({"thetas":[]})")), JsonError);
+  EXPECT_THROW(JobSpec::from_json(Json::parse(R"({"thetas":[-0.1]})")),
+               JsonError);
+  EXPECT_THROW(
+      JobSpec::from_json(Json::parse(R"({"graphs":[{"nodes":0}]})")),
+      JsonError);
+}
+
+TEST(ListParsing, AcceptsWellFormedLists) {
+  const auto thetas = parse_double_list("0,0.05,0.1", "--thetas");
+  ASSERT_EQ(thetas.size(), 3u);
+  EXPECT_DOUBLE_EQ(thetas[0], 0.0);
+  EXPECT_DOUBLE_EQ(thetas[1], 0.05);
+  EXPECT_DOUBLE_EQ(thetas[2], 0.1);
+  EXPECT_EQ(parse_u64_list("1,2,3", "seeds"), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ListParsing, RejectsMalformedLists) {
+  // The old CLI silently produced a partial grid for these.
+  EXPECT_THROW(parse_double_list("", "--thetas"), JsonError);
+  EXPECT_THROW(parse_double_list("0.1,,0.2", "--thetas"), JsonError);
+  EXPECT_THROW(parse_double_list("0.1,", "--thetas"), JsonError);
+  EXPECT_THROW(parse_double_list(",0.1", "--thetas"), JsonError);
+  EXPECT_THROW(parse_double_list("0.1,abc", "--thetas"), JsonError);
+  EXPECT_THROW(parse_double_list("0.1x,0.2", "--thetas"), JsonError);
+  EXPECT_THROW(parse_u64_list("1,2,x", "seeds"), JsonError);
+}
+
+TEST(ResultStore, AppendLoadAndSupersede) {
+  const std::string path = temp_path("store_basic.jsonl");
+  std::remove(path.c_str());
+  JobRecord r;
+  r.spec_hash = 0xdeadbeefcafef00dULL;  // > 2^53: exercises string encoding
+  r.job_id = 3;
+  r.job_key = "k";
+  r.status = "failed";
+  r.error = "boom";
+  {
+    ResultStore store(path);
+    store.append(r);
+    r.status = "ok";
+    r.error.clear();
+    r.outcome = "stable";
+    r.rounds = 4;
+    store.append(r);
+  }
+  const auto records = ResultStore::load(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].spec_hash, r.spec_hash);
+  const auto latest = ResultStore::latest_by_job(records, r.spec_hash);
+  ASSERT_EQ(latest.size(), 1u);
+  EXPECT_EQ(latest.at(3).status, "ok");  // later record supersedes
+  EXPECT_EQ(ResultStore::completed_ok(records, r.spec_hash).count(3), 1u);
+  EXPECT_TRUE(ResultStore::completed_ok(records, 123).empty());
+}
+
+TEST(ResultStore, SkipsTruncatedTrailingLine) {
+  const std::string path = temp_path("store_truncated.jsonl");
+  std::remove(path.c_str());
+  {
+    ResultStore store(path);
+    JobRecord r;
+    r.spec_hash = 1;
+    r.job_id = 0;
+    r.status = "ok";
+    store.append(r);
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"spec_hash\":\"1\",\"job_id\":1,\"stat";  // killed mid-write
+  }
+  std::size_t skipped = 0;
+  const auto records = ResultStore::load(path, &skipped);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(Scheduler, SerialAndShardedSweepsProduceIdenticalResults) {
+  const JobSpec spec = small_spec();
+
+  SweepOptions serial;
+  serial.workers = 1;
+  const auto a = SweepScheduler(serial).run(spec, nullptr);
+  EXPECT_EQ(a.executed, 12u);
+  EXPECT_EQ(a.ok, 12u);
+  EXPECT_EQ(a.failed, 0u);
+
+  SweepOptions sharded;
+  sharded.workers = 4;
+  const auto b = SweepScheduler(sharded).run(spec, nullptr);
+  EXPECT_EQ(b.executed, 12u);
+  EXPECT_EQ(b.ok, 12u);
+
+  EXPECT_EQ(canonical_rows(a.records), canonical_rows(b.records));
+  // Records come back merged in job-id order either way.
+  for (std::size_t i = 0; i < b.records.size(); ++i) {
+    EXPECT_EQ(b.records[i].job_id, i);
+  }
+  // Sanity: the sweep actually swept — theta=0 secures more than theta=0.1.
+  EXPECT_GE(a.records[0].secure_ases, a.records[2].secure_ases);
+}
+
+TEST(Scheduler, ResumeRunsOnlyIncompleteJobs) {
+  const JobSpec spec = small_spec();
+
+  // Uninterrupted reference run.
+  const std::string full_path = temp_path("store_full.jsonl");
+  std::remove(full_path.c_str());
+  ResultStore full(full_path);
+  SweepOptions opts;
+  opts.workers = 2;
+  const auto reference = SweepScheduler(opts).run(spec, &full);
+  EXPECT_EQ(reference.executed, 12u);
+
+  // Simulate a sweep killed mid-flight: keep the first 5 records plus a
+  // half-written line.
+  const std::string partial_path = temp_path("store_partial.jsonl");
+  std::remove(partial_path.c_str());
+  {
+    std::ifstream in(full_path);
+    std::ofstream out(partial_path);
+    std::string line;
+    for (int i = 0; i < 5 && std::getline(in, line); ++i) out << line << '\n';
+    out << "{\"spec_hash\":\"" << spec.hash() << "\",\"job_id\":99,\"sta";
+  }
+
+  ResultStore partial(partial_path);
+  const auto resumed = SweepScheduler(opts).run(spec, &partial);
+  EXPECT_EQ(resumed.skipped, 5u);
+  EXPECT_EQ(resumed.executed, 7u);
+  EXPECT_EQ(resumed.ok, 7u);
+  ASSERT_EQ(resumed.records.size(), 12u);
+  EXPECT_EQ(canonical_rows(resumed.records), canonical_rows(reference.records));
+
+  // Merging the store again from disk gives the same 12 rows.
+  const auto latest =
+      ResultStore::latest_by_job(ResultStore::load(partial_path), spec.hash());
+  EXPECT_EQ(latest.size(), 12u);
+
+  // A third run is a no-op: everything resumes.
+  const auto noop = SweepScheduler(opts).run(spec, &partial);
+  EXPECT_EQ(noop.skipped, 12u);
+  EXPECT_EQ(noop.executed, 0u);
+}
+
+TEST(Scheduler, FailingJobsAreIsolatedAndRecorded) {
+  const JobSpec spec = small_spec();
+  const JobRunner runner = [](const Job& job, const std::function<bool()>&) {
+    if (job.id % 3 == 0) throw std::runtime_error("injected failure");
+    JobRecord r;
+    r.job_id = job.id;
+    r.job_key = job.key();
+    r.status = "ok";
+    r.outcome = "stable";
+    return r;
+  };
+  SweepOptions opts;
+  opts.workers = 4;
+  const auto report = SweepScheduler(opts).run(spec, nullptr, runner);
+  EXPECT_EQ(report.executed, 12u);
+  EXPECT_EQ(report.failed, 4u);  // ids 0,3,6,9
+  EXPECT_EQ(report.ok, 8u);
+  for (const auto& r : report.records) {
+    if (r.job_id % 3 == 0) {
+      EXPECT_EQ(r.status, "failed");
+      EXPECT_EQ(r.error, "injected failure");
+    } else {
+      EXPECT_EQ(r.status, "ok");
+    }
+  }
+}
+
+TEST(Scheduler, RetriesTransientFailures) {
+  const JobSpec spec = small_spec();
+  std::atomic<int> calls{0};
+  const JobRunner runner = [&](const Job& job, const std::function<bool()>&) {
+    if (calls.fetch_add(1) % 2 == 0) throw std::runtime_error("flaky");
+    JobRecord r;
+    r.job_id = job.id;
+    r.status = "ok";
+    return r;
+  };
+  SweepOptions opts;
+  opts.workers = 1;
+  opts.retries = 2;
+  const auto report = SweepScheduler(opts).run(spec, nullptr, runner);
+  EXPECT_EQ(report.ok, 12u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.retried, 12u);  // every job failed exactly once first
+}
+
+TEST(Scheduler, TimeoutsAreRecordedAndDoNotSinkTheSweep) {
+  JobSpec spec = small_spec();
+  spec.thetas = {0.05};  // 4 jobs
+  const JobRunner runner = [](const Job& job,
+                              const std::function<bool()>& stop) {
+    if (job.id == 1) {  // diverging job: spins until the deadline fires
+      while (!stop()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      JobRecord r;
+      r.job_id = job.id;
+      r.status = "timeout";
+      r.error = "deadline exceeded";
+      return r;
+    }
+    JobRecord r;
+    r.job_id = job.id;
+    r.status = "ok";
+    return r;
+  };
+  SweepOptions opts;
+  opts.workers = 2;
+  opts.timeout_s = 0.05;
+  opts.retries = 3;  // timeouts must NOT be retried
+  const auto report = SweepScheduler(opts).run(spec, nullptr, runner);
+  EXPECT_EQ(report.executed, 4u);
+  EXPECT_EQ(report.ok, 3u);
+  EXPECT_EQ(report.timed_out, 1u);
+  EXPECT_EQ(report.retried, 0u);
+  EXPECT_EQ(report.records[1].status, "timeout");
+}
+
+TEST(Scheduler, RealRunnerHonoursDeadline) {
+  // An immediate deadline aborts the simulation cooperatively: the record
+  // comes back as a timeout with outcome "aborted".
+  JobSpec spec = small_spec();
+  spec.thetas = {0.05};
+  spec.adopters = {"top:3"};
+  spec.seeds = {1};
+  GraphCache cache;
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 1u);
+  const auto record = run_job(jobs[0], cache, 1, [] { return true; });
+  EXPECT_EQ(record.status, "timeout");
+  EXPECT_EQ(record.outcome, "aborted");
+}
+
+TEST(GraphCacheTest, ReusesGraphsAcrossJobs) {
+  GraphCache cache;
+  GraphSpec g;
+  g.nodes = 120;
+  g.seed = 3;
+  const auto& first = cache.get(g);
+  const auto& second = cache.get(g);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(cache.size(), 1u);
+  g.seed = 4;
+  const auto& third = cache.get(g);
+  EXPECT_NE(&first, &third);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(AdopterSpec, ResolvesAndRejects) {
+  GraphCache cache;
+  GraphSpec g;
+  g.nodes = 120;
+  g.seed = 3;
+  const auto& net = cache.get(g);
+  EXPECT_TRUE(resolve_adopter_spec(net, "none", 1).empty());
+  EXPECT_EQ(resolve_adopter_spec(net, "top:3", 1).size(), 3u);
+  EXPECT_EQ(resolve_adopter_spec(net, "cps", 1).size(), net.cps.size());
+  EXPECT_FALSE(resolve_adopter_spec(net, "cps+top:2", 1).empty());
+  EXPECT_THROW(resolve_adopter_spec(net, "bogus", 1), std::invalid_argument);
+  EXPECT_THROW(resolve_adopter_spec(net, "top:", 1), std::invalid_argument);
+  EXPECT_THROW(resolve_adopter_spec(net, "top:abc", 1), std::invalid_argument);
+  EXPECT_THROW(resolve_adopter_spec(net, "asn:1,x", 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sbgp::exp

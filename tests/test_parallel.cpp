@@ -59,6 +59,31 @@ TEST(ParallelForChunked, ChunksPartitionTheRange) {
   }
 }
 
+TEST(ParallelForDynamic, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_dynamic(pool, 0, hits.size(),
+                       [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForDynamic, EmptyRangeAndUnevenWork) {
+  ThreadPool pool(3);
+  int count = 0;
+  parallel_for_dynamic(pool, 4, 4, [&count](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  // Highly skewed per-index cost: one "job" dwarfs the rest; every index
+  // must still run exactly once.
+  std::atomic<long> total{0};
+  parallel_for_dynamic(pool, 0, 64, [&total](std::size_t i) {
+    long local = 0;
+    const long reps = i == 0 ? 200000 : 100;
+    for (long k = 0; k < reps; ++k) local += k % 7;
+    total.fetch_add(local == -1 ? 0 : 1);
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
 TEST(ParallelFor, SingleThreadPoolStillCorrect) {
   ThreadPool pool(1);
   std::vector<int> v(100, 0);

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the test suite, then smoke-test
+# the experiment-orchestration path (`sbgpsim jobs run` on a tiny grid, a
+# resumed rerun that must skip everything, and a canonical merge). Every PR
+# should pass this unchanged.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# Orchestration smoke: 12-job grid, sharded run, full resume, merge.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/grid.json" <<'EOF'
+{
+  "name": "tier1-smoke",
+  "graphs": [{"nodes": 200, "seed": 7}],
+  "adopters": ["top:3", "cps"],
+  "seeds": [1, 2],
+  "thetas": [0, 0.05, 0.1]
+}
+EOF
+
+sbgpsim=build/tools/sbgpsim
+"$sbgpsim" jobs run --spec "$tmp/grid.json" --store "$tmp/r.jsonl" \
+    --workers 4 --progress-s 0
+"$sbgpsim" jobs run --spec "$tmp/grid.json" --store "$tmp/r.jsonl" \
+    --workers 4 --progress-s 0 2> "$tmp/resume.log"
+grep -q "12 resumed" "$tmp/resume.log" \
+    || { echo "tier1 FAIL: resume did not skip completed jobs"; exit 1; }
+rows="$("$sbgpsim" jobs merge --spec "$tmp/grid.json" --store "$tmp/r.jsonl" \
+    --csv 2>/dev/null | tail -n +2 | wc -l)"
+[ "$rows" -eq 12 ] \
+    || { echo "tier1 FAIL: expected 12 merged rows, got $rows"; exit 1; }
+
+echo "tier1 OK (tests + orchestration smoke)"

@@ -5,11 +5,15 @@
 //                    [--theta F] [--model outgoing|incoming] [--x F]
 //                    [--stub-ties 0|1] [--csv]
 //   sbgpsim sweep    [--graph g.txt | --nodes N] [--adopters SPEC]
-//                    [--thetas 0,0.05,0.1] [--csv]
+//                    [--thetas 0,0.05,0.1] [--workers N] [--csv]
 //   sbgpsim analyze  [--graph g.txt | --nodes N]
 //                    (tiebreaks | diamonds | resilience | pathlens)
+//   sbgpsim jobs     (run | status | merge) --spec spec.json
+//                    --store results.jsonl [--workers N] [--timeout-s F]
+//                    [--retries K] [--no-resume] [--progress-s F] [--csv]
 //
 // Adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -17,10 +21,13 @@
 #include <string>
 
 #include "core/analysis.h"
-#include "routing/rib.h"
-#include "core/early_adopters.h"
 #include "core/resilience.h"
 #include "core/simulator.h"
+#include "exp/job_spec.h"
+#include "exp/result_store.h"
+#include "exp/runner.h"
+#include "exp/scheduler.h"
+#include "routing/rib.h"
 #include "stats/table.h"
 #include "topology/graph_io.h"
 #include "topology/topology_gen.h"
@@ -31,30 +38,41 @@ using namespace sbgp;
 
 struct CliOptions {
   std::string command;
+  std::string subcommand;  // jobs: run | status | merge; analyze: mode
   std::string graph_file;
   std::string out_file;
+  std::string spec_file;
+  std::string store_file;
   std::string adopters = "cps+top:5";
   std::string thetas = "0,0.05,0.1,0.2,0.35,0.5";
-  std::string analysis = "tiebreaks";
   std::uint32_t nodes = 2000;
   std::uint64_t seed = 42;
+  std::size_t workers = 0;  // 0 = hardware
   double theta = 0.05;
   double x = 0.10;
+  double timeout_s = 0.0;
+  double progress_s = 5.0;
+  int retries = 0;
   bool augment = false;
   bool csv = false;
   bool stub_ties = true;
+  bool resume = true;
   core::UtilityModel model = core::UtilityModel::Outgoing;
 };
 
 [[noreturn]] void usage(int code) {
   std::cerr <<
-      "usage: sbgpsim <generate|simulate|sweep|analyze> [options]\n"
+      "usage: sbgpsim <generate|simulate|sweep|analyze|jobs> [options]\n"
       "  common: --nodes N --seed S --x F --graph FILE\n"
       "  generate: --out FILE [--augment]\n"
       "  simulate: --adopters SPEC --theta F --model outgoing|incoming\n"
       "            --stub-ties 0|1 [--csv]\n"
-      "  sweep:    --adopters SPEC --thetas 0,0.05,... [--csv]\n"
+      "  sweep:    --adopters SPEC --thetas 0,0.05,... [--workers N] [--csv]\n"
       "  analyze:  tiebreaks | diamonds | resilience | pathlens\n"
+      "  jobs:     run|status|merge --spec FILE --store FILE\n"
+      "            run: [--workers N] [--timeout-s F] [--retries K]\n"
+      "                 [--no-resume] [--progress-s F]\n"
+      "            merge: [--csv]\n"
       "  adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3\n";
   std::exit(code);
 }
@@ -73,10 +91,17 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--seed") o.seed = std::stoull(next());
     else if (a == "--graph") o.graph_file = next();
     else if (a == "--out") o.out_file = next();
+    else if (a == "--spec") o.spec_file = next();
+    else if (a == "--store") o.store_file = next();
     else if (a == "--adopters") o.adopters = next();
     else if (a == "--theta") o.theta = std::stod(next());
     else if (a == "--thetas") o.thetas = next();
     else if (a == "--x") o.x = std::stod(next());
+    else if (a == "--workers") o.workers = std::stoull(next());
+    else if (a == "--timeout-s") o.timeout_s = std::stod(next());
+    else if (a == "--progress-s") o.progress_s = std::stod(next());
+    else if (a == "--retries") o.retries = std::stoi(next());
+    else if (a == "--no-resume") o.resume = false;
     else if (a == "--augment") o.augment = true;
     else if (a == "--csv") o.csv = true;
     else if (a == "--stub-ties") o.stub_ties = next() != "0";
@@ -84,7 +109,7 @@ CliOptions parse(int argc, char** argv) {
       o.model = next() == "incoming" ? core::UtilityModel::Incoming
                                      : core::UtilityModel::Outgoing;
     } else if (a == "--help" || a == "-h") usage(0);
-    else if (a[0] != '-') o.analysis = a;
+    else if (a[0] != '-') o.subcommand = a;
     else usage(2);
   }
   return o;
@@ -111,42 +136,12 @@ topo::Internet load_internet(const CliOptions& o) {
 std::vector<topo::AsId> resolve_adopters(const topo::Internet& net,
                                          const std::string& spec,
                                          std::uint64_t seed) {
-  auto after_colon = [&](std::size_t pos) {
-    return static_cast<std::size_t>(std::stoul(spec.substr(pos)));
-  };
-  if (spec == "none") return {};
-  if (spec == "cps") return net.cps;
-  if (spec.rfind("top:", 0) == 0) {
-    return topo::top_degree_isps(net.graph, after_colon(4));
+  try {
+    return exp::resolve_adopter_spec(net, spec, seed);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(2);
   }
-  if (spec.rfind("cps+top:", 0) == 0) {
-    auto out = net.cps;
-    for (const auto isp : topo::top_degree_isps(net.graph, after_colon(8))) {
-      out.push_back(isp);
-    }
-    return out;
-  }
-  if (spec.rfind("random:", 0) == 0) {
-    return core::select_adopters(net, core::AdopterStrategy::RandomIsps,
-                                 after_colon(7), seed);
-  }
-  if (spec.rfind("asn:", 0) == 0) {
-    std::vector<topo::AsId> out;
-    std::stringstream ss(spec.substr(4));
-    std::string token;
-    while (std::getline(ss, token, ',')) {
-      const topo::AsId id =
-          net.graph.find_asn(static_cast<std::uint32_t>(std::stoul(token)));
-      if (id == topo::kNoAs) {
-        std::cerr << "unknown ASN " << token << "\n";
-        std::exit(1);
-      }
-      out.push_back(id);
-    }
-    return out;
-  }
-  std::cerr << "bad adopter spec '" << spec << "'\n";
-  std::exit(2);
 }
 
 int cmd_generate(const CliOptions& o) {
@@ -204,60 +199,89 @@ int cmd_simulate(const CliOptions& o) {
   return 0;
 }
 
+// The single-axis θ sweep, ported onto the exp:: scheduler: builds a
+// one-graph JobSpec and runs it (serially by default; --workers N shards
+// it). Results come back merged in job-id order, which here is θ order.
 int cmd_sweep(const CliOptions& o) {
-  const auto net = load_internet(o);
-  const auto adopters = resolve_adopters(net, o.adopters, o.seed);
+  exp::JobSpec spec;
+  spec.name = "cli-sweep";
+  exp::GraphSpec g;
+  g.file = o.graph_file;
+  g.nodes = o.nodes;
+  g.seed = o.seed;
+  g.augment = o.augment;
+  g.x = o.x;
+  spec.graphs = {g};
+  spec.adopters = {o.adopters};
+  spec.models = {core::to_string(o.model)};
+  spec.stub_ties = {o.stub_ties ? 1 : 0};
+  spec.seeds = {o.seed};
+  try {
+    spec.thetas = exp::parse_double_list(o.thetas, "--thetas");
+  } catch (const exp::JsonError& e) {
+    std::cerr << e.what() << "\n";
+    usage(2);
+  }
+  for (const double theta : spec.thetas) {
+    if (theta < 0.0) {
+      std::cerr << "--thetas entries must be >= 0 (got "
+                << exp::format_double(theta) << ")\n";
+      usage(2);
+    }
+  }
+
+  exp::SweepOptions opts;
+  opts.workers = o.workers == 0 ? 1 : o.workers;
+  opts.progress = nullptr;
+  exp::SweepScheduler scheduler(opts);
+  const auto report = scheduler.run(spec, nullptr);
+
   stats::Table t({"theta", "outcome", "rounds", "secure_ases", "secure_isps",
                   "frac_ases", "frac_isps"});
-  std::stringstream ss(o.thetas);
-  std::string token;
-  while (std::getline(ss, token, ',')) {
-    CliOptions run = o;
-    run.theta = std::stod(token);
-    core::DeploymentSimulator sim(net.graph, sim_config(run));
-    const auto result =
-        sim.run(core::DeploymentState::initial(net.graph, adopters));
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    const auto& r = report.records[i];
     t.begin_row();
-    t.add(run.theta, 3);
-    t.add(std::string(core::to_string(result.outcome)));
-    t.add(result.rounds_run());
-    t.add(result.final_state.num_secure());
-    t.add(result.final_state.num_secure_of_class(net.graph, topo::AsClass::Isp));
-    t.add(static_cast<double>(result.final_state.num_secure()) /
-              static_cast<double>(net.graph.num_nodes()),
-          4);
-    t.add(static_cast<double>(result.final_state.num_secure_of_class(
-              net.graph, topo::AsClass::Isp)) /
-              static_cast<double>(net.graph.num_isps()),
-          4);
+    t.add(spec.thetas[i], 3);
+    if (r.status == "ok") {
+      t.add(r.outcome);
+      t.add(r.rounds);
+      t.add(r.secure_ases);
+      t.add(r.secure_isps);
+      t.add(r.frac_ases, 4);
+      t.add(r.frac_isps, 4);
+    } else {
+      t.add(r.status + ": " + r.error);
+    }
   }
   if (o.csv) t.print_csv(std::cout);
   else t.print(std::cout);
-  return 0;
+  return report.failed == 0 ? 0 : 1;
 }
 
 int cmd_analyze(const CliOptions& o) {
   const auto net = load_internet(o);
   par::ThreadPool pool(0);
   const auto cfg = sim_config(o);
-  if (o.analysis == "tiebreaks") {
+  const std::string analysis =
+      o.subcommand.empty() ? "tiebreaks" : o.subcommand;
+  if (analysis == "tiebreaks") {
     const auto dist = core::tiebreak_distribution(net.graph, pool);
     std::cout << "mean tiebreak size: all " << dist.all.mean() << " isp "
               << dist.isp.mean() << " stub " << dist.stub.mean()
               << "; frac >1: " << dist.all.fraction_greater(1) << "\n";
-  } else if (o.analysis == "diamonds") {
+  } else if (analysis == "diamonds") {
     const auto adopters = resolve_adopters(net, o.adopters, o.seed);
     for (const auto& d : core::count_diamonds(net.graph, adopters, pool)) {
       std::cout << "AS" << net.graph.asn(d.adopter) << ": " << d.diamonds
                 << " contested stubs, " << d.strict_diamonds << " strict\n";
     }
-  } else if (o.analysis == "resilience") {
+  } else if (analysis == "resilience") {
     std::vector<std::uint8_t> nobody(net.graph.num_nodes(), 0);
     const auto r = core::measure_resilience(net.graph, nobody, cfg, 100, o.seed, pool);
     std::cout << "status quo hijack impact: mean " << r.mean_fooled() << ", p90 "
               << r.fooled_fraction.quantile(0.9) << " (over " << r.pairs
               << " pairs)\n";
-  } else if (o.analysis == "pathlens") {
+  } else if (analysis == "pathlens") {
     for (const auto cp : net.cps) {
       std::cout << "AS" << net.graph.asn(cp) << ": avg path length "
                 << rt::average_path_length_from(net.graph, cp) << "\n";
@@ -268,6 +292,139 @@ int cmd_analyze(const CliOptions& o) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// jobs — the experiment-orchestration entry points.
+
+exp::JobSpec load_spec_or_die(const CliOptions& o) {
+  if (o.spec_file.empty()) {
+    std::cerr << "jobs " << o.subcommand << " requires --spec FILE\n";
+    usage(2);
+  }
+  try {
+    return exp::JobSpec::from_file(o.spec_file);
+  } catch (const exp::JsonError& e) {
+    std::cerr << "bad spec " << o.spec_file << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+void print_merged(const std::vector<exp::JobRecord>& records, bool csv) {
+  stats::Table t({"job_id", "key", "status", "outcome", "rounds",
+                  "secure_ases", "secure_isps", "num_ases", "num_isps",
+                  "frac_ases", "frac_isps"});
+  for (const auto& r : records) {
+    t.begin_row();
+    t.add(r.job_id);
+    t.add(r.job_key);
+    t.add(r.status);
+    t.add(r.outcome);
+    t.add(r.rounds);
+    t.add(r.secure_ases);
+    t.add(r.secure_isps);
+    t.add(r.num_ases);
+    t.add(r.num_isps);
+    t.add(exp::format_double(r.frac_ases));
+    t.add(exp::format_double(r.frac_isps));
+  }
+  if (csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+}
+
+int cmd_jobs_run(const CliOptions& o) {
+  const auto spec = load_spec_or_die(o);
+  if (o.store_file.empty()) {
+    std::cerr << "jobs run requires --store FILE\n";
+    usage(2);
+  }
+  exp::ResultStore store(o.store_file);
+  exp::SweepOptions opts;
+  opts.workers = o.workers;
+  opts.timeout_s = o.timeout_s;
+  opts.retries = o.retries;
+  opts.resume = o.resume;
+  opts.progress_interval_s = o.progress_s;
+  opts.progress = &std::cerr;
+  exp::SweepScheduler scheduler(opts);
+  const auto report = scheduler.run(spec, &store);
+  return report.failed == 0 && report.timed_out == 0 ? 0 : 1;
+}
+
+int cmd_jobs_status(const CliOptions& o) {
+  const auto spec = load_spec_or_die(o);
+  if (o.store_file.empty()) {
+    std::cerr << "jobs status requires --store FILE\n";
+    usage(2);
+  }
+  std::size_t skipped_lines = 0;
+  const auto records = exp::ResultStore::load(o.store_file, &skipped_lines);
+  const auto latest = exp::ResultStore::latest_by_job(records, spec.hash());
+  std::size_t ok = 0, failed = 0, timed_out = 0;
+  for (const auto& [id, r] : latest) {
+    if (r.status == "ok") ++ok;
+    else if (r.status == "timeout") ++timed_out;
+    else ++failed;
+  }
+  const std::size_t total = spec.num_jobs();
+  std::cout << "spec " << o.spec_file << " (name '" << spec.name << "', hash "
+            << spec.hash() << "): " << total << " jobs\n"
+            << "  ok:        " << ok << "\n"
+            << "  failed:    " << failed << "\n"
+            << "  timeout:   " << timed_out << "\n"
+            << "  remaining: " << (total - ok) << "\n";
+  if (skipped_lines > 0) {
+    std::cout << "  (skipped " << skipped_lines
+              << " malformed store line(s) — truncated write?)\n";
+  }
+  return 0;
+}
+
+int cmd_jobs_merge(const CliOptions& o) {
+  if (o.store_file.empty()) {
+    std::cerr << "jobs merge requires --store FILE\n";
+    usage(2);
+  }
+  const auto records = exp::ResultStore::load(o.store_file);
+  std::vector<exp::JobRecord> merged;
+  if (!o.spec_file.empty()) {
+    const auto spec = load_spec_or_die(o);
+    const auto latest = exp::ResultStore::latest_by_job(records, spec.hash());
+    for (std::size_t id = 0; id < spec.num_jobs(); ++id) {
+      const auto it = latest.find(id);
+      if (it != latest.end()) merged.push_back(it->second);
+    }
+  } else {
+    // No spec: merge every (spec_hash, job_id) group in the store.
+    std::unordered_map<std::string, std::size_t> index;
+    for (const auto& r : records) {
+      const std::string key = std::to_string(r.spec_hash) + ":" +
+                              std::to_string(r.job_id);
+      const auto it = index.find(key);
+      if (it == index.end()) {
+        index.emplace(key, merged.size());
+        merged.push_back(r);
+      } else {
+        merged[it->second] = r;
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const exp::JobRecord& a, const exp::JobRecord& b) {
+                return a.spec_hash != b.spec_hash ? a.spec_hash < b.spec_hash
+                                                  : a.job_id < b.job_id;
+              });
+  }
+  print_merged(merged, o.csv);
+  std::cerr << "merged " << merged.size() << " job record(s)\n";
+  return 0;
+}
+
+int cmd_jobs(const CliOptions& o) {
+  if (o.subcommand == "run") return cmd_jobs_run(o);
+  if (o.subcommand == "status") return cmd_jobs_status(o);
+  if (o.subcommand == "merge") return cmd_jobs_merge(o);
+  std::cerr << "jobs needs a subcommand: run | status | merge\n";
+  usage(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,5 +433,6 @@ int main(int argc, char** argv) {
   if (o.command == "simulate") return cmd_simulate(o);
   if (o.command == "sweep") return cmd_sweep(o);
   if (o.command == "analyze") return cmd_analyze(o);
+  if (o.command == "jobs") return cmd_jobs(o);
   usage(2);
 }
