@@ -10,7 +10,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/deployment_state.h"
@@ -92,6 +95,56 @@ struct SimConfig {
   /// by the exp:: sweep scheduler to enforce per-job deadlines without
   /// tearing down threads mid-round. Must be cheap and thread-compatible.
   std::function<bool()> stop_requested;
+  /// Incremental dirty-destination round engine: cache every destination's
+  /// per-round evaluation bundle (routing tree fingerprint, utility
+  /// contributions, Eq. 3 projection deltas) together with its state
+  /// footprint — the set of nodes whose secure bit the bundle actually
+  /// depends on — and recompute a destination only when a node that changed
+  /// in the previous round (ISP flipped on/off, or stub newly simplex-
+  /// secured) lies in its footprint. Results are bitwise identical to the
+  /// full recompute by construction: clean destinations reuse their cached
+  /// bundle and the per-destination contributions are aggregated in a fixed
+  /// order either way. Within `incremental_cache_budget` the engine also
+  /// keeps per-destination RIBs (state-independent, Obs. C.1) and base
+  /// routing trees across rounds, and refreshes bundles whose base tree is
+  /// provably unchanged by recomputing only their stale projection entries.
+  /// Requires `use_projection_pruning`; ignored (full recompute every
+  /// round) when pruning is disabled.
+  bool incremental = true;
+  /// Differential-testing mode: run the full recompute in lockstep with the
+  /// incremental engine and compare every clean destination's cached bundle
+  /// against a fresh one, bit for bit (tree fingerprint, utilities,
+  /// projection deltas). Destinations taking the partial-update path are
+  /// checked too: the selectively refreshed bundle must equal a full
+  /// recompute entry for entry. Any divergence throws
+  /// IncrementalDivergence out of run(). Implies the cost of the full
+  /// engine; use in tests and when validating changes to the routing core.
+  bool check_incremental = false;
+  /// Memory budget (bytes) for the incremental engine's cross-round caches.
+  /// The engine keeps every destination's state-independent RIB (Obs. C.1 —
+  /// the single most expensive part of a bundle recompute) and its base
+  /// routing tree alive across rounds; the RIB cache also enables the
+  /// partial-update path that refreshes only a bundle's stale projection
+  /// entries. Total cost is O(N^2 + N*E) bytes; when the upper-bound
+  /// estimate for the graph exceeds this budget the engine falls back to
+  /// per-round RIB/tree recomputation (still incremental, just slower).
+  /// Results are bitwise identical either way. 0 disables the caches.
+  std::size_t incremental_cache_budget = std::size_t{1} << 30;
+};
+
+/// Thrown by DeploymentSimulator::run in `check_incremental` mode when a
+/// cached (incremental) per-destination bundle differs from the full
+/// recompute — i.e. the dirty-footprint invariant was violated. Always a
+/// bug in the engine, never a property of the input.
+struct IncrementalDivergence : std::runtime_error {
+  IncrementalDivergence(std::size_t round_, AsId dest_, const std::string& detail)
+      : std::runtime_error("incremental engine diverged from full recompute at round " +
+                           std::to_string(round_) + ", destination " +
+                           std::to_string(dest_) + ": " + detail),
+        round(round_),
+        dest(dest_) {}
+  std::size_t round;
+  AsId dest;
 };
 
 /// Per-round aggregate statistics (Figure 3).
@@ -102,6 +155,10 @@ struct RoundStats {
   std::size_t turned_off = 0;          ///< ISPs flipping off this round
   std::size_t total_secure_ases = 0;   ///< after the round
   std::size_t total_secure_isps = 0;   ///< after the round
+  /// Destinations whose evaluation bundle was recomputed this round (equals
+  /// num_nodes under the full engine; typically collapses to a small
+  /// fraction after the first round under SimConfig::incremental).
+  std::size_t recomputed_destinations = 0;
 };
 
 /// Everything an observer can see about a round, *before* flips are applied.
@@ -158,9 +215,12 @@ struct SimResult {
 class DeploymentSimulator {
  public:
   DeploymentSimulator(const AsGraph& graph, SimConfig cfg);
+  ~DeploymentSimulator();
 
   /// Runs the process from `initial` until stability, oscillation, or the
-  /// round cap. `observer` (optional) is invoked once per round.
+  /// round cap. `observer` (optional) is invoked once per round. In
+  /// `check_incremental` mode, throws IncrementalDivergence on any
+  /// incremental/full mismatch.
   [[nodiscard]] SimResult run(const DeploymentState& initial,
                               const RoundObserver& observer = nullptr);
 
@@ -168,11 +228,16 @@ class DeploymentSimulator {
 
  private:
   struct RoundOutput;
-  void evaluate_round(const DeploymentState& state, RoundOutput& out);
+  struct Cache;  // per-destination bundle cache + per-worker scratch (pimpl)
+  /// Evaluates one round into `out`; returns the number of destinations
+  /// actually recomputed. `round` is 1-based, for divergence reporting.
+  std::size_t evaluate_round(const DeploymentState& state, RoundOutput& out,
+                             std::size_t round);
 
   const AsGraph& graph_;
   SimConfig cfg_;
   par::ThreadPool pool_;
+  std::unique_ptr<Cache> cache_;
 };
 
 }  // namespace sbgp::core

@@ -106,6 +106,8 @@ std::vector<Job> JobSpec::expand() const {
                 job.pricing_tier_size = pricing_tier_size;
                 job.max_rounds = max_rounds;
                 job.threads = threads;
+                job.incremental = incremental;
+                job.check_incremental = check_incremental;
                 jobs.push_back(std::move(job));
               }
             }
@@ -145,6 +147,8 @@ Json JobSpec::to_json() const {
   j.set("pricing_tier_size", Json::number(pricing_tier_size));
   j.set("max_rounds", Json::number(static_cast<std::uint64_t>(max_rounds)));
   j.set("threads", Json::number(static_cast<std::uint64_t>(threads)));
+  j.set("incremental", Json::boolean(incremental));
+  j.set("check_incremental", Json::boolean(check_incremental));
   return j;
 }
 
@@ -153,7 +157,8 @@ JobSpec JobSpec::from_json(const Json& j) {
   check_known_keys(j,
                    {"name", "graphs", "adopters", "models", "pricing",
                     "stub_ties", "seeds", "thetas", "pricing_tier_size",
-                    "max_rounds", "threads"},
+                    "max_rounds", "threads", "incremental",
+                    "check_incremental"},
                    "spec");
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("graphs")) {
@@ -205,6 +210,12 @@ JobSpec JobSpec::from_json(const Json& j) {
   }
   if (const Json* v = j.find("threads")) {
     spec.threads = static_cast<std::size_t>(v->as_u64());
+  }
+  if (const Json* v = j.find("incremental")) {
+    spec.incremental = v->as_bool();
+  }
+  if (const Json* v = j.find("check_incremental")) {
+    spec.check_incremental = v->as_bool();
   }
   if (spec.graphs.empty() || spec.adopters.empty() || spec.models.empty() ||
       spec.pricing.empty() || spec.stub_ties.empty() || spec.seeds.empty() ||

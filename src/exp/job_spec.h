@@ -55,6 +55,12 @@ struct Job {
   double pricing_tier_size = 10.0;
   std::size_t max_rounds = 200;
   std::size_t threads = 1;  ///< inner threads; 0 = scheduler auto-budget
+  /// Use the incremental dirty-destination round engine (results are
+  /// bitwise identical either way; excluded from key()).
+  bool incremental = true;
+  /// Run the incremental/full differential check in lockstep; a divergence
+  /// fails the job. Validation runs only — roughly doubles round cost.
+  bool check_incremental = false;
 
   /// Canonical human-readable key identifying the grid point (excludes id).
   [[nodiscard]] std::string key() const;
@@ -75,8 +81,12 @@ struct JobSpec {
   std::size_t max_rounds = 200;
   /// Inner simulator threads per job. 1 (default) keeps results bit-exact
   /// regardless of outer parallelism; 0 lets the scheduler budget
-  /// hardware/workers threads per job.
+  /// hardware/workers threads per job. (The round engine itself is
+  /// thread-count invariant; compute_utilities now is too.)
   std::size_t threads = 1;
+  /// Scalars applied to every job (not grid axes): engine selection.
+  bool incremental = true;
+  bool check_incremental = false;
 
   /// Number of grid points (product of axis sizes).
   [[nodiscard]] std::size_t num_jobs() const;

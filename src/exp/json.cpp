@@ -7,8 +7,10 @@
 namespace sbgp::exp {
 
 std::string format_double(double v) {
-  if (v == static_cast<double>(static_cast<long long>(v)) &&
-      std::abs(v) < 9.0e15) {
+  // Range check BEFORE the integer cast: casting a double outside the
+  // long long range is undefined behaviour (UBSan: float-cast-overflow).
+  // std::floor also screens NaN/inf, whose cast is equally undefined.
+  if (std::abs(v) < 9.0e15 && v == std::floor(v)) {
     return std::to_string(static_cast<long long>(v));
   }
   char buf[32];

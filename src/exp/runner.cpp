@@ -102,6 +102,10 @@ JobRecord run_job(const Job& job, GraphCache& cache, std::size_t inner_threads,
   cfg.stub_breaks_ties = job.stub_ties;
   cfg.max_rounds = job.max_rounds;
   cfg.threads = inner_threads;
+  cfg.incremental = job.incremental;
+  // A divergence throws core::IncrementalDivergence out of run(); the
+  // scheduler's catch-all records the job as failed with the message.
+  cfg.check_incremental = job.check_incremental;
   cfg.stop_requested = stop;
 
   core::DeploymentSimulator sim(net.graph, cfg);

@@ -6,13 +6,26 @@
 
 namespace sbgp::par {
 
+namespace {
+// Worker identity for per-worker scratch addressing. thread_local, so a
+// worker of pool A nested inside a task of pool B would shadow B's index —
+// the codebase never nests pools, and the index is only consulted by bodies
+// running on the innermost pool anyway.
+thread_local std::size_t t_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+std::size_t ThreadPool::current_worker_index() { return t_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_index = i;
+      worker_loop();
+    });
   }
 }
 

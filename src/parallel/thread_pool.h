@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -33,6 +34,13 @@ class ThreadPool {
 
   /// Blocks until every submitted task has completed.
   void wait_idle();
+
+  /// Index of the calling pool worker in [0, size()), or `kNotAWorker` when
+  /// called from a thread that is not a pool worker (e.g. the submitting
+  /// thread). Lets parallel bodies address per-worker scratch slots without
+  /// locking: distinct workers always see distinct indices.
+  static constexpr std::size_t kNotAWorker = std::numeric_limits<std::size_t>::max();
+  [[nodiscard]] static std::size_t current_worker_index();
 
  private:
   void worker_loop();

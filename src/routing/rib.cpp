@@ -125,6 +125,7 @@ void RibComputer::compute(AsId dest, DestRib& out, AsId impostor) {
   // ascending-length processing order.
   out.dest = dest;
   out.impostor = impostor;
+  out.tb_sorted = false;
   out.cls.assign(cls_.begin(), cls_.end());
   out.len.assign(chosen_len_.begin(), chosen_len_.end());
 

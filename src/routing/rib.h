@@ -53,11 +53,24 @@ struct DestRib {
     return std::span<const AsId>(tb).subspan(tb_begin[n], tb_begin[n + 1] - tb_begin[n]);
   }
 
+  /// True once rt::sort_tiebreaks has ordered every tiebreak set ascending
+  /// by its owner's intradomain tie-break key. Routing-tree computations
+  /// then select winners by position instead of hashing every candidate —
+  /// the tie-break keys, like everything else in this RIB, are
+  /// state-independent (Obs. C.1), so sorting once pays off every time the
+  /// RIB is reused across rounds. Reset by RibComputer::compute.
+  bool tb_sorted = false;
+
   /// Nodes with a route, ascending by chosen length; order[0] == dest.
   /// This is the processing order of the fast routing tree algorithm.
   std::vector<AsId> order;
 
   [[nodiscard]] bool reachable(AsId n) const { return cls[n] != RouteClass::None; }
+
+  /// Number of ASes with a route to the destination (including the
+  /// destination itself) — the per-destination reachability count used by the
+  /// incremental engine's coverage reporting.
+  [[nodiscard]] std::size_t num_reachable() const { return order.size(); }
 };
 
 /// Reusable RIB computer; keeps O(|V|) scratch buffers so repeated calls

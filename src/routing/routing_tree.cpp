@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <limits>
 
 namespace sbgp::rt {
@@ -72,24 +73,40 @@ void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
     const auto cand_secure = [&](AsId j) {
       return out.path_secure[j] != 0 && view.hop_secure(j, i);
     };
-    bool any_secure = false;
-    for (const AsId j : candidates) {
-      if (cand_secure(j)) {
-        any_secure = true;
-        break;
-      }
-    }
-    out.has_secure_candidate[i] = any_secure ? 1 : 0;
-    const bool restrict_secure = any_secure && view.applies_secp(i);
-
     AsId best = kNoAs;
-    std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
-    for (const AsId j : candidates) {
-      if (restrict_secure && !cand_secure(j)) continue;
-      const std::uint64_t k = tb.key(i, j, graph_);
-      if (k < best_key) {
-        best_key = k;
-        best = j;
+    if (rib.tb_sorted) {
+      // Candidates are pre-ordered by tie-break key (sort_tiebreaks): the
+      // winner is the first secure candidate when SecP restricts the set,
+      // else the first candidate outright — no hashing.
+      AsId first_secure = kNoAs;
+      for (const AsId j : candidates) {
+        if (cand_secure(j)) {
+          first_secure = j;
+          break;
+        }
+      }
+      out.has_secure_candidate[i] = first_secure != kNoAs ? 1 : 0;
+      best = (first_secure != kNoAs && view.applies_secp(i)) ? first_secure
+                                                             : candidates[0];
+    } else {
+      bool any_secure = false;
+      for (const AsId j : candidates) {
+        if (cand_secure(j)) {
+          any_secure = true;
+          break;
+        }
+      }
+      out.has_secure_candidate[i] = any_secure ? 1 : 0;
+      const bool restrict_secure = any_secure && view.applies_secp(i);
+
+      std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
+      for (const AsId j : candidates) {
+        if (restrict_secure && !cand_secure(j)) continue;
+        const std::uint64_t k = tb.key(i, j, graph_);
+        if (k < best_key) {
+          best_key = k;
+          best = j;
+        }
       }
     }
     assert(best != kNoAs);
@@ -119,6 +136,26 @@ std::vector<AsId> TreeComputer::extract_path(const RoutingTree& tree, AsId src) 
     cur = tree.next_hop[cur];
   }
   return {};
+}
+
+void sort_tiebreaks(const AsGraph& graph, const TieBreakPolicy& tb,
+                    DestRib& rib) {
+  std::vector<std::pair<std::uint64_t, AsId>> keyed;
+  for (const AsId i : rib.order) {
+    const auto begin = rib.tb_begin[i];
+    const auto end = rib.tb_begin[i + 1];
+    if (end - begin < 2) continue;  // single candidate: trivially sorted
+    keyed.clear();
+    for (std::uint32_t k = begin; k < end; ++k) {
+      keyed.emplace_back(tb.key(i, rib.tb[k], graph), rib.tb[k]);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::uint32_t k = begin; k < end; ++k) {
+      rib.tb[k] = keyed[k - begin].second;
+    }
+  }
+  rib.tb_sorted = true;
 }
 
 std::vector<std::vector<AsId>> full_link_mask(const AsGraph& graph) {
@@ -157,6 +194,61 @@ void UtilityAccumulator::merge(const UtilityAccumulator& other) {
     outgoing[i] += other.outgoing[i];
     incoming[i] += other.incoming[i];
   }
+}
+
+void append_secure_candidates(const DestRib& rib, const RoutingTree& tree,
+                              std::vector<AsId>& out) {
+  for (const AsId i : rib.order) {
+    if (tree.has_secure_candidate[i] != 0) out.push_back(i);
+  }
+}
+
+void append_dirty_footprint(const AsGraph& graph, const DestRib& rib,
+                            const RoutingTree& tree, bool stub_breaks_ties,
+                            std::vector<AsId>& out) {
+  for (const AsId i : rib.order) {
+    if (tree.has_secure_candidate[i] == 0) continue;
+    out.push_back(i);
+    if (stub_breaks_ties && graph.is_stub(i)) {
+      for (const AsId p : graph.providers(i)) {
+        if (graph.is_isp(p)) out.push_back(p);
+      }
+    }
+  }
+  const AsId d = rib.dest;
+  out.push_back(d);
+  if (graph.is_stub(d)) {
+    for (const AsId p : graph.providers(d)) {
+      if (graph.is_isp(p)) out.push_back(p);
+    }
+  }
+}
+
+std::uint64_t tree_fingerprint(const DestRib& rib, const RoutingTree& tree) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int k = 0; k < 8; ++k) {
+      h ^= (v >> (8 * k)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const AsId i : rib.order) {
+    double w = tree.subtree_weight[i];
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(w));
+    std::memcpy(&bits, &w, sizeof(bits));
+    mix((static_cast<std::uint64_t>(i) << 32) | tree.next_hop[i]);
+    mix(bits);
+    // path_secure is deliberately NOT hashed: it is not an input to any
+    // cached quantity (utilities read next_hop/subtree_weight, the C.4
+    // affected sets read has_secure_candidate), and a leaf's path_secure
+    // bit can flip with its own security flag while everything the bundle
+    // depends on stays put (e.g. a stub simplex-secured under
+    // stub_breaks_ties=false). Any consequential path_secure change
+    // surfaces in a hashed field downstream.
+    mix(tree.has_secure_candidate[i]);
+  }
+  return h;
 }
 
 NodeContribution node_contribution(const AsGraph& graph, const DestRib& rib,

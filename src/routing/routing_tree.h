@@ -43,6 +43,12 @@ struct SecurityView {
   /// secure path only if BOTH endpoints enabled it ("deployment entails
   /// both signing and verification", Appendix J). Null = all links enabled.
   const std::vector<std::vector<AsId>>* enabled_links = nullptr;
+  /// Optional precomputed "x is a stub customer of flip_on" mask (size
+  /// num_nodes). Replaces the per-query binary search over each stub's
+  /// provider list — worth setting up once per hypothetical flip when a
+  /// whole tree is evaluated under it. Frozen stubs are filtered by the
+  /// frozen check regardless.
+  const std::uint8_t* flip_on_stubs = nullptr;
 
   /// Is the hop between adjacent ASes `a` and `b` cryptographically active?
   [[nodiscard]] bool hop_secure(AsId a, AsId b) const {
@@ -72,6 +78,7 @@ struct SecurityView {
     if (flip_on == kNoAs) return false;
     if (x == flip_on) return true;
     if (frozen != nullptr && frozen[x] != 0) return false;
+    if (flip_on_stubs != nullptr) return flip_on_stubs[x] != 0;
     if (graph->is_stub(x)) {
       const auto provs = graph->providers(x);
       // providers() is sorted after finalize(); see AsGraph::finalize.
@@ -147,6 +154,17 @@ class TreeComputer {
 /// of its links (the SecurityView::enabled_links identity element).
 [[nodiscard]] std::vector<std::vector<AsId>> full_link_mask(const AsGraph& graph);
 
+/// Orders every tiebreak set of `rib` ascending by its owner's tie-break
+/// key and sets `rib.tb_sorted`. The keys — a pairwise hash or a static
+/// rank — are state-independent, so a RIB cached across rounds need only be
+/// sorted once; TreeComputer::compute then selects each winner by position
+/// (first candidate passing the SecP filter) with no per-candidate hashing.
+/// Equal keys (possible in Rank mode) keep their original relative order
+/// (stable sort), which is exactly the argmin the hashing path computes —
+/// the resulting trees are bitwise identical either way.
+void sort_tiebreaks(const AsGraph& graph, const TieBreakPolicy& tb,
+                    DestRib& rib);
+
 /// Per-destination utility contributions (Eqs. 1 and 2 of Section 3.3),
 /// derived from a routing tree in one pass:
 ///  - outgoing: if n's chosen route goes via a customer edge (cls ==
@@ -175,5 +193,50 @@ struct NodeContribution {
 [[nodiscard]] NodeContribution node_contribution(const AsGraph& graph,
                                                  const DestRib& rib,
                                                  const RoutingTree& tree, AsId n);
+
+// ---------------------------------------------------------------------------
+// Per-destination footprint queries for the incremental round engine.
+//
+// The routing tree for destination d is a function of the deployment state S
+// restricted to a small "footprint" of nodes: flipping the secure bit of any
+// node OUTSIDE the footprint provably leaves tree(d, S) — and the simulator's
+// per-destination evaluation bundle derived from it — unchanged. The core
+// lemma (the C.4 pruning argument, applied to the tree instead of a single
+// projection): a node y whose bit flips can only perturb the tree if
+//  - y has a tiebreak candidate offering a fully secure route (its choice or
+//    its own path_secure bit can change; note path_secure[y] = 1 already
+//    implies a secure candidate), or
+//  - y is the destination itself (path_secure[d] = is_secure(d) needs no
+//    candidate).
+// The simulator's affected-candidate rules additionally consult the flags of
+// ISP providers of secure-candidate stubs (rule 1) and, for a stub
+// destination, the flags of its providers (rule 2) — those nodes therefore
+// also belong to the footprint even though the tree itself ignores them.
+
+/// Appends every node of `rib.order` whose `has_secure_candidate` bit is set
+/// (the set "P" of Appendix C.4) to `out`. Used both for the base tree and
+/// for each projected flipped tree.
+void append_secure_candidates(const DestRib& rib, const RoutingTree& tree,
+                              std::vector<AsId>& out);
+
+/// Appends the state-sensitivity footprint of `tree` (for `rib.dest`) to
+/// `out`: the secure-candidate set P, the ISP providers of every stub in P
+/// (when `stub_breaks_ties` — they gate the stub tie-break rule), the
+/// destination itself, and — when the destination is a stub — its providers
+/// (they gate the destination-security rule). The caller is responsible for
+/// unioning in the secure-candidate sets of any flipped trees it evaluates,
+/// then sorting/deduplicating.
+void append_dirty_footprint(const AsGraph& graph, const DestRib& rib,
+                            const RoutingTree& tree, bool stub_breaks_ties,
+                            std::vector<AsId>& out);
+
+/// Order-independent fingerprint of a routing tree (FNV-1a over the
+/// per-node rows in `rib.order` order: next hop, path-secure bit,
+/// subtree-weight bits, secure-candidate bit). Two trees over the same RIB
+/// compare equal iff every consumer-visible field matches bit-for-bit; the
+/// differential checking layer uses this to detect cached-tree divergence
+/// without storing full trees.
+[[nodiscard]] std::uint64_t tree_fingerprint(const DestRib& rib,
+                                             const RoutingTree& tree);
 
 }  // namespace sbgp::rt

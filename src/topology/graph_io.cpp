@@ -43,6 +43,9 @@ AsGraph read_as_rel(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Tolerate CRLF line endings (as-rel files exported on Windows or
+    // fetched over HTTP): std::getline strips only the '\n'.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '#') {
       constexpr std::string_view kCpPrefix = "# cp: ";
@@ -58,6 +61,10 @@ AsGraph read_as_rel(std::istream& in) {
     const std::uint32_t a = parse_u32(sv.substr(0, p1), line_no);
     const std::uint32_t b = parse_u32(sv.substr(p1 + 1, p2 - p1 - 1), line_no);
     const std::string_view rel = sv.substr(p2 + 1);
+    if (a == b) {
+      parse_error(line_no, "self-loop " + std::to_string(a) + "|" +
+                               std::to_string(b));
+    }
     const AsId ia = intern(a);
     const AsId ib = intern(b);
     bool ok = false;
@@ -68,7 +75,10 @@ AsGraph read_as_rel(std::istream& in) {
     } else {
       parse_error(line_no, "unknown relationship '" + std::string(rel) + "'");
     }
-    if (!ok) parse_error(line_no, "duplicate edge or self-loop");
+    if (!ok) {
+      parse_error(line_no, "duplicate edge " + std::to_string(a) + "|" +
+                               std::to_string(b));
+    }
   }
   for (std::uint32_t asn : cps) {
     auto it = ids.find(asn);

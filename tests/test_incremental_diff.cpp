@@ -1,0 +1,320 @@
+// Differential tests for the incremental dirty-destination round engine:
+// the incremental engine (SimConfig::incremental) must be *bitwise*
+// indistinguishable from the full per-round recompute — same per-round flip
+// sets, utilities, projections, outcome, and final state — across the whole
+// configuration matrix (utility model × pricing model × tie-break policy ×
+// stub-tie handling), including oscillation detection and mid-run aborts.
+// This is the fourth-implementation cross-check in the spirit of
+// test_reference_router.cpp, aimed at the engine instead of the router.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/simulator.h"
+#include "gadgets/gadgets.h"
+#include "test_util.h"
+
+namespace sbgp::core {
+namespace {
+
+using topo::AsId;
+
+struct RoundTrace {
+  std::vector<std::uint8_t> secure;
+  std::vector<double> utility, proj_on, proj_off;
+  std::vector<AsId> flip_on, flip_off;
+};
+
+struct Trace {
+  SimResult result;
+  std::vector<RoundTrace> rounds;
+};
+
+Trace run_traced(const topo::AsGraph& g, const SimConfig& cfg,
+                 const DeploymentState& init) {
+  DeploymentSimulator sim(g, cfg);
+  Trace t;
+  t.result = sim.run(init, [&](const RoundObservation& o) {
+    RoundTrace r;
+    r.secure = *o.secure;
+    r.utility = *o.utility;
+    r.proj_on = *o.projected_on;
+    r.proj_off = *o.projected_off;
+    r.flip_on = *o.flipping_on;
+    r.flip_off = *o.flipping_off;
+    t.rounds.push_back(std::move(r));
+  });
+  return t;
+}
+
+/// Exact, bit-level comparison (distinguishes ±0, treats the NaN markers of
+/// unevaluated projections as equal — plain == would do neither).
+void expect_same_bits(const std::vector<double>& a, const std::vector<double>& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t x = 0, y = 0;
+    std::memcpy(&x, &a[i], sizeof(x));
+    std::memcpy(&y, &b[i], sizeof(y));
+    ASSERT_EQ(x, y) << what << " differs at node " << i << ": " << a[i]
+                    << " vs " << b[i];
+  }
+}
+
+void expect_equal_traces(const Trace& incremental, const Trace& full) {
+  ASSERT_EQ(incremental.result.outcome, full.result.outcome);
+  ASSERT_EQ(incremental.result.rounds_run(), full.result.rounds_run());
+  ASSERT_EQ(incremental.result.final_state.flags(),
+            full.result.final_state.flags());
+  expect_same_bits(incremental.result.starting_utility,
+                   full.result.starting_utility, "starting_utility");
+  expect_same_bits(incremental.result.final_utility, full.result.final_utility,
+                   "final_utility");
+  ASSERT_EQ(incremental.rounds.size(), full.rounds.size());
+  for (std::size_t r = 0; r < full.rounds.size(); ++r) {
+    SCOPED_TRACE("round " + std::to_string(r + 1));
+    const RoundTrace& a = incremental.rounds[r];
+    const RoundTrace& b = full.rounds[r];
+    EXPECT_EQ(a.secure, b.secure);
+    EXPECT_EQ(a.flip_on, b.flip_on);
+    EXPECT_EQ(a.flip_off, b.flip_off);
+    expect_same_bits(a.utility, b.utility, "utility");
+    expect_same_bits(a.proj_on, b.proj_on, "proj_on");
+    expect_same_bits(a.proj_off, b.proj_off, "proj_off");
+  }
+}
+
+/// Runs incremental vs full vs lockstep-checked on one instance and asserts
+/// all three agree (the checked run throws IncrementalDivergence itself on
+/// any cached-bundle mismatch, which ASSERT_NO_THROW surfaces).
+void cross_check(const topo::AsGraph& g, SimConfig cfg,
+                 const DeploymentState& init) {
+  cfg.incremental = true;
+  cfg.check_incremental = false;
+  const Trace fast = run_traced(g, cfg, init);
+
+  cfg.incremental = false;
+  const Trace full = run_traced(g, cfg, init);
+  expect_equal_traces(fast, full);
+
+  cfg.incremental = true;
+  cfg.check_incremental = true;
+  Trace checked;
+  ASSERT_NO_THROW(checked = run_traced(g, cfg, init));
+  expect_equal_traces(checked, full);
+}
+
+TEST(IncrementalDiff, MatchesFullEngineAcrossMatrix) {
+  const UtilityModel models[] = {UtilityModel::Outgoing, UtilityModel::Incoming};
+  const PricingModel pricings[] = {PricingModel::LinearVolume,
+                                   PricingModel::ConcaveVolume,
+                                   PricingModel::TieredCapacity};
+  const rt::TieBreakPolicy::Mode tiebreaks[] = {
+      rt::TieBreakPolicy::Mode::PairwiseHash, rt::TieBreakPolicy::Mode::Rank};
+
+  // 2 models x 3 pricings x 2 tie-breaks x 4 seeds = 48 randomized graphs.
+  std::uint64_t seed = 0;
+  for (const UtilityModel model : models) {
+    for (const PricingModel pricing : pricings) {
+      for (const auto tb : tiebreaks) {
+        for (int rep = 0; rep < 4; ++rep) {
+          ++seed;
+          SCOPED_TRACE(std::string(to_string(model)) + "/" + to_string(pricing) +
+                       (tb == rt::TieBreakPolicy::Mode::Rank ? "/rank" : "/hash") +
+                       "/seed" + std::to_string(seed));
+          const auto net =
+              test::small_internet(110 + 20 * (seed % 3), 1000 + seed);
+          const auto init = test::random_state(net.graph, 0.25, seed);
+
+          SimConfig cfg;
+          cfg.model = model;
+          cfg.pricing = pricing;
+          cfg.pricing_tier_size = 25.0;
+          cfg.tiebreak.mode = tb;
+          cfg.theta = 0.02;
+          cfg.stub_breaks_ties = (seed % 2) == 0;
+          cfg.allow_turn_off = true;
+          cfg.max_rounds = 60;
+          cfg.threads = 2;  // exercises per-worker scratch slots
+          cross_check(net.graph, cfg, init);
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalDiff, RecomputesOnlyDirtyDestinationsAfterFirstRound) {
+  const auto net = test::small_internet(400, 11);
+  const auto init = test::random_state(net.graph, 0.05, 11);
+  const std::size_t n = net.graph.num_nodes();
+
+  SimConfig cfg;
+  cfg.model = UtilityModel::Outgoing;
+  cfg.theta = 0.01;
+  cfg.threads = 1;
+  DeploymentSimulator sim(net.graph, cfg);
+  const auto result = sim.run(init);
+
+  ASSERT_GE(result.rounds_run(), 2u) << "instance too quiet to test pruning";
+  EXPECT_EQ(result.rounds[0].recomputed_destinations, n)
+      << "first round must be a full recompute";
+  std::size_t later_total = 0, later_rounds = 0;
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    later_total += result.rounds[r].recomputed_destinations;
+    ++later_rounds;
+  }
+  // The whole point of the engine: per-round cost proportional to churn.
+  EXPECT_LT(later_total, later_rounds * n);
+
+  // The full engine reports every destination recomputed every round.
+  cfg.incremental = false;
+  DeploymentSimulator full(net.graph, cfg);
+  const auto full_result = full.run(init);
+  for (const auto& r : full_result.rounds) {
+    EXPECT_EQ(r.recomputed_destinations, n);
+  }
+}
+
+TEST(IncrementalDiff, ChickenOscillationParity) {
+  // Section 7.2: the CHICKEN gadget oscillates under synchronous myopic
+  // best response (both players ON together, OFF together, forever). Both
+  // engines must detect the recurrence at the same round.
+  const auto g = gadgets::make_chicken();
+  SimConfig cfg;
+  g.configure(cfg);
+  cfg.max_rounds = 40;
+
+  cfg.incremental = true;
+  const Trace fast = run_traced(g.graph, cfg, g.initial);
+  cfg.incremental = false;
+  const Trace full = run_traced(g.graph, cfg, g.initial);
+
+  EXPECT_EQ(fast.result.outcome, Outcome::Oscillating);
+  expect_equal_traces(fast, full);
+
+  cfg.incremental = true;
+  cfg.check_incremental = true;
+  Trace checked;
+  ASSERT_NO_THROW(checked = run_traced(g.graph, cfg, g.initial));
+  expect_equal_traces(checked, full);
+}
+
+TEST(IncrementalDiff, RandomIncomingTurnOffParity) {
+  // Randomized Incoming-model runs with turn-off enabled: whatever the
+  // outcome (stable, oscillating, round cap), both engines must agree on
+  // the full trace — including the round at which a state recurs.
+  bool saw_turn_off = false;
+  for (std::uint64_t seed = 100; seed < 112; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto net = test::small_internet(150, seed);
+    const auto init = test::random_state(net.graph, 0.35, seed);
+
+    SimConfig cfg;
+    cfg.model = UtilityModel::Incoming;
+    cfg.theta = 0.0;
+    cfg.allow_turn_off = true;
+    cfg.max_rounds = 50;
+    cfg.threads = 2;
+    cross_check(net.graph, cfg, init);
+
+    cfg.incremental = true;
+    const Trace t = run_traced(net.graph, cfg, init);
+    for (const auto& r : t.rounds) saw_turn_off |= !r.flip_off.empty();
+  }
+
+  // The random matrix checks parity under arbitrary churn, but nothing
+  // guarantees a profitable turn-off exists in those instances. The Figure
+  // 13 buyer's-remorse gadget has one by construction: telecom must flip
+  // off, and both engines must agree on the round it happens.
+  const auto g = gadgets::make_buyers_remorse();
+  SimConfig gcfg;
+  g.configure(gcfg);
+  cross_check(g.graph, gcfg, g.initial);
+  gcfg.incremental = true;
+  const Trace gt = run_traced(g.graph, gcfg, g.initial);
+  EXPECT_FALSE(gt.result.final_state.is_secure(g.node("telecom")));
+  for (const auto& r : gt.rounds) saw_turn_off |= !r.flip_off.empty();
+  EXPECT_TRUE(saw_turn_off) << "matrix never exercised the turn-off path";
+}
+
+TEST(IncrementalDiff, AbortedMidRunParity) {
+  // stop_requested is polled exactly once per round by both engines, so a
+  // deadline that fires at the k-th poll must abort both at the same round
+  // with the same partial state.
+  const auto net = test::small_internet(200, 5);
+  const auto init = test::random_state(net.graph, 0.25, 5);
+
+  SimConfig cfg;
+  cfg.model = UtilityModel::Incoming;
+  cfg.theta = 0.0;
+  cfg.allow_turn_off = true;
+  cfg.max_rounds = 50;
+
+  const auto run_with_deadline = [&](bool incremental) {
+    SimConfig c = cfg;
+    c.incremental = incremental;
+    std::size_t polls = 0;
+    c.stop_requested = [&polls] { return ++polls > 2; };
+    return run_traced(net.graph, c, init);
+  };
+  const Trace fast = run_with_deadline(true);
+  const Trace full = run_with_deadline(false);
+  EXPECT_EQ(fast.result.outcome, Outcome::Aborted);
+  expect_equal_traces(fast, full);
+}
+
+TEST(IncrementalDiff, ExhaustiveProjectionModeStaysFull) {
+  // use_projection_pruning=false (the O(V^2)-trees testing mode) has no
+  // footprints to reason with; the engine must fall back to full recompute
+  // and still agree with itself.
+  const auto net = test::small_internet(60, 3);
+  const auto init = test::random_state(net.graph, 0.3, 3);
+
+  SimConfig cfg;
+  cfg.model = UtilityModel::Incoming;
+  cfg.theta = 0.0;
+  cfg.use_projection_pruning = false;
+  cfg.max_rounds = 30;
+  cross_check(net.graph, cfg, init);
+
+  cfg.use_projection_pruning = true;
+  cfg.incremental = true;
+  const Trace pruned = run_traced(net.graph, cfg, init);
+  cfg.use_projection_pruning = false;
+  const Trace exhaustive = run_traced(net.graph, cfg, init);
+  // Pruning (and caching on top of it) never changes decisions.
+  EXPECT_EQ(pruned.result.outcome, exhaustive.result.outcome);
+  EXPECT_EQ(pruned.result.final_state.flags(),
+            exhaustive.result.final_state.flags());
+  for (const auto& r : exhaustive.result.rounds) {
+    EXPECT_EQ(r.recomputed_destinations, net.graph.num_nodes());
+  }
+}
+
+TEST(IncrementalDiff, BackToBackRunsDoNotLeakCache) {
+  // run() may be called repeatedly on one simulator with different initial
+  // states; cached bundles from the previous run must not bleed through.
+  const auto net = test::small_internet(150, 9);
+  SimConfig cfg;
+  cfg.model = UtilityModel::Outgoing;
+  cfg.theta = 0.02;
+  DeploymentSimulator sim(net.graph, cfg);
+
+  const auto init_a = test::random_state(net.graph, 0.3, 1);
+  const auto init_b = test::random_state(net.graph, 0.1, 2);
+  const auto first = sim.run(init_a);
+  const auto second = sim.run(init_b);
+
+  DeploymentSimulator fresh(net.graph, cfg);
+  const auto expected = fresh.run(init_b);
+  EXPECT_EQ(second.outcome, expected.outcome);
+  EXPECT_EQ(second.rounds_run(), expected.rounds_run());
+  EXPECT_EQ(second.final_state.flags(), expected.final_state.flags());
+  expect_same_bits(second.final_utility, expected.final_utility,
+                   "final_utility");
+  (void)first;
+}
+
+}  // namespace
+}  // namespace sbgp::core

@@ -1,0 +1,171 @@
+// Round-trip fuzz tests for exp::json, backing the result store's
+// byte-stability contract: for any value the dumper can emit,
+// dump(parse(dump(v))) must equal dump(v) byte for byte. Checkpoint/resume
+// keys on this — a drifting serialisation would orphan stored results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <random>
+#include <string>
+
+#include "exp/json.h"
+
+namespace sbgp::exp {
+namespace {
+
+void expect_stable(const Json& j, const std::string& context) {
+  const std::string once = j.dump();
+  Json reparsed;
+  ASSERT_NO_THROW(reparsed = Json::parse(once)) << context << ": " << once;
+  EXPECT_EQ(reparsed.dump(), once) << context;
+}
+
+TEST(JsonFuzz, RandomBitPatternDoublesRoundTrip) {
+  // Doubles drawn uniformly from the *bit pattern* space hit subnormals,
+  // huge/tiny exponents, and every mantissa shape — far beyond what a
+  // uniform_real_distribution explores. NaN/inf are excluded: the dumper
+  // has no representation for them (JSON numbers cannot carry them).
+  std::mt19937_64 rng(20260806);
+  std::size_t tested = 0;
+  while (tested < 5000) {
+    const std::uint64_t bits = rng();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    if (!std::isfinite(v)) continue;
+    ++tested;
+    const std::string once = format_double(v);
+    Json reparsed;
+    ASSERT_NO_THROW(reparsed = Json::parse(once)) << once;
+    EXPECT_EQ(format_double(reparsed.as_double()), once) << once;
+  }
+}
+
+TEST(JsonFuzz, EdgeCaseDoublesRoundTrip) {
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      0.1,
+      -0.05,
+      1.0 / 3.0,
+      5e-324,                                  // smallest subnormal
+      2.2250738585072009e-308,                 // largest subnormal
+      2.2250738585072014e-308,                 // smallest normal
+      1.7976931348623157e308,                  // largest finite
+      9.0e15,                                  // just past the integer-print cutoff
+      8999999999999998.0,                      // just inside it
+      4503599627370496.0,                      // 2^52
+      -9.007199254740992e15,
+      1e300,
+      -1e-300,
+      123456789.123456789,
+  };
+  for (const double v : cases) {
+    Json arr = Json::array();
+    arr.push(Json::number(v));
+    expect_stable(arr, "double " + format_double(v));
+  }
+}
+
+TEST(JsonFuzz, HugeIntegerValuedDoublesDoNotOverflowTheCast) {
+  // Regression: format_double used to evaluate the long-long cast *before*
+  // the range check — undefined behaviour for |v| >= 2^63 (UBSan:
+  // float-cast-overflow) even though the branch was not taken.
+  constexpr double kMax = std::numeric_limits<double>::max();
+  const double huge[] = {1e19, -1e19, 9.3e18, kMax, -kMax, 2e63};
+  for (const double v : huge) {
+    const std::string s = format_double(v);
+    Json reparsed;
+    ASSERT_NO_THROW(reparsed = Json::parse(s)) << s;
+    EXPECT_EQ(format_double(reparsed.as_double()), s);
+  }
+}
+
+TEST(JsonFuzz, RandomStringsRoundTrip) {
+  // Arbitrary byte strings: quotes, backslashes, every control character,
+  // DEL, and high bytes (the store never re-encodes; bytes in == bytes out).
+  std::mt19937_64 rng(424242);
+  std::uniform_int_distribution<int> len(0, 64);
+  std::uniform_int_distribution<int> byte(0, 255);
+  // Weight the interesting characters so escapes actually occur.
+  const char hot[] = {'"', '\\', '\n', '\r', '\t', '\b', '\f', '\x01', '\x1f', '/'};
+  std::uniform_int_distribution<int> hot_idx(0, sizeof(hot) - 1);
+  std::bernoulli_distribution pick_hot(0.3);
+
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string s;
+    const int L = len(rng);
+    for (int k = 0; k < L; ++k) {
+      s += pick_hot(rng) ? hot[hot_idx(rng)] : static_cast<char>(byte(rng));
+    }
+    Json j = Json::object();
+    j.set("k", Json::string(s));
+    const std::string once = j.dump();
+    Json reparsed;
+    ASSERT_NO_THROW(reparsed = Json::parse(once)) << once;
+    ASSERT_EQ(reparsed.find("k")->as_string(), s);
+    EXPECT_EQ(reparsed.dump(), once);
+  }
+}
+
+TEST(JsonFuzz, DeepNestingSurvives) {
+  // ~400 levels of alternating arrays/objects: the recursive-descent
+  // parser must neither reject nor corrupt deeply nested documents.
+  Json leaf = Json::number(1.0);
+  Json current = std::move(leaf);
+  for (int depth = 0; depth < 400; ++depth) {
+    if (depth % 2 == 0) {
+      Json arr = Json::array();
+      arr.push(std::move(current));
+      current = std::move(arr);
+    } else {
+      Json obj = Json::object();
+      obj.set("d", std::move(current));
+      current = std::move(obj);
+    }
+  }
+  expect_stable(current, "400-deep nesting");
+}
+
+TEST(JsonFuzz, RandomCompositeDocumentsRoundTrip) {
+  // Random trees mixing every node type, built breadth-limited so the
+  // document stays small while shapes vary.
+  std::mt19937_64 rng(77);
+  std::uniform_int_distribution<int> type(0, 5);
+  std::uniform_int_distribution<int> fanout(0, 3);
+  std::uniform_real_distribution<double> num(-1e6, 1e6);
+
+  std::function<Json(int)> gen = [&](int depth) -> Json {
+    const int t = depth > 4 ? type(rng) % 4 : type(rng);
+    switch (t) {
+      case 0: return Json();  // null
+      case 1: return Json::boolean(rng() & 1);
+      case 2: return Json::number(num(rng));
+      case 3: return Json::string("s" + std::to_string(rng() % 1000));
+      case 4: {
+        Json arr = Json::array();
+        const int k = fanout(rng);
+        for (int i = 0; i < k; ++i) arr.push(gen(depth + 1));
+        return arr;
+      }
+      default: {
+        Json obj = Json::object();
+        const int k = fanout(rng);
+        for (int i = 0; i < k; ++i) {
+          obj.set("k" + std::to_string(i), gen(depth + 1));
+        }
+        return obj;
+      }
+    }
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    expect_stable(gen(0), "composite doc " + std::to_string(iter));
+  }
+}
+
+}  // namespace
+}  // namespace sbgp::exp

@@ -157,6 +157,64 @@ TEST(GraphIo, ParseErrors) {
   }
 }
 
+// Captures the parser's exception message for a given document.
+std::string parse_failure(const std::string& doc) {
+  std::istringstream is(doc);
+  try {
+    (void)read_as_rel(is);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(GraphIo, RejectsDuplicateEdgesWithLineNumber) {
+  // Exact duplicate.
+  std::string err = parse_failure("1|2|-1\n2|3|-1\n1|2|-1\n");
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("duplicate edge 1|2"), std::string::npos) << err;
+  // Same adjacency under a different relationship (or orientation) is
+  // still the same physical link — also a duplicate.
+  err = parse_failure("1|2|-1\n2|1|-1\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("duplicate edge"), std::string::npos) << err;
+  err = parse_failure("1|2|0\n1|2|-1\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("duplicate edge"), std::string::npos) << err;
+}
+
+TEST(GraphIo, RejectsSelfLoopsWithLineNumber) {
+  std::string err = parse_failure("1|2|-1\n3|3|-1\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("self-loop 3|3"), std::string::npos) << err;
+  err = parse_failure("7|7|0\n");
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("self-loop 7|7"), std::string::npos) << err;
+}
+
+TEST(GraphIo, RejectsTrailingGarbageAfterRelationship) {
+  for (const char* doc : {"1|2|-1x\n", "1|2|-1 \n", "1|2|0|extra\n", "1|2| 0\n"}) {
+    const std::string err = parse_failure(doc);
+    EXPECT_NE(err.find("line 1"), std::string::npos) << doc << " -> " << err;
+    EXPECT_NE(err.find("unknown relationship"), std::string::npos)
+        << doc << " -> " << err;
+  }
+}
+
+TEST(GraphIo, AcceptsCrlfLineEndings) {
+  std::istringstream is("# comment\r\n1|2|-1\r\n2|3|-1\r\n1|3|0\r\n\r\n");
+  const AsGraph g = read_as_rel(is);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_customer_provider_edges(), 2u);
+  EXPECT_EQ(g.num_peer_edges(), 1u);
+}
+
+TEST(GraphIo, CrlfSelfLoopStillRejected) {
+  const std::string err = parse_failure("1|2|-1\r\n4|4|0\r\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("self-loop 4|4"), std::string::npos) << err;
+}
+
 // ---- Generator invariants, swept over seeds and sizes -----------------
 
 struct GenParam {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the test suite, then smoke-test
-# the experiment-orchestration path (`sbgpsim jobs run` on a tiny grid, a
-# resumed rerun that must skip everything, and a canonical merge). Every PR
-# should pass this unchanged.
+# Tier-1 verification: configure, build, run the test suite (plain and under
+# ASan/UBSan), then smoke-test the experiment-orchestration path
+# (`sbgpsim jobs run` on a tiny grid, a resumed rerun that must skip
+# everything, and a canonical merge). Every PR should pass this unchanged.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,6 +10,12 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+# Second pass: the test suite under AddressSanitizer + UBSan (separate build
+# tree; only the test target is built to keep the pass tier-1 sized).
+cmake -B build-asan -S . -DSBGPSIM_SANITIZE=address,undefined
+cmake --build build-asan -j --target sbgp_tests
+(cd build-asan && ctest --output-on-failure -j)
 
 # Orchestration smoke: 12-job grid, sharded run, full resume, merge.
 tmp="$(mktemp -d)"

@@ -57,6 +57,8 @@ struct CliOptions {
   bool csv = false;
   bool stub_ties = true;
   bool resume = true;
+  bool incremental = true;
+  bool check_incremental = false;
   core::UtilityModel model = core::UtilityModel::Outgoing;
 };
 
@@ -68,6 +70,8 @@ struct CliOptions {
       "  simulate: --adopters SPEC --theta F --model outgoing|incoming\n"
       "            --stub-ties 0|1 [--csv]\n"
       "  sweep:    --adopters SPEC --thetas 0,0.05,... [--workers N] [--csv]\n"
+      "  simulate/sweep: [--no-incremental] [--check-incremental]\n"
+      "            (full per-round recompute / differential incremental check)\n"
       "  analyze:  tiebreaks | diamonds | resilience | pathlens\n"
       "  jobs:     run|status|merge --spec FILE --store FILE\n"
       "            run: [--workers N] [--timeout-s F] [--retries K]\n"
@@ -102,6 +106,8 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--progress-s") o.progress_s = std::stod(next());
     else if (a == "--retries") o.retries = std::stoi(next());
     else if (a == "--no-resume") o.resume = false;
+    else if (a == "--no-incremental") o.incremental = false;
+    else if (a == "--check-incremental") o.check_incremental = true;
     else if (a == "--augment") o.augment = true;
     else if (a == "--csv") o.csv = true;
     else if (a == "--stub-ties") o.stub_ties = next() != "0";
@@ -170,6 +176,8 @@ core::SimConfig sim_config(const CliOptions& o) {
   cfg.model = o.model;
   cfg.theta = o.theta;
   cfg.stub_breaks_ties = o.stub_ties;
+  cfg.incremental = o.incremental;
+  cfg.check_incremental = o.check_incremental;
   return cfg;
 }
 
@@ -216,6 +224,8 @@ int cmd_sweep(const CliOptions& o) {
   spec.models = {core::to_string(o.model)};
   spec.stub_ties = {o.stub_ties ? 1 : 0};
   spec.seeds = {o.seed};
+  spec.incremental = o.incremental;
+  spec.check_incremental = o.check_incremental;
   try {
     spec.thetas = exp::parse_double_list(o.thetas, "--thetas");
   } catch (const exp::JsonError& e) {
@@ -429,10 +439,16 @@ int cmd_jobs(const CliOptions& o) {
 
 int main(int argc, char** argv) {
   const CliOptions o = parse(argc, argv);
-  if (o.command == "generate") return cmd_generate(o);
-  if (o.command == "simulate") return cmd_simulate(o);
-  if (o.command == "sweep") return cmd_sweep(o);
-  if (o.command == "analyze") return cmd_analyze(o);
-  if (o.command == "jobs") return cmd_jobs(o);
+  try {
+    if (o.command == "generate") return cmd_generate(o);
+    if (o.command == "simulate") return cmd_simulate(o);
+    if (o.command == "sweep") return cmd_sweep(o);
+    if (o.command == "analyze") return cmd_analyze(o);
+    if (o.command == "jobs") return cmd_jobs(o);
+  } catch (const core::IncrementalDivergence& e) {
+    // --check-incremental tripped: always an engine bug, never bad input.
+    std::cerr << "FATAL: " << e.what() << "\n";
+    return 3;
+  }
   usage(2);
 }
