@@ -1,0 +1,125 @@
+// Observability overhead gate: the obs:: subsystem must cost <= 2% of
+// wall-clock on the default 1500-AS deployment cascade with metrics AND
+// tracing armed, and the simulation results must be bitwise identical with
+// observability on and off (the instrumentation only reads clocks and bumps
+// counters — it must never perturb the computation).
+//
+// Three configurations are timed best-of-reps over the same run:
+//   off      — metrics disabled, tracing disabled (the default state)
+//   metrics  — metrics registry armed
+//   full     — metrics + trace ring armed (the gated configuration)
+//
+// Exit 0 when the full-overhead ratio is <= the gate AND all three runs
+// produce identical results; exit 1 otherwise.
+//
+//   bench_obs_overhead [--nodes N] [--seed S] [--threads T] [--reps K]
+//                      [--gate PCT]
+#include <chrono>
+#include <iomanip>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stats/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_seconds(const sbgp::topo::Internet& net,
+                   const sbgp::core::SimConfig& cfg,
+                   const sbgp::core::DeploymentState& init, int reps,
+                   sbgp::core::SimResult& out) {
+  double best = 1e100;  // best-of-reps: robust against scheduler noise
+  for (int r = 0; r < reps; ++r) {
+    sbgp::core::DeploymentSimulator sim(net.graph, cfg);
+    const auto t0 = Clock::now();
+    out = sim.run(init);
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool identical(const sbgp::core::SimResult& a, const sbgp::core::SimResult& b) {
+  return a.outcome == b.outcome && a.rounds_run() == b.rounds_run() &&
+         a.final_state.flags() == b.final_state.flags() &&
+         a.final_utility == b.final_utility &&
+         a.starting_utility == b.starting_utility;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbgp;
+  int reps = 5;
+  double gate_pct = 2.0;
+  std::vector<char*> args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::string(argv[i]) == "--gate" && i + 1 < argc) {
+      gate_pct = std::atof(argv[++i]);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const auto opt =
+      bench::parse_options(static_cast<int>(args.size()), args.data());
+  bench::print_header("perf - obs:: observability overhead", opt);
+
+  auto net = bench::make_internet(opt);
+  const auto adopters = bench::case_study_adopters(net);
+  const auto init = core::DeploymentState::initial(net.graph, adopters);
+  const core::SimConfig cfg = bench::case_study_config(opt);
+
+  // Baseline: everything off (the shipped default).
+  obs::set_metrics_enabled(false);
+  obs::TraceBuffer::global().set_enabled(false);
+  core::SimResult base, with_metrics, with_full;
+  const double off_s = run_seconds(net, cfg, init, reps, base);
+
+  obs::set_metrics_enabled(true);
+  const double metrics_s = run_seconds(net, cfg, init, reps, with_metrics);
+
+  obs::TraceBuffer::global().set_enabled(true);
+  const double full_s = run_seconds(net, cfg, init, reps, with_full);
+  obs::TraceBuffer::global().set_enabled(false);
+  obs::set_metrics_enabled(false);
+
+  const bool same =
+      identical(base, with_metrics) && identical(base, with_full);
+
+  auto pct = [&](double s) {
+    return off_s > 0 ? (s / off_s - 1.0) * 100.0 : 0.0;
+  };
+  stats::Table t({"configuration", "best s", "overhead %"});
+  t.begin_row();
+  t.add(std::string("obs off"));
+  t.add(off_s, 4);
+  t.add(0.0, 2);
+  t.begin_row();
+  t.add(std::string("metrics"));
+  t.add(metrics_s, 4);
+  t.add(pct(metrics_s), 2);
+  t.begin_row();
+  t.add(std::string("metrics+tracing"));
+  t.add(full_s, 4);
+  t.add(pct(full_s), 2);
+  t.print(std::cout);
+
+  const std::uint64_t spans = obs::TraceBuffer::global().recorded();
+  std::cout << std::fixed << std::setprecision(2) << "\nspans recorded: "
+            << spans << " (dropped " << obs::TraceBuffer::global().dropped()
+            << ")\nresults identical (off vs metrics vs full): "
+            << (same ? "yes" : "NO") << "\ngate: overhead <= " << gate_pct
+            << "% -> " << (pct(full_s) <= gate_pct ? "PASS" : "FAIL") << "\n";
+  bench::print_paper_note(
+      "Instrumentation rides the round loop's existing phase boundaries: a "
+      "handful of clock reads and sharded relaxed counter bumps per round, "
+      "amortised over thousands of per-destination tree computations.");
+
+  if (!same) return 1;
+  if (spans == 0) return 1;  // tracing must actually have observed the run
+  return pct(full_s) <= gate_pct ? 0 : 1;
+}

@@ -13,6 +13,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/rib.h"
 
 namespace sbgp::core {
@@ -684,9 +686,16 @@ void update_bundle_partial(const AsGraph& graph, const SimConfig& cfg,
 
 std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
                                                 RoundOutput& out,
-                                                std::size_t round) {
+                                                std::size_t round,
+                                                RoundStats* stats) {
   const std::size_t n = graph_.num_nodes();
   Cache& c = *cache_;
+  // Phase timestamps are taken unconditionally (4 clock reads per round)
+  // so RoundStats timings are always populated; they feed telemetry only
+  // and never influence the simulation itself.
+  const std::uint64_t t_begin = obs::now_ns();
+  if (stats != nullptr) stats->dirty_seeds = c.changed.size();
+  std::size_t partial_n = 0;
   // The incremental engine needs the C.4 footprints; exhaustive projection
   // mode (a testing mode) always recomputes everything.
   const bool carry = cfg_.incremental && cfg_.use_projection_pruning && c.valid;
@@ -768,7 +777,10 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
         c.work.push_back(d);
         // Base tree provably unchanged: with the cross-round caches in
         // place, only the stale projection entries need recomputing.
-        if (c.big_cache) c.partial_mask[d] = 1;
+        if (c.big_cache) {
+          c.partial_mask[d] = 1;
+          ++partial_n;
+        }
       }
     }
     if (std::getenv("SBGP_DIRTY_DEBUG") != nullptr) {
@@ -778,6 +790,7 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
                    round, n_tree, cand_tree, n_proj, cand_proj, stale_proj);
     }
   }
+  const std::uint64_t t_scan = obs::now_ns();
   const auto scratch_of_worker = [&c]() -> WorkerScratch& {
     const std::size_t w = par::ThreadPool::current_worker_index();
     assert(w < c.scratch.size());
@@ -880,6 +893,7 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
     c.dirty_mask[y] = 0;
   }
   for (const std::size_t d : c.work) c.partial_mask[d] = 0;
+  const std::uint64_t t_eval = obs::now_ns();
 
   // Fold all N bundles in destination order — fixed regardless of thread
   // count or of which destinations were recomputed, so full and
@@ -906,6 +920,33 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
     }
   }
 
+  const std::uint64_t t_end = obs::now_ns();
+  if (stats != nullptr) {
+    stats->partial_updates = partial_n;
+    stats->scan_ms = static_cast<double>(t_scan - t_begin) * 1e-6;
+    stats->eval_ms = static_cast<double>(t_eval - t_scan) * 1e-6;
+    stats->fold_ms = static_cast<double>(t_end - t_eval) * 1e-6;
+  }
+  {
+    static obs::Counter& rounds_ctr =
+        obs::Registry::global().counter("sim.rounds_evaluated");
+    static obs::Counter& recomputed_ctr =
+        obs::Registry::global().counter("sim.dest_recomputed");
+    static obs::Counter& partial_ctr =
+        obs::Registry::global().counter("sim.dest_partial_updates");
+    rounds_ctr.add(1);
+    recomputed_ctr.add(c.work.size());
+    partial_ctr.add(partial_n);
+    auto& tb = obs::TraceBuffer::global();
+    if (tb.enabled()) {
+      // Phase spans share the RoundStats boundaries exactly, so the Chrome
+      // trace and the JSONL round records tell the same story.
+      tb.record("sim.scan", t_begin, t_scan - t_begin);
+      tb.record("sim.eval", t_scan, t_eval - t_scan);
+      tb.record("sim.fold", t_eval, t_end - t_eval);
+    }
+  }
+
   c.valid = cfg_.use_projection_pruning;
   c.changed.clear();
   return c.work.size();
@@ -923,6 +964,7 @@ SimResult DeploymentSimulator::run(const DeploymentState& initial,
     // the state-independent per-destination RIBs (Obs. C.1) are computed
     // here once, so no evaluated round ever pays for a RIB again. The
     // chunked fixed-order fold matches compute_utilities bit for bit.
+    OBS_SPAN("sim.starting_utilities");
     const std::vector<std::uint8_t> nobody(n, 0);
     rt::UtilityAccumulator start(n);
     Cache& c = *cache_;
@@ -978,11 +1020,15 @@ SimResult DeploymentSimulator::run(const DeploymentState& initial,
 
   result.outcome = Outcome::RoundCapReached;
   for (std::size_t round = 1; round <= cfg_.max_rounds; ++round) {
+    OBS_SPAN("sim.round");
     if (cfg_.stop_requested && cfg_.stop_requested()) {
       result.outcome = Outcome::Aborted;
       break;
     }
-    const std::size_t recomputed = evaluate_round(state, round_out, round);
+    RoundStats stats;
+    stats.round = round;
+    const std::size_t recomputed =
+        evaluate_round(state, round_out, round, &stats);
 
     const auto& util_model =
         cfg_.model == UtilityModel::Outgoing ? round_out.util_out : round_out.util_in;
@@ -1036,8 +1082,6 @@ SimResult DeploymentSimulator::run(const DeploymentState& initial,
       break;
     }
 
-    RoundStats stats;
-    stats.round = round;
     stats.recomputed_destinations = recomputed;
     const std::size_t stubs_before =
         state.num_secure_of_class(graph_, topo::AsClass::Stub);

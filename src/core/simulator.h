@@ -159,6 +159,19 @@ struct RoundStats {
   /// num_nodes under the full engine; typically collapses to a small
   /// fraction after the first round under SimConfig::incremental).
   std::size_t recomputed_destinations = 0;
+
+  // --- Observability payload (obs:: telemetry). Timings and engine
+  // internals only — never part of the simulation *result*; differential
+  // tests and the bench identity checks compare the fields above.
+  /// Nodes whose secure bit changed entering this round (the dirty seed set
+  /// driving footprint invalidation; 0 in round 1 and under the full engine).
+  std::size_t dirty_seeds = 0;
+  /// Recomputed destinations that took the cheaper partial-update path
+  /// (cached base tree provably unchanged, only stale projections redone).
+  std::size_t partial_updates = 0;
+  double scan_ms = 0.0;  ///< dirty-footprint scan / work-list build
+  double eval_ms = 0.0;  ///< parallel per-destination bundle phase
+  double fold_ms = 0.0;  ///< fixed-order aggregation over all bundles
 };
 
 /// Everything an observer can see about a round, *before* flips are applied.
@@ -231,8 +244,10 @@ class DeploymentSimulator {
   struct Cache;  // per-destination bundle cache + per-worker scratch (pimpl)
   /// Evaluates one round into `out`; returns the number of destinations
   /// actually recomputed. `round` is 1-based, for divergence reporting.
+  /// `stats` (optional) receives the observability payload: dirty-seed /
+  /// partial-update counts and per-phase wall times.
   std::size_t evaluate_round(const DeploymentState& state, RoundOutput& out,
-                             std::size_t round);
+                             std::size_t round, RoundStats* stats = nullptr);
 
   const AsGraph& graph_;
   SimConfig cfg_;

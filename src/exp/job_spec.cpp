@@ -149,6 +149,9 @@ Json JobSpec::to_json() const {
   j.set("threads", Json::number(static_cast<std::uint64_t>(threads)));
   j.set("incremental", Json::boolean(incremental));
   j.set("check_incremental", Json::boolean(check_incremental));
+  // metrics_out / trace_out / obs_summary are deliberately NOT serialised:
+  // hash() is derived from this JSON and telemetry sinks must not change a
+  // spec's identity (see JobSpec declaration).
   return j;
 }
 
@@ -158,7 +161,8 @@ JobSpec JobSpec::from_json(const Json& j) {
                    {"name", "graphs", "adopters", "models", "pricing",
                     "stub_ties", "seeds", "thetas", "pricing_tier_size",
                     "max_rounds", "threads", "incremental",
-                    "check_incremental"},
+                    "check_incremental", "metrics_out", "trace_out",
+                    "obs_summary"},
                    "spec");
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("graphs")) {
@@ -217,6 +221,9 @@ JobSpec JobSpec::from_json(const Json& j) {
   if (const Json* v = j.find("check_incremental")) {
     spec.check_incremental = v->as_bool();
   }
+  if (const Json* v = j.find("metrics_out")) spec.metrics_out = v->as_string();
+  if (const Json* v = j.find("trace_out")) spec.trace_out = v->as_string();
+  if (const Json* v = j.find("obs_summary")) spec.obs_summary = v->as_bool();
   if (spec.graphs.empty() || spec.adopters.empty() || spec.models.empty() ||
       spec.pricing.empty() || spec.stub_ties.empty() || spec.seeds.empty() ||
       spec.thetas.empty()) {

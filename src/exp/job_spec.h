@@ -87,6 +87,16 @@ struct JobSpec {
   /// Scalars applied to every job (not grid axes): engine selection.
   bool incremental = true;
   bool check_incremental = false;
+  /// Observability scalars (not grid axes). When set, `sbgpsim jobs run`
+  /// streams per-job telemetry JSONL to `metrics_out`, writes a Chrome
+  /// trace to `trace_out`, and/or prints the span summary. Accepted in spec
+  /// files but EXCLUDED from to_json() and therefore from hash(): telemetry
+  /// sinks are run configuration, not experiment identity, so toggling them
+  /// must not invalidate checkpoint/resume against an existing store. CLI
+  /// flags override these.
+  std::string metrics_out;
+  std::string trace_out;
+  bool obs_summary = false;
 
   /// Number of grid points (product of axis sizes).
   [[nodiscard]] std::size_t num_jobs() const;

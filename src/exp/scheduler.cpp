@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "exp/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace sbgp::exp {
@@ -103,7 +105,15 @@ SweepReport SweepScheduler::run(const JobSpec& spec, ResultStore* store,
     });
   }
 
+  static obs::Counter& jobs_ctr =
+      obs::Registry::global().counter("exp.jobs_executed");
+  static obs::Counter& retries_ctr =
+      obs::Registry::global().counter("exp.job_retries");
+  static obs::LatencyHistogram& job_wall_hist =
+      obs::Registry::global().histogram("exp.job_wall_ns");
+
   const auto run_one = [&](std::size_t idx) {
+    OBS_SPAN("exp.job");
     const Job& job = *pending[idx];
     const auto job_start = Clock::now();
     JobRecord record;
@@ -137,6 +147,7 @@ SweepReport SweepScheduler::run(const JobSpec& spec, ResultStore* store,
       // Timeouts are deterministic under a fixed budget — retrying would
       // burn the same wall time again; only genuine failures are retried.
       if (record.status == "failed" && attempt <= options_.retries) {
+        retries_ctr.add(1);
         std::scoped_lock lock(state_mutex);
         ++report.retried;
         continue;
@@ -146,8 +157,13 @@ SweepReport SweepScheduler::run(const JobSpec& spec, ResultStore* store,
     record.spec_hash = spec_hash;
     record.attempts = attempt;
     record.wall_ms = ms_since(job_start);
+    jobs_ctr.add(1);
+    job_wall_hist.record_ns(static_cast<std::uint64_t>(record.wall_ms * 1e6));
     if (record.status != "ok") failures.fetch_add(1);
     if (store != nullptr) store->append(record);
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->append(job_record(record));
+    }
     {
       std::scoped_lock lock(state_mutex);
       ++report.executed;

@@ -23,6 +23,7 @@
 
 #include "exp/job_spec.h"
 #include "exp/result_store.h"
+#include "exp/telemetry.h"
 #include "stats/histogram.h"
 
 namespace sbgp::exp {
@@ -42,6 +43,10 @@ struct SweepOptions {
   /// the final summary. Lines go to the stream below (nullptr = silent).
   double progress_interval_s = 5.0;
   std::ostream* progress = nullptr;
+  /// Optional telemetry sink: every executed job is appended as a
+  /// {"type":"job"} JSONL record the moment it completes (same cadence as
+  /// the result store). Not owned; must outlive run().
+  TelemetryLog* telemetry = nullptr;
 };
 
 /// What the sweep did, plus the merged per-job records (latest record for

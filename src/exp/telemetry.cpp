@@ -1,0 +1,85 @@
+#include "exp/telemetry.h"
+
+#include "obs/metrics.h"
+
+namespace sbgp::exp {
+
+TelemetryLog::TelemetryLog(std::string path) : path_(std::move(path)) {
+  bool needs_newline = false;
+  {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    if (in && in.tellg() > 0) {
+      in.seekg(-1, std::ios::end);
+      char last = '\n';
+      in.get(last);
+      needs_newline = last != '\n';
+    }
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) throw JsonError("cannot open telemetry log '" + path_ + "'");
+  if (needs_newline) out_ << '\n';
+}
+
+void TelemetryLog::append(const Json& record) {
+  const std::string line = record.dump();
+  std::scoped_lock lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+Json round_record(const core::RoundStats& r, std::size_t num_ases) {
+  const double frac =
+      num_ases == 0 ? 0.0
+                    : static_cast<double>(r.total_secure_ases) /
+                          static_cast<double>(num_ases);
+  Json j = Json::object();
+  j.set("type", Json::string("round"));
+  j.set("round", Json::number(static_cast<std::uint64_t>(r.round)));
+  j.set("flips_on", Json::number(static_cast<std::uint64_t>(r.newly_secure_isps)));
+  j.set("flips_off", Json::number(static_cast<std::uint64_t>(r.turned_off)));
+  j.set("new_stubs",
+        Json::number(static_cast<std::uint64_t>(r.newly_secure_stubs)));
+  j.set("secure_ases",
+        Json::number(static_cast<std::uint64_t>(r.total_secure_ases)));
+  j.set("secure_isps",
+        Json::number(static_cast<std::uint64_t>(r.total_secure_isps)));
+  j.set("frac_ases", Json::number(frac));
+  j.set("secure_path_frac_est", Json::number(frac * frac));
+  j.set("recomputed_destinations",
+        Json::number(static_cast<std::uint64_t>(r.recomputed_destinations)));
+  j.set("dirty_seeds", Json::number(static_cast<std::uint64_t>(r.dirty_seeds)));
+  j.set("partial_updates",
+        Json::number(static_cast<std::uint64_t>(r.partial_updates)));
+  j.set("scan_ms", Json::number(r.scan_ms));
+  j.set("eval_ms", Json::number(r.eval_ms));
+  j.set("fold_ms", Json::number(r.fold_ms));
+  return j;
+}
+
+void append_round_records(TelemetryLog& log, const core::SimResult& result,
+                          std::size_t num_ases) {
+  for (const core::RoundStats& r : result.rounds) {
+    log.append(round_record(r, num_ases));
+  }
+}
+
+Json job_record(const JobRecord& r) {
+  Json j = Json::object();
+  j.set("type", Json::string("job"));
+  // Reuse the store serialisation verbatim so the two files never disagree
+  // about a job. (Materialised: members() on the temporary would dangle.)
+  const Json store_json = r.to_json();
+  for (const auto& [key, value] : store_json.members()) {
+    j.set(key, value);
+  }
+  return j;
+}
+
+Json metrics_record() {
+  Json j = Json::object();
+  j.set("type", Json::string("metrics"));
+  j.set("registry", Json::parse(obs::Registry::global().to_json_string()));
+  return j;
+}
+
+}  // namespace sbgp::exp

@@ -1,0 +1,63 @@
+// Per-round and per-job telemetry: Json record builders plus a durable
+// JSONL sink. Record types are tagged ("round", "job", "metrics") so one
+// stream can interleave all three and downstream tooling can filter by
+// type. The sink follows the ResultStore durability contract — append-only,
+// flushed per line, safe to heal after a killed run — so telemetry files
+// sit next to (and behave like) the result store itself.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "core/simulator.h"
+#include "exp/json.h"
+#include "exp/result_store.h"
+
+namespace sbgp::exp {
+
+/// Thread-safe append-only JSONL writer. Opens in append mode and starts on
+/// a fresh line if the file ends mid-record (same healing as ResultStore).
+/// Throws JsonError when the path cannot be opened.
+class TelemetryLog {
+ public:
+  explicit TelemetryLog(std::string path);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void append(const Json& record);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+/// One simulation round, as emitted by core::DeploymentSimulator:
+/// {"type":"round","round":...,"flips_on":...,"flips_off":...,
+///  "new_stubs":...,"secure_ases":...,"secure_isps":...,"frac_ases":...,
+///  "secure_path_frac_est":...,"recomputed_destinations":...,
+///  "dirty_seeds":...,"partial_updates":...,
+///  "scan_ms":...,"eval_ms":...,"fold_ms":...}
+/// `secure_path_frac_est` is the Figure 9 square-of-adoption estimator
+/// (frac_ases^2): both endpoints must be secure for a path to count, and
+/// computing the true fraction costs an extra O(N) tree pass per round.
+[[nodiscard]] Json round_record(const core::RoundStats& r,
+                                std::size_t num_ases);
+
+/// Every round of `result` appended to `log` in order.
+void append_round_records(TelemetryLog& log, const core::SimResult& result,
+                          std::size_t num_ases);
+
+/// One sweep job, as emitted by exp::SweepScheduler:
+/// {"type":"job", ...all JobRecord fields...}.
+[[nodiscard]] Json job_record(const JobRecord& r);
+
+/// Snapshot of the global obs:: metrics registry:
+/// {"type":"metrics","registry":{"counters":{...},"gauges":{...},
+///  "histograms":{...}}}. The registry's hand-written JSON is re-parsed
+/// here, which also validates it on every emission.
+[[nodiscard]] Json metrics_record();
+
+}  // namespace sbgp::exp

@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sbgp::obs {
+
+namespace detail {
+
+#ifndef SBGPSIM_OBS_DISABLED
+std::atomic<bool> g_metrics_enabled{false};
+#endif
+std::atomic<ShardIndexFn> g_shard_provider{nullptr};
+
+std::size_t fallback_thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+// JSON has no inf/nan; clamp instead of emitting an unparsable token.
+void write_json_double(std::ostream& os, double v) {
+  if (v != v || v > 1e308 || v < -1e308) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+}  // namespace
+
+}  // namespace detail
+
+#ifndef SBGPSIM_OBS_DISABLED
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+void set_shard_index_provider(ShardIndexFn fn) {
+  detail::g_shard_provider.store(fn, std::memory_order_release);
+}
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch)
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(ns)) - 1;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_ns(std::size_t i) {
+  if (i + 1 >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << (i + 1)) - 1;
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t LatencyHistogram::sum_ns() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::mean_ns() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_ns()) / static_cast<double>(n);
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::bucket_counts() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const {
+  const auto buckets = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > target || (seen == total && seen >= target)) {
+      return bucket_upper_ns(i);
+    }
+  }
+  return bucket_upper_ns(kBuckets - 1);
+}
+
+void LatencyHistogram::reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::scoped_lock lock(mutex_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << detail::json_escape(name) << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << detail::json_escape(name) << "\":";
+    detail::write_json_double(os, g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << detail::json_escape(name) << "\":{";
+    os << "\"count\":" << h->count();
+    os << ",\"sum_ns\":" << h->sum_ns();
+    os << ",\"mean_ns\":";
+    detail::write_json_double(os, h->mean_ns());
+    os << ",\"p50_ns\":" << h->quantile_ns(0.50);
+    os << ",\"p90_ns\":" << h->quantile_ns(0.90);
+    os << ",\"p99_ns\":" << h->quantile_ns(0.99);
+    // Sparse bucket dump: [[log2_lower, count], ...] for non-empty buckets.
+    os << ",\"buckets\":[";
+    const auto buckets = h->bucket_counts();
+    bool bfirst = true;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << '[' << i << ',' << buckets[i] << ']';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+std::string Registry::to_json_string() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace sbgp::obs

@@ -1,0 +1,212 @@
+// Lock-free-on-hot-path metrics: counters, gauges and fixed-bucket latency
+// histograms, sharded per worker thread and aggregated only on read.
+//
+// Design constraints (this library sits BELOW everything else):
+//   * No dependency on any other sbgp_* library. The parallel layer wants to
+//     record queue-wait latencies and the routing/core layers count tree
+//     builds, so obs must not link against them. The only coupling point is
+//     `set_shard_index_provider`, through which sbgp_parallel injects
+//     `ThreadPool::current_worker_index` at static-init time; until (or
+//     unless) a provider is installed, threads fall back to a sequential
+//     thread-local id.
+//   * Zero work when disabled. Every mutating call checks a relaxed atomic
+//     flag first; with the compile-time kill switch (-DSBGPSIM_OBS_DISABLED,
+//     CMake option SBGPSIM_OBS=OFF) the flag is a constexpr false and the
+//     entire body folds away.
+//   * Hot-path writes are a single relaxed fetch_add on a cache-line-aligned
+//     shard chosen by worker index — no locks, no false sharing between
+//     workers. Reads (snapshots) sum the shards; they are racy-but-monotone,
+//     which is fine for telemetry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbgp::obs {
+
+// ---------------------------------------------------------------------------
+// Global switches and thread identity.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+#ifndef SBGPSIM_OBS_DISABLED
+extern std::atomic<bool> g_metrics_enabled;
+#endif
+/// Sequential id for threads when no shard provider is installed (and for
+/// trace events). Stable for the lifetime of the thread.
+std::size_t fallback_thread_slot();
+std::string json_escape(std::string_view s);
+}  // namespace detail
+
+/// Runtime switch for all metric mutations. Reading metrics always works.
+#ifdef SBGPSIM_OBS_DISABLED
+constexpr bool metrics_enabled() { return false; }
+inline void set_metrics_enabled(bool) {}
+#else
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on);
+#endif
+
+/// Returns the calling thread's shard hint: a small worker index, or
+/// `SIZE_MAX` for threads that are not pool workers. Installed once by the
+/// parallel layer; obs itself never depends on it being present.
+using ShardIndexFn = std::size_t (*)();
+void set_shard_index_provider(ShardIndexFn fn);
+
+namespace detail {
+extern std::atomic<ShardIndexFn> g_shard_provider;
+
+/// Maps the provider's answer into [0, shards): slot 0 is reserved for
+/// non-worker threads, workers cycle through the remaining slots.
+inline std::size_t shard_slot(std::size_t shards) {
+  const ShardIndexFn fn = g_shard_provider.load(std::memory_order_acquire);
+  const std::size_t raw = fn != nullptr ? fn() : fallback_thread_slot();
+  if (raw == std::numeric_limits<std::size_t>::max()) return 0;
+  return 1 + raw % (shards - 1);
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Instruments.
+// ---------------------------------------------------------------------------
+
+/// Monotone event counter. `add` is a relaxed fetch_add on the caller's
+/// shard; `value` sums shards (racy-but-monotone snapshot).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 33;  // slot 0 + up to 32 workers
+
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    shards_[detail::shard_slot(kShards)].v.fetch_add(n,
+                                                     std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins scalar, e.g. "current dirty fraction". Single atomic —
+/// gauges are set from one site at a time, not racing across workers.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed power-of-two-bucket latency histogram over nanoseconds. Bucket i
+/// holds samples in [2^i, 2^(i+1)) ns; quantiles are therefore resolved to a
+/// factor of 2, which is plenty for "where does the time go" telemetry while
+/// keeping `record_ns` at one shift + one relaxed fetch_add.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kShards = 17;  // histograms are rarer; smaller
+  static constexpr std::size_t kBuckets = 48;  // 2^47 ns ~ 39 hours
+
+  void record_ns(std::uint64_t ns) {
+    if (!metrics_enabled()) return;
+    Shard& s = shards_[detail::shard_slot(kShards)];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(ns, std::memory_order_relaxed);
+    s.buckets[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns);
+  /// Inclusive upper bound of bucket i in ns (lower bound is 2^i, bucket 0
+  /// also absorbs 0).
+  [[nodiscard]] static std::uint64_t bucket_upper_ns(std::size_t i);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t sum_ns() const;
+  [[nodiscard]] double mean_ns() const;
+  /// Upper bound of the bucket containing quantile `q` in [0, 1]; 0 when
+  /// empty. Conservative (never under-reports).
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const;
+  /// Summed per-bucket counts, index = log2 bucket.
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> bucket_counts() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+/// Named instrument registry. Lookup takes a mutex (do it once, outside the
+/// hot loop — typically into a function-local static reference); returned
+/// references are stable for the registry's lifetime. Names sort
+/// lexicographically in snapshots so output is deterministic.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// Zeroes every registered instrument (instruments stay registered, so
+  /// cached references remain valid).
+  void reset();
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Hand-written serialisation — obs cannot depend on exp::json (exp sits
+  /// above it); tests round-trip the output through exp::Json::parse.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json_string() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Monotonic nanoseconds since the first call in this process. Cheap enough
+/// for per-task timestamps; shared by metrics and tracing.
+[[nodiscard]] std::uint64_t now_ns();
+
+}  // namespace sbgp::obs

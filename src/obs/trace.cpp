@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace sbgp::obs {
+
+namespace {
+
+std::uint32_t thread_trace_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer instance;
+  return instance;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) { set_capacity(capacity); }
+
+void TraceBuffer::set_capacity(std::size_t events) {
+  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(events, 2));
+  buf_.assign(cap, TraceEvent{});
+  mask_ = cap - 1;
+  head_.store(0, std::memory_order_relaxed);
+}
+
+void TraceBuffer::clear() {
+  std::fill(buf_.begin(), buf_.end(), TraceEvent{});
+  head_.store(0, std::memory_order_relaxed);
+}
+
+void TraceBuffer::record(const char* name, std::uint64_t start_ns,
+                         std::uint64_t dur_ns) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& e = buf_[i & mask_];
+  e.tid = thread_trace_id();
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.name = name;  // written last: a null name marks a not-yet-complete slot
+}
+
+std::uint64_t TraceBuffer::recorded() const {
+  return head_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  return h > buf_.size() ? h - buf_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  const std::uint64_t n = std::min<std::uint64_t>(h, buf_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = h - n; i < h; ++i) {
+    const TraceEvent& e = buf_[i & mask_];
+    if (e.name != nullptr) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceBuffer::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  os << "[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << detail::json_escape(e.name)
+       << "\",\"cat\":\"sbgp\",\"ph\":\"X\",\"ts\":";
+    // Chrome expects microseconds; keep ns resolution in the fraction.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.start_ns) / 1000.0);
+    os << buf << ",\"dur\":";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    os << buf << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "\n]\n";
+}
+
+void TraceBuffer::write_summary(std::ostream& os, std::size_t top_n) const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : snapshot()) {
+    Agg& a = by_name[e.name];
+    ++a.count;
+    a.total_ns += e.dur_ns;
+    a.max_ns = std::max(a.max_ns, e.dur_ns);
+  }
+
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_ns != b.second.total_ns) {
+      return a.second.total_ns > b.second.total_ns;
+    }
+    return a.first < b.first;
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+
+  std::size_t name_w = 4;
+  for (const auto& [name, agg] : rows) name_w = std::max(name_w, name.size());
+
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-*s %10s %12s %12s %12s\n",
+                static_cast<int>(name_w), "span", "count", "total_ms",
+                "mean_ms", "max_ms");
+  os << line;
+  for (const auto& [name, agg] : rows) {
+    const double total_ms = static_cast<double>(agg.total_ns) / 1e6;
+    const double mean_ms =
+        agg.count == 0 ? 0.0 : total_ms / static_cast<double>(agg.count);
+    std::snprintf(line, sizeof(line), "%-*s %10llu %12.3f %12.3f %12.3f\n",
+                  static_cast<int>(name_w), name.c_str(),
+                  static_cast<unsigned long long>(agg.count), total_ms,
+                  mean_ms, static_cast<double>(agg.max_ns) / 1e6);
+    os << line;
+  }
+  if (dropped() > 0) {
+    os << "(ring wrapped: " << dropped()
+       << " oldest events overwritten; raise capacity for full traces)\n";
+  }
+}
+
+}  // namespace sbgp::obs

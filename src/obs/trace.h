@@ -1,0 +1,123 @@
+// Tracing spans: an RAII `Span` records (name, tid, start, duration) into a
+// global lock-free ring buffer; the buffer exports Chrome trace-event JSON
+// (load via chrome://tracing or https://ui.perfetto.dev) or a plain-text
+// top-N summary.
+//
+// Cost model: disabled spans are one relaxed atomic load (the constructor
+// checks the enable flag and stores nullptr); enabled spans add two
+// steady_clock reads and one fetch_add + 32-byte store on destruction. With
+// -DSBGPSIM_OBS_DISABLED the OBS_SPAN macro expands to nothing at all.
+//
+// Span names must be string literals (or otherwise outlive the buffer): the
+// ring stores the pointer, not a copy — this keeps record() allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"  // now_ns
+
+namespace sbgp::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< string literal; nullptr = unwritten slot
+  std::uint32_t tid = 0;       ///< small per-thread id (first-use order)
+  std::uint64_t start_ns = 0;  ///< obs::now_ns() timebase
+  std::uint64_t dur_ns = 0;
+};
+
+/// Fixed-capacity power-of-two ring of completed spans. Writers claim a slot
+/// with one relaxed fetch_add and overwrite the oldest event on wrap (the
+/// trace keeps the most recent window; `dropped()` reports the overwritten
+/// count). Snapshots/exports are for quiescent buffers — concurrent writers
+/// can tear an in-flight slot, so stop tracing (or the workload) first.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  static TraceBuffer& global();
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-sizes (rounded up to a power of two) and clears. Only call while
+  /// disabled or quiescent.
+  void set_capacity(std::size_t events);
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  void clear();
+
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Total record() calls since the last clear(), and how many of those were
+  /// overwritten by ring wrap-around.
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Retained events, oldest first. Quiescent-only (see class comment).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Chrome trace-event JSON: an array of complete ("ph":"X") events with
+  /// microsecond timestamps. Hand-written serialisation — obs cannot depend
+  /// on exp::json; tests round-trip the output through exp::Json::parse.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Per-name aggregate table (count, total/mean/max wall time), widest
+  /// total first, at most `top_n` rows.
+  void write_summary(std::ostream& os, std::size_t top_n = 12) const;
+
+ private:
+  std::vector<TraceEvent> buf_;  // size is a power of two
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII span: measures construction→destruction and records into the global
+/// buffer. A span constructed while tracing is disabled stays disarmed even
+/// if tracing is enabled before it ends; a span in flight when tracing is
+/// turned off is dropped by the buffer's own enabled check in record().
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (TraceBuffer::global().enabled()) {
+      name_ = name;
+      start_ = now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      TraceBuffer::global().record(name_, start_, now_ns() - start_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace sbgp::obs
+
+// Scoped span covering the rest of the enclosing block. `name` must be a
+// string literal. Usage: OBS_SPAN("sim.round");
+#ifdef SBGPSIM_OBS_DISABLED
+#define OBS_SPAN(name) \
+  do {                 \
+  } while (0)
+#else
+#define SBGP_OBS_CONCAT2(a, b) a##b
+#define SBGP_OBS_CONCAT(a, b) SBGP_OBS_CONCAT2(a, b)
+#define OBS_SPAN(name) \
+  ::sbgp::obs::Span SBGP_OBS_CONCAT(sbgp_obs_span_, __LINE__) { name }
+#endif

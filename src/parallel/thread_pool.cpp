@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace sbgp::par {
 
 namespace {
@@ -12,6 +14,14 @@ namespace {
 // the codebase never nests pools, and the index is only consulted by bodies
 // running on the innermost pool anyway.
 thread_local std::size_t t_worker_index = ThreadPool::kNotAWorker;
+
+// Hand the worker index to obs so metric shards line up with pool workers
+// (obs cannot link against this library; the provider hook breaks the
+// cycle). kNotAWorker and obs's "not a worker" sentinel are both SIZE_MAX.
+[[maybe_unused]] const bool obs_provider_registered = [] {
+  obs::set_shard_index_provider(&ThreadPool::current_worker_index);
+  return true;
+}();
 }  // namespace
 
 std::size_t ThreadPool::current_worker_index() { return t_worker_index; }
@@ -39,9 +49,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const std::uint64_t enqueue_ns = obs::metrics_enabled() ? obs::now_ns() : 0;
   {
     std::scoped_lock lock(mutex_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), enqueue_ns});
   }
   task_available_.notify_one();
 }
@@ -53,7 +64,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -62,7 +73,16 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++active_;
     }
-    task();
+    if (task.enqueue_ns != 0) {
+      // Reference resolved once per process; add/record are lock-free.
+      static obs::LatencyHistogram& queue_wait =
+          obs::Registry::global().histogram("par.queue_wait_ns");
+      static obs::Counter& executed =
+          obs::Registry::global().counter("par.tasks_executed");
+      queue_wait.record_ns(obs::now_ns() - task.enqueue_ns);
+      executed.add(1);
+    }
+    task.fn();
     {
       std::scoped_lock lock(mutex_);
       --active_;

@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <mutex>
@@ -43,10 +44,18 @@ class ThreadPool {
   [[nodiscard]] static std::size_t current_worker_index();
 
  private:
+  // Enqueue timestamp rides along so workers can report queue-wait latency
+  // to the obs:: metrics registry; 0 when metrics are disabled (skips the
+  // clock read on the submit path).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;

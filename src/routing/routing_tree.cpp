@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace sbgp::rt {
 
 namespace {
@@ -33,6 +35,11 @@ TreeComputer::TreeComputer(const AsGraph& graph) : graph_(graph) {}
 
 void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
                            const TieBreakPolicy& tb, RoutingTree& out) const {
+  // Counter add is a relaxed fetch_add on a per-worker shard — cheap enough
+  // for this per-tree path (one increment amortised over O(N) node work).
+  static obs::Counter& trees_built =
+      obs::Registry::global().counter("rt.trees_built");
+  trees_built.add(1);
   const std::size_t n = graph_.num_nodes();
   out.dest = rib.dest;
   // Hot path: arrays are only resized, never cleared. Every cell belonging
@@ -140,6 +147,9 @@ std::vector<AsId> TreeComputer::extract_path(const RoutingTree& tree, AsId src) 
 
 void sort_tiebreaks(const AsGraph& graph, const TieBreakPolicy& tb,
                     DestRib& rib) {
+  static obs::Counter& tiebreak_sorts =
+      obs::Registry::global().counter("rt.tiebreak_sorts");
+  tiebreak_sorts.add(1);
   std::vector<std::pair<std::uint64_t, AsId>> keyed;
   for (const AsId i : rib.order) {
     const auto begin = rib.tb_begin[i];

@@ -17,6 +17,22 @@ std::string format_double(double value, int precision) {
   return os.str();
 }
 
+// RFC 4180: fields containing separators, quotes or line breaks are wrapped
+// in double quotes, with embedded quotes doubled. Everything else passes
+// through unchanged so ordinary numeric tables stay byte-identical.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 Table::Table(std::vector<std::string> headers)
@@ -93,7 +109,7 @@ void Table::print_csv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c != 0) os << ',';
-      os << row[c];
+      os << csv_escape(row[c]);
     }
     os << '\n';
   };

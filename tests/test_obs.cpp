@@ -1,0 +1,409 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "exp/json.h"
+#include "exp/result_store.h"
+#include "exp/scheduler.h"
+#include "exp/telemetry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace sbgp::obs {
+namespace {
+
+// Every test must leave the global obs state as it found it (disabled,
+// empty ring): the rest of the suite runs in the same process.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    TraceBuffer::global().clear();
+  }
+  void TearDown() override {
+    set_metrics_enabled(false);
+    TraceBuffer::global().set_enabled(false);
+    TraceBuffer::global().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  if (!metrics_enabled()) GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterIsNoOpWhenDisabled) {
+  set_metrics_enabled(false);
+  Counter c;
+  c.add(7);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterSumsAcrossConcurrentWorkers) {
+  if (!metrics_enabled()) GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  Counter c;
+  par::ThreadPool pool(4);
+  constexpr int kPerTask = 1000;
+  for (int t = 0; t < 32; ++t) {
+    pool.submit([&c] {
+      for (int i = 0; i < kPerTask; ++i) c.add();
+    });
+  }
+  pool.wait_idle();
+  c.add(5);  // non-worker thread lands in shard 0
+  EXPECT_EQ(c.value(), 32u * kPerTask + 5u);
+}
+
+TEST_F(ObsTest, GaugeStoresLastValue) {
+  if (!metrics_enabled()) GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  Gauge g;
+  g.set(2.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+  set_metrics_enabled(false);
+  g.set(99.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(ObsTest, HistogramBucketsByPowerOfTwo) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST_F(ObsTest, HistogramCountSumQuantiles) {
+  if (!metrics_enabled()) GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record_ns(100);    // bucket 6: [64,128)
+  h.record_ns(1u << 20);                            // one megasample
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum_ns(), 99u * 100 + (1u << 20));
+  EXPECT_DOUBLE_EQ(h.mean_ns(), static_cast<double>(h.sum_ns()) / 100.0);
+  // p50 falls in the [64,128) bucket; upper bound is 127.
+  EXPECT_EQ(h.quantile_ns(0.50), 127u);
+  // p999 must reach the outlier's bucket [2^20, 2^21).
+  EXPECT_EQ(h.quantile_ns(0.999), (std::uint64_t{1} << 21) - 1);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferences) {
+  auto& a = Registry::global().counter("test.stable");
+  auto& b = Registry::global().counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  auto& h1 = Registry::global().histogram("test.stable");  // distinct kind,
+  auto& h2 = Registry::global().histogram("test.stable");  // same name: ok
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST_F(ObsTest, RegistryJsonRoundTripsThroughExpJson) {
+  if (!metrics_enabled()) GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  Registry::global().counter("test.rt_counter").add(3);
+  Registry::global().gauge("test.rt_gauge").set(0.5);
+  Registry::global().histogram("test.rt_hist").record_ns(1000);
+  const std::string text = Registry::global().to_json_string();
+  const exp::Json j = exp::Json::parse(text);  // throws on malformed output
+
+  const exp::Json* counters = j.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const exp::Json* c = counters->find("test.rt_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->as_u64(), 3u);
+
+  const exp::Json* gauges = j.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("test.rt_gauge"), nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("test.rt_gauge")->as_double(), 0.5);
+
+  const exp::Json* hists = j.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const exp::Json* h = hists->find("test.rt_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->find("count")->as_u64(), 1u);
+  EXPECT_GE(h->find("p50_ns")->as_u64(), 1000u);
+  // Canonical dump must re-parse to identical bytes.
+  EXPECT_EQ(exp::Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST_F(ObsTest, MetricNamesAreJsonEscaped) {
+  Registry::global().counter("test.weird \"name\"\n").add(1);
+  const std::string text = Registry::global().to_json_string();
+  EXPECT_NO_THROW((void)exp::Json::parse(text));
+}
+
+TEST_F(ObsTest, SpanRecordsWhenEnabledOnly) {
+  if (!metrics_enabled()) GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  auto& tb = TraceBuffer::global();
+  { OBS_SPAN("test.disabled_span"); }
+  EXPECT_EQ(tb.recorded(), 0u);
+  tb.set_enabled(true);
+  {
+    OBS_SPAN("test.outer");
+    OBS_SPAN("test.inner");  // distinct __LINE__, nests fine
+  }
+  tb.set_enabled(false);
+  EXPECT_EQ(tb.recorded(), 2u);
+  const auto events = tb.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner span ends (and records) first.
+  EXPECT_STREQ(events[0].name, "test.inner");
+  EXPECT_STREQ(events[1].name, "test.outer");
+  EXPECT_GE(events[1].dur_ns, events[0].dur_ns);
+}
+
+TEST_F(ObsTest, RingWrapKeepsNewestAndCountsDropped) {
+  TraceBuffer tb(8);
+  tb.set_enabled(true);
+  for (int i = 0; i < 20; ++i) tb.record("test.wrap", i, 1);
+  EXPECT_EQ(tb.recorded(), 20u);
+  EXPECT_EQ(tb.dropped(), 12u);
+  const auto events = tb.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().start_ns, 12u);  // oldest retained
+  EXPECT_EQ(events.back().start_ns, 19u);   // newest
+}
+
+TEST_F(ObsTest, ConcurrentSpansAllLand) {
+  if (!metrics_enabled()) GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  auto& tb = TraceBuffer::global();
+  tb.set_capacity(1 << 12);
+  tb.set_enabled(true);
+  par::ThreadPool pool(4);
+  par::parallel_for(pool, 0, 512, [](std::size_t) {
+    OBS_SPAN("test.concurrent");
+  });
+  tb.set_enabled(false);
+  EXPECT_EQ(tb.recorded(), 512u);
+  tb.set_capacity(TraceBuffer::kDefaultCapacity);
+}
+
+TEST_F(ObsTest, ChromeTraceParsesAndCarriesEvents) {
+  if (!metrics_enabled()) GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  auto& tb = TraceBuffer::global();
+  tb.set_enabled(true);
+  { OBS_SPAN("test.chrome"); }
+  tb.set_enabled(false);
+  std::ostringstream os;
+  tb.write_chrome_json(os);
+  const exp::Json j = exp::Json::parse(os.str());
+  ASSERT_EQ(j.type(), exp::Json::Type::Array);
+  ASSERT_FALSE(j.items().empty());
+  bool found = false;
+  for (const exp::Json& e : j.items()) {
+    ASSERT_NE(e.find("name"), nullptr);
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    EXPECT_GE(e.find("dur")->as_double(), 0.0);
+    EXPECT_GE(e.find("tid")->as_u64(), 1u);
+    if (e.find("name")->as_string() == "test.chrome") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, SummaryListsSpansByTotalTime) {
+  auto& tb = TraceBuffer::global();
+  tb.set_enabled(true);
+  tb.record("test.big", 0, 5'000'000);
+  tb.record("test.small", 0, 1'000);
+  tb.set_enabled(false);
+  std::ostringstream os;
+  tb.write_summary(os);
+  const std::string text = os.str();
+  const auto big = text.find("test.big");
+  const auto small = text.find("test.small");
+  ASSERT_NE(big, std::string::npos);
+  ASSERT_NE(small, std::string::npos);
+  EXPECT_LT(big, small);  // sorted by total time, descending
+}
+
+}  // namespace
+}  // namespace sbgp::obs
+
+namespace sbgp::exp {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Telemetry, RoundRecordRoundTrips) {
+  core::RoundStats r;
+  r.round = 3;
+  r.newly_secure_isps = 5;
+  r.newly_secure_stubs = 12;
+  r.turned_off = 1;
+  r.total_secure_ases = 170;
+  r.total_secure_isps = 40;
+  r.recomputed_destinations = 99;
+  r.dirty_seeds = 17;
+  r.partial_updates = 7;
+  r.scan_ms = 0.25;
+  r.eval_ms = 12.5;
+  r.fold_ms = 1.75;
+  const Json j = round_record(r, 1000);
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.find("type")->as_string(), "round");
+  EXPECT_EQ(back.find("round")->as_u64(), 3u);
+  EXPECT_EQ(back.find("flips_on")->as_u64(), 5u);
+  EXPECT_EQ(back.find("flips_off")->as_u64(), 1u);
+  EXPECT_EQ(back.find("secure_ases")->as_u64(), 170u);
+  EXPECT_DOUBLE_EQ(back.find("frac_ases")->as_double(), 0.17);
+  EXPECT_DOUBLE_EQ(back.find("secure_path_frac_est")->as_double(),
+                   0.17 * 0.17);
+  EXPECT_EQ(back.find("dirty_seeds")->as_u64(), 17u);
+  EXPECT_EQ(back.find("partial_updates")->as_u64(), 7u);
+  EXPECT_DOUBLE_EQ(back.find("eval_ms")->as_double(), 12.5);
+}
+
+TEST(Telemetry, JobRecordCarriesAllStoreFields) {
+  JobRecord r;
+  r.spec_hash = 0xdeadbeefcafe1234ull;  // > 2^53: the string-hash case
+  r.job_id = 7;
+  r.job_key = "g=synth;theta=0.05";
+  r.status = "ok";
+  r.outcome = "stable";
+  r.rounds = 9;
+  r.secure_ases = 800;
+  r.num_ases = 1500;
+  const Json back = Json::parse(job_record(r).dump());
+  EXPECT_EQ(back.find("type")->as_string(), "job");
+  EXPECT_EQ(back.find("spec_hash")->as_string(),
+            std::to_string(r.spec_hash));
+  EXPECT_EQ(back.find("job_id")->as_u64(), 7u);
+  EXPECT_EQ(back.find("outcome")->as_string(), "stable");
+  // The non-type fields must round-trip through the store's own parser.
+  const JobRecord parsed = JobRecord::from_json(back);
+  EXPECT_EQ(parsed.spec_hash, r.spec_hash);
+  EXPECT_EQ(parsed.rounds, 9u);
+}
+
+TEST(Telemetry, MetricsRecordEmbedsRegistrySnapshot) {
+  obs::set_metrics_enabled(true);  // no-op (constant false) when compiled out
+  if (!obs::metrics_enabled()) {
+    GTEST_SKIP() << "obs compiled out (SBGPSIM_OBS=OFF)";
+  }
+  obs::Registry::global().counter("test.telemetry_probe").add(2);
+  obs::set_metrics_enabled(false);
+  const Json back = Json::parse(metrics_record().dump());
+  EXPECT_EQ(back.find("type")->as_string(), "metrics");
+  const Json* reg = back.find("registry");
+  ASSERT_NE(reg, nullptr);
+  const Json* counters = reg->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("test.telemetry_probe"), nullptr);
+  EXPECT_GE(counters->find("test.telemetry_probe")->as_u64(), 2u);
+}
+
+TEST(Telemetry, LogAppendsParseableJsonl) {
+  const std::string path = temp_path("telemetry_basic.jsonl");
+  std::remove(path.c_str());
+  {
+    TelemetryLog log(path);
+    core::RoundStats r;
+    r.round = 1;
+    r.total_secure_ases = 10;
+    log.append(round_record(r, 100));
+    log.append(metrics_record());
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_NO_THROW((void)Json::parse(line)) << "line " << lines;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, LogHealsMissingTrailingNewline) {
+  const std::string path = temp_path("telemetry_heal.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"type\":\"round\",\"trunca";  // killed mid-write
+  }
+  {
+    TelemetryLog log(path);
+    core::RoundStats r;
+    log.append(round_record(r, 10));
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_THROW((void)Json::parse(lines[0]), JsonError);
+  EXPECT_NO_THROW((void)Json::parse(lines[1]));
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, SchedulerStreamsJobRecords) {
+  const std::string path = temp_path("telemetry_jobs.jsonl");
+  std::remove(path.c_str());
+  JobSpec spec;
+  spec.name = "telemetry-test";
+  GraphSpec g;
+  g.nodes = 120;
+  g.seed = 7;
+  spec.graphs = {g};
+  spec.adopters = {"top:3"};
+  spec.thetas = {0.0, 0.05, 0.1};
+  {
+    TelemetryLog log(path);
+    SweepOptions opts;
+    opts.workers = 2;
+    opts.progress = nullptr;
+    opts.telemetry = &log;
+    SweepScheduler scheduler(opts);
+    const SweepReport report = scheduler.run(spec, nullptr);
+    EXPECT_EQ(report.executed, 3u);
+    EXPECT_EQ(report.failed, 0u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::set<std::uint64_t> job_ids;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Json j = Json::parse(line);
+    EXPECT_EQ(j.find("type")->as_string(), "job");
+    EXPECT_EQ(j.find("status")->as_string(), "ok");
+    job_ids.insert(j.find("job_id")->as_u64());
+  }
+  EXPECT_EQ(job_ids, (std::set<std::uint64_t>{0, 1, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, SpecAcceptsObsScalarsWithoutChangingHash) {
+  JobSpec plain;
+  plain.name = "hash-stability";
+  const std::uint64_t base_hash = plain.hash();
+  const Json j = Json::parse(
+      "{\"name\":\"hash-stability\",\"metrics_out\":\"m.jsonl\","
+      "\"trace_out\":\"t.json\",\"obs_summary\":true}");
+  const JobSpec with_obs = JobSpec::from_json(j);
+  EXPECT_EQ(with_obs.metrics_out, "m.jsonl");
+  EXPECT_EQ(with_obs.trace_out, "t.json");
+  EXPECT_TRUE(with_obs.obs_summary);
+  // Telemetry sinks are run configuration, not experiment identity: the
+  // spec hash (and with it checkpoint/resume) must not move.
+  EXPECT_EQ(with_obs.hash(), base_hash);
+}
+
+}  // namespace
+}  // namespace sbgp::exp

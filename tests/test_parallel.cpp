@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 
 #include "parallel/thread_pool.h"
 
@@ -89,6 +93,86 @@ TEST(ParallelFor, SingleThreadPoolStillCorrect) {
   std::vector<int> v(100, 0);
   parallel_for(pool, 0, v.size(), [&v](std::size_t i) { v[i] = static_cast<int>(i); });
   for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], static_cast<int>(i));
+}
+
+TEST(WorkerIndex, NonWorkerThreadGetsSentinel) {
+  EXPECT_EQ(ThreadPool::current_worker_index(), ThreadPool::kNotAWorker);
+  std::size_t from_plain_thread = 0;
+  std::thread t([&] { from_plain_thread = ThreadPool::current_worker_index(); });
+  t.join();
+  EXPECT_EQ(from_plain_thread, ThreadPool::kNotAWorker);
+}
+
+TEST(WorkerIndex, WorkersGetDistinctIndicesInRange) {
+  constexpr std::size_t kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::mutex mu;
+  std::map<std::thread::id, std::set<std::size_t>> seen;
+  // Enough tasks that every worker almost surely executes several.
+  for (int i = 0; i < 512; ++i) {
+    pool.submit([&] {
+      const std::size_t idx = ThreadPool::current_worker_index();
+      std::scoped_lock lock(mu);
+      seen[std::this_thread::get_id()].insert(idx);
+    });
+  }
+  pool.wait_idle();
+  std::set<std::size_t> indices;
+  for (const auto& [tid, idxs] : seen) {
+    // Stability: a given worker thread reports one index, always.
+    ASSERT_EQ(idxs.size(), 1u);
+    const std::size_t idx = *idxs.begin();
+    EXPECT_LT(idx, kWorkers);
+    indices.insert(idx);
+  }
+  // Uniqueness: no two workers share an index.
+  EXPECT_EQ(indices.size(), seen.size());
+}
+
+TEST(WorkerIndex, StableAcrossManyCallsWithinOneTask) {
+  ThreadPool pool(3);
+  std::atomic<int> mismatches{0};
+  parallel_for_dynamic(pool, 0, 256, [&](std::size_t) {
+    const std::size_t first = ThreadPool::current_worker_index();
+    for (int k = 0; k < 100; ++k) {
+      if (ThreadPool::current_worker_index() != first) mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(WorkerIndex, ConcurrentPoolsKeepIndicesWithinTheirOwnSize) {
+  // Two live pools: each worker's index must be valid for the pool that owns
+  // it, and sentinel leakage between pools would show up as out-of-range.
+  ThreadPool small(2);
+  ThreadPool large(6);
+  std::atomic<int> bad_small{0};
+  std::atomic<int> bad_large{0};
+  for (int i = 0; i < 128; ++i) {
+    small.submit([&] {
+      if (ThreadPool::current_worker_index() >= 2) bad_small.fetch_add(1);
+    });
+    large.submit([&] {
+      if (ThreadPool::current_worker_index() >= 6) bad_large.fetch_add(1);
+    });
+  }
+  small.wait_idle();
+  large.wait_idle();
+  EXPECT_EQ(bad_small.load(), 0);
+  EXPECT_EQ(bad_large.load(), 0);
+}
+
+TEST(WorkerIndex, SequentialPoolsReuseValidIndices) {
+  // Pools created and destroyed in sequence: index assignment must reset per
+  // pool, not grow without bound across pool lifetimes.
+  for (int iter = 0; iter < 4; ++iter) {
+    ThreadPool pool(2);
+    std::atomic<int> bad{0};
+    parallel_for(pool, 0, 64, [&](std::size_t) {
+      if (ThreadPool::current_worker_index() >= 2) bad.fetch_add(1);
+    });
+    EXPECT_EQ(bad.load(), 0) << "iteration " << iter;
+  }
 }
 
 }  // namespace

@@ -35,6 +35,31 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
 }
 
+TEST(Table, CsvEscapesRfc4180) {
+  Table t({"name", "note"});
+  t.begin_row();
+  t.add(std::string("comma,here"));
+  t.add(std::string("say \"hi\""));
+  t.begin_row();
+  t.add(std::string("line\nbreak"));
+  t.add(std::string("plain"));
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,note\n"
+            "\"comma,here\",\"say \"\"hi\"\"\"\n"
+            "\"line\nbreak\",plain\n");
+}
+
+TEST(Table, CsvLeavesCleanCellsUnquoted) {
+  Table t({"a"});
+  t.begin_row();
+  t.add(std::string("no special chars"));
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\nno special chars\n");
+}
+
 TEST(Table, PercentFormatting) {
   Table t({"x"});
   t.begin_row();

@@ -42,4 +42,19 @@ rows="$("$sbgpsim" jobs merge --spec "$tmp/grid.json" --store "$tmp/r.jsonl" \
 [ "$rows" -eq 12 ] \
     || { echo "tier1 FAIL: expected 12 merged rows, got $rows"; exit 1; }
 
-echo "tier1 OK (tests + orchestration smoke)"
+# Observability smoke: run the CLI with tracing + metrics armed on a tiny
+# graph and validate every emitted file parses (Chrome-trace JSON, telemetry
+# JSONL) via the exp::json parser behind `sbgpsim validate`.
+"$sbgpsim" simulate --nodes 200 --seed 7 --adopters top:3 \
+    --trace-out "$tmp/sim.trace.json" --metrics-out "$tmp/sim.metrics.jsonl" \
+    --obs-summary > /dev/null 2> "$tmp/sim.obs.log"
+grep -q "span" "$tmp/sim.obs.log" \
+    || { echo "tier1 FAIL: --obs-summary printed no span summary"; exit 1; }
+"$sbgpsim" jobs run --spec "$tmp/grid.json" --store "$tmp/r2.jsonl" \
+    --workers 2 --progress-s 0 --no-resume \
+    --trace-out "$tmp/jobs.trace.json" --metrics-out "$tmp/jobs.metrics.jsonl"
+"$sbgpsim" validate "$tmp/sim.trace.json" "$tmp/sim.metrics.jsonl" \
+    "$tmp/jobs.trace.json" "$tmp/jobs.metrics.jsonl" "$tmp/r2.jsonl" \
+    || { echo "tier1 FAIL: emitted observability output failed validation"; exit 1; }
+
+echo "tier1 OK (tests + orchestration + observability smoke)"

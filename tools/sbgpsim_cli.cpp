@@ -11,12 +11,19 @@
 //   sbgpsim jobs     (run | status | merge) --spec spec.json
 //                    --store results.jsonl [--workers N] [--timeout-s F]
 //                    [--retries K] [--no-resume] [--progress-s F] [--csv]
+//   sbgpsim validate FILE...   (JSON / JSONL well-formedness check)
+//
+// Observability (simulate / sweep / jobs run): --trace-out FILE writes a
+// Chrome trace-event JSON (chrome://tracing, Perfetto), --metrics-out FILE
+// streams telemetry JSONL (round/job records + a metrics-registry
+// snapshot), --obs-summary prints a per-span table to stderr.
 //
 // Adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -27,6 +34,9 @@
 #include "exp/result_store.h"
 #include "exp/runner.h"
 #include "exp/scheduler.h"
+#include "exp/telemetry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/rib.h"
 #include "stats/table.h"
 #include "topology/graph_io.h"
@@ -36,9 +46,20 @@ namespace {
 
 using namespace sbgp;
 
+// Exit codes (documented in README): anything not listed here is a bug.
+constexpr int kExitOk = 0;          // success
+constexpr int kExitUsage = 2;       // bad command line / malformed spec input
+constexpr int kExitDivergence = 3;  // --check-incremental tripped
+constexpr int kExitRuntime = 4;     // runtime failure (failed/timed-out jobs,
+                                    // I/O errors, invalid data files)
+
 struct CliOptions {
   std::string command;
   std::string subcommand;  // jobs: run | status | merge; analyze: mode
+  std::vector<std::string> positionals;  // all non-flag args (validate FILEs)
+  std::string trace_out;    // Chrome trace-event JSON path
+  std::string metrics_out;  // telemetry JSONL path
+  bool obs_summary = false;
   std::string graph_file;
   std::string out_file;
   std::string spec_file;
@@ -64,7 +85,7 @@ struct CliOptions {
 
 [[noreturn]] void usage(int code) {
   std::cerr <<
-      "usage: sbgpsim <generate|simulate|sweep|analyze|jobs> [options]\n"
+      "usage: sbgpsim <generate|simulate|sweep|analyze|jobs|validate> [options]\n"
       "  common: --nodes N --seed S --x F --graph FILE\n"
       "  generate: --out FILE [--augment]\n"
       "  simulate: --adopters SPEC --theta F --model outgoing|incoming\n"
@@ -77,18 +98,22 @@ struct CliOptions {
       "            run: [--workers N] [--timeout-s F] [--retries K]\n"
       "                 [--no-resume] [--progress-s F]\n"
       "            merge: [--csv]\n"
-      "  adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3\n";
+      "  validate: FILE...  (each file must parse as JSON or JSONL)\n"
+      "  observability (simulate/sweep/jobs run):\n"
+      "            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n"
+      "  adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3\n"
+      "  exit codes: 0 ok | 2 usage | 3 incremental divergence | 4 runtime\n";
   std::exit(code);
 }
 
 CliOptions parse(int argc, char** argv) {
   CliOptions o;
-  if (argc < 2) usage(2);
+  if (argc < 2) usage(kExitUsage);
   o.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(2);
+      if (i + 1 >= argc) usage(kExitUsage);
       return argv[++i];
     };
     if (a == "--nodes") o.nodes = static_cast<std::uint32_t>(std::stoul(next()));
@@ -110,13 +135,18 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--check-incremental") o.check_incremental = true;
     else if (a == "--augment") o.augment = true;
     else if (a == "--csv") o.csv = true;
+    else if (a == "--trace-out") o.trace_out = next();
+    else if (a == "--metrics-out") o.metrics_out = next();
+    else if (a == "--obs-summary") o.obs_summary = true;
     else if (a == "--stub-ties") o.stub_ties = next() != "0";
     else if (a == "--model") {
       o.model = next() == "incoming" ? core::UtilityModel::Incoming
                                      : core::UtilityModel::Outgoing;
     } else if (a == "--help" || a == "-h") usage(0);
-    else if (a[0] != '-') o.subcommand = a;
-    else usage(2);
+    else if (a[0] != '-') {
+      if (o.subcommand.empty()) o.subcommand = a;
+      o.positionals.push_back(a);
+    } else usage(kExitUsage);
   }
   return o;
 }
@@ -146,7 +176,7 @@ std::vector<topo::AsId> resolve_adopters(const topo::Internet& net,
     return exp::resolve_adopter_spec(net, spec, seed);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
-    std::exit(2);
+    std::exit(kExitUsage);  // malformed --adopters is an argument error
   }
 }
 
@@ -171,6 +201,41 @@ int cmd_generate(const CliOptions& o) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Observability plumbing shared by simulate / sweep / jobs run.
+
+/// Arms the obs:: layer per the flags. Call before the workload starts so
+/// the hot paths see the enable bits from the first round on.
+void obs_start(const CliOptions& o) {
+  if (!o.metrics_out.empty() || o.obs_summary) obs::set_metrics_enabled(true);
+  if (!o.trace_out.empty() || o.obs_summary) {
+    obs::TraceBuffer::global().set_enabled(true);
+  }
+}
+
+/// Writes the Chrome trace and/or span summary after the workload. Tracing
+/// is disabled first so the export reads a quiescent ring. Returns kExitOk
+/// or kExitRuntime (unwritable trace file).
+int obs_finish_trace(const CliOptions& o) {
+  if (o.trace_out.empty() && !o.obs_summary) return kExitOk;
+  auto& tb = obs::TraceBuffer::global();
+  tb.set_enabled(false);
+  if (!o.trace_out.empty()) {
+    std::ofstream out(o.trace_out);
+    if (!out) {
+      std::cerr << "cannot write trace file '" << o.trace_out << "'\n";
+      return kExitRuntime;
+    }
+    tb.write_chrome_json(out);
+    std::cerr << "wrote " << o.trace_out << ": " << tb.snapshot().size()
+              << " span(s)";
+    if (tb.dropped() > 0) std::cerr << " (" << tb.dropped() << " dropped)";
+    std::cerr << "\n";
+  }
+  if (o.obs_summary) tb.write_summary(std::cerr);
+  return kExitOk;
+}
+
 core::SimConfig sim_config(const CliOptions& o) {
   core::SimConfig cfg;
   cfg.model = o.model;
@@ -184,9 +249,20 @@ core::SimConfig sim_config(const CliOptions& o) {
 int cmd_simulate(const CliOptions& o) {
   const auto net = load_internet(o);
   const auto adopters = resolve_adopters(net, o.adopters, o.seed);
+  obs_start(o);
   core::DeploymentSimulator sim(net.graph, sim_config(o));
   const auto result =
       sim.run(core::DeploymentState::initial(net.graph, adopters));
+
+  if (!o.metrics_out.empty()) {
+    exp::TelemetryLog log(o.metrics_out);
+    exp::append_round_records(log, result, net.graph.num_nodes());
+    log.append(exp::metrics_record());
+    std::cerr << "wrote " << o.metrics_out << ": " << result.rounds.size()
+              << " round record(s) + metrics snapshot\n";
+  }
+  const int obs_rc = obs_finish_trace(o);
+  if (obs_rc != kExitOk) return obs_rc;
 
   stats::Table t({"round", "new_isps", "new_stubs", "turned_off", "secure_ases",
                   "secure_isps"});
@@ -204,7 +280,7 @@ int cmd_simulate(const CliOptions& o) {
   std::cerr << "outcome: " << core::to_string(result.outcome) << "; secure "
             << result.final_state.num_secure() << "/" << net.graph.num_nodes()
             << " ASes\n";
-  return 0;
+  return kExitOk;
 }
 
 // The single-axis θ sweep, ported onto the exp:: scheduler: builds a
@@ -230,21 +306,29 @@ int cmd_sweep(const CliOptions& o) {
     spec.thetas = exp::parse_double_list(o.thetas, "--thetas");
   } catch (const exp::JsonError& e) {
     std::cerr << e.what() << "\n";
-    usage(2);
+    usage(kExitUsage);
   }
   for (const double theta : spec.thetas) {
     if (theta < 0.0) {
       std::cerr << "--thetas entries must be >= 0 (got "
                 << exp::format_double(theta) << ")\n";
-      usage(2);
+      usage(kExitUsage);
     }
   }
 
+  obs_start(o);
+  std::unique_ptr<exp::TelemetryLog> telemetry;
+  if (!o.metrics_out.empty()) {
+    telemetry = std::make_unique<exp::TelemetryLog>(o.metrics_out);
+  }
   exp::SweepOptions opts;
   opts.workers = o.workers == 0 ? 1 : o.workers;
   opts.progress = nullptr;
+  opts.telemetry = telemetry.get();
   exp::SweepScheduler scheduler(opts);
   const auto report = scheduler.run(spec, nullptr);
+  if (telemetry != nullptr) telemetry->append(exp::metrics_record());
+  const int obs_rc = obs_finish_trace(o);
 
   stats::Table t({"theta", "outcome", "rounds", "secure_ases", "secure_isps",
                   "frac_ases", "frac_isps"});
@@ -265,7 +349,8 @@ int cmd_sweep(const CliOptions& o) {
   }
   if (o.csv) t.print_csv(std::cout);
   else t.print(std::cout);
-  return report.failed == 0 ? 0 : 1;
+  if (report.failed != 0) return kExitRuntime;
+  return obs_rc;
 }
 
 int cmd_analyze(const CliOptions& o) {
@@ -297,7 +382,7 @@ int cmd_analyze(const CliOptions& o) {
                 << rt::average_path_length_from(net.graph, cp) << "\n";
     }
   } else {
-    usage(2);
+    usage(kExitUsage);
   }
   return 0;
 }
@@ -308,13 +393,13 @@ int cmd_analyze(const CliOptions& o) {
 exp::JobSpec load_spec_or_die(const CliOptions& o) {
   if (o.spec_file.empty()) {
     std::cerr << "jobs " << o.subcommand << " requires --spec FILE\n";
-    usage(2);
+    usage(kExitUsage);
   }
   try {
     return exp::JobSpec::from_file(o.spec_file);
   } catch (const exp::JsonError& e) {
     std::cerr << "bad spec " << o.spec_file << ": " << e.what() << "\n";
-    std::exit(2);
+    std::exit(kExitUsage);
   }
 }
 
@@ -344,7 +429,17 @@ int cmd_jobs_run(const CliOptions& o) {
   const auto spec = load_spec_or_die(o);
   if (o.store_file.empty()) {
     std::cerr << "jobs run requires --store FILE\n";
-    usage(2);
+    usage(kExitUsage);
+  }
+  // Observability config: spec scalars provide defaults, CLI flags win.
+  CliOptions eff = o;
+  if (eff.metrics_out.empty()) eff.metrics_out = spec.metrics_out;
+  if (eff.trace_out.empty()) eff.trace_out = spec.trace_out;
+  eff.obs_summary = eff.obs_summary || spec.obs_summary;
+  obs_start(eff);
+  std::unique_ptr<exp::TelemetryLog> telemetry;
+  if (!eff.metrics_out.empty()) {
+    telemetry = std::make_unique<exp::TelemetryLog>(eff.metrics_out);
   }
   exp::ResultStore store(o.store_file);
   exp::SweepOptions opts;
@@ -354,16 +449,20 @@ int cmd_jobs_run(const CliOptions& o) {
   opts.resume = o.resume;
   opts.progress_interval_s = o.progress_s;
   opts.progress = &std::cerr;
+  opts.telemetry = telemetry.get();
   exp::SweepScheduler scheduler(opts);
   const auto report = scheduler.run(spec, &store);
-  return report.failed == 0 && report.timed_out == 0 ? 0 : 1;
+  if (telemetry != nullptr) telemetry->append(exp::metrics_record());
+  const int obs_rc = obs_finish_trace(eff);
+  if (report.failed != 0 || report.timed_out != 0) return kExitRuntime;
+  return obs_rc;
 }
 
 int cmd_jobs_status(const CliOptions& o) {
   const auto spec = load_spec_or_die(o);
   if (o.store_file.empty()) {
     std::cerr << "jobs status requires --store FILE\n";
-    usage(2);
+    usage(kExitUsage);
   }
   std::size_t skipped_lines = 0;
   const auto records = exp::ResultStore::load(o.store_file, &skipped_lines);
@@ -391,7 +490,7 @@ int cmd_jobs_status(const CliOptions& o) {
 int cmd_jobs_merge(const CliOptions& o) {
   if (o.store_file.empty()) {
     std::cerr << "jobs merge requires --store FILE\n";
-    usage(2);
+    usage(kExitUsage);
   }
   const auto records = exp::ResultStore::load(o.store_file);
   std::vector<exp::JobRecord> merged;
@@ -432,7 +531,62 @@ int cmd_jobs(const CliOptions& o) {
   if (o.subcommand == "status") return cmd_jobs_status(o);
   if (o.subcommand == "merge") return cmd_jobs_merge(o);
   std::cerr << "jobs needs a subcommand: run | status | merge\n";
-  usage(2);
+  usage(kExitUsage);
+}
+
+// validate FILE... — every file must parse through exp::Json, either as one
+// JSON document (e.g. a Chrome trace) or as JSONL (result store, telemetry
+// log: every non-empty line a document). Used by run_tier1.sh to gate the
+// observability outputs; exits 4 on the first malformed file.
+int cmd_validate(const CliOptions& o) {
+  if (o.positionals.empty()) {
+    std::cerr << "validate requires at least one FILE\n";
+    usage(kExitUsage);
+  }
+  for (const std::string& path : o.positionals) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "validate: cannot open '" << path << "'\n";
+      return kExitRuntime;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    bool whole_ok = true;
+    try {
+      (void)exp::Json::parse(text);
+    } catch (const exp::JsonError&) {
+      whole_ok = false;
+    }
+    if (whole_ok) {
+      std::cerr << path << ": ok (json)\n";
+      continue;
+    }
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t lineno = 0, records = 0;
+    bool line_ok = true;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      try {
+        (void)exp::Json::parse(line);
+        ++records;
+      } catch (const exp::JsonError& e) {
+        std::cerr << "validate: " << path << ":" << lineno << ": " << e.what()
+                  << "\n";
+        line_ok = false;
+        break;
+      }
+    }
+    if (!line_ok) return kExitRuntime;
+    if (records == 0) {
+      std::cerr << "validate: " << path << ": no JSON records\n";
+      return kExitRuntime;
+    }
+    std::cerr << path << ": ok (jsonl, " << records << " record(s))\n";
+  }
+  return kExitOk;
 }
 
 }  // namespace
@@ -445,10 +599,16 @@ int main(int argc, char** argv) {
     if (o.command == "sweep") return cmd_sweep(o);
     if (o.command == "analyze") return cmd_analyze(o);
     if (o.command == "jobs") return cmd_jobs(o);
+    if (o.command == "validate") return cmd_validate(o);
   } catch (const core::IncrementalDivergence& e) {
     // --check-incremental tripped: always an engine bug, never bad input.
     std::cerr << "FATAL: " << e.what() << "\n";
-    return 3;
+    return kExitDivergence;
+  } catch (const std::exception& e) {
+    // Unreadable graph/store/telemetry files, allocation failure, … — a
+    // runtime failure, distinct from argument errors (2).
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitRuntime;
   }
-  usage(2);
+  usage(kExitUsage);
 }
