@@ -2,11 +2,79 @@
 // Runs the message-level protocol engine on the paper's 6-AS network,
 // injects m's false announcement (m, v), and reports p's chosen route under
 // the paper's rule vs the flawed rule. Also runs origin-hijack experiments
-// showing what the SecP tie-break can and cannot stop.
+// showing what the SecP tie-break can and cannot stop — those now execute
+// on the scenario engine (the same declarative attack layer behind
+// `sbgpsim scenario run`), with the message-level engine kept as a parity
+// oracle: any disagreement between the two is a bug and aborts the bench.
+#include <cstdlib>
 #include <iostream>
 
+#include "exp/json.h"
 #include "proto/attack.h"
+#include "scenario/engine.h"
+#include "scenario/scenario_spec.h"
 #include "stats/table.h"
+
+namespace {
+
+using namespace sbgp;
+
+/// The run_origin_hijack gadget, rebuilt for the scenario engine: probe x
+/// (ASN 1) on top, a customer chain of length vd down to the victim (ASNs
+/// 100+i) and one of length ad down to the attacker (ASNs 200+i), with the
+/// rank tie-break rigged so ties at the probe favour the attacker's side.
+struct HijackGadget {
+  topo::AsGraph g;
+  std::vector<std::uint64_t> rank;
+  topo::AsId x = 0, v = 0, m = 0;
+
+  HijackGadget(std::size_t vd, std::size_t ad) {
+    x = g.add_as(1);
+    std::vector<topo::AsId> chain_v{x}, chain_m{x};
+    for (std::size_t i = 0; i < vd; ++i) {
+      const topo::AsId node = g.add_as(static_cast<std::uint32_t>(100 + i));
+      g.add_customer_provider(chain_v.back(), node);
+      chain_v.push_back(node);
+    }
+    for (std::size_t i = 0; i < ad; ++i) {
+      const topo::AsId node = g.add_as(static_cast<std::uint32_t>(200 + i));
+      g.add_customer_provider(chain_m.back(), node);
+      chain_m.push_back(node);
+    }
+    g.finalize();
+    v = chain_v.back();
+    m = chain_m.back();
+    rank.resize(g.num_nodes());
+    for (topo::AsId i = 0; i < g.num_nodes(); ++i) rank[i] = g.asn(i) + 1000;
+    rank[chain_m[1]] = 1;
+  }
+};
+
+/// Evaluates the hijack on the scenario engine: is the probe's chosen
+/// origin the attacker? `secure_everywhere` toggles plain BGP vs full
+/// S*BGP-as-tiebreak deployment.
+bool probe_fooled(const HijackGadget& gg, bool secure_everywhere) {
+  // The attack spelled as the declarative spec it is: a fixed-list origin
+  // hijack of ASN 100+vd-1 by ASN 200+ad-1 under the security tie-break.
+  const auto sspec = scenario::ScenarioSpec::from_json(exp::Json::parse(
+      R"({"attacks": ["hijack"], "policies": ["secure-tiebreak"],)"
+      R"( "placements": ["fixed"], "attackers": [)" +
+      std::to_string(gg.g.asn(gg.m)) + R"(], "victims": [)" +
+      std::to_string(gg.g.asn(gg.v)) + "]}"));
+  const scenario::Scenario point = sspec.expand().front();
+
+  scenario::EngineConfig cfg;
+  cfg.tiebreak.mode = rt::TieBreakPolicy::Mode::Rank;
+  cfg.tiebreak.rank = &gg.rank;
+  const scenario::ScenarioEngine engine(gg.g, cfg);
+  const std::vector<std::uint8_t> secure(gg.g.num_nodes(),
+                                         secure_everywhere ? 1 : 0);
+  const auto pair = engine.sample_pairs(point).front();
+  const auto origins = engine.chosen_origins(point, secure, pair.first, pair.second);
+  return origins[gg.x] == gg.m;
+}
+
+}  // namespace
 
 int main() {
   using namespace sbgp;
@@ -47,13 +115,28 @@ int main() {
   for (const Case c : {Case{"equal-length lie", 3, 3},
                        Case{"shorter lie (LP/SP beat SecP)", 4, 2},
                        Case{"longer lie", 2, 4}}) {
+    const HijackGadget gg(c.vd, c.ad);
+    const bool fooled_bgp = probe_fooled(gg, /*secure_everywhere=*/false);
+    const bool fooled_sbgp = probe_fooled(gg, /*secure_everywhere=*/true);
+
+    // Parity oracle: the message-level protocol engine must agree with the
+    // closed-form scenario engine on every case.
     const auto res = proto::run_origin_hijack(c.vd, c.ad);
+    if (fooled_bgp != res.probe_fooled_bgp ||
+        fooled_sbgp != res.probe_fooled_sbgp) {
+      std::cerr << "PARITY FAILURE (" << c.name << "): scenario engine bgp="
+                << fooled_bgp << " sbgp=" << fooled_sbgp
+                << " vs proto engine bgp=" << res.probe_fooled_bgp
+                << " sbgp=" << res.probe_fooled_sbgp << "\n";
+      return 1;
+    }
+
     h.begin_row();
     h.add(std::string(c.name));
-    h.add(res.true_path_len);
-    h.add(res.false_path_len);
-    h.add(std::string(res.probe_fooled_bgp ? "YES" : "no"));
-    h.add(std::string(res.probe_fooled_sbgp ? "YES" : "no"));
+    h.add(c.vd);
+    h.add(c.ad);
+    h.add(std::string(fooled_bgp ? "YES" : "no"));
+    h.add(std::string(fooled_sbgp ? "YES" : "no"));
   }
   h.print(std::cout);
   std::cout << "paper: security is only a tie-break (Section 2.2.2), so a "

@@ -6,8 +6,15 @@
 // this bench measures how hijack impact falls as the market-driven
 // deployment progresses, and how much residual attack surface remains even
 // at convergence.
+//
+// The measurement itself is a declarative ScenarioSpec evaluated on the
+// scenario engine — the exact code path behind `sbgpsim scenario run` and
+// core::measure_resilience, so this bench doubles as a regression anchor
+// for the engine's uniform-hijack sampling stream.
 #include "bench_common.h"
-#include "core/resilience.h"
+#include "exp/json.h"
+#include "scenario/engine.h"
+#include "scenario/scenario_spec.h"
 #include "stats/table.h"
 
 int main(int argc, char** argv) {
@@ -18,13 +25,22 @@ int main(int argc, char** argv) {
   auto net = bench::make_internet(opt);
   const auto& g = net.graph;
   par::ThreadPool pool(opt.threads);
-  const std::size_t samples = 150;
+
+  // The historical measure_resilience(samples=150, seed=1234) call, spelled
+  // as the spec it always was: a uniform origin hijack under the paper's
+  // security-third tie-break ranking.
+  const auto sspec = scenario::ScenarioSpec::from_json(exp::Json::parse(
+      R"({"attacks": ["hijack"], "policies": ["secure-tiebreak"],)"
+      R"( "placements": ["uniform"], "samples": 150, "seed": 1234})"));
+  const scenario::Scenario point = sspec.expand().front();
+  const core::SimConfig sim_cfg = bench::case_study_config(opt);
+  const scenario::ScenarioEngine engine(
+      g, {sim_cfg.tiebreak, sim_cfg.stub_breaks_ties});
 
   stats::Table t({"deployment state", "secure ASes", "mean ASes hijacked",
                   "mean traffic hijacked", "p90 hijacked"});
   auto row = [&](const std::string& name, const std::vector<std::uint8_t>& secure) {
-    core::SimConfig cfg = bench::case_study_config(opt);
-    const auto r = core::measure_resilience(g, secure, cfg, samples, 1234, pool);
+    const auto r = engine.run(point, secure, pool);
     std::size_t num_secure = 0;
     for (const auto s : secure) num_secure += s;
     t.begin_row();

@@ -1,48 +1,28 @@
 #include "core/resilience.h"
 
-#include <mutex>
-#include <random>
-
-#include "routing/rib.h"
-#include "routing/routing_tree.h"
+#include "scenario/engine.h"
+#include "scenario/scenario_spec.h"
 
 namespace sbgp::core {
 
 namespace {
 
-struct PairImpact {
-  double fooled_count = 0.0;  // fraction of routed third-party ASes
-  double fooled_weight = 0.0; // fraction of routed third-party weight
-};
+scenario::Scenario legacy_hijack_scenario(std::size_t samples,
+                                          std::uint64_t seed) {
+  scenario::Scenario s;
+  s.attack = scenario::AttackKind::OriginHijack;
+  s.policy = scenario::DefensePolicy::SecureTiebreak;
+  s.placement = scenario::Placement::UniformRandom;
+  s.samples = samples;
+  s.seed = seed;
+  return s;
+}
 
-PairImpact impact_of(const topo::AsGraph& graph, const std::vector<std::uint8_t>& secure,
-                     const SimConfig& cfg, rt::RibComputer& rc, rt::TreeComputer& tc,
-                     rt::DestRib& rib, rt::RoutingTree& tree, topo::AsId attacker,
-                     topo::AsId victim) {
-  rc.compute(victim, rib, attacker);
-  rt::SecurityView view;
-  view.graph = &graph;
-  view.base = secure.data();
-  view.stub_breaks_ties = cfg.stub_breaks_ties;
-  tc.compute(rib, view, cfg.tiebreak, tree);
-
-  std::size_t routed = 0, fooled = 0;
-  double routed_w = 0.0, fooled_w = 0.0;
-  for (const topo::AsId i : rib.order) {
-    if (i == victim || i == attacker) continue;
-    ++routed;
-    routed_w += graph.weight(i);
-    if (tree.origin[i] == attacker) {
-      ++fooled;
-      fooled_w += graph.weight(i);
-    }
-  }
-  PairImpact out;
-  if (routed > 0) {
-    out.fooled_count = static_cast<double>(fooled) / static_cast<double>(routed);
-    out.fooled_weight = fooled_w / routed_w;
-  }
-  return out;
+scenario::EngineConfig engine_config(const SimConfig& cfg) {
+  scenario::EngineConfig ecfg;
+  ecfg.tiebreak = cfg.tiebreak;
+  ecfg.stub_breaks_ties = cfg.stub_breaks_ties;
+  return ecfg;
 }
 
 }  // namespace
@@ -51,49 +31,28 @@ ResilienceResult measure_resilience(const topo::AsGraph& graph,
                                     const std::vector<std::uint8_t>& secure,
                                     const SimConfig& cfg, std::size_t samples,
                                     std::uint64_t seed, par::ThreadPool& pool) {
-  std::vector<std::pair<topo::AsId, topo::AsId>> pairs;
-  pairs.reserve(samples);
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<topo::AsId> pick(
-      0, static_cast<topo::AsId>(graph.num_nodes() - 1));
-  while (pairs.size() < samples) {
-    const topo::AsId a = pick(rng);
-    const topo::AsId v = pick(rng);
-    if (a != v) pairs.emplace_back(a, v);
-  }
-
+  // Delegates to the scenario engine: a uniform-placement origin hijack
+  // under the paper's security-third ranking. The engine reproduces the
+  // historical sampling stream draw-for-draw (attacker == victim pairs are
+  // redrawn, so the victim is never its own impostor) and folds per-pair
+  // impacts in sample-index order — deterministic for any pool size.
+  const scenario::ScenarioEngine engine(graph, engine_config(cfg));
+  const scenario::ScenarioResult r =
+      engine.run(legacy_hijack_scenario(samples, seed), secure, pool);
   ResilienceResult result;
-  result.pairs = pairs.size();
-  std::mutex merge_mutex;
-  par::parallel_for_chunked(pool, 0, pairs.size(), [&](std::size_t lo, std::size_t hi) {
-    rt::RibComputer rc(graph);
-    rt::TreeComputer tc(graph);
-    rt::DestRib rib;
-    rt::RoutingTree tree;
-    std::vector<PairImpact> local;
-    local.reserve(hi - lo);
-    for (std::size_t k = lo; k < hi; ++k) {
-      local.push_back(impact_of(graph, secure, cfg, rc, tc, rib, tree,
-                                pairs[k].first, pairs[k].second));
-    }
-    std::scoped_lock lock(merge_mutex);
-    for (const auto& p : local) {
-      result.fooled_fraction.add(p.fooled_count);
-      result.fooled_weight.add(p.fooled_weight);
-    }
-  });
+  result.pairs = r.pairs;
+  result.fooled_fraction = r.fooled_fraction;
+  result.fooled_weight = r.fooled_weight;
   return result;
 }
 
 double hijack_impact(const topo::AsGraph& graph,
                      const std::vector<std::uint8_t>& secure, const SimConfig& cfg,
                      topo::AsId attacker, topo::AsId victim) {
-  rt::RibComputer rc(graph);
-  rt::TreeComputer tc(graph);
-  rt::DestRib rib;
-  rt::RoutingTree tree;
-  return impact_of(graph, secure, cfg, rc, tc, rib, tree, attacker, victim)
-      .fooled_count;
+  const scenario::ScenarioEngine engine(graph, engine_config(cfg));
+  return engine
+      .probe(legacy_hijack_scenario(1, 0), secure, attacker, victim)
+      .fooled_fraction;
 }
 
 }  // namespace sbgp::core

@@ -76,15 +76,19 @@ std::string Job::key() const {
   os << "g=" << graph.key() << ";adopters=" << adopters << ";model=" << model
      << ";pricing=" << pricing << ";stubties=" << (stub_ties ? 1 : 0)
      << ";seed=" << seed << ";theta=" << format_double(theta);
+  if (attack_scenario.has_value()) os << ";" << attack_scenario->key();
   return os.str();
 }
 
 std::size_t JobSpec::num_jobs() const {
   return graphs.size() * adopters.size() * models.size() * pricing.size() *
-         stub_ties.size() * seeds.size() * thetas.size();
+         stub_ties.size() * seeds.size() * thetas.size() *
+         (scenario.has_value() ? scenario->num_points() : 1);
 }
 
 std::vector<Job> JobSpec::expand() const {
+  std::vector<scenario::Scenario> points;
+  if (scenario.has_value()) points = scenario->expand();
   std::vector<Job> jobs;
   jobs.reserve(num_jobs());
   for (const GraphSpec& g : graphs) {
@@ -94,21 +98,25 @@ std::vector<Job> JobSpec::expand() const {
           for (const int st : stub_ties) {
             for (const std::uint64_t s : seeds) {
               for (const double t : thetas) {
-                Job job;
-                job.id = jobs.size();
-                job.graph = g;
-                job.adopters = a;
-                job.model = m;
-                job.pricing = p;
-                job.stub_ties = st != 0;
-                job.seed = s;
-                job.theta = t;
-                job.pricing_tier_size = pricing_tier_size;
-                job.max_rounds = max_rounds;
-                job.threads = threads;
-                job.incremental = incremental;
-                job.check_incremental = check_incremental;
-                jobs.push_back(std::move(job));
+                const std::size_t npts = points.empty() ? 1 : points.size();
+                for (std::size_t sc = 0; sc < npts; ++sc) {
+                  Job job;
+                  job.id = jobs.size();
+                  job.graph = g;
+                  job.adopters = a;
+                  job.model = m;
+                  job.pricing = p;
+                  job.stub_ties = st != 0;
+                  job.seed = s;
+                  job.theta = t;
+                  job.pricing_tier_size = pricing_tier_size;
+                  job.max_rounds = max_rounds;
+                  job.threads = threads;
+                  job.incremental = incremental;
+                  job.check_incremental = check_incremental;
+                  if (!points.empty()) job.attack_scenario = points[sc];
+                  jobs.push_back(std::move(job));
+                }
               }
             }
           }
@@ -149,6 +157,10 @@ Json JobSpec::to_json() const {
   j.set("threads", Json::number(static_cast<std::uint64_t>(threads)));
   j.set("incremental", Json::boolean(incremental));
   j.set("check_incremental", Json::boolean(check_incremental));
+  // The scenario block is experiment identity and participates in hash();
+  // it is appended last so scenario-free specs keep their historical
+  // serialisation (and hence their resume keys).
+  if (scenario.has_value()) j.set("scenario", scenario->to_json());
   // metrics_out / trace_out / obs_summary are deliberately NOT serialised:
   // hash() is derived from this JSON and telemetry sinks must not change a
   // spec's identity (see JobSpec declaration).
@@ -162,7 +174,7 @@ JobSpec JobSpec::from_json(const Json& j) {
                     "stub_ties", "seeds", "thetas", "pricing_tier_size",
                     "max_rounds", "threads", "incremental",
                     "check_incremental", "metrics_out", "trace_out",
-                    "obs_summary"},
+                    "obs_summary", "scenario"},
                    "spec");
   if (const Json* v = j.find("name")) spec.name = v->as_string();
   if (const Json* v = j.find("graphs")) {
@@ -220,6 +232,9 @@ JobSpec JobSpec::from_json(const Json& j) {
   }
   if (const Json* v = j.find("check_incremental")) {
     spec.check_incremental = v->as_bool();
+  }
+  if (const Json* v = j.find("scenario")) {
+    spec.scenario = scenario::ScenarioSpec::from_json(*v, "scenario");
   }
   if (const Json* v = j.find("metrics_out")) spec.metrics_out = v->as_string();
   if (const Json* v = j.find("trace_out")) spec.trace_out = v->as_string();

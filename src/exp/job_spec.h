@@ -21,10 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/json.h"
+#include "scenario/scenario_spec.h"
 
 namespace sbgp::exp {
 
@@ -61,6 +63,9 @@ struct Job {
   /// Run the incremental/full differential check in lockstep; a divergence
   /// fails the job. Validation runs only — roughly doubles round cost.
   bool check_incremental = false;
+  /// When set, the attack scenario evaluated against the final deployment
+  /// state after the simulation converges (one matrix point per job).
+  std::optional<scenario::Scenario> attack_scenario;
 
   /// Canonical human-readable key identifying the grid point (excludes id).
   [[nodiscard]] std::string key() const;
@@ -97,12 +102,20 @@ struct JobSpec {
   std::string metrics_out;
   std::string trace_out;
   bool obs_summary = false;
+  /// Optional attack-scenario matrix (a `"scenario"` block in the JSON):
+  /// every grid point above is crossed with every expanded scenario point,
+  /// and each job evaluates its scenario against the converged deployment.
+  /// Unlike the telemetry sinks this is experiment identity: the block IS
+  /// serialised by to_json() and therefore participates in hash(). Specs
+  /// without a scenario block keep their historical hash.
+  std::optional<scenario::ScenarioSpec> scenario;
 
-  /// Number of grid points (product of axis sizes).
+  /// Number of grid points (product of axis sizes, × scenario points).
   [[nodiscard]] std::size_t num_jobs() const;
 
   /// Deterministic expansion: graphs » adopters » models » pricing »
-  /// stub_ties » seeds » thetas (thetas innermost). Same spec, same list.
+  /// stub_ties » seeds » thetas » scenario points (innermost). Same spec,
+  /// same list.
   [[nodiscard]] std::vector<Job> expand() const;
 
   /// FNV-1a hash of the canonical JSON serialisation. Two specs share a

@@ -21,6 +21,19 @@ Json JobRecord::to_json() const {
   j.set("num_isps", Json::number(static_cast<std::uint64_t>(num_isps)));
   j.set("frac_ases", Json::number(frac_ases));
   j.set("frac_isps", Json::number(frac_isps));
+  if (!scenario_key.empty()) {
+    j.set("scenario_key", Json::string(scenario_key));
+    j.set("scn_pairs", Json::number(static_cast<std::uint64_t>(scn_pairs)));
+    j.set("scn_mean_fooled", Json::number(scn_mean_fooled));
+    j.set("scn_mean_fooled_weight", Json::number(scn_mean_fooled_weight));
+    j.set("scn_p90_fooled", Json::number(scn_p90_fooled));
+    j.set("scn_disconnected", Json::number(scn_disconnected));
+    j.set("scn_nonconverged",
+          Json::number(static_cast<std::uint64_t>(scn_nonconverged)));
+    if (scn_has_baseline) {
+      j.set("scn_baseline_fooled", Json::number(scn_baseline_fooled));
+    }
+  }
   return j;
 }
 
@@ -49,6 +62,23 @@ JobRecord JobRecord::from_json(const Json& j) {
   if (const Json* v = j.find("num_isps")) r.num_isps = static_cast<std::size_t>(v->as_u64());
   if (const Json* v = j.find("frac_ases")) r.frac_ases = v->as_double();
   if (const Json* v = j.find("frac_isps")) r.frac_isps = v->as_double();
+  if (const Json* v = j.find("scenario_key")) r.scenario_key = v->as_string();
+  if (const Json* v = j.find("scn_pairs")) {
+    r.scn_pairs = static_cast<std::size_t>(v->as_u64());
+  }
+  if (const Json* v = j.find("scn_mean_fooled")) r.scn_mean_fooled = v->as_double();
+  if (const Json* v = j.find("scn_mean_fooled_weight")) {
+    r.scn_mean_fooled_weight = v->as_double();
+  }
+  if (const Json* v = j.find("scn_p90_fooled")) r.scn_p90_fooled = v->as_double();
+  if (const Json* v = j.find("scn_disconnected")) r.scn_disconnected = v->as_u64();
+  if (const Json* v = j.find("scn_nonconverged")) {
+    r.scn_nonconverged = static_cast<std::size_t>(v->as_u64());
+  }
+  if (const Json* v = j.find("scn_baseline_fooled")) {
+    r.scn_has_baseline = true;
+    r.scn_baseline_fooled = v->as_double();
+  }
   return r;
 }
 
@@ -58,6 +88,14 @@ std::string JobRecord::canonical_row() const {
      << rounds << ',' << secure_ases << ',' << secure_isps << ',' << num_ases
      << ',' << num_isps << ',' << format_double(frac_ases) << ','
      << format_double(frac_isps);
+  if (!scenario_key.empty()) {
+    os << ',' << scenario_key << ',' << scn_pairs << ','
+       << format_double(scn_mean_fooled) << ','
+       << format_double(scn_mean_fooled_weight) << ','
+       << format_double(scn_p90_fooled) << ',' << scn_disconnected << ','
+       << scn_nonconverged;
+    if (scn_has_baseline) os << ',' << format_double(scn_baseline_fooled);
+  }
   return os.str();
 }
 

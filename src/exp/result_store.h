@@ -42,6 +42,19 @@ struct JobRecord {
   double frac_ases = 0.0;
   double frac_isps = 0.0;
 
+  // Attack-scenario payload, present iff the job carried a scenario
+  // (scenario_key non-empty). Serialised only when present, so
+  // scenario-free records keep their historical byte layout.
+  std::string scenario_key;
+  std::size_t scn_pairs = 0;
+  double scn_mean_fooled = 0.0;
+  double scn_mean_fooled_weight = 0.0;
+  double scn_p90_fooled = 0.0;
+  std::uint64_t scn_disconnected = 0;
+  std::size_t scn_nonconverged = 0;
+  bool scn_has_baseline = false;
+  double scn_baseline_fooled = 0.0;
+
   [[nodiscard]] Json to_json() const;
   static JobRecord from_json(const Json& j);
 

@@ -4,6 +4,7 @@
 
 #include "core/early_adopters.h"
 #include "core/simulator.h"
+#include "scenario/engine.h"
 #include "topology/graph_io.h"
 
 namespace sbgp::exp {
@@ -130,6 +131,29 @@ JobRecord run_job(const Job& job, GraphCache& cache, std::size_t inner_threads,
                     ? static_cast<double>(r.secure_isps) /
                           static_cast<double>(net.graph.num_isps())
                     : 0.0;
+
+  // Attack-scenario evaluation against the converged deployment state. An
+  // aborted (timed-out) simulation has no meaningful final state, so the
+  // scenario is skipped — the job's "timeout" status already forces a rerun.
+  if (job.attack_scenario.has_value() &&
+      result.outcome != core::Outcome::Aborted) {
+    scenario::EngineConfig ecfg;
+    ecfg.tiebreak = cfg.tiebreak;
+    ecfg.stub_breaks_ties = cfg.stub_breaks_ties;
+    const scenario::ScenarioEngine engine(net.graph, ecfg);
+    par::ThreadPool pool(inner_threads == 0 ? 1 : inner_threads);
+    const scenario::ScenarioResult sr =
+        engine.run(*job.attack_scenario, result.final_state.flags(), pool);
+    r.scenario_key = sr.key;
+    r.scn_pairs = sr.pairs;
+    r.scn_mean_fooled = sr.mean_fooled();
+    r.scn_mean_fooled_weight = sr.fooled_weight.mean();
+    r.scn_p90_fooled = sr.fooled_fraction.quantile(0.9);
+    r.scn_disconnected = sr.disconnected;
+    r.scn_nonconverged = sr.nonconverged_pairs;
+    r.scn_has_baseline = sr.has_baseline;
+    r.scn_baseline_fooled = sr.has_baseline ? sr.baseline_fooled.mean() : 0.0;
+  }
   return r;
 }
 

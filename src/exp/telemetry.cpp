@@ -75,6 +75,25 @@ Json job_record(const JobRecord& r) {
   return j;
 }
 
+Json scenario_record(const scenario::ScenarioResult& r) {
+  Json j = Json::object();
+  j.set("type", Json::string("scenario"));
+  j.set("key", Json::string(r.key));
+  j.set("pairs", Json::number(static_cast<std::uint64_t>(r.pairs)));
+  j.set("mean_fooled", Json::number(r.mean_fooled()));
+  j.set("mean_fooled_weight", Json::number(r.fooled_weight.mean()));
+  j.set("p90_fooled", Json::number(r.fooled_fraction.quantile(0.9)));
+  j.set("max_fooled", Json::number(r.fooled_fraction.max()));
+  j.set("disconnected", Json::number(r.disconnected));
+  j.set("nonconverged",
+        Json::number(static_cast<std::uint64_t>(r.nonconverged_pairs)));
+  if (r.has_baseline) {
+    j.set("baseline_fooled", Json::number(r.baseline_fooled.mean()));
+    j.set("delta_vs_baseline", Json::number(r.delta_vs_baseline()));
+  }
+  return j;
+}
+
 Json metrics_record() {
   Json j = Json::object();
   j.set("type", Json::string("metrics"));

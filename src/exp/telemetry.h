@@ -14,6 +14,7 @@
 #include "core/simulator.h"
 #include "exp/json.h"
 #include "exp/result_store.h"
+#include "scenario/engine.h"
 
 namespace sbgp::exp {
 
@@ -53,6 +54,13 @@ void append_round_records(TelemetryLog& log, const core::SimResult& result,
 /// One sweep job, as emitted by exp::SweepScheduler:
 /// {"type":"job", ...all JobRecord fields...}.
 [[nodiscard]] Json job_record(const JobRecord& r);
+
+/// One attack-scenario evaluation, as emitted by `sbgpsim scenario run`:
+/// {"type":"scenario","key":...,"pairs":...,"mean_fooled":...,
+///  "mean_fooled_weight":...,"p90_fooled":...,"max_fooled":...,
+///  "disconnected":...,"nonconverged":...[,"baseline_fooled":...,
+///  "delta_vs_baseline":...]}.
+[[nodiscard]] Json scenario_record(const scenario::ScenarioResult& r);
 
 /// Snapshot of the global obs:: metrics registry:
 /// {"type":"metrics","registry":{"counters":{...},"gauges":{...},

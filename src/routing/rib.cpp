@@ -30,10 +30,13 @@ RibComputer::RibComputer(const AsGraph& graph)
   queue_.reserve(graph.num_nodes());
 }
 
-void RibComputer::compute(AsId dest, DestRib& out, AsId impostor) {
+void RibComputer::compute(AsId dest, DestRib& out, AsId impostor,
+                          std::uint16_t impostor_len) {
   const std::size_t n = graph_.num_nodes();
   assert(dest < n);
   assert(impostor == kNoAs || (impostor < n && impostor != dest));
+  assert(impostor_len < kInf - n && "claimed length leaves headroom for real hops");
+  if (impostor == kNoAs) impostor_len = 0;
   std::fill(cust_len_.begin(), cust_len_.end(), kInf);
   std::fill(chosen_len_.begin(), chosen_len_.end(), kInf);
   std::fill(cls_.begin(), cls_.end(), RouteClass::None);
@@ -44,19 +47,45 @@ void RibComputer::compute(AsId dest, DestRib& out, AsId impostor) {
   // In hijack mode the impostor co-originates the prefix (a second BFS
   // source).
   cust_len_[dest] = 0;
-  queue_.clear();
-  queue_.push_back(dest);
-  if (impostor != kNoAs) {
-    cust_len_[impostor] = 0;
-    queue_.push_back(impostor);
-  }
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
-    const AsId x = queue_[head];
-    const std::uint16_t next_len = static_cast<std::uint16_t>(cust_len_[x] + 1);
-    for (AsId p : graph_.providers(x)) {
-      if (cust_len_[p] == kInf) {
-        cust_len_[p] = next_len;
-        queue_.push_back(p);
+  if (impostor != kNoAs) cust_len_[impostor] = impostor_len;
+  if (impostor_len == 0) {
+    // Both sources at depth 0: plain FIFO BFS. The origin labels are the
+    // global minimum, so no relaxation can touch them.
+    queue_.clear();
+    queue_.push_back(dest);
+    if (impostor != kNoAs) queue_.push_back(impostor);
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const AsId x = queue_[head];
+      const std::uint16_t next_len = static_cast<std::uint16_t>(cust_len_[x] + 1);
+      for (AsId p : graph_.providers(x)) {
+        if (cust_len_[p] == kInf) {
+          cust_len_[p] = next_len;
+          queue_.push_back(p);
+        }
+      }
+    }
+  } else {
+    // Mixed source depths (forged announcement claims `impostor_len` hops):
+    // Dial-bucket BFS. The origins' labels are pinned — the impostor always
+    // advertises its claimed length even when a shorter genuine route into it
+    // exists, and nothing may shorten the destination's own origination.
+    const std::size_t need = static_cast<std::size_t>(impostor_len) + n + 2;
+    if (buckets_.size() < need) buckets_.resize(need);
+    for (auto& b : buckets_) b.clear();
+    buckets_[0].push_back(dest);
+    buckets_[impostor_len].push_back(impostor);
+    for (std::size_t length = 0; length < buckets_.size(); ++length) {
+      for (std::size_t idx = 0; idx < buckets_[length].size(); ++idx) {
+        const AsId x = buckets_[length][idx];
+        if (cust_len_[x] != length) continue;  // stale entry
+        const auto next_len = static_cast<std::uint16_t>(length + 1);
+        for (AsId p : graph_.providers(x)) {
+          if (p == dest || p == impostor) continue;  // origin labels pinned
+          if (next_len < cust_len_[p]) {
+            cust_len_[p] = next_len;
+            buckets_[next_len].push_back(p);
+          }
+        }
       }
     }
   }
@@ -68,7 +97,7 @@ void RibComputer::compute(AsId dest, DestRib& out, AsId impostor) {
   chosen_len_[dest] = 0;
   if (impostor != kNoAs) {
     cls_[impostor] = RouteClass::Self;
-    chosen_len_[impostor] = 0;
+    chosen_len_[impostor] = impostor_len;
   }
   for (AsId i = 0; i < n; ++i) {
     if (i == dest || i == impostor) continue;
@@ -125,6 +154,7 @@ void RibComputer::compute(AsId dest, DestRib& out, AsId impostor) {
   // ascending-length processing order.
   out.dest = dest;
   out.impostor = impostor;
+  out.impostor_len = impostor_len;
   out.tb_sorted = false;
   out.cls.assign(cls_.begin(), cls_.end());
   out.len.assign(chosen_len_.begin(), chosen_len_.end());
@@ -185,9 +215,10 @@ void RibComputer::compute(AsId dest, DestRib& out, AsId impostor) {
   }
 }
 
-DestRib RibComputer::compute(AsId dest, AsId impostor) {
+DestRib RibComputer::compute(AsId dest, AsId impostor,
+                             std::uint16_t impostor_len) {
   DestRib out;
-  compute(dest, out, impostor);
+  compute(dest, out, impostor, impostor_len);
   return out;
 }
 

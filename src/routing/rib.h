@@ -40,9 +40,18 @@ enum class RouteClass : std::uint8_t {
 /// and `impostor` originate, and every AS's chosen route leads to whichever
 /// origin its policies prefer (the [15] attack model used to quantify
 /// resilience under partial deployment).
+///
+/// `impostor_len` generalizes the forged announcement: the attacker claims a
+/// path of that length to the true origin instead of originating the prefix
+/// itself. 0 is the plain origin hijack; k > 0 models a k-hop interception /
+/// path-shortening attack (and a protocol downgrade when k is the attacker's
+/// genuine route length with security attributes stripped). The impostor's
+/// own label is pinned at `impostor_len` — its neighbours hear length
+/// `impostor_len + 1`.
 struct DestRib {
   AsId dest = kNoAs;
   AsId impostor = kNoAs;
+  std::uint16_t impostor_len = 0;
   std::vector<RouteClass> cls;       ///< per node
   std::vector<std::uint16_t> len;    ///< chosen route length (0 for dest)
   std::vector<std::uint32_t> tb_begin;  ///< per node offset into `tb` (size N+1)
@@ -80,11 +89,15 @@ class RibComputer {
   explicit RibComputer(const AsGraph& graph);
 
   /// Computes the static RIB for destination `dest` into `out` (reused).
-  /// When `impostor != kNoAs`, computes the two-origin hijack RIB.
-  void compute(AsId dest, DestRib& out, AsId impostor = kNoAs);
+  /// When `impostor != kNoAs`, computes the two-origin hijack RIB; the
+  /// impostor's announcement claims a path of `impostor_len` hops to the
+  /// origin (0 = forged origination, see DestRib).
+  void compute(AsId dest, DestRib& out, AsId impostor = kNoAs,
+               std::uint16_t impostor_len = 0);
 
   /// Convenience allocation-per-call variant.
-  [[nodiscard]] DestRib compute(AsId dest, AsId impostor = kNoAs);
+  [[nodiscard]] DestRib compute(AsId dest, AsId impostor = kNoAs,
+                                std::uint16_t impostor_len = 0);
 
  private:
   const AsGraph& graph_;

@@ -1,0 +1,296 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scenario/reference_router.h"
+
+namespace sbgp::scenario {
+
+using topo::AsId;
+using topo::kNoAs;
+
+namespace {
+
+/// Per-thread evaluation scratch; one instance per worker chunk.
+struct Scratch {
+  rt::RibComputer rc;
+  rt::TreeComputer tc;
+  rt::DestRib rib;
+  rt::RoutingTree tree;
+  std::vector<RouteEntry> entries;
+
+  explicit Scratch(const topo::AsGraph& g) : rc(g), tc(g) {}
+};
+
+PairOutcome eval_pair(const topo::AsGraph& graph, const EngineConfig& cfg,
+                      const Scenario& s, const std::vector<std::uint8_t>& secure,
+                      AsId attacker, AsId victim, Scratch& sc,
+                      std::vector<AsId>* origins_out) {
+  PairOutcome out;
+  if (origins_out != nullptr) origins_out->assign(graph.num_nodes(), kNoAs);
+
+  std::uint16_t impostor_len = 0;
+  if (s.attack == AttackKind::Interception) {
+    impostor_len = s.hops;
+  } else if (s.attack == AttackKind::Downgrade) {
+    // The attacker re-announces its genuine route with security stripped:
+    // honest length, insecure attributes. Its genuine length is the chosen
+    // route length in the unattacked RIB; with no route to the victim the
+    // attack is inert.
+    sc.rc.compute(victim, sc.rib);
+    if (!sc.rib.reachable(attacker)) {
+      if (origins_out != nullptr) {
+        for (const AsId i : sc.rib.order) (*origins_out)[i] = victim;
+      }
+      return out;
+    }
+    impostor_len = sc.rib.len[attacker];
+  }
+
+  sc.rc.compute(victim, sc.rib, attacker, impostor_len);
+
+  if (s.policy == DefensePolicy::SecureTiebreak) {
+    // Security-third keeps route class/length state-independent (Obs. C.1):
+    // the fast routing tree resolves SecP + TB over the static RIB.
+    rt::SecurityView view;
+    view.graph = &graph;
+    view.base = secure.data();
+    view.stub_breaks_ties = cfg.stub_breaks_ties;
+    sc.tc.compute(sc.rib, view, cfg.tiebreak, sc.tree);
+    std::size_t routed = 0, fooled = 0;
+    double routed_w = 0.0, fooled_w = 0.0;
+    for (const AsId i : sc.rib.order) {
+      if (origins_out != nullptr) (*origins_out)[i] = sc.tree.origin[i];
+      if (i == victim || i == attacker) continue;
+      ++routed;
+      routed_w += graph.weight(i);
+      if (sc.tree.origin[i] == attacker) {
+        ++fooled;
+        fooled_w += graph.weight(i);
+      }
+    }
+    if (routed > 0) {
+      out.fooled_fraction =
+          static_cast<double>(fooled) / static_cast<double>(routed);
+      out.fooled_weight = fooled_w / routed_w;
+    }
+    return out;
+  }
+
+  // ROV withdraws routes and secure-first reorders the ranking — both break
+  // the static-RIB assumption, so run the path-vector reference router. The
+  // static two-origin RIB still supplies the denominator: the set of third
+  // parties that can reach either origin at all.
+  AttackConfig acfg;
+  acfg.attack = s.attack;
+  acfg.policy = s.policy;
+  acfg.impostor_len = impostor_len;
+  acfg.tiebreak = cfg.tiebreak;
+  acfg.stub_breaks_ties = cfg.stub_breaks_ties;
+  out.converged =
+      compute_attack_routes(graph, secure, acfg, attacker, victim, sc.entries);
+  std::size_t routed = 0, fooled = 0;
+  double routed_w = 0.0, fooled_w = 0.0;
+  for (const AsId i : sc.rib.order) {
+    const RouteEntry& e = sc.entries[i];
+    if (origins_out != nullptr && e.exists) (*origins_out)[i] = e.origin;
+    if (i == victim || i == attacker) continue;
+    ++routed;
+    routed_w += graph.weight(i);
+    if (!e.exists) {
+      ++out.disconnected;  // ROV withdrew the only candidates
+    } else if (e.origin == attacker) {
+      ++fooled;
+      fooled_w += graph.weight(i);
+    }
+  }
+  if (routed > 0) {
+    out.fooled_fraction =
+        static_cast<double>(fooled) / static_cast<double>(routed);
+    out.fooled_weight = fooled_w / routed_w;
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(const topo::AsGraph& graph, EngineConfig cfg)
+    : graph_(graph), cfg_(cfg) {}
+
+std::vector<std::pair<AsId, AsId>> ScenarioEngine::sample_pairs(
+    const Scenario& s) const {
+  const std::size_t n = graph_.num_nodes();
+  if (n < 2) throw std::invalid_argument("scenario: graph has fewer than 2 ASes");
+
+  const auto resolve = [&](const std::vector<std::uint32_t>& asns,
+                           const char* what) {
+    std::vector<AsId> ids;
+    ids.reserve(asns.size());
+    for (const std::uint32_t asn : asns) {
+      const AsId id = graph_.find_asn(asn);
+      if (id == kNoAs) {
+        throw std::invalid_argument("scenario: " + std::string(what) +
+                                    " ASN " + std::to_string(asn) +
+                                    " not in graph");
+      }
+      ids.push_back(id);
+    }
+    return ids;
+  };
+
+  // Attacker pool. Empty vector = "all ASes" (sampled without materialising).
+  std::vector<AsId> apool;
+  switch (s.placement) {
+    case Placement::UniformRandom: break;
+    case Placement::DegreeTier: {
+      apool.resize(n);
+      for (AsId i = 0; i < n; ++i) apool[i] = i;
+      std::sort(apool.begin(), apool.end(), [&](AsId a, AsId b) {
+        const std::size_t da = graph_.degree(a), db = graph_.degree(b);
+        if (da != db) return da > db;
+        return a < b;
+      });
+      apool.resize(std::min<std::size_t>(s.tier_top, n));
+      break;
+    }
+    case Placement::StubOnly: {
+      for (AsId i = 0; i < n; ++i) {
+        if (graph_.is_stub(i)) apool.push_back(i);
+      }
+      if (apool.empty()) {
+        throw std::invalid_argument("scenario: graph has no stub ASes");
+      }
+      break;
+    }
+    case Placement::FixedList: apool = resolve(s.attacker_asns, "attacker"); break;
+  }
+  const std::vector<AsId> vpool = resolve(s.victim_asns, "victim");
+
+  std::vector<std::pair<AsId, AsId>> pairs;
+  if (s.placement == Placement::FixedList && !vpool.empty()) {
+    // Fully pinned matrix: enumerate the cross product in list order.
+    for (const AsId a : apool) {
+      for (const AsId v : vpool) {
+        if (a != v) pairs.emplace_back(a, v);
+      }
+    }
+    if (pairs.empty()) {
+      throw std::invalid_argument(
+          "scenario: fixed attacker/victim lists yield no valid pair");
+    }
+    return pairs;
+  }
+  if (apool.size() == 1 && vpool.size() == 1 && apool[0] == vpool[0]) {
+    throw std::invalid_argument(
+        "scenario: attacker and victim pools are the same single AS");
+  }
+
+  // Rejection sampling: redraw BOTH on attacker == victim (the attacker
+  // would be the origin itself — no third party exists to fool). With
+  // uniform pools this is draw-for-draw the historical measure_resilience
+  // stream, so legacy results are reproduced bit-for-bit.
+  pairs.reserve(s.samples);
+  std::mt19937_64 rng(s.seed);
+  std::uniform_int_distribution<AsId> pick_all(0, static_cast<AsId>(n - 1));
+  std::uniform_int_distribution<AsId> pick_a(
+      0, apool.empty() ? 0 : static_cast<AsId>(apool.size() - 1));
+  std::uniform_int_distribution<AsId> pick_v(
+      0, vpool.empty() ? 0 : static_cast<AsId>(vpool.size() - 1));
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 1000 * s.samples + 1000;
+  while (pairs.size() < s.samples) {
+    if (++attempts > max_attempts) {
+      throw std::invalid_argument(
+          "scenario: sampling stalled (pools too small for distinct pairs?)");
+    }
+    const AsId a = apool.empty() ? pick_all(rng) : apool[pick_a(rng)];
+    const AsId v = vpool.empty() ? pick_all(rng) : vpool[pick_v(rng)];
+    if (a != v) pairs.emplace_back(a, v);
+  }
+  return pairs;
+}
+
+ScenarioResult ScenarioEngine::run(const Scenario& s,
+                                   const std::vector<std::uint8_t>& secure,
+                                   par::ThreadPool& pool) const {
+  OBS_SPAN("scenario.run");
+  static obs::Counter& runs_ctr =
+      obs::Registry::global().counter("scenario.runs");
+  static obs::Counter& pairs_ctr =
+      obs::Registry::global().counter("scenario.pairs_evaluated");
+  static obs::Counter& nonconv_ctr =
+      obs::Registry::global().counter("scenario.nonconverged_pairs");
+
+  const auto pairs = sample_pairs(s);
+  std::vector<PairOutcome> outcomes(pairs.size());
+  std::vector<PairOutcome> base_outcomes;
+  std::vector<std::uint8_t> nobody;
+  Scenario base_s = s;
+  if (s.baseline) {
+    base_outcomes.resize(pairs.size());
+    nobody.assign(graph_.num_nodes(), 0);
+    // With nobody secure every policy collapses to plain LP > SP > TB; the
+    // security-third fast path evaluates that cheapest.
+    base_s.policy = DefensePolicy::SecureTiebreak;
+  }
+
+  par::parallel_for_chunked(
+      pool, 0, pairs.size(), [&](std::size_t lo, std::size_t hi) {
+        Scratch sc(graph_);
+        for (std::size_t k = lo; k < hi; ++k) {
+          outcomes[k] = eval_pair(graph_, cfg_, s, secure, pairs[k].first,
+                                  pairs[k].second, sc, nullptr);
+          if (s.baseline) {
+            base_outcomes[k] = eval_pair(graph_, cfg_, base_s, nobody,
+                                         pairs[k].first, pairs[k].second, sc,
+                                         nullptr);
+          }
+        }
+      });
+
+  // Fold single-threaded in sample-index order: the mean of a
+  // stats::Summary sums in insertion order, so this is what makes the
+  // result bitwise identical across pool sizes.
+  ScenarioResult result;
+  result.key = s.key();
+  result.pairs = pairs.size();
+  for (const PairOutcome& o : outcomes) {
+    result.fooled_fraction.add(o.fooled_fraction);
+    result.fooled_weight.add(o.fooled_weight);
+    result.disconnected += o.disconnected;
+    if (!o.converged) ++result.nonconverged_pairs;
+  }
+  if (s.baseline) {
+    result.has_baseline = true;
+    for (const PairOutcome& o : base_outcomes) {
+      result.baseline_fooled.add(o.fooled_fraction);
+    }
+  }
+  runs_ctr.add(1);
+  pairs_ctr.add(pairs.size());
+  nonconv_ctr.add(result.nonconverged_pairs);
+  return result;
+}
+
+PairOutcome ScenarioEngine::probe(const Scenario& s,
+                                  const std::vector<std::uint8_t>& secure,
+                                  AsId attacker, AsId victim) const {
+  Scratch sc(graph_);
+  return eval_pair(graph_, cfg_, s, secure, attacker, victim, sc, nullptr);
+}
+
+std::vector<AsId> ScenarioEngine::chosen_origins(
+    const Scenario& s, const std::vector<std::uint8_t>& secure, AsId attacker,
+    AsId victim) const {
+  Scratch sc(graph_);
+  std::vector<AsId> origins;
+  (void)eval_pair(graph_, cfg_, s, secure, attacker, victim, sc, &origins);
+  return origins;
+}
+
+}  // namespace sbgp::scenario

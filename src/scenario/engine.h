@@ -1,0 +1,103 @@
+// The scenario engine: runs one expanded Scenario point against a
+// (graph, deployment-state) pair, sampling (attacker, victim) pairs
+// deterministically and measuring how much of the network each attack
+// attracts under the scenario's defense policy.
+//
+// Two evaluation paths share the static two-origin RIB of rt::RibComputer
+// (generalised with the forged-announcement length `impostor_len`):
+//  - SecureTiebreak — the paper's security-third ranking preserves
+//    Observation C.1, so the fast routing-tree algorithm resolves each pair
+//    in O(t·|V|) exactly as core::resilience always has;
+//  - RovDropInvalid / SecureFirst — these break the static-RIB assumption
+//    (ROV withdraws routes, secure-first reorders LP/SP), so each pair runs
+//    the path-vector reference router instead.
+// Results are folded single-threaded in sample-index order, so a run is
+// bitwise identical for any ThreadPool size.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "scenario/scenario_spec.h"
+#include "stats/histogram.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::scenario {
+
+/// Engine knobs shared by every scenario (lifted from core::SimConfig
+/// without depending on it — scenario:: sits below core::).
+struct EngineConfig {
+  rt::TieBreakPolicy tiebreak{};
+  bool stub_breaks_ties = true;
+};
+
+/// Outcome of one (attacker, victim) pair.
+struct PairOutcome {
+  double fooled_fraction = 0.0;  ///< routed third parties led to the attacker
+  double fooled_weight = 0.0;    ///< same, traffic-weighted
+  std::uint32_t disconnected = 0;  ///< third parties left routeless (ROV withdrawals)
+  bool converged = true;           ///< reference-router fixed point reached
+};
+
+/// Aggregate result of one scenario run.
+struct ScenarioResult {
+  std::string key;                  ///< Scenario::key() of the point
+  std::size_t pairs = 0;
+  stats::Summary fooled_fraction;   ///< one sample per pair
+  stats::Summary fooled_weight;
+  std::uint64_t disconnected = 0;   ///< summed over pairs
+  std::size_t nonconverged_pairs = 0;
+  /// Scenario::baseline: the same pairs under the empty deployment.
+  bool has_baseline = false;
+  stats::Summary baseline_fooled;
+
+  [[nodiscard]] double mean_fooled() const { return fooled_fraction.mean(); }
+  /// mean_fooled − baseline mean; negative = the deployment protects.
+  [[nodiscard]] double delta_vs_baseline() const {
+    return has_baseline ? mean_fooled() - baseline_fooled.mean() : 0.0;
+  }
+};
+
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(const topo::AsGraph& graph, EngineConfig cfg = {});
+
+  /// Deterministic (attacker, victim) pair sampling for `s`. Uniform
+  /// placement with uniform victims reproduces the historical
+  /// core::measure_resilience stream exactly (same mt19937_64 draws, both
+  /// redrawn on attacker == victim). Fixed attackers × fixed victims
+  /// enumerate the cross product instead of sampling. Throws
+  /// std::invalid_argument on empty pools or a pool that can never yield a
+  /// valid pair.
+  [[nodiscard]] std::vector<std::pair<topo::AsId, topo::AsId>> sample_pairs(
+      const Scenario& s) const;
+
+  /// Runs the full scenario on `pool`; bitwise deterministic in its size.
+  [[nodiscard]] ScenarioResult run(const Scenario& s,
+                                   const std::vector<std::uint8_t>& secure,
+                                   par::ThreadPool& pool) const;
+
+  /// Single-pair probe (allocates its own scratch).
+  [[nodiscard]] PairOutcome probe(const Scenario& s,
+                                  const std::vector<std::uint8_t>& secure,
+                                  topo::AsId attacker, topo::AsId victim) const;
+
+  /// Per-AS chosen origin for one pair under the scenario's attack and
+  /// policy: the victim, the attacker, or kNoAs (no route). For tests and
+  /// gadget-level probes.
+  [[nodiscard]] std::vector<topo::AsId> chosen_origins(
+      const Scenario& s, const std::vector<std::uint8_t>& secure,
+      topo::AsId attacker, topo::AsId victim) const;
+
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+ private:
+  const topo::AsGraph& graph_;
+  EngineConfig cfg_;
+};
+
+}  // namespace sbgp::scenario

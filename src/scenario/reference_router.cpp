@@ -1,0 +1,146 @@
+#include "scenario/reference_router.h"
+
+#include <algorithm>
+
+namespace sbgp::scenario {
+
+namespace {
+
+struct Candidate {
+  AsId via = kNoAs;
+  rt::RouteClass cls = rt::RouteClass::None;
+  std::uint16_t len = 0;
+  std::uint8_t sec = 0;   ///< offered route fully secure up to the neighbour
+  AsId origin = kNoAs;
+};
+
+/// (class, length) primary rank; smaller is better.
+[[nodiscard]] bool primary_better(const Candidate& a, const Candidate& b) {
+  if (a.cls != b.cls) return a.cls < b.cls;
+  return a.len < b.len;
+}
+
+[[nodiscard]] bool applies_secp(const AsGraph& g,
+                                const std::vector<std::uint8_t>& secure,
+                                bool stub_breaks_ties, AsId i) {
+  return secure[i] != 0 && (stub_breaks_ties || !g.is_stub(i));
+}
+
+}  // namespace
+
+bool compute_attack_routes(const AsGraph& g,
+                           const std::vector<std::uint8_t>& secure,
+                           const AttackConfig& cfg, AsId attacker, AsId victim,
+                           std::vector<RouteEntry>& out) {
+  const std::size_t n = g.num_nodes();
+  out.assign(n, RouteEntry{});
+  out[victim] = RouteEntry{true, static_cast<std::uint8_t>(secure[victim] != 0),
+                           rt::RouteClass::Self, 0, kNoAs, victim, {victim}};
+  // The forged announcement is never attestable: a hijack has no valid
+  // signature chain, an interception's forged hops cannot validate, and a
+  // downgrade strips the attributes by definition.
+  out[attacker] = RouteEntry{true, 0, rt::RouteClass::Self, cfg.impostor_len,
+                             kNoAs, attacker, {attacker}};
+
+  // Origin validation only detects forged ORIGINS; interception and
+  // downgrade announcements claim the true origin and pass ROV.
+  const bool rov_filters = cfg.policy == DefensePolicy::RovDropInvalid &&
+                           cfg.attack == AttackKind::OriginHijack;
+
+  std::vector<RouteEntry> prev;
+  std::vector<Candidate> cands;
+  const std::size_t max_iters = 2 * n + 16;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    prev = out;
+    bool changed = false;
+    for (AsId i = 0; i < n; ++i) {
+      if (i == victim || i == attacker) continue;
+      cands.clear();
+      const auto consider = [&](AsId j, rt::RouteClass cls_via) {
+        const RouteEntry& r = prev[j];
+        if (!r.exists) return;
+        // GR2 export rule at j: customer/self routes go to everyone, other
+        // routes only to j's customers (i.e. when j is i's provider).
+        if (cls_via != rt::RouteClass::Provider &&
+            r.cls != rt::RouteClass::Customer && r.cls != rt::RouteClass::Self) {
+          return;
+        }
+        // AS-path loop detection over the physical path.
+        if (std::find(r.path.begin(), r.path.end(), i) != r.path.end()) return;
+        if (rov_filters && secure[i] != 0 && r.origin == attacker) return;
+        cands.push_back(Candidate{j, cls_via,
+                                  static_cast<std::uint16_t>(r.len + 1),
+                                  r.secure, r.origin});
+      };
+      for (AsId j : g.customers(i)) consider(j, rt::RouteClass::Customer);
+      for (AsId j : g.peers(i)) consider(j, rt::RouteClass::Peer);
+      for (AsId j : g.providers(i)) consider(j, rt::RouteClass::Provider);
+
+      RouteEntry next{};
+      if (!cands.empty()) {
+        const bool secp = applies_secp(g, secure, cfg.stub_breaks_ties, i);
+        const bool secure_first =
+            cfg.policy == DefensePolicy::SecureFirst && secp;
+        // Primary rank: secure-first puts the security bit above LP/SP at
+        // security-applying ASes; everything else ranks (class, length).
+        const Candidate* best = nullptr;
+        for (const Candidate& c : cands) {
+          if (best == nullptr) {
+            best = &c;
+            continue;
+          }
+          if (secure_first && c.sec != best->sec) {
+            if (c.sec > best->sec) best = &c;
+            continue;
+          }
+          if (primary_better(c, *best)) best = &c;
+        }
+        // SecP: the paper's ranking breaks (class, length) ties in favour of
+        // secure routes at security-applying ASes. ROV applies no security
+        // tie-break (origin validation is not path validation).
+        bool want_secure = false;
+        if (cfg.policy == DefensePolicy::SecureTiebreak && secp) {
+          for (const Candidate& c : cands) {
+            if (c.sec != 0 && !primary_better(*best, c)) {
+              want_secure = true;
+              break;
+            }
+          }
+        }
+        // TB: lowest intradomain key among the surviving equal-best
+        // candidates; first candidate wins exact key ties (matches the
+        // stable selection of rt::TreeComputer).
+        const Candidate* pick = nullptr;
+        std::uint64_t pick_key = 0;
+        for (const Candidate& c : cands) {
+          if (secure_first && c.sec != best->sec) continue;
+          if (primary_better(*best, c)) continue;  // worse than best
+          if (want_secure && c.sec == 0) continue;
+          const std::uint64_t k = cfg.tiebreak.key(i, c.via, g);
+          if (pick == nullptr || k < pick_key) {
+            pick = &c;
+            pick_key = k;
+          }
+        }
+        const RouteEntry& via = prev[pick->via];
+        next.exists = true;
+        next.secure = static_cast<std::uint8_t>(pick->sec != 0 && secure[i] != 0);
+        next.cls = pick->cls;
+        next.len = pick->len;
+        next.next_hop = pick->via;
+        next.origin = pick->origin;
+        next.path.reserve(via.path.size() + 1);
+        next.path.push_back(i);
+        next.path.insert(next.path.end(), via.path.begin(), via.path.end());
+      }
+      if (!(next == out[i])) {
+        out[i] = std::move(next);
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;
+}
+
+}  // namespace sbgp::scenario

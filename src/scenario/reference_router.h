@@ -1,0 +1,58 @@
+// Brute-force path-vector reference router for attack scenarios. Runs a
+// synchronous fixed-point iteration of BGP route selection under a chosen
+// defense policy — no Observation C.1 shortcuts, full AS-path loop
+// detection — and therefore supports rankings that break the static-RIB
+// assumption (ROV withdraws routes; secure-first reorders LP/SP). It doubles
+// as the single-threaded oracle the scenario tests compare the fast
+// routing-tree path against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "scenario/scenario_spec.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::scenario {
+
+using topo::AsGraph;
+using topo::AsId;
+using topo::kNoAs;
+
+/// One AS's chosen route in the reference computation.
+struct RouteEntry {
+  bool exists = false;
+  std::uint8_t secure = 0;  ///< fully secure up to and including this AS
+  rt::RouteClass cls = rt::RouteClass::None;
+  std::uint16_t len = 0;    ///< claimed length (forged hops count)
+  AsId next_hop = kNoAs;
+  AsId origin = kNoAs;      ///< physical endpoint: victim or attacker
+  /// Physical AS path [this, ..., victim-or-attacker]; forged hops are not
+  /// materialised (they name no real AS), so `len` may exceed path length.
+  std::vector<AsId> path;
+
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
+};
+
+/// Attack instance parameters for one (attacker, victim) pair.
+struct AttackConfig {
+  AttackKind attack = AttackKind::OriginHijack;
+  DefensePolicy policy = DefensePolicy::SecureTiebreak;
+  std::uint16_t impostor_len = 0;  ///< claimed length of the forged announcement
+  rt::TieBreakPolicy tiebreak{};
+  bool stub_breaks_ties = true;
+};
+
+/// Computes every AS's chosen route when `victim` legitimately originates a
+/// prefix and `attacker` announces the forged alternative described by `cfg`,
+/// under deployment state `secure` (per-AS flags). Returns true when the
+/// iteration reached a fixed point within the cap (2n + 16 rounds); on false
+/// the entries hold the last synchronous snapshot.
+bool compute_attack_routes(const AsGraph& g,
+                           const std::vector<std::uint8_t>& secure,
+                           const AttackConfig& cfg, AsId attacker, AsId victim,
+                           std::vector<RouteEntry>& out);
+
+}  // namespace sbgp::scenario

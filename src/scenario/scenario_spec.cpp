@@ -1,0 +1,280 @@
+#include "scenario/scenario_spec.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace sbgp::scenario {
+
+using exp::Json;
+using exp::JsonError;
+
+const char* to_string(AttackKind a) {
+  switch (a) {
+    case AttackKind::OriginHijack: return "hijack";
+    case AttackKind::Interception: return "interception";
+    case AttackKind::Downgrade: return "downgrade";
+  }
+  return "?";
+}
+
+const char* to_string(DefensePolicy p) {
+  switch (p) {
+    case DefensePolicy::SecureTiebreak: return "secure-tiebreak";
+    case DefensePolicy::RovDropInvalid: return "rov";
+    case DefensePolicy::SecureFirst: return "secure-first";
+  }
+  return "?";
+}
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::UniformRandom: return "uniform";
+    case Placement::DegreeTier: return "degree-tier";
+    case Placement::StubOnly: return "stub-only";
+    case Placement::FixedList: return "fixed";
+  }
+  return "?";
+}
+
+namespace {
+
+AttackKind attack_from_string(const std::string& s, const std::string& path) {
+  if (s == "hijack" || s == "origin-hijack") return AttackKind::OriginHijack;
+  if (s == "interception") return AttackKind::Interception;
+  if (s == "downgrade") return AttackKind::Downgrade;
+  throw JsonError(path + ": unknown attack '" + s +
+                  "' (want hijack | interception | downgrade)");
+}
+
+DefensePolicy policy_from_string(const std::string& s, const std::string& path) {
+  // "security-third" is the paper's name for the secure-tiebreak ranking.
+  if (s == "secure-tiebreak" || s == "security-third") {
+    return DefensePolicy::SecureTiebreak;
+  }
+  if (s == "rov" || s == "rov-drop-invalid" || s == "drop-invalid") {
+    return DefensePolicy::RovDropInvalid;
+  }
+  if (s == "secure-first") return DefensePolicy::SecureFirst;
+  throw JsonError(path + ": unknown policy '" + s +
+                  "' (want secure-tiebreak | rov | secure-first)");
+}
+
+Placement placement_from_string(const std::string& s, const std::string& path) {
+  if (s == "uniform") return Placement::UniformRandom;
+  if (s == "degree-tier") return Placement::DegreeTier;
+  if (s == "stub-only") return Placement::StubOnly;
+  if (s == "fixed") return Placement::FixedList;
+  throw JsonError(path + ": unknown placement '" + s +
+                  "' (want uniform | degree-tier | stub-only | fixed)");
+}
+
+std::string at(const std::string& path, const char* key, std::size_t idx) {
+  std::ostringstream os;
+  os << path << '.' << key << '[' << idx << ']';
+  return os.str();
+}
+
+std::vector<std::uint32_t> asn_list(const Json& v, const std::string& path,
+                                    const char* key) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < v.items().size(); ++i) {
+    const std::uint64_t asn = v.items()[i].as_u64();
+    if (asn > 0xFFFFFFFFull) {
+      throw JsonError(at(path, key, i) + ": ASN out of range");
+    }
+    out.push_back(static_cast<std::uint32_t>(asn));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Scenario::key() const {
+  std::ostringstream os;
+  os << "attack=" << to_string(attack);
+  if (attack == AttackKind::Interception) os << ";hops=" << hops;
+  os << ";policy=" << to_string(policy)
+     << ";placement=" << to_string(placement);
+  if (placement == Placement::DegreeTier) os << ";tiertop=" << tier_top;
+  if (placement == Placement::FixedList) {
+    os << ";attackers=";
+    for (std::size_t i = 0; i < attacker_asns.size(); ++i) {
+      os << (i == 0 ? "" : "+") << attacker_asns[i];
+    }
+  }
+  if (!victim_asns.empty()) {
+    os << ";victims=";
+    for (std::size_t i = 0; i < victim_asns.size(); ++i) {
+      os << (i == 0 ? "" : "+") << victim_asns[i];
+    }
+  }
+  os << ";samples=" << samples << ";seed=" << seed;
+  if (baseline) os << ";baseline";
+  return os.str();
+}
+
+std::size_t ScenarioSpec::num_points() const {
+  std::size_t per_attack = 0;
+  for (const AttackKind a : attacks) {
+    per_attack += a == AttackKind::Interception ? hops.size() : 1;
+  }
+  return per_attack * policies.size() * placements.size();
+}
+
+std::vector<Scenario> ScenarioSpec::expand() const {
+  std::vector<Scenario> out;
+  out.reserve(num_points());
+  for (const AttackKind a : attacks) {
+    for (const DefensePolicy p : policies) {
+      for (const Placement pl : placements) {
+        const std::size_t nh = a == AttackKind::Interception ? hops.size() : 1;
+        for (std::size_t h = 0; h < nh; ++h) {
+          Scenario s;
+          s.attack = a;
+          s.policy = p;
+          s.placement = pl;
+          s.hops = a == AttackKind::Interception ? hops[h] : std::uint16_t{1};
+          s.tier_top = tier_top;
+          s.attacker_asns = attacker_asns;
+          s.victim_asns = victim_asns;
+          s.samples = samples;
+          s.seed = seed;
+          s.baseline = baseline;
+          out.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json j = Json::object();
+  Json as = Json::array();
+  for (const AttackKind a : attacks) as.push(Json::string(to_string(a)));
+  j.set("attacks", std::move(as));
+  Json ps = Json::array();
+  for (const DefensePolicy p : policies) ps.push(Json::string(to_string(p)));
+  j.set("policies", std::move(ps));
+  Json pls = Json::array();
+  for (const Placement p : placements) pls.push(Json::string(to_string(p)));
+  j.set("placements", std::move(pls));
+  Json hs = Json::array();
+  for (const std::uint16_t h : hops) hs.push(Json::number(std::uint64_t{h}));
+  j.set("hops", std::move(hs));
+  j.set("tier_top", Json::number(std::uint64_t{tier_top}));
+  if (!attacker_asns.empty()) {
+    Json a = Json::array();
+    for (const std::uint32_t asn : attacker_asns) {
+      a.push(Json::number(std::uint64_t{asn}));
+    }
+    j.set("attackers", std::move(a));
+  }
+  if (!victim_asns.empty()) {
+    Json v = Json::array();
+    for (const std::uint32_t asn : victim_asns) {
+      v.push(Json::number(std::uint64_t{asn}));
+    }
+    j.set("victims", std::move(v));
+  }
+  j.set("samples", Json::number(static_cast<std::uint64_t>(samples)));
+  j.set("seed", Json::number(seed));
+  j.set("baseline", Json::boolean(baseline));
+  return j;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const Json& j, const std::string& path) {
+  if (j.type() != Json::Type::Object) {
+    throw JsonError(path + ": must be an object");
+  }
+  ScenarioSpec spec;
+  for (const auto& [k, v] : j.members()) {
+    (void)v;
+    static constexpr const char* kKnown[] = {
+        "attacks",  "policies", "placements", "hops",     "tier_top",
+        "attackers", "victims",  "samples",    "seed",     "baseline"};
+    bool ok = false;
+    for (const char* a : kKnown) {
+      if (k == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) throw JsonError(path + ": unknown key '" + k + "'");
+  }
+  if (const Json* v = j.find("attacks")) {
+    spec.attacks.clear();
+    for (std::size_t i = 0; i < v->items().size(); ++i) {
+      spec.attacks.push_back(
+          attack_from_string(v->items()[i].as_string(), at(path, "attacks", i)));
+    }
+    if (spec.attacks.empty()) throw JsonError(path + ".attacks: must be non-empty");
+  }
+  if (const Json* v = j.find("policies")) {
+    spec.policies.clear();
+    for (std::size_t i = 0; i < v->items().size(); ++i) {
+      spec.policies.push_back(policy_from_string(v->items()[i].as_string(),
+                                                 at(path, "policies", i)));
+    }
+    if (spec.policies.empty()) {
+      throw JsonError(path + ".policies: must be non-empty");
+    }
+  }
+  if (const Json* v = j.find("placements")) {
+    spec.placements.clear();
+    for (std::size_t i = 0; i < v->items().size(); ++i) {
+      spec.placements.push_back(placement_from_string(
+          v->items()[i].as_string(), at(path, "placements", i)));
+    }
+    if (spec.placements.empty()) {
+      throw JsonError(path + ".placements: must be non-empty");
+    }
+  }
+  if (const Json* v = j.find("hops")) {
+    spec.hops.clear();
+    for (std::size_t i = 0; i < v->items().size(); ++i) {
+      const std::uint64_t h = v->items()[i].as_u64();
+      if (h < 1 || h > 1000) {
+        throw JsonError(at(path, "hops", i) + ": must be in [1,1000]");
+      }
+      spec.hops.push_back(static_cast<std::uint16_t>(h));
+    }
+    if (spec.hops.empty()) throw JsonError(path + ".hops: must be non-empty");
+  }
+  if (const Json* v = j.find("tier_top")) {
+    const std::uint64_t t = v->as_u64();
+    if (t < 1 || t > 0xFFFFFFFFull) {
+      throw JsonError(path + ".tier_top: must be >= 1");
+    }
+    spec.tier_top = static_cast<std::uint32_t>(t);
+  }
+  if (const Json* v = j.find("attackers")) {
+    spec.attacker_asns = asn_list(*v, path, "attackers");
+  }
+  if (const Json* v = j.find("victims")) {
+    spec.victim_asns = asn_list(*v, path, "victims");
+  }
+  if (const Json* v = j.find("samples")) {
+    spec.samples = static_cast<std::size_t>(v->as_u64());
+    if (spec.samples == 0) throw JsonError(path + ".samples: must be > 0");
+  }
+  if (const Json* v = j.find("seed")) spec.seed = v->as_u64();
+  if (const Json* v = j.find("baseline")) spec.baseline = v->as_bool();
+  for (const Placement p : spec.placements) {
+    if (p == Placement::FixedList && spec.attacker_asns.empty()) {
+      throw JsonError(path +
+                      ".placements: 'fixed' requires a non-empty 'attackers' list");
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from_file(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) throw JsonError("cannot open scenario file '" + file + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return from_json(Json::parse(buf.str()));
+}
+
+}  // namespace sbgp::scenario

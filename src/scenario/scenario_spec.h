@@ -1,0 +1,120 @@
+// Declarative attack & robustness scenarios. A ScenarioSpec is a small JSON
+// document describing an attack matrix — attacker model × defense policy ×
+// attacker placement — that `expand()` materialises into concrete Scenario
+// points in a fixed nested order (mirroring exp::JobSpec). The vocabulary
+// follows the partial-deployment attack literature the paper's Section 6.4
+// defers to: origin hijacks, k-hop interception / path-shortening, and
+// protocol-downgrade attacks, evaluated under ROV-style origin validation or
+// path-security tie-breaking placed third or first in the ranking.
+//
+//   {
+//     "attacks": ["hijack", "interception", "downgrade"],
+//     "hops": [1, 2],
+//     "policies": ["secure-tiebreak", "rov", "secure-first"],
+//     "placements": ["uniform", "degree-tier", "stub-only"],
+//     "tier_top": 20,
+//     "samples": 100,
+//     "seed": 42
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+
+namespace sbgp::scenario {
+
+/// Attacker model.
+enum class AttackKind : std::uint8_t {
+  /// The attacker originates the victim's prefix itself (forged origin; an
+  /// RPKI/ROV origin check can detect it).
+  OriginHijack = 0,
+  /// The attacker announces a forged k-hop path to the *true* origin
+  /// (path-shortening / interception; origin validation cannot detect it).
+  Interception = 1,
+  /// The attacker re-announces its genuine route to the victim with the
+  /// security attributes stripped (the protocol-downgrade attack of "Is the
+  /// Juice Worth the Squeeze?"): path and length are honest, so only the
+  /// security criterion can disfavour it.
+  Downgrade = 2,
+};
+
+/// Defense policy variant at security-enabled ASes.
+enum class DefensePolicy : std::uint8_t {
+  /// The paper's model: security breaks ties after LP and SP
+  /// ("security-third" ranking).
+  SecureTiebreak = 0,
+  /// ROV-style drop-invalid: secure ASes discard routes whose origin fails
+  /// validation (effective against forged-origin hijacks only) and apply no
+  /// security tie-break.
+  RovDropInvalid = 1,
+  /// Security outranks LP and SP at secure ASes ("secure-first" ranking).
+  SecureFirst = 2,
+};
+
+/// Where attackers are drawn from.
+enum class Placement : std::uint8_t {
+  UniformRandom = 0,  ///< any AS
+  DegreeTier = 1,     ///< the `tier_top` highest-degree ASes
+  StubOnly = 2,       ///< stub ASes only
+  FixedList = 3,      ///< the `attackers` ASN list, verbatim
+};
+
+[[nodiscard]] const char* to_string(AttackKind a);
+[[nodiscard]] const char* to_string(DefensePolicy p);
+[[nodiscard]] const char* to_string(Placement p);
+
+/// One fully-instantiated scenario: a single point of the matrix.
+struct Scenario {
+  AttackKind attack = AttackKind::OriginHijack;
+  DefensePolicy policy = DefensePolicy::SecureTiebreak;
+  Placement placement = Placement::UniformRandom;
+  std::uint16_t hops = 1;        ///< Interception only: forged path length
+  std::uint32_t tier_top = 20;   ///< DegreeTier pool size
+  std::vector<std::uint32_t> attacker_asns;  ///< FixedList pool (external ASNs)
+  std::vector<std::uint32_t> victim_asns;    ///< optional victim pool (empty = all)
+  std::size_t samples = 100;     ///< (attacker, victim) pairs to draw
+  std::uint64_t seed = 42;       ///< pair-sampling seed
+  bool baseline = false;         ///< also evaluate the empty deployment
+
+  /// Canonical human-readable key, e.g.
+  /// "attack=interception;hops=2;policy=rov;placement=uniform;samples=100;seed=42".
+  [[nodiscard]] std::string key() const;
+};
+
+/// The declarative matrix. `attacks`, `policies` and `placements` are grid
+/// axes; `hops` multiplies only interception points (other attacks have no
+/// forged-length degree of freedom). Everything else is a scalar applied to
+/// every point.
+struct ScenarioSpec {
+  std::vector<AttackKind> attacks = {AttackKind::OriginHijack};
+  std::vector<DefensePolicy> policies = {DefensePolicy::SecureTiebreak};
+  std::vector<Placement> placements = {Placement::UniformRandom};
+  std::vector<std::uint16_t> hops = {1};
+  std::uint32_t tier_top = 20;
+  std::vector<std::uint32_t> attacker_asns;
+  std::vector<std::uint32_t> victim_asns;
+  std::size_t samples = 100;
+  std::uint64_t seed = 42;
+  bool baseline = false;
+
+  /// Number of matrix points (interception counts hops.size() times).
+  [[nodiscard]] std::size_t num_points() const;
+
+  /// Deterministic expansion: attacks » policies » placements, with hops
+  /// innermost for interception points. Same spec, same list.
+  [[nodiscard]] std::vector<Scenario> expand() const;
+
+  [[nodiscard]] exp::Json to_json() const;
+
+  /// Parses and validates a spec; throws exp::JsonError on unknown keys or
+  /// out-of-range values, with diagnostics prefixed by the field path
+  /// (`path` names the enclosing document position, e.g. "scenario").
+  static ScenarioSpec from_json(const exp::Json& j,
+                                const std::string& path = "scenario");
+  static ScenarioSpec from_file(const std::string& file);
+};
+
+}  // namespace sbgp::scenario

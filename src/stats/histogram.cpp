@@ -112,6 +112,11 @@ void Summary::ensure_sorted() const {
 
 double Summary::mean() const {
   if (values_.empty()) return 0.0;
+  // Sum in sorted order so the result is a pure function of the sample
+  // multiset: without this, an earlier quantile()/min()/max() call (which
+  // sorts in place) would perturb the last ULP of a later mean(), breaking
+  // "same samples => same mean" reproducibility guarantees.
+  ensure_sorted();
   double sum = 0.0;
   for (double v : values_) sum += v;
   return sum / static_cast<double>(values_.size());

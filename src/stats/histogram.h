@@ -74,6 +74,8 @@ class BucketedCounter {
 
 /// Streaming summary of double-valued samples: count/mean/min/max and exact
 /// median & quantiles (samples are retained; fine at simulation scales).
+/// Every accessor is a pure function of the sample multiset — mean() sums
+/// in sorted order, so results do not depend on insertion or call order.
 class Summary {
  public:
   void add(double v);

@@ -1,0 +1,602 @@
+// scenario:: — the declarative attack & robustness engine.
+//
+// Four layers of coverage:
+//  1. ScenarioSpec parsing: defaults, round-trips, field-path diagnostics,
+//     matrix expansion order and key uniqueness;
+//  2. pair sampling: bit-parity with the historical measure_resilience
+//     stream, the attacker==victim resample rule, pool edge cases;
+//  3. evaluation semantics: the SecureTiebreak fast path against the
+//     path-vector reference router (per-AS chosen origins), interception
+//     RIB lengths, what ROV / secure-first do and do not stop, and bitwise
+//     determinism across thread-pool sizes;
+//  4. exp:: integration: the scenario axis in JobSpec hashing/expansion,
+//     JobRecord round-trips, and scheduler resume.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+
+#include "core/resilience.h"
+#include "exp/job_spec.h"
+#include "exp/result_store.h"
+#include "exp/scheduler.h"
+#include "scenario/engine.h"
+#include "scenario/reference_router.h"
+#include "scenario/scenario_spec.h"
+#include "test_util.h"
+
+namespace sbgp::scenario {
+namespace {
+
+using topo::AsId;
+using topo::kNoAs;
+
+// ---------------------------------------------------------------------------
+// 1. ScenarioSpec parsing & expansion
+
+TEST(ScenarioSpec, EmptyDocumentIsTheDefaultSingleHijack) {
+  const auto spec = ScenarioSpec::from_json(exp::Json::parse("{}"));
+  EXPECT_EQ(spec.num_points(), 1u);
+  const auto pts = spec.expand();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].attack, AttackKind::OriginHijack);
+  EXPECT_EQ(pts[0].policy, DefensePolicy::SecureTiebreak);
+  EXPECT_EQ(pts[0].placement, Placement::UniformRandom);
+  EXPECT_EQ(pts[0].samples, 100u);
+  EXPECT_EQ(pts[0].seed, 42u);
+}
+
+TEST(ScenarioSpec, RoundTripsThroughJson) {
+  const auto spec = ScenarioSpec::from_json(exp::Json::parse(
+      R"({"attacks": ["hijack", "interception", "downgrade"], "hops": [1, 3],)"
+      R"( "policies": ["rov", "secure-first"], "placements": ["degree-tier"],)"
+      R"( "tier_top": 7, "samples": 12, "seed": 9, "baseline": true})"));
+  const auto again = ScenarioSpec::from_json(spec.to_json());
+  const auto a = spec.expand(), b = again.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].key(), b[i].key());
+}
+
+TEST(ScenarioSpec, HopsMultiplyOnlyInterceptionPoints) {
+  const auto spec = ScenarioSpec::from_json(exp::Json::parse(
+      R"({"attacks": ["hijack", "interception", "downgrade"], "hops": [1, 2, 5],)"
+      R"( "policies": ["rov", "secure-tiebreak"]})"));
+  // (1 hijack + 3 interception + 1 downgrade) x 2 policies x 1 placement.
+  EXPECT_EQ(spec.num_points(), 10u);
+  EXPECT_EQ(spec.expand().size(), 10u);
+}
+
+TEST(ScenarioSpec, ExpandedKeysAreUnique) {
+  const auto spec = ScenarioSpec::from_json(exp::Json::parse(
+      R"({"attacks": ["hijack", "interception", "downgrade"], "hops": [1, 2],)"
+      R"( "policies": ["secure-tiebreak", "rov", "secure-first"],)"
+      R"( "placements": ["uniform", "degree-tier", "stub-only"]})"));
+  const auto pts = spec.expand();
+  std::set<std::string> keys;
+  for (const auto& p : pts) keys.insert(p.key());
+  EXPECT_EQ(keys.size(), pts.size());
+}
+
+TEST(ScenarioSpec, DiagnosticsCarryTheFieldPath) {
+  try {
+    (void)ScenarioSpec::from_json(exp::Json::parse(R"({"attacks": ["foo"]})"));
+    FAIL() << "expected JsonError";
+  } catch (const exp::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario.attacks[0]"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)ScenarioSpec::from_json(exp::Json::parse(R"({"samplez": 3})"),
+                                  "jobs.scenario");
+    FAIL() << "expected JsonError";
+  } catch (const exp::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("jobs.scenario"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpec, RejectsOutOfRangeValues) {
+  EXPECT_THROW(
+      (void)ScenarioSpec::from_json(exp::Json::parse(R"({"hops": [0]})")),
+      exp::JsonError);
+  EXPECT_THROW(
+      (void)ScenarioSpec::from_json(exp::Json::parse(R"({"samples": 0})")),
+      exp::JsonError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(
+                   exp::Json::parse(R"({"placements": ["fixed"]})")),
+               exp::JsonError);  // fixed placement requires attackers
+  EXPECT_THROW((void)ScenarioSpec::from_json(
+                   exp::Json::parse(R"({"policies": []})")),
+               exp::JsonError);
+}
+
+TEST(ScenarioSpec, FromFileParsesAndValidates) {
+  const std::string path = ::testing::TempDir() + "scn_spec.json";
+  {
+    std::ofstream out(path);
+    out << R"({"attacks": ["downgrade"], "samples": 3})";
+  }
+  const auto spec = ScenarioSpec::from_file(path);
+  EXPECT_EQ(spec.num_points(), 1u);
+  EXPECT_EQ(spec.expand()[0].attack, AttackKind::Downgrade);
+  EXPECT_EQ(spec.samples, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Pair sampling
+
+TEST(ScenarioSampling, UniformReproducesTheLegacyResilienceStream) {
+  const auto net = test::small_internet(150, 3);
+  const ScenarioEngine engine(net.graph);
+  Scenario s;
+  s.samples = 64;
+  s.seed = 1234;
+  const auto pairs = engine.sample_pairs(s);
+  ASSERT_EQ(pairs.size(), s.samples);
+
+  // The exact stream core::measure_resilience has always drawn: one
+  // mt19937_64, attacker then victim per attempt, both redrawn on collision.
+  std::mt19937_64 rng(s.seed);
+  std::uniform_int_distribution<AsId> dist(
+      0, static_cast<AsId>(net.graph.num_nodes() - 1));
+  std::vector<std::pair<AsId, AsId>> expected;
+  while (expected.size() < s.samples) {
+    const AsId a = dist(rng);
+    const AsId v = dist(rng);
+    if (a != v) expected.emplace_back(a, v);
+  }
+  EXPECT_EQ(pairs, expected);
+}
+
+// The satellite-audit regression: attacker==victim draws must be discarded
+// deterministically (redraw both), never evaluated. On a tiny pool the
+// collision branch is guaranteed to trigger many times.
+TEST(ScenarioSampling, AttackerVictimCollisionsAreResampled) {
+  topo::AsGraph g;
+  const AsId p = g.add_as(1);
+  for (std::uint32_t i = 2; i <= 4; ++i) g.add_customer_provider(p, g.add_as(i));
+  g.finalize();
+  const ScenarioEngine engine(g);
+  Scenario s;
+  s.samples = 500;
+  s.seed = 99;
+  const auto pairs = engine.sample_pairs(s);
+  ASSERT_EQ(pairs.size(), 500u);
+  for (const auto& [a, v] : pairs) EXPECT_NE(a, v);
+  // Deterministic: the same spec draws the same pairs again.
+  EXPECT_EQ(engine.sample_pairs(s), pairs);
+}
+
+TEST(ScenarioSampling, FixedListsEnumerateTheCrossProduct) {
+  const auto t = [] {
+    topo::AsGraph g;
+    const AsId x = g.add_as(1);
+    g.add_customer_provider(x, g.add_as(11));
+    g.add_customer_provider(x, g.add_as(21));
+    g.finalize();
+    return g;
+  }();
+  const ScenarioEngine engine(t);
+  Scenario s;
+  s.placement = Placement::FixedList;
+  s.attacker_asns = {11, 21};
+  s.victim_asns = {21, 1};
+  const auto pairs = engine.sample_pairs(s);
+  // (11,21) (11,1) (21,1) — the (21,21) self-pair is dropped.
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(t.asn(pairs[0].first), 11u);
+  EXPECT_EQ(t.asn(pairs[0].second), 21u);
+  EXPECT_EQ(t.asn(pairs[2].first), 21u);
+  EXPECT_EQ(t.asn(pairs[2].second), 1u);
+}
+
+TEST(ScenarioSampling, ImpossiblePoolsThrow) {
+  const auto net = test::small_internet(100, 5);
+  const ScenarioEngine engine(net.graph);
+  Scenario s;
+  s.placement = Placement::FixedList;
+  s.attacker_asns = {4294967295u};  // not a real ASN in the graph
+  EXPECT_THROW((void)engine.sample_pairs(s), std::invalid_argument);
+  Scenario same;
+  same.placement = Placement::FixedList;
+  same.attacker_asns = {net.graph.asn(0)};
+  same.victim_asns = {net.graph.asn(0)};
+  EXPECT_THROW((void)engine.sample_pairs(same), std::invalid_argument);
+}
+
+TEST(ScenarioSampling, DegreeTierDrawsFromTheTopOfTheHierarchy) {
+  const auto net = test::small_internet(200, 11);
+  const ScenarioEngine engine(net.graph);
+  Scenario s;
+  s.placement = Placement::DegreeTier;
+  s.tier_top = 5;
+  s.samples = 40;
+  // The 5 highest degrees in the graph (ties broken by id, as the engine).
+  std::vector<AsId> ids(net.graph.num_nodes());
+  for (AsId i = 0; i < net.graph.num_nodes(); ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(), [&](AsId a, AsId b) {
+    if (net.graph.degree(a) != net.graph.degree(b)) {
+      return net.graph.degree(a) > net.graph.degree(b);
+    }
+    return a < b;
+  });
+  const std::set<AsId> tier(ids.begin(), ids.begin() + 5);
+  for (const auto& [a, v] : engine.sample_pairs(s)) {
+    EXPECT_TRUE(tier.count(a)) << "attacker " << a << " outside the tier";
+    (void)v;
+  }
+}
+
+TEST(ScenarioSampling, StubOnlyDrawsStubs) {
+  const auto net = test::small_internet(200, 11);
+  const ScenarioEngine engine(net.graph);
+  Scenario s;
+  s.placement = Placement::StubOnly;
+  s.samples = 40;
+  for (const auto& [a, v] : engine.sample_pairs(s)) {
+    EXPECT_TRUE(net.graph.is_stub(a));
+    (void)v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Evaluation semantics
+
+/// The proto-attack chain gadget: probe x on top, customer chains of length
+/// vd / ad down to victim v / attacker m.
+struct Chains {
+  topo::AsGraph g;
+  AsId x, v, m;
+};
+
+Chains make_chains(std::size_t vd, std::size_t ad) {
+  Chains c;
+  c.x = c.g.add_as(1);
+  AsId tail = c.x;
+  for (std::size_t i = 0; i < vd; ++i) {
+    const AsId node = c.g.add_as(static_cast<std::uint32_t>(100 + i));
+    c.g.add_customer_provider(tail, node);
+    tail = node;
+  }
+  c.v = tail;
+  tail = c.x;
+  for (std::size_t i = 0; i < ad; ++i) {
+    const AsId node = c.g.add_as(static_cast<std::uint32_t>(200 + i));
+    c.g.add_customer_provider(tail, node);
+    tail = node;
+  }
+  c.m = tail;
+  c.g.finalize();
+  return c;
+}
+
+TEST(InterceptionRib, PinnedImpostorLengthPropagates) {
+  const auto c = make_chains(2, 2);
+  rt::RibComputer rc(c.g);
+  rt::DestRib rib;
+  rc.compute(c.v, rib, c.m, /*impostor_len=*/2);
+  EXPECT_EQ(rib.impostor_len, 2);
+  EXPECT_EQ(rib.len[c.v], 0);
+  EXPECT_EQ(rib.len[c.m], 2);  // pinned claimed length, not 0
+  // m's provider hears the claimed 2-hop route: customer route of length 3;
+  // its alternative through x is a provider route — customer wins.
+  const AsId mid_m = c.g.find_asn(200);
+  EXPECT_EQ(rib.cls[mid_m], rt::RouteClass::Customer);
+  EXPECT_EQ(rib.len[mid_m], 3);
+  // The probe now sees victim side 2 vs attacker side 3: no tie.
+  EXPECT_EQ(rib.len[c.x], 2);
+  ASSERT_EQ(rib.tiebreak(c.x).size(), 1u);
+  EXPECT_EQ(rib.tiebreak(c.x)[0], c.g.find_asn(100));
+}
+
+TEST(InterceptionRib, ZeroLengthMatchesTheLegacyHijackRib) {
+  const auto net = test::small_internet(150, 13);
+  rt::RibComputer rc(net.graph);
+  rt::DestRib legacy, generalized;
+  rc.compute(7, legacy, 3);
+  rc.compute(7, generalized, 3, 0);
+  EXPECT_EQ(legacy.cls, generalized.cls);
+  EXPECT_EQ(legacy.len, generalized.len);
+  EXPECT_EQ(legacy.tb_begin, generalized.tb_begin);
+  EXPECT_EQ(legacy.tb, generalized.tb);
+}
+
+/// Reference-router origins for one pair, with the downgrade length derived
+/// exactly as the engine derives it.
+std::vector<AsId> oracle_origins(const topo::AsGraph& g,
+                                 const std::vector<std::uint8_t>& secure,
+                                 const Scenario& s, const EngineConfig& ecfg,
+                                 AsId attacker, AsId victim) {
+  AttackConfig cfg;
+  cfg.attack = s.attack;
+  cfg.policy = s.policy;
+  cfg.tiebreak = ecfg.tiebreak;
+  cfg.stub_breaks_ties = ecfg.stub_breaks_ties;
+  rt::RibComputer rc(g);
+  rt::DestRib rib;
+  if (s.attack == AttackKind::Interception) {
+    cfg.impostor_len = s.hops;
+  } else if (s.attack == AttackKind::Downgrade) {
+    rc.compute(victim, rib);
+    if (!rib.reachable(attacker)) {
+      std::vector<AsId> origins(g.num_nodes(), kNoAs);
+      for (const AsId i : rib.order) origins[i] = victim;
+      return origins;
+    }
+    cfg.impostor_len = rib.len[attacker];
+  }
+  std::vector<RouteEntry> entries;
+  (void)compute_attack_routes(g, secure, cfg, attacker, victim, entries);
+  std::vector<AsId> origins(g.num_nodes(), kNoAs);
+  for (AsId i = 0; i < g.num_nodes(); ++i) {
+    if (entries[i].exists) origins[i] = entries[i].origin;
+  }
+  return origins;
+}
+
+// The core cross-check: under the security-third ranking the engine uses
+// the closed-form routing tree (Observation C.1); the path-vector reference
+// router knows nothing of that structure. Every AS must still pick the same
+// origin, for every attack kind, on random internets with partial random
+// deployments.
+TEST(ScenarioOracle, FastPathMatchesReferenceRouterPerAs) {
+  const auto net = test::small_internet(120, 17);
+  const ScenarioEngine engine(net.graph);
+  std::mt19937_64 rng(5);
+  std::vector<std::uint8_t> secure(net.graph.num_nodes());
+  for (auto& f : secure) f = rng() % 2;
+
+  for (const AttackKind attack : {AttackKind::OriginHijack,
+                                  AttackKind::Interception,
+                                  AttackKind::Downgrade}) {
+    Scenario s;
+    s.attack = attack;
+    s.hops = 2;
+    s.policy = DefensePolicy::SecureTiebreak;
+    s.samples = 6;
+    s.seed = 31;
+    for (const auto& [a, v] : engine.sample_pairs(s)) {
+      const auto fast = engine.chosen_origins(s, secure, a, v);
+      const auto ref =
+          oracle_origins(net.graph, secure, s, engine.config(), a, v);
+      EXPECT_EQ(fast, ref) << "attack " << to_string(attack) << " pair ("
+                           << a << ", " << v << ")";
+    }
+  }
+}
+
+TEST(ScenarioSemantics, RovStopsHijackButNotInterception) {
+  const auto c = make_chains(3, 3);
+  const ScenarioEngine engine(c.g);
+  const std::vector<std::uint8_t> everyone(c.g.num_nodes(), 1);
+
+  Scenario hijack;
+  hijack.attack = AttackKind::OriginHijack;
+  hijack.policy = DefensePolicy::RovDropInvalid;
+  // Every secure AS validates the true origin and drops the forged one.
+  EXPECT_EQ(engine.probe(hijack, everyone, c.m, c.v).fooled_fraction, 0.0);
+
+  Scenario intercept = hijack;
+  intercept.attack = AttackKind::Interception;
+  intercept.hops = 1;
+  // The forged path claims the true origin, so origin validation passes;
+  // m's provider still hears a 2-hop customer route vs a long provider
+  // route and is fooled.
+  const auto origins = engine.chosen_origins(intercept, everyone, c.m, c.v);
+  EXPECT_EQ(origins[c.g.find_asn(200)], c.m);
+  EXPECT_GT(engine.probe(intercept, everyone, c.m, c.v).fooled_fraction, 0.0);
+}
+
+TEST(ScenarioSemantics, SecureFirstStopsTheShorterLieSecurityThirdAllows) {
+  // True route length 4, lie length 2: SP outranks SecP in the paper's
+  // ranking, so the probe is fooled; ranking security first protects it.
+  const auto c = make_chains(4, 2);
+  const ScenarioEngine engine(c.g);
+  const std::vector<std::uint8_t> everyone(c.g.num_nodes(), 1);
+
+  Scenario s;
+  s.attack = AttackKind::OriginHijack;
+  s.policy = DefensePolicy::SecureTiebreak;
+  EXPECT_EQ(engine.chosen_origins(s, everyone, c.m, c.v)[c.x], c.m);
+
+  s.policy = DefensePolicy::SecureFirst;
+  EXPECT_EQ(engine.chosen_origins(s, everyone, c.m, c.v)[c.x], c.v);
+
+  s.policy = DefensePolicy::RovDropInvalid;
+  EXPECT_EQ(engine.chosen_origins(s, everyone, c.m, c.v)[c.x], c.v);
+}
+
+TEST(ScenarioSemantics, DowngradeOnlyWinsWhatTheTiebreakWouldGiveIt) {
+  // Equal-length chains, all secure: the attacker strips security from its
+  // honest-length announcement. The probe ties 3 vs 3; the security
+  // tie-break must keep the fully-secure true route.
+  const auto c = make_chains(3, 3);
+  const ScenarioEngine engine(c.g);
+  const std::vector<std::uint8_t> everyone(c.g.num_nodes(), 1);
+  Scenario s;
+  s.attack = AttackKind::Downgrade;
+  s.policy = DefensePolicy::SecureTiebreak;
+  EXPECT_EQ(engine.chosen_origins(s, everyone, c.m, c.v)[c.x], c.v);
+  // With nobody secure the same tie falls to the intradomain tie-break:
+  // whoever wins, the route must exist.
+  const std::vector<std::uint8_t> nobody(c.g.num_nodes(), 0);
+  EXPECT_NE(engine.chosen_origins(s, nobody, c.m, c.v)[c.x], kNoAs);
+}
+
+TEST(ScenarioDeterminism, ResultsAreBitwiseIdenticalAcrossPoolSizes) {
+  const auto net = test::small_internet(150, 23);
+  const ScenarioEngine engine(net.graph);
+  std::mt19937_64 rng(7);
+  std::vector<std::uint8_t> secure(net.graph.num_nodes());
+  for (auto& f : secure) f = rng() % 3 == 0;
+
+  const auto spec = ScenarioSpec::from_json(exp::Json::parse(
+      R"({"attacks": ["hijack", "interception", "downgrade"], "hops": [2],)"
+      R"( "policies": ["secure-tiebreak", "rov", "secure-first"],)"
+      R"( "samples": 8, "seed": 3, "baseline": true})"));
+  for (const Scenario& s : spec.expand()) {
+    par::ThreadPool p1(1);
+    const ScenarioResult r1 = engine.run(s, secure, p1);
+    for (const std::size_t threads : {4u, 8u}) {
+      par::ThreadPool pn(threads);
+      const ScenarioResult rn = engine.run(s, secure, pn);
+      EXPECT_EQ(r1.key, rn.key);
+      EXPECT_EQ(r1.pairs, rn.pairs);
+      // Exact double equality is the point: the fold is index-ordered.
+      EXPECT_EQ(r1.fooled_fraction.mean(), rn.fooled_fraction.mean()) << s.key();
+      EXPECT_EQ(r1.fooled_weight.mean(), rn.fooled_weight.mean()) << s.key();
+      EXPECT_EQ(r1.fooled_fraction.quantile(0.9),
+                rn.fooled_fraction.quantile(0.9));
+      EXPECT_EQ(r1.disconnected, rn.disconnected);
+      EXPECT_EQ(r1.nonconverged_pairs, rn.nonconverged_pairs);
+      ASSERT_TRUE(rn.has_baseline);
+      EXPECT_EQ(r1.baseline_fooled.mean(), rn.baseline_fooled.mean());
+    }
+  }
+}
+
+TEST(ScenarioDeterminism, MeasureResilienceStillDelegatesBitForBit) {
+  const auto net = test::small_internet(150, 29);
+  core::SimConfig cfg;
+  std::vector<std::uint8_t> secure(net.graph.num_nodes(), 0);
+  for (AsId i = 0; i < net.graph.num_nodes(); i += 3) secure[i] = 1;
+  par::ThreadPool pool(2);
+  const auto legacy =
+      core::measure_resilience(net.graph, secure, cfg, 32, 77, pool);
+
+  const ScenarioEngine engine(net.graph,
+                              {cfg.tiebreak, cfg.stub_breaks_ties});
+  Scenario s;
+  s.samples = 32;
+  s.seed = 77;
+  const auto modern = engine.run(s, secure, pool);
+  EXPECT_EQ(legacy.pairs, modern.pairs);
+  EXPECT_EQ(legacy.fooled_fraction.mean(), modern.fooled_fraction.mean());
+  EXPECT_EQ(legacy.fooled_weight.mean(), modern.fooled_weight.mean());
+  EXPECT_EQ(legacy.fooled_fraction.quantile(0.9),
+            modern.fooled_fraction.quantile(0.9));
+}
+
+// ---------------------------------------------------------------------------
+// 4. exp:: integration
+
+exp::JobSpec scenario_job_spec() {
+  exp::JobSpec spec;
+  spec.name = "scenario-grid";
+  exp::GraphSpec g;
+  g.nodes = 150;
+  g.seed = 7;
+  g.x = 0.10;
+  spec.graphs = {g};
+  spec.adopters = {"top:3"};
+  spec.thetas = {0.0, 0.1};
+  ScenarioSpec scn;
+  scn.attacks = {AttackKind::OriginHijack, AttackKind::Downgrade};
+  scn.policies = {DefensePolicy::RovDropInvalid};
+  scn.samples = 5;
+  scn.seed = 5;
+  spec.scenario = scn;
+  return spec;
+}
+
+TEST(ScenarioJobs, ScenarioAxisMultipliesAndRekeysTheGrid) {
+  exp::JobSpec spec = scenario_job_spec();
+  exp::JobSpec plain = spec;
+  plain.scenario.reset();
+  EXPECT_EQ(plain.num_jobs(), 2u);
+  EXPECT_EQ(spec.num_jobs(), 4u);
+  EXPECT_NE(spec.hash(), plain.hash());
+
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 4u);
+  // Scenario points are the innermost axis: theta repeats per point.
+  EXPECT_EQ(jobs[0].theta, 0.0);
+  EXPECT_EQ(jobs[1].theta, 0.0);
+  EXPECT_EQ(jobs[2].theta, 0.1);
+  ASSERT_TRUE(jobs[0].attack_scenario.has_value());
+  EXPECT_EQ(jobs[0].attack_scenario->attack, AttackKind::OriginHijack);
+  EXPECT_EQ(jobs[1].attack_scenario->attack, AttackKind::Downgrade);
+  EXPECT_NE(jobs[0].key().find("attack=hijack"), std::string::npos);
+  EXPECT_NE(jobs[0].key().find("policy=rov"), std::string::npos);
+  EXPECT_NE(jobs[0].key(), jobs[1].key());
+}
+
+TEST(ScenarioJobs, SpecJsonRoundTripPreservesHash) {
+  const exp::JobSpec spec = scenario_job_spec();
+  const exp::JobSpec again = exp::JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec.hash(), again.hash());
+  ASSERT_TRUE(again.scenario.has_value());
+  EXPECT_EQ(again.scenario->samples, 5u);
+}
+
+TEST(ScenarioJobs, JobRecordRoundTripsScenarioFields) {
+  exp::JobRecord r;
+  r.spec_hash = 12345;
+  r.job_id = 3;
+  r.status = "ok";
+  r.scenario_key = "attack=hijack;policy=rov;placement=uniform;samples=5;seed=5";
+  r.scn_pairs = 5;
+  r.scn_mean_fooled = 0.25;
+  r.scn_mean_fooled_weight = 0.125;
+  r.scn_p90_fooled = 0.5;
+  r.scn_disconnected = 7;
+  r.scn_nonconverged = 1;
+  r.scn_has_baseline = true;
+  r.scn_baseline_fooled = 0.75;
+  const auto back = exp::JobRecord::from_json(r.to_json());
+  EXPECT_EQ(back.scenario_key, r.scenario_key);
+  EXPECT_EQ(back.scn_pairs, 5u);
+  EXPECT_EQ(back.scn_mean_fooled, 0.25);
+  EXPECT_EQ(back.scn_mean_fooled_weight, 0.125);
+  EXPECT_EQ(back.scn_p90_fooled, 0.5);
+  EXPECT_EQ(back.scn_disconnected, 7u);
+  EXPECT_EQ(back.scn_nonconverged, 1u);
+  EXPECT_TRUE(back.scn_has_baseline);
+  EXPECT_EQ(back.scn_baseline_fooled, 0.75);
+  EXPECT_EQ(back.canonical_row(), r.canonical_row());
+
+  // A scenario-free record serialises no scn_* keys at all.
+  exp::JobRecord plain;
+  plain.spec_hash = 1;
+  plain.job_id = 0;
+  plain.status = "ok";
+  EXPECT_EQ(plain.to_json().find("scenario_key"), nullptr);
+  EXPECT_EQ(plain.to_json().find("scn_pairs"), nullptr);
+}
+
+TEST(ScenarioJobs, SweepRunsAndResumesTheScenarioGrid) {
+  const exp::JobSpec spec = scenario_job_spec();
+  const std::string path = ::testing::TempDir() + "scenario_store.jsonl";
+  std::remove(path.c_str());
+
+  exp::SweepOptions opts;
+  opts.workers = 2;
+  {
+    exp::ResultStore store(path);
+    exp::SweepScheduler scheduler(opts);
+    const auto report = scheduler.run(spec, &store);
+    EXPECT_EQ(report.total_jobs, 4u);
+    EXPECT_EQ(report.executed, 4u);
+    EXPECT_EQ(report.ok, 4u);
+    for (const auto& r : report.records) {
+      EXPECT_EQ(r.status, "ok");
+      EXPECT_FALSE(r.scenario_key.empty());
+      EXPECT_EQ(r.scn_pairs, 5u);
+      EXPECT_GE(r.scn_p90_fooled, r.scn_mean_fooled - 1e-12);
+    }
+  }
+  {
+    // Same spec, same store: everything resumes, nothing re-runs.
+    exp::ResultStore store(path);
+    exp::SweepScheduler scheduler(opts);
+    const auto report = scheduler.run(spec, &store);
+    EXPECT_EQ(report.executed, 0u);
+    EXPECT_EQ(report.skipped, 4u);
+    ASSERT_EQ(report.records.size(), 4u);
+    EXPECT_FALSE(report.records[0].scenario_key.empty());
+  }
+}
+
+}  // namespace
+}  // namespace sbgp::scenario

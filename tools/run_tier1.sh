@@ -57,4 +57,68 @@ grep -q "span" "$tmp/sim.obs.log" \
     "$tmp/jobs.trace.json" "$tmp/jobs.metrics.jsonl" "$tmp/r2.jsonl" \
     || { echo "tier1 FAIL: emitted observability output failed validation"; exit 1; }
 
-echo "tier1 OK (tests + orchestration + observability smoke)"
+# Scenario smoke: a hijack+downgrade attack matrix riding a one-theta grid
+# through `jobs run` (12 jobs), killed-mid-write resume healing, canonical
+# merge, spec schema validation, and the exit-2 contract on malformed specs.
+cat > "$tmp/scn.json" <<'EOF'
+{
+  "attacks": ["hijack", "downgrade"],
+  "policies": ["rov", "secure-tiebreak"],
+  "placements": ["uniform", "degree-tier", "stub-only"],
+  "samples": 8,
+  "seed": 5
+}
+EOF
+cat > "$tmp/scngrid.json" <<'EOF'
+{
+  "name": "tier1-scenario-smoke",
+  "graphs": [{"nodes": 200, "seed": 7}],
+  "adopters": ["top:3"],
+  "thetas": [0.05],
+  "scenario": {
+    "attacks": ["hijack", "downgrade"],
+    "policies": ["rov", "secure-tiebreak"],
+    "placements": ["uniform", "degree-tier", "stub-only"],
+    "samples": 8,
+    "seed": 5
+  }
+}
+EOF
+"$sbgpsim" validate --scenario "$tmp/scn.json" \
+    || { echo "tier1 FAIL: good scenario spec failed validation"; exit 1; }
+echo '{"attacks": ["not-an-attack"]}' > "$tmp/scn.bad.json"
+if "$sbgpsim" validate --scenario "$tmp/scn.bad.json" 2> /dev/null; then
+    echo "tier1 FAIL: malformed scenario spec validated"; exit 1
+fi
+rc=0; "$sbgpsim" validate --scenario "$tmp/scn.bad.json" 2> /dev/null || rc=$?
+[ "$rc" -eq 2 ] \
+    || { echo "tier1 FAIL: malformed scenario spec exited $rc, want 2"; exit 1; }
+
+"$sbgpsim" scenario run --scenario "$tmp/scn.json" --nodes 200 --seed 7 \
+    --adopters top:3 --workers 2 --metrics-out "$tmp/scnrun.metrics.jsonl" \
+    > /dev/null \
+    || { echo "tier1 FAIL: scenario run failed"; exit 1; }
+grep -q '"type":"scenario"' "$tmp/scnrun.metrics.jsonl" \
+    || { echo "tier1 FAIL: scenario run emitted no scenario records"; exit 1; }
+grep -q 'scenario.pairs_evaluated' "$tmp/scnrun.metrics.jsonl" \
+    || { echo "tier1 FAIL: scenario obs counters missing from metrics"; exit 1; }
+
+"$sbgpsim" jobs run --spec "$tmp/scngrid.json" --store "$tmp/scn.jsonl" \
+    --workers 4 --progress-s 0 --metrics-out "$tmp/scn.metrics.jsonl"
+# Simulate a run killed mid-write: append a truncated record, then rerun.
+# The store must heal (skip the partial line) and resume all 12 jobs.
+printf '{"spec_hash":"tru' >> "$tmp/scn.jsonl"
+"$sbgpsim" jobs run --spec "$tmp/scngrid.json" --store "$tmp/scn.jsonl" \
+    --workers 4 --progress-s 0 2> "$tmp/scn.resume.log"
+grep -q "12 resumed" "$tmp/scn.resume.log" \
+    || { echo "tier1 FAIL: scenario grid resume did not skip completed jobs"; exit 1; }
+scn_rows="$("$sbgpsim" jobs merge --spec "$tmp/scngrid.json" --store "$tmp/scn.jsonl" \
+    --csv 2>/dev/null | tail -n +2 | grep -c "attack=")"
+[ "$scn_rows" -eq 12 ] \
+    || { echo "tier1 FAIL: expected 12 merged scenario rows, got $scn_rows"; exit 1; }
+grep -q 'scenario_key' "$tmp/scn.metrics.jsonl" \
+    || { echo "tier1 FAIL: job telemetry carries no scenario fields"; exit 1; }
+"$sbgpsim" validate "$tmp/scn.metrics.jsonl" "$tmp/scnrun.metrics.jsonl" \
+    || { echo "tier1 FAIL: scenario telemetry failed validation"; exit 1; }
+
+echo "tier1 OK (tests + orchestration + observability + scenario smoke)"

@@ -11,7 +11,11 @@
 //   sbgpsim jobs     (run | status | merge) --spec spec.json
 //                    --store results.jsonl [--workers N] [--timeout-s F]
 //                    [--retries K] [--no-resume] [--progress-s F] [--csv]
-//   sbgpsim validate FILE...   (JSON / JSONL well-formedness check)
+//   sbgpsim scenario run --scenario scn.json [--graph g.txt | --nodes N]
+//                    [--adopters SPEC] [--simulate] [--workers N] [--csv]
+//   sbgpsim validate [--scenario FILE]... FILE...
+//                    (JSON / JSONL well-formedness; --scenario FILEs are
+//                     additionally checked against the ScenarioSpec schema)
 //
 // Observability (simulate / sweep / jobs run): --trace-out FILE writes a
 // Chrome trace-event JSON (chrome://tracing, Perfetto), --metrics-out FILE
@@ -38,6 +42,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "routing/rib.h"
+#include "scenario/engine.h"
+#include "scenario/scenario_spec.h"
 #include "stats/table.h"
 #include "topology/graph_io.h"
 #include "topology/topology_gen.h"
@@ -64,6 +70,8 @@ struct CliOptions {
   std::string out_file;
   std::string spec_file;
   std::string store_file;
+  std::vector<std::string> scenario_files;  // --scenario (repeatable)
+  bool simulate_first = false;              // scenario run: simulate before attack
   std::string adopters = "cps+top:5";
   std::string thetas = "0,0.05,0.1,0.2,0.35,0.5";
   std::uint32_t nodes = 2000;
@@ -98,7 +106,11 @@ struct CliOptions {
       "            run: [--workers N] [--timeout-s F] [--retries K]\n"
       "                 [--no-resume] [--progress-s F]\n"
       "            merge: [--csv]\n"
-      "  validate: FILE...  (each file must parse as JSON or JSONL)\n"
+      "  scenario: run --scenario FILE [--adopters SPEC] [--simulate]\n"
+      "            [--workers N] [--csv]  (attack matrix vs deployment state)\n"
+      "  sweep:    [--scenario FILE]  (evaluate the matrix per theta)\n"
+      "  validate: [--scenario FILE]... FILE...  (JSON/JSONL well-formedness;\n"
+      "            --scenario FILEs also schema-checked as ScenarioSpecs)\n"
       "  observability (simulate/sweep/jobs run):\n"
       "            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n"
       "  adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3\n"
@@ -122,6 +134,8 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--out") o.out_file = next();
     else if (a == "--spec") o.spec_file = next();
     else if (a == "--store") o.store_file = next();
+    else if (a == "--scenario") o.scenario_files.push_back(next());
+    else if (a == "--simulate") o.simulate_first = true;
     else if (a == "--adopters") o.adopters = next();
     else if (a == "--theta") o.theta = std::stod(next());
     else if (a == "--thetas") o.thetas = next();
@@ -283,9 +297,108 @@ int cmd_simulate(const CliOptions& o) {
   return kExitOk;
 }
 
+// Loads the single --scenario FILE as a ScenarioSpec, or exits with the
+// schema diagnostic. Malformed specs are argument errors (exit 2), matching
+// the ScenarioSpec::from_json contract of field-path-prefixed messages.
+scenario::ScenarioSpec load_scenario_or_die(const CliOptions& o) {
+  if (o.scenario_files.size() > 1) {
+    std::cerr << o.command << " takes a single --scenario FILE\n";
+    usage(kExitUsage);
+  }
+  try {
+    return scenario::ScenarioSpec::from_file(o.scenario_files[0]);
+  } catch (const exp::JsonError& e) {
+    std::cerr << "bad scenario " << o.scenario_files[0] << ": " << e.what()
+              << "\n";
+    std::exit(kExitUsage);
+  }
+}
+
+// scenario run — evaluate a declarative attack matrix against one
+// deployment state. The state is the --adopters seed set as-is, or (with
+// --simulate) the fixed point the market simulation converges to from it.
+int cmd_scenario(const CliOptions& o) {
+  if (o.subcommand != "run") {
+    std::cerr << "scenario needs a subcommand: run\n";
+    usage(kExitUsage);
+  }
+  if (o.scenario_files.empty()) {
+    std::cerr << "scenario run requires --scenario FILE\n";
+    usage(kExitUsage);
+  }
+  const scenario::ScenarioSpec sspec = load_scenario_or_die(o);
+
+  const auto net = load_internet(o);
+  const auto adopters = resolve_adopters(net, o.adopters, o.seed);
+  obs_start(o);
+  std::unique_ptr<exp::TelemetryLog> telemetry;
+  if (!o.metrics_out.empty()) {
+    telemetry = std::make_unique<exp::TelemetryLog>(o.metrics_out);
+  }
+
+  const core::SimConfig cfg = sim_config(o);
+  auto state = core::DeploymentState::initial(net.graph, adopters);
+  if (o.simulate_first) {
+    core::DeploymentSimulator sim(net.graph, cfg);
+    auto result = sim.run(state);
+    std::cerr << "simulated: outcome " << core::to_string(result.outcome)
+              << "; secure " << result.final_state.num_secure() << "/"
+              << net.graph.num_nodes() << " ASes\n";
+    state = std::move(result.final_state);
+  }
+
+  scenario::EngineConfig ecfg;
+  ecfg.tiebreak = cfg.tiebreak;
+  ecfg.stub_breaks_ties = cfg.stub_breaks_ties;
+  const scenario::ScenarioEngine engine(net.graph, ecfg);
+  par::ThreadPool pool(o.workers);
+
+  std::vector<std::string> headers = {"scenario", "pairs",  "mean_fooled",
+                                      "fooled_w", "p90",    "disconnected",
+                                      "nonconverged"};
+  if (sspec.baseline) {
+    headers.push_back("baseline");
+    headers.push_back("delta");
+  }
+  stats::Table t(std::move(headers));
+  for (const auto& point : sspec.expand()) {
+    scenario::ScenarioResult r;
+    try {
+      r = engine.run(point, state.flags(), pool);
+    } catch (const std::invalid_argument& e) {
+      // Unsatisfiable placement/victim pools (unknown ASN, no stubs, …) are
+      // spec errors, same class as a malformed file.
+      std::cerr << "scenario '" << point.key() << "': " << e.what() << "\n";
+      return kExitUsage;
+    }
+    t.begin_row();
+    t.add(r.key);
+    t.add(r.pairs);
+    t.add(r.mean_fooled(), 4);
+    t.add(r.fooled_weight.mean(), 4);
+    t.add(r.fooled_fraction.quantile(0.9), 4);
+    t.add(r.disconnected);
+    t.add(r.nonconverged_pairs);
+    if (sspec.baseline) {
+      t.add(r.baseline_fooled.mean(), 4);
+      t.add(r.delta_vs_baseline(), 4);
+    }
+    if (telemetry != nullptr) telemetry->append(exp::scenario_record(r));
+  }
+  if (telemetry != nullptr) telemetry->append(exp::metrics_record());
+  const int obs_rc = obs_finish_trace(o);
+  if (o.csv) t.print_csv(std::cout);
+  else t.print(std::cout);
+  std::cerr << "evaluated " << sspec.num_points()
+            << " scenario point(s) against " << state.num_secure() << "/"
+            << net.graph.num_nodes() << " secure ASes\n";
+  return obs_rc;
+}
+
 // The single-axis θ sweep, ported onto the exp:: scheduler: builds a
 // one-graph JobSpec and runs it (serially by default; --workers N shards
-// it). Results come back merged in job-id order, which here is θ order.
+// it). Results come back merged in job-id order, which here is θ order —
+// or (θ, scenario point) order when --scenario multiplies the job list.
 int cmd_sweep(const CliOptions& o) {
   exp::JobSpec spec;
   spec.name = "cli-sweep";
@@ -315,6 +428,7 @@ int cmd_sweep(const CliOptions& o) {
       usage(kExitUsage);
     }
   }
+  if (!o.scenario_files.empty()) spec.scenario = load_scenario_or_die(o);
 
   obs_start(o);
   std::unique_ptr<exp::TelemetryLog> telemetry;
@@ -330,12 +444,23 @@ int cmd_sweep(const CliOptions& o) {
   if (telemetry != nullptr) telemetry->append(exp::metrics_record());
   const int obs_rc = obs_finish_trace(o);
 
-  stats::Table t({"theta", "outcome", "rounds", "secure_ases", "secure_isps",
-                  "frac_ases", "frac_isps"});
+  // Row labels come from the expanded job list, not spec.thetas: the
+  // scenario axis (innermost) repeats each θ once per matrix point, so
+  // records[i] lines up with jobs[i], not thetas[i].
+  const auto jobs = spec.expand();
+  const bool with_scenario = spec.scenario.has_value();
+  std::vector<std::string> headers = {"theta",       "outcome",   "rounds",
+                                      "secure_ases", "secure_isps",
+                                      "frac_ases",   "frac_isps"};
+  if (with_scenario) {
+    headers.push_back("scenario");
+    headers.push_back("mean_fooled");
+  }
+  stats::Table t(std::move(headers));
   for (std::size_t i = 0; i < report.records.size(); ++i) {
     const auto& r = report.records[i];
     t.begin_row();
-    t.add(spec.thetas[i], 3);
+    t.add(i < jobs.size() ? jobs[i].theta : 0.0, 3);
     if (r.status == "ok") {
       t.add(r.outcome);
       t.add(r.rounds);
@@ -343,6 +468,10 @@ int cmd_sweep(const CliOptions& o) {
       t.add(r.secure_isps);
       t.add(r.frac_ases, 4);
       t.add(r.frac_isps, 4);
+      if (with_scenario) {
+        t.add(r.scenario_key);
+        t.add(r.scn_mean_fooled, 4);
+      }
     } else {
       t.add(r.status + ": " + r.error);
     }
@@ -404,9 +533,18 @@ exp::JobSpec load_spec_or_die(const CliOptions& o) {
 }
 
 void print_merged(const std::vector<exp::JobRecord>& records, bool csv) {
-  stats::Table t({"job_id", "key", "status", "outcome", "rounds",
-                  "secure_ases", "secure_isps", "num_ases", "num_isps",
-                  "frac_ases", "frac_isps"});
+  const bool with_scenario =
+      std::any_of(records.begin(), records.end(),
+                  [](const exp::JobRecord& r) { return !r.scenario_key.empty(); });
+  std::vector<std::string> headers = {"job_id",      "key",         "status",
+                                      "outcome",     "rounds",      "secure_ases",
+                                      "secure_isps", "num_ases",    "num_isps",
+                                      "frac_ases",   "frac_isps"};
+  if (with_scenario) {
+    headers.push_back("scn_pairs");
+    headers.push_back("scn_mean_fooled");
+  }
+  stats::Table t(std::move(headers));
   for (const auto& r : records) {
     t.begin_row();
     t.add(r.job_id);
@@ -420,6 +558,12 @@ void print_merged(const std::vector<exp::JobRecord>& records, bool csv) {
     t.add(r.num_isps);
     t.add(exp::format_double(r.frac_ases));
     t.add(exp::format_double(r.frac_isps));
+    if (with_scenario) {
+      // The scenario identity is already embedded in job_key; only the
+      // headline numbers get their own columns.
+      t.add(r.scn_pairs);
+      t.add(exp::format_double(r.scn_mean_fooled));
+    }
   }
   if (csv) t.print_csv(std::cout);
   else t.print(std::cout);
@@ -534,14 +678,29 @@ int cmd_jobs(const CliOptions& o) {
   usage(kExitUsage);
 }
 
-// validate FILE... — every file must parse through exp::Json, either as one
-// JSON document (e.g. a Chrome trace) or as JSONL (result store, telemetry
-// log: every non-empty line a document). Used by run_tier1.sh to gate the
-// observability outputs; exits 4 on the first malformed file.
+// validate [--scenario FILE]... FILE... — every positional file must parse
+// through exp::Json, either as one JSON document (e.g. a Chrome trace) or
+// as JSONL (result store, telemetry log: every non-empty line a document);
+// --scenario files are additionally checked against the ScenarioSpec schema
+// (unknown keys, out-of-range values), with the field path in the
+// diagnostic. Used by run_tier1.sh to gate the observability outputs; exits
+// 2 on a malformed scenario spec, 4 on the first malformed generic file.
 int cmd_validate(const CliOptions& o) {
-  if (o.positionals.empty()) {
-    std::cerr << "validate requires at least one FILE\n";
+  if (o.positionals.empty() && o.scenario_files.empty()) {
+    std::cerr << "validate requires at least one FILE or --scenario FILE\n";
     usage(kExitUsage);
+  }
+  for (const std::string& path : o.scenario_files) {
+    try {
+      const auto sspec = scenario::ScenarioSpec::from_file(path);
+      std::cerr << path << ": ok (scenario spec, " << sspec.num_points()
+                << " point(s))\n";
+    } catch (const exp::JsonError& e) {
+      // Schema violations carry a field path ("scenario.attacks[1]: …");
+      // they are spec-authoring errors, hence the usage exit code.
+      std::cerr << "validate: " << path << ": " << e.what() << "\n";
+      return kExitUsage;
+    }
   }
   for (const std::string& path : o.positionals) {
     std::ifstream in(path, std::ios::binary);
@@ -599,6 +758,7 @@ int main(int argc, char** argv) {
     if (o.command == "sweep") return cmd_sweep(o);
     if (o.command == "analyze") return cmd_analyze(o);
     if (o.command == "jobs") return cmd_jobs(o);
+    if (o.command == "scenario") return cmd_scenario(o);
     if (o.command == "validate") return cmd_validate(o);
   } catch (const core::IncrementalDivergence& e) {
     // --check-incremental tripped: always an engine bug, never bad input.
