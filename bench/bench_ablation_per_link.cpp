@@ -43,7 +43,8 @@ int main() {
     }
     std::sort(mask[x].begin(), mask[x].end());
     if (label.empty()) label = "(none)";
-    const auto u = core::compute_utilities(g.graph, g.initial.flags(), cfg, pool, &mask);
+    const rt::LinkSet links(g.graph, mask);
+    const auto u = core::compute_utilities(g.graph, g.initial.flags(), cfg, pool, &links);
     t.begin_row();
     t.add(label);
     t.add(u.incoming[x], 0);

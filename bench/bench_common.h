@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,6 +24,10 @@ struct Options {
   std::size_t threads = 0;  // hardware
   double x = 0.10;          // CP traffic fraction
   bool quiet = false;
+  /// When set, the harness appends its headline metrics as JSON records to
+  /// this file (see JsonOut) so the perf/figure trajectory is tracked
+  /// across PRs next to the google-benchmark BENCH_*.json files.
+  std::string json_out;
 };
 
 inline Options parse_options(int argc, char** argv, std::uint32_t default_nodes = 1500) {
@@ -42,9 +47,11 @@ inline Options parse_options(int argc, char** argv, std::uint32_t default_nodes 
     else if (arg == "--threads") opt.threads = static_cast<std::size_t>(std::atoi(next()));
     else if (arg == "--x") opt.x = std::atof(next());
     else if (arg == "--quiet") opt.quiet = true;
+    else if (arg == "--json-out") opt.json_out = next();
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--nodes N] [--seed S] [--threads T] [--x F]\n";
+                << " [--nodes N] [--seed S] [--threads T] [--x F]"
+                << " [--json-out FILE]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << arg << "\n";
@@ -79,6 +86,45 @@ inline core::SimConfig case_study_config(const Options& opt) {
   cfg.threads = opt.threads;
   return cfg;
 }
+
+/// Minimal metrics sink behind `--json-out`: collects (name, value, unit)
+/// rows and writes one google-benchmark-shaped document on destruction, so
+/// the table harnesses and the microbenchmarks land in the same BENCH_*.json
+/// tracking flow (tools/run_bench.sh).
+class JsonOut {
+ public:
+  explicit JsonOut(const Options& opt) : path_(opt.json_out), opt_(opt) {}
+  JsonOut(const JsonOut&) = delete;
+  JsonOut& operator=(const JsonOut&) = delete;
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    if (path_.empty()) return;
+    rows_.push_back({name, value, unit});
+  }
+
+  ~JsonOut() {
+    if (path_.empty() || rows_.empty()) return;
+    std::ofstream out(path_);
+    out << "{\n  \"context\": {\"nodes\": " << opt_.nodes << ", \"seed\": "
+        << opt_.seed << ", \"x\": " << opt_.x << "},\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {\"name\": \"" << rows_[i].name << "\", \"value\": "
+          << rows_[i].value << ", \"unit\": \"" << rows_[i].unit << "\"}"
+          << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string path_;
+  Options opt_;
+  std::vector<Row> rows_;
+};
 
 inline void print_header(const std::string& what, const Options& opt) {
   std::cout << "=== " << what << " ===\n"

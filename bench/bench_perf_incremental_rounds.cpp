@@ -139,6 +139,13 @@ int main(int argc, char** argv) {
       "churn; the incremental engine's per-round cost tracks the dirty set, "
       "so the end-to-end run should be >= 2x faster at identical results.");
 
+  {
+    bench::JsonOut json(opt);
+    json.add("incremental_rounds/full_engine", full_s, "s");
+    json.add("incremental_rounds/incremental_engine", fast_s, "s");
+    json.add("incremental_rounds/speedup", speedup, "x");
+  }
+
   if (!same || divergences != 0) return 1;
   return speedup >= 2.0 ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "routing/rib.h"
+#include "routing/rib_store.h"
 
 namespace sbgp::core {
 
@@ -87,10 +88,19 @@ const char* to_string(Outcome o) {
 rt::UtilityAccumulator compute_utilities(
     const AsGraph& graph, const std::vector<std::uint8_t>& secure,
     const SimConfig& cfg, par::ThreadPool& pool,
-    const std::vector<std::vector<AsId>>* enabled_links) {
+    const rt::LinkSet* enabled_links) {
   const std::size_t n = graph.num_nodes();
   rt::UtilityAccumulator total(n);
   if (n == 0) return total;
+  // One word-packed secure-state snapshot, shared read-only by every worker.
+  rt::SecurityView view;
+  view.graph = &graph;
+  view.base = secure.data();
+  view.stub_breaks_ties = cfg.stub_breaks_ties;
+  view.enabled_links = enabled_links;
+  rt::Arena mask_arena;
+  rt::SecureMask mask;
+  mask.build(view, mask_arena);
   // Fixed 64-way decomposition merged in chunk order: the result is
   // bitwise invariant under the worker-thread count (floating-point
   // addition is not associative, so a merge order that depended on task
@@ -103,16 +113,11 @@ rt::UtilityAccumulator compute_utilities(
     rt::TreeComputer tc(graph);
     rt::DestRib rib;
     rt::RoutingTree tree;
-    rt::SecurityView view;
-    view.graph = &graph;
-    view.base = secure.data();
-    view.stub_breaks_ties = cfg.stub_breaks_ties;
-    view.enabled_links = enabled_links;
     const std::size_t lo = c * chunk;
     const std::size_t hi = std::min(n, lo + chunk);
     for (std::size_t d = lo; d < hi; ++d) {
       rc.compute(static_cast<AsId>(d), rib);
-      tc.compute(rib, view, cfg.tiebreak, tree);
+      tc.compute(rib, mask, cfg.tiebreak, tree);
       partial[c].add_tree(graph, rib, tree);
     }
   });
@@ -283,9 +288,11 @@ struct WorkerScratch {
   std::uint32_t epoch = 0;
   DestBundle check_tmp;  ///< differential mode: fresh bundle of a clean dest
   DestBundle part_tmp;   ///< partial update: rebuilt projection lists
-  /// "Stub customer of the currently projected candidate" mask, set up once
-  /// per hypothetical flip (see SecurityView::flip_on_stubs).
-  std::vector<std::uint8_t> stub_mask;
+  /// Arena-backed word-packed mask for the currently projected flip: a
+  /// words-memcpy of the round's base mask plus an O(degree) patch per
+  /// candidate. The arena allocates on the first projection and never again.
+  rt::Arena arena;
+  rt::SecureMask proj_mask;
   /// Candidate -> cached-entry index, epoch-marked (partial update).
   std::vector<std::uint32_t> slot, slot_epoch;
   std::uint32_t slot_epoch_v = 0;
@@ -295,7 +302,6 @@ struct WorkerScratch {
         tc(g),
         mark_on(g.num_nodes(), 0),
         mark_off(g.num_nodes(), 0),
-        stub_mask(g.num_nodes(), 0),
         slot(g.num_nodes(), 0),
         slot_epoch(g.num_nodes(), 0) {}
 };
@@ -317,12 +323,18 @@ struct DeploymentSimulator::Cache {
   /// Cross-round caches, allocated only when the O(N^2 + N*E) upper bound
   /// fits SimConfig::incremental_cache_budget (see `big_cache`): the
   /// state-independent per-destination RIBs (valid for the lifetime of the
-  /// simulator once built) and the base routing tree backing each cached
-  /// bundle (valid exactly as long as the bundle itself).
-  std::vector<rt::DestRib> ribs;
-  std::vector<std::uint8_t> rib_ready;
+  /// simulator once built — slab-backed, tiebreaks pre-sorted, see
+  /// rt::RibStore) and the base routing tree backing each cached bundle
+  /// (valid exactly as long as the bundle itself).
+  std::unique_ptr<rt::RibStore> rib_store;
   std::vector<rt::RoutingTree> trees;
   bool big_cache = false;
+  /// The round's base secure-state, snapshotted into word-packed bits once
+  /// per evaluate_round and shared read-only by every worker; projections
+  /// memcpy+patch it (SecureMask::assign_flipped). The arena never resets —
+  /// the mask shape is fixed, so it allocates exactly once.
+  rt::Arena mask_arena;
+  rt::SecureMask base_mask;
   /// SBGP_DIRTY_DEBUG per-round accounting (inert otherwise).
   std::atomic<long long> dbg_full_ns{0}, dbg_part_ns{0};
   std::atomic<std::size_t> dbg_full_n{0}, dbg_part_n{0};
@@ -344,25 +356,17 @@ struct DeploymentSimulator::Cache {
       for (AsId i = 0; i < n; ++i) {
         adj += g.customers(i).size() + g.peers(i).size() + g.providers(i).size();
       }
-      // Per destination: RIB ~ 7N + 4*adj bytes, tree ~ 14N bytes.
-      const std::size_t estimate = n * (21 * n + 4 * adj);
+      // Per destination: RIB slab columns ~ 11N + 4*adj bytes (see
+      // RibStore::bytes_reserved), tree ~ 14N bytes.
+      const std::size_t estimate = n * (25 * n + 4 * adj);
       big_cache = estimate <= cfg.incremental_cache_budget;
       if (big_cache) {
-        ribs.resize(n);
-        rib_ready.assign(n, 0);
+        // The store's constructor allocates (and zero-touches) the fixed
+        // column slabs up front, so no evaluated round ever pays first-touch
+        // page faults for a RIB. Pre-size the cached trees likewise.
+        rib_store = std::make_unique<rt::RibStore>(g);
         trees.resize(n);
-        // Pre-size and pre-fault the per-destination arrays now, during
-        // construction: ~O(N^2) bytes of first-touch page faults and
-        // allocator calls that would otherwise all land inside the first
-        // evaluated round. The computers only overwrite (never shrink)
-        // these, so the warmed capacity survives.
         for (AsId d = 0; d < n; ++d) {
-          auto& r = ribs[d];
-          r.cls.assign(n, rt::RouteClass::None);
-          r.len.assign(n, 0);
-          r.tb_begin.assign(n + 1, 0);
-          r.order.reserve(n);
-          r.tb.reserve(4 * n);  // tiebreak sets average a few entries per node
           auto& t = trees[d];
           t.next_hop.assign(n, topo::kNoAs);
           t.path_secure.assign(n, 0);
@@ -414,7 +418,7 @@ namespace {
 /// only Rule 2 can contribute. Only valid when the tree is unchanged.
 std::uint32_t build_affected(const AsGraph& graph, const SimConfig& cfg,
                              const std::uint8_t* flags, AsId d,
-                             const rt::DestRib& rib,
+                             const rt::RibView& rib,
                              const rt::RoutingTree& tree, WorkerScratch& s,
                              std::vector<AsId>* fp_tree = nullptr,
                              bool skip_rule1 = false) {
@@ -521,22 +525,14 @@ std::uint32_t build_affected(const AsGraph& graph, const SimConfig& cfg,
 /// base set P — to `out.proj_on` / `out.proj_off`.
 void project_candidate(const AsGraph& graph, const SimConfig& cfg,
                        const rt::SecurityView& base_view,
-                       const rt::DestRib& rib, const rt::RoutingTree& tree,
-                       AsId cand, bool on, WorkerScratch& s, DestBundle& out) {
-  rt::SecurityView view = base_view;
-  (on ? view.flip_on : view.flip_off) = cand;
-  if (on) {
-    // O(1) simplex lookups during the tree walk instead of a provider-list
-    // binary search per candidate check.
-    for (const AsId cust : graph.customers(cand)) {
-      if (graph.is_stub(cust)) s.stub_mask[cust] = 1;
-    }
-    view.flip_on_stubs = s.stub_mask.data();
-  }
-  s.tc.compute(rib, view, cfg.tiebreak, s.flipped);
-  if (on) {
-    for (const AsId cust : graph.customers(cand)) s.stub_mask[cust] = 0;
-  }
+                       const rt::SecureMask& base_mask, const rt::RibView& rib,
+                       const rt::RoutingTree& tree, AsId cand, bool on,
+                       WorkerScratch& s, DestBundle& out) {
+  // Word-copy the round's base mask and patch the candidate (plus its
+  // simplex-secured stubs when flipping on): O(N/64) + O(degree) instead of
+  // re-evaluating the branchy security predicate for every node.
+  s.proj_mask.assign_flipped(base_mask, base_view, cand, on, s.arena);
+  s.tc.compute(rib, s.proj_mask, cfg.tiebreak, s.flipped);
   const auto before = rt::node_contribution(graph, rib, tree, cand);
   const auto after = rt::node_contribution(graph, rib, s.flipped, cand);
   const auto fb = static_cast<std::uint32_t>(out.proj_fp.size());
@@ -555,20 +551,22 @@ void project_candidate(const AsGraph& graph, const SimConfig& cfg,
                      after.incoming - before.incoming, fb, fe});
 }
 
-/// Evaluates destination `d` under `flags` into `out`: base tree utilities,
-/// the C.4 affected-candidate sets, every projection delta, the state
-/// footprint, and the tree fingerprint. Pure function of (graph, cfg,
-/// flags, d); `s` is reusable scratch. `rib` and `tree` may be cross-round
-/// cache slots (`rib_ready` then skips the RIB build — RIBs are
-/// state-independent, Obs. C.1) or per-worker scratch.
+/// Evaluates destination `d` under the base state into `out`: base tree
+/// utilities, the C.4 affected-candidate sets, every projection delta, the
+/// state footprint, and the tree fingerprint. Pure function of (graph, cfg,
+/// flags, d); `s` is reusable scratch. The RIB is supplied by the caller —
+/// a RibStore view when the cross-round cache is enabled (RIBs are
+/// state-independent, Obs. C.1), else freshly computed per-worker scratch.
+/// `base_view` and `base_mask` must describe the same flags (the mask is
+/// the view's word-packed snapshot).
 void compute_bundle(const AsGraph& graph, const SimConfig& cfg,
-                    const std::uint8_t* flags, AsId d, WorkerScratch& s,
-                    rt::DestRib& rib, bool rib_ready, rt::RoutingTree& tree,
+                    const rt::SecurityView& base_view,
+                    const rt::SecureMask& base_mask, AsId d, WorkerScratch& s,
+                    const rt::RibView& rib, rt::RoutingTree& tree,
                     DestBundle& out) {
   out.clear();
-  const rt::SecurityView base_view = make_base_view(graph, cfg, flags);
-  if (!rib_ready) s.rc.compute(d, rib);
-  s.tc.compute(rib, base_view, cfg.tiebreak, tree);
+  const std::uint8_t* flags = base_view.base;
+  s.tc.compute(rib, base_mask, cfg.tiebreak, tree);
 
   // Base utilities for every node, both models, in one pass (sparse form
   // of UtilityAccumulator::add_tree).
@@ -604,10 +602,12 @@ void compute_bundle(const AsGraph& graph, const SimConfig& cfg,
 
   // ---- Projections: recompute the tree under each candidate flip. ----
   for (const AsId cand : s.affected_on) {
-    project_candidate(graph, cfg, base_view, rib, tree, cand, true, s, out);
+    project_candidate(graph, cfg, base_view, base_mask, rib, tree, cand, true,
+                      s, out);
   }
   for (const AsId cand : s.affected_off) {
-    project_candidate(graph, cfg, base_view, rib, tree, cand, false, s, out);
+    project_candidate(graph, cfg, base_view, base_mask, rib, tree, cand, false,
+                      s, out);
   }
 
   // The fingerprint exists purely for the differential checker; neither
@@ -627,13 +627,14 @@ void compute_bundle(const AsGraph& graph, const SimConfig& cfg,
 /// candidates miss the cached index and are computed from scratch.
 /// check_incremental verifies this equivalence destination by destination.
 void update_bundle_partial(const AsGraph& graph, const SimConfig& cfg,
-                           const std::uint8_t* flags,
+                           const rt::SecurityView& base_view,
+                           const rt::SecureMask& base_mask,
                            const std::uint8_t* changed_mask, AsId d,
-                           WorkerScratch& s, const rt::DestRib& rib,
+                           WorkerScratch& s, const rt::RibView& rib,
                            const rt::RoutingTree& tree, DestBundle& out) {
   assert(out.tree_hash == 0 ||
          rt::tree_fingerprint(rib, tree) == out.tree_hash);
-  const rt::SecurityView base_view = make_base_view(graph, cfg, flags);
+  const std::uint8_t* flags = base_view.base;
   // P is a function of the cached (unchanged) tree: when the bundle
   // recorded it empty, Rule 1 cannot contribute and the O(N) scan is
   // skipped — the common case here, since most partially-updated
@@ -664,7 +665,8 @@ void update_bundle_partial(const AsGraph& graph, const SimConfig& cfg,
         stale = changed_mask[out.proj_fp[k]] != 0;
       }
       if (stale) {
-        project_candidate(graph, cfg, base_view, rib, tree, cand, on, s, nb);
+        project_candidate(graph, cfg, base_view, base_mask, rib, tree, cand,
+                          on, s, nb);
         continue;
       }
       const auto fb = static_cast<std::uint32_t>(nb.proj_fp.size());
@@ -701,6 +703,10 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
   const bool carry = cfg_.incremental && cfg_.use_projection_pruning && c.valid;
 
   const std::uint8_t* flags = state.flags().data();
+  const rt::SecurityView base_view = make_base_view(graph_, cfg_, flags);
+  // One word-packed snapshot of the round's secure state, shared read-only
+  // by every worker; per-candidate projections memcpy+patch it.
+  c.base_mask.build(base_view, c.mask_arena);
 
   c.work.clear();
   if (!carry) {
@@ -796,20 +802,26 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
     assert(w < c.scratch.size());
     return c.scratch[w];
   };
-  // Full (re)computation of one destination's bundle, into the cross-round
-  // RIB/tree cache slots when those are enabled, else per-worker scratch.
+  // Full (re)computation of one destination's bundle, against the slab
+  // store's RIB view (and cached-tree slot) when the cross-round caches are
+  // enabled, else per-worker scratch. Either way the tiebreaks are sorted
+  // once per RIB so every tree build selects winners positionally.
   const auto run_full = [&](std::size_t d, WorkerScratch& s, DestBundle& out) {
     if (c.big_cache) {
-      if (c.rib_ready[d] == 0) {  // normally primed by the starting pass
-        s.rc.compute(static_cast<AsId>(d), c.ribs[d]);
-        rt::sort_tiebreaks(graph_, cfg_.tiebreak, c.ribs[d]);
-        c.rib_ready[d] = 1;
+      rt::RibStore& store = *c.rib_store;
+      if (!store.ready(static_cast<AsId>(d))) {  // normally primed by the
+        s.rc.compute(static_cast<AsId>(d), s.rib);  // starting pass
+        rt::sort_tiebreaks(graph_, cfg_.tiebreak, s.rib);
+        store.put(static_cast<AsId>(d), s.rib);
       }
-      compute_bundle(graph_, cfg_, flags, static_cast<AsId>(d), s, c.ribs[d],
-                     /*rib_ready=*/true, c.trees[d], out);
+      compute_bundle(graph_, cfg_, base_view, c.base_mask,
+                     static_cast<AsId>(d), s, store.view(static_cast<AsId>(d)),
+                     c.trees[d], out);
     } else {
-      compute_bundle(graph_, cfg_, flags, static_cast<AsId>(d), s, s.rib,
-                     /*rib_ready=*/false, s.tree, out);
+      s.rc.compute(static_cast<AsId>(d), s.rib);
+      rt::sort_tiebreaks(graph_, cfg_.tiebreak, s.rib);
+      compute_bundle(graph_, cfg_, base_view, c.base_mask,
+                     static_cast<AsId>(d), s, s.rib, s.tree, out);
     }
   };
   const bool dbg = std::getenv("SBGP_DIRTY_DEBUG") != nullptr;
@@ -817,9 +829,10 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
     const auto q0 = dbg ? std::chrono::steady_clock::now()
                         : std::chrono::steady_clock::time_point{};
     if (c.partial_mask[d] != 0) {
-      update_bundle_partial(graph_, cfg_, flags, c.changed_mask.data(),
-                            static_cast<AsId>(d), s, c.ribs[d], c.trees[d],
-                            c.bundles[d]);
+      update_bundle_partial(graph_, cfg_, base_view, c.base_mask,
+                            c.changed_mask.data(), static_cast<AsId>(d), s,
+                            c.rib_store->view(static_cast<AsId>(d)),
+                            c.trees[d], c.bundles[d]);
       if (dbg) {
         c.dbg_part_ns += (std::chrono::steady_clock::now() - q0).count();
         ++c.dbg_part_n;
@@ -853,10 +866,14 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
         run_full(di, s, c.bundles[di]);
         return;
       }
-      // Clean or partially updated: both must equal a from-scratch bundle
-      // (computed with scratch rib/tree so the caches are exercised too).
+      // Clean or partially updated: both must equal a from-scratch bundle.
+      // The fresh RIB's tiebreaks are deliberately NOT pre-sorted, so this
+      // recompute exercises the per-candidate hashing selection path and
+      // cross-validates it against the positional path the cached (sorted)
+      // RIBs take — same winners, bit-identical bundles.
       if (dirty) run_one(di, s);
-      compute_bundle(graph_, cfg_, flags, d, s, s.rib, /*rib_ready=*/false,
+      s.rc.compute(d, s.rib);
+      compute_bundle(graph_, cfg_, base_view, c.base_mask, d, s, s.rib,
                      s.tree, s.check_tmp);
       const std::string err = bundle_divergence(c.bundles[di], s.check_tmp, flags);
       if (!err.empty()) {
@@ -973,28 +990,34 @@ SimResult DeploymentSimulator::run(const DeploymentState& initial,
       const std::size_t chunk = (n + chunks - 1) / chunks;
       std::vector<rt::UtilityAccumulator> partial(chunks,
                                                   rt::UtilityAccumulator(n));
+      rt::SecurityView view;
+      view.graph = &graph_;
+      view.base = nobody.data();
+      view.stub_breaks_ties = cfg_.stub_breaks_ties;
+      rt::Arena nobody_arena;
+      rt::SecureMask nobody_mask;
+      nobody_mask.build(view, nobody_arena);
+      rt::RibStore& store = *c.rib_store;
       par::parallel_for_dynamic(pool_, 0, chunks, [&](std::size_t ci) {
         rt::RibComputer rc(graph_);
         rt::TreeComputer tc(graph_);
+        rt::DestRib rib;
         rt::RoutingTree tree;
-        rt::SecurityView view;
-        view.graph = &graph_;
-        view.base = nobody.data();
-        view.stub_breaks_ties = cfg_.stub_breaks_ties;
         const std::size_t lo = ci * chunk;
         const std::size_t hi = std::min(n, lo + chunk);
         for (std::size_t d = lo; d < hi; ++d) {
-          rt::DestRib& rib = c.ribs[d];
-          if (c.rib_ready[d] == 0) {
-            rc.compute(static_cast<AsId>(d), rib);
+          const AsId dest = static_cast<AsId>(d);
+          if (!store.ready(dest)) {
+            rc.compute(dest, rib);
             // Pre-order the tiebreak sets by tie-break key: state-
             // independent, so every cross-round reuse of this RIB selects
             // winners positionally instead of hashing each candidate.
             rt::sort_tiebreaks(graph_, cfg_.tiebreak, rib);
-            c.rib_ready[d] = 1;
+            store.put(dest, rib);
           }
-          tc.compute(rib, view, cfg_.tiebreak, tree);
-          partial[ci].add_tree(graph_, rib, tree);
+          const rt::RibView rv = store.view(dest);
+          tc.compute(rv, nobody_mask, cfg_.tiebreak, tree);
+          partial[ci].add_tree(graph_, rv, tree);
         }
       });
       for (const auto& p : partial) start.merge(p);

@@ -216,12 +216,12 @@ struct SimResult {
 /// Computes u_n for every node under `secure` — both models at once.
 /// Standalone entry point shared by the simulator, the analysis helpers and
 /// the benches. `enabled_links` optionally restricts S*BGP to a per-link
-/// deployment (Theorem 8.2 / Appendix J); null means every link of every
-/// secure AS is active.
+/// deployment (Theorem 8.2 / Appendix J) in CSR form (rt::LinkSet); null
+/// means every link of every secure AS is active.
 [[nodiscard]] rt::UtilityAccumulator compute_utilities(
     const AsGraph& graph, const std::vector<std::uint8_t>& secure,
     const SimConfig& cfg, par::ThreadPool& pool,
-    const std::vector<std::vector<AsId>>* enabled_links = nullptr);
+    const rt::LinkSet* enabled_links = nullptr);
 
 /// The deployment simulator. Construct once per (graph, config); `run` may
 /// be called repeatedly with different initial states.

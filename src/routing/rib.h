@@ -82,6 +82,42 @@ struct DestRib {
   [[nodiscard]] std::size_t num_reachable() const { return order.size(); }
 };
 
+/// Non-owning view of one destination's static RIB columns. This is the
+/// read-side currency of the routing layer: every consumer (tree builds,
+/// utility folds, footprint queries) takes a RibView, so a RIB can live
+/// either in a standalone DestRib or in the slab-pooled rt::RibStore without
+/// the call sites caring. Implicitly constructible from a DestRib; cheap to
+/// copy (a handful of spans).
+struct RibView {
+  AsId dest = kNoAs;
+  AsId impostor = kNoAs;
+  std::uint16_t impostor_len = 0;
+  bool tb_sorted = false;
+  std::span<const RouteClass> cls;
+  std::span<const std::uint16_t> len;
+  std::span<const std::uint32_t> tb_begin;  ///< size N+1
+  std::span<const AsId> tb;
+  std::span<const AsId> order;
+
+  RibView() = default;
+  RibView(const DestRib& r)  // NOLINT(google-explicit-constructor)
+      : dest(r.dest),
+        impostor(r.impostor),
+        impostor_len(r.impostor_len),
+        tb_sorted(r.tb_sorted),
+        cls(r.cls),
+        len(r.len),
+        tb_begin(r.tb_begin),
+        tb(r.tb),
+        order(r.order) {}
+
+  [[nodiscard]] std::span<const AsId> tiebreak(AsId n) const {
+    return tb.subspan(tb_begin[n], tb_begin[n + 1] - tb_begin[n]);
+  }
+  [[nodiscard]] bool reachable(AsId n) const { return cls[n] != RouteClass::None; }
+  [[nodiscard]] std::size_t num_reachable() const { return order.size(); }
+};
+
 /// Reusable RIB computer; keeps O(|V|) scratch buffers so repeated calls
 /// allocate nothing. One instance per thread.
 class RibComputer {

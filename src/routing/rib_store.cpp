@@ -1,0 +1,69 @@
+#include "routing/rib_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace sbgp::rt {
+
+RibStore::RibStore(const AsGraph& graph)
+    : n_(graph.num_nodes()),
+      cls_(n_ * n_, RouteClass::None),
+      len_(n_ * n_, 0),
+      tb_begin_(n_ * (n_ + 1), 0),
+      order_(n_ * n_, kNoAs),
+      order_len_(n_, 0),
+      tb_data_(n_, nullptr),
+      tb_len_(n_, 0),
+      ready_(n_, 0),
+      // Tiebreak sets average a few entries per reachable node; size the
+      // first pool block for a quarter of the worst case so small graphs
+      // stay small and big ones double only a few times.
+      tb_arena_(std::max<std::size_t>(std::size_t{1} << 16, n_ * n_)) {}
+
+void RibStore::put(AsId d, const DestRib& rib) {
+  assert(d < n_ && ready_[d] == 0);
+  assert(rib.dest == d && rib.impostor == kNoAs);
+  assert(rib.tb_sorted);
+  assert(rib.cls.size() == n_ && rib.tb_begin.size() == n_ + 1);
+  std::memcpy(cls_.data() + d * n_, rib.cls.data(), n_ * sizeof(RouteClass));
+  std::memcpy(len_.data() + d * n_, rib.len.data(), n_ * sizeof(std::uint16_t));
+  std::memcpy(tb_begin_.data() + d * (n_ + 1), rib.tb_begin.data(),
+              (n_ + 1) * sizeof(std::uint32_t));
+  std::memcpy(order_.data() + d * n_, rib.order.data(),
+              rib.order.size() * sizeof(AsId));
+  order_len_[d] = static_cast<std::uint32_t>(rib.order.size());
+  const std::size_t tb_n = rib.tb.size();
+  AsId* slice = nullptr;
+  if (tb_n > 0) {
+    std::scoped_lock lock(tb_mutex_);
+    slice = tb_arena_.alloc<AsId>(tb_n);
+  }
+  if (tb_n > 0) std::memcpy(slice, rib.tb.data(), tb_n * sizeof(AsId));
+  tb_data_[d] = slice;
+  tb_len_[d] = static_cast<std::uint32_t>(tb_n);
+  ready_[d] = 1;
+}
+
+RibView RibStore::view(AsId d) const {
+  assert(d < n_ && ready_[d] != 0);
+  RibView v;
+  v.dest = d;
+  v.impostor = kNoAs;
+  v.impostor_len = 0;
+  v.tb_sorted = true;
+  v.cls = {cls_.data() + d * n_, n_};
+  v.len = {len_.data() + d * n_, n_};
+  v.tb_begin = {tb_begin_.data() + d * (n_ + 1), n_ + 1};
+  v.tb = {tb_data_[d], tb_len_[d]};
+  v.order = {order_.data() + d * n_, order_len_[d]};
+  return v;
+}
+
+std::size_t RibStore::bytes_reserved() const {
+  return n_ * n_ * (sizeof(RouteClass) + sizeof(std::uint16_t) + sizeof(AsId)) +
+         n_ * (n_ + 1) * sizeof(std::uint32_t) + tb_arena_.bytes_reserved() +
+         n_ * (sizeof(const AsId*) + 2 * sizeof(std::uint32_t) + 1);
+}
+
+}  // namespace sbgp::rt

@@ -1,0 +1,65 @@
+// Structure-of-arrays store for the per-destination static RIBs (Obs. C.1:
+// class/length/tiebreak structure are deployment-state independent, so each
+// destination's RIB is computed once per graph and reused for every round
+// and every hypothetical flip). Instead of N DestRib objects — 5N heap
+// vectors scattered across the allocator — the store owns one slab per
+// column (`cls`/`len`/`tb_begin`/`order`) sized N×N up front, plus an
+// arena-pooled slab for the variable-length tiebreak column. Readers get a
+// RibView of spans into the slabs; nothing is ever reallocated after
+// construction, and a destination slot is populated exactly once.
+//
+// Concurrency contract (matching the simulator's per-destination fan-out):
+// distinct destinations may be put()/view()ed from different workers
+// concurrently — the fixed columns are disjoint ranges, and the tiebreak
+// arena is bump-reserved under a short mutex. A single destination must not
+// be put() twice or put() concurrently with its own view().
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "routing/arena.h"
+#include "routing/rib.h"
+
+namespace sbgp::rt {
+
+class RibStore {
+ public:
+  /// Reserves the fixed column slabs for `graph.num_nodes()` destinations —
+  /// the one big allocation; everything after is bump-pooled.
+  explicit RibStore(const AsGraph& graph);
+
+  /// Has destination `d` been stored? Synchronized by the caller's task
+  /// barrier, like every per-destination slot here.
+  [[nodiscard]] bool ready(AsId d) const { return ready_[d] != 0; }
+
+  /// Copies `rib` into the slabs for destination `d`. Requirements:
+  /// rib.dest == d, no impostor (hijack RIBs are per-attack, not cacheable
+  /// here), and tiebreaks already sorted (sort_tiebreaks) — the store's
+  /// whole point is that every later tree build takes the positional
+  /// selection path.
+  void put(AsId d, const DestRib& rib);
+
+  /// View of a stored destination's columns.
+  [[nodiscard]] RibView view(AsId d) const;
+
+  /// Heap footprint of the fixed slabs + tiebreak pool, for budget checks
+  /// and the memory-per-AS accounting in the docs.
+  [[nodiscard]] std::size_t bytes_reserved() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<RouteClass> cls_;          ///< n_ * n_
+  std::vector<std::uint16_t> len_;       ///< n_ * n_
+  std::vector<std::uint32_t> tb_begin_;  ///< n_ * (n_ + 1)
+  std::vector<AsId> order_;              ///< n_ * n_ (first order_len_[d] valid)
+  std::vector<std::uint32_t> order_len_;
+  std::vector<const AsId*> tb_data_;     ///< per-destination tiebreak slab slice
+  std::vector<std::uint32_t> tb_len_;
+  std::vector<std::uint8_t> ready_;
+  Arena tb_arena_;
+  std::mutex tb_mutex_;  ///< guards tb_arena_ reservation only
+};
+
+}  // namespace sbgp::rt

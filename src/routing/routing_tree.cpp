@@ -33,7 +33,17 @@ std::uint64_t TieBreakPolicy::key(AsId i, AsId j, const AsGraph& graph) const {
 
 TreeComputer::TreeComputer(const AsGraph& graph) : graph_(graph) {}
 
-void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
+void TreeComputer::compute(const RibView& rib, const SecurityView& view,
+                           const TieBreakPolicy& tb, RoutingTree& out) {
+  // Legacy/general entry point: snapshot the branchy per-node predicate into
+  // word-packed bits once, then run the mask path. The arena is never reset —
+  // the mask has the same shape every build, so after the first call this
+  // allocates nothing.
+  scratch_mask_.build(view, arena_);
+  compute(rib, scratch_mask_, tb, out);
+}
+
+void TreeComputer::compute(const RibView& rib, const SecureMask& mask,
                            const TieBreakPolicy& tb, RoutingTree& out) const {
   // Counter add is a relaxed fetch_add on a per-worker shard — cheap enough
   // for this per-tree path (one increment amortised over O(N) node work).
@@ -66,7 +76,7 @@ void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
       // A bogus origin can never offer a fully secure route: the RPKI ROA
       // names the true destination, so path validation fails at the origin
       // (cf. proto::validate_path).
-      out.path_secure[i] = (i == rib.dest && view.is_secure(i)) ? 1 : 0;
+      out.path_secure[i] = (i == rib.dest && mask.is_secure(i)) ? 1 : 0;
       out.subtree_weight[i] = graph_.weight(i);
       out.has_secure_candidate[i] = 0;
       if (hijack) out.origin[i] = i;
@@ -78,7 +88,7 @@ void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
     // is fully secure AND the hop to it is cryptographically active (always
     // true unless per-link deployment is in play).
     const auto cand_secure = [&](AsId j) {
-      return out.path_secure[j] != 0 && view.hop_secure(j, i);
+      return out.path_secure[j] != 0 && mask.hop_secure(j, i);
     };
     AsId best = kNoAs;
     if (rib.tb_sorted) {
@@ -93,7 +103,7 @@ void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
         }
       }
       out.has_secure_candidate[i] = first_secure != kNoAs ? 1 : 0;
-      best = (first_secure != kNoAs && view.applies_secp(i)) ? first_secure
+      best = (first_secure != kNoAs && mask.applies_secp(i)) ? first_secure
                                                              : candidates[0];
     } else {
       bool any_secure = false;
@@ -104,7 +114,7 @@ void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
         }
       }
       out.has_secure_candidate[i] = any_secure ? 1 : 0;
-      const bool restrict_secure = any_secure && view.applies_secp(i);
+      const bool restrict_secure = any_secure && mask.applies_secp(i);
 
       std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
       for (const AsId j : candidates) {
@@ -118,7 +128,7 @@ void TreeComputer::compute(const DestRib& rib, const SecurityView& view,
     }
     assert(best != kNoAs);
     out.next_hop[i] = best;
-    out.path_secure[i] = (cand_secure(best) && view.is_secure(i)) ? 1 : 0;
+    out.path_secure[i] = (cand_secure(best) && mask.is_secure(i)) ? 1 : 0;
     out.subtree_weight[i] = graph_.weight(i);
     if (hijack) out.origin[i] = out.origin[best];
   }
@@ -185,7 +195,7 @@ void UtilityAccumulator::reset() {
   std::fill(incoming.begin(), incoming.end(), 0.0);
 }
 
-void UtilityAccumulator::add_tree(const AsGraph& graph, const DestRib& rib,
+void UtilityAccumulator::add_tree(const AsGraph& graph, const RibView& rib,
                                   const RoutingTree& t) {
   for (const AsId i : rib.order) {
     if (i == rib.dest) continue;
@@ -206,14 +216,14 @@ void UtilityAccumulator::merge(const UtilityAccumulator& other) {
   }
 }
 
-void append_secure_candidates(const DestRib& rib, const RoutingTree& tree,
+void append_secure_candidates(const RibView& rib, const RoutingTree& tree,
                               std::vector<AsId>& out) {
   for (const AsId i : rib.order) {
     if (tree.has_secure_candidate[i] != 0) out.push_back(i);
   }
 }
 
-void append_dirty_footprint(const AsGraph& graph, const DestRib& rib,
+void append_dirty_footprint(const AsGraph& graph, const RibView& rib,
                             const RoutingTree& tree, bool stub_breaks_ties,
                             std::vector<AsId>& out) {
   for (const AsId i : rib.order) {
@@ -234,7 +244,7 @@ void append_dirty_footprint(const AsGraph& graph, const DestRib& rib,
   }
 }
 
-std::uint64_t tree_fingerprint(const DestRib& rib, const RoutingTree& tree) {
+std::uint64_t tree_fingerprint(const RibView& rib, const RoutingTree& tree) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   const auto mix = [&h](std::uint64_t v) {
     for (int k = 0; k < 8; ++k) {
@@ -261,7 +271,7 @@ std::uint64_t tree_fingerprint(const DestRib& rib, const RoutingTree& tree) {
   return h;
 }
 
-NodeContribution node_contribution(const AsGraph& graph, const DestRib& rib,
+NodeContribution node_contribution(const AsGraph& graph, const RibView& rib,
                                    const RoutingTree& tree, AsId n) {
   NodeContribution out;
   if (rib.cls[n] == RouteClass::Customer) {

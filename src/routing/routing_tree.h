@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "routing/arena.h"
 #include "routing/rib.h"
+#include "routing/secure_state.h"
 #include "topology/as_graph.h"
 
 namespace sbgp::rt {
@@ -37,12 +39,11 @@ struct SecurityView {
   /// Evaluates the view as if this one node were NOT suppressed (the
   /// projection counterpart of flip_off for per-destination dynamics).
   AsId unsuppress = kNoAs;
-  /// Optional per-link deployment (Section 8.3 / Theorem 8.2): when set
-  /// (size num_nodes), node n signs/validates only on links to the listed
-  /// neighbours (each list sorted ascending). A hop contributes to a fully
+  /// Optional per-link deployment (Section 8.3 / Theorem 8.2): node n
+  /// signs/validates only on links in the set. A hop contributes to a fully
   /// secure path only if BOTH endpoints enabled it ("deployment entails
   /// both signing and verification", Appendix J). Null = all links enabled.
-  const std::vector<std::vector<AsId>>* enabled_links = nullptr;
+  const LinkSet* enabled_links = nullptr;
   /// Optional precomputed "x is a stub customer of flip_on" mask (size
   /// num_nodes). Replaces the per-query binary search over each stub's
   /// provider list — worth setting up once per hypothetical flip when a
@@ -52,20 +53,7 @@ struct SecurityView {
 
   /// Is the hop between adjacent ASes `a` and `b` cryptographically active?
   [[nodiscard]] bool hop_secure(AsId a, AsId b) const {
-    if (enabled_links == nullptr) return true;
-    const auto contains = [this](AsId from, AsId to) {
-      const auto& v = (*enabled_links)[from];
-      auto lo = v.begin();
-      auto hi = v.end();
-      while (lo < hi) {
-        auto mid = lo + (hi - lo) / 2;
-        if (*mid < to) lo = mid + 1;
-        else if (to < *mid) hi = mid;
-        else return true;
-      }
-      return false;
-    };
-    return contains(a, b) && contains(b, a);
+    return enabled_links == nullptr || enabled_links->hop_enabled(a, b);
   }
 
   /// Is `x` secure under this view?
@@ -79,19 +67,10 @@ struct SecurityView {
     if (x == flip_on) return true;
     if (frozen != nullptr && frozen[x] != 0) return false;
     if (flip_on_stubs != nullptr) return flip_on_stubs[x] != 0;
-    if (graph->is_stub(x)) {
-      const auto provs = graph->providers(x);
-      // providers() is sorted after finalize(); see AsGraph::finalize.
-      auto lo = provs.begin();
-      auto hi = provs.end();
-      while (lo < hi) {
-        auto mid = lo + (hi - lo) / 2;
-        if (*mid < flip_on) lo = mid + 1;
-        else if (flip_on < *mid) hi = mid;
-        else return true;
-      }
-    }
-    return false;
+    // providers() is sorted after finalize(); one shared branchless probe
+    // answers "is x a stub customer of the flipping ISP".
+    return graph->is_stub(x) &&
+           topo::sorted_contains(graph->providers(x), flip_on);
   }
 
   /// Does `x` apply the SecP criterion when selecting among its tiebreak set?
@@ -138,9 +117,19 @@ class TreeComputer {
  public:
   explicit TreeComputer(const AsGraph& graph);
 
-  /// Runs the fast routing tree algorithm (O(t*|V|)) for `rib` under `view`.
-  void compute(const DestRib& rib, const SecurityView& view,
+  /// Runs the fast routing tree algorithm (O(t*|V|)) for `rib` under a
+  /// word-packed secure-state mask — the hot-path entry point. The mask may
+  /// be shared read-only across threads (the per-round base mask) or a
+  /// per-worker patched flip mask.
+  void compute(const RibView& rib, const SecureMask& mask,
                const TieBreakPolicy& tb, RoutingTree& out) const;
+
+  /// Convenience overload: materializes `view` into an internal arena-backed
+  /// mask first (O(N), allocation-free in the steady state), then runs the
+  /// mask path. Supports the full SecurityView generality (flips, freezes,
+  /// per-destination suppression).
+  void compute(const RibView& rib, const SecurityView& view,
+               const TieBreakPolicy& tb, RoutingTree& out);
 
   /// Extracts the chosen AS path (src, ..., dest) from a computed tree;
   /// empty when unreachable.
@@ -148,6 +137,8 @@ class TreeComputer {
 
  private:
   const AsGraph& graph_;
+  Arena arena_;            ///< backs scratch_mask_; reset-free (same shape every build)
+  SecureMask scratch_mask_;
 };
 
 /// Builds the trivial per-link mask in which every AS enables S*BGP on all
@@ -179,7 +170,7 @@ struct UtilityAccumulator {
   void reset();
   /// Adds the contributions of tree `t` (for destination t.dest) for all
   /// nodes at once.
-  void add_tree(const AsGraph& graph, const DestRib& rib, const RoutingTree& t);
+  void add_tree(const AsGraph& graph, const RibView& rib, const RoutingTree& t);
   /// Merges another accumulator (parallel reduction).
   void merge(const UtilityAccumulator& other);
 };
@@ -191,7 +182,7 @@ struct NodeContribution {
   double incoming = 0.0;
 };
 [[nodiscard]] NodeContribution node_contribution(const AsGraph& graph,
-                                                 const DestRib& rib,
+                                                 const RibView& rib,
                                                  const RoutingTree& tree, AsId n);
 
 // ---------------------------------------------------------------------------
@@ -216,7 +207,7 @@ struct NodeContribution {
 /// Appends every node of `rib.order` whose `has_secure_candidate` bit is set
 /// (the set "P" of Appendix C.4) to `out`. Used both for the base tree and
 /// for each projected flipped tree.
-void append_secure_candidates(const DestRib& rib, const RoutingTree& tree,
+void append_secure_candidates(const RibView& rib, const RoutingTree& tree,
                               std::vector<AsId>& out);
 
 /// Appends the state-sensitivity footprint of `tree` (for `rib.dest`) to
@@ -226,7 +217,7 @@ void append_secure_candidates(const DestRib& rib, const RoutingTree& tree,
 /// (they gate the destination-security rule). The caller is responsible for
 /// unioning in the secure-candidate sets of any flipped trees it evaluates,
 /// then sorting/deduplicating.
-void append_dirty_footprint(const AsGraph& graph, const DestRib& rib,
+void append_dirty_footprint(const AsGraph& graph, const RibView& rib,
                             const RoutingTree& tree, bool stub_breaks_ties,
                             std::vector<AsId>& out);
 
@@ -236,7 +227,7 @@ void append_dirty_footprint(const AsGraph& graph, const DestRib& rib,
 /// compare equal iff every consumer-visible field matches bit-for-bit; the
 /// differential checking layer uses this to detect cached-tree divergence
 /// without storing full trees.
-[[nodiscard]] std::uint64_t tree_fingerprint(const DestRib& rib,
+[[nodiscard]] std::uint64_t tree_fingerprint(const RibView& rib,
                                              const RoutingTree& tree);
 
 }  // namespace sbgp::rt

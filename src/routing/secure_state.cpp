@@ -1,0 +1,119 @@
+#include "routing/secure_state.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "routing/routing_tree.h"
+
+namespace sbgp::rt {
+
+LinkSet::LinkSet(const AsGraph& graph,
+                 const std::vector<std::vector<AsId>>& lists) {
+  const std::size_t n = graph.num_nodes();
+  assert(lists.size() == n);
+  begin_.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += lists[i].size();
+  ids_.resize(total);
+  std::uint32_t at = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    begin_[i] = at;
+    std::copy(lists[i].begin(), lists[i].end(), ids_.begin() + at);
+    const auto lo = ids_.begin() + at;
+    at += static_cast<std::uint32_t>(lists[i].size());
+    std::sort(lo, ids_.begin() + at);
+  }
+  begin_[n] = at;
+}
+
+LinkSet LinkSet::all(const AsGraph& graph) {
+  // neighbors() is the concatenation of three sorted segments, not globally
+  // sorted — re-sort per node so contains() can binary-search.
+  const std::size_t n = graph.num_nodes();
+  LinkSet out;
+  out.begin_.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (AsId i = 0; i < n; ++i) total += graph.neighbors(i).size();
+  out.ids_.resize(total);
+  std::uint32_t at = 0;
+  for (AsId i = 0; i < n; ++i) {
+    out.begin_[i] = at;
+    const auto nb = graph.neighbors(i);
+    std::copy(nb.begin(), nb.end(), out.ids_.begin() + at);
+    const auto lo = out.ids_.begin() + at;
+    at += static_cast<std::uint32_t>(nb.size());
+    std::sort(lo, out.ids_.begin() + at);
+  }
+  out.begin_[n] = at;
+  return out;
+}
+
+void SecureMask::ensure(const AsGraph& g, const LinkSet* ls, Arena& arena) {
+  const std::size_t need = (g.num_nodes() + 63) / 64;
+  if (graph != &g || words != need || secure == nullptr) {
+    secure = arena.alloc<std::uint64_t>(need);
+    secp = arena.alloc<std::uint64_t>(need);
+    words = need;
+    graph = &g;
+  }
+  links = ls;
+}
+
+void SecureMask::build(const SecurityView& view, Arena& arena) {
+  assert(view.graph != nullptr && view.base != nullptr);
+  const AsGraph& g = *view.graph;
+  ensure(g, view.enabled_links, arena);
+  const std::size_t n = g.num_nodes();
+  std::memset(secure, 0, words * sizeof(std::uint64_t));
+  std::memset(secp, 0, words * sizeof(std::uint64_t));
+  if (view.flip_on == kNoAs && view.flip_off == kNoAs &&
+      view.suppressed == nullptr) {
+    // Pure base state (the per-round case): is_secure collapses to the base
+    // flag and applies_secp to a class test.
+    for (AsId x = 0; x < n; ++x) {
+      if (view.base[x] == 0) continue;
+      set_bit(secure, x);
+      if (view.stub_breaks_ties || !g.is_stub(x)) set_bit(secp, x);
+    }
+    return;
+  }
+  for (AsId x = 0; x < n; ++x) {
+    if (!view.is_secure(x)) continue;
+    set_bit(secure, x);
+    if (view.stub_breaks_ties || !g.is_stub(x)) set_bit(secp, x);
+  }
+}
+
+void SecureMask::assign_flipped(const SecureMask& base,
+                                const SecurityView& base_view, AsId cand,
+                                bool on, Arena& arena) {
+  assert(base_view.flip_on == kNoAs && base_view.flip_off == kNoAs &&
+         base_view.suppressed == nullptr);
+  assert(base.graph == base_view.graph && base.words > 0);
+  const AsGraph& g = *base.graph;
+  ensure(g, base.links, arena);
+  std::memcpy(secure, base.secure, words * sizeof(std::uint64_t));
+  std::memcpy(secp, base.secp, words * sizeof(std::uint64_t));
+  if (!on) {
+    // flip_off: only the candidate's own bits change (its simplex stubs
+    // stay secure — signing/certification is sticky, see SecurityView).
+    clear_bit(secure, cand);
+    clear_bit(secp, cand);
+    return;
+  }
+  set_bit(secure, cand);
+  if (base_view.stub_breaks_ties || !g.is_stub(cand)) set_bit(secp, cand);
+  // Simplex upgrade: the candidate's insecure, unfrozen stub customers
+  // become secure with it (already-secure stubs keep their bits; setting
+  // them again is harmless).
+  const std::uint8_t* frozen = base_view.frozen;
+  for (const AsId cust : g.customers(cand)) {
+    if (!g.is_stub(cust)) continue;
+    if (frozen != nullptr && frozen[cust] != 0) continue;
+    set_bit(secure, cust);
+    if (base_view.stub_breaks_ties) set_bit(secp, cust);
+  }
+}
+
+}  // namespace sbgp::rt

@@ -1,0 +1,116 @@
+// Flat secure-state representations for the routing-tree hot path.
+//
+//  - LinkSet: the per-link deployment mask of Section 8.3 / Appendix J in
+//    CSR form — one sorted neighbour array with per-node offsets, probed by
+//    the shared branchless binary search (topo::sorted_contains). Replaces
+//    the nested vector<vector<AsId>> the SecurityView used to carry.
+//  - SecureMask: a word-packed bitset snapshot of a SecurityView — one
+//    `secure` bit and one `applies_secp` bit per AS. The tree scan loops are
+//    bandwidth-bound; reading one bit beats re-deriving the branchy
+//    SecurityView predicate (flip/suppression/simplex-stub checks) per node
+//    per tree. A base-state mask is built once per round and shared by every
+//    worker; each hypothetical flip is a words-memcpy plus an O(degree)
+//    patch instead of a fresh O(N) scan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "routing/arena.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::rt {
+
+using topo::AsGraph;
+using topo::AsId;
+using topo::kNoAs;
+
+struct SecurityView;  // routing_tree.h
+
+/// CSR set of enabled (signing+validating) links: node n's enabled
+/// neighbours are a sorted id range. The identity element (every link of
+/// every AS enabled) is `LinkSet::all(graph)`.
+class LinkSet {
+ public:
+  LinkSet() = default;
+
+  /// Compacts per-node neighbour lists (the builder form produced by
+  /// rt::full_link_mask and mutated by the ablation harnesses) into CSR.
+  /// Each list is sorted on the way in; `lists.size()` must equal
+  /// `graph.num_nodes()`.
+  LinkSet(const AsGraph& graph, const std::vector<std::vector<AsId>>& lists);
+
+  /// Every link of every AS enabled — straight copy of the graph adjacency.
+  [[nodiscard]] static LinkSet all(const AsGraph& graph);
+
+  [[nodiscard]] std::span<const AsId> enabled(AsId n) const {
+    return {ids_.data() + begin_[n], ids_.data() + begin_[n + 1]};
+  }
+
+  /// Did `from` enable the link to `to`? Branchless sorted-membership probe.
+  [[nodiscard]] bool contains(AsId from, AsId to) const {
+    return topo::sorted_contains(enabled(from), to);
+  }
+
+  /// Is the hop a<->b cryptographically active? Deployment entails both
+  /// signing and verification (Appendix J), so both endpoints must enable it.
+  [[nodiscard]] bool hop_enabled(AsId a, AsId b) const {
+    return contains(a, b) && contains(b, a);
+  }
+
+  [[nodiscard]] std::size_t num_nodes() const {
+    return begin_.empty() ? 0 : begin_.size() - 1;
+  }
+
+ private:
+  std::vector<AsId> ids_;
+  std::vector<std::uint32_t> begin_;
+};
+
+/// Word-packed snapshot of a SecurityView: bit x of `secure` answers
+/// view.is_secure(x), bit x of `secp` answers view.applies_secp(x), and
+/// `links` carries the per-link deployment (null = all links active). The
+/// words live in a caller-provided Arena, so rebuilding a mask in the steady
+/// state allocates nothing.
+struct SecureMask {
+  const AsGraph* graph = nullptr;
+  const LinkSet* links = nullptr;
+  std::uint64_t* secure = nullptr;
+  std::uint64_t* secp = nullptr;
+  std::size_t words = 0;
+
+  [[nodiscard]] bool is_secure(AsId x) const {
+    return (secure[x >> 6] >> (x & 63)) & 1;
+  }
+  [[nodiscard]] bool applies_secp(AsId x) const {
+    return (secp[x >> 6] >> (x & 63)) & 1;
+  }
+  [[nodiscard]] bool hop_secure(AsId a, AsId b) const {
+    return links == nullptr || links->hop_enabled(a, b);
+  }
+
+  /// Materializes `view` in full generality (flips, freezes, per-destination
+  /// suppression) — one branchy O(N) pass, the price the per-node predicate
+  /// used to pay on every tree.
+  void build(const SecurityView& view, Arena& arena);
+
+  /// Fast path for the simulator's Eq. 3 projections: `base` must be the
+  /// mask of `base_view` (no flips, no suppression). Copies the base words
+  /// and patches the single-flip delta:
+  ///  - on:  `cand` turns secure (and applies SecP per its class); its
+  ///    insecure, unfrozen stub customers are simplex-secured (Section 2.3)
+  ///    and tie-break per `stub_breaks_ties`;
+  ///  - off: `cand` turns insecure (its stubs stay simplex-secure: signing
+  ///    is sticky).
+  /// O(N/64) words + O(degree(cand)) instead of O(N) predicate calls.
+  void assign_flipped(const SecureMask& base, const SecurityView& base_view,
+                      AsId cand, bool on, Arena& arena);
+
+ private:
+  void ensure(const AsGraph& g, const LinkSet* ls, Arena& arena);
+  void set_bit(std::uint64_t* w, AsId x) { w[x >> 6] |= std::uint64_t{1} << (x & 63); }
+  void clear_bit(std::uint64_t* w, AsId x) { w[x >> 6] &= ~(std::uint64_t{1} << (x & 63)); }
+};
+
+}  // namespace sbgp::rt

@@ -28,11 +28,11 @@ AsId AsGraph::add_as(std::uint32_t asn) {
   if (finalized_) throw std::logic_error("AsGraph: add_as after finalize");
   const AsId id = static_cast<AsId>(asn_.size());
   asn_.push_back(asn);
-  customers_.emplace_back();
-  peers_.emplace_back();
-  providers_.emplace_back();
+  build_customers_.emplace_back();
+  build_peers_.emplace_back();
+  build_providers_.emplace_back();
   weight_.push_back(1.0);
-  cp_mark_.push_back(false);
+  cp_mark_.push_back(0);
   return id;
 }
 
@@ -58,51 +58,87 @@ bool AsGraph::add_edge_checked(AsId a, AsId b) {
 
 bool AsGraph::add_customer_provider(AsId provider, AsId customer) {
   if (!add_edge_checked(provider, customer)) return false;
-  customers_[provider].push_back(customer);
-  providers_[customer].push_back(provider);
+  build_customers_[provider].push_back(customer);
+  build_providers_[customer].push_back(provider);
   ++cp_edges_;
   return true;
 }
 
 bool AsGraph::add_peer(AsId a, AsId b) {
   if (!add_edge_checked(a, b)) return false;
-  peers_[a].push_back(b);
-  peers_[b].push_back(a);
+  build_peers_[a].push_back(b);
+  build_peers_[b].push_back(a);
   ++peer_edges_;
   return true;
 }
 
 void AsGraph::mark_content_provider(AsId as_id) {
   assert(as_id < asn_.size());
-  cp_mark_[as_id] = true;
+  cp_mark_[as_id] = 1;
 }
 
 void AsGraph::finalize() {
   if (finalized_) throw std::logic_error("AsGraph: finalize called twice");
-  class_.resize(asn_.size());
+  const std::size_t n = asn_.size();
+  class_.resize(n);
   n_stubs_ = n_isps_ = n_cps_ = 0;
-  for (AsId n = 0; n < asn_.size(); ++n) {
-    if (cp_mark_[n]) {
-      class_[n] = AsClass::ContentProvider;
+  for (AsId i = 0; i < n; ++i) {
+    if (cp_mark_[i] != 0) {
+      class_[i] = AsClass::ContentProvider;
       ++n_cps_;
-    } else if (customers_[n].empty()) {
-      class_[n] = AsClass::Stub;
+    } else if (build_customers_[i].empty()) {
+      class_[i] = AsClass::Stub;
       ++n_stubs_;
     } else {
-      class_[n] = AsClass::Isp;
+      class_[i] = AsClass::Isp;
       ++n_isps_;
     }
   }
-  asn_index_.reserve(asn_.size());
-  for (AsId n = 0; n < asn_.size(); ++n) asn_index_.emplace_back(asn_[n], n);
+  asn_index_.reserve(n);
+  for (AsId i = 0; i < n; ++i) asn_index_.emplace_back(asn_[i], i);
   std::sort(asn_index_.begin(), asn_index_.end());
-  // Deterministic adjacency order (insertion order may depend on generator
-  // internals); sorted neighbours make runs reproducible across platforms.
-  for (AsId n = 0; n < asn_.size(); ++n) {
-    std::sort(customers_[n].begin(), customers_[n].end());
-    std::sort(peers_[n].begin(), peers_[n].end());
-    std::sort(providers_[n].begin(), providers_[n].end());
+
+  // Compact the build-phase vectors into the finalized CSR form: one
+  // neighbour array with per-node [customers | peers | providers] segments,
+  // each sorted ascending. Sorted segments serve two masters — runs become
+  // reproducible regardless of generator insertion order, and every
+  // membership probe (link_between, the simplex-stub check, LinkSet) is a
+  // branchless binary search via sorted_contains.
+  adj_begin_.assign(n + 1, 0);
+  peer_start_.assign(n, 0);
+  prov_start_.assign(n, 0);
+  std::size_t total = 0;
+  for (AsId i = 0; i < n; ++i) {
+    total += build_customers_[i].size() + build_peers_[i].size() +
+             build_providers_[i].size();
   }
+  adj_.resize(total);
+  std::uint32_t at = 0;
+  for (AsId i = 0; i < n; ++i) {
+    adj_begin_[i] = at;
+    auto emit = [&](std::vector<AsId>& v) {
+      std::sort(v.begin(), v.end());
+      std::copy(v.begin(), v.end(), adj_.begin() + at);
+      at += static_cast<std::uint32_t>(v.size());
+    };
+    emit(build_customers_[i]);
+    peer_start_[i] = at;
+    emit(build_peers_[i]);
+    prov_start_[i] = at;
+    emit(build_providers_[i]);
+  }
+  adj_begin_[n] = at;
+  assert(at == total);
+
+  // The nested build vectors are dead weight from here on (the accessors
+  // serve spans into adj_); release ~2|E| ids plus 3N vector headers.
+  build_customers_.clear();
+  build_customers_.shrink_to_fit();
+  build_peers_.clear();
+  build_peers_.shrink_to_fit();
+  build_providers_.clear();
+  build_providers_.shrink_to_fit();
+
   finalized_ = true;
 }
 
@@ -114,12 +150,18 @@ AsId AsGraph::find_asn(std::uint32_t asn) const {
 }
 
 bool AsGraph::link_between(AsId a, AsId b, Link& out) const {
+  if (finalized_) {
+    if (sorted_contains(customers(a), b)) { out = Link::Customer; return true; }
+    if (sorted_contains(peers(a), b)) { out = Link::Peer; return true; }
+    if (sorted_contains(providers(a), b)) { out = Link::Provider; return true; }
+    return false;
+  }
   auto contains = [](const std::vector<AsId>& v, AsId x) {
     return std::find(v.begin(), v.end(), x) != v.end();
   };
-  if (contains(customers_[a], b)) { out = Link::Customer; return true; }
-  if (contains(peers_[a], b)) { out = Link::Peer; return true; }
-  if (contains(providers_[a], b)) { out = Link::Provider; return true; }
+  if (contains(build_customers_[a], b)) { out = Link::Customer; return true; }
+  if (contains(build_peers_[a], b)) { out = Link::Peer; return true; }
+  if (contains(build_providers_[a], b)) { out = Link::Provider; return true; }
   return false;
 }
 
@@ -139,7 +181,7 @@ std::vector<std::string> AsGraph::validate(bool allow_isolated) const {
   // over provider->customer edges.
   std::vector<std::uint32_t> in_deg(num_nodes(), 0);  // number of providers
   for (AsId n = 0; n < num_nodes(); ++n) {
-    in_deg[n] = static_cast<std::uint32_t>(providers_[n].size());
+    in_deg[n] = static_cast<std::uint32_t>(providers(n).size());
   }
   std::vector<AsId> queue;
   for (AsId n = 0; n < num_nodes(); ++n) {
@@ -150,7 +192,7 @@ std::vector<std::string> AsGraph::validate(bool allow_isolated) const {
     const AsId n = queue.back();
     queue.pop_back();
     ++visited;
-    for (AsId c : customers_[n]) {
+    for (AsId c : customers(n)) {
       if (--in_deg[c] == 0) queue.push_back(c);
     }
   }
@@ -159,14 +201,14 @@ std::vector<std::string> AsGraph::validate(bool allow_isolated) const {
   }
   // Symmetry of adjacency.
   for (AsId n = 0; n < num_nodes(); ++n) {
-    for (AsId c : customers_[n]) {
-      if (!std::binary_search(providers_[c].begin(), providers_[c].end(), n)) {
+    for (AsId c : customers(n)) {
+      if (!sorted_contains(providers(c), n)) {
         problems.emplace_back("asymmetric customer-provider edge at AS " +
                               std::to_string(asn_[n]));
       }
     }
-    for (AsId p : peers_[n]) {
-      if (!std::binary_search(peers_[p].begin(), peers_[p].end(), n)) {
+    for (AsId p : peers(n)) {
+      if (!sorted_contains(peers(p), n)) {
         problems.emplace_back("asymmetric peer edge at AS " + std::to_string(asn_[n]));
       }
     }
@@ -180,23 +222,23 @@ std::vector<std::string> AsGraph::validate(bool allow_isolated) const {
 std::vector<AsId> AsGraph::tier_ones() const {
   std::vector<AsId> out;
   for (AsId n = 0; n < num_nodes(); ++n) {
-    if (providers_[n].empty() && !customers_[n].empty()) out.push_back(n);
+    if (providers(n).empty() && !customers(n).empty()) out.push_back(n);
   }
   return out;
 }
 
 std::size_t AsGraph::customer_cone_size(AsId n) const {
-  std::vector<bool> seen(num_nodes(), false);
+  std::vector<std::uint8_t> seen(num_nodes(), 0);
   std::vector<AsId> stack{n};
-  seen[n] = true;
+  seen[n] = 1;
   std::size_t count = 0;
   while (!stack.empty()) {
     const AsId x = stack.back();
     stack.pop_back();
     ++count;
-    for (AsId c : customers_[x]) {
-      if (!seen[c]) {
-        seen[c] = true;
+    for (AsId c : customers(x)) {
+      if (seen[c] == 0) {
+        seen[c] = 1;
         stack.push_back(c);
       }
     }

@@ -42,10 +42,35 @@ enum class AsClass : std::uint8_t { Stub = 0, Isp = 1, ContentProvider = 2 };
 [[nodiscard]] const char* to_string(AsClass c);
 [[nodiscard]] const char* to_string(Link l);
 
+/// Membership test on a sorted id span — the one shared binary search used
+/// by every sorted-adjacency lookup (link_between, the SecurityView simplex
+/// check, LinkSet::contains, ...). Branchless: the halving step updates the
+/// base pointer with a conditional move instead of branching, so the scan
+/// loops that call this per candidate never pay a misprediction.
+[[nodiscard]] inline bool sorted_contains(std::span<const AsId> v, AsId x) {
+  const AsId* base = v.data();
+  std::size_t len = v.size();
+  if (len == 0) return false;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    base += (base[half - 1] < x) ? half : 0;
+    len -= half;
+  }
+  return *base == x;
+}
+
 /// Mutable AS-level topology. Construction: `add_as` for every node, then
 /// `add_customer_provider` / `add_peer` edges, then `finalize()` (which
 /// classifies nodes and freezes adjacency order). Accessors require a
 /// finalized graph.
+///
+/// Storage: during construction edges live in per-node vectors; finalize()
+/// compacts them into one CSR `adj_` array holding every node's neighbours
+/// as contiguous sorted [customers | peers | providers] segments and drops
+/// the build-time vectors. The adjacency accessors are spans into that
+/// single array, so a whole-graph scan (the RIB BFS phases, the routing-tree
+/// candidate walks) streams one allocation instead of pointer-chasing
+/// 3·N heap vectors.
 class AsGraph {
  public:
   AsGraph() = default;
@@ -68,8 +93,16 @@ class AsGraph {
   /// Marks `as_id` as a content provider (affects classification).
   void mark_content_provider(AsId as_id);
 
-  /// Classifies every AS and freezes the graph. Must be called exactly once
-  /// after construction; edge insertion afterwards is rejected.
+  /// Was `as_id` explicitly marked as a content provider? Valid both before
+  /// and after finalize() (post-finalize, cls() is the classification that
+  /// resulted).
+  [[nodiscard]] bool content_provider_marked(AsId as_id) const {
+    return cp_mark_[as_id] != 0;
+  }
+
+  /// Classifies every AS, builds the CSR adjacency and freezes the graph.
+  /// Must be called exactly once after construction; edge insertion
+  /// afterwards is rejected.
   void finalize();
 
   [[nodiscard]] bool finalized() const { return finalized_; }
@@ -84,14 +117,32 @@ class AsGraph {
   /// Dense id for an external AS number, or kNoAs if unknown. O(log n).
   [[nodiscard]] AsId find_asn(std::uint32_t asn) const;
 
-  /// Adjacency by relationship, from n's point of view.
-  [[nodiscard]] std::span<const AsId> customers(AsId n) const { return customers_[n]; }
-  [[nodiscard]] std::span<const AsId> peers(AsId n) const { return peers_[n]; }
-  [[nodiscard]] std::span<const AsId> providers(AsId n) const { return providers_[n]; }
+  /// Adjacency by relationship, from n's point of view. Post-finalize these
+  /// are sorted spans into the CSR segment [customers | peers | providers];
+  /// pre-finalize they view the build vectors in insertion order (some
+  /// gadget constructions inspect partial adjacency while still wiring).
+  [[nodiscard]] std::span<const AsId> customers(AsId n) const {
+    if (!finalized_) return build_customers_[n];
+    return {adj_.data() + adj_begin_[n], adj_.data() + peer_start_[n]};
+  }
+  [[nodiscard]] std::span<const AsId> peers(AsId n) const {
+    if (!finalized_) return build_peers_[n];
+    return {adj_.data() + peer_start_[n], adj_.data() + prov_start_[n]};
+  }
+  [[nodiscard]] std::span<const AsId> providers(AsId n) const {
+    if (!finalized_) return build_providers_[n];
+    return {adj_.data() + prov_start_[n], adj_.data() + adj_begin_[n + 1]};
+  }
+  /// All neighbours of n in one span (customers, then peers, then providers).
+  [[nodiscard]] std::span<const AsId> neighbors(AsId n) const {
+    return {adj_.data() + adj_begin_[n], adj_.data() + adj_begin_[n + 1]};
+  }
 
-  /// Total degree (customers + peers + providers).
+  /// Total degree (customers + peers + providers). Valid in both phases.
   [[nodiscard]] std::size_t degree(AsId n) const {
-    return customers_[n].size() + peers_[n].size() + providers_[n].size();
+    if (finalized_) return adj_begin_[n + 1] - adj_begin_[n];
+    return build_customers_[n].size() + build_peers_[n].size() +
+           build_providers_[n].size();
   }
 
   /// Relationship of `b` to `a`, or nothing if not adjacent.
@@ -132,12 +183,24 @@ class AsGraph {
   bool add_edge_checked(AsId a, AsId b);
 
   std::vector<std::uint32_t> asn_;
-  std::vector<std::vector<AsId>> customers_;
-  std::vector<std::vector<AsId>> peers_;
-  std::vector<std::vector<AsId>> providers_;
+  // Build-phase adjacency; compacted into adj_ and released by finalize().
+  std::vector<std::vector<AsId>> build_customers_;
+  std::vector<std::vector<AsId>> build_peers_;
+  std::vector<std::vector<AsId>> build_providers_;
+  // Finalized CSR adjacency: node n's neighbours are
+  // adj_[adj_begin_[n] .. adj_begin_[n+1]), segmented as
+  // [customers: adj_begin_[n]..peer_start_[n]) [peers: ..prov_start_[n])
+  // [providers: ..adj_begin_[n+1]), each segment sorted ascending.
+  std::vector<AsId> adj_;
+  std::vector<std::uint32_t> adj_begin_;   // size N+1
+  std::vector<std::uint32_t> peer_start_;  // size N
+  std::vector<std::uint32_t> prov_start_;  // size N
   std::vector<AsClass> class_;
   std::vector<double> weight_;
-  std::vector<bool> cp_mark_;
+  // Plain bytes, not std::vector<bool>: the bit-proxy reference made every
+  // classification loop read-modify-write shared words and gave accessors
+  // an awkward proxy type.
+  std::vector<std::uint8_t> cp_mark_;
   // Sorted (asn, id) index built at finalize() for find_asn.
   std::vector<std::pair<std::uint32_t, AsId>> asn_index_;
   std::size_t cp_edges_ = 0;

@@ -9,17 +9,17 @@
 namespace sbgp::core {
 namespace {
 
-std::vector<std::vector<topo::AsId>> mask_without(
-    const topo::AsGraph& g, topo::AsId node, topo::AsId neighbor) {
+rt::LinkSet mask_without(const topo::AsGraph& g, topo::AsId node,
+                         topo::AsId neighbor) {
   auto mask = rt::full_link_mask(g);
   auto& v = mask[node];
   v.erase(std::remove(v.begin(), v.end(), neighbor), v.end());
-  return mask;
+  return rt::LinkSet(g, mask);
 }
 
 TEST(PerLink, HopSecureRequiresBothEndpoints) {
   const auto d = test::make_diamond();
-  const auto full = rt::full_link_mask(d.g);
+  const auto full = rt::LinkSet::all(d.g);
   rt::SecurityView view;
   view.enabled_links = &full;
   EXPECT_TRUE(view.hop_secure(d.e, d.a));
@@ -40,7 +40,7 @@ TEST(PerLink, FullMaskMatchesNodeLevelSemantics) {
   cfg.threads = 1;
   par::ThreadPool pool(1);
   const auto plain = compute_utilities(net.graph, state.flags(), cfg, pool);
-  const auto full = rt::full_link_mask(net.graph);
+  const auto full = rt::LinkSet::all(net.graph);
   const auto masked = compute_utilities(net.graph, state.flags(), cfg, pool, &full);
   for (topo::AsId n = 0; n < net.graph.num_nodes(); ++n) {
     EXPECT_DOUBLE_EQ(plain.outgoing[n], masked.outgoing[n]);
@@ -59,7 +59,7 @@ TEST(PerLink, DilemmaTradesOneFlowForTheOther) {
   par::ThreadPool pool(1);
 
   const auto x = g.node("x");
-  const auto full = rt::full_link_mask(g.graph);
+  const auto full = rt::LinkSet::all(g.graph);
   const auto disabled = mask_without(g.graph, x, g.node("2"));
 
   const auto u_on = compute_utilities(g.graph, g.initial.flags(), cfg, pool, &full);
@@ -75,8 +75,7 @@ TEST(PerLink, DilemmaTradesOneFlowForTheOther) {
   rt::SecurityView view;
   view.graph = &g.graph;
   view.base = g.initial.flags().data();
-  auto contribution = [&](topo::AsId dest,
-                          const std::vector<std::vector<topo::AsId>>& mask) {
+  auto contribution = [&](topo::AsId dest, const rt::LinkSet& mask) {
     view.enabled_links = &mask;
     const auto rib = rc.compute(dest);
     tc.compute(rib, view, tb, tree);
@@ -104,7 +103,7 @@ TEST(PerLink, DilemmaDirectionFollowsTheWeights) {
   g.configure(cfg);
   par::ThreadPool pool(1);
   const auto x = g.node("x");
-  const auto full = rt::full_link_mask(g.graph);
+  const auto full = rt::LinkSet::all(g.graph);
   const auto disabled = mask_without(g.graph, x, g.node("2"));
   const auto u_on = compute_utilities(g.graph, g.initial.flags(), cfg, pool, &full);
   const auto u_off =
@@ -122,7 +121,8 @@ TEST_P(PerLinkOutgoingMonotone, FullMaskIsOptimal) {
   SimConfig cfg;
   cfg.threads = 1;
   par::ThreadPool pool(1);
-  const auto full = rt::full_link_mask(net.graph);
+  const auto full_lists = rt::full_link_mask(net.graph);
+  const rt::LinkSet full(net.graph, full_lists);
   const auto best = compute_utilities(net.graph, state.flags(), cfg, pool, &full);
 
   std::mt19937_64 rng(GetParam() * 13 + 1);
@@ -131,11 +131,11 @@ TEST_P(PerLinkOutgoingMonotone, FullMaskIsOptimal) {
   for (topo::AsId n = 0; n < net.graph.num_nodes() && checked < 5; ++n) {
     if (!net.graph.is_isp(n) || !state.is_secure(n)) continue;
     ++checked;
-    auto mask = full;
-    auto& v = mask[n];
+    auto lists = full_lists;
+    auto& v = lists[n];
     std::shuffle(v.begin(), v.end(), rng);
     v.resize(v.size() / 2);
-    std::sort(v.begin(), v.end());
+    const rt::LinkSet mask(net.graph, lists);
     const auto sub = compute_utilities(net.graph, state.flags(), cfg, pool, &mask);
     EXPECT_LE(sub.outgoing[n], best.outgoing[n] + 1e-9)
         << "AS " << net.graph.asn(n) << " gained by disabling links";

@@ -1,0 +1,458 @@
+// PR-7 kernel coverage: CSR adjacency equivalence on topo::AsGraph, the
+// arena/bitset/slab routing-layer primitives (rt::Arena, rt::LinkSet,
+// rt::SecureMask, rt::RibStore), the steady-state zero-allocation property
+// (asserted through the obs:: arena counters, not trusted), and a
+// full-Internet-scale (36,964-AS, the paper's measured topology size)
+// generation + RIB + routing-tree smoke.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "obs/metrics.h"
+#include "routing/arena.h"
+#include "routing/rib.h"
+#include "routing/rib_store.h"
+#include "routing/routing_tree.h"
+#include "routing/secure_state.h"
+#include "test_util.h"
+#include "topology/topology_gen.h"
+
+namespace sbgp {
+namespace {
+
+using topo::AsGraph;
+using topo::AsId;
+using topo::kNoAs;
+
+/// A random multi-tier graph built edge by edge, returned together with the
+/// adjacency snapshot taken BEFORE finalize() — i.e. the nested-vector
+/// build-side truth the CSR form must reproduce exactly.
+struct SnapshottedGraph {
+  AsGraph g;
+  std::vector<std::vector<AsId>> customers, peers, providers;
+};
+
+SnapshottedGraph random_snapshotted_graph(std::uint64_t seed,
+                                          std::size_t nodes) {
+  SnapshottedGraph out;
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    out.g.add_as(static_cast<std::uint32_t>(1000 + i * 7 % (nodes * 13)));
+  }
+  // Provider edges only point "upward" (j provides i for j < i): acyclic by
+  // construction, like the generator's tiered topology.
+  std::uniform_int_distribution<std::size_t> deg(1, 3);
+  for (AsId i = 1; i < nodes; ++i) {
+    const std::size_t k = deg(rng);
+    for (std::size_t e = 0; e < k; ++e) {
+      const AsId p = static_cast<AsId>(rng() % i);
+      out.g.add_customer_provider(i, p);
+    }
+  }
+  for (std::size_t e = 0; e < nodes; ++e) {
+    const AsId a = static_cast<AsId>(rng() % nodes);
+    const AsId b = static_cast<AsId>(rng() % nodes);
+    if (a != b) out.g.add_peer(a, b);
+  }
+  out.customers.resize(nodes);
+  out.peers.resize(nodes);
+  out.providers.resize(nodes);
+  for (AsId n = 0; n < nodes; ++n) {
+    const auto snap = [](auto span, std::vector<AsId>& dst) {
+      dst.assign(span.begin(), span.end());
+      std::sort(dst.begin(), dst.end());  // CSR segments are sorted
+    };
+    snap(out.g.customers(n), out.customers[n]);
+    snap(out.g.peers(n), out.peers[n]);
+    snap(out.g.providers(n), out.providers[n]);
+  }
+  out.g.finalize();
+  return out;
+}
+
+TEST(CsrAdjacency, MatchesNestedBuildAcrossRandomGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 17ull, 99ull}) {
+    const auto sg = random_snapshotted_graph(seed, 120 + seed * 31);
+    ASSERT_TRUE(sg.g.finalized());
+    for (AsId n = 0; n < sg.g.num_nodes(); ++n) {
+      const auto eq = [&](auto span, const std::vector<AsId>& want) {
+        ASSERT_EQ(span.size(), want.size()) << "node " << n << " seed " << seed;
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(span[i], want[i]) << "node " << n << " seed " << seed;
+        }
+      };
+      eq(sg.g.customers(n), sg.customers[n]);
+      eq(sg.g.peers(n), sg.peers[n]);
+      eq(sg.g.providers(n), sg.providers[n]);
+      // The concatenated neighbors() view is exactly the three segments.
+      const auto nb = sg.g.neighbors(n);
+      ASSERT_EQ(nb.size(), sg.customers[n].size() + sg.peers[n].size() +
+                               sg.providers[n].size());
+      std::size_t at = 0;
+      for (const auto* seg : {&sg.customers[n], &sg.peers[n], &sg.providers[n]}) {
+        for (const AsId x : *seg) ASSERT_EQ(nb[at++], x);
+      }
+    }
+  }
+}
+
+TEST(CsrAdjacency, HandBuiltDiamondSegmentsAndMembership) {
+  // e provides a, b and its own stub x; a and b both provide s.
+  const auto d = test::make_diamond();
+  EXPECT_EQ(d.g.providers(d.e).size(), 0u);
+  ASSERT_EQ(d.g.customers(d.e).size(), 3u);
+  // Segment contents are sorted node ids, not insertion order.
+  EXPECT_TRUE(std::is_sorted(d.g.customers(d.e).begin(),
+                             d.g.customers(d.e).end()));
+  EXPECT_TRUE(topo::sorted_contains(d.g.customers(d.e), d.a));
+  EXPECT_TRUE(topo::sorted_contains(d.g.customers(d.e), d.b));
+  EXPECT_TRUE(topo::sorted_contains(d.g.customers(d.e), d.x));
+  EXPECT_FALSE(topo::sorted_contains(d.g.customers(d.e), d.s));
+  topo::Link link;
+  EXPECT_TRUE(d.g.link_between(d.a, d.s, link));
+  EXPECT_FALSE(d.g.link_between(d.a, d.b, link));
+}
+
+TEST(CsrAdjacency, GeneratedInternetIsCrossConsistent) {
+  const auto net = test::small_internet(400, 11);
+  const auto& g = net.graph;
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    ASSERT_TRUE(std::is_sorted(g.customers(n).begin(), g.customers(n).end()));
+    ASSERT_TRUE(std::is_sorted(g.peers(n).begin(), g.peers(n).end()));
+    ASSERT_TRUE(std::is_sorted(g.providers(n).begin(), g.providers(n).end()));
+    for (const AsId c : g.customers(n)) {
+      ASSERT_TRUE(topo::sorted_contains(g.providers(c), n));
+    }
+    for (const AsId p : g.peers(n)) {
+      ASSERT_TRUE(topo::sorted_contains(g.peers(p), n));
+    }
+  }
+}
+
+TEST(SortedContains, AgreesWithLinearScanOnRandomSets) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<AsId> v(rng() % 17);
+    for (auto& x : v) x = static_cast<AsId>(rng() % 50);
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    for (AsId probe = 0; probe < 50; ++probe) {
+      const bool want = std::find(v.begin(), v.end(), probe) != v.end();
+      EXPECT_EQ(topo::sorted_contains(std::span<const AsId>(v), probe), want);
+    }
+  }
+}
+
+TEST(Arena, SteadyStateReusesBlocksWithoutUpstreamAllocation) {
+  rt::Arena arena(1 << 12);
+  auto& blocks_ctr = obs::Registry::global().counter("rt.arena.blocks");
+  // Warm-up: force a few blocks into existence.
+  for (int i = 0; i < 4; ++i) (void)arena.alloc<std::uint64_t>(1000);
+  const std::size_t warm_blocks = arena.upstream_allocations();
+  const std::uint64_t warm_ctr = blocks_ctr.value();
+  ASSERT_GE(warm_blocks, 1u);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    arena.reset();
+    for (int i = 0; i < 4; ++i) {
+      auto* p = arena.alloc<std::uint64_t>(1000);
+      p[0] = cycle;  // memory must be writable and stable
+      ASSERT_EQ(p[0], static_cast<std::uint64_t>(cycle));
+    }
+  }
+  EXPECT_EQ(arena.upstream_allocations(), warm_blocks)
+      << "reset+realloc of the same shape must not touch the heap";
+  EXPECT_EQ(blocks_ctr.value(), warm_ctr)
+      << "obs counter must agree with the arena's own accounting";
+}
+
+TEST(Arena, HonoursAlignmentAndOversizedRequests) {
+  rt::Arena arena(64);
+  auto* a = arena.alloc<std::uint8_t>(3);
+  auto* b = arena.alloc<std::uint64_t>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::uint64_t), 0u);
+  a[0] = 1;
+  b[0] = 2;
+  // A request larger than any existing block gets a dedicated one.
+  auto* big = arena.alloc<std::uint64_t>(1 << 16);
+  big[0] = 3;
+  big[(1 << 16) - 1] = 4;
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 2u);
+}
+
+TEST(LinkSet, MatchesNestedListsAndRequiresMutualEnable) {
+  const auto net = test::small_internet(150, 3);
+  auto lists = rt::full_link_mask(net.graph);
+  std::mt19937_64 rng(9);
+  // Drop a random half of a few nodes' links.
+  for (int k = 0; k < 10; ++k) {
+    auto& v = lists[rng() % lists.size()];
+    std::shuffle(v.begin(), v.end(), rng);
+    v.resize(v.size() / 2);
+  }
+  const rt::LinkSet set(net.graph, lists);
+  for (auto& v : lists) std::sort(v.begin(), v.end());
+  for (AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    const auto en = set.enabled(n);
+    ASSERT_EQ(std::vector<AsId>(en.begin(), en.end()), lists[n]);
+    for (const AsId m : net.graph.neighbors(n)) {
+      const bool fwd = std::binary_search(lists[n].begin(), lists[n].end(), m);
+      const bool rev = std::binary_search(lists[m].begin(), lists[m].end(), n);
+      EXPECT_EQ(set.contains(n, m), fwd);
+      EXPECT_EQ(set.hop_enabled(n, m), fwd && rev);
+      EXPECT_EQ(set.hop_enabled(m, n), fwd && rev) << "symmetry";
+    }
+  }
+  // The identity element enables every hop of the graph.
+  const auto all = rt::LinkSet::all(net.graph);
+  for (AsId n = 0; n < net.graph.num_nodes(); ++n) {
+    for (const AsId m : net.graph.neighbors(n)) {
+      EXPECT_TRUE(all.hop_enabled(n, m));
+    }
+  }
+}
+
+/// Randomized SecurityView configurations (frozen, suppression, per-link,
+/// both tie-break regimes): the word-packed mask must answer is_secure /
+/// applies_secp exactly as the branchy predicate does.
+TEST(SecureMask, BuildMatchesViewPredicatesAcrossRandomViews) {
+  const auto net = test::small_internet(250, 21);
+  const auto& g = net.graph;
+  const std::size_t n = g.num_nodes();
+  std::mt19937_64 rng(77);
+  rt::Arena arena;
+  rt::SecureMask mask;
+  const auto links = rt::LinkSet::all(g);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint8_t> base(n, 0), frozen(n, 0), suppressed(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      base[i] = rng() % 3 == 0;
+      frozen[i] = rng() % 7 == 0;
+      suppressed[i] = rng() % 11 == 0;
+    }
+    rt::SecurityView view;
+    view.graph = &g;
+    view.base = base.data();
+    view.stub_breaks_ties = trial % 2 == 0;
+    if (trial % 3 == 0) view.frozen = frozen.data();
+    if (trial % 4 == 0) {
+      view.suppressed = suppressed.data();
+      view.unsuppress = static_cast<AsId>(rng() % n);
+    }
+    if (trial % 5 == 0) view.enabled_links = &links;
+    if (trial % 6 == 0) view.flip_on = static_cast<AsId>(rng() % n);
+    if (trial % 7 == 0) view.flip_off = static_cast<AsId>(rng() % n);
+    mask.build(view, arena);
+    for (AsId x = 0; x < n; ++x) {
+      ASSERT_EQ(mask.is_secure(x), view.is_secure(x))
+          << "trial " << trial << " node " << x;
+      ASSERT_EQ(mask.applies_secp(x), view.applies_secp(x))
+          << "trial " << trial << " node " << x;
+    }
+  }
+}
+
+/// assign_flipped (memcpy + O(degree) patch) must equal a full build of the
+/// flipped view — for both flip directions, both tie-break regimes, with
+/// and without freezes. This is the projection fast path of Eq. 3.
+TEST(SecureMask, AssignFlippedMatchesFullBuild) {
+  const auto net = test::small_internet(250, 33);
+  const auto& g = net.graph;
+  const std::size_t n = g.num_nodes();
+  std::mt19937_64 rng(13);
+  rt::Arena base_arena, flip_arena, ref_arena;
+  rt::SecureMask base_mask, flip_mask, ref_mask;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint8_t> base(n, 0), frozen(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      base[i] = rng() % 3 == 0;
+      frozen[i] = rng() % 6 == 0;
+    }
+    rt::SecurityView view;
+    view.graph = &g;
+    view.base = base.data();
+    view.stub_breaks_ties = trial % 2 == 0;
+    if (trial % 3 == 0) view.frozen = frozen.data();
+    base_mask.build(view, base_arena);
+
+    // Candidates are ISPs, as in the simulator's affected lists.
+    AsId cand = kNoAs;
+    for (int probe = 0; probe < 1000 && cand == kNoAs; ++probe) {
+      const AsId c = static_cast<AsId>(rng() % n);
+      if (g.is_isp(c)) cand = c;
+    }
+    ASSERT_NE(cand, kNoAs);
+    const bool on = base[cand] == 0;
+
+    flip_mask.assign_flipped(base_mask, view, cand, on, flip_arena);
+    rt::SecurityView flipped = view;
+    (on ? flipped.flip_on : flipped.flip_off) = cand;
+    ref_mask.build(flipped, ref_arena);
+    for (AsId x = 0; x < n; ++x) {
+      ASSERT_EQ(flip_mask.is_secure(x), ref_mask.is_secure(x))
+          << "trial " << trial << " cand " << cand << " on " << on
+          << " node " << x;
+      ASSERT_EQ(flip_mask.applies_secp(x), ref_mask.applies_secp(x))
+          << "trial " << trial << " cand " << cand << " on " << on
+          << " node " << x;
+    }
+  }
+}
+
+TEST(RibStore, ViewsReproduceTheSourceRibsExactly) {
+  const auto net = test::small_internet(200, 5);
+  const auto& g = net.graph;
+  rt::RibComputer rc(g);
+  rt::TieBreakPolicy tb;
+  rt::RibStore store(g);
+  std::vector<rt::DestRib> ribs(g.num_nodes());
+  for (AsId d = 0; d < g.num_nodes(); ++d) {
+    EXPECT_FALSE(store.ready(d));
+    rc.compute(d, ribs[d]);
+    rt::sort_tiebreaks(g, tb, ribs[d]);
+    store.put(d, ribs[d]);
+    EXPECT_TRUE(store.ready(d));
+  }
+  EXPECT_GT(store.bytes_reserved(), 0u);
+  for (AsId d = 0; d < g.num_nodes(); ++d) {
+    const rt::RibView v = store.view(d);
+    const rt::DestRib& r = ribs[d];
+    ASSERT_EQ(v.dest, d);
+    ASSERT_TRUE(v.tb_sorted);
+    ASSERT_EQ(std::vector<rt::RouteClass>(v.cls.begin(), v.cls.end()), r.cls);
+    ASSERT_EQ(std::vector<std::uint16_t>(v.len.begin(), v.len.end()), r.len);
+    ASSERT_EQ(std::vector<std::uint32_t>(v.tb_begin.begin(), v.tb_begin.end()),
+              r.tb_begin);
+    ASSERT_EQ(std::vector<AsId>(v.tb.begin(), v.tb.end()), r.tb);
+    ASSERT_EQ(std::vector<AsId>(v.order.begin(), v.order.end()), r.order);
+  }
+}
+
+/// Store-backed sorted RIB + shared mask (the steady-state engine path) must
+/// produce trees identical to the legacy SecurityView path on unsorted RIBs
+/// (which re-hashes every candidate): the positional and hashing selection
+/// rules are the same argmin.
+TEST(RibStore, SortedPositionalPathMatchesHashingPath) {
+  const auto net = test::small_internet(200, 5);
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, 0.35, 4);
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::TieBreakPolicy tb;
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = state.flags().data();
+  rt::Arena arena;
+  rt::SecureMask mask;
+  mask.build(view, arena);
+  rt::RibStore store(g);
+  rt::DestRib rib;
+  rt::RoutingTree fast, slow;
+  for (AsId d = 0; d < g.num_nodes(); ++d) {
+    rc.compute(d, rib);
+    {
+      rt::DestRib sorted = rib;
+      rt::sort_tiebreaks(g, tb, sorted);
+      store.put(d, sorted);
+    }
+    tc.compute(store.view(d), mask, tb, fast);
+    tc.compute(rib, view, tb, slow);  // unsorted: hashing selection
+    ASSERT_EQ(rt::tree_fingerprint(store.view(d), fast),
+              rt::tree_fingerprint(rib, slow))
+        << "dest " << d;
+    for (const AsId i : rib.order) {
+      ASSERT_EQ(fast.next_hop[i], slow.next_hop[i]) << "dest " << d;
+      ASSERT_EQ(fast.path_secure[i], slow.path_secure[i]) << "dest " << d;
+    }
+  }
+}
+
+/// The acceptance-criterion probe: once warm, computing more trees (base and
+/// flipped masks alike) performs zero upstream allocations, verified via the
+/// obs:: arena counters rather than trusted.
+TEST(RoutingKernel, SteadyStateTreesAllocateNothing) {
+  const auto net = test::small_internet(300, 8);
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, 0.3, 2);
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::TieBreakPolicy tb;
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = state.flags().data();
+  rt::Arena arena;
+  rt::SecureMask base_mask, flip_mask;
+  base_mask.build(view, arena);
+  rt::DestRib rib;
+  rt::RoutingTree tree;
+  rc.compute(0, rib);
+  rt::sort_tiebreaks(g, tb, rib);
+  const rt::RibView rv(rib);
+  AsId isp = kNoAs;
+  for (AsId x = 0; x < g.num_nodes() && isp == kNoAs; ++x) {
+    if (g.is_isp(x) && state.flags()[x] == 0) isp = x;
+  }
+  ASSERT_NE(isp, kNoAs);
+  // Warm-up: every arena involved reaches its steady shape.
+  tc.compute(rv, base_mask, tb, tree);
+  flip_mask.assign_flipped(base_mask, view, isp, true, arena);
+  tc.compute(rv, flip_mask, tb, tree);
+
+  auto& blocks_ctr = obs::Registry::global().counter("rt.arena.blocks");
+  auto& bytes_ctr = obs::Registry::global().counter("rt.arena.bytes");
+  const std::uint64_t blocks0 = blocks_ctr.value();
+  const std::uint64_t bytes0 = bytes_ctr.value();
+  const std::size_t upstream0 = arena.upstream_allocations();
+  for (int i = 0; i < 200; ++i) {
+    base_mask.build(view, arena);
+    tc.compute(rv, base_mask, tb, tree);
+    flip_mask.assign_flipped(base_mask, view, isp, i % 2 == 0, arena);
+    tc.compute(rv, flip_mask, tb, tree);
+  }
+  EXPECT_EQ(blocks_ctr.value(), blocks0);
+  EXPECT_EQ(bytes_ctr.value(), bytes0);
+  EXPECT_EQ(arena.upstream_allocations(), upstream0);
+}
+
+/// Full-Internet-scale smoke, tier-1 sized: generate the paper's |V| =
+/// 36,964 topology, compute one destination RIB and one routing tree. The
+/// point is that the flat layouts make this a seconds-not-minutes
+/// operation on one box (the full cascade budget lives in EXPERIMENTS.md).
+TEST(RoutingKernel, FullInternetScaleSmoke36K) {
+  topo::InternetConfig cfg;
+  cfg.total_ases = 36964;
+  cfg.seed = 42;
+  auto net = topo::generate_internet(cfg);
+  topo::apply_traffic_model(net.graph, net.cps, 0.10);
+  ASSERT_EQ(net.graph.num_nodes(), 36964u);
+  ASSERT_TRUE(net.graph.finalized());
+
+  rt::RibComputer rc(net.graph);
+  rt::TreeComputer tc(net.graph);
+  rt::TieBreakPolicy tb;
+  rt::DestRib rib;
+  rc.compute(net.cps.empty() ? 0 : net.cps.front(), rib);
+  rt::sort_tiebreaks(net.graph, tb, rib);
+  ASSERT_GT(rib.order.size(), 30000u) << "the graph must be well connected";
+
+  std::vector<std::uint8_t> secure(net.graph.num_nodes(), 0);
+  for (AsId n = 0; n < net.graph.num_nodes(); n += 3) secure[n] = 1;
+  rt::SecurityView view;
+  view.graph = &net.graph;
+  view.base = secure.data();
+  rt::Arena arena;
+  rt::SecureMask mask;
+  mask.build(view, arena);
+  rt::RoutingTree tree;
+  tc.compute(rt::RibView(rib), mask, tb, tree);
+  double total = 0.0;
+  for (const AsId i : rib.order) {
+    if (tree.next_hop[i] == topo::kNoAs && i != rib.dest) continue;
+    total += net.graph.weight(i);
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace sbgp

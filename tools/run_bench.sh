@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Perf-trajectory tracking: builds the benchmark targets in Release mode and
+# refreshes the committed BENCH_*.json records at the repo root —
+# google-benchmark JSON for the routing kernel plus the table-harness
+# --json-out flow for the incremental round engine. Run before cutting a
+# perf-sensitive PR and commit the refreshed JSON so kernel timings stay
+# reviewable across PRs.
+#
+#   tools/run_bench.sh [extra google-benchmark flags...]
+#
+# e.g. `tools/run_bench.sh --benchmark_filter=BM_FastRoutingTree` for a
+# quick kernel-only refresh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j --target bench_perf_routing_kernel \
+    bench_perf_incremental_rounds
+
+./build-release/bench/bench_perf_routing_kernel \
+    --benchmark_out=BENCH_routing_kernel.json \
+    --benchmark_out_format=json "$@"
+echo "wrote BENCH_routing_kernel.json"
+
+# The incremental-engine bench gates on its own >=2x speedup; record the
+# numbers either way (the JSON is the trend record, the exit code is CI's).
+./build-release/bench/bench_perf_incremental_rounds \
+    --json-out BENCH_incremental_rounds.json > /dev/null \
+    || echo "note: bench_perf_incremental_rounds exited non-zero (speedup gate)"
+echo "wrote BENCH_incremental_rounds.json"

@@ -12,10 +12,21 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 # Second pass: the test suite under AddressSanitizer + UBSan (separate build
-# tree; only the test target is built to keep the pass tier-1 sized).
+# tree; only the test target is built to keep the pass tier-1 sized). The
+# arena/bitset routing scratch and the slab RIB store are exactly the kind
+# of hand-managed memory this pass exists to police.
 cmake -B build-asan -S . -DSBGPSIM_SANITIZE=address,undefined
 cmake --build build-asan -j --target sbgp_tests
 (cd build-asan && ctest --output-on-failure -j)
+
+# Kernel perf smoke (Release): a build-only check cannot catch routing-kernel
+# regressions, so run one short google-benchmark pass of the steady-state
+# per-tree kernel at 10K nodes. Timing output is informational here; gating
+# thresholds live in tools/run_bench.sh's committed BENCH_*.json flow.
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j --target bench_perf_routing_kernel
+./build-release/bench/bench_perf_routing_kernel \
+    --benchmark_filter='BM_FastRoutingTree/10000$' --benchmark_min_time=0.1
 
 # Orchestration smoke: 12-job grid, sharded run, full resume, merge.
 tmp="$(mktemp -d)"
