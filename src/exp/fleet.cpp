@@ -1,0 +1,682 @@
+#include "exp/fleet.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "exp/runner.h"
+#include "obs/metrics.h"
+
+namespace sbgp::exp {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double s_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+void sleep_s(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+bool exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Run-directory layout.
+
+FleetPaths FleetPaths::at(const std::string& run_dir) {
+  FleetPaths p;
+  p.root = run_dir;
+  p.spec = run_dir + "/spec.json";
+  p.shards = run_dir + "/shards";
+  p.leases = run_dir + "/leases";
+  p.done = run_dir + "/done";
+  p.workers = run_dir + "/workers";
+  p.stop = run_dir + "/STOP";
+  p.merged = run_dir + "/merged.jsonl";
+  return p;
+}
+
+std::string FleetPaths::shard_file(const std::string& shard_id) const {
+  return shards + "/" + shard_id + ".json";
+}
+
+std::string FleetPaths::done_file(const std::string& shard_id) const {
+  return done + "/" + shard_id + ".json";
+}
+
+std::string FleetPaths::worker_store(const std::string& worker_id) const {
+  return workers + "/" + worker_id + ".jsonl";
+}
+
+// ---------------------------------------------------------------------------
+// Shards.
+
+Json Shard::to_json() const {
+  Json j = Json::object();
+  j.set("shard", Json::string(id));
+  Json arr = Json::array();
+  for (const std::size_t id_ : job_ids) {
+    arr.push(Json::number(static_cast<std::uint64_t>(id_)));
+  }
+  j.set("jobs", std::move(arr));
+  return j;
+}
+
+Shard Shard::from_json(const Json& j) {
+  Shard s;
+  const Json* id = j.find("shard");
+  const Json* jobs = j.find("jobs");
+  if (id == nullptr || jobs == nullptr) throw JsonError("shard missing fields");
+  s.id = id->as_string();
+  for (const Json& v : jobs->items()) {
+    s.job_ids.push_back(static_cast<std::size_t>(v.as_u64()));
+  }
+  return s;
+}
+
+std::vector<Shard> make_shards(std::size_t num_jobs, std::size_t shard_size) {
+  if (shard_size == 0) shard_size = 1;
+  std::vector<Shard> out;
+  for (std::size_t start = 0, n = 0; start < num_jobs;
+       start += shard_size, ++n) {
+    Shard s;
+    char name[32];
+    std::snprintf(name, sizeof name, "shard-%03zu", n);
+    s.id = name;
+    const std::size_t end = std::min(num_jobs, start + shard_size);
+    for (std::size_t id = start; id < end; ++id) s.job_ids.push_back(id);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void publish_shard(const FleetPaths& paths, const Shard& shard) {
+  const std::string path = paths.shard_file(shard.id);
+  if (exists(path)) return;  // shard files are immutable once published
+  write_file_durable(path, shard.to_json().dump() + "\n");
+}
+
+std::vector<Shard> list_shards(const FleetPaths& paths) {
+  std::vector<Shard> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(paths.shards, ec)) {
+    if (entry.path().extension() != ".json") continue;
+    const auto text = read_file(entry.path().string());
+    if (!text.has_value()) continue;
+    try {
+      out.push_back(Shard::from_json(Json::parse(*text)));
+    } catch (const JsonError&) {
+      // A torn shard file cannot happen via publish_shard (durable rename);
+      // tolerate external damage by skipping.
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Shard& a, const Shard& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<std::size_t> shard_remaining(
+    const Shard& shard, const std::unordered_set<std::size_t>& recorded) {
+  std::vector<std::size_t> out;
+  for (const std::size_t id : shard.job_ids) {
+    if (!recorded.contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+Shard split_shard(const Shard& victim,
+                  const std::vector<std::size_t>& remaining, int generation) {
+  if (remaining.size() < 2) {
+    throw std::invalid_argument("split_shard needs >= 2 remaining jobs");
+  }
+  Shard s;
+  s.id = victim.id + "-s" + std::to_string(generation);
+  // The thief takes the tail floor(n/2); the victim keeps the head it is
+  // presumably already chewing through.
+  s.job_ids.assign(remaining.begin() + (remaining.size() - remaining.size() / 2),
+                   remaining.end());
+  return s;
+}
+
+std::vector<std::string> list_worker_stores(const FleetPaths& paths) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(paths.workers, ec)) {
+    if (entry.path().extension() != ".jsonl") continue;
+    out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Worker.
+
+WorkerReport run_fleet_worker(const WorkerOptions& options) {
+  static obs::Counter& claimed_ctr =
+      obs::Registry::global().counter("fleet.leases_claimed");
+  static obs::Counter& done_ctr =
+      obs::Registry::global().counter("fleet.shards_done");
+  static obs::Counter& lost_ctr =
+      obs::Registry::global().counter("fleet.leases_lost");
+
+  WorkerOptions opts = options;
+  if (opts.worker_id.empty()) opts.worker_id = "w" + std::to_string(::getpid());
+  if (!opts.now) opts.now = &system_now_s;
+  const FleetPaths paths = FleetPaths::at(opts.run_dir);
+
+  // Wait for the coordinator to publish the spec (workers may attach before
+  // the run directory is fully laid out, or from another host).
+  const double spec_wait_s = opts.max_idle_s > 0 ? opts.max_idle_s : 30.0;
+  const auto spec_wait_start = SteadyClock::now();
+  JobSpec spec;
+  for (;;) {
+    if (exists(paths.spec)) {
+      spec = JobSpec::from_file(paths.spec);
+      break;
+    }
+    if (exists(paths.stop)) return WorkerReport{.saw_stop = true};
+    if (s_since(spec_wait_start) > spec_wait_s) {
+      throw std::runtime_error("fleet worker '" + opts.worker_id +
+                               "': no spec.json in '" + opts.run_dir + "'");
+    }
+    sleep_s(opts.poll_s);
+  }
+  const std::uint64_t spec_hash = spec.hash();
+
+  LeaseDir leases(paths.leases, opts.now);
+  ResultStore store(paths.worker_store(opts.worker_id));
+
+  // One graph cache for the worker's lifetime — consecutive shards of the
+  // same grid overwhelmingly share topologies.
+  GraphCache cache;
+  std::atomic<std::size_t> jobs_done{0};
+  JobRunner base = opts.runner;
+  if (!base) {
+    base = [&cache, &opts](const Job& job, const std::function<bool()>& stop) {
+      const std::size_t inner =
+          job.threads != 0 ? job.threads : std::max<std::size_t>(1, opts.inner_threads);
+      return run_job(job, cache, inner, stop);
+    };
+  }
+  JobRunner runner = base;
+  if (opts.on_job) {
+    runner = [&base, &jobs_done, &opts](const Job& job,
+                                        const std::function<bool()>& stop) {
+      JobRecord r = base(job, stop);
+      opts.on_job(r, jobs_done.fetch_add(1) + 1);
+      return r;
+    };
+  }
+
+  WorkerReport report;
+  auto idle_since = SteadyClock::now();
+  for (;;) {
+    // Scan the shard pool, starting at a worker-specific rotation so a
+    // freshly attached fleet doesn't stampede the same shard file.
+    const std::vector<Shard> shards = list_shards(paths);
+    const Shard* claimed = nullptr;
+    Shard claimed_copy;
+    if (!shards.empty()) {
+      const std::size_t start =
+          static_cast<std::size_t>(fnv1a64(opts.worker_id)) % shards.size();
+      for (std::size_t k = 0; k < shards.size(); ++k) {
+        const Shard& s = shards[(start + k) % shards.size()];
+        if (exists(paths.done_file(s.id))) continue;
+        if (leases.held(s.id)) continue;  // cheap pre-check; claim arbitrates
+        if (leases.try_claim(s.id, opts.worker_id)) {
+          claimed_copy = s;
+          claimed = &claimed_copy;
+          break;
+        }
+      }
+    }
+
+    if (claimed == nullptr) {
+      if (exists(paths.stop)) {
+        report.saw_stop = true;
+        break;
+      }
+      if (opts.max_idle_s > 0 && s_since(idle_since) > opts.max_idle_s) break;
+      sleep_s(opts.poll_s);
+      continue;
+    }
+    idle_since = SteadyClock::now();
+
+    // Between listing and claiming someone may have completed the shard.
+    if (exists(paths.done_file(claimed->id))) {
+      leases.release(claimed->id, opts.worker_id);
+      continue;
+    }
+    claimed_ctr.add(1);
+    if (opts.log != nullptr) {
+      *opts.log << "[fleet:" << opts.worker_id << "] claimed " << claimed->id
+                << " (" << claimed->job_ids.size() << " jobs)\n";
+    }
+
+    // Heartbeat thread for the duration of the shard. Timestamps come from
+    // the injected clock; the beat cadence is real time (ttl/4).
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::atomic<bool> lease_lost{false};
+    std::thread hb([&] {
+      std::unique_lock lock(hb_mutex);
+      const auto interval =
+          std::chrono::duration<double>(std::max(0.005, opts.ttl_s / 4.0));
+      while (!hb_cv.wait_for(lock, interval, [&] { return hb_stop; })) {
+        if (!leases.heartbeat(claimed_copy.id, opts.worker_id)) {
+          // Reaped from under us (we stalled past the TTL). Keep executing —
+          // our records stay valid and the merge reconciles duplicates —
+          // but remember not to release someone else's claim.
+          lease_lost.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+
+    // Cross-worker resume: skip every job some store already has "ok".
+    std::unordered_set<std::size_t> completed;
+    {
+      const StoreMerge m = merge_stores(list_worker_stores(paths), &spec_hash);
+      for (const JobRecord& r : m.records) {
+        if (r.status == "ok") completed.insert(r.job_id);
+      }
+    }
+    std::vector<std::size_t> todo;
+    for (const std::size_t id : claimed->job_ids) {
+      if (!completed.contains(id)) todo.push_back(id);
+    }
+    report.jobs_resumed += claimed->job_ids.size() - todo.size();
+
+    SweepOptions so;
+    so.workers = 1;
+    so.timeout_s = opts.timeout_s;
+    so.retries = opts.retries;
+    so.resume = true;
+    so.job_subset = todo;
+    so.progress = nullptr;
+    const SweepReport sr = SweepScheduler(so).run(spec, &store, runner);
+    report.jobs_executed += sr.executed;
+    report.jobs_failed += sr.failed + sr.timed_out;
+
+    {
+      std::scoped_lock lock(hb_mutex);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    hb.join();
+
+    // Publish completion durably, then drop the claim. Order matters: a
+    // crash after the marker but before the release is cleaned up by the
+    // coordinator; the reverse order would re-issue a finished shard.
+    Json marker = Json::object();
+    marker.set("shard", Json::string(claimed->id));
+    marker.set("worker", Json::string(opts.worker_id));
+    marker.set("jobs",
+               Json::number(static_cast<std::uint64_t>(claimed->job_ids.size())));
+    marker.set("executed", Json::number(static_cast<std::uint64_t>(sr.executed)));
+    write_file_durable(paths.done_file(claimed->id), marker.dump() + "\n");
+    done_ctr.add(1);
+    if (!lease_lost.load(std::memory_order_relaxed)) {
+      leases.release(claimed->id, opts.worker_id);
+    } else {
+      lost_ctr.add(1);
+    }
+    ++report.shards_done;
+  }
+  if (opts.log != nullptr) {
+    *opts.log << "[fleet:" << opts.worker_id << "] exit: " << report.shards_done
+              << " shard(s), " << report.jobs_executed << " job(s) executed, "
+              << report.jobs_resumed << " resumed\n";
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Process spawning.
+
+pid_t spawn_process(
+    const std::vector<std::string>& argv,
+    const std::vector<std::pair<std::string, std::string>>& env) {
+  if (argv.empty()) return -1;
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork failure = -1)
+
+  // Child: adjust environment, exec. Only async-signal-unsafe work below is
+  // setenv/exec, which is fine — the child is single-threaded post-fork and
+  // execs immediately.
+  for (const auto& [k, v] : env) ::setenv(k.c_str(), v.c_str(), 1);
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  ::execv(cargv[0], cargv.data());
+  ::_exit(127);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator.
+
+FleetCoordinator::FleetCoordinator(FleetOptions options, JobSpec spec)
+    : options_(std::move(options)), spec_(std::move(spec)) {
+  if (!options_.now) options_.now = &system_now_s;
+  if (options_.workers > 0 && !options_.spawn) {
+    throw std::invalid_argument(
+        "FleetOptions.spawn is required when workers > 0");
+  }
+}
+
+FleetReport FleetCoordinator::run() {
+  static obs::Counter& expired_ctr =
+      obs::Registry::global().counter("fleet.leases_expired");
+  static obs::Counter& stolen_ctr =
+      obs::Registry::global().counter("fleet.shards_stolen");
+  static obs::Counter& restart_ctr =
+      obs::Registry::global().counter("fleet.worker_restarts");
+
+  const auto t0 = SteadyClock::now();
+  const FleetPaths paths = FleetPaths::at(options_.run_dir);
+  for (const std::string& d :
+       {paths.root, paths.shards, paths.leases, paths.done, paths.workers}) {
+    fs::create_directories(d);
+  }
+
+  FleetReport report;
+  report.spec_hash = spec_.hash();
+  report.total_jobs = spec_.num_jobs();
+
+  // Publish the spec — or verify an existing run directory is resuming the
+  // *same* grid (fleet runs are resumable exactly like single-process ones).
+  if (const auto existing = read_file(paths.spec)) {
+    std::uint64_t existing_hash = 0;
+    try {
+      existing_hash = JobSpec::from_json(Json::parse(*existing)).hash();
+    } catch (const JsonError& e) {
+      throw std::runtime_error("unreadable spec.json in '" + paths.root +
+                               "': " + e.what());
+    }
+    if (existing_hash != report.spec_hash) {
+      throw std::runtime_error("run directory '" + paths.root +
+                               "' holds a different spec (hash mismatch)");
+    }
+  } else {
+    write_file_durable(paths.spec, spec_.to_json().dump() + "\n");
+  }
+  // A leftover STOP from a finished prior run would make workers exit
+  // before doing anything; clear it (jobs already recorded still resume).
+  ::unlink(paths.stop.c_str());
+
+  std::size_t shard_size = options_.shard_size;
+  if (shard_size == 0) {
+    const std::size_t parallelism = std::max<std::size_t>(1, options_.workers);
+    shard_size =
+        std::max<std::size_t>(1, report.total_jobs / (parallelism * 4));
+  }
+  const std::vector<Shard> initial = make_shards(report.total_jobs, shard_size);
+  for (const Shard& s : initial) publish_shard(paths, s);
+  report.shards = initial.size();
+
+  // Spawn the local workers. Ids are w0..wN-1; restarts get an "rK" suffix
+  // so every process appends to its own store file.
+  struct Child {
+    pid_t pid;
+    std::size_t index;
+    int restarts = 0;
+  };
+  std::vector<Child> live;
+  auto spawn_one = [&](std::size_t index, int restart_gen) -> bool {
+    std::string id = "w" + std::to_string(index);
+    if (restart_gen > 0) id += "r" + std::to_string(restart_gen);
+    const pid_t pid = options_.spawn(index, id);
+    if (pid <= 0) return false;
+    live.push_back({pid, index, restart_gen});
+    ++report.workers_spawned;
+    if (options_.log != nullptr) {
+      *options_.log << "[fleet] spawned worker " << id << " (pid " << pid
+                    << ")\n";
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < options_.workers; ++i) spawn_one(i, 0);
+
+  LeaseDir leases(paths.leases, options_.now);
+  int restarts_left = options_.max_restarts;
+  bool stopping = false;
+  auto stop_published = SteadyClock::now();
+  const double stop_grace_s = std::max(5.0, 2.0 * options_.ttl_s);
+  std::size_t tick = 0;
+
+  const auto kill_all = [&] {
+    for (const Child& c : live) ::kill(c.pid, SIGKILL);
+    for (const Child& c : live) ::waitpid(c.pid, nullptr, 0);
+    live.clear();
+  };
+
+  for (;; ++tick) {
+    // Reap exited children; restart them while the budget lasts.
+    for (std::size_t i = 0; i < live.size();) {
+      int wstatus = 0;
+      const pid_t r = ::waitpid(live[i].pid, &wstatus, WNOHANG);
+      if (r == live[i].pid || (r < 0 && errno == ECHILD)) {
+        const Child dead = live[i];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        if (options_.log != nullptr) {
+          *options_.log << "[fleet] worker w" << dead.index << " (pid "
+                        << dead.pid << ") exited\n";
+        }
+        if (!stopping && restarts_left > 0) {
+          --restarts_left;
+          if (spawn_one(dead.index, dead.restarts + 1)) {
+            ++report.worker_restarts;
+            restart_ctr.add(1);
+          }
+        }
+      } else {
+        ++i;
+      }
+    }
+
+    // One scan of the ground truth: stores, shards, leases, done markers.
+    const StoreMerge scan = merge_stores(list_worker_stores(paths), &report.spec_hash);
+    std::unordered_set<std::size_t> recorded;
+    for (const JobRecord& r : scan.records) recorded.insert(r.job_id);
+
+    const std::vector<Shard> shards = list_shards(paths);
+    std::size_t claimable = 0;
+    std::size_t active_leases = 0;
+    const double now_s = options_.now();
+    std::unordered_map<std::string, const Shard*> by_id;
+    for (const Shard& s : shards) by_id.emplace(s.id, &s);
+    for (const Shard& s : shards) {
+      const bool done = exists(paths.done_file(s.id));
+      const auto lease = leases.read(s.id);
+      if (done) {
+        // Holder died between marker and release (or released already).
+        if (lease.has_value()) leases.force_release(s.id);
+        continue;
+      }
+      if (!lease.has_value()) {
+        ++claimable;
+      } else if (lease->expired(now_s, options_.ttl_s)) {
+        if (leases.reap_if_expired(s.id, options_.ttl_s)) {
+          ++report.leases_expired;
+          expired_ctr.add(1);
+          ++claimable;
+          if (options_.log != nullptr) {
+            *options_.log << "[fleet] reaped expired lease on " << s.id
+                          << " (worker " << lease->worker << ")\n";
+          }
+        }
+      } else {
+        ++active_leases;
+      }
+    }
+
+    if (!stopping && recorded.size() >= report.total_jobs) {
+      write_file_durable(paths.stop, "done\n");
+      stopping = true;
+      stop_published = SteadyClock::now();
+      if (options_.log != nullptr) {
+        *options_.log << "[fleet] all " << report.total_jobs
+                      << " jobs recorded; STOP published\n";
+      }
+    }
+
+    if (options_.on_poll) {
+      FleetStatus status;
+      status.tick = tick;
+      for (const Child& c : live) status.live_pids.push_back(c.pid);
+      status.recorded_jobs = recorded.size();
+      status.total_jobs = report.total_jobs;
+      status.active_leases = active_leases;
+      status.claimable_shards = claimable;
+      options_.on_poll(status);
+    }
+
+    if (stopping) {
+      if (live.empty()) break;
+      if (s_since(stop_published) > stop_grace_s) {
+        if (options_.log != nullptr) {
+          *options_.log << "[fleet] grace period elapsed; killing "
+                        << live.size() << " straggler worker(s)\n";
+        }
+        kill_all();
+        break;
+      }
+    } else {
+      // Work stealing: every shard is claimed, someone is idle, and a live
+      // shard still has >= 2 unfinished jobs — split its tail into a fresh
+      // shard. Duplicated executions are reconciled at merge.
+      const bool idle_capacity =
+          options_.workers == 0 || live.size() > active_leases;
+      if (claimable == 0 && idle_capacity) {
+        const Shard* victim = nullptr;
+        std::vector<std::size_t> victim_remaining;
+        int victim_gen = 0;
+        for (const Shard& s : shards) {
+          if (exists(paths.done_file(s.id))) continue;
+          if (!leases.held(s.id)) continue;
+          // Split budget + drain guard: count this shard's prior splits and
+          // skip it while any of them still has unrecorded jobs.
+          int splits = 0;
+          bool prior_split_active = false;
+          const std::string prefix = s.id + "-s";
+          for (const Shard& t : shards) {
+            if (t.id.rfind(prefix, 0) != 0) continue;
+            ++splits;
+            if (!shard_remaining(t, recorded).empty()) {
+              prior_split_active = true;
+            }
+          }
+          if (splits >= options_.max_steals_per_shard || prior_split_active) {
+            continue;
+          }
+          auto remaining = shard_remaining(s, recorded);
+          if (remaining.size() < 2) continue;
+          if (victim == nullptr ||
+              remaining.size() > victim_remaining.size()) {
+            victim = by_id.at(s.id);
+            victim_remaining = std::move(remaining);
+            victim_gen = splits + 1;
+          }
+        }
+        if (victim != nullptr) {
+          const Shard stolen =
+              split_shard(*victim, victim_remaining, victim_gen);
+          publish_shard(paths, stolen);
+          ++report.shards_stolen;
+          stolen_ctr.add(1);
+          if (options_.log != nullptr) {
+            *options_.log << "[fleet] stole " << stolen.job_ids.size()
+                          << " job(s) from " << victim->id << " into "
+                          << stolen.id << "\n";
+          }
+        }
+      }
+
+      // Every local worker is gone and the budget is spent: nothing will
+      // ever finish the grid (external-worker runs keep waiting instead).
+      if (options_.workers > 0 && live.empty() && restarts_left == 0) {
+        report.aborted = true;
+        if (options_.log != nullptr) {
+          *options_.log << "[fleet] all workers dead, no restart budget — "
+                           "aborting\n";
+        }
+        break;
+      }
+    }
+
+    if (options_.max_wall_s > 0 && s_since(t0) > options_.max_wall_s) {
+      report.aborted = true;
+      if (options_.log != nullptr) {
+        *options_.log << "[fleet] max_wall_s exceeded — aborting\n";
+      }
+      kill_all();
+      break;
+    }
+    sleep_s(options_.poll_s);
+  }
+  kill_all();  // no-op on clean exits; safety on breaks with live children
+
+  // Final merge: fold every per-worker store into merged.jsonl.
+  const StoreMerge merged =
+      merge_stores(list_worker_stores(paths), &report.spec_hash);
+  report.records = merged.records;
+  report.duplicate_records = merged.duplicates;
+  report.reexecuted_ok = merged.reexecuted_ok;
+  report.reconcile_mismatches = merged.reconcile_mismatches;
+  for (const JobRecord& r : report.records) {
+    if (r.status == "ok") ++report.ok;
+    else if (r.status == "timeout") ++report.timed_out;
+    else ++report.failed;
+  }
+  report.missing = report.total_jobs - report.records.size();
+  std::string lines;
+  for (const JobRecord& r : report.records) {
+    lines += r.to_json().dump();
+    lines += '\n';
+  }
+  write_file_durable(paths.merged, lines);
+  report.wall_s = s_since(t0);
+  if (options_.log != nullptr) print_summary(report, *options_.log);
+  return report;
+}
+
+void FleetCoordinator::print_summary(const FleetReport& report,
+                                     std::ostream& os) {
+  os << "[fleet] " << (report.aborted ? "ABORTED" : "finished") << ": "
+     << report.total_jobs << " jobs (" << report.ok << " ok, " << report.failed
+     << " failed, " << report.timed_out << " timeout, " << report.missing
+     << " missing) across " << report.shards << " shard(s) + "
+     << report.shards_stolen << " stolen | " << report.workers_spawned
+     << " worker(s), " << report.worker_restarts << " restart(s), "
+     << report.leases_expired << " lease(s) expired | " << report.reexecuted_ok
+     << " job(s) re-executed, " << report.reconcile_mismatches
+     << " reconcile mismatch(es) | " << report.wall_s << "s\n";
+}
+
+}  // namespace sbgp::exp

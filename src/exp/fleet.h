@@ -1,0 +1,240 @@
+// exp::fleet — the multi-process (multi-host-ready) sweep executor: the
+// repo's real version of the paper's 200-node map/reduce fan-out
+// (Appendix C.3). A *coordinator* expands a JobSpec grid into shard files
+// in a shared run directory; *worker processes* — spawned by the
+// coordinator via fork/exec, or pointed at the directory from another
+// host — atomically claim shard leases (see lease.h), execute the shard's
+// jobs through the ordinary SweepScheduler into a per-worker JSONL result
+// store, and heartbeat while they work. The coordinator supervises:
+//
+//   * reaps leases whose heartbeat fell behind the TTL (worker died), which
+//     returns the shard to the claimable pool;
+//   * restarts dead worker processes, up to a budget;
+//   * work-steals stragglers: when every shard is claimed but a live shard
+//     still has several unfinished jobs and there is idle capacity, the
+//     coordinator splits the remaining tail into a fresh shard file that an
+//     idle worker can claim (duplicate executions are deterministic and
+//     bitwise-reconciled at merge);
+//   * finishes with an automatic merge of all per-worker stores into
+//     `merged.jsonl`, deduping by (spec hash, job id) and verifying that
+//     re-executed jobs produced byte-identical canonical rows.
+//
+// Kill-tolerance contract: SIGKILL any worker at any instant — mid-shard,
+// mid-JSONL-line, before its first heartbeat — and the fleet still
+// converges to a merged store that is job-for-job identical to a
+// single-process run of the same spec. Partial JSONL lines are healed by
+// the result-store loader; partially executed shards are resumed from
+// whatever records any worker already persisted.
+//
+// Run-directory layout (everything under one directory, shareable over a
+// network filesystem):
+//
+//   run/
+//     spec.json            coordinator-published JobSpec (workers load it)
+//     shards/shard-XXX.json   {"shard":id,"jobs":[ids]} — append-only pool
+//     leases/shard-XXX.lease  claim + heartbeat (lease.h)
+//     done/shard-XXX.json     durable completion marker per shard
+//     workers/<id>.jsonl      per-worker append-only result store
+//     STOP                 coordinator → workers: grid complete, drain
+//     merged.jsonl         final deduped store (coordinator-written)
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exp/job_spec.h"
+#include "exp/lease.h"
+#include "exp/result_store.h"
+#include "exp/scheduler.h"
+
+namespace sbgp::exp {
+
+/// Derived paths of a fleet run directory.
+struct FleetPaths {
+  std::string root;
+  std::string spec;     ///< root/spec.json
+  std::string shards;   ///< root/shards
+  std::string leases;   ///< root/leases
+  std::string done;     ///< root/done
+  std::string workers;  ///< root/workers
+  std::string stop;     ///< root/STOP
+  std::string merged;   ///< root/merged.jsonl
+
+  static FleetPaths at(const std::string& run_dir);
+
+  [[nodiscard]] std::string shard_file(const std::string& shard_id) const;
+  [[nodiscard]] std::string done_file(const std::string& shard_id) const;
+  [[nodiscard]] std::string worker_store(const std::string& worker_id) const;
+};
+
+/// One unit of leased work: a named subset of the spec's job ids.
+struct Shard {
+  std::string id;
+  std::vector<std::size_t> job_ids;
+
+  [[nodiscard]] Json to_json() const;
+  static Shard from_json(const Json& j);
+};
+
+/// Deterministic initial sharding: contiguous runs of `shard_size` job ids,
+/// named shard-000, shard-001, … in expansion order.
+[[nodiscard]] std::vector<Shard> make_shards(std::size_t num_jobs,
+                                             std::size_t shard_size);
+
+/// Durably writes a shard file (no-op if it already exists: shard files are
+/// immutable once published).
+void publish_shard(const FleetPaths& paths, const Shard& shard);
+
+/// Every decodable shard file, sorted by id.
+[[nodiscard]] std::vector<Shard> list_shards(const FleetPaths& paths);
+
+/// Job ids of `shard` that have no record yet in `recorded` — what a thief
+/// would need to run. Pure (unit-testable without a filesystem).
+[[nodiscard]] std::vector<std::size_t> shard_remaining(
+    const Shard& shard, const std::unordered_set<std::size_t>& recorded);
+
+/// Splits the tail half (floor(n/2) jobs, so the victim keeps the ceil) of
+/// `remaining` into a new shard named `<victim>-s<generation>`. Requires
+/// remaining.size() >= 2. Pure.
+[[nodiscard]] Shard split_shard(const Shard& victim,
+                                const std::vector<std::size_t>& remaining,
+                                int generation);
+
+/// All per-worker store paths under `paths.workers`, sorted (deterministic
+/// merge input order).
+[[nodiscard]] std::vector<std::string> list_worker_stores(
+    const FleetPaths& paths);
+
+// ---------------------------------------------------------------------------
+// Worker.
+
+struct WorkerOptions {
+  std::string run_dir;
+  std::string worker_id;  ///< default: "w<pid>"
+  double ttl_s = 10.0;    ///< heartbeat TTL (beats are written at ttl/4)
+  double poll_s = 0.05;   ///< shard-scan interval while idle
+  /// Give up after this long with no claimable work and no STOP marker
+  /// (orphaned-worker guard); 0 = wait for STOP forever.
+  double max_idle_s = 0.0;
+  /// Per-job scheduler knobs, mirroring SweepOptions.
+  double timeout_s = 0.0;
+  int retries = 0;
+  std::size_t inner_threads = 1;
+  /// Injectable clock for lease timestamps (tests); default system clock.
+  NowFn now;
+  /// Pluggable job executor (tests / benches); default = real simulator.
+  JobRunner runner;
+  /// Called after each job completes *before* its record is appended to the
+  /// store — the fault-injection hook (a test can tear its own store and
+  /// _Exit to simulate SIGKILL mid-write).
+  std::function<void(const JobRecord&, std::size_t jobs_done)> on_job;
+  std::ostream* log = nullptr;  ///< progress lines; nullptr = silent
+};
+
+struct WorkerReport {
+  std::size_t shards_done = 0;
+  std::size_t jobs_executed = 0;
+  std::size_t jobs_failed = 0;   ///< failed or timed out
+  std::size_t jobs_resumed = 0;  ///< skipped because another store had them
+  bool saw_stop = false;         ///< exited via STOP (vs. idle guard)
+};
+
+/// Runs the worker loop against `run_dir` until the STOP marker appears and
+/// no claimable shard remains (or the idle guard fires). Blocks. Throws
+/// std::runtime_error when the run directory never becomes usable.
+WorkerReport run_fleet_worker(const WorkerOptions& options);
+
+// ---------------------------------------------------------------------------
+// Coordinator.
+
+/// Spawns argv[0] with arguments `argv` and extra environment variables
+/// `env` via fork/exec. Returns the child pid, or -1 on failure. Shared by
+/// the CLI (spawning `sbgpsim worker …`) and the test/bench harnesses
+/// (re-exec'ing themselves in worker mode).
+pid_t spawn_process(const std::vector<std::string>& argv,
+                    const std::vector<std::pair<std::string, std::string>>& env);
+
+/// Supervision-loop snapshot handed to FleetOptions::on_poll (test hook:
+/// SIGKILL a live worker at a chosen tick, observe progress, …).
+struct FleetStatus {
+  std::size_t tick = 0;
+  std::vector<pid_t> live_pids;
+  std::size_t recorded_jobs = 0;
+  std::size_t total_jobs = 0;
+  std::size_t active_leases = 0;
+  std::size_t claimable_shards = 0;
+};
+
+struct FleetOptions {
+  std::string run_dir;
+  /// Worker processes to spawn; 0 = coordinate only (workers attach
+  /// externally via `sbgpsim worker --run-dir`).
+  std::size_t workers = 2;
+  /// Jobs per initial shard; 0 = auto (≈4 shards per worker).
+  std::size_t shard_size = 0;
+  double ttl_s = 10.0;
+  double poll_s = 0.05;
+  /// Respawn budget for dead worker processes across the whole run.
+  int max_restarts = 0;
+  /// Split budget per victim shard (bounds duplicate work).
+  int max_steals_per_shard = 2;
+  /// Abort the run after this much wall time; 0 = none. Safety net so a
+  /// wedged fleet cannot hang a harness forever.
+  double max_wall_s = 0.0;
+  /// Per-job scheduler knobs forwarded to spawned workers via FleetWorkerEnv
+  /// only when using the CLI; embedded workers read WorkerOptions instead.
+  double timeout_s = 0.0;
+  int retries = 0;
+  NowFn now;  ///< injectable clock (lease expiry decisions)
+  /// Spawns worker `index` with the given id; returns pid or -1. Required
+  /// when workers > 0 (the library cannot know which binary to exec).
+  std::function<pid_t(std::size_t index, const std::string& worker_id)> spawn;
+  std::function<void(const FleetStatus&)> on_poll;
+  std::ostream* log = nullptr;
+};
+
+struct FleetReport {
+  std::uint64_t spec_hash = 0;
+  std::size_t total_jobs = 0;
+  std::size_t shards = 0;  ///< initial shards (splits not included)
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t missing = 0;  ///< jobs with no record at all (aborted runs)
+  std::size_t leases_expired = 0;
+  std::size_t shards_stolen = 0;
+  std::size_t workers_spawned = 0;
+  std::size_t worker_restarts = 0;
+  /// Merge reconciliation: extra records folded away, re-executed "ok"
+  /// pairs compared, and canonical-row mismatches among them (a mismatch
+  /// means the sweep is not deterministic — always a bug).
+  std::size_t duplicate_records = 0;
+  std::size_t reexecuted_ok = 0;
+  std::size_t reconcile_mismatches = 0;
+  bool aborted = false;  ///< max_wall_s fired or all workers died
+  double wall_s = 0.0;
+  std::vector<JobRecord> records;  ///< merged, ascending job id
+};
+
+class FleetCoordinator {
+ public:
+  FleetCoordinator(FleetOptions options, JobSpec spec);
+
+  /// Prepare + spawn + supervise + merge. Blocks until the grid is fully
+  /// recorded (or the run aborts), then writes `merged.jsonl` and returns.
+  FleetReport run();
+
+  static void print_summary(const FleetReport& report, std::ostream& os);
+
+ private:
+  FleetOptions options_;
+  JobSpec spec_;
+};
+
+}  // namespace sbgp::exp

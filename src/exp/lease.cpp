@@ -1,0 +1,229 @@
+#include "exp/lease.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+namespace sbgp::exp {
+
+namespace fs = std::filesystem;
+
+double system_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Json LeaseInfo::to_json() const {
+  Json j = Json::object();
+  j.set("shard", Json::string(shard));
+  j.set("worker", Json::string(worker));
+  j.set("claimed_s", Json::number(claimed_s));
+  j.set("beat_s", Json::number(beat_s));
+  j.set("beats", Json::number(beats));
+  return j;
+}
+
+LeaseInfo LeaseInfo::from_json(const Json& j) {
+  LeaseInfo info;
+  if (const Json* v = j.find("shard")) info.shard = v->as_string();
+  if (const Json* v = j.find("worker")) info.worker = v->as_string();
+  if (const Json* v = j.find("claimed_s")) info.claimed_s = v->as_double();
+  if (const Json* v = j.find("beat_s")) info.beat_s = v->as_double();
+  if (const Json* v = j.find("beats")) info.beats = v->as_u64();
+  if (info.shard.empty() || info.worker.empty()) {
+    throw JsonError("lease missing shard/worker");
+  }
+  return info;
+}
+
+namespace {
+
+/// Writes `content` to a brand-new `path` and fsyncs it. Returns false when
+/// the file cannot be created.
+bool write_new_file_synced(const std::string& path, const std::string& content) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(path.c_str());
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return true;
+}
+
+/// Best-effort directory fsync so renames/links/unlinks are durable.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Unique-per-caller temp name in the same directory as `path` (rename and
+/// link need same-filesystem sources). PID + address of a local makes the
+/// name collision-free across processes and threads without a clock.
+std::string temp_sibling(const std::string& path) {
+  static thread_local std::uint64_t seq = 0;
+  const fs::path p(path);
+  return (p.parent_path() /
+          (".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(reinterpret_cast<std::uintptr_t>(&seq)) + "." +
+           std::to_string(++seq) + "." + p.filename().string()))
+      .string();
+}
+
+}  // namespace
+
+void write_file_durable(const std::string& path, const std::string& content) {
+  const std::string tmp = temp_sibling(path);
+  if (!write_new_file_synced(tmp, content)) {
+    throw std::runtime_error("cannot write '" + tmp + "': " +
+                             std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cannot rename '" + tmp + "' to '" + path +
+                             "': " + std::strerror(err));
+  }
+  fsync_dir(fs::path(path).parent_path().string());
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+LeaseDir::LeaseDir(std::string dir, NowFn now)
+    : dir_(std::move(dir)), now_(now ? std::move(now) : NowFn(&system_now_s)) {}
+
+std::string LeaseDir::lease_path(const std::string& shard_id) const {
+  return dir_ + "/" + shard_id + ".lease";
+}
+
+bool LeaseDir::try_claim(const std::string& shard_id,
+                         const std::string& worker_id) {
+  LeaseInfo info;
+  info.shard = shard_id;
+  info.worker = worker_id;
+  info.claimed_s = info.beat_s = now_();
+  info.beats = 0;
+
+  // Publish fully-written-and-fsync'd content under an exclusive name:
+  // link(2) is atomic and fails with EEXIST when someone else already holds
+  // the lease, so contenders never observe a partially written winner.
+  const std::string target = lease_path(shard_id);
+  const std::string tmp = temp_sibling(target);
+  if (!write_new_file_synced(tmp, info.to_json().dump() + "\n")) {
+    throw std::runtime_error("cannot write lease temp '" + tmp + "': " +
+                             std::strerror(errno));
+  }
+  const bool won = ::link(tmp.c_str(), target.c_str()) == 0;
+  ::unlink(tmp.c_str());
+  if (won) fsync_dir(dir_);
+  return won;
+}
+
+bool LeaseDir::heartbeat(const std::string& shard_id,
+                         const std::string& worker_id) {
+  const auto current = read(shard_id);
+  if (!current.has_value() || current->worker != worker_id) {
+    return false;  // reaped (or stolen outright) from under the holder
+  }
+  LeaseInfo next = *current;
+  next.beat_s = now_();
+  next.beats += 1;
+  // Atomic replace: a reader sees the old heartbeat or the new one, never a
+  // torn file.
+  write_file_durable(lease_path(shard_id), next.to_json().dump() + "\n");
+  return true;
+}
+
+void LeaseDir::release(const std::string& shard_id,
+                       const std::string& worker_id) {
+  const auto info = read(shard_id);
+  if (!info.has_value() || info->worker != worker_id) return;
+  ::unlink(lease_path(shard_id).c_str());
+  fsync_dir(dir_);
+}
+
+void LeaseDir::force_release(const std::string& shard_id) {
+  ::unlink(lease_path(shard_id).c_str());
+  fsync_dir(dir_);
+}
+
+std::optional<LeaseInfo> LeaseDir::read(const std::string& shard_id) const {
+  const auto text = read_file(lease_path(shard_id));
+  if (!text.has_value()) return std::nullopt;
+  try {
+    return LeaseInfo::from_json(Json::parse(*text));
+  } catch (const JsonError&) {
+    return std::nullopt;
+  }
+}
+
+bool LeaseDir::held(const std::string& shard_id) const {
+  std::error_code ec;
+  return fs::exists(lease_path(shard_id), ec);
+}
+
+bool LeaseDir::reap_if_expired(const std::string& shard_id, double ttl_s) {
+  const auto info = read(shard_id);
+  if (!info.has_value()) return false;
+  if (!info->expired(now_(), ttl_s)) return false;
+  // Unconditional unlink: between read and unlink the holder may have
+  // beaten once more, but a holder that close to the TTL edge also treats a
+  // failed next heartbeat as "abandon the shard", so the race only ever
+  // causes duplicate work (reconciled at merge), never lost work.
+  ::unlink(lease_path(shard_id).c_str());
+  fsync_dir(dir_);
+  return true;
+}
+
+std::vector<LeaseInfo> LeaseDir::list() const {
+  std::vector<LeaseInfo> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 6 || name.substr(name.size() - 6) != ".lease") continue;
+    const auto info = read(name.substr(0, name.size() - 6));
+    if (info.has_value()) out.push_back(*info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LeaseInfo& a, const LeaseInfo& b) { return a.shard < b.shard; });
+  return out;
+}
+
+}  // namespace sbgp::exp

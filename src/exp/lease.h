@@ -1,0 +1,125 @@
+// Shard leases for the multi-process sweep fleet: one file per claimed
+// shard in a shared `leases/` directory. The file's *existence* is the
+// mutual-exclusion primitive — a worker claims a shard by publishing a
+// fully-written, fsync'd lease file via link(2), which fails with EEXIST
+// for every contender but one (the crash-safe analogue of O_EXCL that
+// never exposes a half-written lease). Liveness is a heartbeat timestamp
+// *inside* the file, refreshed by atomic rename: a coordinator deems a
+// lease dead when its embedded timestamp falls more than a TTL behind the
+// coordinator's clock and reaps it, returning the shard to the claimable
+// pool.
+//
+// Every time comparison goes through an injectable NowFn, never through
+// file mtimes or direct clock reads: tests drive the whole
+// claim → heartbeat → expire → reap → re-claim state machine with a fake
+// clock and zero sleeps, and production simply injects the system clock.
+// (Heartbeats do bump the file mtime as a side effect, which is handy for
+// eyeballing a run directory, but nothing *decides* based on mtime.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+
+namespace sbgp::exp {
+
+/// Injectable clock: seconds on a shared epoch (workers write heartbeat
+/// timestamps that a possibly-different process compares against its own
+/// now). Production uses the system clock; tests use a fake.
+using NowFn = std::function<double()>;
+
+/// The system clock in seconds — the default NowFn.
+[[nodiscard]] double system_now_s();
+
+/// Decoded lease file contents.
+struct LeaseInfo {
+  std::string shard;   ///< shard id this lease covers
+  std::string worker;  ///< claiming worker's id
+  double claimed_s = 0.0;
+  double beat_s = 0.0;        ///< last heartbeat timestamp
+  std::uint64_t beats = 0;    ///< heartbeats written (monotone per lease)
+
+  /// True when the last heartbeat is more than `ttl_s` behind `now_s` —
+  /// the holder is presumed dead. Pure; no clock access.
+  [[nodiscard]] bool expired(double now_s, double ttl_s) const {
+    return now_s - beat_s > ttl_s;
+  }
+
+  [[nodiscard]] Json to_json() const;
+  static LeaseInfo from_json(const Json& j);
+};
+
+/// Lease-file operations over one directory. Instances are cheap; every
+/// worker and the coordinator hold their own (possibly on different hosts
+/// against a shared filesystem).
+class LeaseDir {
+ public:
+  /// `now` defaults to the system clock.
+  explicit LeaseDir(std::string dir, NowFn now = {});
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] double now_s() const { return now_(); }
+
+  /// Atomically claims `shard_id` for `worker_id`. Exactly one concurrent
+  /// caller wins (link(2) EEXCL semantics); the published file is fully
+  /// written and fsync'd before it becomes visible. Returns true iff this
+  /// caller won.
+  bool try_claim(const std::string& shard_id, const std::string& worker_id);
+
+  /// Refreshes the heartbeat timestamp via write-temp + fsync + rename
+  /// (atomic replace — readers never see a torn lease). Returns false when
+  /// the lease no longer exists (it was reaped from under us: the holder
+  /// should abandon the shard).
+  bool heartbeat(const std::string& shard_id, const std::string& worker_id);
+
+  /// Removes the lease iff it is still held by `worker_id` (normal
+  /// completion path; the done marker must already be published). A missing
+  /// or foreign lease is left alone — after a reap the shard may already
+  /// belong to someone else, and unlinking their claim would double-issue
+  /// the shard.
+  void release(const std::string& shard_id, const std::string& worker_id);
+
+  /// Unconditional unlink — coordinator-only cleanup of a lease whose shard
+  /// already has a durable done marker (the holder died between publishing
+  /// the marker and releasing).
+  void force_release(const std::string& shard_id);
+
+  /// Reads and decodes a lease; nullopt when absent or torn mid-publish
+  /// (which cannot happen via this class but tolerates external damage).
+  [[nodiscard]] std::optional<LeaseInfo> read(const std::string& shard_id) const;
+
+  /// Whether a lease file for `shard_id` currently exists (cheap pre-check
+  /// before an O_EXCL attempt; the attempt itself is still the arbiter).
+  [[nodiscard]] bool held(const std::string& shard_id) const;
+
+  /// Deletes the lease iff it (still) reads as expired under `ttl_s` at
+  /// now(). Returns true when a reap happened.
+  bool reap_if_expired(const std::string& shard_id, double ttl_s);
+
+  /// Every decodable lease in the directory, sorted by shard id.
+  [[nodiscard]] std::vector<LeaseInfo> list() const;
+
+ private:
+  [[nodiscard]] std::string lease_path(const std::string& shard_id) const;
+
+  std::string dir_;
+  NowFn now_;
+};
+
+// ---------------------------------------------------------------------------
+// Durable small-file helpers, shared with the fleet layer: every publish is
+// write-temp → fsync(file) → link/rename → fsync(directory), so a crash at
+// any instant leaves either the old state or the complete new state.
+
+/// Writes `content` to `path` durably (temp file + fsync + rename + dir
+/// fsync). Throws std::runtime_error on I/O failure.
+void write_file_durable(const std::string& path, const std::string& content);
+
+/// Reads a whole file; nullopt when it does not exist.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace sbgp::exp

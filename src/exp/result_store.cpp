@@ -1,5 +1,6 @@
 #include "exp/result_store.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace sbgp::exp {
@@ -152,6 +153,53 @@ std::unordered_map<std::size_t, JobRecord> ResultStore::latest_by_job(
     latest[r.job_id] = r;  // file order: later records win
   }
   return latest;
+}
+
+StoreMerge merge_stores(const std::vector<std::string>& paths,
+                        const std::uint64_t* spec_hash) {
+  StoreMerge m;
+  // Key → index into m.records; records is compacted + sorted at the end.
+  std::unordered_map<std::uint64_t, std::unordered_map<std::size_t, std::size_t>>
+      index;
+  for (const std::string& path : paths) {
+    std::size_t skipped = 0;
+    for (JobRecord& r : ResultStore::load(path, &skipped)) {
+      if (spec_hash != nullptr && r.spec_hash != *spec_hash) continue;
+      ++m.inputs;
+      auto& per_spec = index[r.spec_hash];
+      const auto it = per_spec.find(r.job_id);
+      if (it == per_spec.end()) {
+        per_spec.emplace(r.job_id, m.records.size());
+        m.records.push_back(std::move(r));
+        continue;
+      }
+      ++m.duplicates;
+      JobRecord& held = m.records[it->second];
+      if (held.status == "ok") {
+        if (r.status == "ok") {
+          // A re-executed job: the deterministic payload must match bit for
+          // bit. Keep the incumbent either way so the outcome does not
+          // depend on store read order.
+          ++m.reexecuted_ok;
+          if (held.canonical_row() != r.canonical_row()) {
+            ++m.reconcile_mismatches;
+          }
+        }
+        // ok incumbent never loses to failed/timeout.
+      } else if (r.status == "ok") {
+        held = std::move(r);  // first success supersedes any failure
+      } else {
+        held = std::move(r);  // newer failure detail wins
+      }
+    }
+    m.skipped_lines += skipped;
+  }
+  std::sort(m.records.begin(), m.records.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              return a.spec_hash != b.spec_hash ? a.spec_hash < b.spec_hash
+                                                : a.job_id < b.job_id;
+            });
+  return m;
 }
 
 std::unordered_set<std::size_t> ResultStore::completed_ok(

@@ -92,4 +92,29 @@ class ResultStore {
   std::mutex mutex_;
 };
 
+/// Result of folding several stores (the fleet's per-worker JSONL files)
+/// into one canonical record set.
+struct StoreMerge {
+  /// Winner per (spec_hash, job_id), sorted by spec_hash then job id.
+  std::vector<JobRecord> records;
+  std::size_t inputs = 0;         ///< records read across all stores
+  std::size_t skipped_lines = 0;  ///< torn lines healed by the loader
+  std::size_t duplicates = 0;     ///< extra records folded away
+  /// Jobs recorded "ok" more than once — re-executed after a steal or an
+  /// expired lease — and how many of those pairs disagreed on their
+  /// canonical (deterministic-payload) row. A nonzero mismatch count means
+  /// the sweep is not deterministic: always a bug, never expected.
+  std::size_t reexecuted_ok = 0;
+  std::size_t reconcile_mismatches = 0;
+};
+
+/// Merges `paths` (read in order; missing files contribute nothing). An
+/// "ok" record beats any failed/timeout record for the same job; between
+/// records of equal standing the later read wins, except that the first
+/// "ok" is kept and later "ok"s are only *compared* against it (bitwise
+/// reconciliation of re-executed jobs). When `spec_hash` is non-null only
+/// that spec's records participate.
+[[nodiscard]] StoreMerge merge_stores(const std::vector<std::string>& paths,
+                                      const std::uint64_t* spec_hash = nullptr);
+
 }  // namespace sbgp::exp

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <ostream>
 #include <thread>
+#include <unordered_set>
 
 #include "exp/runner.h"
 #include "obs/metrics.h"
@@ -36,7 +37,12 @@ SweepReport SweepScheduler::run(const JobSpec& spec, ResultStore* store,
                                 const JobRunner& runner) {
   const auto sweep_start = Clock::now();
   const std::uint64_t spec_hash = spec.hash();
-  const std::vector<Job> jobs = spec.expand();
+  std::vector<Job> jobs = spec.expand();
+  if (options_.job_subset.has_value()) {
+    const std::unordered_set<std::size_t> keep(options_.job_subset->begin(),
+                                               options_.job_subset->end());
+    std::erase_if(jobs, [&keep](const Job& j) { return !keep.contains(j.id); });
+  }
 
   SweepReport report;
   report.spec_hash = spec_hash;

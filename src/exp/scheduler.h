@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <vector>
 
 #include "exp/job_spec.h"
@@ -39,6 +40,11 @@ struct SweepOptions {
   int retries = 0;
   /// Skip jobs whose latest store record is "ok" (checkpoint/resume).
   bool resume = true;
+  /// When set, only the listed job ids of the expanded spec are considered
+  /// (a leased fleet shard); ids keep their grid meaning, so spec-hash +
+  /// job-id keyed records from different shards merge seamlessly. Unknown
+  /// ids are ignored. nullopt = the whole grid.
+  std::optional<std::vector<std::size_t>> job_subset;
   /// Emit a progress line to `progress` every this-many seconds; 0 = only
   /// the final summary. Lines go to the stream below (nullptr = silent).
   double progress_interval_s = 5.0;

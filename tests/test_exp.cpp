@@ -269,6 +269,115 @@ TEST(Scheduler, ResumeRunsOnlyIncompleteJobs) {
   EXPECT_EQ(noop.executed, 0u);
 }
 
+TEST(Scheduler, ResumeHealsLastLineTornAtEveryByteOffset) {
+  // Property-style sweep of the kill-mid-write space: a store holding 5
+  // complete records plus a 6th line truncated at EVERY byte offset must
+  // always (a) heal — load() skips exactly the torn line, (b) resume — the
+  // scheduler re-runs exactly the jobs without an intact "ok" record, and
+  // (c) converge to the reference rows. A fake runner keeps the 200-ish
+  // iterations fast; determinism makes the rows comparable.
+  const JobSpec spec = small_spec();
+  const JobRunner runner = [](const Job& job, const std::function<bool()>&) {
+    JobRecord r;
+    r.job_id = job.id;
+    r.job_key = job.key();
+    r.status = "ok";
+    r.outcome = "converged";
+    r.rounds = job.id + 1;
+    r.secure_ases = 10 * job.id;
+    r.num_ases = 200;
+    r.frac_ases = static_cast<double>(r.secure_ases) / 200.0;
+    return r;
+  };
+  SweepOptions opts;
+  opts.workers = 1;
+
+  const std::string full_path = temp_path("store_torn_full.jsonl");
+  std::remove(full_path.c_str());
+  ResultStore full(full_path);
+  const auto reference = SweepScheduler(opts).run(spec, &full, runner);
+  ASSERT_EQ(reference.ok, 12u);
+  const auto ref_rows = canonical_rows(reference.records);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(full_path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 12u);
+  const std::string& torn = lines[5];
+
+  // Offset 0 = the 6th record never hit the disk at all; offset len = the
+  // write completed but the newline (and everything after) was lost.
+  for (std::size_t cut = 0; cut <= torn.size(); ++cut) {
+    const std::string path = temp_path("store_torn_cut.jsonl");
+    std::remove(path.c_str());
+    {
+      std::ofstream out(path, std::ios::binary);
+      for (int i = 0; i < 5; ++i) out << lines[i] << '\n';
+      out.write(torn.data(), static_cast<std::streamsize>(cut));
+    }
+
+    // A complete prefix parses; any strict, non-empty prefix of a JSON
+    // object cannot. The loader must count exactly the torn lines.
+    std::size_t skipped_lines = 0;
+    const auto loaded = ResultStore::load(path, &skipped_lines);
+    const bool torn_is_whole = cut == torn.size();
+    const std::size_t expect_healthy = torn_is_whole ? 6u : 5u;
+    ASSERT_EQ(loaded.size(), expect_healthy) << "cut=" << cut;
+    ASSERT_EQ(skipped_lines, cut == 0 || torn_is_whole ? 0u : 1u)
+        << "cut=" << cut;
+
+    ResultStore store(path);
+    const auto resumed = SweepScheduler(opts).run(spec, &store, runner);
+    ASSERT_EQ(resumed.skipped, expect_healthy) << "cut=" << cut;
+    ASSERT_EQ(resumed.executed, 12u - expect_healthy) << "cut=" << cut;
+    ASSERT_EQ(resumed.ok, resumed.executed) << "cut=" << cut;
+    ASSERT_EQ(resumed.records.size(), 12u) << "cut=" << cut;
+    ASSERT_EQ(canonical_rows(resumed.records), ref_rows) << "cut=" << cut;
+  }
+}
+
+TEST(Scheduler, JobSubsetRestrictsTheGridWithoutRenumbering) {
+  // The fleet's leased-shard hook: a subset sweep runs only the listed ids,
+  // but the ids keep their whole-grid meaning, so two disjoint subsets into
+  // the same store compose to exactly the full grid.
+  const JobSpec spec = small_spec();
+  const JobRunner runner = [](const Job& job, const std::function<bool()>&) {
+    JobRecord r;
+    r.job_id = job.id;
+    r.job_key = job.key();
+    r.status = "ok";
+    r.outcome = "converged";
+    return r;
+  };
+  const std::string path = temp_path("store_subset.jsonl");
+  std::remove(path.c_str());
+
+  SweepOptions front;
+  front.workers = 1;
+  front.job_subset = std::vector<std::size_t>{0, 1, 2, 3, 4};
+  ResultStore store(path);
+  const auto a = SweepScheduler(front).run(spec, &store, runner);
+  EXPECT_EQ(a.total_jobs, 5u);
+  EXPECT_EQ(a.executed, 5u);
+  for (const auto& r : a.records) EXPECT_LT(r.job_id, 5u);
+
+  SweepOptions back;
+  back.workers = 1;
+  // Unknown ids (99) are ignored; overlap (4) resumes from the store.
+  back.job_subset = std::vector<std::size_t>{4, 5, 6, 7, 8, 9, 10, 11, 99};
+  const auto b = SweepScheduler(back).run(spec, &store, runner);
+  EXPECT_EQ(b.total_jobs, 8u);
+  EXPECT_EQ(b.skipped, 1u);  // id 4 already ok
+  EXPECT_EQ(b.executed, 7u);
+
+  const auto latest =
+      ResultStore::latest_by_job(ResultStore::load(path), spec.hash());
+  EXPECT_EQ(latest.size(), 12u);
+}
+
 TEST(Scheduler, FailingJobsAreIsolatedAndRecorded) {
   const JobSpec spec = small_spec();
   const JobRunner runner = [](const Job& job, const std::function<bool()>&) {

@@ -1,0 +1,404 @@
+// Kill/crash fault injection for the multi-process sweep fleet. These tests
+// run a *real* fleet — coordinator in the test process, workers as separate
+// processes re-exec'd from this very binary — and murder workers at chosen
+// points: mid-shard after N jobs, mid-JSONL-line (a torn record is written
+// and the process dies before completing it), and immediately after claiming
+// a shard (before the first heartbeat). The invariant under all of it: the
+// fleet converges, and its merged store is job-for-job identical (canonical
+// deterministic rows, keyed by spec hash + job id) to a single-process
+// SweepScheduler run of the same spec.
+//
+// Worker trap: when SBGP_FLEET_TRAP=1 is in the environment, a static
+// initializer in this translation unit runs the fleet worker loop and
+// _Exit()s before gtest's main ever starts. The coordinator spawns
+// /proc/self/exe with that variable set — so the whole harness lives in the
+// sbgp_tests binary and runs identically under ASan/UBSan (no dependency on
+// the CLI binary).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "exp/fleet.h"
+#include "exp/lease.h"
+#include "exp/result_store.h"
+#include "exp/scheduler.h"
+#include "obs/metrics.h"
+
+namespace sbgp::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Deterministic fake job runner: the record is a pure function of the job,
+// so single-process and fleet runs are bitwise comparable without paying for
+// real simulations. The small stall gives the coordinator supervision ticks
+// and the kill points something to land in the middle of.
+JobRecord fake_run(const Job& job) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  JobRecord r;
+  r.job_id = job.id;
+  r.job_key = job.key();
+  r.status = "ok";
+  r.outcome = "converged";
+  r.rounds = 1 + job.id % 7;
+  r.secure_ases = 100 + job.id;
+  r.secure_isps = 50 + job.id % 13;
+  r.num_ases = 200;
+  r.num_isps = 120;
+  r.frac_ases = static_cast<double>(r.secure_ases) / r.num_ases;
+  r.frac_isps = static_cast<double>(r.secure_isps) / r.num_isps;
+  return r;
+}
+
+// The grid under test: 6 thetas x 4 seeds = 24 jobs. Built identically in
+// the parent and (via spec.json) in trapped workers.
+JobSpec fault_spec() {
+  JobSpec spec;
+  spec.name = "fleet-fault-grid";
+  spec.thetas = {0.0, 0.05, 0.1, 0.2, 0.35, 0.5};
+  spec.seeds = {1, 2, 3, 4};
+  return spec;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// The worker trap. Runs before main() when the binary is re-exec'd with
+// SBGP_FLEET_TRAP=1; never returns.
+
+[[noreturn]] void run_trapped_worker() {
+  const char* run_dir = std::getenv("SBGP_FLEET_RUN_DIR");
+  const char* worker_id = std::getenv("SBGP_FLEET_WORKER_ID");
+  if (run_dir == nullptr || worker_id == nullptr) std::_Exit(86);
+  const long kill_after =
+      std::strtol(std::getenv("SBGP_FLEET_KILL_AFTER") != nullptr
+                      ? std::getenv("SBGP_FLEET_KILL_AFTER")
+                      : "-1",
+                  nullptr, 10);
+  const char* kill_mode_env = std::getenv("SBGP_FLEET_KILL_MODE");
+  const std::string kill_mode = kill_mode_env != nullptr ? kill_mode_env : "die";
+
+  WorkerOptions wo;
+  wo.run_dir = run_dir;
+  wo.worker_id = worker_id;
+  wo.ttl_s = env_double("SBGP_FLEET_TTL", 0.5);
+  wo.poll_s = 0.01;
+  wo.max_idle_s = 20.0;  // orphan guard: never outlive a wedged test by much
+  wo.runner = [](const Job& job, const std::function<bool()>&) {
+    return fake_run(job);
+  };
+  const std::string store_path =
+      FleetPaths::at(wo.run_dir).worker_store(wo.worker_id);
+  wo.on_job = [kill_after, kill_mode, store_path](const JobRecord& r,
+                                                  std::size_t jobs_done) {
+    if (kill_after < 0 || jobs_done <= static_cast<std::size_t>(kill_after)) {
+      return;
+    }
+    if (kill_mode == "tear") {
+      // Die mid-JSONL-line: append an unterminated prefix of a plausible
+      // record, exactly what SIGKILL between write() and the trailing
+      // newline leaves behind. The healed loader must skip it.
+      const std::string line = r.to_json().dump();
+      if (std::FILE* f = std::fopen(store_path.c_str(), "ab")) {
+        std::fwrite(line.data(), 1, line.size() / 2, f);
+        std::fflush(f);
+        // No fclose: _Exit below abandons the handle like a kill would.
+      }
+    }
+    // _Exit: no destructors, no lease release, no done marker — as close to
+    // SIGKILL as a process can do to itself, but deterministic in *where*.
+    std::_Exit(9);
+  };
+  try {
+    (void)run_fleet_worker(wo);
+  } catch (...) {
+    std::_Exit(87);
+  }
+  std::_Exit(0);
+}
+
+[[maybe_unused]] const bool g_worker_trap = [] {
+  const char* trap = std::getenv("SBGP_FLEET_TRAP");
+  if (trap != nullptr && trap[0] == '1') run_trapped_worker();
+  return false;
+}();
+
+// ---------------------------------------------------------------------------
+// Harness helpers.
+
+std::string temp_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  fs::remove_all(path);
+  fs::create_directories(path);
+  return path;
+}
+
+// Canonical deterministic rows keyed by job id — the equivalence currency.
+std::unordered_map<std::size_t, std::string> rows_by_job(
+    const std::vector<JobRecord>& records) {
+  std::unordered_map<std::size_t, std::string> out;
+  for (const auto& r : records) out[r.job_id] = r.canonical_row();
+  return out;
+}
+
+// Single-process reference run of `spec` with the same fake runner.
+std::unordered_map<std::size_t, std::string> reference_rows(const JobSpec& spec) {
+  SweepOptions so;
+  so.workers = 1;
+  SweepScheduler sched(so);
+  const auto report = sched.run(
+      spec, nullptr,
+      [](const Job& job, const std::function<bool()>&) { return fake_run(job); });
+  return rows_by_job(report.records);
+}
+
+// Spawner for trapped workers. `kill_after[i]` configures worker index i's
+// self-destruct (< 0 = reliable worker); restarted workers (index reused,
+// fresh id) come back reliable, as a respawned process would.
+struct TrapSpawner {
+  std::string run_dir;
+  double ttl_s = 0.5;
+  std::vector<std::pair<long, std::string>> faults;  // per index: count, mode
+  std::vector<std::string> spawned_ids;
+
+  pid_t operator()(std::size_t index, const std::string& worker_id) {
+    long kill_after = -1;
+    std::string mode = "die";
+    const bool first_spawn =
+        worker_id.find('r') == std::string::npos;  // "w0", not "w0r1"
+    if (first_spawn && index < faults.size()) {
+      kill_after = faults[index].first;
+      mode = faults[index].second;
+    }
+    spawned_ids.push_back(worker_id);
+    return spawn_process(
+        {"/proc/self/exe"},
+        {{"SBGP_FLEET_TRAP", "1"},
+         {"SBGP_FLEET_RUN_DIR", run_dir},
+         {"SBGP_FLEET_WORKER_ID", worker_id},
+         {"SBGP_FLEET_TTL", std::to_string(ttl_s)},
+         {"SBGP_FLEET_KILL_AFTER", std::to_string(kill_after)},
+         {"SBGP_FLEET_KILL_MODE", mode}});
+  }
+};
+
+FleetOptions fast_fleet(const std::string& run_dir, std::size_t workers) {
+  FleetOptions fo;
+  fo.run_dir = run_dir;
+  fo.workers = workers;
+  fo.ttl_s = 0.5;
+  fo.poll_s = 0.02;
+  fo.max_wall_s = 120.0;  // hard stop well under any test timeout
+  return fo;
+}
+
+void expect_matches_reference(
+    const FleetReport& report,
+    const std::unordered_map<std::size_t, std::string>& ref) {
+  EXPECT_FALSE(report.aborted);
+  EXPECT_EQ(report.missing, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.timed_out, 0u);
+  EXPECT_EQ(report.reconcile_mismatches, 0u);
+  const auto fleet_rows = rows_by_job(report.records);
+  ASSERT_EQ(fleet_rows.size(), ref.size());
+  for (const auto& [id, row] : ref) {
+    const auto it = fleet_rows.find(id);
+    ASSERT_NE(it, fleet_rows.end()) << "job " << id << " missing from merge";
+    EXPECT_EQ(it->second, row) << "job " << id << " diverged";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The fault matrix.
+
+TEST(FleetFaults, WorkerDiesMidShardFleetStillMatchesReference) {
+  const auto ref = reference_rows(fault_spec());
+  const std::string run_dir = temp_dir("fleet_die_midshard");
+  TrapSpawner spawner;
+  spawner.run_dir = run_dir;
+  // w0 dies after completing 2 jobs (mid-shard, lease still fresh); w1 is
+  // reliable. One restart allowed.
+  spawner.faults = {{2, "die"}, {-1, "die"}};
+  FleetOptions fo = fast_fleet(run_dir, 2);
+  fo.max_restarts = 2;
+  fo.spawn = std::ref(spawner);
+  FleetReport report = FleetCoordinator(fo, fault_spec()).run();
+  expect_matches_reference(report, ref);
+  EXPECT_GE(report.worker_restarts, 1u);
+  EXPECT_GE(report.leases_expired, 1u);  // the dead worker's shard was reaped
+}
+
+TEST(FleetFaults, WorkerDiesMidJsonlLineTornRecordIsHealed) {
+  const auto ref = reference_rows(fault_spec());
+  const std::string run_dir = temp_dir("fleet_tear_midline");
+  TrapSpawner spawner;
+  spawner.run_dir = run_dir;
+  // w0 tears its own store mid-line after 3 jobs, then dies; w1 also dies
+  // (pre-heartbeat: after its 1st job, likely before the first ttl/4 beat).
+  spawner.faults = {{3, "tear"}, {0, "die"}};
+  FleetOptions fo = fast_fleet(run_dir, 2);
+  fo.max_restarts = 4;
+  fo.spawn = std::ref(spawner);
+  FleetReport report = FleetCoordinator(fo, fault_spec()).run();
+  expect_matches_reference(report, ref);
+  EXPECT_GE(report.worker_restarts, 2u);
+
+  // The torn line is still sitting in w0's store file — prove the merge
+  // healed (skipped) it rather than parsing garbage.
+  const std::uint64_t hash = fault_spec().hash();
+  const StoreMerge merge =
+      merge_stores(list_worker_stores(FleetPaths::at(run_dir)), &hash);
+  EXPECT_GE(merge.skipped_lines, 1u);
+}
+
+TEST(FleetFaults, RandomizedSigkillFromTheCoordinatorLoop) {
+  // The "kill at randomized points" sweep: a seeded RNG picks supervision
+  // ticks at which a live worker gets a real SIGKILL — wherever it happens
+  // to be (claiming, heartbeating, mid-write). Three rounds with different
+  // seeds; every round must still converge to the reference.
+  const auto ref = reference_rows(fault_spec());
+  for (const std::uint32_t seed : {11u, 23u, 47u}) {
+    const std::string run_dir =
+        temp_dir("fleet_sigkill_" + std::to_string(seed));
+    TrapSpawner spawner;
+    spawner.run_dir = run_dir;
+    spawner.faults = {{-1, "die"}, {-1, "die"}};
+    FleetOptions fo = fast_fleet(run_dir, 2);
+    fo.max_restarts = 3;
+    fo.spawn = std::ref(spawner);
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> gap(3, 12);
+    int kills_left = 2;
+    int next_kill_tick = gap(rng);
+    fo.on_poll = [&](const FleetStatus& status) {
+      if (kills_left > 0 && status.tick >= static_cast<std::size_t>(next_kill_tick) &&
+          !status.live_pids.empty()) {
+        const std::size_t victim = rng() % status.live_pids.size();
+        ::kill(status.live_pids[victim], SIGKILL);
+        --kills_left;
+        next_kill_tick = static_cast<int>(status.tick) + gap(rng);
+      }
+    };
+    FleetReport report = FleetCoordinator(fo, fault_spec()).run();
+    expect_matches_reference(report, ref);
+  }
+}
+
+TEST(FleetFaults, StealFromAStillAliveStragglerReconcilesBitwise) {
+  // One giant shard held by a deliberately slow worker; a second, fast
+  // worker has nothing to claim until the coordinator splits the
+  // straggler's tail. The straggler is never killed, so the stolen jobs run
+  // twice — the merge must fold the duplicates and verify them bitwise.
+  const JobSpec spec = fault_spec();
+  const auto ref = reference_rows(spec);
+  const std::string run_dir = temp_dir("fleet_steal_alive");
+
+  // Metric mutations are off by default; turn them on so the fleet.* counter
+  // assertion below observes the steal.
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().counter("fleet.shards_stolen").reset();
+
+  // In-process workers (threads, not processes — the protocol is identical
+  // because all coordination is through the run directory).
+  WorkerOptions slow;
+  slow.run_dir = run_dir;
+  slow.worker_id = "slow";
+  slow.ttl_s = 0.5;
+  slow.poll_s = 0.01;
+  slow.max_idle_s = 15.0;
+  slow.runner = [](const Job& job, const std::function<bool()>&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    JobRecord r = fake_run(job);
+    return r;
+  };
+  WorkerOptions fast = slow;
+  fast.worker_id = "fast";
+  fast.runner = [](const Job& job, const std::function<bool()>&) {
+    return fake_run(job);
+  };
+
+  FleetOptions fo;
+  fo.run_dir = run_dir;
+  fo.workers = 0;  // externally attached workers
+  fo.shard_size = spec.num_jobs();  // one shard => stealing is the only way
+  fo.ttl_s = 0.5;
+  fo.poll_s = 0.02;
+  fo.max_steals_per_shard = 4;
+  fo.max_wall_s = 120.0;
+  FleetCoordinator coordinator(fo, spec);
+
+  std::thread slow_thread;
+  std::thread fast_thread;
+  // Workers find spec.json via their bounded start-up wait, so they can
+  // start before the coordinator publishes anything.
+  slow_thread = std::thread([&] { (void)run_fleet_worker(slow); });
+  fast_thread = std::thread([&] { (void)run_fleet_worker(fast); });
+  FleetReport report = coordinator.run();
+  slow_thread.join();
+  fast_thread.join();
+
+  expect_matches_reference(report, ref);
+  EXPECT_GE(report.shards_stolen, 1u);
+  EXPECT_EQ(report.reconcile_mismatches, 0u);
+  EXPECT_EQ(report.leases_expired, 0u);  // nobody died; pure steal path
+
+  // The straggler finishes its whole original shard even after the steal
+  // (its work list was fixed at claim time), so by join time the stolen
+  // tail exists in BOTH stores. The coordinator's merge may have run before
+  // those late duplicates landed; a fresh merge over the final stores must
+  // see them, reconcile them bitwise, and still agree with the reference.
+  const std::uint64_t hash = spec.hash();
+  const StoreMerge final_merge =
+      merge_stores(list_worker_stores(FleetPaths::at(run_dir)), &hash);
+  EXPECT_GE(final_merge.reexecuted_ok, 1u);
+  EXPECT_EQ(final_merge.reconcile_mismatches, 0u);
+  const auto final_rows = rows_by_job(final_merge.records);
+  for (const auto& [id, row] : ref) {
+    ASSERT_TRUE(final_rows.contains(id));
+    EXPECT_EQ(final_rows.at(id), row);
+  }
+  // The obs counters saw the steal too.
+  EXPECT_GE(obs::Registry::global().counter("fleet.shards_stolen").value(), 1u);
+}
+
+TEST(FleetFaults, FleetWithoutFaultsMatchesReferenceAndStoresAreClean) {
+  // Control: no faults at all — and the merged store must already be
+  // byte-healthy (zero torn lines, zero duplicates beyond steal noise).
+  const auto ref = reference_rows(fault_spec());
+  const std::string run_dir = temp_dir("fleet_clean");
+  TrapSpawner spawner;
+  spawner.run_dir = run_dir;
+  spawner.faults = {{-1, "die"}, {-1, "die"}};
+  FleetOptions fo = fast_fleet(run_dir, 2);
+  fo.spawn = std::ref(spawner);
+  FleetReport report = FleetCoordinator(fo, fault_spec()).run();
+  expect_matches_reference(report, ref);
+  EXPECT_EQ(report.worker_restarts, 0u);
+  EXPECT_EQ(report.leases_expired, 0u);
+
+  // merged.jsonl on disk round-trips to the same rows.
+  std::size_t skipped = 0;
+  const auto on_disk =
+      ResultStore::load(FleetPaths::at(run_dir).merged, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  const auto disk_rows = rows_by_job(on_disk);
+  EXPECT_EQ(disk_rows.size(), ref.size());
+}
+
+}  // namespace
+}  // namespace sbgp::exp

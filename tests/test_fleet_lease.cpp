@@ -1,0 +1,352 @@
+// Deterministic unit tests for the fleet's lease state machine and the pure
+// shard/merge helpers. Nothing here sleeps and nothing reads a real clock:
+// every claim → heartbeat → expire → reap → re-claim transition is driven by
+// an injectable fake clock, so the tests assert exact TTL edge behaviour
+// (expiry is strict ">"), double-claim arbitration, and the steal/reconcile
+// invariants without any timing assumptions.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "exp/fleet.h"
+#include "exp/lease.h"
+#include "exp/result_store.h"
+
+namespace sbgp::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test directory under gtest's temp root.
+std::string temp_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  fs::remove_all(path);
+  fs::create_directories(path);
+  return path;
+}
+
+// Shared mutable fake time. LeaseDir copies the NowFn, so tests hold the
+// state in a shared_ptr and advance it from outside.
+struct FakeClock {
+  std::shared_ptr<double> t = std::make_shared<double>(1000.0);
+  NowFn fn() const {
+    auto p = t;
+    return [p] { return *p; };
+  }
+  void advance(double s) { *t += s; }
+};
+
+TEST(Lease, ClaimHeartbeatReleaseLifecycle) {
+  const std::string dir = temp_dir("lease_lifecycle");
+  FakeClock clock;
+  LeaseDir leases(dir, clock.fn());
+
+  EXPECT_FALSE(leases.held("shard-000"));
+  EXPECT_FALSE(leases.read("shard-000").has_value());
+
+  ASSERT_TRUE(leases.try_claim("shard-000", "w0"));
+  EXPECT_TRUE(leases.held("shard-000"));
+  auto info = leases.read("shard-000");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->shard, "shard-000");
+  EXPECT_EQ(info->worker, "w0");
+  EXPECT_DOUBLE_EQ(info->claimed_s, 1000.0);
+  EXPECT_DOUBLE_EQ(info->beat_s, 1000.0);
+  EXPECT_EQ(info->beats, 0u);
+
+  clock.advance(2.5);
+  ASSERT_TRUE(leases.heartbeat("shard-000", "w0"));
+  info = leases.read("shard-000");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_DOUBLE_EQ(info->claimed_s, 1000.0);  // claim time never moves
+  EXPECT_DOUBLE_EQ(info->beat_s, 1002.5);
+  EXPECT_EQ(info->beats, 1u);
+
+  leases.release("shard-000", "w0");
+  EXPECT_FALSE(leases.held("shard-000"));
+  // Released shard is claimable again.
+  EXPECT_TRUE(leases.try_claim("shard-000", "w1"));
+}
+
+TEST(Lease, SecondClaimLosesWhileHeld) {
+  const std::string dir = temp_dir("lease_excl");
+  FakeClock clock;
+  LeaseDir leases(dir, clock.fn());
+
+  ASSERT_TRUE(leases.try_claim("s", "w0"));
+  EXPECT_FALSE(leases.try_claim("s", "w1"));
+  EXPECT_FALSE(leases.try_claim("s", "w0"));  // not even re-entrantly
+  // The loser's attempt must not have damaged the winner's lease.
+  const auto info = leases.read("s");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->worker, "w0");
+}
+
+TEST(Lease, ConcurrentClaimHasExactlyOneWinner) {
+  const std::string dir = temp_dir("lease_race");
+  FakeClock clock;
+  constexpr int kContenders = 16;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kContenders);
+  for (int i = 0; i < kContenders; ++i) {
+    threads.emplace_back([&, i] {
+      // Each contender uses its own LeaseDir, as separate processes would.
+      LeaseDir leases(dir, clock.fn());
+      if (leases.try_claim("contested", "w" + std::to_string(i))) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);
+  // No temp droppings left behind in the directory.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_EQ(e.path().extension(), ".lease") << e.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(Lease, ExpiryIsDrivenByEmbeddedTimestampNotMtime) {
+  const std::string dir = temp_dir("lease_expiry");
+  FakeClock clock;
+  LeaseDir leases(dir, clock.fn());
+  ASSERT_TRUE(leases.try_claim("s", "w0"));
+
+  // Heartbeat at t+8 keeps the lease alive at t+10 under ttl=10 even though
+  // wall-clock mtime says the file is brand new or ancient — prove the
+  // decision ignores mtime by backdating it to the epoch.
+  clock.advance(8.0);
+  ASSERT_TRUE(leases.heartbeat("s", "w0"));
+  const struct ::timespec times[2] = {{0, 0}, {0, 0}};
+  ::utimensat(AT_FDCWD, (dir + "/s.lease").c_str(), times, 0);
+
+  clock.advance(2.0);  // now - beat = 2 <= ttl
+  EXPECT_FALSE(leases.read("s")->expired(leases.now_s(), 10.0));
+  EXPECT_FALSE(leases.reap_if_expired("s", 10.0));
+  EXPECT_TRUE(leases.held("s"));
+
+  // Exactly at the TTL edge the lease is still alive (strict ">").
+  clock.advance(8.0);  // now - beat = 10
+  EXPECT_FALSE(leases.read("s")->expired(leases.now_s(), 10.0));
+  EXPECT_FALSE(leases.reap_if_expired("s", 10.0));
+
+  // One tick past and it is reapable.
+  clock.advance(0.001);
+  EXPECT_TRUE(leases.read("s")->expired(leases.now_s(), 10.0));
+  EXPECT_TRUE(leases.reap_if_expired("s", 10.0));
+  EXPECT_FALSE(leases.held("s"));
+  EXPECT_FALSE(leases.reap_if_expired("s", 10.0));  // idempotent
+}
+
+TEST(Lease, ReapedHolderCannotHeartbeatOrReleaseTheNewClaim) {
+  const std::string dir = temp_dir("lease_fence");
+  FakeClock clock;
+  LeaseDir leases(dir, clock.fn());
+
+  ASSERT_TRUE(leases.try_claim("s", "w0"));
+  clock.advance(11.0);
+  ASSERT_TRUE(leases.reap_if_expired("s", 10.0));
+  ASSERT_TRUE(leases.try_claim("s", "w1"));
+
+  // The zombie's heartbeat reports the loss instead of clobbering w1.
+  EXPECT_FALSE(leases.heartbeat("s", "w0"));
+  auto info = leases.read("s");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->worker, "w1");
+
+  // And the zombie's release is a no-op — w1 still holds the shard.
+  leases.release("s", "w0");
+  EXPECT_TRUE(leases.held("s"));
+  EXPECT_EQ(leases.read("s")->worker, "w1");
+
+  // force_release (coordinator cleanup) removes it unconditionally.
+  leases.force_release("s");
+  EXPECT_FALSE(leases.held("s"));
+}
+
+TEST(Lease, ListReturnsSortedDecodableLeases) {
+  const std::string dir = temp_dir("lease_list");
+  FakeClock clock;
+  LeaseDir leases(dir, clock.fn());
+  ASSERT_TRUE(leases.try_claim("b", "w1"));
+  ASSERT_TRUE(leases.try_claim("a", "w0"));
+  ASSERT_TRUE(leases.try_claim("c", "w2"));
+  const auto all = leases.list();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].shard, "a");
+  EXPECT_EQ(all[1].shard, "b");
+  EXPECT_EQ(all[2].shard, "c");
+}
+
+TEST(Lease, JsonRoundTripAndTornFilesReadAsAbsent) {
+  LeaseInfo info;
+  info.shard = "shard-007";
+  info.worker = "w3";
+  info.claimed_s = 123.5;
+  info.beat_s = 130.25;
+  info.beats = 9;
+  const LeaseInfo back = LeaseInfo::from_json(info.to_json());
+  EXPECT_EQ(back.shard, info.shard);
+  EXPECT_EQ(back.worker, info.worker);
+  EXPECT_DOUBLE_EQ(back.claimed_s, info.claimed_s);
+  EXPECT_DOUBLE_EQ(back.beat_s, info.beat_s);
+  EXPECT_EQ(back.beats, info.beats);
+
+  const std::string dir = temp_dir("lease_torn");
+  LeaseDir leases(dir);
+  // Externally damaged lease file: read() treats it as absent rather than
+  // throwing into the supervision loop.
+  std::ofstream(dir + "/x.lease") << "{\"shard\":\"x\",\"wor";
+  EXPECT_FALSE(leases.read("x").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Pure shard helpers.
+
+TEST(Shards, MakeShardsCoversTheGridExactlyOnce) {
+  const auto shards = make_shards(10, 3);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0].id, "shard-000");
+  EXPECT_EQ(shards[3].id, "shard-003");
+  std::vector<std::size_t> all;
+  for (const auto& s : shards) {
+    all.insert(all.end(), s.job_ids.begin(), s.job_ids.end());
+  }
+  ASSERT_EQ(all.size(), 10u);
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+  EXPECT_TRUE(make_shards(0, 3).empty());
+  EXPECT_EQ(make_shards(5, 0).size(), 5u);  // shard_size 0 clamps to 1
+}
+
+TEST(Shards, SplitTakesTheTailHalfAndNamesByGeneration) {
+  Shard victim;
+  victim.id = "shard-002";
+  victim.job_ids = {10, 11, 12, 13, 14, 15, 16};
+  const std::unordered_set<std::size_t> recorded = {10, 11};
+  const auto remaining = shard_remaining(victim, recorded);
+  ASSERT_EQ(remaining, (std::vector<std::size_t>{12, 13, 14, 15, 16}));
+
+  const Shard stolen = split_shard(victim, remaining, 1);
+  EXPECT_EQ(stolen.id, "shard-002-s1");
+  // floor(5/2) = 2 jobs from the tail; the victim keeps 12,13,14.
+  EXPECT_EQ(stolen.job_ids, (std::vector<std::size_t>{15, 16}));
+
+  // Two remaining jobs split 1/1.
+  const Shard pair = split_shard(victim, {3, 4}, 2);
+  EXPECT_EQ(pair.id, "shard-002-s2");
+  EXPECT_EQ(pair.job_ids, (std::vector<std::size_t>{4}));
+
+  EXPECT_THROW(split_shard(victim, {3}, 1), std::invalid_argument);
+}
+
+TEST(Shards, PublishIsDurableIdempotentAndImmutable) {
+  const std::string root = temp_dir("shards_publish");
+  const FleetPaths paths = FleetPaths::at(root);
+  fs::create_directories(paths.shards);
+  Shard s;
+  s.id = "shard-000";
+  s.job_ids = {0, 1, 2};
+  publish_shard(paths, s);
+  // Republishing (even with different content) leaves the original intact.
+  Shard s2 = s;
+  s2.job_ids = {99};
+  publish_shard(paths, s2);
+  const auto listed = list_shards(paths);
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].job_ids, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Merge reconciliation (the steal-duplicate path).
+
+JobRecord ok_record(std::uint64_t spec_hash, std::size_t id, double frac) {
+  JobRecord r;
+  r.spec_hash = spec_hash;
+  r.job_id = id;
+  r.job_key = "job-" + std::to_string(id);
+  r.status = "ok";
+  r.outcome = "converged";
+  r.frac_ases = frac;
+  return r;
+}
+
+std::string write_store(const std::string& path,
+                        const std::vector<JobRecord>& records) {
+  ResultStore store(path);
+  for (const auto& r : records) store.append(r);
+  return path;
+}
+
+TEST(MergeStores, DuplicatesFromAStolenShardReconcileBitwise) {
+  const std::string dir = temp_dir("merge_dup");
+  // w0 ran jobs 0,1; w1 stole and re-ran job 1 with the identical result —
+  // the normal steal-of-a-still-alive-straggler outcome.
+  const auto a = write_store(dir + "/w0.jsonl",
+                             {ok_record(7, 0, 0.25), ok_record(7, 1, 0.5)});
+  const auto b = write_store(dir + "/w1.jsonl", {ok_record(7, 1, 0.5)});
+  const std::uint64_t hash = 7;
+  const StoreMerge m = merge_stores({a, b}, &hash);
+  ASSERT_EQ(m.records.size(), 2u);
+  EXPECT_EQ(m.inputs, 3u);
+  EXPECT_EQ(m.duplicates, 1u);
+  EXPECT_EQ(m.reexecuted_ok, 1u);
+  EXPECT_EQ(m.reconcile_mismatches, 0u);
+
+  // A nondeterministic re-execution is *detected*, not silently merged.
+  const auto c = write_store(dir + "/w2.jsonl", {ok_record(7, 0, 0.75)});
+  const StoreMerge bad = merge_stores({a, b, c}, &hash);
+  EXPECT_EQ(bad.reexecuted_ok, 2u);
+  EXPECT_EQ(bad.reconcile_mismatches, 1u);
+  // Read-order independence: the first "ok" wins regardless of input order.
+  const StoreMerge rev = merge_stores({c, b, a}, &hash);
+  ASSERT_EQ(rev.records.size(), 2u);
+  EXPECT_EQ(rev.reconcile_mismatches, 1u);
+}
+
+TEST(MergeStores, OkBeatsFailureRegardlessOfOrder) {
+  const std::string dir = temp_dir("merge_okwins");
+  JobRecord fail = ok_record(7, 0, 0.0);
+  fail.status = "failed";
+  fail.error = "boom";
+  const auto a = write_store(dir + "/w0.jsonl", {fail});
+  const auto b = write_store(dir + "/w1.jsonl", {ok_record(7, 0, 0.25)});
+  const std::uint64_t hash = 7;
+  for (const auto& order :
+       std::vector<std::vector<std::string>>{{a, b}, {b, a}}) {
+    const StoreMerge m = merge_stores(order, &hash);
+    ASSERT_EQ(m.records.size(), 1u);
+    EXPECT_EQ(m.records[0].status, "ok");
+    EXPECT_EQ(m.reexecuted_ok, 0u);
+  }
+}
+
+TEST(MergeStores, FiltersBySpecHashAndSurvivesMissingFiles) {
+  const std::string dir = temp_dir("merge_filter");
+  const auto a = write_store(dir + "/w0.jsonl",
+                             {ok_record(7, 0, 0.25), ok_record(8, 0, 0.9)});
+  const std::uint64_t hash = 7;
+  const StoreMerge m = merge_stores({a, dir + "/nope.jsonl"}, &hash);
+  ASSERT_EQ(m.records.size(), 1u);
+  EXPECT_EQ(m.records[0].spec_hash, 7u);
+  // Unfiltered: both specs, sorted by (spec_hash, job_id).
+  const StoreMerge all = merge_stores({a});
+  ASSERT_EQ(all.records.size(), 2u);
+  EXPECT_EQ(all.records[0].spec_hash, 7u);
+  EXPECT_EQ(all.records[1].spec_hash, 8u);
+}
+
+}  // namespace
+}  // namespace sbgp::exp

@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_perf_routing_kernel \
-    bench_perf_incremental_rounds
+    bench_perf_incremental_rounds bench_fleet_scaling
 
 ./build-release/bench/bench_perf_routing_kernel \
     --benchmark_out=BENCH_routing_kernel.json \
@@ -28,3 +28,12 @@ echo "wrote BENCH_routing_kernel.json"
     --json-out BENCH_incremental_rounds.json > /dev/null \
     || echo "note: bench_perf_incremental_rounds exited non-zero (speedup gate)"
 echo "wrote BENCH_incremental_rounds.json"
+
+# Fleet substrate scaling: 240 latency-bound jobs at 1/2/4/8 worker
+# processes; gates on >= 3x wall-clock at 4 workers (jobs are stall-
+# dominated precisely so the gate measures coordination overhead, not CPU
+# contention — see the bench header).
+./build-release/bench/bench_fleet_scaling \
+    --json-out BENCH_fleet_scaling.json --quiet \
+    || echo "note: bench_fleet_scaling exited non-zero (speedup gate)"
+echo "wrote BENCH_fleet_scaling.json"

@@ -2,7 +2,9 @@
 # Tier-1 verification: configure, build, run the test suite (plain and under
 # ASan/UBSan), then smoke-test the experiment-orchestration path
 # (`sbgpsim jobs run` on a tiny grid, a resumed rerun that must skip
-# everything, and a canonical merge). Every PR should pass this unchanged.
+# everything, and a canonical merge) and the multi-process fleet path
+# (coordinator + workers sharing a run directory, one worker SIGKILLed
+# mid-run). Every PR should pass this unchanged.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -132,4 +134,39 @@ grep -q 'scenario_key' "$tmp/scn.metrics.jsonl" \
 "$sbgpsim" validate "$tmp/scn.metrics.jsonl" "$tmp/scnrun.metrics.jsonl" \
     || { echo "tier1 FAIL: scenario telemetry failed validation"; exit 1; }
 
-echo "tier1 OK (tests + orchestration + observability + scenario smoke)"
+# Fleet smoke: the same 12-job grid executed by the multi-process fleet —
+# a coordinator plus 2 spawned `sbgpsim worker` processes sharing a run
+# directory — with one worker SIGKILLed mid-run. The lease/steal/resume
+# machinery must still finish the grid, and the merged store must be
+# row-identical to the single-process reference from the orchestration
+# smoke above. (The full fault-injection matrix lives in
+# tests/test_fleet_faults.cpp and already ran twice, plain and ASan.)
+"$sbgpsim" jobs run --spec "$tmp/grid.json" --run-dir "$tmp/fleet" \
+    --workers 2 --ttl-s 1 --progress-s 0 2> "$tmp/fleet.log" &
+fleet_pid=$!
+kill_pid=""
+for _ in $(seq 100); do
+    kill_pid="$(pgrep -f "worker --run-dir $tmp/fleet" | head -n1 || true)"
+    [ -n "$kill_pid" ] && break
+    sleep 0.05
+done
+[ -n "$kill_pid" ] && kill -KILL "$kill_pid" 2> /dev/null || true
+wait "$fleet_pid" \
+    || { echo "tier1 FAIL: fleet run with a killed worker did not recover"; \
+         cat "$tmp/fleet.log"; exit 1; }
+"$sbgpsim" jobs merge --run-dir "$tmp/fleet" --csv 2> /dev/null \
+    > "$tmp/fleet.csv"
+"$sbgpsim" jobs merge --spec "$tmp/grid.json" --store "$tmp/r.jsonl" --csv \
+    2> /dev/null > "$tmp/ref.csv"
+cmp -s "$tmp/fleet.csv" "$tmp/ref.csv" \
+    || { echo "tier1 FAIL: fleet merge differs from single-process reference"; \
+         diff "$tmp/ref.csv" "$tmp/fleet.csv" | head; exit 1; }
+# Worker-mode failure contract: a run directory that never gets a spec is a
+# worker error (exit 5), distinct from usage (2) and runtime (4) failures.
+rc=0
+"$sbgpsim" worker --run-dir "$tmp/no-such-fleet" --max-idle-s 0.2 \
+    2> /dev/null || rc=$?
+[ "$rc" -eq 5 ] \
+    || { echo "tier1 FAIL: worker on unusable run dir exited $rc, want 5"; exit 1; }
+
+echo "tier1 OK (tests + orchestration + observability + scenario + fleet smoke)"

@@ -11,6 +11,12 @@
 //   sbgpsim jobs     (run | status | merge) --spec spec.json
 //                    --store results.jsonl [--workers N] [--timeout-s F]
 //                    [--retries K] [--no-resume] [--progress-s F] [--csv]
+//   sbgpsim jobs run --spec spec.json --run-dir DIR [--workers N]
+//                    (multi-process fleet: N worker processes over leased
+//                     shards; 0 = coordinate only, attach workers below)
+//   sbgpsim worker   --run-dir DIR [--worker-id ID] [--ttl-s F]
+//                    (attach one worker process to a fleet run directory —
+//                     possibly from another host over a shared filesystem)
 //   sbgpsim scenario run --scenario scn.json [--graph g.txt | --nodes N]
 //                    [--adopters SPEC] [--simulate] [--workers N] [--csv]
 //   sbgpsim validate [--scenario FILE]... FILE...
@@ -34,6 +40,7 @@
 #include "core/analysis.h"
 #include "core/resilience.h"
 #include "core/simulator.h"
+#include "exp/fleet.h"
 #include "exp/job_spec.h"
 #include "exp/result_store.h"
 #include "exp/runner.h"
@@ -58,8 +65,11 @@ constexpr int kExitUsage = 2;       // bad command line / malformed spec input
 constexpr int kExitDivergence = 3;  // --check-incremental tripped
 constexpr int kExitRuntime = 4;     // runtime failure (failed/timed-out jobs,
                                     // I/O errors, invalid data files)
+constexpr int kExitWorker = 5;      // fleet worker-mode failure (unusable run
+                                    // directory, no spec within max-idle)
 
 struct CliOptions {
+  std::string self_exe;    // argv[0] — the fleet coordinator re-execs itself
   std::string command;
   std::string subcommand;  // jobs: run | status | merge; analyze: mode
   std::vector<std::string> positionals;  // all non-flag args (validate FILEs)
@@ -70,6 +80,14 @@ struct CliOptions {
   std::string out_file;
   std::string spec_file;
   std::string store_file;
+  std::string run_dir;    // fleet run directory (jobs run / worker / status)
+  std::string worker_id;  // worker: this process's id; default w<pid>
+  double ttl_s = 10.0;    // fleet lease TTL
+  double max_idle_s = 0.0;   // worker: exit after this long with no work
+  double max_wall_s = 0.0;   // coordinator: abort wedged runs
+  std::size_t shard_size = 0;  // 0 = auto
+  int max_restarts = 2;
+  int max_steals = 2;
   std::vector<std::string> scenario_files;  // --scenario (repeatable)
   bool simulate_first = false;              // scenario run: simulate before attack
   std::string adopters = "cps+top:5";
@@ -93,7 +111,8 @@ struct CliOptions {
 
 [[noreturn]] void usage(int code) {
   std::cerr <<
-      "usage: sbgpsim <generate|simulate|sweep|analyze|jobs|validate> [options]\n"
+      "usage: sbgpsim <generate|simulate|sweep|analyze|jobs|worker|validate>"
+      " [options]\n"
       "  common: --nodes N --seed S --x F --graph FILE\n"
       "  generate: --out FILE [--augment]\n"
       "  simulate: --adopters SPEC --theta F --model outgoing|incoming\n"
@@ -106,6 +125,12 @@ struct CliOptions {
       "            run: [--workers N] [--timeout-s F] [--retries K]\n"
       "                 [--no-resume] [--progress-s F]\n"
       "            merge: [--csv]\n"
+      "            fleet (multi-process): run --spec FILE --run-dir DIR\n"
+      "              [--workers N (0 = coordinate only)] [--shard-size N]\n"
+      "              [--ttl-s F] [--max-restarts K] [--max-steals K]\n"
+      "              [--max-wall-s F]; status/merge accept --run-dir too\n"
+      "  worker:   --run-dir DIR [--worker-id ID] [--ttl-s F]\n"
+      "            [--max-idle-s F] [--timeout-s F] [--retries K]\n"
       "  scenario: run --scenario FILE [--adopters SPEC] [--simulate]\n"
       "            [--workers N] [--csv]  (attack matrix vs deployment state)\n"
       "  sweep:    [--scenario FILE]  (evaluate the matrix per theta)\n"
@@ -114,13 +139,15 @@ struct CliOptions {
       "  observability (simulate/sweep/jobs run):\n"
       "            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n"
       "  adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3\n"
-      "  exit codes: 0 ok | 2 usage | 3 incremental divergence | 4 runtime\n";
+      "  exit codes: 0 ok | 2 usage | 3 incremental divergence | 4 runtime\n"
+      "              | 5 fleet worker failure (bad/unusable run directory)\n";
   std::exit(code);
 }
 
 CliOptions parse(int argc, char** argv) {
   CliOptions o;
   if (argc < 2) usage(kExitUsage);
+  o.self_exe = argv[0];
   o.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -144,6 +171,14 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--timeout-s") o.timeout_s = std::stod(next());
     else if (a == "--progress-s") o.progress_s = std::stod(next());
     else if (a == "--retries") o.retries = std::stoi(next());
+    else if (a == "--run-dir") o.run_dir = next();
+    else if (a == "--worker-id") o.worker_id = next();
+    else if (a == "--ttl-s") o.ttl_s = std::stod(next());
+    else if (a == "--max-idle-s") o.max_idle_s = std::stod(next());
+    else if (a == "--max-wall-s") o.max_wall_s = std::stod(next());
+    else if (a == "--shard-size") o.shard_size = std::stoull(next());
+    else if (a == "--max-restarts") o.max_restarts = std::stoi(next());
+    else if (a == "--max-steals") o.max_steals = std::stoi(next());
     else if (a == "--no-resume") o.resume = false;
     else if (a == "--no-incremental") o.incremental = false;
     else if (a == "--check-incremental") o.check_incremental = true;
@@ -520,14 +555,20 @@ int cmd_analyze(const CliOptions& o) {
 // jobs — the experiment-orchestration entry points.
 
 exp::JobSpec load_spec_or_die(const CliOptions& o) {
-  if (o.spec_file.empty()) {
+  // Fleet run directories carry their own spec.json, so --run-dir alone is
+  // enough for status/merge against an existing run.
+  std::string path = o.spec_file;
+  if (path.empty() && !o.run_dir.empty()) {
+    path = exp::FleetPaths::at(o.run_dir).spec;
+  }
+  if (path.empty()) {
     std::cerr << "jobs " << o.subcommand << " requires --spec FILE\n";
     usage(kExitUsage);
   }
   try {
-    return exp::JobSpec::from_file(o.spec_file);
+    return exp::JobSpec::from_file(path);
   } catch (const exp::JsonError& e) {
-    std::cerr << "bad spec " << o.spec_file << ": " << e.what() << "\n";
+    std::cerr << "bad spec " << path << ": " << e.what() << "\n";
     std::exit(kExitUsage);
   }
 }
@@ -569,10 +610,49 @@ void print_merged(const std::vector<exp::JobRecord>& records, bool csv) {
   else t.print(std::cout);
 }
 
+// jobs run --run-dir DIR: the multi-process fleet path. --workers here means
+// worker *processes* (default 2; 0 = coordinate only for externally attached
+// `sbgpsim worker`s), unlike the in-process path where 0 means "hardware".
+int cmd_jobs_run_fleet(const CliOptions& o, const exp::JobSpec& spec) {
+  exp::FleetOptions fo;
+  fo.run_dir = o.run_dir;
+  fo.workers = o.workers;
+  fo.shard_size = o.shard_size;
+  fo.ttl_s = o.ttl_s;
+  fo.max_restarts = o.max_restarts;
+  fo.max_steals_per_shard = o.max_steals;
+  fo.max_wall_s = o.max_wall_s;
+  fo.timeout_s = o.timeout_s;
+  fo.retries = o.retries;
+  fo.log = &std::cerr;
+  if (fo.workers > 0) {
+    fo.spawn = [&o](std::size_t, const std::string& worker_id) {
+      std::vector<std::string> argv = {
+          o.self_exe,       "worker",
+          "--run-dir",      o.run_dir,
+          "--worker-id",    worker_id,
+          "--ttl-s",        std::to_string(o.ttl_s),
+          "--timeout-s",    std::to_string(o.timeout_s),
+          "--retries",      std::to_string(o.retries)};
+      return exp::spawn_process(argv, {});
+    };
+  }
+  const auto report = exp::FleetCoordinator(fo, spec).run();
+  // A reconcile mismatch means two executions of the same grid point
+  // disagreed — a determinism bug, same family as incremental divergence.
+  if (report.reconcile_mismatches != 0) return kExitDivergence;
+  if (report.aborted || report.missing != 0 || report.failed != 0 ||
+      report.timed_out != 0) {
+    return kExitRuntime;
+  }
+  return kExitOk;
+}
+
 int cmd_jobs_run(const CliOptions& o) {
   const auto spec = load_spec_or_die(o);
+  if (!o.run_dir.empty()) return cmd_jobs_run_fleet(o, spec);
   if (o.store_file.empty()) {
-    std::cerr << "jobs run requires --store FILE\n";
+    std::cerr << "jobs run requires --store FILE (or --run-dir DIR)\n";
     usage(kExitUsage);
   }
   // Observability config: spec scalars provide defaults, CLI flags win.
@@ -604,12 +684,28 @@ int cmd_jobs_run(const CliOptions& o) {
 
 int cmd_jobs_status(const CliOptions& o) {
   const auto spec = load_spec_or_die(o);
-  if (o.store_file.empty()) {
-    std::cerr << "jobs status requires --store FILE\n";
+  if (o.store_file.empty() && o.run_dir.empty()) {
+    std::cerr << "jobs status requires --store FILE or --run-dir DIR\n";
     usage(kExitUsage);
   }
   std::size_t skipped_lines = 0;
-  const auto records = exp::ResultStore::load(o.store_file, &skipped_lines);
+  std::vector<exp::JobRecord> records;
+  if (!o.run_dir.empty()) {
+    // Fleet run: fold every per-worker store, and show the live leases.
+    const auto paths = exp::FleetPaths::at(o.run_dir);
+    for (const std::string& p : exp::list_worker_stores(paths)) {
+      std::size_t skipped = 0;
+      auto part = exp::ResultStore::load(p, &skipped);
+      skipped_lines += skipped;
+      records.insert(records.end(), part.begin(), part.end());
+    }
+    for (const auto& lease : exp::LeaseDir(paths.leases).list()) {
+      std::cout << "lease " << lease.shard << " held by " << lease.worker
+                << " (" << lease.beats << " heartbeat(s))\n";
+    }
+  } else {
+    records = exp::ResultStore::load(o.store_file, &skipped_lines);
+  }
   const auto latest = exp::ResultStore::latest_by_job(records, spec.hash());
   std::size_t ok = 0, failed = 0, timed_out = 0;
   for (const auto& [id, r] : latest) {
@@ -632,9 +728,29 @@ int cmd_jobs_status(const CliOptions& o) {
 }
 
 int cmd_jobs_merge(const CliOptions& o) {
-  if (o.store_file.empty()) {
-    std::cerr << "jobs merge requires --store FILE\n";
+  if (o.store_file.empty() && o.run_dir.empty()) {
+    std::cerr << "jobs merge requires --store FILE or --run-dir DIR\n";
     usage(kExitUsage);
+  }
+  if (!o.run_dir.empty()) {
+    // Fleet run: dedup across all per-worker stores with bitwise
+    // reconciliation of re-executed jobs.
+    const auto paths = exp::FleetPaths::at(o.run_dir);
+    const auto spec = load_spec_or_die(o);
+    const std::uint64_t hash = spec.hash();
+    const auto merge = exp::merge_stores(exp::list_worker_stores(paths), &hash);
+    print_merged(merge.records, o.csv);
+    std::cerr << "merged " << merge.records.size() << " job record(s) from "
+              << merge.inputs << " input record(s) (" << merge.duplicates
+              << " duplicate(s), " << merge.reexecuted_ok << " re-executed, "
+              << merge.skipped_lines << " torn line(s) healed)\n";
+    if (merge.reconcile_mismatches != 0) {
+      std::cerr << "error: " << merge.reconcile_mismatches
+                << " re-executed job(s) disagreed bitwise — the sweep is not "
+                   "deterministic\n";
+      return kExitDivergence;
+    }
+    return kExitOk;
   }
   const auto records = exp::ResultStore::load(o.store_file);
   std::vector<exp::JobRecord> merged;
@@ -676,6 +792,37 @@ int cmd_jobs(const CliOptions& o) {
   if (o.subcommand == "merge") return cmd_jobs_merge(o);
   std::cerr << "jobs needs a subcommand: run | status | merge\n";
   usage(kExitUsage);
+}
+
+// worker --run-dir DIR — one fleet worker process. Normally spawned by the
+// coordinator, but equally attachable by hand (or from another host against
+// a shared filesystem) to an in-progress run. Failures to even start — no
+// usable run directory, no spec within the idle budget — exit with the
+// dedicated worker code so the coordinator's waitpid can tell "bad setup"
+// from "crashed mid-shard".
+int cmd_worker(const CliOptions& o) {
+  if (o.run_dir.empty()) {
+    std::cerr << "worker requires --run-dir DIR\n";
+    usage(kExitUsage);
+  }
+  exp::WorkerOptions wo;
+  wo.run_dir = o.run_dir;
+  wo.worker_id = o.worker_id;
+  wo.ttl_s = o.ttl_s;
+  wo.max_idle_s = o.max_idle_s;
+  wo.timeout_s = o.timeout_s;
+  wo.retries = o.retries;
+  wo.log = &std::cerr;
+  try {
+    // Failed jobs are the *coordinator's* problem (they are recorded and
+    // merged); the worker itself exits clean so it is not restarted into
+    // the same deterministic failures.
+    (void)exp::run_fleet_worker(wo);
+    return kExitOk;
+  } catch (const std::exception& e) {
+    std::cerr << "worker: " << e.what() << "\n";
+    return kExitWorker;
+  }
 }
 
 // validate [--scenario FILE]... FILE... — every positional file must parse
@@ -758,6 +905,7 @@ int main(int argc, char** argv) {
     if (o.command == "sweep") return cmd_sweep(o);
     if (o.command == "analyze") return cmd_analyze(o);
     if (o.command == "jobs") return cmd_jobs(o);
+    if (o.command == "worker") return cmd_worker(o);
     if (o.command == "scenario") return cmd_scenario(o);
     if (o.command == "validate") return cmd_validate(o);
   } catch (const core::IncrementalDivergence& e) {
