@@ -4,9 +4,11 @@
 // quoting what the original reports, so shape can be compared at a glance.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -18,6 +20,30 @@
 
 namespace sbgp::bench {
 
+/// "release" iff assertions are compiled out — the same definition Google
+/// Benchmark uses for its context field, so the run_bench.sh guard (which
+/// refuses debug-built numbers) covers gbench-born and JsonOut-born files
+/// alike.
+inline const char* library_build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// True when the kernel reports a CPU frequency governor other than
+/// "performance" (results are then noise-prone and run_bench.sh refuses to
+/// commit them). Hosts without cpufreq (containers, most CI) report false —
+/// there is no scaling to enable.
+inline bool cpu_scaling_enabled() {
+  std::ifstream gov("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (!gov) return false;
+  std::string s;
+  gov >> s;
+  return !s.empty() && s != "performance";
+}
+
 struct Options {
   std::uint32_t nodes = 1500;
   std::uint64_t seed = 42;
@@ -26,8 +52,14 @@ struct Options {
   bool quiet = false;
   /// When set, the harness appends its headline metrics as JSON records to
   /// this file (see JsonOut) so the perf/figure trajectory is tracked
-  /// across PRs next to the google-benchmark BENCH_*.json files.
+  /// across PRs in the BENCH_*.json files.
   std::string json_out;
+  /// Microbench harness (bench_perf_*): only run benchmarks whose name
+  /// contains this substring. Empty = run everything.
+  std::string filter;
+  /// Microbench harness: keep timing batches until a benchmark has run at
+  /// least this long (its reported value is the best batch).
+  double min_ms = 200.0;
 };
 
 inline Options parse_options(int argc, char** argv, std::uint32_t default_nodes = 1500) {
@@ -48,10 +80,12 @@ inline Options parse_options(int argc, char** argv, std::uint32_t default_nodes 
     else if (arg == "--x") opt.x = std::atof(next());
     else if (arg == "--quiet") opt.quiet = true;
     else if (arg == "--json-out") opt.json_out = next();
+    else if (arg == "--filter") opt.filter = next();
+    else if (arg == "--min-ms") opt.min_ms = std::atof(next());
     else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--nodes N] [--seed S] [--threads T] [--x F]"
-                << " [--json-out FILE]\n";
+                << " [--json-out FILE] [--filter SUBSTR] [--min-ms F]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << arg << "\n";
@@ -105,8 +139,18 @@ class JsonOut {
   ~JsonOut() {
     if (path_.empty() || rows_.empty()) return;
     std::ofstream out(path_);
-    out << "{\n  \"context\": {\"nodes\": " << opt_.nodes << ", \"seed\": "
-        << opt_.seed << ", \"x\": " << opt_.x << "},\n  \"benchmarks\": [\n";
+    char date[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    }
+    out << "{\n  \"context\": {\"date\": \"" << date << "\", \"nodes\": "
+        << opt_.nodes << ", \"seed\": " << opt_.seed << ", \"x\": " << opt_.x
+        << ", \"library_build_type\": \"" << library_build_type()
+        << "\", \"cpu_scaling_enabled\": "
+        << (cpu_scaling_enabled() ? "true" : "false")
+        << "},\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       out << "    {\"name\": \"" << rows_[i].name << "\", \"value\": "
           << rows_[i].value << ", \"unit\": \"" << rows_[i].unit << "\"}"

@@ -17,6 +17,7 @@
 #include "obs/trace.h"
 #include "routing/rib.h"
 #include "routing/rib_store.h"
+#include "routing/tree_delta.h"
 
 namespace sbgp::core {
 
@@ -296,6 +297,16 @@ struct WorkerScratch {
   /// Candidate -> cached-entry index, epoch-marked (partial update).
   std::vector<std::uint32_t> slot, slot_epoch;
   std::uint32_t slot_epoch_v = 0;
+  /// Frontier-delta projection kernel (SimConfig::projection_delta): bound
+  /// lazily to the current destination's (rib, base tree, base mask) on its
+  /// SECOND projection — a destination with a single candidate never pays
+  /// the bind, so the kernel can only win, never regress, per destination.
+  rt::TreeDelta delta;
+  bool delta_bound = false;
+  std::uint32_t delta_seen = 0;  ///< projections issued for the current dest
+  /// Per-round projection accounting, plain fields summed once per round by
+  /// evaluate_round (no hot-path atomics).
+  std::size_t proj_delta = 0, proj_full = 0, proj_touched = 0;
 
   explicit WorkerScratch(const AsGraph& g)
       : rc(g),
@@ -303,7 +314,8 @@ struct WorkerScratch {
         mark_on(g.num_nodes(), 0),
         mark_off(g.num_nodes(), 0),
         slot(g.num_nodes(), 0),
-        slot_epoch(g.num_nodes(), 0) {}
+        slot_epoch(g.num_nodes(), 0),
+        delta(g) {}
 };
 
 }  // namespace
@@ -532,11 +544,47 @@ void project_candidate(const AsGraph& graph, const SimConfig& cfg,
   // simplex-secured stubs when flipping on): O(N/64) + O(degree) instead of
   // re-evaluating the branchy security predicate for every node.
   s.proj_mask.assign_flipped(base_mask, base_view, cand, on, s.arena);
-  s.tc.compute(rib, s.proj_mask, cfg.tiebreak, s.flipped);
+  const bool keep_fp = cfg.incremental && cfg.use_projection_pruning;
   const auto before = rt::node_contribution(graph, rib, tree, cand);
+  auto& entries = on ? out.proj_on : out.proj_off;
+
+  // Frontier-delta fast path: re-resolve only the winners the flip can
+  // perturb and read the flipped tree through the overlay. The first
+  // projection of a destination takes the full path (binding the kernel is
+  // only worth amortizing over 2+ candidates); threshold bailouts and
+  // kernel-ineligible RIBs (unsorted tiebreaks — notably the fresh unsorted
+  // bundles check_incremental rebuilds, which thereby stay an independent
+  // cross-validation of this very path — and hijack RIBs) fall through to
+  // the full rebuild below. Identical output either way, bit for bit.
+  if (cfg.projection_delta && rib.tb_sorted && rib.impostor == topo::kNoAs) {
+    if (!s.delta_bound && s.delta_seen > 0) {
+      s.delta_bound = s.delta.bind(rib, tree, base_mask);
+    }
+    ++s.delta_seen;
+    if (s.delta_bound && s.delta.apply(s.proj_mask)) {
+      ++s.proj_delta;
+      s.proj_touched += s.delta.stats().touched();
+      const auto after = s.delta.contribution(cand);
+      const auto fb = static_cast<std::uint32_t>(out.proj_fp.size());
+      if (keep_fp) {
+        // hsc_gained is exactly the slice the full path's rib.order scan
+        // collects: nodes with a secure candidate beyond the base set P.
+        for (const AsId i : s.delta.hsc_gained()) out.proj_fp.push_back(i);
+      }
+      entries.push_back({cand, after.outgoing - before.outgoing,
+                         after.incoming - before.incoming, fb,
+                         static_cast<std::uint32_t>(out.proj_fp.size())});
+      return;
+    }
+  } else {
+    ++s.delta_seen;
+  }
+
+  ++s.proj_full;
+  s.tc.compute(rib, s.proj_mask, cfg.tiebreak, s.flipped);
   const auto after = rt::node_contribution(graph, rib, s.flipped, cand);
   const auto fb = static_cast<std::uint32_t>(out.proj_fp.size());
-  if (cfg.incremental && cfg.use_projection_pruning) {
+  if (keep_fp) {
     // Footprint slice — only needed when bundles are carried across rounds.
     for (const AsId i : rib.order) {
       if (s.flipped.has_secure_candidate[i] != 0 &&
@@ -546,7 +594,6 @@ void project_candidate(const AsGraph& graph, const SimConfig& cfg,
     }
   }
   const auto fe = static_cast<std::uint32_t>(out.proj_fp.size());
-  auto& entries = on ? out.proj_on : out.proj_off;
   entries.push_back({cand, after.outgoing - before.outgoing,
                      after.incoming - before.incoming, fb, fe});
 }
@@ -565,6 +612,9 @@ void compute_bundle(const AsGraph& graph, const SimConfig& cfg,
                     const rt::RibView& rib, rt::RoutingTree& tree,
                     DestBundle& out) {
   out.clear();
+  // New destination, new base tree: any delta binding is for the old one.
+  s.delta_bound = false;
+  s.delta_seen = 0;
   const std::uint8_t* flags = base_view.base;
   s.tc.compute(rib, base_mask, cfg.tiebreak, tree);
 
@@ -634,6 +684,10 @@ void update_bundle_partial(const AsGraph& graph, const SimConfig& cfg,
                            const rt::RoutingTree& tree, DestBundle& out) {
   assert(out.tree_hash == 0 ||
          rt::tree_fingerprint(rib, tree) == out.tree_hash);
+  // Same invalidation as compute_bundle: the kernel must rebind against
+  // THIS destination's tree (and this round's base mask) before any apply.
+  s.delta_bound = false;
+  s.delta_seen = 0;
   const std::uint8_t* flags = base_view.base;
   // P is a function of the cached (unchanged) tree: when the bundle
   // recorded it empty, Rule 1 cannot contribute and the O(N) scan is
@@ -846,6 +900,11 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
     }
   };
 
+  for (WorkerScratch& s : c.scratch) {
+    s.proj_delta = 0;
+    s.proj_full = 0;
+    s.proj_touched = 0;
+  }
   const auto t_par0 = std::chrono::steady_clock::now();
   if (cfg_.check_incremental && carry) {
     // Differential mode: recompute EVERY destination; dirty ones update
@@ -938,8 +997,19 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
   }
 
   const std::uint64_t t_end = obs::now_ns();
+  // Per-worker projection-path tallies, summed once per round (the workers
+  // bump plain fields; no hot-path atomics).
+  std::size_t proj_delta_n = 0, proj_full_n = 0, proj_touched_n = 0;
+  for (const WorkerScratch& s : c.scratch) {
+    proj_delta_n += s.proj_delta;
+    proj_full_n += s.proj_full;
+    proj_touched_n += s.proj_touched;
+  }
   if (stats != nullptr) {
     stats->partial_updates = partial_n;
+    stats->proj_delta_applied = proj_delta_n;
+    stats->proj_full_fallback = proj_full_n;
+    stats->proj_nodes_touched = proj_touched_n;
     stats->scan_ms = static_cast<double>(t_scan - t_begin) * 1e-6;
     stats->eval_ms = static_cast<double>(t_eval - t_scan) * 1e-6;
     stats->fold_ms = static_cast<double>(t_end - t_eval) * 1e-6;
@@ -951,9 +1021,18 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
         obs::Registry::global().counter("sim.dest_recomputed");
     static obs::Counter& partial_ctr =
         obs::Registry::global().counter("sim.dest_partial_updates");
+    static obs::Counter& proj_delta_ctr =
+        obs::Registry::global().counter("sim.proj.delta_applied");
+    static obs::Counter& proj_full_ctr =
+        obs::Registry::global().counter("sim.proj.full_fallback");
+    static obs::Counter& proj_touched_ctr =
+        obs::Registry::global().counter("sim.proj.nodes_touched");
     rounds_ctr.add(1);
     recomputed_ctr.add(c.work.size());
     partial_ctr.add(partial_n);
+    proj_delta_ctr.add(proj_delta_n);
+    proj_full_ctr.add(proj_full_n);
+    proj_touched_ctr.add(proj_touched_n);
     auto& tb = obs::TraceBuffer::global();
     if (tb.enabled()) {
       // Phase spans share the RoundStats boundaries exactly, so the Chrome

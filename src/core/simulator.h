@@ -111,6 +111,17 @@ struct SimConfig {
   /// Requires `use_projection_pruning`; ignored (full recompute every
   /// round) when pruning is disabled.
   bool incremental = true;
+  /// Evaluate Eq. 3 projections with the frontier-delta kernel
+  /// (rt::TreeDelta): instead of a full routing-tree rebuild per
+  /// (destination, candidate flip), re-resolve only the winners the flip can
+  /// actually perturb and repair the subtree weights along the dirty spine,
+  /// reading the result through a copy-on-write overlay over the base tree.
+  /// Bitwise identical to the full rebuild by construction (the differential
+  /// tests and --check-incremental assert it); candidates the kernel cannot
+  /// cover (unsorted tiebreaks, hijack RIBs, flips past the touched-nodes
+  /// threshold) silently fall back to the full rebuild. Off = always rebuild
+  /// (the pre-delta behaviour, kept for benchmarking and bisection).
+  bool projection_delta = true;
   /// Differential-testing mode: run the full recompute in lockstep with the
   /// incremental engine and compare every clean destination's cached bundle
   /// against a fresh one, bit for bit (tree fingerprint, utilities,
@@ -169,6 +180,16 @@ struct RoundStats {
   /// Recomputed destinations that took the cheaper partial-update path
   /// (cached base tree provably unchanged, only stale projections redone).
   std::size_t partial_updates = 0;
+  /// Eq. 3 projections evaluated by the frontier-delta kernel this round
+  /// (mirrored by the `sim.proj.delta_applied` obs counter).
+  std::size_t proj_delta_applied = 0;
+  /// Projections that paid a full flipped-tree rebuild: the first projection
+  /// of each bound destination, kernel-ineligible RIBs, threshold bailouts,
+  /// and everything when `projection_delta` is off (`sim.proj.full_fallback`).
+  std::size_t proj_full_fallback = 0;
+  /// Total nodes touched (selections re-resolved + weights refolded) across
+  /// the round's delta-applied projections (`sim.proj.nodes_touched`).
+  std::size_t proj_nodes_touched = 0;
   double scan_ms = 0.0;  ///< dirty-footprint scan / work-list build
   double eval_ms = 0.0;  ///< parallel per-destination bundle phase
   double fold_ms = 0.0;  ///< fixed-order aggregation over all bundles

@@ -50,6 +50,12 @@ Json round_record(const core::RoundStats& r, std::size_t num_ases) {
   j.set("dirty_seeds", Json::number(static_cast<std::uint64_t>(r.dirty_seeds)));
   j.set("partial_updates",
         Json::number(static_cast<std::uint64_t>(r.partial_updates)));
+  j.set("proj_delta_applied",
+        Json::number(static_cast<std::uint64_t>(r.proj_delta_applied)));
+  j.set("proj_full_fallback",
+        Json::number(static_cast<std::uint64_t>(r.proj_full_fallback)));
+  j.set("proj_nodes_touched",
+        Json::number(static_cast<std::uint64_t>(r.proj_nodes_touched)));
   j.set("scan_ms", Json::number(r.scan_ms));
   j.set("eval_ms", Json::number(r.eval_ms));
   j.set("fold_ms", Json::number(r.fold_ms));

@@ -1,0 +1,300 @@
+#include "routing/tree_delta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <functional>
+
+#include "obs/metrics.h"
+
+namespace sbgp::rt {
+
+namespace {
+
+/// The overlay must agree with a full rebuild bit for bit, so weight
+/// comparisons distinguish +0.0 from -0.0 (operator== does not).
+[[nodiscard]] bool same_bits(double a, double b) {
+  std::uint64_t x = 0, y = 0;
+  static_assert(sizeof(x) == sizeof(a));
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
+}  // namespace
+
+TreeDelta::TreeDelta(const AsGraph& graph) : graph_(graph) {}
+
+bool TreeDelta::bind(const RibView& rib, const RoutingTree& base,
+                     const SecureMask& base_mask) {
+  bound_ = false;
+  valid_ = false;
+  // Positional selection is the only rule the frontier can re-run locally;
+  // the hashing path (unsorted tiebreaks) and the two-origin hijack special
+  // cases stay on the full rebuild.
+  if (!rib.tb_sorted || rib.impostor != kNoAs) return false;
+  const std::size_t n = graph_.num_nodes();
+  if (n == 0 || rib.order.empty()) return false;
+  rib_ = rib;
+  base_ = &base;
+  base_mask_ = &base_mask;
+
+  if (sel_mark_.size() != n) {
+    sel_mark_.assign(n, 0);
+    w_mark_.assign(n, 0);
+    selq_mark_.assign(n, 0);
+    wq_mark_.assign(n, 0);
+    in_mark_.assign(n, 0);
+    p_nh_.resize(n);
+    p_ps_.resize(n);
+    p_hsc_.resize(n);
+    p_w_.resize(n);
+    in_head_.resize(n);
+    epoch_ = 0;
+  }
+
+  arena_.reset();
+  rank_ = arena_.alloc<std::uint32_t>(n);
+  rev_begin_ = arena_.alloc<std::uint32_t>(n + 1);
+  kid_begin_ = arena_.alloc<std::uint32_t>(n + 1);
+  std::uint32_t* cur = arena_.alloc<std::uint32_t>(n);
+
+  const std::size_t m = rib_.order.size();
+  std::size_t tb_total = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const AsId i = rib_.order[k];
+    rank_[i] = static_cast<std::uint32_t>(k);
+    tb_total += rib_.tiebreak(i).size();
+  }
+
+  // Reverse-tiebreak CSR: rev(j) = every node whose tiebreak set contains j
+  // (all of strictly greater rank — candidates precede their choosers in
+  // rib.order). This is the phase-1 propagation fan-out.
+  rev_ids_ = arena_.alloc<AsId>(tb_total);
+  std::memset(rev_begin_, 0, (n + 1) * sizeof(std::uint32_t));
+  for (const AsId i : rib_.order) {
+    for (const AsId j : rib_.tiebreak(i)) ++rev_begin_[j + 1];
+  }
+  for (std::size_t x = 0; x < n; ++x) rev_begin_[x + 1] += rev_begin_[x];
+  std::memcpy(cur, rev_begin_, n * sizeof(std::uint32_t));
+  for (const AsId i : rib_.order) {
+    for (const AsId j : rib_.tiebreak(i)) rev_ids_[cur[j]++] = i;
+  }
+
+  // Base-tree children CSR, per parent in DESCENDING rank order — the exact
+  // order the full fold adds each child into its parent's accumulator, which
+  // is what lets a refold reproduce the fold's floating-point sums bitwise.
+  kid_ids_ = arena_.alloc<AsId>(m > 0 ? m - 1 : 0);
+  std::memset(kid_begin_, 0, (n + 1) * sizeof(std::uint32_t));
+  for (std::size_t k = 1; k < m; ++k) {
+    ++kid_begin_[base.next_hop[rib_.order[k]] + 1];
+  }
+  for (std::size_t x = 0; x < n; ++x) kid_begin_[x + 1] += kid_begin_[x];
+  std::memcpy(cur, kid_begin_, n * sizeof(std::uint32_t));
+  for (std::size_t k = m; k-- > 1;) {
+    const AsId i = rib_.order[k];
+    kid_ids_[cur[base.next_hop[i]]++] = i;
+  }
+
+  const auto frac_cap = static_cast<std::size_t>(max_frac_ * static_cast<double>(m));
+  max_touched_ = std::max<std::size_t>(64, frac_cap);
+  bound_ = true;
+  return true;
+}
+
+void TreeDelta::push_sel(AsId x) {
+  if (selq_mark_[x] == epoch_) return;
+  selq_mark_[x] = epoch_;
+  sel_heap_.push_back((static_cast<std::uint64_t>(rank_[x]) << 32) | x);
+  std::push_heap(sel_heap_.begin(), sel_heap_.end(), std::greater<>{});
+}
+
+void TreeDelta::push_weight(AsId x) {
+  if (wq_mark_[x] == epoch_) return;
+  wq_mark_[x] = epoch_;
+  w_heap_.push_back((static_cast<std::uint64_t>(rank_[x]) << 32) | x);
+  std::push_heap(w_heap_.begin(), w_heap_.end());
+}
+
+bool TreeDelta::apply(const SecureMask& flip) {
+  assert(bound_);
+  ++epoch_;
+  valid_ = false;
+  stats_ = {};
+  sel_heap_.clear();
+  w_heap_.clear();
+  moved_.clear();
+  hsc_gained_.clear();
+
+  // ---- Phase 0: seed the selection frontier from the mask delta. A node's
+  // selection reads only its own secure/secp bits, its candidates'
+  // path_secure bits, and the (shared, unchanged) link set — so the XOR of
+  // the word-packed masks is the complete set of primary disturbances.
+  const std::size_t n = graph_.num_nodes();
+  for (std::size_t w = 0; w < base_mask_->words; ++w) {
+    std::uint64_t diff = (base_mask_->secure[w] ^ flip.secure[w]) |
+                         (base_mask_->secp[w] ^ flip.secp[w]);
+    while (diff != 0) {
+      const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(diff));
+      diff &= diff - 1;
+      const auto x = static_cast<AsId>(w * 64 + bit);
+      if (x < n && rib_.reachable(x)) {
+        ++stats_.seeds;
+        push_sel(x);
+      }
+    }
+  }
+
+  // ---- Phase 1: selection frontier, ascending rank. Influence flows
+  // strictly rank-upward (every candidate precedes its chooser), so popping
+  // the minimum rank finalizes each node's selection in one visit: its
+  // candidates' overlay path_secure bits can no longer change.
+  while (!sel_heap_.empty()) {
+    std::pop_heap(sel_heap_.begin(), sel_heap_.end(), std::greater<>{});
+    const auto i = static_cast<AsId>(sel_heap_.back() & 0xFFFFFFFFu);
+    sel_heap_.pop_back();
+    ++stats_.resolved;
+    if (stats_.touched() > max_touched_) return false;
+
+    AsId nh;
+    std::uint8_t ps, hsc;
+    if (i == rib_.dest) {
+      nh = kNoAs;
+      ps = flip.is_secure(i) ? 1 : 0;
+      hsc = 0;
+    } else {
+      const auto candidates = rib_.tiebreak(i);
+      assert(!candidates.empty());
+      const auto cand_ps = [&](AsId j) {
+        return (sel_mark_[j] == epoch_ ? p_ps_[j] : base_->path_secure[j]) != 0;
+      };
+      AsId first_secure = kNoAs;
+      for (const AsId j : candidates) {
+        if (cand_ps(j) && flip.hop_secure(j, i)) {
+          first_secure = j;
+          break;
+        }
+      }
+      hsc = first_secure != kNoAs ? 1 : 0;
+      const AsId best = (first_secure != kNoAs && flip.applies_secp(i))
+                            ? first_secure
+                            : candidates[0];
+      const bool best_secure =
+          best == first_secure ||
+          (cand_ps(best) && flip.hop_secure(best, i));
+      ps = (best_secure && flip.is_secure(i)) ? 1 : 0;
+      nh = best;
+    }
+
+    sel_mark_[i] = epoch_;
+    p_nh_[i] = nh;
+    p_ps_[i] = ps;
+    p_hsc_[i] = hsc;
+    if (hsc != 0 && base_->has_secure_candidate[i] == 0) {
+      hsc_gained_.push_back(i);  // pops ascend in rank == rib.order order
+    }
+    if (nh != base_->next_hop[i]) {
+      moved_.push_back({i, base_->next_hop[i], nh, kNone});
+    }
+    if (ps != base_->path_secure[i]) {
+      for (std::uint32_t r = rev_begin_[i]; r < rev_begin_[i + 1]; ++r) {
+        push_sel(rev_ids_[r]);
+      }
+    }
+  }
+  stats_.moved = moved_.size();
+
+  // ---- Phase 2: subtree-weight repair, descending rank. Dirty parents are
+  // the old and new parents of every moved node, plus (transitively) the
+  // tree-parents of any node whose refolded value actually changed. Each
+  // dirty parent is re-folded EXACTLY — base children (minus leavers) merged
+  // with incomers in descending rank order — so the per-accumulator FP
+  // addition sequence matches the full fold and the result is bitwise
+  // identical, not merely numerically close.
+  for (std::uint32_t mi = 0; mi < moved_.size(); ++mi) {
+    Move& mv = moved_[mi];
+    push_weight(mv.from);
+    push_weight(mv.to);
+    if (in_mark_[mv.to] != epoch_) {
+      in_mark_[mv.to] = epoch_;
+      mv.next = kNone;
+    } else {
+      mv.next = in_head_[mv.to];
+    }
+    in_head_[mv.to] = mi;
+  }
+  while (!w_heap_.empty()) {
+    std::pop_heap(w_heap_.begin(), w_heap_.end());
+    const auto x = static_cast<AsId>(w_heap_.back() & 0xFFFFFFFFu);
+    w_heap_.pop_back();
+    ++stats_.refolded;
+    if (stats_.touched() > max_touched_) return false;
+
+    incomers_.clear();
+    if (in_mark_[x] == epoch_) {
+      for (std::uint32_t mi = in_head_[x]; mi != kNone; mi = moved_[mi].next) {
+        incomers_.push_back(moved_[mi].node);
+      }
+      std::sort(incomers_.begin(), incomers_.end(),
+                [&](AsId a, AsId b) { return rank_[a] > rank_[b]; });
+    }
+    double acc = graph_.weight(x);
+    const AsId* kb = kid_ids_ + kid_begin_[x];
+    const AsId* const ke = kid_ids_ + kid_begin_[x + 1];
+    std::size_t bi = 0;
+    while (kb != ke || bi != incomers_.size()) {
+      AsId child;
+      if (kb != ke &&
+          (bi == incomers_.size() || rank_[*kb] > rank_[incomers_[bi]])) {
+        child = *kb++;
+        // A base child whose recomputed next hop left x is no longer ours.
+        if (sel_mark_[child] == epoch_ && p_nh_[child] != x) continue;
+      } else {
+        child = incomers_[bi++];
+      }
+      acc += w_mark_[child] == epoch_ ? p_w_[child] : base_->subtree_weight[child];
+    }
+    if (!same_bits(acc, base_->subtree_weight[x])) {
+      w_mark_[x] = epoch_;
+      p_w_[x] = acc;
+      if (x != rib_.dest) {
+        push_weight(sel_mark_[x] == epoch_ ? p_nh_[x] : base_->next_hop[x]);
+      }
+    }
+  }
+
+  valid_ = true;
+  return true;
+}
+
+NodeContribution TreeDelta::contribution(AsId n) const {
+  assert(valid_);
+  NodeContribution out;
+  if (rib_.cls[n] == RouteClass::Customer) {
+    out.outgoing = subtree_weight(n) - graph_.weight(n);
+  }
+  for (const AsId c : graph_.customers(n)) {
+    if (rib_.cls[c] != RouteClass::None && next_hop(c) == n) {
+      out.incoming += subtree_weight(c);
+    }
+  }
+  return out;
+}
+
+void TreeDelta::materialize(RoutingTree& out) const {
+  assert(valid_);
+  out.dest = rib_.dest;
+  out.next_hop = base_->next_hop;
+  out.path_secure = base_->path_secure;
+  out.subtree_weight = base_->subtree_weight;
+  out.has_secure_candidate = base_->has_secure_candidate;
+  out.origin.clear();
+  for (const AsId i : rib_.order) {
+    out.next_hop[i] = next_hop(i);
+    out.path_secure[i] = path_secure(i) ? 1 : 0;
+    out.subtree_weight[i] = subtree_weight(i);
+    out.has_secure_candidate[i] = has_secure_candidate(i) ? 1 : 0;
+  }
+}
+
+}  // namespace sbgp::rt

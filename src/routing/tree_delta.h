@@ -1,0 +1,163 @@
+// Frontier-delta projection kernel: given a destination's base routing tree
+// (over a sorted-tiebreak RibView + base SecureMask) and a hypothetical
+// single-AS security flip, produce the flipped tree WITHOUT rebuilding it.
+//
+// The structure this exploits is Observation C.1: route classes, lengths and
+// tiebreak sets are deployment-state independent, so a flip can only change
+// (a) which candidate a node selects — and only where a candidate's
+// path-security or the node's own mask bits changed — and (b) the subtree
+// weights along the spine between moved nodes and the destination. Both
+// effects propagate monotonically through rib.order: a node's selection
+// reads only the path_secure bits of its tiebreak candidates, all of which
+// precede it in the order; a node's subtree weight reads only the weights of
+// its tree children, all of which follow it. Two heap-driven frontier passes
+// (ascending rank for selection, descending for weights) therefore finalize
+// every touched node exactly once, and untouched nodes provably keep their
+// base values — the output is a copy-on-write overlay over the base tree.
+//
+// Bitwise identity with TreeComputer::compute is a hard contract (the
+// --check-incremental differential layer compares doubles bit for bit, and
+// CP weights are non-integer), so dirty subtree weights are not adjusted by
+// ±deltas: each dirty parent is re-folded exactly, adding its children in
+// the same descending-rank order the full fold uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "routing/arena.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "routing/secure_state.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::rt {
+
+/// Per-apply accounting, also the input to the fallback threshold.
+struct TreeDeltaStats {
+  std::size_t seeds = 0;     ///< nodes whose mask bits differ base vs flip
+  std::size_t resolved = 0;  ///< selection recomputations (phase 1 pops)
+  std::size_t refolded = 0;  ///< subtree-weight refolds (phase 2 pops)
+  std::size_t moved = 0;     ///< nodes whose next hop changed
+  [[nodiscard]] std::size_t touched() const { return resolved + refolded; }
+};
+
+/// Reusable per-worker delta kernel. bind() indexes one destination's base
+/// tree (amortized over every candidate projected against it); apply()
+/// evaluates one flip mask as an overlay. All per-destination index arrays
+/// live in an internal Arena (reset per bind, zero steady-state heap
+/// allocations); the per-apply patch arrays are epoch-marked, so an apply
+/// touches only O(frontier) cells, never O(N).
+class TreeDelta {
+ public:
+  explicit TreeDelta(const AsGraph& graph);
+
+  /// Indexes (rib, base, base_mask) for subsequent apply() calls. The three
+  /// must stay alive and unchanged until the next bind(). Returns false —
+  /// and leaves the kernel unbound — for RIBs the frontier rules don't
+  /// cover: unsorted tiebreaks (selection is positional only under
+  /// sort_tiebreaks) and two-origin hijack RIBs.
+  bool bind(const RibView& rib, const RoutingTree& base,
+            const SecureMask& base_mask);
+  [[nodiscard]] bool bound() const { return bound_; }
+
+  /// Fallback threshold: apply() bails out (returns false) once it has
+  /// touched more than max(64, frac * num_reachable) nodes, so pathological
+  /// flips cost at most a constant fraction of a full rebuild before the
+  /// caller falls back to one.
+  void set_max_touched_frac(double frac) { max_frac_ = frac; }
+
+  /// Computes the flipped tree for `flip` (an assign_flipped patch of the
+  /// bound base mask — it must share the graph and link set). Returns true
+  /// and exposes the overlay on success; returns false past the touched-
+  /// nodes threshold, in which case the overlay is invalid and the caller
+  /// must take the full-rebuild path.
+  [[nodiscard]] bool apply(const SecureMask& flip);
+
+  [[nodiscard]] const TreeDeltaStats& stats() const { return stats_; }
+
+  // --- Overlay reads. Valid after a successful apply(), until the next
+  // apply()/bind(). Only nodes in rib.order may be queried (same contract
+  // as RoutingTree: unreachable cells are stale there too).
+  [[nodiscard]] AsId next_hop(AsId i) const {
+    return sel_mark_[i] == epoch_ ? p_nh_[i] : base_->next_hop[i];
+  }
+  [[nodiscard]] bool path_secure(AsId i) const {
+    return (sel_mark_[i] == epoch_ ? p_ps_[i] : base_->path_secure[i]) != 0;
+  }
+  [[nodiscard]] bool has_secure_candidate(AsId i) const {
+    return (sel_mark_[i] == epoch_ ? p_hsc_[i]
+                                   : base_->has_secure_candidate[i]) != 0;
+  }
+  [[nodiscard]] double subtree_weight(AsId i) const {
+    return w_mark_[i] == epoch_ ? p_w_[i] : base_->subtree_weight[i];
+  }
+
+  /// Nodes whose has_secure_candidate bit is 1 in the flipped tree but 0 in
+  /// the base tree, in rib.order order — exactly the per-projection
+  /// footprint slice the incremental engine records (see project_candidate).
+  [[nodiscard]] std::span<const AsId> hsc_gained() const {
+    return hsc_gained_;
+  }
+
+  /// Eq. 1/2 contribution of `n` in the flipped tree; bit-identical to
+  /// rt::node_contribution on a fully materialized flipped tree (same
+  /// customer iteration order, same addends).
+  [[nodiscard]] NodeContribution contribution(AsId n) const;
+
+  /// Writes the full flipped tree into `out` (copy base + apply patches).
+  /// O(N); for tests and debugging, not the hot path.
+  void materialize(RoutingTree& out) const;
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  void push_sel(AsId x);
+  void push_weight(AsId x);
+
+  const AsGraph& graph_;
+
+  // Bound per-destination state.
+  RibView rib_;
+  const RoutingTree* base_ = nullptr;
+  const SecureMask* base_mask_ = nullptr;
+  bool bound_ = false;
+  double max_frac_ = 0.25;
+  std::size_t max_touched_ = 0;
+
+  // Per-destination indexes (arena: reset+realloc per bind, no heap traffic
+  // once the arena reaches its steady shape).
+  Arena arena_;
+  std::uint32_t* rank_ = nullptr;       ///< position in rib.order (reachable only)
+  std::uint32_t* rev_begin_ = nullptr;  ///< reverse-tiebreak CSR offsets, N+1
+  AsId* rev_ids_ = nullptr;             ///< i appears under each j in tiebreak(i)
+  std::uint32_t* kid_begin_ = nullptr;  ///< base-tree children CSR offsets, N+1
+  AsId* kid_ids_ = nullptr;             ///< children in DESCENDING rank order
+
+  // Epoch-marked per-apply patch slots (persistent vectors sized N once; a
+  // slot is live iff its mark equals the current epoch).
+  std::uint64_t epoch_ = 0;
+  bool valid_ = false;
+  std::vector<std::uint64_t> sel_mark_, w_mark_;
+  std::vector<std::uint64_t> selq_mark_, wq_mark_, in_mark_;
+  std::vector<AsId> p_nh_;
+  std::vector<std::uint8_t> p_ps_, p_hsc_;
+  std::vector<double> p_w_;
+  std::vector<std::uint32_t> in_head_;  ///< head of the incomer chain per parent
+
+  // Worklists (steady capacity).
+  std::vector<std::uint64_t> sel_heap_;  ///< min-heap of (rank<<32)|node
+  std::vector<std::uint64_t> w_heap_;    ///< max-heap of (rank<<32)|node
+  struct Move {
+    AsId node, from, to;
+    std::uint32_t next;  ///< next index in the new parent's incomer chain
+  };
+  std::vector<Move> moved_;
+  std::vector<AsId> hsc_gained_;
+  std::vector<AsId> incomers_;  ///< per-refold scratch, sorted desc rank
+
+  TreeDeltaStats stats_;
+};
+
+}  // namespace sbgp::rt

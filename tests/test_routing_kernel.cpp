@@ -300,6 +300,197 @@ TEST(SecureMask, AssignFlippedMatchesFullBuild) {
   }
 }
 
+/// Checks one assign_flipped patch against a from-scratch build of the
+/// flipped view, every node, both bit planes.
+void expect_flip_parity(const topo::AsGraph& g, const rt::SecurityView& view,
+                        const rt::SecureMask& base_mask, AsId cand, bool on,
+                        const char* tag) {
+  rt::Arena flip_arena, ref_arena;
+  rt::SecureMask flip_mask, ref_mask;
+  flip_mask.assign_flipped(base_mask, view, cand, on, flip_arena);
+  rt::SecurityView flipped = view;
+  (on ? flipped.flip_on : flipped.flip_off) = cand;
+  ref_mask.build(flipped, ref_arena);
+  for (AsId x = 0; x < g.num_nodes(); ++x) {
+    ASSERT_EQ(flip_mask.is_secure(x), ref_mask.is_secure(x))
+        << tag << ": cand " << cand << " on " << on << " node " << x;
+    ASSERT_EQ(flip_mask.applies_secp(x), ref_mask.applies_secp(x))
+        << tag << ": cand " << cand << " on " << on << " node " << x;
+  }
+}
+
+/// A zero-degree AS (no customers, no providers, no peers) must survive
+/// both sides of a flip patch untouched: it is nobody's stub, so neither
+/// the simplex-upgrade loop nor the secp patch may reach it.
+TEST(SecureMask, AssignFlippedIgnoresZeroDegreeAs) {
+  AsGraph g;
+  const AsId p = g.add_as(100);
+  const AsId s1 = g.add_as(200);
+  const AsId s2 = g.add_as(300);
+  const AsId z = g.add_as(400);  // isolated
+  g.add_customer_provider(p, s1);
+  g.add_customer_provider(p, s2);
+  g.finalize();
+  ASSERT_EQ(g.customers(z).size(), 0u);
+  ASSERT_EQ(g.providers(z).size(), 0u);
+
+  for (const bool stub_ties : {false, true}) {
+    std::vector<std::uint8_t> base(g.num_nodes(), 0);
+    rt::SecurityView view;
+    view.graph = &g;
+    view.base = base.data();
+    view.stub_breaks_ties = stub_ties;
+    rt::Arena arena;
+    rt::SecureMask base_mask;
+    base_mask.build(view, arena);
+    expect_flip_parity(g, view, base_mask, p, /*on=*/true, "zero-degree");
+
+    rt::Arena flip_arena;
+    rt::SecureMask flip_mask;
+    flip_mask.assign_flipped(base_mask, view, p, true, flip_arena);
+    EXPECT_TRUE(flip_mask.is_secure(s1));
+    EXPECT_FALSE(flip_mask.is_secure(z)) << "simplex upgrade leaked to an AS "
+                                            "that is not a customer of cand";
+    EXPECT_FALSE(flip_mask.applies_secp(z));
+  }
+}
+
+/// AS ids crossing the last, partially-used mask word (n % 64 != 0): the
+/// highest id both as a simplex-upgraded stub and as the flip candidate
+/// itself. Guards the word/bit indexing at the array boundary.
+TEST(SecureMask, AssignFlippedHighestIdInLastWord) {
+  // 130 nodes: ids 128 and 129 land in word 2, bits 0 and 1. Node 129 is an
+  // ISP (it has stub customers) and also a customer of ISP 0, so it can play
+  // both roles; node 128 is one of its stubs.
+  AsGraph g;
+  for (int i = 0; i < 130; ++i) g.add_as(static_cast<std::uint32_t>(1000 + i));
+  const AsId top = 0, high_isp = 129, high_stub = 128;
+  g.add_customer_provider(top, high_isp);
+  g.add_customer_provider(high_isp, high_stub);
+  g.add_customer_provider(high_isp, 127);
+  for (AsId s = 1; s < 127; ++s) g.add_customer_provider(top, s);
+  g.finalize();
+  ASSERT_TRUE(g.is_isp(high_isp));
+  ASSERT_TRUE(g.is_stub(high_stub));
+
+  for (const bool stub_ties : {false, true}) {
+    std::vector<std::uint8_t> base(g.num_nodes(), 0);
+    rt::SecurityView view;
+    view.graph = &g;
+    view.base = base.data();
+    view.stub_breaks_ties = stub_ties;
+    rt::Arena arena;
+    rt::SecureMask base_mask;
+    base_mask.build(view, arena);
+
+    // Candidate in the last word; its stubs (127, 128) straddle words 1/2.
+    expect_flip_parity(g, view, base_mask, high_isp, true, "last-word cand");
+    // Candidate in word 0 whose simplex upgrade reaches the last word.
+    expect_flip_parity(g, view, base_mask, top, true, "last-word stub");
+
+    rt::Arena flip_arena;
+    rt::SecureMask flip_mask;
+    flip_mask.assign_flipped(base_mask, view, high_isp, true, flip_arena);
+    EXPECT_TRUE(flip_mask.is_secure(high_isp));
+    EXPECT_TRUE(flip_mask.is_secure(high_stub));
+    EXPECT_TRUE(flip_mask.applies_secp(high_isp));
+    EXPECT_EQ(flip_mask.applies_secp(high_stub), stub_ties);
+
+    // Flip-off parity from a state where the last-word ISP is secure.
+    base[high_isp] = 1;
+    base[high_stub] = 1;  // simplex-secured alongside its provider
+    base_mask.build(view, arena);
+    expect_flip_parity(g, view, base_mask, high_isp, false, "last-word off");
+  }
+}
+
+/// Flip-OFF of a provider whose stubs were simplex-secured with it: signing
+/// is sticky (Section 2.3), so only the candidate's own bits may change —
+/// every simplex stub keeps both its secure and its tiebreak bit.
+TEST(SecureMask, AssignFlippedOffKeepsSimplexStubsSecure) {
+  const auto net = test::small_internet(250, 17);
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, 0.5, 3);
+
+  // A secure ISP with at least one simplex-secured stub customer.
+  AsId cand = kNoAs;
+  for (AsId x = 0; x < g.num_nodes() && cand == kNoAs; ++x) {
+    if (!g.is_isp(x) || state.flags()[x] == 0) continue;
+    for (const AsId c : g.customers(x)) {
+      if (g.is_stub(c) && state.flags()[c] != 0) {
+        cand = x;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(cand, kNoAs);
+
+  for (const bool stub_ties : {false, true}) {
+    rt::SecurityView view;
+    view.graph = &g;
+    view.base = state.flags().data();
+    view.stub_breaks_ties = stub_ties;
+    rt::Arena arena;
+    rt::SecureMask base_mask;
+    base_mask.build(view, arena);
+    expect_flip_parity(g, view, base_mask, cand, /*on=*/false, "flip-off");
+
+    rt::Arena flip_arena;
+    rt::SecureMask flip_mask;
+    flip_mask.assign_flipped(base_mask, view, cand, false, flip_arena);
+    EXPECT_FALSE(flip_mask.is_secure(cand));
+    EXPECT_FALSE(flip_mask.applies_secp(cand));
+    for (const AsId c : g.customers(cand)) {
+      if (g.is_stub(c) && state.flags()[c] != 0) {
+        EXPECT_TRUE(flip_mask.is_secure(c)) << "stub " << c;
+        EXPECT_EQ(flip_mask.applies_secp(c), base_mask.applies_secp(c))
+            << "stub " << c;
+      }
+    }
+  }
+}
+
+/// Reusing one SecureMask object for many flips (the simulator's per-worker
+/// proj_mask) must leave no residue: each patch starts from the base words,
+/// so patch #k equals a from-scratch build of flip #k alone — including
+/// flipping the SAME candidate on, then off, then a different one.
+TEST(SecureMask, AssignFlippedReuseMatchesFromScratchEachTime) {
+  const auto net = test::small_internet(250, 29);
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, 0.3, 6);
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = state.flags().data();
+  view.stub_breaks_ties = true;
+  rt::Arena arena, flip_arena;
+  rt::SecureMask base_mask, flip_mask;
+  base_mask.build(view, arena);
+
+  std::vector<std::pair<AsId, bool>> flips;
+  for (AsId x = 0; x < g.num_nodes() && flips.size() < 24; ++x) {
+    if (!g.is_isp(x)) continue;
+    // On-then-off of the same candidate, interleaved across candidates.
+    flips.emplace_back(x, state.flags()[x] == 0);
+    flips.emplace_back(x, state.flags()[x] != 0);
+  }
+  ASSERT_GE(flips.size(), 8u);
+
+  for (const auto& [cand, on] : flips) {
+    flip_mask.assign_flipped(base_mask, view, cand, on, flip_arena);
+    rt::Arena ref_arena;
+    rt::SecureMask ref_mask;
+    rt::SecurityView flipped = view;
+    (on ? flipped.flip_on : flipped.flip_off) = cand;
+    ref_mask.build(flipped, ref_arena);
+    for (AsId x = 0; x < g.num_nodes(); ++x) {
+      ASSERT_EQ(flip_mask.is_secure(x), ref_mask.is_secure(x))
+          << "cand " << cand << " on " << on << " node " << x;
+      ASSERT_EQ(flip_mask.applies_secp(x), ref_mask.applies_secp(x))
+          << "cand " << cand << " on " << on << " node " << x;
+    }
+  }
+}
+
 TEST(RibStore, ViewsReproduceTheSourceRibsExactly) {
   const auto net = test::small_internet(200, 5);
   const auto& g = net.graph;

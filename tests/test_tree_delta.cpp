@@ -1,0 +1,296 @@
+// PR-9 frontier-delta kernel coverage: rt::TreeDelta must agree with a full
+// TreeComputer::compute BIT FOR BIT — next hops, path-security, secure-
+// candidate flags, subtree weights (doubles compared by representation, not
+// value), Eq. 1/2 contributions, and the hsc-gained footprint slice — across
+// graph seeds, adoption densities, stub-tiebreak regimes, both tiebreak
+// modes, and flips in both directions. Plus the contractual edge cases: the
+// touched-nodes fallback (and recovery after it), refusal of unsorted RIBs,
+// and the steady-state zero-allocation arena property.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "routing/arena.h"
+#include "routing/rib.h"
+#include "routing/routing_tree.h"
+#include "routing/secure_state.h"
+#include "routing/tree_delta.h"
+#include "test_util.h"
+#include "topology/as_graph.h"
+
+namespace sbgp {
+namespace {
+
+using topo::AsGraph;
+using topo::AsId;
+using topo::kNoAs;
+
+/// Bit-level double equality: the engine's differential checker fingerprints
+/// raw representations, so the tests must too (+0.0 != -0.0 here).
+bool same_bits(double a, double b) {
+  std::uint64_t x = 0, y = 0;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
+/// Runs every eligible flip of `cand_limit` ISP candidates against every
+/// destination of the given (graph, state, policy) combination and checks
+/// the overlay against a from-scratch flipped tree.
+void run_matrix(const AsGraph& g, const std::vector<std::uint8_t>& base,
+                bool stub_ties, rt::TieBreakPolicy::Mode mode,
+                const char* tag) {
+  const std::size_t n = g.num_nodes();
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = base.data();
+  view.stub_breaks_ties = stub_ties;
+  rt::TieBreakPolicy tb;
+  tb.mode = mode;
+
+  rt::Arena arena;
+  rt::SecureMask base_mask, flip_mask;
+  base_mask.build(view, arena);
+
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::DestRib rib;
+  rt::RoutingTree tree, ref, mat;
+  rt::TreeDelta delta(g);
+  delta.set_max_touched_frac(10.0);  // differential run: never bail out
+
+  std::vector<AsId> isps;
+  for (AsId x = 0; x < n; ++x) {
+    if (g.is_isp(x)) isps.push_back(x);
+  }
+  ASSERT_FALSE(isps.empty());
+
+  std::size_t applied = 0;
+  for (AsId d = 0; d < n; d += 3) {  // every 3rd destination: matrix budget
+    rc.compute(d, rib);
+    rt::sort_tiebreaks(g, tb, rib);
+    const rt::RibView rv(rib);
+    tc.compute(rv, base_mask, tb, tree);
+    ASSERT_TRUE(delta.bind(rv, tree, base_mask)) << tag << " dest " << d;
+
+    for (std::size_t ci = 0; ci < isps.size(); ci += 7) {
+      const AsId cand = isps[ci];
+      const bool on = base[cand] == 0;
+      flip_mask.assign_flipped(base_mask, view, cand, on, arena);
+      ASSERT_TRUE(delta.apply(flip_mask)) << tag << " dest " << d;
+      ++applied;
+      tc.compute(rv, flip_mask, tb, ref);
+
+      // Overlay reads and a full materialization, both bitwise.
+      delta.materialize(mat);
+      for (const AsId i : rib.order) {
+        ASSERT_EQ(delta.next_hop(i), ref.next_hop[i])
+            << tag << " dest " << d << " cand " << cand << " node " << i;
+        ASSERT_EQ(delta.path_secure(i), ref.path_secure[i] != 0)
+            << tag << " dest " << d << " cand " << cand << " node " << i;
+        ASSERT_EQ(delta.has_secure_candidate(i),
+                  ref.has_secure_candidate[i] != 0)
+            << tag << " dest " << d << " cand " << cand << " node " << i;
+        ASSERT_TRUE(same_bits(delta.subtree_weight(i), ref.subtree_weight[i]))
+            << tag << " dest " << d << " cand " << cand << " node " << i
+            << ": " << delta.subtree_weight(i) << " vs "
+            << ref.subtree_weight[i];
+        ASSERT_EQ(mat.next_hop[i], ref.next_hop[i]);
+        ASSERT_TRUE(same_bits(mat.subtree_weight[i], ref.subtree_weight[i]));
+      }
+
+      // Eq. 1/2 contribution of the flipped candidate.
+      const auto want = rt::node_contribution(g, rv, ref, cand);
+      const auto got = delta.contribution(cand);
+      ASSERT_TRUE(same_bits(got.outgoing, want.outgoing))
+          << tag << " dest " << d << " cand " << cand;
+      ASSERT_TRUE(same_bits(got.incoming, want.incoming))
+          << tag << " dest " << d << " cand " << cand;
+
+      // hsc_gained == the footprint slice project_candidate's full path
+      // collects, same content, same (rib.order) order.
+      std::vector<AsId> want_fp;
+      for (const AsId i : rib.order) {
+        if (ref.has_secure_candidate[i] != 0 &&
+            tree.has_secure_candidate[i] == 0) {
+          want_fp.push_back(i);
+        }
+      }
+      const auto fp = delta.hsc_gained();
+      ASSERT_EQ(std::vector<AsId>(fp.begin(), fp.end()), want_fp)
+          << tag << " dest " << d << " cand " << cand;
+    }
+  }
+  ASSERT_GT(applied, 100u) << tag << ": matrix too small to mean anything";
+}
+
+TEST(TreeDelta, DifferentialMatrixPairwiseHash) {
+  for (const std::uint64_t seed : {3u, 19u}) {
+    const auto net = test::small_internet(220, seed);
+    for (const double p : {0.1, 0.45}) {
+      const auto state = test::random_state(net.graph, p, seed + 1);
+      std::vector<std::uint8_t> flags = state.flags();
+      run_matrix(net.graph, flags, /*stub_ties=*/true,
+                 rt::TieBreakPolicy::Mode::PairwiseHash, "hash/stub");
+      run_matrix(net.graph, flags, /*stub_ties=*/false,
+                 rt::TieBreakPolicy::Mode::PairwiseHash, "hash/nostub");
+    }
+  }
+}
+
+TEST(TreeDelta, DifferentialMatrixRankMode) {
+  const auto net = test::small_internet(220, 11);
+  const auto state = test::random_state(net.graph, 0.3, 5);
+  std::vector<std::uint8_t> flags = state.flags();
+  run_matrix(net.graph, flags, /*stub_ties=*/true,
+             rt::TieBreakPolicy::Mode::Rank, "rank/stub");
+  run_matrix(net.graph, flags, /*stub_ties=*/false,
+             rt::TieBreakPolicy::Mode::Rank, "rank/nostub");
+}
+
+/// All-insecure base with a tier-1 flip-on: the worst case for the frontier
+/// (the flip creates secure paths across a whole customer cone).
+TEST(TreeDelta, Tier1FlipOnFromColdState) {
+  const auto net = test::small_internet(300, 8);
+  std::vector<std::uint8_t> flags(net.graph.num_nodes(), 0);
+  run_matrix(net.graph, flags, /*stub_ties=*/true,
+             rt::TieBreakPolicy::Mode::PairwiseHash, "cold");
+}
+
+/// The touched-nodes budget must (a) actually trigger for wide flips and
+/// (b) leave the kernel in a sane state: the very next apply on the same
+/// binding, with the budget lifted, must again be bit-exact.
+TEST(TreeDelta, FallbackTriggersAndRecovers) {
+  const auto net = test::small_internet(400, 21);
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, 0.4, 9);
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = state.flags().data();
+  view.stub_breaks_ties = true;
+  rt::TieBreakPolicy tb;
+  rt::Arena arena;
+  rt::SecureMask base_mask, flip_mask;
+  base_mask.build(view, arena);
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::DestRib rib;
+  rt::RoutingTree tree, ref;
+  rt::TreeDelta delta(g);
+
+  std::size_t fallbacks = 0, checked = 0;
+  for (AsId d = 0; d < g.num_nodes(); d += 11) {
+    rc.compute(d, rib);
+    rt::sort_tiebreaks(g, tb, rib);
+    const rt::RibView rv(rib);
+    tc.compute(rv, base_mask, tb, tree);
+    ASSERT_TRUE(delta.bind(rv, tree, base_mask));
+    for (AsId cand = 0; cand < g.num_nodes(); ++cand) {
+      if (!g.is_isp(cand)) continue;
+      const bool on = state.flags()[cand] == 0;
+      flip_mask.assign_flipped(base_mask, view, cand, on, arena);
+      delta.set_max_touched_frac(0.0);  // budget floor: max(64, 0) = 64
+      ASSERT_TRUE(delta.bind(rv, tree, base_mask));
+      if (!delta.apply(flip_mask)) {
+        ++fallbacks;
+        // Recovery: lift the budget, re-apply, demand bit-exactness.
+        delta.set_max_touched_frac(10.0);
+        ASSERT_TRUE(delta.bind(rv, tree, base_mask));
+        ASSERT_TRUE(delta.apply(flip_mask));
+        tc.compute(rv, flip_mask, tb, ref);
+        for (const AsId i : rib.order) {
+          ASSERT_EQ(delta.next_hop(i), ref.next_hop[i]);
+          ASSERT_TRUE(
+              same_bits(delta.subtree_weight(i), ref.subtree_weight[i]));
+        }
+        ++checked;
+        if (checked >= 8) return;  // enough evidence; keep the test fast
+      }
+    }
+  }
+  ASSERT_GT(fallbacks, 0u) << "no flip ever exceeded a 64-node budget; the "
+                              "fallback path is untested dead code";
+}
+
+TEST(TreeDelta, RefusesUnsortedRibs) {
+  const auto net = test::small_internet(120, 4);
+  const auto& g = net.graph;
+  rt::SecurityView view;
+  std::vector<std::uint8_t> flags(g.num_nodes(), 0);
+  view.graph = &g;
+  view.base = flags.data();
+  rt::TieBreakPolicy tb;
+  rt::Arena arena;
+  rt::SecureMask mask;
+  mask.build(view, arena);
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  rt::DestRib rib;
+  rc.compute(0, rib);  // NOT sorted: positional selection is undefined here
+  rt::RoutingTree tree;
+  tc.compute(rib, view, tb, tree);
+  rt::TreeDelta delta(g);
+  EXPECT_FALSE(delta.bind(rt::RibView(rib), tree, mask));
+  EXPECT_FALSE(delta.bound());
+}
+
+/// Steady state: rebinding across destinations and applying flips must stop
+/// allocating once every internal buffer has reached its high-water shape —
+/// asserted through the obs:: arena counters like the rest of the kernel.
+TEST(TreeDelta, SteadyStateAppliesAllocateNothing) {
+  const auto net = test::small_internet(300, 8);
+  const auto& g = net.graph;
+  const auto state = test::random_state(g, 0.3, 2);
+  rt::SecurityView view;
+  view.graph = &g;
+  view.base = state.flags().data();
+  rt::TieBreakPolicy tb;
+  rt::Arena arena;
+  rt::SecureMask base_mask, flip_mask;
+  base_mask.build(view, arena);
+  rt::RibComputer rc(g);
+  rt::TreeComputer tc(g);
+  std::vector<AsId> isps;
+  for (AsId x = 0; x < g.num_nodes(); ++x) {
+    if (g.is_isp(x)) isps.push_back(x);
+  }
+  const AsId dests[2] = {0, 1};
+  rt::DestRib ribs[2];
+  rt::RoutingTree trees[2];
+  for (int k = 0; k < 2; ++k) {
+    rc.compute(dests[k], ribs[k]);
+    rt::sort_tiebreaks(g, tb, ribs[k]);
+    tc.compute(rt::RibView(ribs[k]), base_mask, tb, trees[k]);
+  }
+  rt::TreeDelta delta(g);
+  delta.set_max_touched_frac(10.0);
+
+  const auto cycle = [&] {
+    for (int k = 0; k < 2; ++k) {
+      ASSERT_TRUE(
+          delta.bind(rt::RibView(ribs[k]), trees[k], base_mask));
+      for (std::size_t ci = 0; ci < isps.size(); ci += 5) {
+        const AsId cand = isps[ci];
+        flip_mask.assign_flipped(base_mask, view, cand,
+                                 state.flags()[cand] == 0, arena);
+        ASSERT_TRUE(delta.apply(flip_mask));
+      }
+    }
+  };
+  cycle();  // warm-up: arena + worklists reach their steady shape
+  cycle();
+
+  auto& blocks_ctr = obs::Registry::global().counter("rt.arena.blocks");
+  auto& bytes_ctr = obs::Registry::global().counter("rt.arena.bytes");
+  const std::uint64_t blocks0 = blocks_ctr.value();
+  const std::uint64_t bytes0 = bytes_ctr.value();
+  for (int rep = 0; rep < 50; ++rep) cycle();
+  EXPECT_EQ(blocks_ctr.value(), blocks0);
+  EXPECT_EQ(bytes_ctr.value(), bytes0);
+}
+
+}  // namespace
+}  // namespace sbgp

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the committed baseline.
+
+Part of the tools/run_bench.sh commit flow: a refreshed BENCH_*.json is only
+moved over the committed baseline after (a) its context passes the honesty
+guard (Release build, no CPU frequency scaling) and (b) no benchmark has
+regressed beyond tolerance against the baseline's numbers.
+
+Stdlib only. Handles both benchmark-entry shapes that live in this repo:
+
+  google-benchmark:  {"name": ..., "real_time": T, "time_unit": "ns", ...}
+  bench::JsonOut:    {"name": ..., "value": V, "unit": "ns" | "ms" | "s" |
+                      "x" | "%" | ...}
+
+Direction is unit-aware: time-like units (ns/us/ms/s) regress when they go
+UP; rate-like units ("x" speedups, "%" hit rates, items_per_second) regress
+when they go DOWN. Unknown units are compared as time-like (the conservative
+reading for a perf log).
+
+Exit codes: 0 clean (including warn-only), 1 hard regression (> --fail-pct),
+2 usage/context error (missing files, debug build, scaling enabled).
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNITS = {"ns", "us", "ms", "s"}
+HIGHER_IS_BETTER_UNITS = {"x", "%", "items_per_second", "ops"}
+
+
+def fail_usage(msg):
+    print(f"check_bench_regress: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fail_usage(f"{path}: no such file")
+    except json.JSONDecodeError as e:
+        fail_usage(f"{path}: not valid JSON ({e})")
+
+
+def check_context_honesty(doc, path):
+    """Refuse debug-built or frequency-scaled numbers (satellite contract)."""
+    ctx = doc.get("context", {})
+    build = str(ctx.get("library_build_type", "")).lower()
+    if "debug" in build:
+        fail_usage(
+            f"{path}: context reports library_build_type={build!r}; "
+            "debug-built numbers are not comparable — rebuild Release"
+        )
+    if ctx.get("cpu_scaling_enabled") is True:
+        fail_usage(
+            f"{path}: context reports cpu_scaling_enabled=true; pin the "
+            "governor to 'performance' before recording benchmarks"
+        )
+
+
+def entries(doc):
+    """-> {name: (value, unit)} for either benchmark-entry shape."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name")
+        if name is None:
+            continue
+        if b.get("run_type") == "aggregate":
+            continue  # gbench mean/median/stddev rows: not point estimates
+        if "value" in b:
+            out[name] = (float(b["value"]), str(b.get("unit", "")))
+        elif "real_time" in b:
+            out[name] = (float(b["real_time"]), str(b.get("time_unit", "ns")))
+    return out
+
+
+def higher_is_better(unit):
+    if unit in HIGHER_IS_BETTER_UNITS:
+        return True
+    if unit in TIME_UNITS:
+        return False
+    return False  # unknown: treat as time-like (conservative)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail on bench regressions vs a committed baseline"
+    )
+    ap.add_argument("baseline", help="committed BENCH_*.json")
+    ap.add_argument("fresh", help="freshly generated bench JSON")
+    ap.add_argument(
+        "--warn-pct",
+        type=float,
+        default=10.0,
+        help="warn when a benchmark regresses more than this (default 10)",
+    )
+    ap.add_argument(
+        "--fail-pct",
+        type=float,
+        default=25.0,
+        help="fail when a benchmark regresses more than this (default 25)",
+    )
+    ap.add_argument(
+        "--skip-context-check",
+        action="store_true",
+        help="do not refuse debug/scaled contexts (for ad-hoc comparisons)",
+    )
+    args = ap.parse_args()
+    if args.fail_pct < args.warn_pct:
+        fail_usage("--fail-pct must be >= --warn-pct")
+
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    if not args.skip_context_check:
+        check_context_honesty(fresh_doc, args.fresh)
+
+    base = entries(base_doc)
+    fresh = entries(fresh_doc)
+    if not fresh:
+        fail_usage(f"{args.fresh}: no benchmark entries")
+
+    worst = 0.0
+    failures, warnings, compared = [], [], 0
+    for name, (fv, unit) in sorted(fresh.items()):
+        if name not in base:
+            print(f"  new       {name}: {fv:g} {unit} (no baseline)")
+            continue
+        bv, bunit = base[name]
+        if bunit and unit and bunit != unit:
+            print(
+                f"  skipped   {name}: unit changed {bunit!r} -> {unit!r} "
+                "(harness transition; not comparable)"
+            )
+            continue
+        compared += 1
+        if bv == 0:
+            continue
+        if higher_is_better(unit):
+            regress_pct = (bv - fv) / bv * 100.0
+        else:
+            regress_pct = (fv - bv) / bv * 100.0
+        worst = max(worst, regress_pct)
+        tag = "ok"
+        if regress_pct > args.fail_pct:
+            tag = "FAIL"
+            failures.append(name)
+        elif regress_pct > args.warn_pct:
+            tag = "WARN"
+            warnings.append(name)
+        if tag != "ok" or regress_pct < -args.warn_pct:
+            direction = "regressed" if regress_pct > 0 else "improved"
+            print(
+                f"  {tag:<9} {name}: {bv:g} -> {fv:g} {unit} "
+                f"({abs(regress_pct):.1f}% {direction})"
+            )
+
+    print(
+        f"check_bench_regress: {compared} compared, {len(warnings)} "
+        f"warning(s), {len(failures)} failure(s) "
+        f"(worst regression {worst:.1f}%)"
+    )
+    if failures:
+        print(
+            "check_bench_regress: hard regression(s): " + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

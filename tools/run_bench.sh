@@ -1,39 +1,96 @@
 #!/usr/bin/env bash
 # Perf-trajectory tracking: builds the benchmark targets in Release mode and
-# refreshes the committed BENCH_*.json records at the repo root —
-# google-benchmark JSON for the routing kernel plus the table-harness
-# --json-out flow for the incremental round engine. Run before cutting a
-# perf-sensitive PR and commit the refreshed JSON so kernel timings stay
-# reviewable across PRs.
+# refreshes the committed BENCH_*.json records at the repo root. Run before
+# cutting a perf-sensitive PR and commit the refreshed JSON so kernel
+# timings stay reviewable across PRs.
 #
-#   tools/run_bench.sh [extra google-benchmark flags...]
+# Every refreshed file goes through two gates before it may replace the
+# committed baseline:
 #
-# e.g. `tools/run_bench.sh --benchmark_filter=BM_FastRoutingTree` for a
-# quick kernel-only refresh.
+#   1. Honesty guard — the JSON context must report a Release
+#      library_build_type and cpu_scaling_enabled=false. Numbers from debug
+#      builds or frequency-scaled hosts are not comparable across PRs and
+#      are refused outright.
+#   2. Regression guard — tools/check_bench_regress.py compares the fresh
+#      numbers per benchmark name against the committed baseline (warn at
+#      >10%, fail at >25% regression). On failure the fresh file is kept
+#      as <name>.rejected.json for inspection and the baseline stays.
+#
+# Set SBGP_BENCH_ACCEPT=1 to skip the regression guard (NOT the honesty
+# guard) when a baseline legitimately resets — e.g. a harness change that
+# renames benchmarks, or a known hardware change. Say why in the commit.
+#
+#   tools/run_bench.sh [extra bench_perf_routing_kernel flags...]
+#
+# e.g. `tools/run_bench.sh --filter BM_FastRoutingTree` for a quick
+# kernel-only refresh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_perf_routing_kernel \
-    bench_perf_incremental_rounds bench_fleet_scaling
+    bench_perf_incremental_rounds bench_fleet_scaling bench_projection_delta
+
+# Refuse bench JSON whose context admits it is not a trustworthy perf
+# record: a debug-built library or an active CPU frequency governor.
+check_context() {
+    local file="$1"
+    python3 - "$file" <<'EOF'
+import json, sys
+path = sys.argv[1]
+ctx = json.load(open(path)).get("context", {})
+build = str(ctx.get("library_build_type", "")).lower()
+if "debug" in build:
+    sys.exit(f"{path}: library_build_type={build!r} — refusing to commit "
+             "debug-built benchmark numbers; rebuild Release")
+if ctx.get("cpu_scaling_enabled") is True:
+    sys.exit(f"{path}: cpu_scaling_enabled=true — pin the CPU governor to "
+             "'performance' before recording benchmarks")
+EOF
+}
+
+# Guard + regress-check a fresh bench JSON, then move it over the committed
+# baseline. The fresh file is produced under a .fresh suffix so a failed
+# guard never clobbers the baseline.
+accept() {
+    local target="$1"
+    local fresh="$1.fresh"
+    check_context "$fresh"
+    if [[ -f "$target" && "${SBGP_BENCH_ACCEPT:-0}" != "1" ]]; then
+        if ! python3 tools/check_bench_regress.py "$target" "$fresh"; then
+            mv "$fresh" "${target%.json}.rejected.json"
+            echo "REFUSED: $target regressed; fresh numbers kept at" \
+                 "${target%.json}.rejected.json (SBGP_BENCH_ACCEPT=1 to force)"
+            return 1
+        fi
+    fi
+    mv "$fresh" "$target"
+    echo "wrote $target"
+}
 
 ./build-release/bench/bench_perf_routing_kernel \
-    --benchmark_out=BENCH_routing_kernel.json \
-    --benchmark_out_format=json "$@"
-echo "wrote BENCH_routing_kernel.json"
+    --json-out BENCH_routing_kernel.json.fresh --quiet "$@"
+accept BENCH_routing_kernel.json
 
 # The incremental-engine bench gates on its own >=2x speedup; record the
 # numbers either way (the JSON is the trend record, the exit code is CI's).
 ./build-release/bench/bench_perf_incremental_rounds \
-    --json-out BENCH_incremental_rounds.json > /dev/null \
+    --json-out BENCH_incremental_rounds.json.fresh > /dev/null \
     || echo "note: bench_perf_incremental_rounds exited non-zero (speedup gate)"
-echo "wrote BENCH_incremental_rounds.json"
+accept BENCH_incremental_rounds.json
+
+# Frontier-delta projection kernel: full-rebuild vs delta engine on
+# projection-dominated rounds; gates on >= 3x at |V| = 10K.
+./build-release/bench/bench_projection_delta \
+    --json-out BENCH_projection_delta.json.fresh > /dev/null \
+    || echo "note: bench_projection_delta exited non-zero (speedup gate)"
+accept BENCH_projection_delta.json
 
 # Fleet substrate scaling: 240 latency-bound jobs at 1/2/4/8 worker
 # processes; gates on >= 3x wall-clock at 4 workers (jobs are stall-
 # dominated precisely so the gate measures coordination overhead, not CPU
 # contention — see the bench header).
 ./build-release/bench/bench_fleet_scaling \
-    --json-out BENCH_fleet_scaling.json --quiet \
+    --json-out BENCH_fleet_scaling.json.fresh --quiet \
     || echo "note: bench_fleet_scaling exited non-zero (speedup gate)"
-echo "wrote BENCH_fleet_scaling.json"
+accept BENCH_fleet_scaling.json

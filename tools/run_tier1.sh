@@ -22,13 +22,13 @@ cmake --build build-asan -j --target sbgp_tests
 (cd build-asan && ctest --output-on-failure -j)
 
 # Kernel perf smoke (Release): a build-only check cannot catch routing-kernel
-# regressions, so run one short google-benchmark pass of the steady-state
-# per-tree kernel at 10K nodes. Timing output is informational here; gating
-# thresholds live in tools/run_bench.sh's committed BENCH_*.json flow.
+# regressions, so run one short pass of the steady-state per-tree kernel at
+# 10K nodes. Timing output is informational here; gating thresholds live in
+# tools/run_bench.sh's committed BENCH_*.json flow.
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_perf_routing_kernel
 ./build-release/bench/bench_perf_routing_kernel \
-    --benchmark_filter='BM_FastRoutingTree/10000$' --benchmark_min_time=0.1
+    --filter BM_FastRoutingTree/10000 --min-ms 100
 
 # Orchestration smoke: 12-job grid, sharded run, full resume, merge.
 tmp="$(mktemp -d)"
@@ -69,6 +69,13 @@ grep -q "span" "$tmp/sim.obs.log" \
 "$sbgpsim" validate "$tmp/sim.trace.json" "$tmp/sim.metrics.jsonl" \
     "$tmp/jobs.trace.json" "$tmp/jobs.metrics.jsonl" "$tmp/r2.jsonl" \
     || { echo "tier1 FAIL: emitted observability output failed validation"; exit 1; }
+
+# Projection-delta lockstep smoke: the frontier-delta projection kernel is
+# default-on; --check-incremental cross-validates every round against the
+# full-rebuild path and exits 3 on any divergence.
+"$sbgpsim" simulate --nodes 400 --seed 11 --adopters top:5 \
+    --check-incremental > /dev/null \
+    || { echo "tier1 FAIL: projection-delta check-incremental lockstep"; exit 1; }
 
 # Scenario smoke: a hijack+downgrade attack matrix riding a one-theta grid
 # through `jobs run` (12 jobs), killed-mid-write resume healing, canonical

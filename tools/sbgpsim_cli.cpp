@@ -106,6 +106,7 @@ struct CliOptions {
   bool resume = true;
   bool incremental = true;
   bool check_incremental = false;
+  bool projection_delta = true;
   core::UtilityModel model = core::UtilityModel::Outgoing;
 };
 
@@ -120,6 +121,7 @@ struct CliOptions {
       "  sweep:    --adopters SPEC --thetas 0,0.05,... [--workers N] [--csv]\n"
       "  simulate/sweep: [--no-incremental] [--check-incremental]\n"
       "            (full per-round recompute / differential incremental check)\n"
+      "            [--no-projection-delta] (full tree rebuild per projection)\n"
       "  analyze:  tiebreaks | diamonds | resilience | pathlens\n"
       "  jobs:     run|status|merge --spec FILE --store FILE\n"
       "            run: [--workers N] [--timeout-s F] [--retries K]\n"
@@ -182,6 +184,7 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--no-resume") o.resume = false;
     else if (a == "--no-incremental") o.incremental = false;
     else if (a == "--check-incremental") o.check_incremental = true;
+    else if (a == "--no-projection-delta") o.projection_delta = false;
     else if (a == "--augment") o.augment = true;
     else if (a == "--csv") o.csv = true;
     else if (a == "--trace-out") o.trace_out = next();
@@ -281,7 +284,24 @@ int obs_finish_trace(const CliOptions& o) {
     if (tb.dropped() > 0) std::cerr << " (" << tb.dropped() << " dropped)";
     std::cerr << "\n";
   }
-  if (o.obs_summary) tb.write_summary(std::cerr);
+  if (o.obs_summary) {
+    tb.write_summary(std::cerr);
+    // Projection-path split: how often the frontier-delta kernel carried a
+    // hypothetical flip vs falling back to a full tree rebuild.
+    const auto delta_n =
+        obs::Registry::global().counter("sim.proj.delta_applied").value();
+    const auto full_n =
+        obs::Registry::global().counter("sim.proj.full_fallback").value();
+    const auto touched_n =
+        obs::Registry::global().counter("sim.proj.nodes_touched").value();
+    if (delta_n + full_n > 0) {
+      std::cerr << "sim.proj: " << delta_n << " delta / " << full_n
+                << " full (hit rate "
+                << 100.0 * static_cast<double>(delta_n) /
+                       static_cast<double>(delta_n + full_n)
+                << "%, " << touched_n << " nodes touched)\n";
+    }
+  }
   return kExitOk;
 }
 
@@ -292,6 +312,7 @@ core::SimConfig sim_config(const CliOptions& o) {
   cfg.stub_breaks_ties = o.stub_ties;
   cfg.incremental = o.incremental;
   cfg.check_incremental = o.check_incremental;
+  cfg.projection_delta = o.projection_delta;
   return cfg;
 }
 
