@@ -16,6 +16,7 @@
 
 #include "core/early_adopters.h"
 #include "core/simulator.h"
+#include "obs/build_info.h"
 #include "topology/topology_gen.h"
 
 namespace sbgp::bench {
@@ -145,7 +146,8 @@ class JsonOut {
     if (gmtime_r(&now, &tm_utc) != nullptr) {
       std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
     }
-    out << "{\n  \"context\": {\"date\": \"" << date << "\", \"nodes\": "
+    out << "{\n  \"context\": {\"date\": \"" << date << "\", \"version\": \""
+        << obs::build_info_line() << "\", \"nodes\": "
         << opt_.nodes << ", \"seed\": " << opt_.seed << ", \"x\": " << opt_.x
         << ", \"library_build_type\": \"" << library_build_type()
         << "\", \"cpu_scaling_enabled\": "

@@ -1,0 +1,226 @@
+// bench_svc_latency — request latency of the svc:: what-if service, measured
+// through the real transport: an in-process svc::Server on a Unix socket
+// with a blocking client in the bench thread, exactly the path a deployed
+// daemon serves.
+//
+// Two request series per graph size (10K and the paper-scale 36,964-AS
+// synthetic Internet):
+//   * whatif — whatif_adopt on random insecure ISPs. After the serve-time
+//     warm-up these are O(1) lookups into the cached StateEvaluation; the
+//     acceptance gate requires p99 <= 10 ms at 36,964 ASes (exit 1 if not).
+//   * mutate — mutate_topology alternately adding/removing one stub–stub
+//     peer edge. Each request pays the CSR patch, the endpoint label
+//     computation, and the eager re-evaluation of the force-dirtied
+//     destinations, so this series prices the invalidation machinery.
+//
+// Rows (per size): BM_SvcWhatif_p50/<N>, BM_SvcWhatif_p99/<N>,
+// BM_SvcMutate_p50/<N>, BM_SvcMutate_p99/<N>, all in microseconds.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/deployment_state.h"
+#include "svc/server.h"
+#include "svc/session.h"
+
+namespace {
+
+using namespace sbgp;
+
+int connect_or_die(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (fd >= 0) ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::cerr << "bench_svc_latency: cannot connect to " << path << "\n";
+  std::exit(1);
+}
+
+/// One blocking request/reply round trip; returns the reply line.
+std::string roundtrip(int fd, const std::string& request) {
+  std::string out = request;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      std::cerr << "bench_svc_latency: send failed\n";
+      std::exit(1);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char ch;
+  while (true) {
+    const ssize_t n = ::recv(fd, &ch, 1, 0);
+    if (n <= 0) {
+      std::cerr << "bench_svc_latency: server closed the connection\n";
+      std::exit(1);
+    }
+    if (ch == '\n') break;
+    reply.push_back(ch);
+  }
+  return reply;
+}
+
+double quantile_us(std::vector<double>& v, double q) {
+  std::sort(v.begin(), v.end());
+  if (v.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct SeriesResult {
+  double whatif_p50 = 0.0, whatif_p99 = 0.0;
+  double mutate_p50 = 0.0, mutate_p99 = 0.0;
+};
+
+SeriesResult run_size(std::uint32_t nodes, const bench::Options& opt,
+                      std::size_t whatif_reqs, std::size_t mutate_reqs) {
+  bench::Options sized = opt;
+  sized.nodes = nodes;
+  topo::Internet net = bench::make_internet(sized);
+  const auto adopters = bench::case_study_adopters(net);
+  auto state = core::DeploymentState::initial(net.graph, adopters);
+
+  svc::SessionConfig scfg;
+  scfg.sim = bench::case_study_config(sized);
+  auto graph = std::make_unique<topo::AsGraph>(std::move(net.graph));
+  svc::Session session(std::move(graph), std::move(state), scfg);
+
+  // Request pools, drawn before serving: random insecure ISPs for the
+  // whatif series, one stub–stub pair (non-adjacent, different providers so
+  // the peer edge is legal and cheap) for the mutate series.
+  std::mt19937_64 rng(opt.seed);
+  std::vector<std::uint32_t> isp_asns;
+  const topo::AsGraph& g = session.graph();
+  for (topo::AsId i = 0; i < g.num_nodes(); ++i) {
+    if (g.is_isp(i) && !session.state().is_secure(i)) {
+      isp_asns.push_back(g.asn(i));
+    }
+  }
+  std::shuffle(isp_asns.begin(), isp_asns.end(), rng);
+  std::uint32_t stub_a = 0, stub_b = 0;
+  {
+    std::vector<topo::AsId> stubs;
+    for (topo::AsId i = 0; i < g.num_nodes(); ++i) {
+      if (g.is_stub(i)) stubs.push_back(i);
+    }
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      topo::Link l;
+      if (!g.link_between(stubs[i], stubs[i + 1], l)) {
+        stub_a = g.asn(stubs[i]);
+        stub_b = g.asn(stubs[i + 1]);
+        break;
+      }
+    }
+  }
+
+  session.warm();
+  const std::string socket_path =
+      "/tmp/sbgp_bench_svc_" + std::to_string(::getpid()) + ".sock";
+  svc::Server server(session, {.socket_path = socket_path});
+  std::thread serve_thread([&server] { (void)server.run(); });
+  const int fd = connect_or_die(socket_path);
+
+  using clock = std::chrono::steady_clock;
+  std::vector<double> whatif_us, mutate_us;
+  whatif_us.reserve(whatif_reqs);
+  mutate_us.reserve(mutate_reqs);
+  for (std::size_t i = 0; i < whatif_reqs; ++i) {
+    const std::uint32_t asn = isp_asns[i % isp_asns.size()];
+    const std::string req =
+        "{\"op\":\"whatif_adopt\",\"asn\":" + std::to_string(asn) + "}";
+    const auto t0 = clock::now();
+    const std::string reply = roundtrip(fd, req);
+    whatif_us.push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count());
+    if (reply.find("\"ok\":true") == std::string::npos) {
+      std::cerr << "whatif failed: " << reply << "\n";
+      std::exit(1);
+    }
+  }
+  for (std::size_t i = 0; i < mutate_reqs; ++i) {
+    const std::string action =
+        i % 2 == 0
+            ? "{\"action\":\"add_edge\",\"type\":\"peer\",\"a\":" +
+                  std::to_string(stub_a) + ",\"b\":" + std::to_string(stub_b) + "}"
+            : "{\"action\":\"remove_edge\",\"a\":" + std::to_string(stub_a) +
+                  ",\"b\":" + std::to_string(stub_b) + "}";
+    const std::string req = "{\"op\":\"mutate_topology\",\"ops\":[" + action + "]}";
+    const auto t0 = clock::now();
+    const std::string reply = roundtrip(fd, req);
+    mutate_us.push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count());
+    if (reply.find("\"ok\":true") == std::string::npos) {
+      std::cerr << "mutate failed: " << reply << "\n";
+      std::exit(1);
+    }
+  }
+  // Leave the edge as it started (even request count) before shutdown.
+  ::close(fd);
+  server.request_stop();
+  serve_thread.join();
+
+  SeriesResult r;
+  r.whatif_p50 = quantile_us(whatif_us, 0.50);
+  r.whatif_p99 = quantile_us(whatif_us, 0.99);
+  r.mutate_p50 = quantile_us(mutate_us, 0.50);
+  r.mutate_p99 = quantile_us(mutate_us, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse_options(argc, argv, /*default_nodes=*/0);
+  bench::JsonOut json(opt);
+  if (!opt.quiet) bench::print_header("svc request latency", opt);
+
+  // 0 = the committed two-size series; an explicit --nodes benches that one
+  // size only (exploration, not for BENCH_svc_latency.json).
+  std::vector<std::uint32_t> sizes =
+      opt.nodes == 0 ? std::vector<std::uint32_t>{10000, 36964}
+                     : std::vector<std::uint32_t>{opt.nodes};
+  bool gate_ok = true;
+  for (const std::uint32_t n : sizes) {
+    const std::size_t whatif_reqs = 500;
+    const std::size_t mutate_reqs = n > 20000 ? 20 : 50;
+    const SeriesResult r = run_size(n, opt, whatif_reqs, mutate_reqs);
+    if (!opt.quiet) {
+      std::cout << n << " ASes: whatif p50 " << r.whatif_p50 << " us, p99 "
+                << r.whatif_p99 << " us; mutate p50 " << r.mutate_p50
+                << " us, p99 " << r.mutate_p99 << " us\n";
+    }
+    const std::string suffix = "/" + std::to_string(n);
+    json.add("BM_SvcWhatif_p50" + suffix, r.whatif_p50, "us");
+    json.add("BM_SvcWhatif_p99" + suffix, r.whatif_p99, "us");
+    json.add("BM_SvcMutate_p50" + suffix, r.mutate_p50, "us");
+    json.add("BM_SvcMutate_p99" + suffix, r.mutate_p99, "us");
+    if (n == 36964 && r.whatif_p99 > 10000.0) gate_ok = false;
+  }
+  if (!gate_ok) {
+    std::cerr << "GATE FAILED: whatif_adopt p99 > 10 ms at 36,964 ASes\n";
+    return 1;
+  }
+  return 0;
+}

@@ -329,6 +329,12 @@ struct DeploymentSimulator::Cache {
   std::vector<std::uint8_t> changed_mask;  ///< dense view of `changed`
   std::vector<std::size_t> work;         ///< dirty destinations this round
   std::vector<std::uint8_t> dirty_mask;  ///< dense view of `work` (check mode)
+  /// Destinations force-marked dirty between rounds by
+  /// apply_topology_delta (their dirty_mask bit is pre-set; the next
+  /// evaluation's scan picks them up first). Tracked separately so the
+  /// end-of-round mask clearing can reset bits the `changed`-indexed sweep
+  /// would miss.
+  std::vector<std::size_t> force_dirty;
   /// Destinations in `work` taking the partial-update path (base tree
   /// provably unchanged; only stale projection entries refreshed).
   std::vector<std::uint8_t> partial_mask;
@@ -969,6 +975,12 @@ std::size_t DeploymentSimulator::evaluate_round(const DeploymentState& state,
     c.dirty_mask[y] = 0;
   }
   for (const std::size_t d : c.work) c.partial_mask[d] = 0;
+  // Topology-delta force-dirty marks are consumed by this evaluation
+  // whatever path it took (the carry scan picked them up via dirty_mask; a
+  // full evaluation recomputed them anyway); reset their bits
+  // unconditionally — they need not appear in `changed` or `work`.
+  for (const std::size_t d : c.force_dirty) c.dirty_mask[d] = 0;
+  c.force_dirty.clear();
   const std::uint64_t t_eval = obs::now_ns();
 
   // Fold all N bundles in destination order — fixed regardless of thread
@@ -1112,9 +1124,11 @@ SimResult DeploymentSimulator::run(const DeploymentState& initial,
   seen.emplace(state.hash(), 0);
 
   // Each run starts from an arbitrary state: drop any bundles cached by a
-  // previous run.
+  // previous run, and break evaluate_state() continuity — the bundles left
+  // behind by run() describe the state *before* its final flip application.
   cache_->valid = false;
   cache_->changed.clear();
+  has_last_flags_ = false;
 
   RoundOutput round_out(n);
   std::vector<double> utility(n), proj_on(n), proj_off(n);
@@ -1234,6 +1248,266 @@ SimResult DeploymentSimulator::run(const DeploymentState& initial,
         cfg_.model == UtilityModel::Outgoing ? fin.outgoing : fin.incoming;
   }
   return result;
+}
+
+const StateEvaluation& DeploymentSimulator::evaluate_state(
+    const DeploymentState& state) {
+  const std::size_t n = graph_.num_nodes();
+  if (state.flags().size() != n) {
+    throw std::invalid_argument("evaluate_state: state size mismatch");
+  }
+  Cache& c = *cache_;
+  if (eval_out_ == nullptr) eval_out_ = std::make_unique<RoundOutput>(n);
+  if (!has_last_flags_) {
+    // No continuity (first call, or run()/a node add intervened): the cached
+    // bundles do not describe any previously evaluated state.
+    c.valid = false;
+    c.changed.clear();
+  } else if (c.valid) {
+    // Warm path: seed the dirty scan with the flag diff against the state
+    // evaluated last time — exactly the role run()'s flip application plays
+    // between rounds. Topology-delta force-dirty marks are already sitting
+    // in dirty_mask and are picked up by the scan independently.
+    const auto& now = state.flags();
+    for (AsId i = 0; i < n; ++i) {
+      if (now[i] != last_flags_[i]) c.changed.push_back(i);
+    }
+  }
+  StateEvaluation& e = eval_;
+  e.stats = RoundStats{};
+  const std::size_t recomputed =
+      evaluate_round(state, *eval_out_, 0, &e.stats);
+  e.stats.recomputed_destinations = recomputed;
+  e.stats.total_secure_ases = state.num_secure();
+  e.stats.total_secure_isps =
+      state.num_secure_of_class(graph_, topo::AsClass::Isp);
+
+  const RoundOutput& out = *eval_out_;
+  const auto& util_model =
+      cfg_.model == UtilityModel::Outgoing ? out.util_out : out.util_in;
+  const auto& delta_on = cfg_.model == UtilityModel::Outgoing
+                             ? out.delta_on_out
+                             : out.delta_on_in;
+  const auto& delta_off = cfg_.model == UtilityModel::Outgoing
+                              ? out.delta_off_out
+                              : out.delta_off_in;
+  e.utility.resize(n);
+  e.projected_on.resize(n);
+  e.projected_off.resize(n);
+  e.would_flip_on.assign(n, 0);
+  e.would_flip_off.assign(n, 0);
+  for (AsId i = 0; i < n; ++i) {
+    e.utility[i] = util_model[i];
+    e.projected_on[i] =
+        out.eval_on[i] != 0 ? util_model[i] + delta_on[i] : kNaN;
+    e.projected_off[i] =
+        out.eval_off[i] != 0 ? util_model[i] + delta_off[i] : kNaN;
+    if (!graph_.is_isp(i)) continue;
+    if (cfg_.frozen != nullptr && (*cfg_.frozen)[i] != 0) continue;
+    const double theta_i =
+        cfg_.per_node_theta != nullptr ? (*cfg_.per_node_theta)[i] : cfg_.theta;
+    const auto revenue = [this](double volume) {
+      return apply_pricing(cfg_.pricing, cfg_.pricing_tier_size, volume);
+    };
+    if (!state.is_secure(i)) {
+      if (out.eval_on[i] != 0 &&
+          revenue(e.projected_on[i]) > (1.0 + theta_i) * revenue(e.utility[i])) {
+        e.would_flip_on[i] = 1;
+      }
+    } else if (out.eval_off[i] != 0 &&
+               revenue(e.projected_off[i]) >
+                   (1.0 + theta_i) * revenue(e.utility[i])) {
+      e.would_flip_off[i] = 1;
+    }
+  }
+  last_flags_ = state.flags();
+  has_last_flags_ = true;
+  return eval_;
+}
+
+void DeploymentSimulator::apply_topo_op(topo::AsGraph& g, const topo::TopoOp& op,
+                                        std::size_t row_budget,
+                                        TopoApplyResult& out) {
+  Cache& c = *cache_;
+  const std::size_t n = graph_.num_nodes();
+
+  if (op.kind == topo::TopoOp::Kind::AddStub) {
+    // Every per-node structure — RIB slabs, bundle vectors, worker scratch,
+    // SecureMask words, and any user-supplied per-node config arrays — is
+    // dimensioned at |V|; a node add rebuilds the caches wholesale. Config
+    // arrays cannot be resized from here, so reject the combination.
+    if (cfg_.tiebreak.rank != nullptr) {
+      throw std::invalid_argument(
+          "topology delta: node add with an external tiebreak rank table");
+    }
+    if (cfg_.per_node_theta != nullptr || cfg_.frozen != nullptr) {
+      throw std::invalid_argument(
+          "topology delta: node add with per-node theta or frozen arrays");
+    }
+    out.patch.merge(g.apply_op(op, row_budget));
+    cache_ = std::make_unique<Cache>(graph_, pool_.size(), cfg_);
+    eval_out_.reset();
+    has_last_flags_ = false;
+    labeler_.reset();  // sized scratch is |V|-dependent
+    out.full_invalidation = true;
+    return;
+  }
+
+  // Edge ops. The candidate tests run on labels computed against the
+  // pre-op graph; a SetRelationship tests both the removal of the current
+  // relationship and the addition of the target one against the same pre-op
+  // labels — exact, because any destination whose RIB the removal leaves
+  // unchanged has identical endpoint labels before and after it.
+  struct Event {
+    topo::Link rel;  // b's role toward a
+    bool added;
+  };
+  Event events[2];
+  std::size_t n_events = 0;
+  switch (op.kind) {
+    case topo::TopoOp::Kind::AddCustomerProvider:
+      events[n_events++] = {topo::Link::Customer, true};  // b = a's customer
+      break;
+    case topo::TopoOp::Kind::AddPeer:
+      events[n_events++] = {topo::Link::Peer, true};
+      break;
+    case topo::TopoOp::Kind::RemoveEdge: {
+      topo::Link cur;
+      if (op.a < n && op.b < n && graph_.link_between(op.a, op.b, cur)) {
+        events[n_events++] = {cur, false};
+      }
+      break;  // missing edge: apply_op below throws with the graph untouched
+    }
+    case topo::TopoOp::Kind::SetRelationship: {
+      topo::Link cur;
+      if (op.a < n && op.b < n && graph_.link_between(op.a, op.b, cur) &&
+          cur != op.rel) {
+        events[n_events++] = {cur, false};
+        events[n_events++] = {op.rel, true};
+      }
+      break;
+    }
+    case topo::TopoOp::Kind::AddStub:
+      break;  // handled above
+  }
+
+  const bool have_big = c.big_cache && c.rib_store != nullptr;
+  const bool mark_dirty = c.valid && cfg_.incremental;
+  const bool want_labels = n_events > 0 && (have_big || mark_dirty);
+  if (want_labels) {
+    if (labeler_ == nullptr) {
+      labeler_ = std::make_unique<rt::SourceLabelComputer>(graph_);
+    }
+    labeler_->compute(op.a, lbl_cls_a_, lbl_len_a_);
+    labeler_->compute(op.b, lbl_cls_b_, lbl_len_b_);
+  }
+
+  topo::TopoPatchStats patch = g.apply_op(op, row_budget);
+  if (n_events == 0) {
+    // Only a SetRelationship to the already-current relationship reaches
+    // here (everything else either produced an event or threw): a no-op.
+    out.patch.merge(patch);
+    return;
+  }
+  if (!want_labels) {
+    // Nothing cached worth preserving (small cache, bundles not valid):
+    // just drop continuity; the next evaluation is full anyway.
+    out.patch.merge(patch);
+    c.valid = false;
+    return;
+  }
+
+  const auto label_hit = [&](AsId d) {
+    for (std::size_t e = 0; e < n_events; ++e) {
+      if (rt::edge_candidate_hits(lbl_cls_a_[d], lbl_len_a_[d], lbl_cls_b_[d],
+                                  lbl_len_b_[d], events[e].rel,
+                                  events[e].added)) {
+        return true;
+      }
+      if (rt::edge_candidate_hits(lbl_cls_b_[d], lbl_len_b_[d], lbl_cls_a_[d],
+                                  lbl_len_a_[d], topo::reverse(events[e].rel),
+                                  events[e].added)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<std::uint8_t> touched(n, 0);
+  for (const AsId t : patch.touched) touched[t] = 1;
+  for (const AsId t : patch.class_changed) touched[t] = 1;
+
+  const auto force = [&](std::size_t d) {
+    if (c.dirty_mask[d] == 0) {
+      c.dirty_mask[d] = 1;
+      c.force_dirty.push_back(d);
+      ++out.bundles_invalidated;
+    }
+  };
+  for (std::size_t d = 0; d < n; ++d) {
+    if (label_hit(static_cast<AsId>(d))) {
+      // The edge carries a best-or-tied route offer at an endpoint: this
+      // destination's static RIB (class/length/tiebreak structure anywhere
+      // in the graph) may change. Stale the stored RIB and force a full
+      // bundle recompute.
+      if (have_big && c.rib_store->ready(static_cast<AsId>(d))) {
+        c.rib_store->invalidate(static_cast<AsId>(d));
+        ++out.ribs_invalidated;
+      }
+      if (mark_dirty) force(d);
+      continue;
+    }
+    if (!mark_dirty) continue;
+    // RIB provably unchanged; the cached bundle can still be stale if its
+    // secure-candidate footprint contains a touched or reclassified node
+    // (class moves applies_secp, adjacency moves the simplex-stub provider
+    // probe and the Rule-2 stub-provider set). The footprint always
+    // contains the destination itself, so the op endpoints' own
+    // destinations are re-marked here too.
+    const DestBundle& b = c.bundles[d];
+    bool fp = false;
+    for (const AsId y : b.fp_tree) {
+      if (touched[y] != 0) {
+        fp = true;
+        break;
+      }
+    }
+    if (!fp) {
+      for (const AsId y : b.proj_fp) {
+        if (touched[y] != 0) {
+          fp = true;
+          break;
+        }
+      }
+    }
+    if (fp) force(d);
+  }
+  out.patch.merge(patch);
+}
+
+DeploymentSimulator::TopoApplyResult DeploymentSimulator::apply_topology_delta(
+    topo::AsGraph& graph, const topo::TopoDelta& delta,
+    std::size_t row_budget) {
+  if (&graph != &graph_) {
+    throw std::invalid_argument(
+        "apply_topology_delta: graph is not the graph this simulator was "
+        "constructed over");
+  }
+  TopoApplyResult out;
+  for (const topo::TopoOp& op : delta.ops) {
+    apply_topo_op(graph, op, row_budget, out);
+  }
+  {
+    static obs::Counter& ops_ctr =
+        obs::Registry::global().counter("sim.topo.ops_applied");
+    static obs::Counter& rib_ctr =
+        obs::Registry::global().counter("sim.topo.ribs_invalidated");
+    static obs::Counter& bundle_ctr =
+        obs::Registry::global().counter("sim.topo.bundles_invalidated");
+    ops_ctr.add(delta.ops.size());
+    rib_ctr.add(out.ribs_invalidated);
+    bundle_ctr.add(out.bundles_invalidated);
+  }
+  return out;
 }
 
 }  // namespace sbgp::core

@@ -19,6 +19,7 @@
 #include "core/deployment_state.h"
 #include "parallel/thread_pool.h"
 #include "routing/routing_tree.h"
+#include "routing/source_labels.h"
 #include "topology/as_graph.h"
 
 namespace sbgp::core {
@@ -244,6 +245,22 @@ struct SimResult {
     const SimConfig& cfg, par::ThreadPool& pool,
     const rt::LinkSet* enabled_links = nullptr);
 
+/// One-shot evaluation of a deployment state (no dynamics): every node's
+/// utility and Eq. 3 projections, plus the flip decision each unfrozen ISP
+/// would take from here. Projections are NaN where the pruning rules proved
+/// the flip cannot change any routing tree (projected == current there).
+struct StateEvaluation {
+  std::vector<double> utility;
+  std::vector<double> projected_on;
+  std::vector<double> projected_off;
+  /// Eq. 3 verdicts under the configured theta/pricing: would this node flip
+  /// on (insecure ISPs) / flip off (secure ISPs, Incoming model with
+  /// allow_turn_off)? Zero elsewhere.
+  std::vector<std::uint8_t> would_flip_on;
+  std::vector<std::uint8_t> would_flip_off;
+  RoundStats stats;  ///< engine internals for this evaluation (round = 0)
+};
+
 /// The deployment simulator. Construct once per (graph, config); `run` may
 /// be called repeatedly with different initial states.
 class DeploymentSimulator {
@@ -258,6 +275,53 @@ class DeploymentSimulator {
   [[nodiscard]] SimResult run(const DeploymentState& initial,
                               const RoundObserver& observer = nullptr);
 
+  /// Evaluates `state` without advancing the dynamics. Drives the same
+  /// incremental engine as run(): the first call (or the first after run()
+  /// or a cache-dropping topology change) pays a full evaluation; later
+  /// calls recompute only the destinations whose dirty footprint intersects
+  /// the flag diff against the previously evaluated state, plus any
+  /// destinations force-dirtied by apply_topology_delta. This is the
+  /// warm-path backing of the svc:: what-if queries. The returned reference
+  /// stays valid until the next evaluate_state()/run()/apply_topology_delta
+  /// call. Under `check_incremental`, every warm call is cross-checked
+  /// against a full recompute (throws IncrementalDivergence on mismatch).
+  const StateEvaluation& evaluate_state(const DeploymentState& state);
+
+  /// Result of apply_topology_delta: the CSR patch report plus how much
+  /// cached routing state the invalidation layer had to drop.
+  struct TopoApplyResult {
+    topo::TopoPatchStats patch;
+    /// Destinations whose stored state-independent RIB was staled by the
+    /// endpoint candidate-label test (recomputed lazily on next evaluation).
+    std::size_t ribs_invalidated = 0;
+    /// Destinations force-marked dirty for the next evaluation (label hits
+    /// plus footprint hits on touched/reclassified nodes).
+    std::size_t bundles_invalidated = 0;
+    /// A node was added (or the cache was cold): every per-node slab was
+    /// rebuilt and the next evaluation is a full one.
+    bool full_invalidation = false;
+  };
+
+  /// Applies `delta` to `graph` — which must be the same object this
+  /// simulator was constructed over — patching the CSR slabs in place and
+  /// invalidating exactly the cached destinations whose routing trees can
+  /// change: per edge op, a destination is staled iff the edge offers a
+  /// best-or-tied route at either endpoint (rt::edge_candidate_hits over
+  /// source labels computed on the pre-op graph), and a bundle is re-marked
+  /// dirty iff its secure-candidate footprint contains a touched or
+  /// reclassified node. Node additions rebuild the per-node caches
+  /// wholesale (every slab is dimensioned at |V|). Ops apply in order; on
+  /// throw, ops before the offending one remain applied and the caches stay
+  /// consistent with the patched graph.
+  ///
+  /// Rejected (std::invalid_argument): deltas under an external tiebreak
+  /// rank table, per-node theta, or frozen flags when they would go
+  /// out-of-bounds for a node add; invalid ops per AsGraph::apply_op.
+  /// `row_budget` is forwarded to AsGraph::apply_op (0 = auto).
+  TopoApplyResult apply_topology_delta(topo::AsGraph& graph,
+                                       const topo::TopoDelta& delta,
+                                       std::size_t row_budget = 0);
+
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
 
  private:
@@ -269,11 +333,25 @@ class DeploymentSimulator {
   /// partial-update counts and per-phase wall times.
   std::size_t evaluate_round(const DeploymentState& state, RoundOutput& out,
                              std::size_t round, RoundStats* stats = nullptr);
+  void apply_topo_op(topo::AsGraph& graph, const topo::TopoOp& op,
+                     std::size_t row_budget, TopoApplyResult& out);
 
   const AsGraph& graph_;
   SimConfig cfg_;
   par::ThreadPool pool_;
   std::unique_ptr<Cache> cache_;
+  // evaluate_state() continuity: the flags evaluated last time (diff seed for
+  // the next warm call) and the reusable output buffers. run() invalidates
+  // the continuity (its final flip application leaves bundles describing a
+  // pre-flip state).
+  std::vector<std::uint8_t> last_flags_;
+  bool has_last_flags_ = false;
+  std::unique_ptr<RoundOutput> eval_out_;
+  StateEvaluation eval_;
+  // Topology-delta scratch (lazily constructed; rebuilt on node add).
+  std::unique_ptr<rt::SourceLabelComputer> labeler_;
+  std::vector<rt::RouteClass> lbl_cls_a_, lbl_cls_b_;
+  std::vector<std::uint16_t> lbl_len_a_, lbl_len_b_;
 };
 
 }  // namespace sbgp::core

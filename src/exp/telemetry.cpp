@@ -1,5 +1,6 @@
 #include "exp/telemetry.h"
 
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 
 namespace sbgp::exp {
@@ -18,6 +19,19 @@ TelemetryLog::TelemetryLog(std::string path) : path_(std::move(path)) {
   out_.open(path_, std::ios::app);
   if (!out_) throw JsonError("cannot open telemetry log '" + path_ + "'");
   if (needs_newline) out_ << '\n';
+  // Attribution header: which binary appended the records that follow. One
+  // per open, so a healed/appended-to log carries a header per writing
+  // process — readers filter by "type" like for every other record.
+  append(header_record());
+}
+
+Json header_record() {
+  Json j = Json::object();
+  j.set("type", Json::string("header"));
+  j.set("version", Json::string(obs::git_describe()));
+  j.set("build_type", Json::string(obs::build_type()));
+  j.set("obs", Json::boolean(obs::obs_enabled()));
+  return j;
 }
 
 void TelemetryLog::append(const Json& record) {

@@ -35,6 +35,11 @@ class TelemetryLog {
   std::mutex mutex_;
 };
 
+/// Build-attribution record, appended automatically as the first record of
+/// every TelemetryLog open:
+/// {"type":"header","version":<git describe>,"build_type":...,"obs":bool}.
+[[nodiscard]] Json header_record();
+
 /// One simulation round, as emitted by core::DeploymentSimulator:
 /// {"type":"round","round":...,"flips_on":...,"flips_off":...,
 ///  "new_stubs":...,"secure_ases":...,"secure_isps":...,"frac_ases":...,

@@ -1,0 +1,32 @@
+#include "obs/build_info.h"
+
+#ifndef SBGPSIM_GIT_DESCRIBE
+#define SBGPSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SBGPSIM_BUILD_TYPE
+#define SBGPSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace sbgp::obs {
+
+const char* git_describe() { return SBGPSIM_GIT_DESCRIBE; }
+
+const char* build_type() { return SBGPSIM_BUILD_TYPE; }
+
+bool obs_enabled() {
+#ifdef SBGPSIM_OBS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+const char* build_info_line() {
+#ifdef SBGPSIM_OBS_DISABLED
+  return SBGPSIM_GIT_DESCRIBE " " SBGPSIM_BUILD_TYPE " obs=off";
+#else
+  return SBGPSIM_GIT_DESCRIBE " " SBGPSIM_BUILD_TYPE " obs=on";
+#endif
+}
+
+}  // namespace sbgp::obs

@@ -1,0 +1,31 @@
+// Build attribution: which exact binary produced this output? The git
+// describe string, build type and OBS switch are baked in at configure time
+// and surfaced through `sbgpsim --version`, every telemetry JSONL header
+// record, and the bench JSON context — so service logs and committed
+// BENCH_*.json files are attributable to a commit and build flavour.
+//
+// The values are injected as compile definitions on build_info.cpp only (see
+// src/obs/CMakeLists.txt), so touching the git state dirties exactly one
+// translation unit. They are captured when CMake configures, not per build —
+// an incremental rebuild on new commits without re-configuring can lag; the
+// "-dirty" suffix and CI's from-scratch configures keep this honest where it
+// matters.
+#pragma once
+
+namespace sbgp::obs {
+
+/// `git describe --always --dirty --tags` at configure time ("unknown" when
+/// built outside a git checkout).
+[[nodiscard]] const char* git_describe();
+
+/// CMAKE_BUILD_TYPE at configure time (e.g. "RelWithDebInfo", "Release").
+[[nodiscard]] const char* build_type();
+
+/// Was the obs:: layer compiled in (SBGPSIM_OBS)?
+[[nodiscard]] bool obs_enabled();
+
+/// One-line attribution, e.g. "be773b1 RelWithDebInfo obs=on" — the exact
+/// string `sbgpsim --version` prints after the binary name.
+[[nodiscard]] const char* build_info_line();
+
+}  // namespace sbgp::obs

@@ -44,6 +44,14 @@ class RibStore {
   /// View of a stored destination's columns.
   [[nodiscard]] RibView view(AsId d) const;
 
+  /// Marks destination `d` unpopulated again so a later put() may overwrite
+  /// its columns — used when a topology delta stales the stored RIB. The old
+  /// tiebreak slice is abandoned in the arena (it bump-allocates; reclaiming
+  /// would need a compaction pass), so the pool grows by one slice per
+  /// invalidated-then-recomputed destination — bounded by the number of
+  /// topology mutations served, not by rounds.
+  void invalidate(AsId d) { ready_[d] = 0; }
+
   /// Heap footprint of the fixed slabs + tiebreak pool, for budget checks
   /// and the memory-per-AS accounting in the docs.
   [[nodiscard]] std::size_t bytes_reserved() const;

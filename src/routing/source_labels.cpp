@@ -1,0 +1,158 @@
+#include "routing/source_labels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sbgp::rt {
+
+namespace {
+constexpr std::uint16_t kInf = std::numeric_limits<std::uint16_t>::max();
+}  // namespace
+
+SourceLabelComputer::SourceLabelComputer(const AsGraph& graph) : graph_(graph) {
+  up_.reserve(graph.num_nodes());
+  queue_.reserve(graph.num_nodes());
+}
+
+void SourceLabelComputer::compute(AsId src, std::vector<RouteClass>& cls,
+                                  std::vector<std::uint16_t>& len) {
+  const std::size_t n = graph_.num_nodes();
+  assert(src < n);
+  cls.assign(n, RouteClass::None);
+  len.assign(n, kInf);
+  cls[src] = RouteClass::Self;
+  len[src] = 0;
+
+  // Phase 1 — customer-class destinations: BFS descending customer edges
+  // from src (src's customer cone). Mirrors RibComputer phase 1 with the
+  // edge direction transposed.
+  queue_.clear();
+  queue_.push_back(src);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const AsId x = queue_[head];
+    const auto next_len = static_cast<std::uint16_t>(len[x] + 1);
+    for (AsId c : graph_.customers(x)) {
+      if (cls[c] == RouteClass::None) {
+        cls[c] = RouteClass::Customer;
+        len[c] = next_len;
+        queue_.push_back(c);
+      }
+    }
+  }
+
+  // Phase 2 — peer-class destinations: one peer edge out of src, then
+  // customer descent (GR2: a peer only exports Self/Customer routes).
+  // Multi-source FIFO BFS, every peer seeded at depth 1. Pruning at
+  // already-labelled nodes is safe: customer cones are downward-closed, so
+  // every descendant of a labelled node is labelled at least as preferably.
+  queue_.clear();
+  for (AsId p : graph_.peers(src)) {
+    if (cls[p] == RouteClass::None) {
+      cls[p] = RouteClass::Peer;
+      len[p] = 1;
+      queue_.push_back(p);
+    }
+  }
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const AsId x = queue_[head];
+    const auto next_len = static_cast<std::uint16_t>(len[x] + 1);
+    for (AsId c : graph_.customers(x)) {
+      if (cls[c] == RouteClass::None) {
+        cls[c] = RouteClass::Peer;
+        len[c] = next_len;
+        queue_.push_back(c);
+      }
+    }
+  }
+
+  // Phase 3 — provider-class destinations. A provider route ascends >= 1
+  // provider edges from src to an apex z, optionally crosses one peer edge,
+  // then descends customers (the only valley-free shapes left). up_[z] is
+  // the min ascent distance; seeds are every apex at up_[z] and every peer
+  // of an apex at up_[z] + 1, relaxed by customer descent in a Dial-bucket
+  // multi-source Dijkstra (unit weights), exactly RibComputer phase 3
+  // transposed.
+  up_.assign(n, kInf);
+  up_[src] = 0;
+  queue_.clear();
+  queue_.push_back(src);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const AsId x = queue_[head];
+    const auto next_up = static_cast<std::uint16_t>(up_[x] + 1);
+    for (AsId p : graph_.providers(x)) {
+      if (up_[p] == kInf) {
+        up_[p] = next_up;
+        queue_.push_back(p);
+      }
+    }
+  }
+  std::size_t max_seed = 0;
+  for (AsId z = 0; z < n; ++z) {
+    if (up_[z] != kInf && up_[z] >= 1) max_seed = std::max<std::size_t>(max_seed, up_[z] + 1);
+  }
+  const std::size_t need = max_seed + n + 2;
+  if (buckets_.size() < need) buckets_.resize(need);
+  for (auto& b : buckets_) b.clear();
+  auto offer = [&](AsId d, std::uint16_t dist) {
+    // Only None/Provider-labelled nodes can improve (LP: Customer and Peer
+    // labels dominate any provider route).
+    if (cls[d] == RouteClass::Customer || cls[d] == RouteClass::Peer ||
+        cls[d] == RouteClass::Self) {
+      return;
+    }
+    if (dist < len[d]) {
+      len[d] = dist;
+      cls[d] = RouteClass::Provider;
+      buckets_[dist].push_back(d);
+    }
+  };
+  for (AsId z = 0; z < n; ++z) {
+    if (up_[z] == kInf || up_[z] == 0) continue;
+    offer(z, up_[z]);
+    const auto peer_dist = static_cast<std::uint16_t>(up_[z] + 1);
+    for (AsId y : graph_.peers(z)) offer(y, peer_dist);
+  }
+  for (std::size_t length = 0; length < buckets_.size(); ++length) {
+    for (std::size_t idx = 0; idx < buckets_[length].size(); ++idx) {
+      const AsId x = buckets_[length][idx];
+      if (len[x] != length) continue;  // stale entry
+      const auto next_len = static_cast<std::uint16_t>(length + 1);
+      for (AsId c : graph_.customers(x)) offer(c, next_len);
+    }
+  }
+}
+
+bool edge_candidate_hits(RouteClass cls_a, std::uint16_t len_a,
+                         RouteClass cls_b, std::uint16_t len_b,
+                         topo::Link b_role_toward_a, bool added) {
+  if (cls_b == RouteClass::None) return false;  // b offers nothing
+  RouteClass offer_cls;
+  switch (b_role_toward_a) {
+    case topo::Link::Customer:
+      // b only exports Self/Customer-class routes up to its provider a.
+      if (cls_b != RouteClass::Self && cls_b != RouteClass::Customer) return false;
+      offer_cls = RouteClass::Customer;
+      break;
+    case topo::Link::Peer:
+      if (cls_b != RouteClass::Self && cls_b != RouteClass::Customer) return false;
+      offer_cls = RouteClass::Peer;
+      break;
+    case topo::Link::Provider:
+      offer_cls = RouteClass::Provider;  // a provider exports its best route
+      break;
+    default:
+      return false;
+  }
+  // Lexicographic (class, length); None sorts after everything.
+  const std::uint64_t offer_key =
+      (static_cast<std::uint64_t>(offer_cls) << 32) |
+      (static_cast<std::uint64_t>(len_b) + 1);
+  const std::uint64_t best_key =
+      cls_a == RouteClass::None
+          ? std::numeric_limits<std::uint64_t>::max()
+          : (static_cast<std::uint64_t>(cls_a) << 32) | len_a;
+  return added ? offer_key <= best_key : offer_key == best_key;
+}
+
+}  // namespace sbgp::rt

@@ -1,0 +1,69 @@
+// Source-side transpose of the per-destination RIB (rib.h): for a fixed
+// *source* x, the Gao–Rexford class and length of x's chosen route toward
+// every destination d, in one O(|V|+|E|) pass. This is the query shape the
+// topology-delta invalidation layer needs — "which destinations' routing
+// state can an edge at x perturb?" — where the destination-side RibComputer
+// would cost O(|V|·(|V|+|E|)).
+//
+// Correctness rests on the valley-free route shapes the GR policies admit
+// (Appendix A / GR2):
+//   Customer class:  x descends customer edges to d        (d in cone(x))
+//   Peer class:      one peer edge, then customer descent
+//   Provider class:  >=1 provider ascents, optionally one peer edge, then
+//                    customer descent
+// and on LP ordering Customer > Peer > Provider, ties by shortest length —
+// exactly the recurrences RibComputer resolves destination-side. A property
+// test (tests/test_topo_delta.cpp) pins the transpose to RibComputer
+// column-for-column.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/rib.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::rt {
+
+/// Reusable computer; keeps O(|V|) scratch so repeated calls allocate
+/// nothing once warm. One instance per thread.
+class SourceLabelComputer {
+ public:
+  explicit SourceLabelComputer(const AsGraph& graph);
+
+  /// Fills cls[d] / len[d] with source `src`'s chosen route class and length
+  /// toward every destination d (Self/0 at d == src, None/0xffff where
+  /// unreachable). Output vectors are resized to the graph's current node
+  /// count.
+  void compute(AsId src, std::vector<RouteClass>& cls,
+               std::vector<std::uint16_t>& len);
+
+ private:
+  const AsGraph& graph_;
+  std::vector<std::uint16_t> up_;  // min provider-ascent distance from src
+  std::vector<AsId> queue_;
+  std::vector<std::vector<AsId>> buckets_;
+};
+
+/// First-order candidate test backing topology-delta invalidation: given
+/// endpoint a's label toward destination d, neighbour b's label toward d,
+/// and b's relationship as seen from a, decides whether the a--b edge
+/// carries a route offer that beats-or-ties a's current best (`added` =
+/// true, the edge is being added) or exactly ties it (`added` = false, the
+/// edge is being removed — only a best-or-tied offer can have influenced
+/// a's RIB entry or tiebreak set). Export rules: a customer or peer b only
+/// offers Self/Customer-class routes (GR2); a provider b offers anything it
+/// has. Labels must come from the graph *without* the edge applied (the
+/// pre-add / pre-remove graph).
+///
+/// Exactness: the static RIB is the unique fixed point of the GR Bellman
+/// recurrences. If the offer over the edge neither beats nor ties the
+/// endpoint's label, the old labels remain a fixed point of the perturbed
+/// system at both endpoints and hence everywhere — no destination RIB
+/// changes. A tie (without a win) can still flip tiebreak-set membership,
+/// which is why removal tests equality, not strict dominance.
+[[nodiscard]] bool edge_candidate_hits(RouteClass cls_a, std::uint16_t len_a,
+                                       RouteClass cls_b, std::uint16_t len_b,
+                                       topo::Link b_role_toward_a, bool added);
+
+}  // namespace sbgp::rt

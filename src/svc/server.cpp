@@ -1,0 +1,277 @@
+#include "svc/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace sbgp::svc {
+
+namespace {
+
+// Self-pipe glue: the handler may only touch async-signal-safe state, so it
+// writes one byte to the active server's pipe. One server per process is the
+// supported shape (the CLI runs exactly one); the atomic makes a second
+// concurrent run() merely share the shutdown signal instead of racing.
+std::atomic<int> g_signal_wfd{-1};
+
+void on_shutdown_signal(int /*signo*/) {
+  const int fd = g_signal_wfd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("svc::Server: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+/// Installs `handler` for SIGTERM+SIGINT on construction, restores the
+/// previous dispositions on destruction (the test binary keeps running
+/// after a server stops, so the handlers must not leak).
+class SignalGuard {
+ public:
+  explicit SignalGuard(int pipe_wfd) {
+    g_signal_wfd.store(pipe_wfd, std::memory_order_relaxed);
+    struct sigaction sa {};
+    sa.sa_handler = on_shutdown_signal;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: poll() must wake with EINTR
+    ::sigaction(SIGTERM, &sa, &old_term_);
+    ::sigaction(SIGINT, &sa, &old_int_);
+  }
+  ~SignalGuard() {
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    g_signal_wfd.store(-1, std::memory_order_relaxed);
+  }
+
+ private:
+  struct sigaction old_term_ {};
+  struct sigaction old_int_ {};
+};
+
+}  // namespace
+
+Server::Server(Session& session, ServerConfig cfg)
+    : session_(session), cfg_(std::move(cfg)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.empty() ||
+      cfg_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("svc::Server: socket path empty or too long: '" +
+                             cfg_.socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(),
+              cfg_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("svc::Server: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  ::unlink(cfg_.socket_path.c_str());  // caller owns the path; drop stale file
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("svc::Server: bind('" + cfg_.socket_path +
+                             "') failed: " + why);
+  }
+  if (::listen(listen_fd_, cfg_.backlog) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(cfg_.socket_path.c_str());
+    throw std::runtime_error("svc::Server: listen() failed: " + why);
+  }
+  set_nonblocking(listen_fd_);
+
+  int pipefd[2];
+  if (::pipe(pipefd) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(cfg_.socket_path.c_str());
+    throw std::runtime_error("svc::Server: pipe() failed");
+  }
+  pipe_r_ = pipefd[0];
+  pipe_w_ = pipefd[1];
+  set_nonblocking(pipe_r_);
+  set_nonblocking(pipe_w_);
+}
+
+Server::~Server() {
+  for (Client& c : clients_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(cfg_.socket_path.c_str());
+  }
+  if (pipe_r_ >= 0) ::close(pipe_r_);
+  if (pipe_w_ >= 0) ::close(pipe_w_);
+}
+
+void Server::request_stop() { on_shutdown_signal(0); }
+
+bool Server::send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a client closing mid-reply must surface as EPIPE, not
+    // kill the daemon with SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      (void)::poll(&p, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer went away; caller drops the client
+  }
+  return true;
+}
+
+void Server::answer_buffered(Client& c) {
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = c.buf.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = c.buf.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank keep-alive line
+    }
+    const std::string reply = session_.handle_line(line) + "\n";
+    if (!send_all(c.fd, reply)) {
+      start = c.buf.size();
+      break;
+    }
+    if (session_.shutdown_requested()) stopping_ = true;
+  }
+  c.buf.erase(0, start);
+}
+
+bool Server::service_client(Client& c) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      c.buf.append(chunk, static_cast<std::size_t>(n));
+      if (c.buf.size() > cfg_.max_line_bytes) {
+        (void)send_all(
+            c.fd, "{\"ok\":false,\"error\":\"request line too long\"}\n");
+        return false;
+      }
+      continue;
+    }
+    if (n == 0) {  // EOF: answer what's buffered, then drop
+      answer_buffered(c);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  answer_buffered(c);
+  return true;
+}
+
+void Server::close_client(Client& c) {
+  if (c.fd >= 0) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+}
+
+int Server::run() {
+  static obs::Counter& conn_ctr =
+      obs::Registry::global().counter("svc.connections");
+  SignalGuard signals(pipe_w_);
+
+  std::vector<pollfd> pfds;
+  while (!stopping_) {
+    pfds.clear();
+    pfds.push_back({pipe_r_, POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const Client& c : clients_) pfds.push_back({c.fd, POLLIN, 0});
+
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // signal; the pipe byte drives shutdown
+      throw std::runtime_error("svc::Server: poll() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char sink[64];
+      while (::read(pipe_r_, sink, sizeof(sink)) > 0) {
+      }
+      stopping_ = true;
+    }
+
+    if (!stopping_ && (pfds[1].revents & POLLIN) != 0) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN (or transient error): back to poll
+        set_nonblocking(fd);
+        clients_.push_back({fd, {}});
+        conn_ctr.add(1);
+      }
+    }
+
+    // Service readable clients; compact the closed ones afterwards. pfds
+    // entry i+2 corresponds to clients_[i] (clients_ only grows above, and
+    // appends don't invalidate the correspondence for existing entries).
+    const std::size_t served = pfds.size() - 2;
+    for (std::size_t i = 0; i < served && i < clients_.size(); ++i) {
+      const short ev = pfds[i + 2].revents;
+      if (ev == 0) continue;
+      Client& c = clients_[i];
+      if ((ev & (POLLERR | POLLNVAL)) != 0 || !service_client(c)) {
+        close_client(c);
+      }
+      if (stopping_) break;
+    }
+    std::erase_if(clients_, [](const Client& c) { return c.fd < 0; });
+  }
+
+  // Graceful drain: no new connections, but every complete request line a
+  // client already sent gets its answer before the socket disappears.
+  ::close(listen_fd_);
+  ::unlink(cfg_.socket_path.c_str());
+  listen_fd_ = -1;
+  for (Client& c : clients_) {
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      c.buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    answer_buffered(c);
+    close_client(c);
+  }
+  clients_.clear();
+  return 0;
+}
+
+}  // namespace sbgp::svc

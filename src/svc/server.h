@@ -1,0 +1,75 @@
+// svc::Server — the newline-delimited-JSON transport in front of a
+// svc::Session: one Unix-domain stream socket, a single-threaded poll()
+// loop (requests serialise through the one warm engine anyway, so extra
+// threads would only add locking), per-client line buffers, and a
+// self-pipe for async-signal-safe SIGTERM/SIGINT shutdown. On shutdown —
+// signal or an in-band {"op":"shutdown"} — the server stops accepting,
+// drains every complete buffered request line (answering each), closes the
+// clients, unlinks the socket and returns 0.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "svc/session.h"
+
+namespace sbgp::svc {
+
+struct ServerConfig {
+  std::string socket_path;
+  int backlog = 16;
+  /// Per-client receive buffer cap; a client exceeding it without sending a
+  /// newline gets an error reply and is disconnected.
+  std::size_t max_line_bytes = std::size_t{16} << 20;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (any stale socket file at the path is
+  /// removed first — the caller owns the path). Throws std::runtime_error
+  /// on any transport setup failure; the CLI maps that to exit 6.
+  Server(Session& session, ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until SIGTERM/SIGINT, an in-band shutdown request, or
+  /// request_stop(). Returns 0 on a clean drain. Transport errors throw
+  /// std::runtime_error; a check_topo_delta lockstep mismatch propagates as
+  /// core::IncrementalDivergence.
+  int run();
+
+  /// Thread-safe shutdown nudge, equivalent to receiving SIGTERM (benches
+  /// and tests stop an in-process server with this).
+  void request_stop();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return cfg_.socket_path;
+  }
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string buf;
+  };
+
+  /// Reads whatever is pending, answers every complete line; returns false
+  /// when the client should be closed (EOF, error, buffer overflow).
+  bool service_client(Client& c);
+  /// Answers the complete lines already buffered (the shutdown drain path).
+  void answer_buffered(Client& c);
+  bool send_all(int fd, const std::string& data);
+  void close_client(Client& c);
+
+  Session& session_;
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  int pipe_r_ = -1;
+  int pipe_w_ = -1;
+  std::vector<Client> clients_;
+  bool stopping_ = false;
+};
+
+}  // namespace sbgp::svc

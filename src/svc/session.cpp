@@ -1,0 +1,443 @@
+#include "svc/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+
+namespace sbgp::svc {
+
+using core::StateEvaluation;
+using exp::Json;
+using topo::AsId;
+
+namespace {
+
+Json error_reply(const std::string& op, std::string message) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(false));
+  if (!op.empty()) j.set("op", Json::string(op));
+  j.set("error", Json::string(std::move(message)));
+  return j;
+}
+
+Json ok_reply(const std::string& op) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(true));
+  j.set("op", Json::string(op));
+  return j;
+}
+
+/// Required integral field, strict: absent or mistyped throws (caught into
+/// an error reply by handle()).
+std::uint64_t require_u64(const Json& req, const char* key) {
+  const Json* v = req.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument(std::string("missing field \"") + key + "\"");
+  }
+  return v->as_u64();
+}
+
+}  // namespace
+
+Session::Session(std::unique_ptr<topo::AsGraph> graph,
+                 core::DeploymentState state, SessionConfig cfg)
+    : graph_(std::move(graph)), state_(std::move(state)), cfg_(std::move(cfg)) {
+  if (graph_ == nullptr || !graph_->finalized()) {
+    throw std::invalid_argument("svc::Session: graph must be finalized");
+  }
+  if (state_.flags().size() != graph_->num_nodes()) {
+    throw std::invalid_argument(
+        "svc::Session: deployment state size != graph size");
+  }
+  if (cfg_.check_topo_delta) cfg_.sim.check_incremental = true;
+  sim_ = std::make_unique<core::DeploymentSimulator>(*graph_, cfg_.sim);
+}
+
+const StateEvaluation& Session::ensure_eval() {
+  if (eval_stale_ || eval_cache_ == nullptr) {
+    eval_cache_ = &sim_->evaluate_state(state_);
+    eval_stale_ = false;
+  }
+  return *eval_cache_;
+}
+
+AsId Session::resolve_asn(std::uint64_t asn) const {
+  if (asn > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("AS number out of range");
+  }
+  const AsId id = graph_->find_asn(static_cast<std::uint32_t>(asn));
+  if (id == topo::kNoAs) {
+    throw std::invalid_argument("unknown AS " + std::to_string(asn));
+  }
+  return id;
+}
+
+Json Session::handle(const Json& request) {
+  ++requests_;
+  std::string op;
+  try {
+    const Json* op_field = request.find("op");
+    if (op_field == nullptr) return error_reply("", "missing field \"op\"");
+    op = op_field->as_string();
+    if (op == "whatif_adopt") return handle_whatif(request, /*adopt=*/true);
+    if (op == "whatif_abandon") return handle_whatif(request, /*adopt=*/false);
+    if (op == "topk_next_adopters") return handle_topk(request);
+    if (op == "adopt") return handle_set_secure(request, /*secure=*/true);
+    if (op == "abandon") return handle_set_secure(request, /*secure=*/false);
+    if (op == "mutate_topology") return handle_mutate(request);
+    if (op == "query_state") return handle_query_state();
+    if (op == "metrics") return handle_metrics();
+    if (op == "shutdown") {
+      shutdown_ = true;
+      return ok_reply(op);
+    }
+    return error_reply(op, "unknown op \"" + op + "\"");
+  } catch (const core::IncrementalDivergence&) {
+    throw;  // engine bug: stop the service (exit 3), never an error reply
+  } catch (const std::exception& e) {
+    return error_reply(op, e.what());
+  }
+}
+
+Json Session::handle_whatif(const Json& req, bool adopt) {
+  const AsId id = resolve_asn(require_u64(req, "asn"));
+  const bool secure = state_.is_secure(id);
+  if (adopt && secure) {
+    throw std::invalid_argument("AS " + std::to_string(graph_->asn(id)) +
+                                " is already secure");
+  }
+  if (!adopt && !secure) {
+    throw std::invalid_argument("AS " + std::to_string(graph_->asn(id)) +
+                                " is not secure");
+  }
+  if (graph_->is_stub(id)) {
+    throw std::invalid_argument(
+        "AS " + std::to_string(graph_->asn(id)) +
+        " is a stub: stubs deploy simplex S*BGP via their providers");
+  }
+  const StateEvaluation& eval = ensure_eval();
+  const double utility = eval.utility[id];
+  const double projected_raw =
+      adopt ? eval.projected_on[id] : eval.projected_off[id];
+  // NaN marks "flip provably cannot change any routing tree" (projection
+  // pruning) — the projected utility equals the current one exactly. In the
+  // outgoing model every abandon lands here (Thm 6.2: turning off never
+  // helps, the engine skips the evaluation outright).
+  const bool evaluated = !std::isnan(projected_raw);
+  const double projected = evaluated ? projected_raw : utility;
+
+  Json j = ok_reply(adopt ? "whatif_adopt" : "whatif_abandon");
+  j.set("asn", Json::number(static_cast<std::uint64_t>(graph_->asn(id))));
+  j.set("id", Json::number(static_cast<std::uint64_t>(id)));
+  j.set("class", Json::string(topo::to_string(graph_->cls(id))));
+  j.set("secure", Json::boolean(secure));
+  j.set("utility", Json::number(utility));
+  j.set("projected", Json::number(projected));
+  j.set("delta", Json::number(projected - utility));
+  j.set("evaluated", Json::boolean(evaluated));
+  j.set("would_flip", Json::boolean(
+                          (adopt ? eval.would_flip_on[id]
+                                 : eval.would_flip_off[id]) != 0));
+  j.set("theta", Json::number(cfg_.sim.per_node_theta != nullptr
+                                  ? (*cfg_.sim.per_node_theta)[id]
+                                  : cfg_.sim.theta));
+  return j;
+}
+
+Json Session::handle_topk(const Json& req) {
+  std::uint64_t k = 10;
+  if (const Json* kv = req.find("k"); kv != nullptr) k = kv->as_u64();
+  const StateEvaluation& eval = ensure_eval();
+
+  struct Candidate {
+    AsId id;
+    double delta;
+  };
+  std::vector<Candidate> cands;
+  const std::size_t n = graph_->num_nodes();
+  for (AsId i = 0; i < n; ++i) {
+    if (state_.is_secure(i) || !graph_->is_isp(i)) continue;
+    if (cfg_.sim.frozen != nullptr && (*cfg_.sim.frozen)[i] != 0) continue;
+    const double p = eval.projected_on[i];
+    cands.push_back({i, std::isnan(p) ? 0.0 : p - eval.utility[i]});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Candidate& x, const Candidate& y) {
+    if (x.delta != y.delta) return x.delta > y.delta;
+    return x.id < y.id;
+  });
+  if (cands.size() > k) cands.resize(k);
+
+  Json arr = Json::array();
+  for (const Candidate& c : cands) {
+    Json e = Json::object();
+    e.set("asn", Json::number(static_cast<std::uint64_t>(graph_->asn(c.id))));
+    e.set("id", Json::number(static_cast<std::uint64_t>(c.id)));
+    e.set("utility", Json::number(eval.utility[c.id]));
+    e.set("delta", Json::number(c.delta));
+    e.set("would_flip", Json::boolean(eval.would_flip_on[c.id] != 0));
+    arr.push(std::move(e));
+  }
+  Json j = ok_reply("topk_next_adopters");
+  j.set("k", Json::number(k));
+  j.set("candidates", Json::number(static_cast<std::uint64_t>(cands.size())));
+  j.set("adopters", std::move(arr));
+  return j;
+}
+
+Json Session::handle_set_secure(const Json& req, bool secure) {
+  const AsId id = resolve_asn(require_u64(req, "asn"));
+  if (state_.is_secure(id) == secure) {
+    throw std::invalid_argument("AS " + std::to_string(graph_->asn(id)) +
+                                (secure ? " is already secure"
+                                        : " is not secure"));
+  }
+  std::size_t stubs_secured = 0;
+  if (secure && graph_->is_isp(id)) {
+    // Section 2.3: a newly secure ISP simplex-upgrades its stub customers.
+    const std::size_t before = state_.num_secure();
+    state_.secure_isp_with_stubs(*graph_, id);
+    stubs_secured = state_.num_secure() - before - 1;
+  } else {
+    state_.set_secure(id, secure);
+  }
+  eval_stale_ = true;
+  const StateEvaluation& eval = ensure_eval();  // keep what-ifs O(1)
+
+  Json j = ok_reply(secure ? "adopt" : "abandon");
+  j.set("asn", Json::number(static_cast<std::uint64_t>(graph_->asn(id))));
+  j.set("id", Json::number(static_cast<std::uint64_t>(id)));
+  j.set("stubs_secured", Json::number(static_cast<std::uint64_t>(stubs_secured)));
+  j.set("secure_ases",
+        Json::number(static_cast<std::uint64_t>(state_.num_secure())));
+  j.set("eval_recomputed", Json::number(static_cast<std::uint64_t>(
+                               eval.stats.recomputed_destinations)));
+  return j;
+}
+
+Json Session::handle_mutate(const Json& req) {
+  const Json* ops = req.find("ops");
+  if (ops == nullptr) throw std::invalid_argument("missing field \"ops\"");
+
+  // Ops are resolved AND applied one at a time: a later op may refer to an
+  // AS an earlier add_stub introduced, so ASN resolution must see each
+  // predecessor's effect. On a mid-batch error the ops already applied stay
+  // applied (same contract as AsGraph::apply_delta); the error reply carries
+  // "ops_applied" so the client knows where the batch stopped.
+  core::DeploymentSimulator::TopoApplyResult total;
+  std::size_t applied = 0;
+  std::string batch_error;
+  for (const Json& item : ops->items()) {
+    topo::TopoOp op;
+    try {
+      const Json* action_field = item.find("action");
+      if (action_field == nullptr) {
+        throw std::invalid_argument("mutate op: missing field \"action\"");
+      }
+      const std::string& action = action_field->as_string();
+      if (action == "add_edge") {
+        const Json* type = item.find("type");
+        const std::string& t =
+            type != nullptr ? type->as_string() : std::string("cp");
+        if (t == "cp") {
+          op.kind = topo::TopoOp::Kind::AddCustomerProvider;
+          op.a = resolve_asn(require_u64(item, "provider"));
+          op.b = resolve_asn(require_u64(item, "customer"));
+        } else if (t == "peer") {
+          op.kind = topo::TopoOp::Kind::AddPeer;
+          op.a = resolve_asn(require_u64(item, "a"));
+          op.b = resolve_asn(require_u64(item, "b"));
+        } else {
+          throw std::invalid_argument("add_edge: unknown type \"" + t + "\"");
+        }
+      } else if (action == "remove_edge") {
+        op.kind = topo::TopoOp::Kind::RemoveEdge;
+        op.a = resolve_asn(require_u64(item, "a"));
+        op.b = resolve_asn(require_u64(item, "b"));
+      } else if (action == "set_relationship") {
+        op.kind = topo::TopoOp::Kind::SetRelationship;
+        op.a = resolve_asn(require_u64(item, "a"));
+        op.b = resolve_asn(require_u64(item, "b"));
+        const Json* rel = item.find("rel");
+        if (rel == nullptr) {
+          throw std::invalid_argument("set_relationship: missing \"rel\"");
+        }
+        const std::string& r = rel->as_string();
+        if (r == "customer") {
+          op.rel = topo::Link::Customer;
+        } else if (r == "peer") {
+          op.rel = topo::Link::Peer;
+        } else if (r == "provider") {
+          op.rel = topo::Link::Provider;
+        } else {
+          throw std::invalid_argument(
+              "set_relationship: rel must be customer|peer|provider");
+        }
+      } else if (action == "add_stub") {
+        op.kind = topo::TopoOp::Kind::AddStub;
+        const std::uint64_t asn = require_u64(item, "asn");
+        if (asn > std::numeric_limits<std::uint32_t>::max()) {
+          throw std::invalid_argument("add_stub: AS number out of range");
+        }
+        op.asn = static_cast<std::uint32_t>(asn);
+        const Json* provs = item.find("providers");
+        if (provs == nullptr) {
+          throw std::invalid_argument("add_stub: missing \"providers\"");
+        }
+        for (const Json& p : provs->items()) {
+          op.providers.push_back(resolve_asn(p.as_u64()));
+        }
+      } else {
+        throw std::invalid_argument("mutate op: unknown action \"" + action +
+                                    "\"");
+      }
+
+      topo::TopoDelta delta;
+      delta.ops.push_back(std::move(op));
+      core::DeploymentSimulator::TopoApplyResult r =
+          sim_->apply_topology_delta(*graph_, delta, cfg_.topo_row_budget);
+      total.patch.merge(r.patch);
+      total.ribs_invalidated += r.ribs_invalidated;
+      total.bundles_invalidated += r.bundles_invalidated;
+      total.full_invalidation = total.full_invalidation || r.full_invalidation;
+      // New stubs enter insecure; `adopt` them (or their providers)
+      // explicitly if wanted.
+      state_.flags().resize(graph_->num_nodes(), 0);
+      ++applied;
+    } catch (const core::IncrementalDivergence&) {
+      throw;
+    } catch (const std::exception& e) {
+      batch_error = e.what();
+      break;
+    }
+  }
+
+  eval_stale_ = eval_stale_ || applied > 0;
+  std::size_t recomputed = 0;
+  if (applied > 0) {
+    recomputed = ensure_eval().stats.recomputed_destinations;
+  }
+
+  Json j = batch_error.empty() ? ok_reply("mutate_topology")
+                               : error_reply("mutate_topology", batch_error);
+  j.set("ops_applied", Json::number(static_cast<std::uint64_t>(applied)));
+  j.set("rows_touched",
+        Json::number(static_cast<std::uint64_t>(total.patch.rows_touched)));
+  j.set("full_rebuild", Json::boolean(total.patch.full_rebuild));
+  j.set("nodes_touched",
+        Json::number(static_cast<std::uint64_t>(total.patch.touched.size())));
+  Json class_changed = Json::array();
+  for (const AsId c : total.patch.class_changed) {
+    class_changed.push(
+        Json::number(static_cast<std::uint64_t>(graph_->asn(c))));
+  }
+  j.set("class_changed", std::move(class_changed));
+  Json new_nodes = Json::array();
+  for (const AsId nn : total.patch.new_nodes) {
+    Json e = Json::object();
+    e.set("asn", Json::number(static_cast<std::uint64_t>(graph_->asn(nn))));
+    e.set("id", Json::number(static_cast<std::uint64_t>(nn)));
+    new_nodes.push(std::move(e));
+  }
+  j.set("new_nodes", std::move(new_nodes));
+  j.set("ribs_invalidated",
+        Json::number(static_cast<std::uint64_t>(total.ribs_invalidated)));
+  j.set("bundles_invalidated",
+        Json::number(static_cast<std::uint64_t>(total.bundles_invalidated)));
+  j.set("full_invalidation", Json::boolean(total.full_invalidation));
+  j.set("eval_recomputed",
+        Json::number(static_cast<std::uint64_t>(recomputed)));
+  return j;
+}
+
+Json Session::handle_query_state() {
+  Json j = ok_reply("query_state");
+  j.set("nodes", Json::number(static_cast<std::uint64_t>(graph_->num_nodes())));
+  j.set("cp_edges", Json::number(static_cast<std::uint64_t>(
+                        graph_->num_customer_provider_edges())));
+  j.set("peer_edges",
+        Json::number(static_cast<std::uint64_t>(graph_->num_peer_edges())));
+  j.set("stubs", Json::number(static_cast<std::uint64_t>(graph_->num_stubs())));
+  j.set("isps", Json::number(static_cast<std::uint64_t>(graph_->num_isps())));
+  j.set("content_providers", Json::number(static_cast<std::uint64_t>(
+                                 graph_->num_content_providers())));
+  j.set("secure_ases",
+        Json::number(static_cast<std::uint64_t>(state_.num_secure())));
+  j.set("secure_isps", Json::number(static_cast<std::uint64_t>(
+                           state_.num_secure_of_class(*graph_, topo::AsClass::Isp))));
+  j.set("model", Json::string(core::to_string(cfg_.sim.model)));
+  j.set("theta", Json::number(cfg_.sim.theta));
+  j.set("check_topo_delta", Json::boolean(cfg_.check_topo_delta));
+  j.set("version", Json::string(obs::build_info_line()));
+  j.set("requests", Json::number(requests_));
+  return j;
+}
+
+Json Session::handle_metrics() {
+  Json j = ok_reply("metrics");
+  j.set("version", Json::string(obs::git_describe()));
+  j.set("registry", Json::parse(obs::Registry::global().to_json_string()));
+  return j;
+}
+
+std::string Session::handle_line(const std::string& line) {
+  static obs::Counter& requests_ctr =
+      obs::Registry::global().counter("svc.requests");
+  static obs::Counter& errors_ctr =
+      obs::Registry::global().counter("svc.errors");
+
+  const std::uint64_t t0 = obs::now_ns();
+  Json reply;
+  std::string op = "?";
+  try {
+    const Json request = Json::parse(line);
+    if (const Json* op_field = request.find("op");
+        op_field != nullptr && op_field->type() == Json::Type::String) {
+      op = op_field->as_string();
+    }
+    reply = handle(request);
+  } catch (const core::IncrementalDivergence&) {
+    throw;
+  } catch (const exp::JsonError& e) {
+    ++requests_;
+    reply = error_reply("", std::string("parse error: ") + e.what());
+  }
+  const std::uint64_t dt = obs::now_ns() - t0;
+
+  requests_ctr.add(1);
+  const Json* ok = reply.find("ok");
+  const bool is_ok = ok != nullptr && ok->type() == Json::Type::Bool && ok->as_bool();
+  if (!is_ok) errors_ctr.add(1);
+  // Known op names only: bounded histogram cardinality even under fuzzing.
+  static const char* const kOps[] = {
+      "whatif_adopt", "whatif_abandon", "topk_next_adopters", "adopt",
+      "abandon",      "mutate_topology", "query_state",        "metrics",
+      "shutdown"};
+  const char* bucket = "other";
+  for (const char* known : kOps) {
+    if (op == known) {
+      bucket = known;
+      break;
+    }
+  }
+  obs::Registry::global()
+      .histogram(std::string("svc.latency.") + bucket)
+      .record_ns(dt);
+
+  if (cfg_.telemetry != nullptr) {
+    Json rec = Json::object();
+    rec.set("type", Json::string("svc_request"));
+    rec.set("op", Json::string(bucket == std::string("other") ? op : bucket));
+    rec.set("ok", Json::boolean(is_ok));
+    rec.set("micros", Json::number(static_cast<double>(dt) / 1000.0));
+    cfg_.telemetry->append(rec);
+  }
+  return reply.dump();
+}
+
+}  // namespace sbgp::svc

@@ -1,0 +1,114 @@
+// svc:: — the long-lived what-if service (ROADMAP: "keep the engine warm").
+// A Session owns one topology + deployment state + DeploymentSimulator and
+// answers JSON requests against it: what-if utility deltas for a single AS
+// (O(1) lookups into the cached StateEvaluation), top-k next adopters, live
+// topology mutation (routed through DeploymentSimulator::apply_topology_delta
+// so only the destinations a patch can affect are re-evaluated), deployment
+// state mutation, and metrics snapshots. The transport (svc::Server) deals
+// only in request/response lines; everything protocol-shaped lives here so
+// tests can drive a Session without a socket.
+//
+// Request protocol (one JSON object per line; all AS references are external
+// AS numbers, never dense ids):
+//   {"op":"whatif_adopt","asn":N}    {"op":"whatif_abandon","asn":N}
+//   {"op":"topk_next_adopters","k":K}
+//   {"op":"adopt","asn":N}           {"op":"abandon","asn":N}
+//   {"op":"mutate_topology","ops":[
+//       {"action":"add_edge","type":"cp","provider":N,"customer":N},
+//       {"action":"add_edge","type":"peer","a":N,"b":N},
+//       {"action":"remove_edge","a":N,"b":N},
+//       {"action":"set_relationship","a":N,"b":N,"rel":"customer|peer|provider"},
+//       {"action":"add_stub","asn":N,"providers":[N,...]}]}
+//   {"op":"query_state"}   {"op":"metrics"}   {"op":"shutdown"}
+// Every reply carries "ok"; user errors come back as
+// {"ok":false,"op":...,"error":"..."} and never tear the session down. The
+// one deliberate exception: core::IncrementalDivergence (check_topo_delta
+// lockstep mismatch) propagates out of handle() — an engine bug must stop
+// the service, not degrade into an error reply (the CLI maps it to exit 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/deployment_state.h"
+#include "core/simulator.h"
+#include "exp/json.h"
+#include "exp/telemetry.h"
+#include "topology/as_graph.h"
+
+namespace sbgp::svc {
+
+struct SessionConfig {
+  core::SimConfig sim;
+  /// --check-topo-delta: run every evaluation with the full recompute in
+  /// lockstep and compare each cached destination bundle bitwise (fresh
+  /// unsorted RIBs are computed from the CURRENT graph, so both missed
+  /// invalidations and stale stored RIBs diverge). Mismatch throws
+  /// core::IncrementalDivergence out of handle().
+  bool check_topo_delta = false;
+  /// Touched-rows budget for the CSR patcher (AsGraph::apply_op); 0 = auto.
+  std::size_t topo_row_budget = 0;
+  /// Optional per-request telemetry sink ({"type":"svc_request",...}).
+  exp::TelemetryLog* telemetry = nullptr;
+};
+
+class Session {
+ public:
+  /// Takes ownership of the graph (mutate_topology patches it in place).
+  /// `state.flags().size()` must equal `graph->num_nodes()`.
+  Session(std::unique_ptr<topo::AsGraph> graph, core::DeploymentState state,
+          SessionConfig cfg);
+
+  /// Dispatches one request object and returns the reply object. The first
+  /// call (and the first after a mutation) pays a warm incremental
+  /// evaluation; pure what-if queries against an unchanged session are O(1)
+  /// lookups into the cached StateEvaluation.
+  [[nodiscard]] exp::Json handle(const exp::Json& request);
+
+  /// Transport entry point: parse + handle + serialise. Malformed JSON
+  /// becomes an {"ok":false} reply; IncrementalDivergence still propagates.
+  /// Also records svc.* obs metrics and the optional telemetry line.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Set once a {"op":"shutdown"} request was answered; the server drains
+  /// and exits cleanly when it sees this.
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
+
+  [[nodiscard]] const topo::AsGraph& graph() const { return *graph_; }
+  [[nodiscard]] const core::DeploymentState& state() const { return state_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+
+  /// Forces the next what-if to re-evaluate (tests use this to compare the
+  /// warm path against a cold one).
+  void invalidate_eval() { eval_stale_ = true; }
+
+  /// Pays the initial full evaluation now, so the first client request is
+  /// served from the warm path (the CLI calls this before accepting).
+  void warm() { (void)ensure_eval(); }
+
+ private:
+  const core::StateEvaluation& ensure_eval();
+  [[nodiscard]] topo::AsId resolve_asn(std::uint64_t asn) const;
+
+  exp::Json handle_whatif(const exp::Json& req, bool adopt);
+  exp::Json handle_topk(const exp::Json& req);
+  exp::Json handle_set_secure(const exp::Json& req, bool secure);
+  exp::Json handle_mutate(const exp::Json& req);
+  exp::Json handle_query_state();
+  exp::Json handle_metrics();
+
+  std::unique_ptr<topo::AsGraph> graph_;
+  core::DeploymentState state_;
+  SessionConfig cfg_;
+  std::unique_ptr<core::DeploymentSimulator> sim_;
+  // Cached evaluation of the current (state, topology); what-if queries are
+  // O(1) lookups into it until a mutation marks it stale.
+  const core::StateEvaluation* eval_cache_ = nullptr;
+  bool eval_stale_ = true;
+  bool shutdown_ = false;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace sbgp::svc

@@ -1,7 +1,9 @@
 #include "topology/as_graph.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <cstddef>
 #include <stdexcept>
 
 namespace sbgp::topo {
@@ -244,6 +246,347 @@ std::size_t AsGraph::customer_cone_size(AsId n) const {
     }
   }
   return count;
+}
+
+void TopoPatchStats::merge(const TopoPatchStats& o) {
+  rows_touched += o.rows_touched;
+  full_rebuild = full_rebuild || o.full_rebuild;
+  touched.insert(touched.end(), o.touched.begin(), o.touched.end());
+  class_changed.insert(class_changed.end(), o.class_changed.begin(),
+                       o.class_changed.end());
+  new_nodes.insert(new_nodes.end(), o.new_nodes.begin(), o.new_nodes.end());
+}
+
+bool AsGraph::in_customer_cone(AsId root, AsId target) const {
+  if (root == target) return true;
+  std::vector<std::uint8_t> seen(num_nodes(), 0);
+  std::vector<AsId> stack{root};
+  seen[root] = 1;
+  while (!stack.empty()) {
+    const AsId x = stack.back();
+    stack.pop_back();
+    for (AsId c : customers(x)) {
+      if (c == target) return true;
+      if (seen[c] == 0) {
+        seen[c] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+void AsGraph::reclassify_after_patch(AsId n, TopoPatchStats& stats) {
+  // Content-provider designation is explicit and sticky; only the derived
+  // Stub/Isp split can move when a node gains or loses its last customer.
+  if (cp_mark_[n] != 0) return;
+  const AsClass want = customers(n).empty() ? AsClass::Stub : AsClass::Isp;
+  if (class_[n] == want) return;
+  if (class_[n] == AsClass::Stub) --n_stubs_; else --n_isps_;
+  if (want == AsClass::Stub) ++n_stubs_; else ++n_isps_;
+  class_[n] = want;
+  stats.class_changed.push_back(n);
+}
+
+namespace {
+
+// A pending replacement for one CSR adjacency row: the full new contents of
+// its three segments, edited in place and re-sorted at emission.
+struct RowEdit {
+  AsId row = kNoAs;
+  std::array<std::vector<AsId>, 3> seg;  // [customers, peers, providers]
+};
+
+void erase_one(std::vector<AsId>& v, AsId x) {
+  auto it = std::find(v.begin(), v.end(), x);
+  assert(it != v.end());
+  v.erase(it);
+}
+
+}  // namespace
+
+TopoPatchStats AsGraph::apply_op(const TopoOp& op, std::size_t row_budget) {
+  if (!finalized_) throw std::logic_error("AsGraph::apply_op: graph not finalized");
+  const std::size_t n_old = asn_.size();
+  if (row_budget == 0) row_budget = std::max<std::size_t>(64, n_old / 4);
+  TopoPatchStats stats;
+
+  auto check_node = [&](AsId x) {
+    if (x >= n_old) {
+      throw std::invalid_argument("TopoOp: node id " + std::to_string(x) +
+                                  " out of range");
+    }
+  };
+  auto check_endpoints = [&] {
+    check_node(op.a);
+    check_node(op.b);
+    if (op.a == op.b) throw std::invalid_argument("TopoOp: self-loop");
+  };
+
+  // SetRelationship is a remove + add of the same edge. Pre-check GR1 here
+  // (the existing edge excluded from the cone walk) so the composed op keeps
+  // the all-or-nothing contract: once the remove lands, the add cannot fail.
+  if (op.kind == TopoOp::Kind::SetRelationship) {
+    check_endpoints();
+    Link cur;
+    if (!link_between(op.a, op.b, cur)) {
+      throw std::invalid_argument("TopoOp: SetRelationship on a missing edge");
+    }
+    if (cur == op.rel) return stats;  // already that relationship: no-op
+    if (op.rel != Link::Peer) {
+      // rel is b's role toward a: Customer => a provides for b.
+      const AsId prov = (op.rel == Link::Customer) ? op.a : op.b;
+      const AsId cust = (op.rel == Link::Customer) ? op.b : op.a;
+      // The current a--b edge is being removed, so walk the cone without it;
+      // only a current customer-provider edge can contribute to a cone.
+      bool cycle;
+      if (cur != Link::Peer) {
+        // The edge being replaced is itself a customer-provider edge, so the
+        // cone walk must not traverse it: check prov ∈ cone(cust) over the
+        // graph minus the current edge.
+        const AsId cur_prov = (cur == Link::Customer) ? op.a : op.b;
+        const AsId cur_cust = (cur == Link::Customer) ? op.b : op.a;
+        cycle = [&] {
+          if (cust == prov) return true;
+          std::vector<std::uint8_t> seen(num_nodes(), 0);
+          std::vector<AsId> stack{cust};
+          seen[cust] = 1;
+          while (!stack.empty()) {
+            const AsId x = stack.back();
+            stack.pop_back();
+            for (AsId c : customers(x)) {
+              if ((x == cur_prov && c == cur_cust)) continue;  // edge removed
+              if (c == prov) return true;
+              if (seen[c] == 0) {
+                seen[c] = 1;
+                stack.push_back(c);
+              }
+            }
+          }
+          return false;
+        }();
+      } else {
+        cycle = in_customer_cone(cust, prov);
+      }
+      if (cycle) {
+        throw std::invalid_argument(
+            "TopoOp: SetRelationship would close a customer-provider cycle "
+            "(GR1)");
+      }
+    }
+    TopoOp rm;
+    rm.kind = TopoOp::Kind::RemoveEdge;
+    rm.a = op.a;
+    rm.b = op.b;
+    stats = apply_op(rm, row_budget);
+    TopoOp ad;
+    if (op.rel == Link::Peer) {
+      ad.kind = TopoOp::Kind::AddPeer;
+      ad.a = op.a;
+      ad.b = op.b;
+    } else {
+      ad.kind = TopoOp::Kind::AddCustomerProvider;
+      ad.a = (op.rel == Link::Customer) ? op.a : op.b;  // provider
+      ad.b = (op.rel == Link::Customer) ? op.b : op.a;  // customer
+    }
+    stats.merge(apply_op(ad, row_budget));
+    return stats;
+  }
+
+  // Validate the op fully, then collect the edited rows. Nothing below the
+  // validation block mutates members until the new slab is assembled.
+  std::vector<RowEdit> edits;
+  edits.reserve(op.providers.size() + 2);
+  auto edit_of = [&](AsId row) -> RowEdit& {
+    for (auto& e : edits) {
+      if (e.row == row) return e;
+    }
+    RowEdit e;
+    e.row = row;
+    auto snap = [](std::span<const AsId> s) {
+      return std::vector<AsId>(s.begin(), s.end());
+    };
+    e.seg = {snap(customers(row)), snap(peers(row)), snap(providers(row))};
+    edits.push_back(std::move(e));
+    return edits.back();
+  };
+
+  std::ptrdiff_t cp_delta = 0;
+  std::ptrdiff_t peer_delta = 0;
+  bool add_node = false;
+
+  switch (op.kind) {
+    case TopoOp::Kind::AddCustomerProvider: {  // a = provider, b = customer
+      check_endpoints();
+      Link unused;
+      if (link_between(op.a, op.b, unused)) {
+        throw std::invalid_argument("TopoOp: duplicate edge");
+      }
+      // GR1: a new provider edge a->b closes a cycle iff a is already in b's
+      // customer cone.
+      if (in_customer_cone(op.b, op.a)) {
+        throw std::invalid_argument(
+            "TopoOp: edge would close a customer-provider cycle (GR1)");
+      }
+      edit_of(op.a).seg[0].push_back(op.b);
+      edit_of(op.b).seg[2].push_back(op.a);
+      ++cp_delta;
+      break;
+    }
+    case TopoOp::Kind::AddPeer: {
+      check_endpoints();
+      Link unused;
+      if (link_between(op.a, op.b, unused)) {
+        throw std::invalid_argument("TopoOp: duplicate edge");
+      }
+      edit_of(op.a).seg[1].push_back(op.b);
+      edit_of(op.b).seg[1].push_back(op.a);
+      ++peer_delta;
+      break;
+    }
+    case TopoOp::Kind::RemoveEdge: {
+      check_endpoints();
+      Link rel;  // b's role toward a
+      if (!link_between(op.a, op.b, rel)) {
+        throw std::invalid_argument("TopoOp: RemoveEdge on a missing edge");
+      }
+      switch (rel) {
+        case Link::Customer:
+          erase_one(edit_of(op.a).seg[0], op.b);
+          erase_one(edit_of(op.b).seg[2], op.a);
+          --cp_delta;
+          break;
+        case Link::Provider:
+          erase_one(edit_of(op.a).seg[2], op.b);
+          erase_one(edit_of(op.b).seg[0], op.a);
+          --cp_delta;
+          break;
+        case Link::Peer:
+          erase_one(edit_of(op.a).seg[1], op.b);
+          erase_one(edit_of(op.b).seg[1], op.a);
+          --peer_delta;
+          break;
+      }
+      break;
+    }
+    case TopoOp::Kind::AddStub: {
+      if (find_asn(op.asn) != kNoAs) {
+        throw std::invalid_argument("TopoOp: AddStub with an existing ASN " +
+                                    std::to_string(op.asn));
+      }
+      if (op.providers.empty()) {
+        throw std::invalid_argument("TopoOp: AddStub needs at least one provider");
+      }
+      std::vector<AsId> provs(op.providers.begin(), op.providers.end());
+      std::sort(provs.begin(), provs.end());
+      for (std::size_t i = 0; i < provs.size(); ++i) {
+        check_node(provs[i]);
+        if (i > 0 && provs[i] == provs[i - 1]) {
+          throw std::invalid_argument("TopoOp: AddStub with duplicate provider");
+        }
+      }
+      const AsId new_id = static_cast<AsId>(n_old);
+      for (AsId p : provs) edit_of(p).seg[0].push_back(new_id);
+      // The new node has no old row to snapshot; append its edit directly.
+      RowEdit fresh;
+      fresh.row = new_id;
+      fresh.seg[2] = std::move(provs);
+      edits.push_back(std::move(fresh));
+      // Per-node metadata (safe to extend before the slab swap: accessors for
+      // old ids keep reading the old slab until we install the new one).
+      asn_.push_back(op.asn);
+      class_.push_back(AsClass::Stub);
+      ++n_stubs_;
+      weight_.push_back(1.0);
+      cp_mark_.push_back(0);
+      asn_index_.insert(
+          std::lower_bound(asn_index_.begin(), asn_index_.end(),
+                           std::make_pair(op.asn, AsId{0})),
+          std::make_pair(op.asn, new_id));
+      cp_delta += static_cast<std::ptrdiff_t>(op.providers.size());
+      add_node = true;
+      stats.new_nodes.push_back(new_id);
+      break;
+    }
+    case TopoOp::Kind::SetRelationship:
+      break;  // handled above
+  }
+
+  stats.rows_touched = edits.size();
+  stats.full_rebuild = edits.size() > row_budget;
+  for (const auto& e : edits) stats.touched.push_back(e.row);
+
+  // Assemble the replacement slab: touched rows from their edits (segments
+  // re-sorted), untouched rows streamed verbatim — or, past the budget,
+  // every row re-gathered and re-sorted (identical bytes, since the old
+  // segments are already sorted; the budget only caps the bookkeeping the
+  // incremental path is allowed to assume).
+  const std::size_t n_new = asn_.size();
+  std::vector<AsId> new_adj;
+  new_adj.reserve(adj_.size() + 2 * (op.providers.size() + 1));
+  std::vector<std::uint32_t> nb(n_new + 1, 0);
+  std::vector<std::uint32_t> nps(n_new, 0);
+  std::vector<std::uint32_t> npr(n_new, 0);
+  auto find_edit = [&](AsId row) -> RowEdit* {
+    for (auto& e : edits) {
+      if (e.row == row) return &e;
+    }
+    return nullptr;
+  };
+  std::vector<AsId> tmp;
+  for (AsId i = 0; i < n_new; ++i) {
+    nb[i] = static_cast<std::uint32_t>(new_adj.size());
+    if (RowEdit* e = find_edit(i)) {
+      for (auto& seg : e->seg) std::sort(seg.begin(), seg.end());
+      new_adj.insert(new_adj.end(), e->seg[0].begin(), e->seg[0].end());
+      nps[i] = static_cast<std::uint32_t>(new_adj.size());
+      new_adj.insert(new_adj.end(), e->seg[1].begin(), e->seg[1].end());
+      npr[i] = static_cast<std::uint32_t>(new_adj.size());
+      new_adj.insert(new_adj.end(), e->seg[2].begin(), e->seg[2].end());
+    } else if (stats.full_rebuild) {
+      auto emit_sorted = [&](std::span<const AsId> s) {
+        tmp.assign(s.begin(), s.end());
+        std::sort(tmp.begin(), tmp.end());
+        new_adj.insert(new_adj.end(), tmp.begin(), tmp.end());
+      };
+      emit_sorted(customers(i));
+      nps[i] = static_cast<std::uint32_t>(new_adj.size());
+      emit_sorted(peers(i));
+      npr[i] = static_cast<std::uint32_t>(new_adj.size());
+      emit_sorted(providers(i));
+    } else {
+      auto old = customers(i);
+      new_adj.insert(new_adj.end(), old.begin(), old.end());
+      nps[i] = static_cast<std::uint32_t>(new_adj.size());
+      old = peers(i);
+      new_adj.insert(new_adj.end(), old.begin(), old.end());
+      npr[i] = static_cast<std::uint32_t>(new_adj.size());
+      old = providers(i);
+      new_adj.insert(new_adj.end(), old.begin(), old.end());
+    }
+  }
+  nb[n_new] = static_cast<std::uint32_t>(new_adj.size());
+
+  adj_ = std::move(new_adj);
+  adj_begin_ = std::move(nb);
+  peer_start_ = std::move(nps);
+  prov_start_ = std::move(npr);
+  cp_edges_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(cp_edges_) + cp_delta);
+  peer_edges_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(peer_edges_) + peer_delta);
+
+  for (const auto& e : edits) {
+    if (add_node && e.row == n_old) continue;  // new node classified above
+    reclassify_after_patch(e.row, stats);
+  }
+  return stats;
+}
+
+TopoPatchStats AsGraph::apply_delta(const TopoDelta& delta, std::size_t row_budget) {
+  TopoPatchStats stats;
+  for (const TopoOp& op : delta.ops) stats.merge(apply_op(op, row_budget));
+  return stats;
 }
 
 double apply_traffic_model(AsGraph& graph, std::span<const AsId> cps, double x) {

@@ -59,10 +59,55 @@ enum class AsClass : std::uint8_t { Stub = 0, Isp = 1, ContentProvider = 2 };
   return *base == x;
 }
 
+/// One post-finalize topology mutation (see AsGraph::apply_delta). Endpoint
+/// fields are dense ids; AddStub introduces a new node and refers to it by
+/// external AS number only (its dense id is assigned on application and
+/// reported in TopoPatchStats::new_nodes).
+struct TopoOp {
+  enum class Kind : std::uint8_t {
+    AddCustomerProvider,  ///< a = provider, b = customer
+    AddPeer,              ///< settlement-free a -- b
+    RemoveEdge,           ///< drop the a -- b edge, whatever its relationship
+    SetRelationship,      ///< re-label an existing a -- b edge to `rel`
+    AddStub,              ///< new stub AS `asn`, homed on `providers`
+  };
+  Kind kind = Kind::RemoveEdge;
+  AsId a = kNoAs;
+  AsId b = kNoAs;
+  /// SetRelationship only: the new relationship of `b` as seen from `a`
+  /// (Customer = b becomes a's customer, Provider = b becomes a's provider).
+  Link rel = Link::Peer;
+  std::uint32_t asn = 0;        ///< AddStub: external AS number (must be new)
+  std::vector<AsId> providers;  ///< AddStub: the new stub's providers
+};
+
+/// A batch of TopoOps, applied strictly in order (each op validates against
+/// the graph as left by its predecessors).
+struct TopoDelta {
+  std::vector<TopoOp> ops;
+};
+
+/// What a post-finalize patch did, for invalidation layers and telemetry.
+struct TopoPatchStats {
+  /// Adjacency rows whose segments were rebuilt and re-sorted (untouched
+  /// rows are streamed into the new CSR slab verbatim).
+  std::size_t rows_touched = 0;
+  /// The touched-rows budget was exceeded at least once: every row of the
+  /// slab was re-gathered and re-sorted (same bytes, full-rebuild cost) —
+  /// the same bail-out contract as rt::TreeDelta.
+  bool full_rebuild = false;
+  std::vector<AsId> touched;        ///< nodes whose adjacency changed
+  std::vector<AsId> class_changed;  ///< nodes that crossed Stub <-> Isp
+  std::vector<AsId> new_nodes;      ///< dense ids assigned by AddStub ops
+
+  void merge(const TopoPatchStats& o);
+};
+
 /// Mutable AS-level topology. Construction: `add_as` for every node, then
 /// `add_customer_provider` / `add_peer` edges, then `finalize()` (which
 /// classifies nodes and freezes adjacency order). Accessors require a
-/// finalized graph.
+/// finalized graph. After finalize(), the only supported mutations are the
+/// declarative `apply_op` / `apply_delta` CSR patches below.
 ///
 /// Storage: during construction edges live in per-node vectors; finalize()
 /// compacts them into one CSR `adj_` array holding every node's neighbours
@@ -179,8 +224,32 @@ class AsGraph {
   /// Size of n's customer cone (transitive customers, including n).
   [[nodiscard]] std::size_t customer_cone_size(AsId n) const;
 
+  /// Applies one post-finalize mutation as a CSR patch. Untouched adjacency
+  /// rows are streamed into the fresh slab verbatim; only the (few) rows an
+  /// op touches have their three segments re-gathered and re-sorted. When an
+  /// op touches more than `row_budget` rows (0 = auto: max(64, N/4), the
+  /// rt::TreeDelta bail-out shape) every row is re-gathered and re-sorted —
+  /// bitwise-identical output either way, the budget only bounds the
+  /// incremental bookkeeping. Endpoint Stub <-> Isp reclassification is
+  /// applied (content-provider marks are immutable) and reported via
+  /// TopoPatchStats::class_changed. AddCustomerProvider re-checks GR1 and
+  /// rejects ops that would close a customer-provider cycle.
+  ///
+  /// Throws std::invalid_argument on invalid ops (unknown ids, self-loops,
+  /// duplicate edges, missing edges, GR1 violations, duplicate ASN) and
+  /// std::logic_error if the graph is not finalized. On throw the graph is
+  /// unchanged.
+  TopoPatchStats apply_op(const TopoOp& op, std::size_t row_budget = 0);
+
+  /// Applies `delta.ops` in order (each op sees its predecessors' effects)
+  /// and merges the per-op stats. On throw, ops before the offending one
+  /// remain applied.
+  TopoPatchStats apply_delta(const TopoDelta& delta, std::size_t row_budget = 0);
+
  private:
   bool add_edge_checked(AsId a, AsId b);
+  void reclassify_after_patch(AsId n, TopoPatchStats& stats);
+  [[nodiscard]] bool in_customer_cone(AsId root, AsId target) const;
 
   std::vector<std::uint32_t> asn_;
   // Build-phase adjacency; compacted into adj_ and released by finalize().

@@ -323,12 +323,16 @@ TEST(Telemetry, LogAppendsParseableJsonl) {
   std::ifstream in(path);
   std::string line;
   std::size_t lines = 0;
+  std::string first_type;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     EXPECT_NO_THROW((void)Json::parse(line)) << "line " << lines;
+    if (lines == 0) first_type = Json::parse(line).find("type")->as_string();
     ++lines;
   }
-  EXPECT_EQ(lines, 2u);
+  // Attribution header + the two appended records.
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(first_type, "header");
   std::remove(path.c_str());
 }
 
@@ -347,9 +351,12 @@ TEST(Telemetry, LogHealsMissingTrailingNewline) {
   std::string line;
   std::vector<std::string> lines;
   while (std::getline(in, line)) lines.push_back(line);
-  ASSERT_EQ(lines.size(), 2u);
+  // Truncated record, then the attribution header (on its own fresh line),
+  // then the appended round record.
+  ASSERT_EQ(lines.size(), 3u);
   EXPECT_THROW((void)Json::parse(lines[0]), JsonError);
-  EXPECT_NO_THROW((void)Json::parse(lines[1]));
+  EXPECT_EQ(Json::parse(lines[1]).find("type")->as_string(), "header");
+  EXPECT_NO_THROW((void)Json::parse(lines[2]));
   std::remove(path.c_str());
 }
 
@@ -381,6 +388,7 @@ TEST(Telemetry, SchedulerStreamsJobRecords) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const Json j = Json::parse(line);
+    if (j.find("type")->as_string() == "header") continue;  // attribution
     EXPECT_EQ(j.find("type")->as_string(), "job");
     EXPECT_EQ(j.find("status")->as_string(), "ok");
     job_ids.insert(j.find("job_id")->as_u64());

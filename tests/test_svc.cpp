@@ -1,0 +1,383 @@
+// svc:: — protocol (Session) and transport (Server) tests. Session tests
+// drive the JSON dispatch directly, no socket involved; Server tests stand
+// up the real Unix-socket poll loop in a thread and talk to it with raw
+// blocking sockets, including the SIGTERM drain path the daemon relies on.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deployment_state.h"
+#include "exp/json.h"
+#include "svc/server.h"
+#include "svc/session.h"
+#include "test_util.h"
+
+namespace sbgp {
+namespace {
+
+using exp::Json;
+using topo::AsId;
+
+std::unique_ptr<svc::Session> make_session(bool check_topo_delta = false) {
+  topo::Internet net = test::small_internet(160, 7);
+  std::vector<AsId> adopters;
+  if (!net.cps.empty()) adopters.push_back(net.cps[0]);
+  if (!net.tier1.empty()) adopters.push_back(net.tier1[0]);
+  auto state = core::DeploymentState::initial(net.graph, adopters);
+  svc::SessionConfig cfg;
+  cfg.sim.threads = 1;
+  cfg.check_topo_delta = check_topo_delta;
+  auto graph = std::make_unique<topo::AsGraph>(std::move(net.graph));
+  return std::make_unique<svc::Session>(std::move(graph), std::move(state),
+                                        std::move(cfg));
+}
+
+Json ask(svc::Session& s, const std::string& request) {
+  return s.handle(Json::parse(request));
+}
+
+bool reply_ok(const Json& j) {
+  const Json* ok = j.find("ok");
+  return ok != nullptr && ok->as_bool();
+}
+
+/// First insecure non-stub AS of the wanted class, by external ASN.
+std::uint32_t find_insecure_isp_asn(const svc::Session& s) {
+  const topo::AsGraph& g = s.graph();
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    if (g.is_isp(n) && !s.state().is_secure(n)) return g.asn(n);
+  }
+  ADD_FAILURE() << "no insecure ISP in fixture";
+  return 0;
+}
+
+/// An insecure stub (the adopters' stubs are simplex-secure, which would
+/// shadow the "stubs don't decide" error with "already secure").
+std::uint32_t find_stub_asn(const svc::Session& s) {
+  const topo::AsGraph& g = s.graph();
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    if (g.is_stub(n) && !s.state().is_secure(n)) return g.asn(n);
+  }
+  ADD_FAILURE() << "no insecure stub in fixture";
+  return 0;
+}
+
+TEST(SvcSession, QueryStateReportsGraphAndConfig) {
+  auto s = make_session();
+  const Json j = ask(*s, R"({"op":"query_state"})");
+  ASSERT_TRUE(reply_ok(j)) << j.dump();
+  EXPECT_EQ(j.find("nodes")->as_u64(), s->graph().num_nodes());
+  EXPECT_EQ(j.find("stubs")->as_u64() + j.find("isps")->as_u64() +
+                j.find("content_providers")->as_u64(),
+            s->graph().num_nodes());
+  EXPECT_GT(j.find("secure_ases")->as_u64(), 0u);  // adopters + their stubs
+  EXPECT_EQ(j.find("model")->as_string(), "outgoing");
+  EXPECT_FALSE(j.find("version")->as_string().empty());
+  EXPECT_EQ(j.find("requests")->as_u64(), 1u);
+}
+
+TEST(SvcSession, WhatifAdoptIsConsistentWithItself) {
+  auto s = make_session();
+  const std::uint32_t asn = find_insecure_isp_asn(*s);
+  const Json j =
+      ask(*s, R"({"op":"whatif_adopt","asn":)" + std::to_string(asn) + "}");
+  ASSERT_TRUE(reply_ok(j)) << j.dump();
+  EXPECT_EQ(j.find("asn")->as_u64(), asn);
+  EXPECT_EQ(j.find("class")->as_string(), "isp");
+  EXPECT_FALSE(j.find("secure")->as_bool());
+  const double utility = j.find("utility")->as_double();
+  const double projected = j.find("projected")->as_double();
+  EXPECT_NEAR(j.find("delta")->as_double(), projected - utility, 1e-12);
+  EXPECT_DOUBLE_EQ(j.find("theta")->as_double(), 0.05);
+  // A what-if must not change the session's state.
+  const Json q = ask(*s, R"({"op":"query_state"})");
+  EXPECT_EQ(q.find("secure_ases")->as_u64(),
+            static_cast<std::uint64_t>(s->state().num_secure()));
+}
+
+TEST(SvcSession, WhatifAbandonUnderOutgoingIsUnevaluated) {
+  // Thm 6.2: in the Outgoing model turning off is never beneficial; the
+  // engine skips the projection and the service reports evaluated:false
+  // with a zero delta rather than inventing a number.
+  auto s = make_session();
+  const topo::AsGraph& g = s->graph();
+  std::uint32_t secure_isp = 0;
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    if (g.is_isp(n) && s->state().is_secure(n)) {
+      secure_isp = g.asn(n);
+      break;
+    }
+  }
+  ASSERT_NE(secure_isp, 0u);
+  const Json j = ask(
+      *s, R"({"op":"whatif_abandon","asn":)" + std::to_string(secure_isp) + "}");
+  ASSERT_TRUE(reply_ok(j)) << j.dump();
+  EXPECT_FALSE(j.find("evaluated")->as_bool());
+  EXPECT_DOUBLE_EQ(j.find("delta")->as_double(), 0.0);
+  EXPECT_FALSE(j.find("would_flip")->as_bool());
+}
+
+TEST(SvcSession, UserErrorsNeverThrowOutOfHandle) {
+  auto s = make_session();
+  // Unknown AS.
+  Json j = ask(*s, R"({"op":"whatif_adopt","asn":4099999})");
+  EXPECT_FALSE(reply_ok(j));
+  // Stubs don't make independent adoption decisions.
+  j = ask(*s, R"({"op":"whatif_adopt","asn":)" +
+                  std::to_string(find_stub_asn(*s)) + "}");
+  EXPECT_FALSE(reply_ok(j));
+  EXPECT_NE(j.find("error")->as_string().find("stub"), std::string::npos);
+  // Abandon of an insecure AS.
+  j = ask(*s, R"({"op":"whatif_abandon","asn":)" +
+                  std::to_string(find_insecure_isp_asn(*s)) + "}");
+  EXPECT_FALSE(reply_ok(j));
+  // Unknown op, missing op, mistyped asn.
+  EXPECT_FALSE(reply_ok(ask(*s, R"({"op":"frobnicate"})")));
+  EXPECT_FALSE(reply_ok(ask(*s, R"({"k":3})")));
+  EXPECT_FALSE(reply_ok(ask(*s, R"({"op":"whatif_adopt","asn":-3})")));
+  EXPECT_FALSE(reply_ok(ask(*s, R"({"op":"whatif_adopt"})")));
+  // The session survived all of it.
+  EXPECT_TRUE(reply_ok(ask(*s, R"({"op":"query_state"})")));
+}
+
+TEST(SvcSession, TopkOrderingAndBound) {
+  auto s = make_session();
+  const Json j = ask(*s, R"({"op":"topk_next_adopters","k":5})");
+  ASSERT_TRUE(reply_ok(j)) << j.dump();
+  const Json* arr = j.find("adopters");
+  ASSERT_NE(arr, nullptr);
+  const auto& items = arr->items();
+  ASSERT_LE(items.size(), 5u);
+  ASSERT_GE(items.size(), 1u);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const Json& e : items) {
+    const double d = e.find("delta")->as_double();
+    EXPECT_LE(d, prev);  // descending by projected gain
+    prev = d;
+    // Every candidate is an insecure ISP.
+    const AsId id = static_cast<AsId>(e.find("id")->as_u64());
+    EXPECT_TRUE(s->graph().is_isp(id));
+    EXPECT_FALSE(s->state().is_secure(id));
+  }
+}
+
+TEST(SvcSession, AdoptSecuresStubsAndUpdatesWhatifs) {
+  auto s = make_session();
+  const std::uint32_t asn = find_insecure_isp_asn(*s);
+  const std::uint64_t before =
+      ask(*s, R"({"op":"query_state"})").find("secure_ases")->as_u64();
+
+  const Json j = ask(*s, R"({"op":"adopt","asn":)" + std::to_string(asn) + "}");
+  ASSERT_TRUE(reply_ok(j)) << j.dump();
+  const std::uint64_t after = j.find("secure_ases")->as_u64();
+  EXPECT_EQ(after, before + 1 + j.find("stubs_secured")->as_u64());
+
+  // The same AS is now secure: a repeat adopt and a whatif_adopt both fail.
+  EXPECT_FALSE(reply_ok(ask(*s, R"({"op":"adopt","asn":)" +
+                                    std::to_string(asn) + "}")));
+  EXPECT_FALSE(reply_ok(ask(*s, R"({"op":"whatif_adopt","asn":)" +
+                                    std::to_string(asn) + "}")));
+}
+
+TEST(SvcSession, MutateAddStubThenEdgeReferencingIt) {
+  auto s = make_session(/*check_topo_delta=*/true);
+  const std::uint32_t provider = find_insecure_isp_asn(*s);
+  const std::uint32_t other_stub = find_stub_asn(*s);
+  const std::size_t nodes_before = s->graph().num_nodes();
+
+  // Second op references the stub the first op creates: resolution must see
+  // each predecessor's effect.
+  const std::string req =
+      R"({"op":"mutate_topology","ops":[)"
+      R"({"action":"add_stub","asn":900500,"providers":[)" +
+      std::to_string(provider) + R"(]},)"
+      R"({"action":"add_edge","type":"peer","a":900500,"b":)" +
+      std::to_string(other_stub) + "}]}";
+  const Json j = ask(*s, req);
+  ASSERT_TRUE(reply_ok(j)) << j.dump();
+  EXPECT_EQ(j.find("ops_applied")->as_u64(), 2u);
+  ASSERT_EQ(j.find("new_nodes")->items().size(), 1u);
+  EXPECT_EQ(j.find("new_nodes")->items()[0].find("asn")->as_u64(), 900500u);
+  EXPECT_TRUE(j.find("full_invalidation")->as_bool());  // add_stub resizes
+  EXPECT_EQ(s->graph().num_nodes(), nodes_before + 1);
+
+  // The new stub is insecure and queryable; whatif on it is the stub error.
+  const Json w = ask(*s, R"({"op":"whatif_adopt","asn":900500})");
+  EXPECT_FALSE(reply_ok(w));
+  EXPECT_NE(w.find("error")->as_string().find("stub"), std::string::npos);
+
+  // With check_topo_delta on, follow-up evaluations run in lockstep with a
+  // full recompute: a whatif after the mutation exercises that path.
+  EXPECT_TRUE(reply_ok(ask(*s, R"({"op":"whatif_adopt","asn":)" +
+                                   std::to_string(provider) + "}")));
+}
+
+TEST(SvcSession, MutateMidBatchErrorReportsOpsApplied) {
+  auto s = make_session();
+  const std::uint32_t a = find_insecure_isp_asn(*s);
+  const std::uint32_t stub = find_stub_asn(*s);
+  // Op 1 is legal (new peer edge); op 2 removes an edge that does not exist.
+  const std::string req =
+      R"({"op":"mutate_topology","ops":[)"
+      R"({"action":"add_stub","asn":900600,"providers":[)" +
+      std::to_string(a) + R"(]},)"
+      R"({"action":"remove_edge","a":900600,"b":)" + std::to_string(stub) +
+      "}]}";
+  const Json j = ask(*s, req);
+  EXPECT_FALSE(reply_ok(j));
+  EXPECT_EQ(j.find("ops_applied")->as_u64(), 1u);  // partial batch applied
+  EXPECT_FALSE(j.find("error")->as_string().empty());
+  // The applied prefix is live: the stub exists now.
+  EXPECT_EQ(static_cast<std::size_t>(s->graph().find_asn(900600)),
+            s->graph().num_nodes() - 1);
+  // And the session still answers.
+  EXPECT_TRUE(reply_ok(ask(*s, R"({"op":"query_state"})")));
+}
+
+TEST(SvcSession, MetricsAndShutdownOps) {
+  auto s = make_session();
+  EXPECT_FALSE(s->shutdown_requested());
+  const Json m = ask(*s, R"({"op":"metrics"})");
+  ASSERT_TRUE(reply_ok(m)) << m.dump();
+  EXPECT_NE(m.find("registry"), nullptr);
+  const Json j = ask(*s, R"({"op":"shutdown"})");
+  EXPECT_TRUE(reply_ok(j));
+  EXPECT_TRUE(s->shutdown_requested());
+}
+
+TEST(SvcSession, HandleLineSurvivesGarbage) {
+  auto s = make_session();
+  const std::string r1 = s->handle_line("this is not json");
+  EXPECT_NE(r1.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(r1.find("parse error"), std::string::npos);
+  const std::string r2 = s->handle_line(R"({"op":"query_state"})");
+  EXPECT_NE(r2.find("\"ok\":true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/sbgp_test_svc_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+int connect_to(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void send_line(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_line(int fd) {
+  std::string reply;
+  char ch;
+  while (true) {
+    const ssize_t n = ::recv(fd, &ch, 1, 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "connection closed mid-reply";
+      return reply;
+    }
+    if (ch == '\n') return reply;
+    reply.push_back(ch);
+  }
+}
+
+TEST(SvcServer, RoundTripPipeliningAndRequestStop) {
+  auto s = make_session();
+  const std::string path = test_socket_path("rt");
+  svc::Server server(*s, {.socket_path = path});
+  std::atomic<int> rc{-1};
+  std::thread t([&] { rc = server.run(); });
+
+  const int fd = connect_to(path);
+  send_line(fd, R"({"op":"query_state"})");
+  std::string reply = recv_line(fd);
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+
+  // Two pipelined requests in one write yield two replies in order.
+  send_line(fd, R"({"op":"topk_next_adopters","k":2})" "\n" R"({"op":"metrics"})");
+  const std::string r1 = recv_line(fd);
+  const std::string r2 = recv_line(fd);
+  EXPECT_NE(r1.find("topk_next_adopters"), std::string::npos) << r1;
+  EXPECT_NE(r2.find("\"op\":\"metrics\""), std::string::npos) << r2;
+
+  // Garbage gets an error reply without dropping the connection.
+  send_line(fd, "garbage");
+  EXPECT_NE(recv_line(fd).find("\"ok\":false"), std::string::npos);
+  send_line(fd, R"({"op":"query_state"})");
+  EXPECT_NE(recv_line(fd).find("\"ok\":true"), std::string::npos);
+
+  ::close(fd);
+  server.request_stop();
+  t.join();
+  EXPECT_EQ(rc.load(), 0);
+  // Socket file is gone after the drain.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(SvcServer, InBandShutdownDrains) {
+  auto s = make_session();
+  const std::string path = test_socket_path("shut");
+  svc::Server server(*s, {.socket_path = path});
+  std::atomic<int> rc{-1};
+  std::thread t([&] { rc = server.run(); });
+
+  const int fd = connect_to(path);
+  send_line(fd, R"({"op":"shutdown"})");
+  const std::string reply = recv_line(fd);
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+  t.join();  // run() returns on its own after answering the shutdown
+  EXPECT_EQ(rc.load(), 0);
+  ::close(fd);
+}
+
+TEST(SvcServer, SigtermDrainsCleanly) {
+  auto s = make_session();
+  const std::string path = test_socket_path("term");
+  svc::Server server(*s, {.socket_path = path});
+  std::atomic<int> rc{-1};
+  std::thread t([&] { rc = server.run(); });
+
+  // A full round trip proves run() is in its poll loop (and therefore the
+  // signal handler is installed) before we raise SIGTERM.
+  const int fd = connect_to(path);
+  send_line(fd, R"({"op":"query_state"})");
+  EXPECT_NE(recv_line(fd).find("\"ok\":true"), std::string::npos);
+
+  ::kill(::getpid(), SIGTERM);
+  t.join();
+  EXPECT_EQ(rc.load(), 0);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace sbgp

@@ -1,0 +1,478 @@
+// Post-finalize topology deltas, end to end: (1) the CSR patcher produces a
+// graph bitwise-identical to a from-scratch rebuild of the same edge set,
+// for every TopoOp kind and also when a tiny row budget forces the
+// full-rebuild bail-out; (2) the SourceLabelComputer transpose property the
+// edge-candidate label test relies on (labels(src)[d] == rib(d)[src]); and
+// (3) the invalidation matrix — edge add/drop at the secure frontier, a new
+// stub mid-cascade, peer<->customer relabels, and randomized mutate-then-
+// diff sequences — run with check_incremental on, so every warm evaluation
+// is cross-checked bitwise against a full recompute from the CURRENT graph
+// and any missed invalidation throws core::IncrementalDivergence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/deployment_state.h"
+#include "core/simulator.h"
+#include "routing/rib.h"
+#include "routing/source_labels.h"
+#include "test_util.h"
+#include "topology/as_graph.h"
+
+namespace sbgp {
+namespace {
+
+using test::small_internet;
+using topo::AsGraph;
+using topo::AsId;
+using topo::Link;
+using topo::TopoDelta;
+using topo::TopoOp;
+
+/// TopoOp constructors (aggregate init would warn on the unused fields).
+TopoOp edge_op(TopoOp::Kind kind, AsId a, AsId b, Link rel = Link::Peer) {
+  TopoOp op;
+  op.kind = kind;
+  op.a = a;
+  op.b = b;
+  op.rel = rel;
+  return op;
+}
+
+TopoOp stub_op(std::uint32_t asn, std::vector<AsId> providers) {
+  TopoOp op;
+  op.kind = TopoOp::Kind::AddStub;
+  op.asn = asn;
+  op.providers = std::move(providers);
+  return op;
+}
+
+/// Rebuilds the graph from scratch out of the patched graph's current nodes
+/// and edges (same insertion order, so dense ids are preserved). This is the
+/// reference the CSR patcher must match bitwise.
+AsGraph rebuild_reference(const AsGraph& g) {
+  AsGraph out;
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    const AsId id = out.add_as(g.asn(n));
+    EXPECT_EQ(id, n);
+    if (g.content_provider_marked(n)) out.mark_content_provider(id);
+  }
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    for (const AsId c : g.customers(n)) out.add_customer_provider(n, c);
+    for (const AsId p : g.peers(n)) {
+      if (n < p) out.add_peer(n, p);
+    }
+  }
+  out.finalize();
+  for (AsId n = 0; n < g.num_nodes(); ++n) out.set_weight(n, g.weight(n));
+  return out;
+}
+
+void expect_graphs_equal(const AsGraph& got, const AsGraph& want) {
+  ASSERT_EQ(got.num_nodes(), want.num_nodes());
+  EXPECT_EQ(got.num_customer_provider_edges(), want.num_customer_provider_edges());
+  EXPECT_EQ(got.num_peer_edges(), want.num_peer_edges());
+  EXPECT_EQ(got.num_stubs(), want.num_stubs());
+  EXPECT_EQ(got.num_isps(), want.num_isps());
+  for (AsId n = 0; n < got.num_nodes(); ++n) {
+    EXPECT_EQ(got.asn(n), want.asn(n)) << "node " << n;
+    EXPECT_EQ(got.cls(n), want.cls(n)) << "node " << n;
+    EXPECT_DOUBLE_EQ(got.weight(n), want.weight(n)) << "node " << n;
+    const auto eq_span = [&](std::span<const AsId> a, std::span<const AsId> b,
+                             const char* what) {
+      ASSERT_EQ(a.size(), b.size()) << what << " of node " << n;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << what << "[" << i << "] of node " << n;
+      }
+    };
+    eq_span(got.customers(n), want.customers(n), "customers");
+    eq_span(got.peers(n), want.peers(n), "peers");
+    eq_span(got.providers(n), want.providers(n), "providers");
+  }
+}
+
+/// Two non-adjacent stubs with distinct providers (a legal peer edge).
+std::pair<AsId, AsId> stub_pair(const AsGraph& g, std::uint64_t seed) {
+  std::vector<AsId> stubs;
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    if (g.is_stub(n)) stubs.push_back(n);
+  }
+  std::mt19937_64 rng(seed);
+  std::shuffle(stubs.begin(), stubs.end(), rng);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    topo::Link l;
+    if (!g.link_between(stubs[i], stubs[i + 1], l)) return {stubs[i], stubs[i + 1]};
+  }
+  ADD_FAILURE() << "no non-adjacent stub pair found";
+  return {0, 1};
+}
+
+TEST(TopoDeltaCsr, EdgeOpsMatchFromScratchRebuild) {
+  topo::Internet net = small_internet(300, 7);
+  AsGraph& g = net.graph;
+
+  const auto [sa, sb] = stub_pair(g, 1);
+  const auto check = [&] { expect_graphs_equal(g, rebuild_reference(g)); };
+
+  const TopoOp add_peer = edge_op(TopoOp::Kind::AddPeer, sa, sb);
+  (void)g.apply_op(add_peer);
+  check();
+
+  const TopoOp drop = edge_op(TopoOp::Kind::RemoveEdge, sa, sb);
+  (void)g.apply_op(drop);
+  check();
+
+  // Re-home: make sb a customer of sa (sa becomes an ISP), then flip the
+  // edge to peer and back to customer via SetRelationship relabels.
+  const TopoOp add_cp = edge_op(TopoOp::Kind::AddCustomerProvider, sa, sb);
+  auto stats = g.apply_op(add_cp);
+  EXPECT_FALSE(stats.class_changed.empty());  // sa: Stub -> Isp
+  check();
+
+  const TopoOp to_peer =
+      edge_op(TopoOp::Kind::SetRelationship, sa, sb, Link::Peer);
+  (void)g.apply_op(to_peer);
+  check();
+
+  const TopoOp to_cust =
+      edge_op(TopoOp::Kind::SetRelationship, sa, sb, Link::Customer);
+  (void)g.apply_op(to_cust);
+  check();
+
+  (void)g.apply_op(drop);
+  check();
+}
+
+TEST(TopoDeltaCsr, AddStubMatchesFromScratchRebuild) {
+  topo::Internet net = small_internet(200, 11);
+  AsGraph& g = net.graph;
+  std::vector<AsId> providers;
+  for (AsId n = 0; n < g.num_nodes() && providers.size() < 2; ++n) {
+    if (g.is_isp(n)) providers.push_back(n);
+  }
+  ASSERT_EQ(providers.size(), 2u);
+
+  const std::size_t before = g.num_nodes();
+  const TopoOp op = stub_op(900001, providers);
+  const auto stats = g.apply_op(op);
+  ASSERT_EQ(stats.new_nodes.size(), 1u);
+  EXPECT_EQ(g.num_nodes(), before + 1);
+  EXPECT_EQ(g.asn(stats.new_nodes[0]), 900001u);
+  EXPECT_TRUE(g.is_stub(stats.new_nodes[0]));
+  expect_graphs_equal(g, rebuild_reference(g));
+}
+
+TEST(TopoDeltaCsr, TinyRowBudgetFullRebuildSameBytes) {
+  // The same op applied under the default budget and under row_budget = 1
+  // (which must trip the full-rebuild bail-out) yields identical graphs —
+  // the "same bytes, full-rebuild cost" contract.
+  topo::Internet a = small_internet(250, 13);
+  topo::Internet b = small_internet(250, 13);
+  const auto [sa, sb] = stub_pair(a.graph, 3);
+
+  const TopoOp op = edge_op(TopoOp::Kind::AddPeer, sa, sb);
+  const auto s_default = a.graph.apply_op(op);
+  const auto s_tiny = b.graph.apply_op(op, /*row_budget=*/1);
+  EXPECT_FALSE(s_default.full_rebuild);
+  EXPECT_TRUE(s_tiny.full_rebuild);
+  expect_graphs_equal(b.graph, a.graph);
+}
+
+TEST(TopoDeltaCsr, InvalidOpThrowsAndLeavesGraphUntouched) {
+  topo::Internet net = small_internet(150, 17);
+  AsGraph& g = net.graph;
+  const AsGraph reference = rebuild_reference(g);
+
+  const auto [sa, sb] = stub_pair(g, 5);
+  // Removing a non-existent edge and relabelling a non-existent edge must
+  // both throw with the graph unchanged.
+  const TopoOp bad_remove = edge_op(TopoOp::Kind::RemoveEdge, sa, sb);
+  EXPECT_THROW((void)g.apply_op(bad_remove), std::invalid_argument);
+  const TopoOp bad_rel =
+      edge_op(TopoOp::Kind::SetRelationship, sa, sb, Link::Peer);
+  EXPECT_THROW((void)g.apply_op(bad_rel), std::invalid_argument);
+  // A duplicate AS number for AddStub is rejected too.
+  const TopoOp bad_stub = stub_op(g.asn(0), {sa});
+  EXPECT_THROW((void)g.apply_op(bad_stub), std::invalid_argument);
+  expect_graphs_equal(g, reference);
+}
+
+TEST(TopoDeltaLabels, SourceLabelsAreRibColumns) {
+  // labels(src)[d] must equal rib(d)[src] for every destination d: the
+  // invalidation layer's edge-candidate test reads pre-op labels as a cheap
+  // transpose of the per-destination RIBs, so this equality is load-bearing.
+  topo::Internet net = small_internet(200, 19);
+  const AsGraph& g = net.graph;
+  rt::RibComputer ribs(g);
+  rt::SourceLabelComputer labels(g);
+
+  std::vector<rt::DestRib> all(g.num_nodes());
+  for (AsId d = 0; d < g.num_nodes(); ++d) ribs.compute(d, all[d]);
+
+  std::mt19937_64 rng(23);
+  std::vector<AsId> srcs;
+  for (AsId n = 0; n < g.num_nodes(); ++n) srcs.push_back(n);
+  std::shuffle(srcs.begin(), srcs.end(), rng);
+  srcs.resize(24);
+
+  std::vector<rt::RouteClass> cls;
+  std::vector<std::uint16_t> len;
+  for (const AsId src : srcs) {
+    labels.compute(src, cls, len);
+    for (AsId d = 0; d < g.num_nodes(); ++d) {
+      ASSERT_EQ(cls[d], all[d].cls[src]) << "src " << src << " dest " << d;
+      if (cls[d] != rt::RouteClass::None) {
+        ASSERT_EQ(len[d], all[d].len[src]) << "src " << src << " dest " << d;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation matrix. Every scenario runs the simulator with
+// check_incremental on: each warm evaluate_state() after a topology delta is
+// cross-checked bitwise against a full recompute from the current graph, so
+// an under-invalidation (stale bundle survives) or a stale stored RIB throws
+// IncrementalDivergence and fails the test. Warm results are additionally
+// compared against a cold simulator constructed fresh on the patched graph.
+// ---------------------------------------------------------------------------
+
+core::SimConfig checked_config() {
+  core::SimConfig cfg;
+  cfg.model = core::UtilityModel::Outgoing;
+  cfg.theta = 0.05;
+  cfg.threads = 1;
+  cfg.check_incremental = true;
+  return cfg;
+}
+
+void expect_eval_equal(const core::StateEvaluation& warm,
+                       const core::StateEvaluation& cold) {
+  ASSERT_EQ(warm.utility.size(), cold.utility.size());
+  for (std::size_t n = 0; n < warm.utility.size(); ++n) {
+    EXPECT_EQ(warm.utility[n], cold.utility[n]) << "utility of node " << n;
+    EXPECT_EQ(warm.would_flip_on[n], cold.would_flip_on[n]) << "node " << n;
+    // projected_on is NaN for nodes the pruning rules skip; compare bitwise
+    // through the NaN (NaN != NaN, so compare representations).
+    const bool wn = std::isnan(warm.projected_on[n]);
+    const bool cn = std::isnan(cold.projected_on[n]);
+    EXPECT_EQ(wn, cn) << "projected_on NaN-ness of node " << n;
+    if (!wn && !cn) {
+      EXPECT_EQ(warm.projected_on[n], cold.projected_on[n]) << "node " << n;
+    }
+  }
+}
+
+void expect_warm_matches_cold(const AsGraph& g, core::DeploymentSimulator& sim,
+                              const core::DeploymentState& state) {
+  const core::StateEvaluation& warm = sim.evaluate_state(state);
+  core::SimConfig cold_cfg = checked_config();
+  cold_cfg.check_incremental = false;
+  core::DeploymentSimulator cold(g, cold_cfg);
+  const core::StateEvaluation& c = cold.evaluate_state(state);
+  expect_eval_equal(warm, c);
+}
+
+TEST(TopoDeltaInvalidation, SecureFrontierEdgeAddAndDrop) {
+  topo::Internet net = small_internet(300, 7);
+  AsGraph& g = net.graph;
+  auto state = test::random_state(g, 0.3, 101);
+  core::DeploymentSimulator sim(g, checked_config());
+  (void)sim.evaluate_state(state);  // warm the caches
+
+  // An edge between a secure ISP and an insecure ISP sits exactly on the
+  // secure frontier: adding it can create new secure paths, dropping it can
+  // destroy them.
+  AsId secure_isp = topo::kNoAs, insecure_isp = topo::kNoAs;
+  topo::Link l;
+  for (AsId n = 0; n < g.num_nodes() && insecure_isp == topo::kNoAs; ++n) {
+    if (!g.is_isp(n) || !state.is_secure(n)) continue;
+    for (AsId m = 0; m < g.num_nodes(); ++m) {
+      if (!g.is_isp(m) || state.is_secure(m)) continue;
+      if (!g.link_between(n, m, l)) {
+        secure_isp = n;
+        insecure_isp = m;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(secure_isp, topo::kNoAs);
+  ASSERT_NE(insecure_isp, topo::kNoAs);
+
+  TopoDelta add;
+  add.ops.push_back(edge_op(TopoOp::Kind::AddPeer, secure_isp, insecure_isp));
+  (void)sim.apply_topology_delta(g, add);
+  expect_warm_matches_cold(g, sim, state);
+
+  TopoDelta drop;
+  drop.ops.push_back(
+      edge_op(TopoOp::Kind::RemoveEdge, secure_isp, insecure_isp));
+  (void)sim.apply_topology_delta(g, drop);
+  expect_warm_matches_cold(g, sim, state);
+}
+
+TEST(TopoDeltaInvalidation, NewStubMidCascade) {
+  topo::Internet net = small_internet(300, 7);
+  AsGraph& g = net.graph;
+  auto state = test::random_state(g, 0.2, 103);
+  core::DeploymentSimulator sim(g, checked_config());
+
+  // Advance one myopic best-response step by hand (a "mid-cascade" state):
+  // flip every ISP whose Eq. 3 verdict says so, simplex stubs included.
+  const core::StateEvaluation& ev = sim.evaluate_state(state);
+  std::vector<AsId> flipped;
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    if (ev.would_flip_on[n] != 0) flipped.push_back(n);
+  }
+  for (const AsId n : flipped) {
+    if (g.is_isp(n)) state.secure_isp_with_stubs(g, n);
+    else state.set_secure(n, true);
+  }
+  (void)sim.evaluate_state(state);
+
+  // Home the new stub on one secure and one insecure provider, so its
+  // appearance perturbs routing trees on both sides of the frontier.
+  AsId secure_isp = topo::kNoAs, insecure_isp = topo::kNoAs;
+  for (AsId n = 0; n < g.num_nodes(); ++n) {
+    if (!g.is_isp(n)) continue;
+    if (state.is_secure(n) && secure_isp == topo::kNoAs) secure_isp = n;
+    if (!state.is_secure(n) && insecure_isp == topo::kNoAs) insecure_isp = n;
+  }
+  ASSERT_NE(secure_isp, topo::kNoAs);
+  ASSERT_NE(insecure_isp, topo::kNoAs);
+
+  TopoDelta delta;
+  delta.ops.push_back(stub_op(900100, {secure_isp, insecure_isp}));
+  const auto res = sim.apply_topology_delta(g, delta);
+  EXPECT_TRUE(res.full_invalidation);  // AddStub resizes every per-dest array
+  state.flags().resize(g.num_nodes(), 0);
+  expect_warm_matches_cold(g, sim, state);
+}
+
+TEST(TopoDeltaInvalidation, PeerCustomerFlip) {
+  topo::Internet net = small_internet(300, 7);
+  AsGraph& g = net.graph;
+  auto state = test::random_state(g, 0.3, 107);
+  core::DeploymentSimulator sim(g, checked_config());
+  (void)sim.evaluate_state(state);
+
+  // Find an existing ISP-ISP peer edge and relabel it customer, then back.
+  // SetRelationship validates GR1 (no provider cycles); scan until a legal
+  // candidate applies.
+  bool flipped = false;
+  for (AsId n = 0; n < g.num_nodes() && !flipped; ++n) {
+    if (!g.is_isp(n)) continue;
+    for (const AsId p : g.peers(n)) {
+      TopoDelta to_cust;
+      to_cust.ops.push_back(
+          edge_op(TopoOp::Kind::SetRelationship, n, p, Link::Customer));
+      try {
+        (void)sim.apply_topology_delta(g, to_cust);
+      } catch (const std::invalid_argument&) {
+        continue;  // would break GR1; try the next peer edge
+      }
+      expect_warm_matches_cold(g, sim, state);
+
+      TopoDelta back;
+      back.ops.push_back(
+          edge_op(TopoOp::Kind::SetRelationship, n, p, Link::Peer));
+      (void)sim.apply_topology_delta(g, back);
+      expect_warm_matches_cold(g, sim, state);
+      flipped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(flipped) << "no relabel-able peer edge found";
+}
+
+TEST(TopoDeltaInvalidation, RandomizedMutateThenDiff) {
+  // Interleave random topology mutations with random deployment flips, warm-
+  // evaluating after each under check_incremental, and periodically compare
+  // the patched graph against a from-scratch rebuild. Zero divergences
+  // across the whole sequence is the acceptance criterion for the lockstep
+  // mode.
+  topo::Internet net = small_internet(260, 29);
+  AsGraph& g = net.graph;
+  auto state = test::random_state(g, 0.25, 109);
+  core::DeploymentSimulator sim(g, checked_config());
+  (void)sim.evaluate_state(state);
+
+  std::mt19937_64 rng(31);
+  std::uint32_t next_asn = 910000;
+  int applied = 0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const int kind = static_cast<int>(rng() % 5);
+    TopoDelta delta;
+    const AsId a = static_cast<AsId>(rng() % g.num_nodes());
+    const AsId b = static_cast<AsId>(rng() % g.num_nodes());
+    switch (kind) {
+      case 0:
+        delta.ops.push_back(edge_op(TopoOp::Kind::AddPeer, a, b));
+        break;
+      case 1:
+        delta.ops.push_back(edge_op(TopoOp::Kind::AddCustomerProvider, a, b));
+        break;
+      case 2:
+        delta.ops.push_back(edge_op(TopoOp::Kind::RemoveEdge, a, b));
+        break;
+      case 3:
+        delta.ops.push_back(edge_op(TopoOp::Kind::SetRelationship, a, b,
+                                    rng() % 2 == 0 ? Link::Peer : Link::Customer));
+        break;
+      default:
+        delta.ops.push_back(stub_op(next_asn++, {a}));
+        break;
+    }
+    try {
+      (void)sim.apply_topology_delta(g, delta);
+      ++applied;
+    } catch (const std::invalid_argument&) {
+      continue;  // randomly drawn op was illegal; graph is untouched
+    } catch (const std::logic_error&) {
+      continue;
+    }
+    state.flags().resize(g.num_nodes(), 0);
+
+    // Sometimes also flip a random ISP, so the dirty set mixes topology-
+    // forced and state-diffed destinations.
+    if (rng() % 2 == 0) {
+      const AsId n = static_cast<AsId>(rng() % g.num_nodes());
+      if (g.is_isp(n) && !state.is_secure(n)) state.secure_isp_with_stubs(g, n);
+    }
+    (void)sim.evaluate_state(state);  // lockstep-checked
+    if (iter % 6 == 0) expect_graphs_equal(g, rebuild_reference(g));
+  }
+  EXPECT_GE(applied, 6) << "random op mix applied too few mutations to be "
+                           "a meaningful lockstep test";
+  expect_warm_matches_cold(g, sim, state);
+}
+
+TEST(TopoDeltaInvalidation, WarmEqualsColdAfterStateOnlyFlips) {
+  // No topology change at all: the warm diff path against last_flags_ must
+  // agree with a cold evaluation exactly.
+  topo::Internet net = small_internet(300, 7);
+  AsGraph& g = net.graph;
+  auto state = test::random_state(g, 0.2, 113);
+  core::DeploymentSimulator sim(g, checked_config());
+  (void)sim.evaluate_state(state);
+
+  int flips = 0;
+  for (AsId n = 0; n < g.num_nodes() && flips < 5; ++n) {
+    if (g.is_isp(n) && !state.is_secure(n)) {
+      state.secure_isp_with_stubs(g, n);
+      ++flips;
+    }
+  }
+  ASSERT_EQ(flips, 5);
+  expect_warm_matches_cold(g, sim, state);
+}
+
+}  // namespace
+}  // namespace sbgp

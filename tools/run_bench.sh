@@ -29,7 +29,8 @@ cd "$(dirname "$0")/.."
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target bench_perf_routing_kernel \
-    bench_perf_incremental_rounds bench_fleet_scaling bench_projection_delta
+    bench_perf_incremental_rounds bench_fleet_scaling bench_projection_delta \
+    bench_svc_latency
 
 # Refuse bench JSON whose context admits it is not a trustworthy perf
 # record: a debug-built library or an active CPU frequency governor.
@@ -94,3 +95,10 @@ accept BENCH_projection_delta.json
     --json-out BENCH_fleet_scaling.json.fresh --quiet \
     || echo "note: bench_fleet_scaling exited non-zero (speedup gate)"
 accept BENCH_fleet_scaling.json
+
+# What-if service latency through the Unix-socket transport; gates on
+# whatif_adopt p99 <= 10 ms at 36,964 ASes (warm incremental path).
+./build-release/bench/bench_svc_latency \
+    --json-out BENCH_svc_latency.json.fresh --quiet \
+    || echo "note: bench_svc_latency exited non-zero (latency gate)"
+accept BENCH_svc_latency.json

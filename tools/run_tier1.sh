@@ -18,7 +18,7 @@ cmake --build build -j
 # arena/bitset routing scratch and the slab RIB store are exactly the kind
 # of hand-managed memory this pass exists to police.
 cmake -B build-asan -S . -DSBGPSIM_SANITIZE=address,undefined
-cmake --build build-asan -j --target sbgp_tests
+cmake --build build-asan -j --target sbgp_tests sbgpsim
 (cd build-asan && ctest --output-on-failure -j)
 
 # Kernel perf smoke (Release): a build-only check cannot catch routing-kernel
@@ -141,6 +141,55 @@ grep -q 'scenario_key' "$tmp/scn.metrics.jsonl" \
 "$sbgpsim" validate "$tmp/scn.metrics.jsonl" "$tmp/scnrun.metrics.jsonl" \
     || { echo "tier1 FAIL: scenario telemetry failed validation"; exit 1; }
 
+# What-if service smoke: start the daemon on a temp socket (with the
+# topology-delta lockstep checker armed), drive whatif + mutate + metrics
+# round trips through `sbgpsim client`, then SIGTERM it and require a clean
+# drain (exit 0). Runs twice — the plain build and the ASan/UBSan build:
+# the poll loop, per-client line buffers and the CSR patch path are exactly
+# the hand-managed state the sanitizer pass exists to police.
+svc_smoke() {
+    local bin="$1" tag="$2"
+    local sock="$tmp/svc.$tag.sock" log="$tmp/svc.$tag.log" out="$tmp/svc.$tag.out"
+    "$bin" serve --socket "$sock" --nodes 200 --seed 7 --adopters top:3 \
+        --check-topo-delta 2> "$log" &
+    local pid=$!
+    for _ in $(seq 400); do [ -S "$sock" ] && break; sleep 0.05; done
+    [ -S "$sock" ] \
+        || { echo "tier1 FAIL($tag): service socket never appeared"; cat "$log"; exit 1; }
+    "$bin" client --socket "$sock" \
+        '{"op":"query_state"}' \
+        '{"op":"topk_next_adopters","k":3}' \
+        '{"op":"metrics"}' > "$out" \
+        || { echo "tier1 FAIL($tag): service client round trip"; cat "$log"; exit 1; }
+    # Pull a live candidate ASN out of the topk reply, then what-if it, graft
+    # a stub under it (exercising the delta-invalidation path under the
+    # lockstep checker), and what-if it again against the mutated topology.
+    local asn
+    asn="$(python3 -c '
+import json, sys
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    if r.get("op") == "topk_next_adopters":
+        print(r["adopters"][0]["asn"]); break' "$out")"
+    [ -n "$asn" ] \
+        || { echo "tier1 FAIL($tag): no topk candidate to what-if"; exit 1; }
+    "$bin" client --socket "$sock" \
+        "{\"op\":\"whatif_adopt\",\"asn\":$asn}" \
+        "{\"op\":\"mutate_topology\",\"ops\":[{\"action\":\"add_stub\",\"asn\":900900,\"providers\":[$asn]}]}" \
+        "{\"op\":\"whatif_adopt\",\"asn\":$asn}" >> "$out" \
+        || { echo "tier1 FAIL($tag): whatif/mutate round trip"; cat "$log"; exit 1; }
+    local oks
+    oks="$(grep -c '"ok":true' "$out")"
+    [ "$oks" -eq 6 ] \
+        || { echo "tier1 FAIL($tag): expected 6 ok replies, got $oks"; cat "$out"; exit 1; }
+    kill -TERM "$pid"
+    wait "$pid" \
+        || { echo "tier1 FAIL($tag): service did not drain cleanly on SIGTERM"; \
+             cat "$log"; exit 1; }
+}
+svc_smoke build/tools/sbgpsim plain
+svc_smoke build-asan/tools/sbgpsim asan
+
 # Fleet smoke: the same 12-job grid executed by the multi-process fleet —
 # a coordinator plus 2 spawned `sbgpsim worker` processes sharing a run
 # directory — with one worker SIGKILLed mid-run. The lease/steal/resume
@@ -176,4 +225,4 @@ rc=0
 [ "$rc" -eq 5 ] \
     || { echo "tier1 FAIL: worker on unusable run dir exited $rc, want 5"; exit 1; }
 
-echo "tier1 OK (tests + orchestration + observability + scenario + fleet smoke)"
+echo "tier1 OK (tests + orchestration + observability + scenario + service + fleet smoke)"

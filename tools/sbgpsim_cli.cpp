@@ -29,6 +29,10 @@
 // snapshot), --obs-summary prints a per-span table to stderr.
 //
 // Adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -46,12 +50,15 @@
 #include "exp/runner.h"
 #include "exp/scheduler.h"
 #include "exp/telemetry.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "routing/rib.h"
 #include "scenario/engine.h"
 #include "scenario/scenario_spec.h"
 #include "stats/table.h"
+#include "svc/server.h"
+#include "svc/session.h"
 #include "topology/graph_io.h"
 #include "topology/topology_gen.h"
 
@@ -67,6 +74,8 @@ constexpr int kExitRuntime = 4;     // runtime failure (failed/timed-out jobs,
                                     // I/O errors, invalid data files)
 constexpr int kExitWorker = 5;      // fleet worker-mode failure (unusable run
                                     // directory, no spec within max-idle)
+constexpr int kExitService = 6;     // serve/client transport failure (cannot
+                                    // bind/connect the Unix socket, peer died)
 
 struct CliOptions {
   std::string self_exe;    // argv[0] — the fleet coordinator re-execs itself
@@ -108,12 +117,16 @@ struct CliOptions {
   bool check_incremental = false;
   bool projection_delta = true;
   core::UtilityModel model = core::UtilityModel::Outgoing;
+  std::string socket_path;          // serve/client: Unix-domain socket path
+  bool check_topo_delta = false;    // serve: lockstep topology-delta checking
+  std::size_t topo_row_budget = 0;  // serve: CSR patch row budget (0 = auto)
 };
 
 [[noreturn]] void usage(int code) {
   std::cerr <<
-      "usage: sbgpsim <generate|simulate|sweep|analyze|jobs|worker|validate>"
-      " [options]\n"
+      "usage: sbgpsim <generate|simulate|sweep|analyze|jobs|worker|scenario"
+      "|validate|serve|client> [options]\n"
+      "       sbgpsim --version\n"
       "  common: --nodes N --seed S --x F --graph FILE\n"
       "  generate: --out FILE [--augment]\n"
       "  simulate: --adopters SPEC --theta F --model outgoing|incoming\n"
@@ -138,12 +151,58 @@ struct CliOptions {
       "  sweep:    [--scenario FILE]  (evaluate the matrix per theta)\n"
       "  validate: [--scenario FILE]... FILE...  (JSON/JSONL well-formedness;\n"
       "            --scenario FILEs also schema-checked as ScenarioSpecs)\n"
-      "  observability (simulate/sweep/jobs run):\n"
+      "  serve:    --socket PATH [--graph FILE | --nodes N] [--adopters SPEC]\n"
+      "            [--theta F] [--model outgoing|incoming]\n"
+      "            [--check-topo-delta] [--topo-row-budget N]\n"
+      "            [--metrics-out FILE]  (long-lived what-if service, NDJSON\n"
+      "            over a Unix socket; SIGTERM drains and exits 0)\n"
+      "  client:   --socket PATH ['{\"op\":...}' ... | requests on stdin]\n"
+      "            (one JSON request per line; replies echo to stdout)\n"
+      "  observability (simulate/sweep/jobs run/serve):\n"
       "            [--trace-out FILE] [--metrics-out FILE] [--obs-summary]\n"
       "  adopter SPEC: none | top:K | cps | cps+top:K | random:K | asn:1,2,3\n"
-      "  exit codes: 0 ok | 2 usage | 3 incremental divergence | 4 runtime\n"
-      "              | 5 fleet worker failure (bad/unusable run directory)\n";
+      "  exit codes: 0 ok | 2 usage | 3 incremental/topology-delta divergence\n"
+      "              | 4 runtime | 5 fleet worker failure\n"
+      "              | 6 service transport failure (serve bind / client connect)\n";
   std::exit(code);
+}
+
+// Strict numeric flag parsing: a malformed value is a usage error (exit 2),
+// never an uncaught std::sto* throw (which would abort without a message).
+std::uint64_t parse_u64_flag(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long r = std::stoull(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    std::cerr << flag << ": invalid number '" << v << "'\n";
+    usage(kExitUsage);
+  }
+}
+
+double parse_double_flag(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double r = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    std::cerr << flag << ": invalid number '" << v << "'\n";
+    usage(kExitUsage);
+  }
+}
+
+int parse_int_flag(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const int r = std::stoi(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    std::cerr << flag << ": invalid number '" << v << "'\n";
+    usage(kExitUsage);
+  }
 }
 
 CliOptions parse(int argc, char** argv) {
@@ -151,14 +210,20 @@ CliOptions parse(int argc, char** argv) {
   if (argc < 2) usage(kExitUsage);
   o.self_exe = argv[0];
   o.command = argv[1];
+  if (o.command == "--version" || o.command == "-V") {
+    std::cout << "sbgpsim " << obs::build_info_line() << "\n";
+    std::exit(kExitOk);
+  }
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage(kExitUsage);
       return argv[++i];
     };
-    if (a == "--nodes") o.nodes = static_cast<std::uint32_t>(std::stoul(next()));
-    else if (a == "--seed") o.seed = std::stoull(next());
+    if (a == "--nodes") {
+      o.nodes = static_cast<std::uint32_t>(parse_u64_flag(a, next()));
+    }
+    else if (a == "--seed") o.seed = parse_u64_flag(a, next());
     else if (a == "--graph") o.graph_file = next();
     else if (a == "--out") o.out_file = next();
     else if (a == "--spec") o.spec_file = next();
@@ -166,21 +231,26 @@ CliOptions parse(int argc, char** argv) {
     else if (a == "--scenario") o.scenario_files.push_back(next());
     else if (a == "--simulate") o.simulate_first = true;
     else if (a == "--adopters") o.adopters = next();
-    else if (a == "--theta") o.theta = std::stod(next());
+    else if (a == "--theta") o.theta = parse_double_flag(a, next());
     else if (a == "--thetas") o.thetas = next();
-    else if (a == "--x") o.x = std::stod(next());
-    else if (a == "--workers") o.workers = std::stoull(next());
-    else if (a == "--timeout-s") o.timeout_s = std::stod(next());
-    else if (a == "--progress-s") o.progress_s = std::stod(next());
-    else if (a == "--retries") o.retries = std::stoi(next());
+    else if (a == "--x") o.x = parse_double_flag(a, next());
+    else if (a == "--workers") o.workers = parse_u64_flag(a, next());
+    else if (a == "--timeout-s") o.timeout_s = parse_double_flag(a, next());
+    else if (a == "--progress-s") o.progress_s = parse_double_flag(a, next());
+    else if (a == "--retries") o.retries = parse_int_flag(a, next());
     else if (a == "--run-dir") o.run_dir = next();
     else if (a == "--worker-id") o.worker_id = next();
-    else if (a == "--ttl-s") o.ttl_s = std::stod(next());
-    else if (a == "--max-idle-s") o.max_idle_s = std::stod(next());
-    else if (a == "--max-wall-s") o.max_wall_s = std::stod(next());
-    else if (a == "--shard-size") o.shard_size = std::stoull(next());
-    else if (a == "--max-restarts") o.max_restarts = std::stoi(next());
-    else if (a == "--max-steals") o.max_steals = std::stoi(next());
+    else if (a == "--ttl-s") o.ttl_s = parse_double_flag(a, next());
+    else if (a == "--max-idle-s") o.max_idle_s = parse_double_flag(a, next());
+    else if (a == "--max-wall-s") o.max_wall_s = parse_double_flag(a, next());
+    else if (a == "--shard-size") o.shard_size = parse_u64_flag(a, next());
+    else if (a == "--max-restarts") o.max_restarts = parse_int_flag(a, next());
+    else if (a == "--max-steals") o.max_steals = parse_int_flag(a, next());
+    else if (a == "--socket") o.socket_path = next();
+    else if (a == "--check-topo-delta") o.check_topo_delta = true;
+    else if (a == "--topo-row-budget") {
+      o.topo_row_budget = parse_u64_flag(a, next());
+    }
     else if (a == "--no-resume") o.resume = false;
     else if (a == "--no-incremental") o.incremental = false;
     else if (a == "--check-incremental") o.check_incremental = true;
@@ -250,7 +320,7 @@ int cmd_generate(const CliOptions& o) {
               << " ASes, " << net.graph.num_customer_provider_edges() << " c2p, "
               << net.graph.num_peer_edges() << " p2p\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -569,7 +639,7 @@ int cmd_analyze(const CliOptions& o) {
   } else {
     usage(kExitUsage);
   }
-  return 0;
+  return kExitOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -745,7 +815,7 @@ int cmd_jobs_status(const CliOptions& o) {
     std::cout << "  (skipped " << skipped_lines
               << " malformed store line(s) — truncated write?)\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_jobs_merge(const CliOptions& o) {
@@ -804,7 +874,7 @@ int cmd_jobs_merge(const CliOptions& o) {
   }
   print_merged(merged, o.csv);
   std::cerr << "merged " << merged.size() << " job record(s)\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_jobs(const CliOptions& o) {
@@ -844,6 +914,134 @@ int cmd_worker(const CliOptions& o) {
     std::cerr << "worker: " << e.what() << "\n";
     return kExitWorker;
   }
+}
+
+// ---------------------------------------------------------------------------
+// serve / client — the svc:: what-if service.
+
+// serve --socket PATH: load the topology + deployment state once, warm the
+// incremental engine, then answer NDJSON requests until SIGTERM/SIGINT or an
+// in-band shutdown (both drain and exit 0). Transport setup failures exit 6;
+// a --check-topo-delta lockstep divergence exits 3 via main's handler.
+int cmd_serve(const CliOptions& o) {
+  if (o.socket_path.empty()) {
+    std::cerr << "serve requires --socket PATH\n";
+    usage(kExitUsage);
+  }
+  auto net = load_internet(o);
+  const auto adopters = resolve_adopters(net, o.adopters, o.seed);
+  // The service's own request counters/latency histograms should work out of
+  // the box ({"op":"metrics"} reads them), not only under --obs-summary.
+  obs::set_metrics_enabled(true);
+  obs_start(o);
+
+  svc::SessionConfig scfg;
+  scfg.sim = sim_config(o);
+  scfg.check_topo_delta = o.check_topo_delta;
+  scfg.topo_row_budget = o.topo_row_budget;
+  std::unique_ptr<exp::TelemetryLog> telemetry;
+  if (!o.metrics_out.empty()) {
+    telemetry = std::make_unique<exp::TelemetryLog>(o.metrics_out);
+  }
+  scfg.telemetry = telemetry.get();
+
+  auto graph = std::make_unique<topo::AsGraph>(std::move(net.graph));
+  auto state = core::DeploymentState::initial(*graph, adopters);
+  svc::Session session(std::move(graph), std::move(state), scfg);
+  std::cerr << "sbgpsim serve: " << session.graph().num_nodes() << " ASes, "
+            << session.state().num_secure() << " secure; warming engine...\n";
+  session.warm();
+  try {
+    svc::Server server(session, {.socket_path = o.socket_path});
+    std::cerr << "sbgpsim serve: listening on " << o.socket_path
+              << (o.check_topo_delta ? " (lockstep topo-delta checking on)"
+                                     : "")
+              << "\n";
+    const int rc = server.run();
+    std::cerr << "sbgpsim serve: drained " << session.requests_served()
+              << " request(s), clean shutdown\n";
+    return rc;
+  } catch (const core::IncrementalDivergence&) {
+    throw;  // main maps it to exit 3
+  } catch (const std::exception& e) {
+    std::cerr << "serve: " << e.what() << "\n";
+    return kExitService;
+  }
+}
+
+// client --socket PATH [REQUEST...]: sends each positional (or each stdin
+// line) as one request line and echoes the reply line to stdout. Exit 6 on
+// any transport failure, 0 otherwise — protocol-level errors are the
+// caller's to inspect in the {"ok":false,...} reply.
+int cmd_client(const CliOptions& o) {
+  if (o.socket_path.empty()) {
+    std::cerr << "client requires --socket PATH\n";
+    usage(kExitUsage);
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (o.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "client: socket path too long\n";
+    return kExitService;
+  }
+  std::memcpy(addr.sun_path, o.socket_path.c_str(), o.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) < 0) {
+    std::cerr << "client: cannot connect to '" << o.socket_path
+              << "': " << std::strerror(errno) << "\n";
+    if (fd >= 0) ::close(fd);
+    return kExitService;
+  }
+
+  auto roundtrip = [&](const std::string& request) -> bool {
+    std::string out = request;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    char ch;
+    while (true) {
+      const ssize_t n = ::recv(fd, &ch, 1, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;  // server died before answering
+      if (ch == '\n') break;
+      reply.push_back(ch);
+    }
+    std::cout << reply << "\n";
+    return true;
+  };
+
+  bool ok = true;
+  if (!o.positionals.empty()) {
+    for (const std::string& req : o.positionals) {
+      if (!roundtrip(req)) {
+        ok = false;
+        break;
+      }
+    }
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      if (!roundtrip(line)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  if (!ok) {
+    std::cerr << "client: connection to '" << o.socket_path << "' lost\n";
+    return kExitService;
+  }
+  return kExitOk;
 }
 
 // validate [--scenario FILE]... FILE... — every positional file must parse
@@ -929,6 +1127,8 @@ int main(int argc, char** argv) {
     if (o.command == "worker") return cmd_worker(o);
     if (o.command == "scenario") return cmd_scenario(o);
     if (o.command == "validate") return cmd_validate(o);
+    if (o.command == "serve") return cmd_serve(o);
+    if (o.command == "client") return cmd_client(o);
   } catch (const core::IncrementalDivergence& e) {
     // --check-incremental tripped: always an engine bug, never bad input.
     std::cerr << "FATAL: " << e.what() << "\n";
